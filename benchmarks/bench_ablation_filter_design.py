@@ -1,0 +1,87 @@
+"""Ablation: MP-filter design choices (percentile, warm-up delay).
+
+DESIGN.md calls out two filter-design decisions for ablation:
+
+* the output percentile -- the paper uses p=25 and reports it slightly
+  better than the median (p=50);
+* the warm-up delay -- the paper's deployed filter emits from the first
+  sample, which it identifies as the source of its worst disruptions, and
+  suggests waiting for a second sample.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.harness import ExperimentScale, build_trace, heuristic_metrics
+
+
+def _metrics(trace, scale, filter_params):
+    return heuristic_metrics(
+        trace,
+        "always",
+        {},
+        filter_kind="mp",
+        filter_params=filter_params,
+        measurement_start_s=scale.measurement_start_s,
+    )
+
+
+def test_percentile_choice_p25_vs_p50(run_once):
+    scale = ExperimentScale(nodes=16, duration_s=900.0, ping_interval_s=2.0, seed=5)
+    trace = build_trace(scale)
+
+    def run_both():
+        p25 = _metrics(trace, scale, {"history": 4, "percentile": 25.0})
+        p50 = _metrics(trace, scale, {"history": 4, "percentile": 50.0})
+        return p25, p50
+
+    p25, p50 = run_once(run_both)
+    # The two settings land in the same regime: the paper found p=25
+    # marginally better at predicting the next sample; judged against raw
+    # observations the median filter can edge ahead on error while p=25
+    # stays at least as stable.  Neither may be dramatically worse.
+    assert p25["median_relative_error"] <= p50["median_relative_error"] * 1.35
+    assert p25["instability"] <= p50["instability"] * 1.25
+    print()
+    print(f"p=25: error {p25['median_relative_error']:.3f}, instability {p25['instability']:.2f}")
+    print(f"p=50: error {p50['median_relative_error']:.3f}, instability {p50['instability']:.2f}")
+
+
+def test_warmup_delay_defuses_pathological_first_samples(run_once):
+    """Section VI's fix, demonstrated on the mechanism it targets.
+
+    The paper traces its five largest coordinate disruptions to links whose
+    *first* observation was an extreme outlier: with no warm-up the filter
+    emits that outlier verbatim.  Waiting for a second sample removes the
+    displacement entirely.
+    """
+    from repro.core.config import FilterConfig, HeuristicConfig, NodeConfig
+    from repro.core.coordinate import Coordinate
+    from repro.core.node import CoordinateNode
+
+    def run_both():
+        displacements = {}
+        for warmup in (1, 2):
+            config = NodeConfig(
+                filter=FilterConfig(
+                    "mp", {"history": 4, "percentile": 25.0, "warmup": warmup}
+                ),
+                heuristic=HeuristicConfig("always"),
+            )
+            node = CoordinateNode("victim", config)
+            # Converge against one well-behaved peer first.
+            steady_peer = Coordinate([60.0, 0.0, 0.0])
+            for _ in range(60):
+                node.observe("steady", steady_peer, 0.3, 60.0)
+            before = node.system_coordinate
+            # A brand-new link whose first observation is a 5-second outlier.
+            node.observe("new-link", Coordinate([0.0, 80.0, 0.0]), 0.3, 5000.0)
+            displacements[warmup] = node.system_coordinate.euclidean_distance(before)
+        return displacements
+
+    displacements = run_once(run_both)
+    assert displacements[2] < displacements[1] * 0.25
+    print()
+    print(
+        f"displacement from a pathological first sample: warmup=1 -> "
+        f"{displacements[1]:.1f} ms, warmup=2 -> {displacements[2]:.1f} ms"
+    )

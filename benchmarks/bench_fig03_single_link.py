@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 3 (single-link histogram and time spread).
+
+Paper claim reproduced: a representative link's observations vary by orders
+of magnitude and the outliers keep occurring throughout the trace.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig03_single_link
+
+
+def test_fig03_single_link(run_once):
+    result = run_once(fig03_single_link.run, nodes=16, duration_s=5400.0, seed=0)
+    assert result.spread_ratio > 5.0
+    assert sum(1 for c in result.outliers_per_quarter if c > 0) >= 3
+    print()
+    print(fig03_single_link.format_report(result))

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 4 (MP prediction error vs history size).
+
+Paper claim reproduced: a short history (h=4) already minimises prediction
+error; histories of 1-2 samples are clearly worse, long histories gain
+nothing (and slowly lose ground on a changing network).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig04_history_size
+
+
+def test_fig04_history_size(run_once):
+    result = run_once(
+        fig04_history_size.run, nodes=16, links=40, samples_per_link=600, seed=0
+    )
+    medians = {h: s.median for h, s in result.summaries.items()}
+    assert medians[1] > medians[4]
+    assert medians[4] <= min(medians[h] for h in medians if h >= 4) * 1.15
+    print()
+    print(fig04_history_size.format_report(result))

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 5 (accuracy/stability CDFs, MP vs no filter).
+
+Paper claim reproduced: the MP filter improves accuracy and stability for
+most nodes and removes the heavy instability tail.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig05_filter_cdfs
+
+
+def test_fig05_filter_cdfs(run_once):
+    result = run_once(fig05_filter_cdfs.run, nodes=20, duration_s=1200.0, seed=0)
+    assert result.median_error_improvement > 0.2
+    assert result.instability_improvement > 0.3
+    assert result.tail_reduction_factor > 2.0
+    print()
+    print(fig05_filter_cdfs.format_report(result))

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 7 (coordinate drift over time).
+
+Paper claim reproduced: even after convergence, coordinates keep moving in
+consistent directions because the underlying network changes -- so the
+application-level coordinate must be refreshed over time.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig07_drift
+
+
+def test_fig07_drift(run_once):
+    result = run_once(fig07_drift.run, nodes=20, duration_s=2400.0, seed=0)
+    assert result.tracked
+    assert result.mean_net_displacement() > 1.0
+    print()
+    print(fig07_drift.format_report(result))

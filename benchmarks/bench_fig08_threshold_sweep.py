@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 8 (threshold sweep for ENERGY and RELATIVE).
+
+Paper claim reproduced: instability declines as the update threshold grows,
+while accuracy stays roughly flat over the conservative threshold range.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig08_threshold_sweep
+
+
+def test_fig08_threshold_sweep(run_once):
+    result = run_once(
+        fig08_threshold_sweep.run,
+        nodes=14,
+        duration_s=700.0,
+        seed=0,
+        window_size=16,
+        energy_thresholds=(1.0, 4.0, 16.0, 64.0, 256.0),
+        relative_thresholds=(0.1, 0.3, 0.5, 0.7, 0.9),
+    )
+    assert result.energy_rows[-1]["instability"] <= result.energy_rows[0]["instability"]
+    assert result.relative_rows[-1]["instability"] <= result.relative_rows[0]["instability"]
+    # Accuracy at the paper's chosen operating points stays close to the
+    # most permissive setting.
+    assert result.energy_rows[2]["median_relative_error"] <= (
+        result.energy_rows[0]["median_relative_error"] * 2.0 + 0.05
+    )
+    print()
+    print(fig08_threshold_sweep.format_report(result))

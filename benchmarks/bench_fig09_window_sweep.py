@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 9 (window-size sweep).
+
+Paper claim reproduced: larger change-detection windows reduce the
+application update frequency (and do not hurt accuracy) over the 2^2-2^8
+range the paper explores.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig09_window_sweep
+
+
+def test_fig09_window_sweep(run_once):
+    result = run_once(
+        fig09_window_sweep.run,
+        nodes=14,
+        duration_s=700.0,
+        seed=0,
+        window_sizes=(4, 16, 64),
+    )
+    energy_updates = [row["updates_per_node_per_s"] for row in result.energy_rows]
+    assert energy_updates[-1] <= energy_updates[0]
+    energy_error = [row["median_relative_error"] for row in result.energy_rows]
+    assert energy_error[-1] <= energy_error[0] * 2.0 + 0.05
+    print()
+    print(fig09_window_sweep.format_report(result))

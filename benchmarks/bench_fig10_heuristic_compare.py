@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 10 (all four heuristics vs threshold).
+
+Paper claim reproduced: the windowless heuristics (SYSTEM, APPLICATION)
+trade accuracy directly for stability -- at large thresholds their error
+blows up -- while the window-based heuristics stay accurate across their
+whole threshold range.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig10_heuristic_compare
+
+
+def test_fig10_heuristic_compare(run_once):
+    result = run_once(
+        fig10_heuristic_compare.run,
+        nodes=14,
+        duration_s=700.0,
+        seed=0,
+        window_size=16,
+        ms_thresholds=(1.0, 16.0, 256.0),
+        energy_thresholds=(1.0, 8.0, 64.0),
+        relative_thresholds=(0.1, 0.3, 0.9),
+    )
+    application = result.rows["Application"]
+    energy = result.rows["Energy"]
+    # Windowless: error at the largest threshold is much worse than at the smallest.
+    assert application[-1]["median_relative_error"] > application[0]["median_relative_error"] * 1.5
+    # Window-based: error stays in the same range across the sweep.
+    assert energy[-1]["median_relative_error"] < energy[0]["median_relative_error"] * 2.0 + 0.05
+    print()
+    print(fig10_heuristic_compare.format_report(result))

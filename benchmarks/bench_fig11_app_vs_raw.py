@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 11 (application-level suppression vs raw MP filter).
+
+Paper claim reproduced: ENERGY and RELATIVE keep the raw MP filter's
+accuracy while shifting the per-node instability distribution substantially
+toward zero.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig11_app_vs_raw
+
+
+def test_fig11_app_vs_raw(run_once):
+    result = run_once(fig11_app_vs_raw.run, nodes=18, duration_s=1000.0, seed=0)
+    raw_instability = result.median_instability_by_config["Raw MP Filter"]
+    for label in ("Energy+MP Filter", "Relative+MP Filter"):
+        assert result.median_instability_by_config[label] < raw_instability
+        assert result.median_error_by_config[label] < (
+            result.median_error_by_config["Raw MP Filter"] * 2.0 + 0.05
+        )
+    print()
+    print(fig11_app_vs_raw.format_report(result))

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 13 (the live-deployment comparison).
+
+Paper claims reproduced: far fewer nodes exceed a 95th-percentile relative
+error of 1 with the MP filter than without; ENERGY pushes application-level
+instability below the raw filter's minimum for most nodes; the combined
+enhancements deliver large accuracy and stability improvements over raw
+Vivaldi (paper: 54% and 96%).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig13_deployment_cdfs
+
+
+def test_fig13_deployment_cdfs(run_once):
+    result = run_once(fig13_deployment_cdfs.run, nodes=24, duration_s=2700.0, seed=0)
+    assert (
+        result.fraction_error_above_1["Raw MP Filter"]
+        <= result.fraction_error_above_1["Raw No Filter"]
+    )
+    assert result.instability_improvement_percent > 70.0
+    assert result.error_improvement_percent > 10.0
+    assert result.energy_below_raw_min_fraction > 0.5
+    print()
+    print(fig13_deployment_cdfs.format_report(result))

@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the coordinate subsystem's hot paths.
+
+These quantify the per-observation cost of the machinery the paper adds on
+top of Vivaldi (the MP filter, the energy statistic, the full node update),
+demonstrating the paper's claim that the enhancements are lightweight
+enough for every node to run on every sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import NodeConfig
+from repro.core.coordinate import Coordinate
+from repro.core.energy import energy_distance
+from repro.core.filters import MovingPercentileFilter
+from repro.core.node import CoordinateNode
+from repro.core.vivaldi import VivaldiConfig, VivaldiState, vivaldi_update
+from repro.stats.ranksum import rank_sum_test
+
+
+def test_vivaldi_update_throughput(benchmark):
+    config = VivaldiConfig()
+    state = VivaldiState(Coordinate([10.0, 5.0, 1.0]), 0.4)
+    peer = Coordinate([50.0, 20.0, 5.0])
+
+    def step():
+        vivaldi_update(state, peer, 0.3, 72.0, config)
+
+    benchmark(step)
+
+
+def test_mp_filter_update_throughput(benchmark):
+    mp = MovingPercentileFilter(history=4, percentile=25.0)
+    samples = np.random.default_rng(0).lognormal(mean=4.0, sigma=0.3, size=1000)
+    index = 0
+
+    def step():
+        nonlocal index
+        mp.update(float(samples[index % len(samples)]))
+        index += 1
+
+    benchmark(step)
+
+
+def test_energy_distance_window32(benchmark):
+    rng = np.random.default_rng(1)
+    a = [Coordinate(p.tolist()) for p in rng.normal(size=(32, 3))]
+    b = [Coordinate(p.tolist()) for p in rng.normal(loc=1.0, size=(32, 3))]
+    benchmark(energy_distance, a, b)
+
+
+def test_rank_sum_window32(benchmark):
+    rng = np.random.default_rng(2)
+    a = rng.normal(size=32)
+    b = rng.normal(loc=0.5, size=32)
+    benchmark(rank_sum_test, a, b)
+
+
+def test_full_node_observation_mp_energy(benchmark):
+    """One complete observation through filter + Vivaldi + ENERGY heuristic."""
+    node = CoordinateNode("n0", NodeConfig.preset("mp_energy"))
+    rng = np.random.default_rng(3)
+    peers = [Coordinate(p.tolist()) for p in rng.normal(loc=50.0, scale=10.0, size=(16, 3))]
+    rtts = rng.lognormal(mean=4.0, sigma=0.3, size=1000)
+    index = 0
+
+    def step():
+        nonlocal index
+        node.observe(
+            f"peer{index % 16}", peers[index % 16], 0.3, float(rtts[index % len(rtts)])
+        )
+        index += 1
+
+    benchmark(step)
+
+
+def test_full_node_observation_raw(benchmark):
+    """Baseline per-observation cost without any of the paper's machinery."""
+    node = CoordinateNode("n0", NodeConfig.preset("raw"))
+    rng = np.random.default_rng(4)
+    peers = [Coordinate(p.tolist()) for p in rng.normal(loc=50.0, scale=10.0, size=(16, 3))]
+    rtts = rng.lognormal(mean=4.0, sigma=0.3, size=1000)
+    index = 0
+
+    def step():
+        nonlocal index
+        node.observe(
+            f"peer{index % 16}", peers[index % 16], 0.3, float(rtts[index % len(rtts)])
+        )
+        index += 1
+
+    benchmark(step)

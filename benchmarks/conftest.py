@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark suite.
+
+Every paper table and figure has a benchmark module that regenerates it.
+The experiments are deterministic end-to-end simulations, not micro-kernels,
+so each one is run exactly once per benchmark session (``rounds=1``): the
+timing then reports the cost of regenerating that figure, and the assertions
+check the figure's qualitative claim.  Micro-benchmarks of the hot paths
+(``bench_micro.py``) use pytest-benchmark's normal calibration instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Standalone demonstration of the two-window energy change detector.
+
+The heart of the paper's ENERGY heuristic is general-purpose: detect a
+statistically significant change in a multi-dimensional stream by comparing
+a frozen start window against a sliding current window with the
+Szekely-Rizzo energy distance (Section V-A, after Kifer/Ben-David/Gehrke).
+
+This example feeds the detector a synthetic 3-D stream that:
+
+* stays stationary around one centre,
+* then drifts to a new centre (a genuine change),
+* then stays stationary again but with heavier noise (no change in
+  location, only in spread -- the detector should be far less excited).
+
+Run it with::
+
+    python examples/change_detection_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.coordinate import Coordinate
+from repro.core.energy import energy_distance
+from repro.core.windows import ChangeDetectionWindows
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    window_size = 32
+    threshold = 8.0
+
+    windows: ChangeDetectionWindows[Coordinate] = ChangeDetectionWindows(window_size)
+    change_points = []
+
+    def feed(points: np.ndarray, phase: str) -> None:
+        for point in points:
+            windows.add(Coordinate(point.tolist()))
+            if windows.ready:
+                statistic = energy_distance(windows.start_window, windows.current_window)
+                if statistic > threshold:
+                    change_points.append((phase, len(change_points) + 1, statistic))
+                    print(f"  change point detected during '{phase}' (energy statistic {statistic:.1f})")
+                    windows.declare_change_point()
+
+    print(f"two-window energy change detector: window={window_size}, threshold={threshold}\n")
+
+    print("phase 1: stationary around (0, 0, 0)")
+    feed(rng.normal(loc=[0.0, 0.0, 0.0], scale=2.0, size=(150, 3)), "stationary")
+
+    print("phase 2: drift to (25, -10, 5)")
+    drift = np.linspace([0.0, 0.0, 0.0], [25.0, -10.0, 5.0], num=150) + rng.normal(
+        scale=2.0, size=(150, 3)
+    )
+    feed(drift, "drift")
+
+    print("phase 3: stationary at the new centre, noisier")
+    feed(rng.normal(loc=[25.0, -10.0, 5.0], scale=4.0, size=(150, 3)), "noisy stationary")
+
+    detections_by_phase = {}
+    for phase, _, _ in change_points:
+        detections_by_phase[phase] = detections_by_phase.get(phase, 0) + 1
+    print("\ndetections per phase:", detections_by_phase or "none")
+    print(
+        "Expected shape: no (or almost no) detections while stationary, several during the "
+        "drift, and few afterwards -- increased noise alone is not a location change."
+    )
+
+
+if __name__ == "__main__":
+    main()

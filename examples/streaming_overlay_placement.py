@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Operator placement on top of network coordinates (the motivating application).
+
+The paper's authors built coordinates for a stream-based overlay where a
+coordinate update can trigger operator migrations -- heavyweight work that
+should only happen when the network genuinely changed.  This example
+quantifies that cost:
+
+1. build a coordinate system over a synthetic network (replayed trace);
+2. register a handful of streaming operators, each connecting producers and
+   consumers in different regions;
+3. every time a node's *application-level* coordinate changes, update the
+   placement index and re-evaluate the affected operators, counting
+   re-evaluations and migrations;
+4. compare raw Vivaldi coordinates against the stabilised (MP + ENERGY)
+   application coordinates.
+
+The stabilised coordinates trigger a small fraction of the application-level
+work while keeping placement quality (predicted producer/consumer latency)
+essentially the same.
+
+Run it with::
+
+    python examples/streaming_overlay_placement.py
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.config import NodeConfig
+from repro.core.coordinate import Coordinate
+from repro.latency import PlanetLabDataset
+from repro.netsim import replay_trace
+from repro.overlay import CoordinateIndex, OperatorPlacement
+
+
+def build_operators(dataset: PlanetLabDataset) -> List[Tuple[str, List[str]]]:
+    """Three operators, each joining producers/consumers from two regions."""
+    topology = dataset.topology
+    regions = topology.regions()
+    operators: List[Tuple[str, List[str]]] = []
+    for i in range(3):
+        producers = topology.hosts_in_region(regions[i % len(regions)])[:2]
+        consumers = topology.hosts_in_region(regions[(i + 1) % len(regions)])[:2]
+        operators.append((f"operator{i}", [*producers, *consumers]))
+    return operators
+
+
+def run_configuration(preset: str, dataset: PlanetLabDataset, trace) -> Dict[str, float]:
+    """Replay the trace, driving placement from application-coordinate updates."""
+    index = CoordinateIndex()
+    placement = OperatorPlacement(index, migration_hysteresis_ms=5.0)
+    operators = build_operators(dataset)
+
+    last_app_coordinate: Dict[str, Coordinate] = {}
+    operators_registered = False
+    app_updates = 0
+
+    def on_record(time_s: float, node) -> None:
+        nonlocal operators_registered, app_updates
+        current = node.application_coordinate
+        previous = last_app_coordinate.get(node.node_id)
+        if previous is not None and previous.euclidean_distance(current) == 0.0:
+            return  # the application's view did not change: no work triggered
+        last_app_coordinate[node.node_id] = current
+        index.update(node.node_id, current)
+        app_updates += 1
+
+        if not operators_registered:
+            # Register the operators once every endpoint has a coordinate.
+            needed = {endpoint for _, endpoints in operators for endpoint in endpoints}
+            if needed.issubset(set(index.node_ids())):
+                for operator_id, endpoints in operators:
+                    placement.register_operator(operator_id, endpoints)
+                    placement.evaluate(operator_id)
+                operators_registered = True
+            return
+        # A coordinate changed: the overlay re-evaluates placements.
+        placement.evaluate_all()
+
+    replay_trace(trace, NodeConfig.preset(preset), on_record=on_record)
+
+    decisions = placement.evaluate_all() if operators_registered else []
+    mean_cost = (
+        sum(d.predicted_cost_ms for d in decisions) / len(decisions) if decisions else float("nan")
+    )
+    return {
+        "application coordinate updates": float(app_updates),
+        "placement evaluations": float(placement.evaluations),
+        "operator migrations": float(placement.migrations),
+        "mean predicted operator cost (ms)": mean_cost,
+    }
+
+
+def main() -> None:
+    dataset = PlanetLabDataset.generate(nodes=24, seed=7)
+    trace = dataset.generate_trace(duration_s=1200.0, ping_interval_s=2.0)
+    print(f"replaying {len(trace)} observations over {trace.duration_s:.0f}s for two configurations\n")
+
+    results = {}
+    for label, preset in (("raw Vivaldi", "raw"), ("MP filter + ENERGY", "mp_energy")):
+        metrics = run_configuration(preset, dataset, trace)
+        results[label] = metrics
+        print(f"{label}:")
+        for key, value in metrics.items():
+            print(f"  {key:<36} {value:12.1f}")
+        print()
+
+    raw_work = results["raw Vivaldi"]["placement evaluations"]
+    stable_work = results["MP filter + ENERGY"]["placement evaluations"]
+    if raw_work > 0:
+        print(
+            f"The stabilised configuration performs {stable_work / raw_work * 100:.1f}% of the "
+            "placement work of raw Vivaldi while placing operators equally well."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Reproduction of *Stable and Accurate Network Coordinates* (Ledlie & Seltzer).
+
+The package implements the full system described in the paper:
+
+* :mod:`repro.core` -- the Vivaldi algorithm, the per-link Moving Percentile
+  (MP) filter, the two-window change detector, and the application-level
+  update heuristics (SYSTEM, APPLICATION, RELATIVE, ENERGY, and
+  APPLICATION/CENTROID).
+* :mod:`repro.latency` -- the latency substrate: geographic topologies,
+  per-link heavy-tailed observation models, and a synthetic "PlanetLab-like"
+  trace generator standing in for the paper's 3-day, 269-node ping trace.
+* :mod:`repro.netsim` -- a discrete-event simulator that runs the full
+  distributed protocol (gossip neighbor discovery, round-robin sampling).
+* :mod:`repro.metrics` -- the paper's accuracy (relative error) and
+  stability (coordinate change per second) metrics.
+* :mod:`repro.overlay` -- the motivating application substrate
+  (coordinate-driven operator placement and k-nearest-neighbor queries).
+* :mod:`repro.baselines` -- static-latency-matrix evaluation, the
+  de Launois damping variant, and a landmark (GNP-style) embedding.
+* :mod:`repro.analysis` -- one experiment module per figure and table in
+  the paper's evaluation.
+
+Quickstart::
+
+    from repro import CoordinateNode, NodeConfig
+    from repro.latency import planetlab_topology
+
+    topo = planetlab_topology(nodes=32, seed=1)
+    node = CoordinateNode("n0", NodeConfig.preset("mp_energy"))
+
+See ``examples/quickstart.py`` for a complete runnable example.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import NodeConfig
+from repro.core.coordinate import Coordinate
+from repro.core.filters import (
+    EWMAFilter,
+    MovingPercentileFilter,
+    NoFilter,
+    ThresholdFilter,
+)
+from repro.core.heuristics import (
+    ApplicationCentroidHeuristic,
+    ApplicationHeuristic,
+    EnergyHeuristic,
+    RelativeHeuristic,
+    SystemHeuristic,
+)
+from repro.core.node import CoordinateNode
+from repro.core.vivaldi import VivaldiConfig, VivaldiState, vivaldi_update
+
+__all__ = [
+    "ApplicationCentroidHeuristic",
+    "ApplicationHeuristic",
+    "Coordinate",
+    "CoordinateNode",
+    "EWMAFilter",
+    "EnergyHeuristic",
+    "MovingPercentileFilter",
+    "NoFilter",
+    "NodeConfig",
+    "RelativeHeuristic",
+    "SystemHeuristic",
+    "ThresholdFilter",
+    "VivaldiConfig",
+    "VivaldiState",
+    "vivaldi_update",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,32 @@
+"""Experiment harness reproducing every table and figure of the paper.
+
+* :mod:`repro.analysis.harness` -- shared workload construction (traces,
+  datasets) with in-process caching, preset comparison helpers, and sweep
+  utilities.
+* :mod:`repro.analysis.textplot` -- ASCII rendering of CDFs, series and
+  histograms so experiment output is readable without matplotlib.
+* :mod:`repro.analysis.experiments` -- one module per paper figure/table;
+  see ``EXPERIMENTS`` in that package for the registry.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.harness import (
+    ExperimentScale,
+    build_dataset,
+    build_trace,
+    compare_presets,
+    sweep,
+)
+from repro.analysis.textplot import render_cdf, render_histogram, render_series
+
+__all__ = [
+    "ExperimentScale",
+    "build_dataset",
+    "build_trace",
+    "compare_presets",
+    "render_cdf",
+    "render_histogram",
+    "render_series",
+    "sweep",
+]

@@ -1,0 +1,54 @@
+"""One experiment module per table and figure in the paper's evaluation.
+
+Every module exposes:
+
+* ``run(...)`` -- execute the experiment at a configurable scale and return
+  a result object with the numbers the paper reports;
+* ``format_report(result)`` -- render the result as paper-style text;
+* ``main()`` -- run at default scale and print the report (so each module
+  is directly executable: ``python -m repro.analysis.experiments.fig05_filter_cdfs``).
+
+``EXPERIMENTS`` maps experiment identifiers ("fig02", "table1", ...) to the
+modules' ``run`` callables for programmatic access; the benchmark suite
+iterates the same registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.analysis.experiments import (
+    fig02_raw_histogram,
+    fig03_single_link,
+    fig04_history_size,
+    fig05_filter_cdfs,
+    fig06_confidence,
+    fig07_drift,
+    fig08_threshold_sweep,
+    fig09_window_sweep,
+    fig10_heuristic_compare,
+    fig11_app_vs_raw,
+    fig12_app_centroid,
+    fig13_deployment_cdfs,
+    fig14_timeseries,
+    table1_ewma,
+)
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig02": fig02_raw_histogram.run,
+    "fig03": fig03_single_link.run,
+    "fig04": fig04_history_size.run,
+    "fig05": fig05_filter_cdfs.run,
+    "table1": table1_ewma.run,
+    "fig06": fig06_confidence.run,
+    "fig07": fig07_drift.run,
+    "fig08": fig08_threshold_sweep.run,
+    "fig09": fig09_window_sweep.run,
+    "fig10": fig10_heuristic_compare.run,
+    "fig11": fig11_app_vs_raw.run,
+    "fig12": fig12_app_centroid.run,
+    "fig13": fig13_deployment_cdfs.run,
+    "fig14": fig14_timeseries.run,
+}
+
+__all__ = ["EXPERIMENTS"]

@@ -1,0 +1,121 @@
+"""Figure 6: confidence building on a low-latency cluster.
+
+On a local cluster, latency observations (0.4-1.2 ms with a small tail) sit
+below the measurement tooling's precision.  Jitter then shows up as large
+*relative* error, which keeps eroding Vivaldi's confidence: the paper shows
+one node's confidence hovering around 0.75 without help, and pinned at 1.0
+once a 3 ms margin of error ("confidence building") treats any prediction
+within the margin as exact.
+
+The reproduction runs three nodes over a :class:`ClusterLink` observation
+model for ten minutes (one sample per second) and reports the confidence
+time series with and without the margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.config import FilterConfig, HeuristicConfig, NodeConfig
+from repro.core.node import CoordinateNode
+from repro.core.vivaldi import VivaldiConfig
+from repro.latency.linkmodel import ClusterLink
+from repro.stats.sampling import derive_rng
+
+__all__ = ["Fig06Result", "run", "format_report", "main"]
+
+
+@dataclass(frozen=True, slots=True)
+class Fig06Result:
+    """Confidence trajectories with and without confidence building."""
+
+    duration_s: float
+    #: (time_s, confidence) series of the observed node, per configuration.
+    series: Dict[str, Tuple[Tuple[float, float], ...]]
+    #: Mean confidence after the start-up minute, per configuration.
+    steady_state_confidence: Dict[str, float]
+
+
+def _cluster_config(error_margin_ms: float) -> NodeConfig:
+    return NodeConfig(
+        vivaldi=VivaldiConfig(error_margin_ms=error_margin_ms),
+        filter=FilterConfig("none"),
+        heuristic=HeuristicConfig("always"),
+    )
+
+
+def _run_cluster(
+    config: NodeConfig,
+    duration_s: float,
+    sample_interval_s: float,
+    seed: int,
+) -> List[Tuple[float, float]]:
+    """Three nodes sample each other round-robin; track node 0's confidence."""
+    node_ids = ["cluster0", "cluster1", "cluster2"]
+    nodes = {node_id: CoordinateNode(node_id, config) for node_id in node_ids}
+    links = {
+        frozenset(pair): ClusterLink()
+        for pair in (("cluster0", "cluster1"), ("cluster0", "cluster2"), ("cluster1", "cluster2"))
+    }
+    rng = derive_rng(seed, "fig06")
+    series: List[Tuple[float, float]] = []
+    steps = int(duration_s / sample_interval_s)
+    for step in range(steps):
+        time_s = step * sample_interval_s
+        for index, node_id in enumerate(node_ids):
+            # Round-robin through the other two nodes.
+            peers = [n for n in node_ids if n != node_id]
+            peer_id = peers[step % len(peers)]
+            link = links[frozenset((node_id, peer_id))]
+            rtt = link.sample(rng, time_s)
+            node = nodes[node_id]
+            peer = nodes[peer_id]
+            node.observe(peer_id, peer.system_coordinate, peer.error_estimate, rtt)
+        series.append((time_s, nodes["cluster0"].confidence))
+    return series
+
+
+def run(
+    duration_s: float = 600.0,
+    sample_interval_s: float = 1.0,
+    error_margin_ms: float = 3.0,
+    seed: int = 0,
+) -> Fig06Result:
+    """Compare confidence trajectories with and without the error margin."""
+    series: Dict[str, Tuple[Tuple[float, float], ...]] = {}
+    steady: Dict[str, float] = {}
+    for label, margin in (
+        ("Confidence Building", error_margin_ms),
+        ("No Confidence Building", 0.0),
+    ):
+        trajectory = _run_cluster(_cluster_config(margin), duration_s, sample_interval_s, seed)
+        series[label] = tuple(trajectory)
+        after_startup = [c for t, c in trajectory if t >= 60.0]
+        steady[label] = float(np.mean(after_startup)) if after_startup else float("nan")
+    return Fig06Result(
+        duration_s=duration_s, series=series, steady_state_confidence=steady
+    )
+
+
+def format_report(result: Fig06Result) -> str:
+    lines = [
+        f"Figure 6: confidence building on a low-latency cluster ({result.duration_s:.0f}s run)",
+        f"{'configuration':<26}  {'steady-state confidence':>24}",
+    ]
+    for label, value in result.steady_state_confidence.items():
+        lines.append(f"{label:<26}  {value:>24.3f}")
+    lines.append(
+        "  paper: ~1.0 with confidence building, wavering around ~0.75 without."
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(format_report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,104 @@
+"""Figure 10: all four heuristics across their threshold ranges.
+
+The windowless heuristics (SYSTEM, APPLICATION) can only trade accuracy
+directly for stability: with a small threshold they behave like the raw MP
+filter, with a large one the application coordinate goes stale and error
+explodes; only around tau = 16 do they approach the window-based
+heuristics, and small parameter changes tip them into one failure mode or
+the other.  The window-based heuristics (RELATIVE, ENERGY) stay accurate
+and stable across their whole range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.analysis.harness import ExperimentScale, build_trace, heuristic_metrics
+
+__all__ = ["Fig10Result", "run", "format_report", "main"]
+
+DEFAULT_MS_THRESHOLDS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+DEFAULT_ENERGY_THRESHOLDS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+DEFAULT_RELATIVE_THRESHOLDS: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+@dataclass(frozen=True, slots=True)
+class Fig10Result:
+    """Sweep rows for every heuristic, keyed by heuristic name."""
+
+    window_size: int
+    rows: Dict[str, Tuple[Dict[str, float], ...]]
+
+
+def run(
+    nodes: int = 16,
+    duration_s: float = 900.0,
+    ping_interval_s: float = 2.0,
+    seed: int = 0,
+    window_size: int = 32,
+    ms_thresholds: Sequence[float] = DEFAULT_MS_THRESHOLDS,
+    energy_thresholds: Sequence[float] = DEFAULT_ENERGY_THRESHOLDS,
+    relative_thresholds: Sequence[float] = DEFAULT_RELATIVE_THRESHOLDS,
+) -> Fig10Result:
+    """Sweep the update threshold for all four heuristics."""
+    scale = ExperimentScale(
+        nodes=nodes, duration_s=duration_s, ping_interval_s=ping_interval_s, seed=seed
+    )
+    trace = build_trace(scale)
+
+    sweeps: Dict[str, Tuple[str, Mapping[str, object], Sequence[float]]] = {
+        "Energy": ("energy", {"window_size": window_size}, energy_thresholds),
+        "Relative": ("relative", {"window_size": window_size}, relative_thresholds),
+        "Application": ("application", {}, ms_thresholds),
+        "System": ("system", {}, ms_thresholds),
+    }
+    threshold_key = {
+        "energy": "threshold",
+        "relative": "relative_threshold",
+        "application": "threshold_ms",
+        "system": "threshold_ms",
+    }
+
+    rows: Dict[str, Tuple[Dict[str, float], ...]] = {}
+    for label, (kind, base_params, thresholds) in sweeps.items():
+        sweep_rows: List[Dict[str, float]] = []
+        for threshold in thresholds:
+            params = dict(base_params)
+            params[threshold_key[kind]] = float(threshold)
+            row = heuristic_metrics(
+                trace, kind, params, measurement_start_s=scale.measurement_start_s
+            )
+            row["threshold"] = float(threshold)
+            sweep_rows.append(row)
+        rows[label] = tuple(sweep_rows)
+
+    return Fig10Result(window_size=window_size, rows=rows)
+
+
+def format_report(result: Fig10Result) -> str:
+    lines = [f"Figure 10: all four heuristics vs threshold (window={result.window_size})"]
+    for label, sweep_rows in result.rows.items():
+        lines.append(f"  {label}:")
+        lines.append(
+            f"  {'threshold':>10}  {'median rel err':>14}  {'instability':>12}"
+        )
+        for row in sweep_rows:
+            lines.append(
+                f"  {row['threshold']:>10.2f}  {row['median_relative_error']:>14.3f}  "
+                f"{row['instability']:>12.2f}"
+            )
+        lines.append("")
+    lines.append(
+        "  paper: the windowless heuristics trade accuracy for stability sharply and are "
+        "sensitive to the threshold; the window-based ones keep both metrics good."
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(format_report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

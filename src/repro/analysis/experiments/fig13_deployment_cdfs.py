@@ -1,0 +1,156 @@
+"""Figure 13: the "live deployment" comparison (full protocol simulation).
+
+Section VI runs the complete implementation on ~270 PlanetLab nodes for
+four hours, with and without the MP filter, both sides using the ENERGY
+application heuristic, and reports CDFs over nodes of 95th-percentile
+relative error and of instability.  Headline numbers:
+
+* with the MP filter only 14% of nodes see a 95th-percentile relative error
+  above 1, versus 62% without it;
+* ENERGY keeps application instability below even the raw filter's minimum
+  91% of the time;
+* combined, the enhancements cut the median 95th-percentile relative error
+  by 54% and instability by 96%.
+
+The reproduction substitutes the live deployment with the discrete-event
+protocol simulation (gossip, 5-second sampling, message loss) over the
+synthetic PlanetLab dataset -- the paper itself validates that its simulator
+matches its deployment, so the protocol-level simulation is the faithful
+stand-in (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.harness import build_dataset
+from repro.analysis.textplot import render_cdf
+from repro.core.config import NodeConfig
+from repro.netsim.runner import SimulationConfig, run_simulation
+
+__all__ = ["Fig13Result", "run", "format_report", "main", "DEPLOYMENT_CONFIGURATIONS"]
+
+#: The four configurations the paper runs side by side.
+DEPLOYMENT_CONFIGURATIONS: Dict[str, str] = {
+    "Raw No Filter": "raw",
+    "Energy+No Filter": "raw_energy",
+    "Raw MP Filter": "mp",
+    "Energy+MP Filter": "mp_energy",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Fig13Result:
+    """Per-node application-level distributions per configuration."""
+
+    node_count: int
+    p95_error: Dict[str, List[float]]
+    node_instability: Dict[str, List[float]]
+    fraction_error_above_1: Dict[str, float]
+    error_improvement_percent: float
+    instability_improvement_percent: float
+    energy_below_raw_min_fraction: float
+
+
+def run(
+    nodes: int = 30,
+    duration_s: float = 3600.0,
+    sampling_interval_s: float = 5.0,
+    seed: int = 0,
+) -> Fig13Result:
+    """Run the four deployment configurations over one shared network universe."""
+    dataset = build_dataset(nodes, seed=seed)
+
+    p95_error: Dict[str, List[float]] = {}
+    node_instability: Dict[str, List[float]] = {}
+    for label, preset in DEPLOYMENT_CONFIGURATIONS.items():
+        config = SimulationConfig(
+            nodes=nodes,
+            duration_s=duration_s,
+            node_config=NodeConfig.preset(preset),
+            seed=seed,
+        )
+        result = run_simulation(config, dataset=dataset)
+        collector = result.collector
+        p95_error[label] = sorted(
+            collector.per_node_error_percentile(95.0, level="application").values()
+        )
+        node_instability[label] = sorted(
+            collector.per_node_instability(level="application").values()
+        )
+
+    fraction_above_1 = {
+        label: float(np.mean([v > 1.0 for v in values])) if values else float("nan")
+        for label, values in p95_error.items()
+    }
+
+    def _median(values: List[float]) -> float:
+        return float(np.median(values)) if values else float("nan")
+
+    baseline_error = _median(p95_error["Raw No Filter"])
+    enhanced_error = _median(p95_error["Energy+MP Filter"])
+    baseline_instability = _median(node_instability["Raw No Filter"])
+    enhanced_instability = _median(node_instability["Energy+MP Filter"])
+
+    raw_mp_min = min(node_instability["Raw MP Filter"], default=float("nan"))
+    energy_values = node_instability["Energy+MP Filter"]
+    below_raw_min = (
+        float(np.mean([v < raw_mp_min for v in energy_values])) if energy_values else float("nan")
+    )
+
+    return Fig13Result(
+        node_count=len(p95_error["Energy+MP Filter"]),
+        p95_error=p95_error,
+        node_instability=node_instability,
+        fraction_error_above_1=fraction_above_1,
+        error_improvement_percent=(
+            (baseline_error - enhanced_error) / baseline_error * 100.0 if baseline_error else 0.0
+        ),
+        instability_improvement_percent=(
+            (baseline_instability - enhanced_instability) / baseline_instability * 100.0
+            if baseline_instability
+            else 0.0
+        ),
+        energy_below_raw_min_fraction=below_raw_min,
+    )
+
+
+def format_report(result: Fig13Result) -> str:
+    lines = [
+        f"Figure 13: protocol-simulation deployment comparison ({result.node_count} nodes)",
+        "",
+        render_cdf(result.p95_error, title="  CDF over nodes: 95th percentile relative error"),
+        "",
+        render_cdf(
+            result.node_instability,
+            title="  CDF over nodes: instability (application level, ms/s)",
+            log_x=True,
+        ),
+        "",
+        "  fraction of nodes with 95th-pct error > 1:",
+    ]
+    for label, fraction in result.fraction_error_above_1.items():
+        lines.append(f"    {label:<20} {fraction * 100:5.1f}%")
+    lines.extend(
+        [
+            "  (paper: 14% with the MP filter vs 62% without)",
+            f"  median 95th-pct error improvement (Energy+MP vs Raw No Filter): "
+            f"{result.error_improvement_percent:.0f}%   (paper: 54%)",
+            f"  median instability improvement: {result.instability_improvement_percent:.0f}%   "
+            "(paper: 96%)",
+            f"  fraction of Energy+MP nodes below the raw filter's minimum instability: "
+            f"{result.energy_below_raw_min_fraction * 100:.0f}%   (paper: 91%)",
+        ]
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(format_report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

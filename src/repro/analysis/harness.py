@@ -1,0 +1,192 @@
+"""Shared experiment infrastructure: workloads, comparisons, sweeps.
+
+Every experiment in :mod:`repro.analysis.experiments` needs the same two
+ingredients -- a synthetic PlanetLab-like workload and a way to run several
+coordinate configurations against it -- so they live here, with in-process
+caching keyed on the workload parameters.  Caching matters because the
+benchmark suite regenerates the same trace for many figures; building it
+once keeps the whole suite fast without coupling experiments to each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.config import NodeConfig
+from repro.latency.planetlab import DatasetParameters, PlanetLabDataset
+from repro.latency.trace import LatencyTrace
+from repro.metrics.collector import SystemSnapshot
+from repro.netsim.replay import ReplayResult, replay_trace
+
+__all__ = [
+    "ExperimentScale",
+    "build_dataset",
+    "build_trace",
+    "compare_presets",
+    "heuristic_metrics",
+    "replay_preset",
+    "sweep",
+    "clear_caches",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentScale:
+    """Workload size knobs shared by most experiments.
+
+    The defaults are laptop-scale (tens of nodes, tens of simulated
+    minutes); the paper's full scale (269 nodes, hours of trace) is reached
+    by passing larger values -- the experiment code is identical.
+    """
+
+    nodes: int = 24
+    duration_s: float = 1200.0
+    ping_interval_s: float = 2.0
+    neighbors_per_node: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nodes < 2:
+            raise ValueError("nodes must be >= 2")
+        if self.duration_s <= 0.0:
+            raise ValueError("duration_s must be positive")
+        if self.ping_interval_s <= 0.0:
+            raise ValueError("ping_interval_s must be positive")
+
+    @property
+    def measurement_start_s(self) -> float:
+        """Metrics are reported for the second half of the run, as in the paper."""
+        return self.duration_s / 2.0
+
+
+_DATASET_CACHE: Dict[Tuple, PlanetLabDataset] = {}
+_TRACE_CACHE: Dict[Tuple, LatencyTrace] = {}
+
+
+def clear_caches() -> None:
+    """Drop cached datasets and traces (used by tests)."""
+    _DATASET_CACHE.clear()
+    _TRACE_CACHE.clear()
+
+
+def build_dataset(
+    nodes: int,
+    *,
+    seed: int = 0,
+    parameters: DatasetParameters | None = None,
+) -> PlanetLabDataset:
+    """Build (or fetch from cache) a synthetic PlanetLab dataset."""
+    params = parameters or DatasetParameters()
+    key = (nodes, seed, params)
+    dataset = _DATASET_CACHE.get(key)
+    if dataset is None:
+        dataset = PlanetLabDataset.generate(nodes, seed=seed, parameters=params)
+        _DATASET_CACHE[key] = dataset
+    return dataset
+
+
+def build_trace(
+    scale: ExperimentScale,
+    *,
+    parameters: DatasetParameters | None = None,
+) -> LatencyTrace:
+    """Build (or fetch from cache) the ping trace for a workload scale."""
+    params = parameters or DatasetParameters()
+    key = (scale, params)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        dataset = build_dataset(scale.nodes, seed=scale.seed, parameters=params)
+        trace = dataset.generate_trace(
+            duration_s=scale.duration_s,
+            ping_interval_s=scale.ping_interval_s,
+            neighbors_per_node=scale.neighbors_per_node,
+            seed=scale.seed,
+        )
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def replay_preset(
+    trace: LatencyTrace,
+    preset: str | NodeConfig,
+    *,
+    measurement_start_s: Optional[float] = None,
+) -> ReplayResult:
+    """Replay a trace with a named preset or an explicit configuration."""
+    config = preset if isinstance(preset, NodeConfig) else NodeConfig.preset(preset)
+    return replay_trace(trace, config, measurement_start_s=measurement_start_s)
+
+
+def compare_presets(
+    trace: LatencyTrace,
+    presets: Mapping[str, str | NodeConfig],
+    *,
+    measurement_start_s: Optional[float] = None,
+) -> Dict[str, SystemSnapshot]:
+    """Replay the same trace under several configurations.
+
+    Returns ``{label: SystemSnapshot}``; because every configuration sees
+    the identical observation stream the snapshots are directly comparable,
+    which is the paper's simulation methodology.
+    """
+    snapshots: Dict[str, SystemSnapshot] = {}
+    for label, preset in presets.items():
+        result = replay_preset(trace, preset, measurement_start_s=measurement_start_s)
+        snapshots[label] = result.collector.system_snapshot()
+    return snapshots
+
+
+def heuristic_metrics(
+    trace: LatencyTrace,
+    heuristic_kind: str,
+    heuristic_params: Mapping[str, Any],
+    *,
+    filter_kind: str = "mp",
+    filter_params: Optional[Mapping[str, Any]] = None,
+    measurement_start_s: Optional[float] = None,
+) -> Dict[str, float]:
+    """Replay with one heuristic setting and return its application-level metrics.
+
+    This is the shared kernel of the Figure 8-12 sweeps: MP-filtered
+    Vivaldi with a specific application-update heuristic, reporting the
+    median (over nodes) of median relative error, the aggregate
+    application-level instability, and the application update rate.
+    """
+    from repro.core.config import FilterConfig, HeuristicConfig
+
+    if filter_params is None:
+        filter_params = {"history": 4, "percentile": 25.0} if filter_kind == "mp" else {}
+    config = NodeConfig(
+        filter=FilterConfig(filter_kind, dict(filter_params)),
+        heuristic=HeuristicConfig(heuristic_kind, dict(heuristic_params)),
+    )
+    result = replay_trace(trace, config, measurement_start_s=measurement_start_s)
+    snapshot = result.collector.system_snapshot()
+    return {
+        "median_relative_error": snapshot.median_of_median_application_error or float("nan"),
+        "p95_relative_error": snapshot.median_of_p95_application_error or float("nan"),
+        "instability": snapshot.aggregate_application_instability,
+        "system_instability": snapshot.aggregate_system_instability,
+        "updates_per_node_per_s": snapshot.application_updates_per_node_per_s,
+    }
+
+
+def sweep(
+    values: Sequence[Any],
+    run_one: Callable[[Any], Mapping[str, float]],
+    *,
+    value_key: str = "value",
+) -> List[Dict[str, float]]:
+    """Run ``run_one`` for every parameter value and collect result rows.
+
+    A tiny helper, but it keeps every sweep experiment's result shape
+    identical: a list of flat dictionaries, one per parameter value, ready
+    for :func:`repro.metrics.report.format_table`.
+    """
+    rows: List[Dict[str, float]] = []
+    for value in values:
+        row = dict(run_one(value))
+        row[value_key] = value
+        rows.append(row)
+    return rows

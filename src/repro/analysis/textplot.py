@@ -1,0 +1,152 @@
+"""ASCII rendering of CDFs, time series and histograms.
+
+The paper's results are figures; the reproduction prints them.  These
+helpers produce compact, monospace renderings good enough to see the shape
+of a distribution (where a CDF's knee sits, whether a series trends down)
+directly in a terminal or in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+__all__ = ["render_cdf", "render_series", "render_histogram"]
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1000 or magnitude < 0.01:
+        return f"{value:.2e}"
+    return f"{value:.3g}"
+
+
+def render_cdf(
+    samples_by_label: Mapping[str, Sequence[float]],
+    *,
+    width: int = 60,
+    points: int = 12,
+    log_x: bool = False,
+    title: str = "",
+) -> str:
+    """Render one or more empirical CDFs as rows of percentile markers.
+
+    Each labelled sample is summarised at evenly spaced cumulative
+    fractions; a bar shows where each percentile falls within the global
+    value range, so several distributions can be compared at a glance.
+    """
+    if not samples_by_label:
+        raise ValueError("at least one labelled sample is required")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    all_values = [
+        float(v) for values in samples_by_label.values() for v in values if math.isfinite(v)
+    ]
+    if not all_values:
+        raise ValueError("no finite samples to render")
+    low, high = min(all_values), max(all_values)
+    if log_x:
+        low = max(low, 1e-9)
+
+    def _position(value: float) -> int:
+        if high == low:
+            return 0
+        if log_x:
+            value = max(value, 1e-9)
+            fraction = (math.log10(value) - math.log10(low)) / (
+                math.log10(high) - math.log10(low)
+            )
+        else:
+            fraction = (value - low) / (high - low)
+        return int(round(fraction * (width - 1)))
+
+    for label, values in samples_by_label.items():
+        data = sorted(float(v) for v in values if math.isfinite(v))
+        if not data:
+            lines.append(f"{label}: (no data)")
+            continue
+        lines.append(f"{label} (n={len(data)}):")
+        row = [" "] * width
+        marks: List[Tuple[float, float]] = []
+        for i in range(points):
+            fraction = (i + 1) / points
+            index = min(len(data) - 1, int(fraction * len(data)) - 1)
+            value = data[max(0, index)]
+            marks.append((fraction, value))
+            row[_position(value)] = "*"
+        lines.append("  |" + "".join(row) + "|")
+        summary = "  " + "  ".join(
+            f"p{int(f * 100):02d}={_format_value(v)}" for f, v in marks if f in (0.25, 0.5, 0.75, 0.95, 1.0)
+        )
+        lines.append(summary)
+    lines.append(
+        f"  x-range: [{_format_value(low)}, {_format_value(high)}]"
+        + (" (log scale)" if log_x else "")
+    )
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Sequence[Tuple[float, float]],
+    *,
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render an (x, y) series as a scatter of asterisks on a character grid."""
+    finite = [(float(x), float(y)) for x, y in series if math.isfinite(y)]
+    if not finite:
+        raise ValueError("the series has no finite points")
+    xs = [x for x, _ in finite]
+    ys = [y for _, y in finite]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in finite:
+        col = 0 if x_high == x_low else int((x - x_low) / (x_high - x_low) * (width - 1))
+        row = 0 if y_high == y_low else int((y - y_low) / (y_high - y_low) * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label}: [{_format_value(y_low)}, {_format_value(y_high)}]")
+    lines.extend("  |" + "".join(row) + "|" for row in grid)
+    lines.append(f"  {x_label}: [{_format_value(x_low)}, {_format_value(x_high)}]")
+    return "\n".join(lines)
+
+
+def render_histogram(
+    bucket_counts: Sequence[Tuple[Tuple[float, float], int]],
+    *,
+    width: int = 50,
+    log_scale: bool = True,
+    title: str = "",
+) -> str:
+    """Render bucketed counts as horizontal bars (log-scaled by default).
+
+    Matches the presentation of the paper's Figure 2: latency buckets on
+    one axis, log-scale frequency on the other.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    max_count = max((count for _, count in bucket_counts), default=0)
+    if max_count == 0:
+        return (title + "\n" if title else "") + "(no samples)"
+    for (low, high), count in bucket_counts:
+        if log_scale:
+            length = (
+                0
+                if count == 0
+                else max(1, int(math.log10(count) / math.log10(max(max_count, 10)) * width))
+            )
+        else:
+            length = int(count / max_count * width)
+        label = f"{low:>6.0f}-" + (f"{high:<6.0f}" if math.isfinite(high) else "inf   ")
+        lines.append(f"  {label} |{'#' * length:<{width}}| {count}")
+    return "\n".join(lines)

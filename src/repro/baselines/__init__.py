@@ -1,0 +1,22 @@
+"""Baseline and related-work comparison implementations.
+
+* :mod:`repro.baselines.static_matrix` -- the original Vivaldi evaluation
+  methodology: every link is a single fixed scalar, so the algorithm sees a
+  perfectly repeatable input (the idealisation whose breakdown under real
+  conditions motivates the paper).
+* :mod:`repro.baselines.launois` -- de Launois, Uhlig and Bonaventure's
+  alternative stabiliser: an asymptotically decaying weight on every new
+  measurement, which stabilises coordinates but stops adapting to network
+  changes (discussed in the paper's related work).
+* :mod:`repro.baselines.landmark` -- a simple GNP-style landmark embedding
+  for context: fixed landmarks position themselves, other nodes
+  triangulate against them.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.landmark import LandmarkEmbedding
+from repro.baselines.launois import LaunoisVivaldiNode
+from repro.baselines.static_matrix import StaticMatrixExperiment
+
+__all__ = ["LandmarkEmbedding", "LaunoisVivaldiNode", "StaticMatrixExperiment"]

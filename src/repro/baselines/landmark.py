@@ -1,0 +1,148 @@
+"""A simple GNP-style landmark embedding.
+
+Ng and Zhang's Global Network Positioning (discussed in the paper's related
+work) builds coordinates in two stages: a small set of well-known landmarks
+position themselves by minimising pairwise embedding error, and every other
+node then positions itself against the landmarks' fixed coordinates.  The
+approach is centralised and does not evolve smoothly, which is why the
+paper builds on Vivaldi instead -- but it is a useful accuracy yardstick.
+
+The optimisation uses coordinate-wise stochastic descent (Nelder-Mead-free
+so SciPy stays optional), which is plenty for the small landmark counts
+(5-20) the scheme uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.coordinate import Coordinate
+from repro.latency.matrix import LatencyMatrix
+from repro.metrics.accuracy import relative_error
+from repro.stats.sampling import derive_rng
+
+__all__ = ["LandmarkEmbedding"]
+
+
+def _embedding_error(
+    position: np.ndarray, anchors: np.ndarray, target_rtts: np.ndarray
+) -> float:
+    """Sum of squared relative errors of ``position`` against the anchors."""
+    distances = np.sqrt(((anchors - position) ** 2).sum(axis=1))
+    safe = np.maximum(target_rtts, 1e-3)
+    return float((((distances - target_rtts) / safe) ** 2).sum())
+
+
+def _minimise(
+    initial: np.ndarray,
+    anchors: np.ndarray,
+    target_rtts: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    iterations: int = 400,
+) -> np.ndarray:
+    """Simple simulated-annealing-style local search in the embedding space."""
+    best = initial.copy()
+    best_error = _embedding_error(best, anchors, target_rtts)
+    scale = max(1.0, float(target_rtts.mean()))
+    for iteration in range(iterations):
+        step_scale = scale * (1.0 - iteration / iterations) * 0.25 + 0.5
+        candidate = best + rng.normal(0.0, step_scale, size=best.shape)
+        error = _embedding_error(candidate, anchors, target_rtts)
+        if error < best_error:
+            best = candidate
+            best_error = error
+    return best
+
+
+class LandmarkEmbedding:
+    """Two-stage landmark (GNP-style) embedding of a latency matrix."""
+
+    def __init__(
+        self,
+        matrix: LatencyMatrix,
+        *,
+        landmark_count: int = 8,
+        dimensions: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if landmark_count < dimensions + 1:
+            raise ValueError(
+                "at least dimensions + 1 landmarks are needed for a stable embedding"
+            )
+        if landmark_count > matrix.size:
+            raise ValueError("cannot use more landmarks than there are nodes")
+        self.matrix = matrix
+        self.landmark_count = landmark_count
+        self.dimensions = dimensions
+        self.seed = seed
+        self._coordinates: Dict[str, Coordinate] = {}
+        self._landmarks: List[str] = []
+
+    @property
+    def landmarks(self) -> List[str]:
+        return list(self._landmarks)
+
+    def coordinate_of(self, node_id: str) -> Optional[Coordinate]:
+        return self._coordinates.get(node_id)
+
+    # ------------------------------------------------------------------
+    # Embedding
+    # ------------------------------------------------------------------
+    def fit(self) -> Dict[str, Coordinate]:
+        """Compute coordinates for every node; returns the full mapping."""
+        rng = derive_rng(self.seed, "landmark")
+        node_ids = self.matrix.node_ids
+        landmark_indices = rng.choice(len(node_ids), size=self.landmark_count, replace=False)
+        self._landmarks = [node_ids[int(i)] for i in sorted(landmark_indices)]
+
+        # Stage 1: embed the landmarks against each other, one at a time,
+        # sweeping a few times so later landmarks influence earlier ones.
+        positions = {
+            lm: rng.normal(0.0, 50.0, size=self.dimensions) for lm in self._landmarks
+        }
+        for _ in range(4):
+            for landmark in self._landmarks:
+                others = [lm for lm in self._landmarks if lm != landmark]
+                anchors = np.array([positions[lm] for lm in others])
+                rtts = np.array([self.matrix.rtt_ms(landmark, lm) for lm in others])
+                positions[landmark] = _minimise(positions[landmark], anchors, rtts, rng)
+
+        # Stage 2: every remaining node triangulates against the fixed landmarks.
+        anchor_matrix = np.array([positions[lm] for lm in self._landmarks])
+        for node_id in node_ids:
+            if node_id in positions:
+                continue
+            rtts = np.array([self.matrix.rtt_ms(node_id, lm) for lm in self._landmarks])
+            initial = anchor_matrix.mean(axis=0) + rng.normal(0.0, 10.0, size=self.dimensions)
+            positions[node_id] = _minimise(initial, anchor_matrix, rtts, rng)
+
+        self._coordinates = {
+            node_id: Coordinate(position.tolist()) for node_id, position in positions.items()
+        }
+        return dict(self._coordinates)
+
+    def evaluate(self, pair_sample: Optional[int] = 20_000) -> Dict[str, float]:
+        """Relative-error summary of the embedding over (a sample of) pairs."""
+        if not self._coordinates:
+            raise RuntimeError("call fit() before evaluate()")
+        rng = derive_rng(self.seed, "landmark-eval")
+        pairs = list(self.matrix.pairs())
+        if pair_sample is not None and len(pairs) > pair_sample:
+            indices = rng.choice(len(pairs), size=pair_sample, replace=False)
+            pairs = [pairs[int(i)] for i in indices]
+        errors = []
+        for a, b, rtt in pairs:
+            if rtt <= 0.0:
+                continue
+            predicted = self._coordinates[a].distance(self._coordinates[b])
+            errors.append(relative_error(predicted, rtt))
+        data = np.asarray(errors)
+        return {
+            "median_relative_error": float(np.percentile(data, 50.0)),
+            "p95_relative_error": float(np.percentile(data, 95.0)),
+            "mean_relative_error": float(data.mean()),
+        }

@@ -1,0 +1,100 @@
+"""The de Launois et al. asymptotic-damping Vivaldi variant.
+
+de Launois, Uhlig and Bonaventure ("A Stable and Distributed Network
+Coordinate System", 2004) stabilise Vivaldi by multiplying the pull of each
+new measurement with a factor that decays asymptotically with the number of
+observations, regardless of the measurement's source or quality.  The paper
+discusses this in related work and points out the flaw: as the damping
+factor approaches zero the algorithm stops adapting to genuine network
+changes.
+
+:class:`LaunoisVivaldiNode` implements the variant so the trade-off can be
+demonstrated experimentally (see ``benchmarks/bench_ablation_baselines.py``):
+it is very stable on a stationary network and goes stale after a route
+change, whereas the MP-filter approach keeps adapting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.coordinate import Coordinate
+from repro.core.vivaldi import VivaldiConfig, VivaldiState, vivaldi_update
+
+__all__ = ["LaunoisConfig", "LaunoisVivaldiNode"]
+
+
+@dataclass(frozen=True, slots=True)
+class LaunoisConfig:
+    """Parameters of the damping schedule.
+
+    The damping factor applied to observation ``n`` is
+    ``decay_constant / (decay_constant + n)``, which starts near 1 and
+    decays hyperbolically toward zero.
+    """
+
+    vivaldi: VivaldiConfig = VivaldiConfig()
+    decay_constant: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.decay_constant <= 0.0:
+            raise ValueError("decay_constant must be positive")
+
+
+class LaunoisVivaldiNode:
+    """A Vivaldi node whose updates are asymptotically damped."""
+
+    def __init__(self, node_id: str, config: LaunoisConfig | None = None) -> None:
+        self.node_id = node_id
+        self.config = config or LaunoisConfig()
+        self._state = VivaldiState.initial(self.config.vivaldi)
+        self._observations = 0
+
+    @property
+    def system_coordinate(self) -> Coordinate:
+        return self._state.coordinate
+
+    @property
+    def error_estimate(self) -> float:
+        return self._state.error_estimate
+
+    @property
+    def observation_count(self) -> int:
+        return self._observations
+
+    def damping_factor(self) -> float:
+        """Current multiplicative damping applied to coordinate movement."""
+        c = self.config.decay_constant
+        return c / (c + self._observations)
+
+    def observe(
+        self,
+        peer_id: str,
+        peer_coordinate: Coordinate,
+        peer_error: float,
+        rtt_ms: float,
+    ) -> Coordinate:
+        """Apply one damped Vivaldi update and return the new coordinate."""
+        self._observations += 1
+        undamped = vivaldi_update(
+            self._state,
+            peer_coordinate,
+            peer_error,
+            rtt_ms,
+            self.config.vivaldi,
+        )
+        damping = self.damping_factor()
+        # Interpolate between the old and the undamped new coordinate: the
+        # movement proposed by Vivaldi is scaled by the decaying factor.
+        delta = undamped.coordinate - self._state.coordinate
+        damped_coordinate = self._state.coordinate + delta.scale(damping)
+        self._state = VivaldiState(
+            coordinate=damped_coordinate,
+            error_estimate=undamped.error_estimate,
+            update_count=undamped.update_count,
+        )
+        return self._state.coordinate
+
+    def reset(self) -> None:
+        self._state = VivaldiState.initial(self.config.vivaldi)
+        self._observations = 0

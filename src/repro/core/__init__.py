@@ -1,0 +1,78 @@
+"""Core algorithms from the paper: Vivaldi, filters, windows, heuristics.
+
+The sub-modules mirror the paper's structure:
+
+* :mod:`repro.core.coordinate` -- Euclidean coordinate algebra (with the
+  optional *height* extension from Dabek et al.).
+* :mod:`repro.core.vivaldi` -- the Vivaldi update rule (Figure 1 of the
+  paper) plus the confidence-building margin from Section IV-B.
+* :mod:`repro.core.filters` -- per-link latency filters, chiefly the Moving
+  Percentile (MP) filter from Section IV.
+* :mod:`repro.core.windows` -- the two-window change-detection scheme
+  (Kifer/Ben-David/Gehrke) from Section V-A.
+* :mod:`repro.core.energy` -- the Szekely-Rizzo energy distance used by the
+  ENERGY heuristic.
+* :mod:`repro.core.heuristics` -- the four application-level update
+  heuristics plus APPLICATION/CENTROID (Section V-B and V-G).
+* :mod:`repro.core.node` -- :class:`CoordinateNode`, the complete per-host
+  coordinate subsystem (system- and application-level coordinates).
+* :mod:`repro.core.config` -- configuration dataclasses and presets.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import FilterConfig, HeuristicConfig, NodeConfig
+from repro.core.coordinate import Coordinate, centroid
+from repro.core.energy import energy_distance
+from repro.core.filters import (
+    EWMAFilter,
+    FilterBank,
+    LatencyFilter,
+    MedianFilter,
+    MovingPercentileFilter,
+    NoFilter,
+    ThresholdFilter,
+    make_filter,
+)
+from repro.core.heuristics import (
+    ApplicationCentroidHeuristic,
+    ApplicationHeuristic,
+    EnergyHeuristic,
+    RelativeHeuristic,
+    SystemHeuristic,
+    UpdateHeuristic,
+    make_heuristic,
+)
+from repro.core.node import CoordinateNode, ObservationResult
+from repro.core.vivaldi import VivaldiConfig, VivaldiState, vivaldi_update
+from repro.core.windows import ChangeDetectionWindows
+
+__all__ = [
+    "ApplicationCentroidHeuristic",
+    "ApplicationHeuristic",
+    "ChangeDetectionWindows",
+    "Coordinate",
+    "CoordinateNode",
+    "EWMAFilter",
+    "EnergyHeuristic",
+    "FilterBank",
+    "FilterConfig",
+    "HeuristicConfig",
+    "LatencyFilter",
+    "MedianFilter",
+    "MovingPercentileFilter",
+    "NoFilter",
+    "NodeConfig",
+    "ObservationResult",
+    "RelativeHeuristic",
+    "SystemHeuristic",
+    "ThresholdFilter",
+    "UpdateHeuristic",
+    "VivaldiConfig",
+    "VivaldiState",
+    "centroid",
+    "energy_distance",
+    "make_filter",
+    "make_heuristic",
+    "vivaldi_update",
+]

@@ -1,0 +1,158 @@
+"""Configuration dataclasses and presets for the coordinate subsystem.
+
+A :class:`NodeConfig` bundles the three policy choices a deployment makes:
+
+* the Vivaldi constants (:class:`~repro.core.vivaldi.VivaldiConfig`),
+* the per-link latency filter (:class:`FilterConfig`),
+* the application-level update heuristic (:class:`HeuristicConfig`).
+
+Named presets cover the configurations the paper evaluates, so experiment
+code reads like the paper ("raw", "mp", "mp_energy", ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping
+
+from repro.core.filters import LatencyFilter, make_filter
+from repro.core.heuristics import UpdateHeuristic, make_heuristic
+from repro.core.vivaldi import VivaldiConfig
+
+__all__ = ["FilterConfig", "HeuristicConfig", "NodeConfig", "PRESETS"]
+
+
+@dataclass(frozen=True, slots=True)
+class FilterConfig:
+    """Which per-link filter to apply and with which parameters."""
+
+    kind: str = "mp"
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def build(self) -> LatencyFilter:
+        """Construct one filter instance (one per link is created by the bank)."""
+        return make_filter(self.kind, **dict(self.params))
+
+    def with_params(self, **params: Any) -> "FilterConfig":
+        merged = dict(self.params)
+        merged.update(params)
+        return FilterConfig(self.kind, merged)
+
+
+@dataclass(frozen=True, slots=True)
+class HeuristicConfig:
+    """Which application-update heuristic to use and with which parameters."""
+
+    kind: str = "always"
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def build(self) -> UpdateHeuristic:
+        return make_heuristic(self.kind, **dict(self.params))
+
+    def with_params(self, **params: Any) -> "HeuristicConfig":
+        merged = dict(self.params)
+        merged.update(params)
+        return HeuristicConfig(self.kind, merged)
+
+
+@dataclass(frozen=True, slots=True)
+class NodeConfig:
+    """Complete configuration of one node's coordinate subsystem."""
+
+    vivaldi: VivaldiConfig = field(default_factory=VivaldiConfig)
+    filter: FilterConfig = field(default_factory=FilterConfig)
+    heuristic: HeuristicConfig = field(default_factory=HeuristicConfig)
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def preset(cls, name: str, **overrides: Any) -> "NodeConfig":
+        """Return a named preset configuration.
+
+        Available presets (matching the paper's evaluated configurations):
+
+        ``raw``
+            No filter, application coordinate tracks the system coordinate.
+        ``raw_energy``
+            No filter, ENERGY application updates ("Energy+No Filter").
+        ``mp``
+            MP(4, 25) filter, application tracks system ("Raw MP Filter").
+        ``mp_energy``
+            MP filter + ENERGY(window=32, tau=8) -- the deployed system.
+        ``mp_relative``
+            MP filter + RELATIVE(window=32, eps_r=0.3).
+        ``mp_system`` / ``mp_application`` / ``mp_application_centroid``
+            MP filter + the respective windowless heuristic (tau=16).
+        ``cluster_confidence``
+            No filter, 3 ms confidence-building margin (the Figure 6 setup).
+
+        Keyword overrides replace top-level fields, e.g.
+        ``NodeConfig.preset("mp_energy", vivaldi=VivaldiConfig(dimensions=2))``.
+        """
+        try:
+            config = PRESETS[name]
+        except KeyError:
+            known = ", ".join(sorted(PRESETS))
+            raise ValueError(f"unknown preset {name!r}; expected one of: {known}") from None
+        if overrides:
+            config = replace(config, **overrides)
+        return config
+
+    def describe(self) -> Dict[str, Any]:
+        """Flat dictionary describing this configuration (for reports)."""
+        return {
+            "dimensions": self.vivaldi.dimensions,
+            "cc": self.vivaldi.cc,
+            "ce": self.vivaldi.ce,
+            "error_margin_ms": self.vivaldi.error_margin_ms,
+            "filter": self.filter.kind,
+            "filter_params": dict(self.filter.params),
+            "heuristic": self.heuristic.kind,
+            "heuristic_params": dict(self.heuristic.params),
+        }
+
+
+PRESETS: Dict[str, NodeConfig] = {
+    "raw": NodeConfig(
+        filter=FilterConfig("none"),
+        heuristic=HeuristicConfig("always"),
+    ),
+    "raw_energy": NodeConfig(
+        filter=FilterConfig("none"),
+        heuristic=HeuristicConfig("energy", {"threshold": 8.0, "window_size": 32}),
+    ),
+    "mp": NodeConfig(
+        filter=FilterConfig("mp", {"history": 4, "percentile": 25.0}),
+        heuristic=HeuristicConfig("always"),
+    ),
+    "mp_energy": NodeConfig(
+        filter=FilterConfig("mp", {"history": 4, "percentile": 25.0}),
+        heuristic=HeuristicConfig("energy", {"threshold": 8.0, "window_size": 32}),
+    ),
+    "mp_relative": NodeConfig(
+        filter=FilterConfig("mp", {"history": 4, "percentile": 25.0}),
+        heuristic=HeuristicConfig(
+            "relative", {"relative_threshold": 0.3, "window_size": 32}
+        ),
+    ),
+    "mp_system": NodeConfig(
+        filter=FilterConfig("mp", {"history": 4, "percentile": 25.0}),
+        heuristic=HeuristicConfig("system", {"threshold_ms": 16.0}),
+    ),
+    "mp_application": NodeConfig(
+        filter=FilterConfig("mp", {"history": 4, "percentile": 25.0}),
+        heuristic=HeuristicConfig("application", {"threshold_ms": 16.0}),
+    ),
+    "mp_application_centroid": NodeConfig(
+        filter=FilterConfig("mp", {"history": 4, "percentile": 25.0}),
+        heuristic=HeuristicConfig(
+            "application_centroid", {"threshold_ms": 16.0, "window_size": 32}
+        ),
+    ),
+    "cluster_confidence": NodeConfig(
+        vivaldi=VivaldiConfig(error_margin_ms=3.0),
+        filter=FilterConfig("none"),
+        heuristic=HeuristicConfig("always"),
+    ),
+}

@@ -1,0 +1,312 @@
+"""Per-link latency filters (Section III, IV and IV-B of the paper).
+
+In a live deployment each link yields a *stream* of latency observations
+whose values vary by up to three orders of magnitude.  Feeding raw samples
+into Vivaldi periodically distorts the whole coordinate space.  The paper's
+fix is a per-link non-linear low-pass filter: the **Moving Percentile (MP)
+filter**, which outputs a low percentile (``p = 25``) of a short sliding
+history (``h = 4``) of recent observations.
+
+Also implemented, because the paper evaluates them as alternatives
+(Section IV-B / Table I):
+
+* :class:`NoFilter` -- pass raw observations straight through.
+* :class:`ThresholdFilter` -- drop samples above a fixed cut-off.
+* :class:`EWMAFilter` -- exponentially-weighted moving average.
+* :class:`MedianFilter` -- a Moving Median, the special case ``p = 50``.
+
+Every filter implements the :class:`LatencyFilter` protocol; each link gets
+its own filter instance, which :class:`FilterBank` manages per peer.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, Protocol, runtime_checkable
+
+__all__ = [
+    "LatencyFilter",
+    "MovingPercentileFilter",
+    "MedianFilter",
+    "EWMAFilter",
+    "ThresholdFilter",
+    "NoFilter",
+    "FilterBank",
+    "make_filter",
+    "percentile_of",
+]
+
+
+def percentile_of(values: Iterable[float], percentile: float) -> float:
+    """Return the ``percentile``-th percentile of ``values``.
+
+    Uses linear interpolation between closest ranks (the same convention as
+    ``numpy.percentile`` with the default ``linear`` method), so that the
+    25th percentile of a 4-sample history lands on the lower quartile the
+    paper calls the "minimum with a history of four".
+    """
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("cannot take a percentile of an empty collection")
+    if not 0.0 <= percentile <= 100.0:
+        raise ValueError(f"percentile must be within [0, 100], got {percentile}")
+    if len(data) == 1:
+        return data[0]
+    rank = (percentile / 100.0) * (len(data) - 1)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return data[int(rank)]
+    weight = rank - lower
+    return data[lower] * (1.0 - weight) + data[upper] * weight
+
+
+@runtime_checkable
+class LatencyFilter(Protocol):
+    """A per-link filter turning raw latency samples into Vivaldi inputs.
+
+    ``update`` consumes one raw observation (milliseconds) and returns the
+    filtered value to feed Vivaldi, or ``None`` if the filter is still
+    warming up and no value should be emitted yet (the Section VI fix for
+    the pathological first-sample case).
+    """
+
+    def update(self, sample_ms: float) -> float | None:
+        """Consume a raw sample; return the filtered latency or ``None``."""
+        ...
+
+    def current(self) -> float | None:
+        """Return the filter's current output without consuming a sample."""
+        ...
+
+    def reset(self) -> None:
+        """Discard all state."""
+        ...
+
+
+def _validate_sample(sample_ms: float) -> float:
+    value = float(sample_ms)
+    if not math.isfinite(value) or value < 0.0:
+        raise ValueError(f"latency samples must be finite and non-negative, got {sample_ms}")
+    return value
+
+
+class MovingPercentileFilter:
+    """The paper's Moving Percentile (MP) filter.
+
+    Parameters
+    ----------
+    history:
+        Size ``h`` of the per-link sliding window of raw observations.
+        The paper finds ``h = 4`` minimises prediction error (Figure 4).
+    percentile:
+        Percentile ``p`` of the window returned as the prediction.  The
+        paper uses ``p = 25``; with ``h = 4`` this is effectively the
+        window minimum.
+    warmup:
+        Number of samples that must arrive before the filter emits output.
+        The paper's deployed filter emits from the first sample
+        (``warmup = 1``), which it identifies as the source of its worst
+        disruptions; ``warmup = 2`` implements the suggested fix of waiting
+        for a second sample.
+    """
+
+    def __init__(self, history: int = 4, percentile: float = 25.0, warmup: int = 1) -> None:
+        if history < 1:
+            raise ValueError(f"history must be >= 1, got {history}")
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError(f"percentile must be within [0, 100], got {percentile}")
+        if warmup < 1:
+            raise ValueError(f"warmup must be >= 1, got {warmup}")
+        if warmup > history:
+            raise ValueError("warmup cannot exceed the history size")
+        self.history = history
+        self.percentile = percentile
+        self.warmup = warmup
+        self._window: Deque[float] = deque(maxlen=history)
+
+    def update(self, sample_ms: float) -> float | None:
+        self._window.append(_validate_sample(sample_ms))
+        if len(self._window) < self.warmup:
+            return None
+        return percentile_of(self._window, self.percentile)
+
+    def current(self) -> float | None:
+        if len(self._window) < self.warmup:
+            return None
+        return percentile_of(self._window, self.percentile)
+
+    def reset(self) -> None:
+        self._window.clear()
+
+    @property
+    def samples_seen(self) -> int:
+        """Number of samples currently retained (capped at ``history``)."""
+        return len(self._window)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"MovingPercentileFilter(h={self.history}, p={self.percentile})"
+
+
+class MedianFilter(MovingPercentileFilter):
+    """Moving Median filter: the MP filter with ``p = 50``."""
+
+    def __init__(self, history: int = 4, warmup: int = 1) -> None:
+        super().__init__(history=history, percentile=50.0, warmup=warmup)
+
+
+class EWMAFilter:
+    """Exponentially-weighted moving average filter (Table I baseline).
+
+    ``v_{t+1} = alpha * s + (1 - alpha) * v_t``.  The paper shows that even
+    an unconventionally small ``alpha`` (0.02) yields *worse* accuracy than
+    no filter at all, because heavy-tailed outliers are not a trend an EWMA
+    should track -- they should simply be discarded.
+    """
+
+    def __init__(self, alpha: float = 0.10) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value: float | None = None
+
+    def update(self, sample_ms: float) -> float | None:
+        sample = _validate_sample(sample_ms)
+        if self._value is None:
+            self._value = sample
+        else:
+            self._value = self.alpha * sample + (1.0 - self.alpha) * self._value
+        return self._value
+
+    def current(self) -> float | None:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"EWMAFilter(alpha={self.alpha})"
+
+
+class ThresholdFilter:
+    """Drop observations above a fixed cut-off (Section IV-B baseline).
+
+    Stateless apart from remembering the last accepted sample so
+    :meth:`current` has something to report.  The paper notes that a single
+    global threshold cannot adapt to per-link tails (a cut-off suitable for
+    inter-continental links does nothing for a 100 ms link's outliers) and
+    finds only minimal improvement from thresholds in isolation.
+    """
+
+    def __init__(self, threshold_ms: float = 1000.0) -> None:
+        if threshold_ms <= 0.0:
+            raise ValueError(f"threshold_ms must be positive, got {threshold_ms}")
+        self.threshold_ms = threshold_ms
+        self._last_accepted: float | None = None
+
+    def update(self, sample_ms: float) -> float | None:
+        sample = _validate_sample(sample_ms)
+        if sample > self.threshold_ms:
+            return None
+        self._last_accepted = sample
+        return sample
+
+    def current(self) -> float | None:
+        return self._last_accepted
+
+    def reset(self) -> None:
+        self._last_accepted = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ThresholdFilter(threshold_ms={self.threshold_ms})"
+
+
+class NoFilter:
+    """Identity filter: raw observations go straight to Vivaldi."""
+
+    def __init__(self) -> None:
+        self._last: float | None = None
+
+    def update(self, sample_ms: float) -> float | None:
+        self._last = _validate_sample(sample_ms)
+        return self._last
+
+    def current(self) -> float | None:
+        return self._last
+
+    def reset(self) -> None:
+        self._last = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return "NoFilter()"
+
+
+#: Registry used by :func:`make_filter` and the configuration presets.
+_FILTER_KINDS = {
+    "mp": MovingPercentileFilter,
+    "moving_percentile": MovingPercentileFilter,
+    "median": MedianFilter,
+    "ewma": EWMAFilter,
+    "threshold": ThresholdFilter,
+    "none": NoFilter,
+    "raw": NoFilter,
+}
+
+
+def make_filter(kind: str, **kwargs: object) -> LatencyFilter:
+    """Instantiate a filter by name.
+
+    ``kind`` is one of ``mp``, ``median``, ``ewma``, ``threshold``,
+    ``none``/``raw``.  Keyword arguments are passed to the constructor.
+    """
+    try:
+        factory = _FILTER_KINDS[kind.lower()]
+    except KeyError:
+        known = ", ".join(sorted(set(_FILTER_KINDS)))
+        raise ValueError(f"unknown filter kind {kind!r}; expected one of: {known}") from None
+    return factory(**kwargs)  # type: ignore[arg-type]
+
+
+class FilterBank:
+    """Per-peer filter instances for one node.
+
+    Each link (pair of nodes) maintains its own filter state, so the bank
+    lazily creates a fresh filter the first time a peer is observed.
+    """
+
+    def __init__(self, kind: str = "mp", **filter_kwargs: object) -> None:
+        self._kind = kind
+        self._kwargs = dict(filter_kwargs)
+        self._filters: Dict[str, LatencyFilter] = {}
+
+    def filter_for(self, peer_id: str) -> LatencyFilter:
+        """Return (creating if necessary) the filter for ``peer_id``."""
+        existing = self._filters.get(peer_id)
+        if existing is None:
+            existing = make_filter(self._kind, **self._kwargs)
+            self._filters[peer_id] = existing
+        return existing
+
+    def update(self, peer_id: str, sample_ms: float) -> float | None:
+        """Feed ``sample_ms`` through the peer's filter and return its output."""
+        return self.filter_for(peer_id).update(sample_ms)
+
+    def forget(self, peer_id: str) -> None:
+        """Drop the filter state for a departed peer."""
+        self._filters.pop(peer_id, None)
+
+    def reset(self) -> None:
+        """Drop all per-peer state."""
+        self._filters.clear()
+
+    @property
+    def peer_count(self) -> int:
+        return len(self._filters)
+
+    def peers(self) -> list[str]:
+        return list(self._filters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"FilterBank(kind={self._kind!r}, peers={len(self._filters)})"

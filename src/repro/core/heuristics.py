@@ -1,0 +1,364 @@
+"""Application-level coordinate update heuristics (Section V of the paper).
+
+The coordinate subsystem maintains two views of a node's position:
+
+* the **system-level coordinate** ``c_s`` -- updated by Vivaldi on every
+  observation and always the freshest estimate;
+* the **application-level coordinate** ``c_a`` -- only updated when a
+  heuristic decides the system coordinate has undergone a *significant*
+  change, so that applications (which may react to updates with expensive
+  work such as process migration) are not churned by noise.
+
+Four heuristics from the paper, plus the APPLICATION/CENTROID hybrid used in
+Section V-G to show that the *when* of window-based detection matters as
+much as the *what* (the centroid value):
+
+========================  ===========================================================
+SYSTEM                    update when ``||c_s(t) - c_s(t-1)|| > tau``
+APPLICATION               update when ``||c_a - c_s|| > tau``
+RELATIVE                  two-window: update when the centroid displacement exceeds
+                          ``eps_r`` times the distance to the nearest known neighbor
+ENERGY                    two-window: update when the Szekely-Rizzo energy distance
+                          between the windows exceeds ``tau``
+APPLICATION/CENTROID      APPLICATION's trigger, but sets ``c_a`` to the centroid of
+                          a window of recent system coordinates
+========================  ===========================================================
+
+Each heuristic exposes ``observe(system_coordinate, nearest_neighbor=None)``
+returning the new application coordinate when an update fires and ``None``
+otherwise, plus the running ``application_coordinate`` property.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Protocol, runtime_checkable
+
+from repro.core.coordinate import Coordinate, centroid
+from repro.core.energy import energy_distance
+from repro.core.windows import ChangeDetectionWindows
+
+__all__ = [
+    "UpdateHeuristic",
+    "SystemHeuristic",
+    "ApplicationHeuristic",
+    "RelativeHeuristic",
+    "EnergyHeuristic",
+    "ApplicationCentroidHeuristic",
+    "AlwaysUpdateHeuristic",
+    "make_heuristic",
+]
+
+
+@runtime_checkable
+class UpdateHeuristic(Protocol):
+    """Decides when (and to what) the application coordinate is updated."""
+
+    @property
+    def application_coordinate(self) -> Optional[Coordinate]:
+        """The current application-level coordinate (``None`` before first update)."""
+        ...
+
+    @property
+    def update_count(self) -> int:
+        """How many times the application coordinate has been changed."""
+        ...
+
+    def observe(
+        self,
+        system_coordinate: Coordinate,
+        nearest_neighbor: Optional[Coordinate] = None,
+    ) -> Optional[Coordinate]:
+        """Consume one system-coordinate update.
+
+        Returns the new application coordinate when the heuristic fires, or
+        ``None`` when the application's view is unchanged.
+        """
+        ...
+
+    def reset(self) -> None:
+        """Discard all internal state."""
+        ...
+
+
+class _BaseHeuristic:
+    """Shared bookkeeping for the concrete heuristics."""
+
+    def __init__(self) -> None:
+        self._application: Optional[Coordinate] = None
+        self._updates = 0
+        self._observations = 0
+
+    @property
+    def application_coordinate(self) -> Optional[Coordinate]:
+        return self._application
+
+    @property
+    def update_count(self) -> int:
+        return self._updates
+
+    @property
+    def observation_count(self) -> int:
+        """Total system-coordinate updates seen."""
+        return self._observations
+
+    def _set_application(self, value: Coordinate) -> Coordinate:
+        self._application = value
+        self._updates += 1
+        return value
+
+    def reset(self) -> None:
+        self._application = None
+        self._updates = 0
+        self._observations = 0
+
+
+class AlwaysUpdateHeuristic(_BaseHeuristic):
+    """Degenerate heuristic: ``c_a`` tracks ``c_s`` exactly.
+
+    This is what an application using raw (filtered) Vivaldi sees; it is the
+    baseline the paper calls the "Raw MP Filter" in Figures 11 and 13.
+    """
+
+    def observe(
+        self,
+        system_coordinate: Coordinate,
+        nearest_neighbor: Optional[Coordinate] = None,
+    ) -> Optional[Coordinate]:
+        self._observations += 1
+        return self._set_application(system_coordinate)
+
+
+class SystemHeuristic(_BaseHeuristic):
+    """SYSTEM: update when consecutive system coordinates move more than ``tau``.
+
+    Simple, but pathological when many consecutive moves stay just under the
+    threshold: the application coordinate silently drifts arbitrarily far
+    from the system one.
+    """
+
+    def __init__(self, threshold_ms: float = 16.0) -> None:
+        super().__init__()
+        if threshold_ms < 0.0:
+            raise ValueError(f"threshold_ms must be non-negative, got {threshold_ms}")
+        self.threshold_ms = threshold_ms
+        self._previous_system: Optional[Coordinate] = None
+
+    def observe(
+        self,
+        system_coordinate: Coordinate,
+        nearest_neighbor: Optional[Coordinate] = None,
+    ) -> Optional[Coordinate]:
+        self._observations += 1
+        previous = self._previous_system
+        self._previous_system = system_coordinate
+        if self._application is None or previous is None:
+            return self._set_application(system_coordinate)
+        if previous.euclidean_distance(system_coordinate) > self.threshold_ms:
+            return self._set_application(system_coordinate)
+        return None
+
+    def reset(self) -> None:
+        super().reset()
+        self._previous_system = None
+
+
+class ApplicationHeuristic(_BaseHeuristic):
+    """APPLICATION: update when ``c_a`` has strayed more than ``tau`` from ``c_s``.
+
+    Expresses "notify on cumulative drift"; oscillations beneath the
+    threshold never surface to the application.
+    """
+
+    def __init__(self, threshold_ms: float = 16.0) -> None:
+        super().__init__()
+        if threshold_ms < 0.0:
+            raise ValueError(f"threshold_ms must be non-negative, got {threshold_ms}")
+        self.threshold_ms = threshold_ms
+
+    def observe(
+        self,
+        system_coordinate: Coordinate,
+        nearest_neighbor: Optional[Coordinate] = None,
+    ) -> Optional[Coordinate]:
+        self._observations += 1
+        if self._application is None:
+            return self._set_application(system_coordinate)
+        if self._application.euclidean_distance(system_coordinate) > self.threshold_ms:
+            return self._set_application(system_coordinate)
+        return None
+
+
+class ApplicationCentroidHeuristic(_BaseHeuristic):
+    """APPLICATION/CENTROID (Section V-G).
+
+    Uses APPLICATION's distance-to-system trigger, but when it fires the
+    application coordinate is set to the centroid of a window of recent
+    system coordinates.  The paper shows this is more stable than plain
+    APPLICATION yet still fragile to the threshold choice, demonstrating
+    that the window-based heuristics' advantage lies in *when* they fire,
+    not merely in using a centroid.
+    """
+
+    def __init__(self, threshold_ms: float = 16.0, window_size: int = 32) -> None:
+        super().__init__()
+        if threshold_ms < 0.0:
+            raise ValueError(f"threshold_ms must be non-negative, got {threshold_ms}")
+        if window_size < 1:
+            raise ValueError(f"window_size must be >= 1, got {window_size}")
+        self.threshold_ms = threshold_ms
+        self.window_size = window_size
+        self._recent: Deque[Coordinate] = deque(maxlen=window_size)
+
+    def observe(
+        self,
+        system_coordinate: Coordinate,
+        nearest_neighbor: Optional[Coordinate] = None,
+    ) -> Optional[Coordinate]:
+        self._observations += 1
+        self._recent.append(system_coordinate)
+        if self._application is None:
+            return self._set_application(centroid(list(self._recent)))
+        if self._application.euclidean_distance(system_coordinate) > self.threshold_ms:
+            return self._set_application(centroid(list(self._recent)))
+        return None
+
+    def reset(self) -> None:
+        super().reset()
+        self._recent.clear()
+
+
+class RelativeHeuristic(_BaseHeuristic):
+    """RELATIVE: window-based detection scaled by the local neighborhood.
+
+    Maintains the two change-detection windows of system coordinates and
+    fires when the displacement between the window centroids exceeds
+    ``eps_r`` times the distance from the start centroid to the nearest
+    known neighbor.  Updates are therefore *relative to the node's locale*:
+    a 5 ms wobble matters for a node whose nearest neighbor is 10 ms away
+    but not for one whose nearest neighbor is 200 ms away.
+    """
+
+    def __init__(self, relative_threshold: float = 0.3, window_size: int = 32) -> None:
+        super().__init__()
+        if relative_threshold <= 0.0:
+            raise ValueError(
+                f"relative_threshold must be positive, got {relative_threshold}"
+            )
+        self.relative_threshold = relative_threshold
+        self.window_size = window_size
+        self._windows: ChangeDetectionWindows[Coordinate] = ChangeDetectionWindows(window_size)
+        self._last_neighbor: Optional[Coordinate] = None
+
+    def observe(
+        self,
+        system_coordinate: Coordinate,
+        nearest_neighbor: Optional[Coordinate] = None,
+    ) -> Optional[Coordinate]:
+        self._observations += 1
+        if nearest_neighbor is not None:
+            self._last_neighbor = nearest_neighbor
+        self._windows.add(system_coordinate)
+
+        if self._application is None:
+            return self._set_application(system_coordinate)
+        if not self._windows.ready:
+            return None
+
+        start = self._windows.start_window
+        current = self._windows.current_window
+        start_centroid = centroid(start)
+        current_centroid = centroid(current)
+        displacement = start_centroid.euclidean_distance(current_centroid)
+
+        neighbor = self._last_neighbor
+        if neighbor is None:
+            # Without a known neighbor the locale scale is undefined; fall
+            # back to an absolute comparison against the displacement itself
+            # (i.e. never fire), which matches a node that has not yet
+            # learned any peer coordinates.
+            return None
+        locale_scale = start_centroid.euclidean_distance(neighbor)
+        if locale_scale <= 0.0:
+            return None
+        if displacement / locale_scale > self.relative_threshold:
+            self._windows.declare_change_point()
+            return self._set_application(current_centroid)
+        return None
+
+    def reset(self) -> None:
+        super().reset()
+        self._windows.reset()
+        self._last_neighbor = None
+
+
+class EnergyHeuristic(_BaseHeuristic):
+    """ENERGY: window-based detection with the Szekely-Rizzo energy distance.
+
+    Fires when ``e(W_s, W_c) > tau``; on firing, the application coordinate
+    becomes the centroid of the current window and both windows reset
+    (a change point in the Kifer et al. sense).  The paper deploys this
+    heuristic with ``window_size = 32`` and ``tau = 8`` on PlanetLab.
+    """
+
+    def __init__(self, threshold: float = 8.0, window_size: int = 32) -> None:
+        super().__init__()
+        if threshold < 0.0:
+            raise ValueError(f"threshold must be non-negative, got {threshold}")
+        if window_size < 2:
+            raise ValueError(f"window_size must be >= 2, got {window_size}")
+        self.threshold = threshold
+        self.window_size = window_size
+        self._windows: ChangeDetectionWindows[Coordinate] = ChangeDetectionWindows(window_size)
+
+    def observe(
+        self,
+        system_coordinate: Coordinate,
+        nearest_neighbor: Optional[Coordinate] = None,
+    ) -> Optional[Coordinate]:
+        self._observations += 1
+        self._windows.add(system_coordinate)
+        if self._application is None:
+            return self._set_application(system_coordinate)
+        if not self._windows.ready:
+            return None
+        start = self._windows.start_window
+        current = self._windows.current_window
+        statistic = energy_distance(start, current)
+        if statistic > self.threshold:
+            self._windows.declare_change_point()
+            return self._set_application(centroid(current))
+        return None
+
+    def reset(self) -> None:
+        super().reset()
+        self._windows.reset()
+
+
+#: Registry for configuration-driven construction.
+_HEURISTIC_KINDS = {
+    "always": AlwaysUpdateHeuristic,
+    "raw": AlwaysUpdateHeuristic,
+    "system": SystemHeuristic,
+    "application": ApplicationHeuristic,
+    "application_centroid": ApplicationCentroidHeuristic,
+    "relative": RelativeHeuristic,
+    "energy": EnergyHeuristic,
+}
+
+
+def make_heuristic(kind: str, **kwargs: object) -> UpdateHeuristic:
+    """Instantiate an update heuristic by name.
+
+    ``kind`` is one of ``always``/``raw``, ``system``, ``application``,
+    ``application_centroid``, ``relative``, ``energy``.
+    """
+    try:
+        factory = _HEURISTIC_KINDS[kind.lower()]
+    except KeyError:
+        known = ", ".join(sorted(set(_HEURISTIC_KINDS)))
+        raise ValueError(
+            f"unknown heuristic kind {kind!r}; expected one of: {known}"
+        ) from None
+    return factory(**kwargs)  # type: ignore[arg-type]

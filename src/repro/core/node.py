@@ -1,0 +1,260 @@
+"""The complete per-host coordinate subsystem.
+
+:class:`CoordinateNode` wires together the three mechanisms the paper
+studies:
+
+1. a per-link latency filter (:mod:`repro.core.filters`) turning the raw
+   observation stream into Vivaldi inputs;
+2. the Vivaldi update rule (:mod:`repro.core.vivaldi`) maintaining the
+   *system-level* coordinate ``c_s``;
+3. an application-update heuristic (:mod:`repro.core.heuristics`)
+   maintaining the *application-level* coordinate ``c_a``.
+
+The node also tracks the coordinates of peers it has heard from, which the
+RELATIVE heuristic uses to learn its approximate nearest neighbor and which
+the overlay substrate uses for coordinate-based queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.core.config import NodeConfig
+from repro.core.coordinate import Coordinate
+from repro.core.filters import FilterBank
+from repro.core.heuristics import UpdateHeuristic
+from repro.core.vivaldi import VivaldiState, vivaldi_update
+
+__all__ = ["CoordinateNode", "ObservationResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class ObservationResult:
+    """What happened when one raw latency sample was processed."""
+
+    #: Raw sample as observed on the wire (milliseconds).
+    raw_rtt_ms: float
+    #: Output of the per-link filter, or ``None`` if the filter is warming up.
+    filtered_rtt_ms: Optional[float]
+    #: System coordinate after the (possible) Vivaldi update.
+    system_coordinate: Coordinate
+    #: Displacement of the system coordinate caused by this observation.
+    system_movement_ms: float
+    #: New application coordinate if the heuristic fired, else ``None``.
+    application_update: Optional[Coordinate]
+    #: Relative error of the raw observation against the *system* coordinates
+    #: (the paper's accuracy metric: ``| ||x_i - x_j|| - l_ij | / l_ij`` with
+    #: ``l_ij`` the raw observed latency).
+    relative_error: Optional[float]
+    #: Relative error of the raw observation against the *application*
+    #: coordinates (``eps_a`` in Section V-B).
+    application_relative_error: Optional[float]
+
+
+class CoordinateNode:
+    """One participant in the coordinate system.
+
+    Parameters
+    ----------
+    node_id:
+        A unique identifier (any string; the simulator uses host names).
+    config:
+        Policy configuration; see :class:`repro.core.config.NodeConfig`.
+    """
+
+    def __init__(self, node_id: str, config: NodeConfig | None = None) -> None:
+        self.node_id = node_id
+        self.config = config or NodeConfig()
+        self._state = VivaldiState.initial(self.config.vivaldi)
+        self._filters = FilterBank(self.config.filter.kind, **dict(self.config.filter.params))
+        self._heuristic: UpdateHeuristic = self.config.heuristic.build()
+        self._peer_coordinates: Dict[str, Coordinate] = {}
+        self._observation_count = 0
+        self._cumulative_system_movement_ms = 0.0
+
+    # ------------------------------------------------------------------
+    # State accessors
+    # ------------------------------------------------------------------
+    @property
+    def system_coordinate(self) -> Coordinate:
+        """The continuously evolving system-level coordinate ``c_s``."""
+        return self._state.coordinate
+
+    @property
+    def application_coordinate(self) -> Coordinate:
+        """The application-level coordinate ``c_a``.
+
+        Before the heuristic has produced any update this falls back to the
+        system coordinate (a brand-new node has nothing better to report).
+        """
+        app = self._heuristic.application_coordinate
+        return app if app is not None else self._state.coordinate
+
+    @property
+    def error_estimate(self) -> float:
+        """Vivaldi's error estimate ``w_i`` (lower is more confident)."""
+        return self._state.error_estimate
+
+    @property
+    def confidence(self) -> float:
+        """Human-friendly confidence in ``[0, 1]``."""
+        return self._state.confidence
+
+    @property
+    def vivaldi_state(self) -> VivaldiState:
+        return self._state
+
+    @property
+    def observation_count(self) -> int:
+        """Raw latency samples processed (whether or not they reached Vivaldi)."""
+        return self._observation_count
+
+    @property
+    def application_update_count(self) -> int:
+        """Number of times the application coordinate changed."""
+        return self._heuristic.update_count
+
+    @property
+    def cumulative_system_movement_ms(self) -> float:
+        """Total distance the system coordinate has travelled."""
+        return self._cumulative_system_movement_ms
+
+    @property
+    def known_peers(self) -> Sequence[str]:
+        return list(self._peer_coordinates)
+
+    def peer_coordinate(self, peer_id: str) -> Optional[Coordinate]:
+        """Last coordinate heard from ``peer_id``, if any."""
+        return self._peer_coordinates.get(peer_id)
+
+    # ------------------------------------------------------------------
+    # Core operation
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        peer_id: str,
+        peer_coordinate: Coordinate,
+        peer_error: float,
+        rtt_ms: float,
+        *,
+        peer_application_coordinate: Optional[Coordinate] = None,
+        random_direction: Sequence[float] | None = None,
+    ) -> ObservationResult:
+        """Process one raw latency observation of ``peer_id``.
+
+        The raw sample is passed through the per-link filter; if the filter
+        emits a value, Vivaldi updates the system coordinate and the
+        heuristic decides whether the application coordinate changes.
+
+        ``peer_application_coordinate`` is the peer's application-level
+        coordinate as carried in the response message (the deployed system
+        outputs both ``c_s`` and ``c_a`` with every sample); it is only used
+        for the application-level error metric and falls back to the peer's
+        system coordinate when absent.
+
+        Both reported relative errors are computed against the *raw*
+        observation ``rtt_ms``: the filter shapes what Vivaldi consumes,
+        but accuracy is always judged against what the network actually
+        delivered, as in the paper.
+        """
+        self._observation_count += 1
+        self._peer_coordinates[peer_id] = peer_coordinate
+
+        previous_coordinate = self._state.coordinate
+        filtered = self._filters.update(peer_id, rtt_ms)
+        raw = max(float(rtt_ms), 1e-3)
+
+        application_update: Optional[Coordinate] = None
+        relative_error: Optional[float] = None
+        movement = 0.0
+
+        if filtered is not None:
+            self._state = vivaldi_update(
+                self._state,
+                peer_coordinate,
+                peer_error,
+                filtered,
+                self.config.vivaldi,
+                random_direction=random_direction,
+            )
+            movement = previous_coordinate.euclidean_distance(self._state.coordinate)
+            self._cumulative_system_movement_ms += movement
+            relative_error = (
+                abs(self._state.coordinate.distance(peer_coordinate) - raw) / raw
+            )
+            application_update = self._heuristic.observe(
+                self._state.coordinate,
+                nearest_neighbor=self._nearest_neighbor_coordinate(),
+            )
+
+        application_relative_error: Optional[float] = None
+        if filtered is not None:
+            peer_app = (
+                peer_application_coordinate
+                if peer_application_coordinate is not None
+                else peer_coordinate
+            )
+            application_relative_error = (
+                abs(self.application_coordinate.distance(peer_app) - raw) / raw
+            )
+
+        return ObservationResult(
+            raw_rtt_ms=float(rtt_ms),
+            filtered_rtt_ms=filtered,
+            system_coordinate=self._state.coordinate,
+            system_movement_ms=movement,
+            application_update=application_update,
+            relative_error=relative_error,
+            application_relative_error=application_relative_error,
+        )
+
+    # ------------------------------------------------------------------
+    # Peer management
+    # ------------------------------------------------------------------
+    def forget_peer(self, peer_id: str) -> None:
+        """Drop all per-peer state (filter history and last coordinate)."""
+        self._filters.forget(peer_id)
+        self._peer_coordinates.pop(peer_id, None)
+
+    def estimate_latency(self, peer_id: str) -> Optional[float]:
+        """Predicted RTT to ``peer_id`` from application-level coordinates."""
+        peer = self._peer_coordinates.get(peer_id)
+        if peer is None:
+            return None
+        return self.application_coordinate.distance(peer)
+
+    def estimate_latency_to(self, coordinate: Coordinate) -> float:
+        """Predicted RTT to an arbitrary coordinate (application-level view)."""
+        return self.application_coordinate.distance(coordinate)
+
+    def _nearest_neighbor_coordinate(self) -> Optional[Coordinate]:
+        """Coordinate of the closest known peer (used by RELATIVE)."""
+        best: Optional[Coordinate] = None
+        best_distance = float("inf")
+        own = self._state.coordinate
+        for peer_coordinate in self._peer_coordinates.values():
+            distance = own.euclidean_distance(peer_coordinate)
+            if distance < best_distance:
+                best_distance = distance
+                best = peer_coordinate
+        return best
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Return to the bootstrap state (origin coordinate, no history)."""
+        self._state = VivaldiState.initial(self.config.vivaldi)
+        self._filters.reset()
+        self._heuristic.reset()
+        self._peer_coordinates.clear()
+        self._observation_count = 0
+        self._cumulative_system_movement_ms = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"CoordinateNode({self.node_id!r}, filter={self.config.filter.kind}, "
+            f"heuristic={self.config.heuristic.kind}, "
+            f"observations={self._observation_count})"
+        )

@@ -1,0 +1,118 @@
+"""Two-window change detection over coordinate streams (Section V-A).
+
+The scheme follows Kifer, Ben-David and Gehrke ("Detecting Change in Data
+Streams", VLDB 2004): a single stream ``S = {s_0, s_1, ...}`` is split into
+two sets,
+
+* ``W_s`` -- the *start* window: the first ``k`` elements observed since the
+  last change point; frozen once full.
+* ``W_c`` -- the *current* window: the most recent ``k`` elements; slides
+  with every arrival once full.
+
+With each new element the two windows are compared with a two-sample test
+(the paper uses the energy statistic for multi-dimensional coordinates, or a
+rank-sum test for scalars).  When the test declares the windows different, a
+*change point* has occurred: both windows are cleared and the process starts
+over.
+
+:class:`ChangeDetectionWindows` implements the bookkeeping; the statistical
+test itself is supplied by the caller (the heuristics in
+:mod:`repro.core.heuristics`), keeping this module free of policy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterable, List, TypeVar
+
+__all__ = ["ChangeDetectionWindows"]
+
+T = TypeVar("T")
+
+
+class ChangeDetectionWindows(Generic[T]):
+    """Maintain the start window ``W_s`` and sliding current window ``W_c``.
+
+    Parameters
+    ----------
+    window_size:
+        ``k``, the size both windows grow to.  The paper explores
+        ``k`` from 4 to 4096 and settles on 32 as a conservative choice
+        (Figure 9).
+    """
+
+    def __init__(self, window_size: int) -> None:
+        if window_size < 1:
+            raise ValueError(f"window_size must be >= 1, got {window_size}")
+        self.window_size = window_size
+        self._start: List[T] = []
+        self._current: Deque[T] = deque(maxlen=window_size)
+        self._observations_since_reset = 0
+
+    # ------------------------------------------------------------------
+    # Stream ingestion
+    # ------------------------------------------------------------------
+    def add(self, element: T) -> None:
+        """Append one stream element to the windows.
+
+        Until both windows are full the element goes into both (they share a
+        prefix, exactly as in Kifer et al.); afterwards only ``W_c`` slides.
+        """
+        if len(self._start) < self.window_size:
+            self._start.append(element)
+        self._current.append(element)
+        self._observations_since_reset += 1
+
+    def extend(self, elements: Iterable[T]) -> None:
+        """Append several stream elements in order."""
+        for element in elements:
+            self.add(element)
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        """True once both windows hold ``window_size`` elements.
+
+        The comparison test is only meaningful when the windows no longer
+        share elements, i.e. after at least ``2 * window_size`` arrivals.
+        """
+        return self._observations_since_reset >= 2 * self.window_size
+
+    @property
+    def start_window(self) -> List[T]:
+        """A copy of ``W_s`` (frozen once full)."""
+        return list(self._start)
+
+    @property
+    def current_window(self) -> List[T]:
+        """A copy of ``W_c`` (the most recent ``window_size`` elements)."""
+        return list(self._current)
+
+    @property
+    def observations_since_reset(self) -> int:
+        """Stream elements consumed since the last change point."""
+        return self._observations_since_reset
+
+    # ------------------------------------------------------------------
+    # Change points
+    # ------------------------------------------------------------------
+    def declare_change_point(self) -> None:
+        """Reset both windows after a detected change (Section V-A)."""
+        self._start.clear()
+        self._current.clear()
+        self._observations_since_reset = 0
+
+    def reset(self) -> None:
+        """Alias for :meth:`declare_change_point` (full state reset)."""
+        self.declare_change_point()
+
+    def __len__(self) -> int:
+        return self._observations_since_reset
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ChangeDetectionWindows(k={self.window_size}, "
+            f"start={len(self._start)}, current={len(self._current)})"
+        )

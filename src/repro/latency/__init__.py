@@ -1,0 +1,50 @@
+"""Latency substrate: topologies, per-link observation models, traces.
+
+The paper's input is a three-day trace of application-level UDP pings among
+269 PlanetLab nodes (43 million samples).  That trace is not redistributable,
+so this package provides a synthetic equivalent with the same statistical
+structure (see DESIGN.md, "Substitutions"):
+
+* :mod:`repro.latency.topology` -- a geographic cluster topology producing a
+  base round-trip-time matrix similar to PlanetLab's (intra-site ~1 ms,
+  intra-continent tens of ms, inter-continental 100-350 ms).
+* :mod:`repro.latency.linkmodel` -- per-link observation models layering
+  jitter, heavy-tailed spikes, and rare multi-second outliers on top of the
+  base RTT; plus a low-latency cluster model and a regime-shifting model.
+* :mod:`repro.latency.trace` -- trace records and containers, plus CSV
+  persistence.
+* :mod:`repro.latency.planetlab` -- the "PlanetLab-like" dataset builder
+  used by the experiments.
+* :mod:`repro.latency.matrix` -- static latency-matrix view for
+  original-paper-style (single scalar per link) evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.latency.linkmodel import (
+    ClusterLink,
+    HeavyTailLink,
+    LinkModel,
+    ShiftingLink,
+    StableLink,
+)
+from repro.latency.matrix import LatencyMatrix
+from repro.latency.planetlab import PlanetLabDataset, planetlab_topology
+from repro.latency.topology import GeographicTopology, Region, Site
+from repro.latency.trace import LatencyTrace, TraceRecord
+
+__all__ = [
+    "ClusterLink",
+    "GeographicTopology",
+    "HeavyTailLink",
+    "LatencyMatrix",
+    "LatencyTrace",
+    "LinkModel",
+    "PlanetLabDataset",
+    "Region",
+    "ShiftingLink",
+    "Site",
+    "StableLink",
+    "TraceRecord",
+    "planetlab_topology",
+]

@@ -1,0 +1,213 @@
+"""Per-link latency observation models.
+
+Section III of the paper analyses the raw observation stream of PlanetLab
+links and finds:
+
+* most observations cluster near the link's baseline RTT,
+* every link has its own heavy upper tail -- rare samples are 10-1000x the
+  baseline, and 0.4% of *all* samples exceed one second,
+* the outliers persist throughout the trace rather than occurring in one
+  burst (Figure 3, bottom),
+* the underlying baseline itself drifts over hours (Figure 7), e.g. because
+  of BGP route changes.
+
+The models here reproduce that structure on top of a deterministic baseline
+RTT supplied by the topology:
+
+* :class:`StableLink` -- baseline + light log-normal jitter; the "latency
+  matrix" idealisation used by the original Vivaldi evaluation.
+* :class:`HeavyTailLink` -- the paper's observed regime: jitter plus a
+  mixture of moderate congestion spikes and rare multi-second outliers.
+* :class:`ClusterLink` -- the low-latency LAN regime of Figure 6
+  (0.4-1.2 ms spread plus a 5% tail above 1.2 ms).
+* :class:`ShiftingLink` -- wraps another model and shifts its baseline at
+  configurable times (route changes), driving the Figure 7 drift experiment.
+
+All models are deterministic functions of their RNG, so experiments are
+reproducible given a seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Protocol, Sequence, Tuple, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "LinkModel",
+    "StableLink",
+    "HeavyTailLink",
+    "ClusterLink",
+    "ShiftingLink",
+    "HeavyTailParameters",
+]
+
+
+@runtime_checkable
+class LinkModel(Protocol):
+    """One direction-agnostic link's observation process."""
+
+    def sample(self, rng: np.random.Generator, time_s: float) -> float:
+        """Return one observed RTT (milliseconds) at simulation time ``time_s``."""
+        ...
+
+    def true_rtt_ms(self, time_s: float) -> float:
+        """The underlying "true" baseline RTT at ``time_s`` (for metrics)."""
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class StableLink:
+    """Baseline RTT with light multiplicative jitter and no heavy tail."""
+
+    base_rtt_ms: float
+    jitter_fraction: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.base_rtt_ms < 0.0:
+            raise ValueError("base_rtt_ms must be non-negative")
+        if self.jitter_fraction < 0.0:
+            raise ValueError("jitter_fraction must be non-negative")
+
+    def sample(self, rng: np.random.Generator, time_s: float) -> float:
+        jitter = rng.lognormal(mean=0.0, sigma=max(self.jitter_fraction, 1e-9))
+        return max(0.05, self.base_rtt_ms * jitter)
+
+    def true_rtt_ms(self, time_s: float) -> float:
+        return self.base_rtt_ms
+
+
+@dataclass(frozen=True, slots=True)
+class HeavyTailParameters:
+    """Tuning knobs for :class:`HeavyTailLink`.
+
+    The defaults are calibrated (see ``tests/test_latency_statistics.py``)
+    so that a whole-trace histogram reproduces the paper's Figure 2 shape:
+    roughly 0.4% of samples above one second and occasional samples in the
+    multi-second range, while the bulk of the distribution stays within a
+    few tens of percent of the baseline.
+    """
+
+    #: Standard deviation of the log-normal multiplicative jitter on the bulk.
+    jitter_sigma: float = 0.08
+    #: Probability that a sample is a moderate congestion/queueing spike.
+    spike_probability: float = 0.03
+    #: Pareto shape for moderate spikes (added delay, scaled by ``spike_scale_ms``).
+    spike_pareto_shape: float = 1.6
+    #: Scale of moderate spike added delay in milliseconds.
+    spike_scale_ms: float = 60.0
+    #: Probability that a sample is an extreme outlier (application-level
+    #: scheduling delays, losses recovered by retransmission, etc.).
+    outlier_probability: float = 0.004
+    #: Extreme outliers are log-uniform between these bounds (milliseconds).
+    outlier_range_ms: Tuple[float, float] = (1000.0, 8000.0)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.spike_probability <= 1.0:
+            raise ValueError("spike_probability must be within [0, 1]")
+        if not 0.0 <= self.outlier_probability <= 1.0:
+            raise ValueError("outlier_probability must be within [0, 1]")
+        if self.spike_probability + self.outlier_probability > 1.0:
+            raise ValueError("spike and outlier probabilities must sum to <= 1")
+        if self.outlier_range_ms[0] <= 0 or self.outlier_range_ms[1] < self.outlier_range_ms[0]:
+            raise ValueError("outlier_range_ms must be a positive, ordered pair")
+
+
+@dataclass(frozen=True, slots=True)
+class HeavyTailLink:
+    """The paper's observed wide-area regime: bulk + spikes + rare outliers."""
+
+    base_rtt_ms: float
+    parameters: HeavyTailParameters = field(default_factory=HeavyTailParameters)
+
+    def __post_init__(self) -> None:
+        if self.base_rtt_ms < 0.0:
+            raise ValueError("base_rtt_ms must be non-negative")
+
+    def sample(self, rng: np.random.Generator, time_s: float) -> float:
+        params = self.parameters
+        draw = rng.uniform()
+        bulk = self.base_rtt_ms * rng.lognormal(mean=0.0, sigma=params.jitter_sigma)
+        if draw < params.outlier_probability:
+            low, high = params.outlier_range_ms
+            outlier = math.exp(rng.uniform(math.log(low), math.log(high)))
+            return max(bulk, outlier)
+        if draw < params.outlier_probability + params.spike_probability:
+            spike = (rng.pareto(params.spike_pareto_shape) + 1.0) * params.spike_scale_ms
+            return bulk + spike
+        return max(0.05, bulk)
+
+    def true_rtt_ms(self, time_s: float) -> float:
+        return self.base_rtt_ms
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterLink:
+    """Low-latency LAN link with measurement noise (the Figure 6 setup).
+
+    The paper's local cluster shows a fairly Normal spread between 0.4 and
+    1.2 ms plus a ~5% tail above 1.2 ms attributed to context switches and
+    background load -- noise below the measurement tool's precision.
+    """
+
+    base_rtt_ms: float = 0.8
+    spread_ms: float = 0.2
+    tail_probability: float = 0.05
+    tail_range_ms: Tuple[float, float] = (1.2, 5.0)
+
+    def __post_init__(self) -> None:
+        if self.base_rtt_ms <= 0.0:
+            raise ValueError("base_rtt_ms must be positive")
+        if not 0.0 <= self.tail_probability <= 1.0:
+            raise ValueError("tail_probability must be within [0, 1]")
+
+    def sample(self, rng: np.random.Generator, time_s: float) -> float:
+        if rng.uniform() < self.tail_probability:
+            low, high = self.tail_range_ms
+            return float(rng.uniform(low, high))
+        value = rng.normal(self.base_rtt_ms, self.spread_ms)
+        return float(min(max(0.05, value), self.tail_range_ms[0]))
+
+    def true_rtt_ms(self, time_s: float) -> float:
+        return self.base_rtt_ms
+
+
+@dataclass(frozen=True, slots=True)
+class ShiftingLink:
+    """Wraps a link model and shifts its baseline at scheduled times.
+
+    ``shifts`` is a sequence of ``(time_s, multiplier)`` pairs; from
+    ``time_s`` onward the wrapped model's baseline is scaled by
+    ``multiplier``.  This models BGP route changes and the slow drift of
+    Figure 7.  An optional linear drift adds a steady ramp in between
+    shifts.
+    """
+
+    inner: LinkModel
+    shifts: Tuple[Tuple[float, float], ...] = ()
+    drift_fraction_per_hour: float = 0.0
+
+    def __post_init__(self) -> None:
+        previous = -math.inf
+        for time_s, multiplier in self.shifts:
+            if time_s < previous:
+                raise ValueError("shifts must be ordered by time")
+            if multiplier <= 0.0:
+                raise ValueError("shift multipliers must be positive")
+            previous = time_s
+
+    def _scale(self, time_s: float) -> float:
+        scale = 1.0
+        for shift_time, multiplier in self.shifts:
+            if time_s >= shift_time:
+                scale = multiplier
+        scale *= 1.0 + self.drift_fraction_per_hour * (time_s / 3600.0)
+        return max(scale, 1e-3)
+
+    def sample(self, rng: np.random.Generator, time_s: float) -> float:
+        return self.inner.sample(rng, time_s) * self._scale(time_s)
+
+    def true_rtt_ms(self, time_s: float) -> float:
+        return self.inner.true_rtt_ms(time_s) * self._scale(time_s)

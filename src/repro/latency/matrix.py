@@ -1,0 +1,129 @@
+"""Static latency-matrix abstraction.
+
+The original Vivaldi evaluation (and most prior network-coordinate work)
+summarised each link with a single scalar and fed that fixed value into the
+algorithm on every observation.  The paper argues this idealisation hides
+the instability problem entirely.  :class:`LatencyMatrix` implements that
+idealised substrate so the baseline comparison ("Vivaldi on a latency
+matrix converges beautifully") can be reproduced and contrasted with the
+stream-driven experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.latency.topology import GeographicTopology
+
+__all__ = ["LatencyMatrix"]
+
+
+class LatencyMatrix:
+    """A symmetric matrix of fixed per-pair round-trip times."""
+
+    def __init__(self, node_ids: Sequence[str], matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("matrix must be square")
+        if matrix.shape[0] != len(node_ids):
+            raise ValueError("matrix size must match the number of node ids")
+        if len(set(node_ids)) != len(node_ids):
+            raise ValueError("node ids must be unique")
+        if np.any(matrix < 0.0):
+            raise ValueError("latencies must be non-negative")
+        if not np.allclose(matrix, matrix.T):
+            raise ValueError("latency matrices must be symmetric")
+        self._ids: List[str] = list(node_ids)
+        self._index: Dict[str, int] = {nid: i for i, nid in enumerate(self._ids)}
+        self._matrix = matrix.copy()
+        np.fill_diagonal(self._matrix, 0.0)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_topology(cls, topology: GeographicTopology) -> "LatencyMatrix":
+        """Summarise a topology's base RTTs into a static matrix."""
+        return cls(topology.host_ids, topology.rtt_matrix())
+
+    @classmethod
+    def from_dict(cls, latencies: Mapping[Tuple[str, str], float]) -> "LatencyMatrix":
+        """Build a matrix from ``{(a, b): rtt_ms}`` entries (symmetrised)."""
+        nodes = sorted({n for pair in latencies for n in pair})
+        index = {n: i for i, n in enumerate(nodes)}
+        matrix = np.zeros((len(nodes), len(nodes)), dtype=float)
+        for (a, b), rtt in latencies.items():
+            if a == b:
+                continue
+            matrix[index[a], index[b]] = rtt
+            matrix[index[b], index[a]] = rtt
+        return cls(nodes, matrix)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def node_ids(self) -> List[str]:
+        return list(self._ids)
+
+    @property
+    def size(self) -> int:
+        return len(self._ids)
+
+    def rtt_ms(self, a: str, b: str) -> float:
+        """The fixed RTT between two nodes."""
+        return float(self._matrix[self._index[a], self._index[b]])
+
+    def as_array(self) -> np.ndarray:
+        """A copy of the underlying matrix (node order = :attr:`node_ids`)."""
+        return self._matrix.copy()
+
+    def pairs(self) -> Iterable[Tuple[str, str, float]]:
+        """All unordered pairs with their RTT."""
+        for i in range(self.size):
+            for j in range(i + 1, self.size):
+                yield self._ids[i], self._ids[j], float(self._matrix[i, j])
+
+    # ------------------------------------------------------------------
+    # Properties of the metric
+    # ------------------------------------------------------------------
+    def triangle_violation_fraction(self, sample_limit: int | None = 50_000, seed: int = 0) -> float:
+        """Fraction of node triples violating the triangle inequality.
+
+        Real latency spaces violate the triangle inequality (a core reason
+        perfect embeddings are impossible); this diagnostic quantifies how
+        non-metric a matrix is.  Triples are sampled when the exhaustive
+        count exceeds ``sample_limit``.
+        """
+        n = self.size
+        if n < 3:
+            return 0.0
+        rng = np.random.default_rng(seed)
+        total_triples = n * (n - 1) * (n - 2) // 6
+        violations = 0
+        checked = 0
+        if sample_limit is None or total_triples <= sample_limit:
+            for i in range(n):
+                for j in range(i + 1, n):
+                    for k in range(j + 1, n):
+                        checked += 1
+                        ab = self._matrix[i, j]
+                        bc = self._matrix[j, k]
+                        ac = self._matrix[i, k]
+                        if ab > bc + ac or bc > ab + ac or ac > ab + bc:
+                            violations += 1
+        else:
+            for _ in range(sample_limit):
+                i, j, k = rng.choice(n, size=3, replace=False)
+                checked += 1
+                ab = self._matrix[i, j]
+                bc = self._matrix[j, k]
+                ac = self._matrix[i, k]
+                if ab > bc + ac or bc > ab + ac or ac > ab + bc:
+                    violations += 1
+        return violations / checked if checked else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"LatencyMatrix(nodes={self.size})"

@@ -1,0 +1,243 @@
+"""Geographic cluster topology producing a PlanetLab-like base RTT matrix.
+
+PlanetLab hosts cluster at university sites; sites cluster in regions
+(US East, US West, Europe, Asia in the paper's Figure 7).  Latency between
+two hosts decomposes into:
+
+* an access-link penalty per host (sub-millisecond to a few ms),
+* an intra-site component (~0.5 ms) when the hosts share a site,
+* a regional backbone component (propagation across the region),
+* an inter-regional long-haul component when the regions differ.
+
+The topology places each site at a 2-D "virtual geography" position per
+region and converts distance to propagation delay, which is a standard and
+well-validated first-order model of wide-area RTT; the heavy-tailed
+observation noise is layered on top by :mod:`repro.latency.linkmodel`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Region", "Site", "Host", "GeographicTopology", "DEFAULT_REGIONS"]
+
+
+@dataclass(frozen=True, slots=True)
+class Region:
+    """A continental region in the virtual geography.
+
+    ``position_ms`` is the region centre expressed directly in one-way
+    propagation milliseconds, so Euclidean distance between region centres
+    approximates long-haul one-way delay.
+    """
+
+    name: str
+    position_ms: Tuple[float, float]
+    #: Radius (ms) within which the region's sites are scattered.
+    spread_ms: float = 12.0
+
+
+#: Region layout producing inter-regional RTTs in the ranges the paper's
+#: Figure 7 implies (US East <-> US West ~70 ms, US <-> Europe ~90-120 ms,
+#: Europe/US <-> Asia ~150-300 ms round trip).
+DEFAULT_REGIONS: Tuple[Region, ...] = (
+    Region("us-east", (0.0, 0.0), spread_ms=10.0),
+    Region("us-west", (35.0, 5.0), spread_ms=10.0),
+    Region("europe", (-45.0, 10.0), spread_ms=12.0),
+    Region("asia", (90.0, 40.0), spread_ms=15.0),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Site:
+    """A hosting site (university/lab) within a region."""
+
+    site_id: str
+    region: str
+    position_ms: Tuple[float, float]
+    #: Site-wide access infrastructure quality; scales per-host access delay.
+    access_quality: float = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class Host:
+    """A single machine at a site."""
+
+    host_id: str
+    site_id: str
+    region: str
+    #: One-way access-link delay for this host (milliseconds).
+    access_delay_ms: float
+
+
+class GeographicTopology:
+    """A set of hosts with a deterministic base RTT for every pair.
+
+    Parameters
+    ----------
+    hosts, sites, regions:
+        The topology inventory; normally built through :meth:`generate`.
+    """
+
+    def __init__(
+        self,
+        hosts: Sequence[Host],
+        sites: Mapping[str, Site],
+        regions: Mapping[str, Region],
+    ) -> None:
+        if not hosts:
+            raise ValueError("a topology needs at least one host")
+        self._hosts: Dict[str, Host] = {h.host_id: h for h in hosts}
+        if len(self._hosts) != len(hosts):
+            raise ValueError("host identifiers must be unique")
+        self._sites = dict(sites)
+        self._regions = dict(regions)
+        self._order: List[str] = [h.host_id for h in hosts]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        nodes: int,
+        *,
+        seed: int = 0,
+        regions: Sequence[Region] = DEFAULT_REGIONS,
+        sites_per_region: int = 8,
+        region_weights: Sequence[float] | None = None,
+    ) -> "GeographicTopology":
+        """Generate a topology with ``nodes`` hosts spread over ``regions``.
+
+        Hosts are assigned to regions according to ``region_weights``
+        (defaults to a PlanetLab-like skew: most hosts in the US and
+        Europe), then to sites within the region, each site holding a
+        handful of machines.
+        """
+        if nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {nodes}")
+        if not regions:
+            raise ValueError("at least one region is required")
+        if sites_per_region < 1:
+            raise ValueError("sites_per_region must be >= 1")
+        rng = np.random.default_rng(seed)
+
+        if region_weights is None:
+            # Rough PlanetLab distribution circa 2005: heavy US/Europe presence.
+            base_weights = {"us-east": 0.35, "us-west": 0.25, "europe": 0.28, "asia": 0.12}
+            region_weights = [base_weights.get(r.name, 1.0 / len(regions)) for r in regions]
+        weights = np.asarray(region_weights, dtype=float)
+        if weights.shape[0] != len(regions) or np.any(weights < 0) or weights.sum() == 0:
+            raise ValueError("region_weights must be non-negative and match the region count")
+        weights = weights / weights.sum()
+
+        region_map = {r.name: r for r in regions}
+        sites: Dict[str, Site] = {}
+        for region in regions:
+            for s in range(sites_per_region):
+                angle = rng.uniform(0.0, 2.0 * math.pi)
+                radius = region.spread_ms * math.sqrt(rng.uniform(0.0, 1.0))
+                position = (
+                    region.position_ms[0] + radius * math.cos(angle),
+                    region.position_ms[1] + radius * math.sin(angle),
+                )
+                site_id = f"{region.name}-site{s}"
+                sites[site_id] = Site(
+                    site_id=site_id,
+                    region=region.name,
+                    position_ms=position,
+                    access_quality=float(rng.uniform(0.7, 1.6)),
+                )
+
+        hosts: List[Host] = []
+        region_choices = rng.choice(len(regions), size=nodes, p=weights)
+        for index in range(nodes):
+            region = regions[int(region_choices[index])]
+            site_index = int(rng.integers(0, sites_per_region))
+            site = sites[f"{region.name}-site{site_index}"]
+            access = float(rng.gamma(shape=2.0, scale=0.4) * site.access_quality + 0.2)
+            hosts.append(
+                Host(
+                    host_id=f"node{index:03d}",
+                    site_id=site.site_id,
+                    region=region.name,
+                    access_delay_ms=access,
+                )
+            )
+        return cls(hosts, sites, region_map)
+
+    # ------------------------------------------------------------------
+    # Inventory
+    # ------------------------------------------------------------------
+    @property
+    def host_ids(self) -> List[str]:
+        return list(self._order)
+
+    @property
+    def size(self) -> int:
+        return len(self._order)
+
+    def host(self, host_id: str) -> Host:
+        return self._hosts[host_id]
+
+    def site(self, site_id: str) -> Site:
+        return self._sites[site_id]
+
+    def region_of(self, host_id: str) -> str:
+        return self._hosts[host_id].region
+
+    def hosts_in_region(self, region: str) -> List[str]:
+        return [h for h in self._order if self._hosts[h].region == region]
+
+    def regions(self) -> List[str]:
+        return list(self._regions)
+
+    # ------------------------------------------------------------------
+    # Base latency model
+    # ------------------------------------------------------------------
+    def base_rtt_ms(self, a: str, b: str) -> float:
+        """Deterministic baseline round-trip time between two hosts.
+
+        This is the "true" underlying latency the coordinate system tries
+        to capture; observation noise is added by the link models.
+        """
+        if a == b:
+            return 0.0
+        host_a = self._hosts[a]
+        host_b = self._hosts[b]
+        site_a = self._sites[host_a.site_id]
+        site_b = self._sites[host_b.site_id]
+        access = host_a.access_delay_ms + host_b.access_delay_ms
+        if host_a.site_id == host_b.site_id:
+            # Same machine room: switch hops only.
+            return 2.0 * (0.25 + access * 0.1)
+        dx = site_a.position_ms[0] - site_b.position_ms[0]
+        dy = site_a.position_ms[1] - site_b.position_ms[1]
+        one_way_propagation = math.hypot(dx, dy)
+        # Round trip = 2x propagation + access links both ways + a small
+        # fixed per-path routing/queueing floor.
+        return 2.0 * (one_way_propagation + access) + 1.5
+
+    def rtt_matrix(self) -> np.ndarray:
+        """Full symmetric base-RTT matrix in host order."""
+        n = self.size
+        matrix = np.zeros((n, n), dtype=float)
+        for i in range(n):
+            for j in range(i + 1, n):
+                rtt = self.base_rtt_ms(self._order[i], self._order[j])
+                matrix[i, j] = rtt
+                matrix[j, i] = rtt
+        return matrix
+
+    def pairs(self) -> Iterable[Tuple[str, str]]:
+        """All unordered host pairs."""
+        for i in range(self.size):
+            for j in range(i + 1, self.size):
+                yield self._order[i], self._order[j]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"GeographicTopology(hosts={self.size}, regions={len(self._regions)})"

@@ -1,0 +1,171 @@
+"""Latency trace records and containers.
+
+The paper's input is a trace of timestamped per-link ping measurements.  A
+:class:`TraceRecord` is one measurement (``time_s``, source, destination,
+observed RTT); a :class:`LatencyTrace` is an ordered collection with
+convenience accessors (per-link streams, time slicing) plus CSV persistence
+so generated traces can be cached on disk and shared between experiments.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["TraceRecord", "LatencyTrace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One latency measurement: ``src`` pinged ``dst`` at ``time_s``."""
+
+    time_s: float
+    src: str
+    dst: str
+    rtt_ms: float
+
+    def link(self) -> Tuple[str, str]:
+        """Canonical (sorted) link identifier, ignoring direction."""
+        return (self.src, self.dst) if self.src <= self.dst else (self.dst, self.src)
+
+
+class LatencyTrace:
+    """An ordered collection of latency measurements.
+
+    Records are kept sorted by timestamp; all accessors return copies so a
+    trace can be shared between experiments without aliasing surprises.
+    """
+
+    def __init__(self, records: Iterable[TraceRecord] = ()) -> None:
+        self._records: List[TraceRecord] = sorted(records, key=lambda r: r.time_s)
+
+    # ------------------------------------------------------------------
+    # Basic container behaviour
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    def append(self, record: TraceRecord) -> None:
+        """Append a record; must not precede the last timestamp."""
+        if self._records and record.time_s < self._records[-1].time_s:
+            raise ValueError(
+                "records must be appended in non-decreasing time order; "
+                f"got {record.time_s} after {self._records[-1].time_s}"
+            )
+        self._records.append(record)
+
+    def extend(self, records: Iterable[TraceRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def duration_s(self) -> float:
+        """Time span covered by the trace (0 for traces with < 2 records)."""
+        if len(self._records) < 2:
+            return 0.0
+        return self._records[-1].time_s - self._records[0].time_s
+
+    @property
+    def start_time_s(self) -> float:
+        if not self._records:
+            return 0.0
+        return self._records[0].time_s
+
+    @property
+    def end_time_s(self) -> float:
+        if not self._records:
+            return 0.0
+        return self._records[-1].time_s
+
+    def nodes(self) -> List[str]:
+        """Sorted list of all node identifiers appearing in the trace."""
+        seen = set()
+        for record in self._records:
+            seen.add(record.src)
+            seen.add(record.dst)
+        return sorted(seen)
+
+    def rtts(self) -> np.ndarray:
+        """All observed RTTs as a NumPy array (in record order)."""
+        return np.asarray([r.rtt_ms for r in self._records], dtype=float)
+
+    def per_link(self) -> Dict[Tuple[str, str], List[TraceRecord]]:
+        """Group records by canonical link, preserving time order."""
+        links: Dict[Tuple[str, str], List[TraceRecord]] = {}
+        for record in self._records:
+            links.setdefault(record.link(), []).append(record)
+        return links
+
+    def per_source(self) -> Dict[str, List[TraceRecord]]:
+        """Group records by the measuring (source) node."""
+        sources: Dict[str, List[TraceRecord]] = {}
+        for record in self._records:
+            sources.setdefault(record.src, []).append(record)
+        return sources
+
+    def link_stream(self, a: str, b: str) -> List[TraceRecord]:
+        """The observation stream of one link (either direction)."""
+        key = (a, b) if a <= b else (b, a)
+        return [r for r in self._records if r.link() == key]
+
+    def time_slice(self, start_s: float, end_s: float) -> "LatencyTrace":
+        """Records with ``start_s <= time_s < end_s`` as a new trace."""
+        if end_s < start_s:
+            raise ValueError("end_s must not precede start_s")
+        return LatencyTrace(r for r in self._records if start_s <= r.time_s < end_s)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    _CSV_HEADER = ("time_s", "src", "dst", "rtt_ms")
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write the trace to a CSV file."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self._CSV_HEADER)
+            for record in self._records:
+                writer.writerow((f"{record.time_s:.6f}", record.src, record.dst, f"{record.rtt_ms:.6f}"))
+
+    @classmethod
+    def from_csv(cls, path: str | Path) -> "LatencyTrace":
+        """Read a trace previously written by :meth:`to_csv`."""
+        records: List[TraceRecord] = []
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None or tuple(header) != cls._CSV_HEADER:
+                raise ValueError(f"{path} does not look like a latency trace CSV")
+            for row in reader:
+                time_s, src, dst, rtt_ms = row
+                records.append(TraceRecord(float(time_s), src, dst, float(rtt_ms)))
+        return cls(records)
+
+    def to_csv_string(self) -> str:
+        """The CSV serialisation as a string (handy for tests)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self._CSV_HEADER)
+        for record in self._records:
+            writer.writerow((f"{record.time_s:.6f}", record.src, record.dst, f"{record.rtt_ms:.6f}"))
+        return buffer.getvalue()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"LatencyTrace(records={len(self._records)}, "
+            f"nodes={len(self.nodes())}, duration_s={self.duration_s:.0f})"
+        )

@@ -1,0 +1,33 @@
+"""Accuracy and stability metrics (Section II-A of the paper).
+
+* **Accuracy** is measured as *relative error*: for an observation of
+  latency ``l_ij`` against coordinates ``x_i`` and ``x_j``,
+  ``|| ||x_i - x_j|| - l_ij | / l_ij``.  The paper reports *per-node*
+  distributions (the collection of a node's errors over all its
+  observations) summarised by their median and 95th percentile, and then
+  CDFs of those per-node summaries across the system.
+* **Stability** is the rate of coordinate change, ``sum(||dx_i||) / t`` in
+  milliseconds of coordinate movement per second.  It is reported per node
+  and aggregated system-wide ("instability").
+
+:mod:`repro.metrics.collector` ties the two together for simulator runs.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.accuracy import NodeAccuracy, relative_error
+from repro.metrics.collector import MetricsCollector, NodeMetricsSnapshot, SystemSnapshot
+from repro.metrics.report import ComparisonRow, comparison_table, format_table
+from repro.metrics.stability import StabilityTracker
+
+__all__ = [
+    "ComparisonRow",
+    "MetricsCollector",
+    "NodeAccuracy",
+    "NodeMetricsSnapshot",
+    "StabilityTracker",
+    "SystemSnapshot",
+    "comparison_table",
+    "format_table",
+    "relative_error",
+]

@@ -1,0 +1,121 @@
+"""Per-node relative-error accounting.
+
+The paper measures *per-node* relative error rather than per-link error:
+the distribution of a node's errors over all of its observations.  A static
+per-link ground truth does not exist under real conditions (the "true"
+latency is itself a distribution), so error is always computed against the
+observation that triggered it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+__all__ = ["relative_error", "absolute_error", "NodeAccuracy", "AccuracyAggregator"]
+
+
+def absolute_error(predicted_ms: float, observed_ms: float) -> float:
+    """``e = | ||x_i - x_j|| - l_ij |`` for one observation."""
+    return abs(float(predicted_ms) - float(observed_ms))
+
+
+def relative_error(predicted_ms: float, observed_ms: float) -> float:
+    """Relative error of one observation, the paper's accuracy metric.
+
+    ``observed_ms`` is clamped away from zero to keep the ratio finite for
+    degenerate (sub-microsecond) observations.
+    """
+    observed = max(float(observed_ms), 1e-3)
+    return abs(float(predicted_ms) - observed) / observed
+
+
+class NodeAccuracy:
+    """Accumulates one node's relative-error observations."""
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        self._errors: List[float] = []
+
+    def record(self, predicted_ms: float, observed_ms: float) -> float:
+        """Record one observation; returns the relative error."""
+        error = relative_error(predicted_ms, observed_ms)
+        self._errors.append(error)
+        return error
+
+    def record_error(self, error: float) -> None:
+        """Record an already-computed relative error."""
+        if error < 0.0:
+            raise ValueError("relative errors are non-negative")
+        self._errors.append(float(error))
+
+    @property
+    def count(self) -> int:
+        return len(self._errors)
+
+    def median(self) -> Optional[float]:
+        """Median relative error, or ``None`` with no observations."""
+        if not self._errors:
+            return None
+        return float(np.percentile(self._errors, 50.0))
+
+    def percentile(self, percentile: float) -> Optional[float]:
+        if not self._errors:
+            return None
+        return float(np.percentile(self._errors, percentile))
+
+    def errors(self) -> List[float]:
+        return list(self._errors)
+
+    def reset(self) -> None:
+        self._errors.clear()
+
+
+class AccuracyAggregator:
+    """Per-node accuracy accounting for a whole system."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, NodeAccuracy] = {}
+
+    def node(self, node_id: str) -> NodeAccuracy:
+        accuracy = self._nodes.get(node_id)
+        if accuracy is None:
+            accuracy = NodeAccuracy(node_id)
+            self._nodes[node_id] = accuracy
+        return accuracy
+
+    def record(self, node_id: str, predicted_ms: float, observed_ms: float) -> float:
+        return self.node(node_id).record(predicted_ms, observed_ms)
+
+    def record_error(self, node_id: str, error: float) -> None:
+        self.node(node_id).record_error(error)
+
+    def per_node_medians(self) -> Dict[str, float]:
+        """Median relative error for every node with at least one observation."""
+        return {
+            node_id: median
+            for node_id, acc in self._nodes.items()
+            if (median := acc.median()) is not None
+        }
+
+    def per_node_percentiles(self, percentile: float) -> Dict[str, float]:
+        return {
+            node_id: value
+            for node_id, acc in self._nodes.items()
+            if (value := acc.percentile(percentile)) is not None
+        }
+
+    def median_of_medians(self) -> Optional[float]:
+        """The headline number in Table I: median over nodes of median error."""
+        medians = list(self.per_node_medians().values())
+        if not medians:
+            return None
+        return float(np.percentile(medians, 50.0))
+
+    def node_ids(self) -> List[str]:
+        return list(self._nodes)
+
+    def reset(self) -> None:
+        self._nodes.clear()

@@ -1,0 +1,322 @@
+"""System-wide metric collection for simulator and trace-replay runs.
+
+The collector receives one call per processed latency observation and keeps
+enough state to answer every question the paper's figures ask:
+
+* per-node median / 95th-percentile relative error, at the system and at the
+  application level (Figures 5, 11, 13, Table I);
+* per-node and aggregate instability (ms of coordinate movement per second)
+  for both coordinate levels (Figures 5, 8-13, Table I);
+* application update frequency -- the fraction of nodes whose application
+  coordinate changed per second (Figure 9);
+* time series of the above over fixed intervals (Figure 14).
+
+A ``measurement_start_s`` cut-off lets experiments discard start-up effects,
+matching the paper's practice of reporting the second half of each run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.coordinate import Coordinate
+from repro.metrics.stability import StabilityTracker
+
+__all__ = ["MetricsCollector", "NodeMetricsSnapshot", "SystemSnapshot"]
+
+
+@dataclass(frozen=True, slots=True)
+class NodeMetricsSnapshot:
+    """Summary of one node over the measurement interval."""
+
+    node_id: str
+    observation_count: int
+    median_relative_error: Optional[float]
+    p95_relative_error: Optional[float]
+    median_application_error: Optional[float]
+    p95_application_error: Optional[float]
+    system_instability_ms_per_s: float
+    application_instability_ms_per_s: float
+    application_updates: int
+
+
+@dataclass(frozen=True, slots=True)
+class SystemSnapshot:
+    """System-wide summary over the measurement interval."""
+
+    node_count: int
+    duration_s: float
+    median_of_median_error: Optional[float]
+    median_of_p95_error: Optional[float]
+    median_of_median_application_error: Optional[float]
+    median_of_p95_application_error: Optional[float]
+    aggregate_system_instability: float
+    aggregate_application_instability: float
+    median_node_system_instability: float
+    median_node_application_instability: float
+    application_updates_per_node_per_s: float
+
+
+class _NodeRecord:
+    """Mutable per-node accumulation (internal)."""
+
+    __slots__ = (
+        "node_id",
+        "system_errors",
+        "application_errors",
+        "system_stability",
+        "application_stability",
+        "application_update_times",
+        "observation_count",
+    )
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        self.system_errors: List[Tuple[float, float]] = []
+        self.application_errors: List[Tuple[float, float]] = []
+        self.system_stability = StabilityTracker(node_id)
+        self.application_stability = StabilityTracker(node_id)
+        self.application_update_times: List[float] = []
+        self.observation_count = 0
+
+
+class MetricsCollector:
+    """Collects accuracy and stability metrics during a run."""
+
+    def __init__(self, measurement_start_s: float = 0.0) -> None:
+        if measurement_start_s < 0.0:
+            raise ValueError("measurement_start_s must be non-negative")
+        self.measurement_start_s = measurement_start_s
+        self._nodes: Dict[str, _NodeRecord] = {}
+        self._first_time_s: Optional[float] = None
+        self._last_time_s: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _record_for(self, node_id: str) -> _NodeRecord:
+        record = self._nodes.get(node_id)
+        if record is None:
+            record = _NodeRecord(node_id)
+            self._nodes[node_id] = record
+        return record
+
+    def record_sample(
+        self,
+        time_s: float,
+        node_id: str,
+        *,
+        system_coordinate: Coordinate,
+        application_coordinate: Coordinate,
+        relative_error: Optional[float] = None,
+        application_relative_error: Optional[float] = None,
+        application_updated: bool = False,
+    ) -> None:
+        """Record the outcome of one processed observation at ``time_s``."""
+        record = self._record_for(node_id)
+        record.observation_count += 1
+        if self._first_time_s is None:
+            self._first_time_s = time_s
+        self._last_time_s = time_s
+
+        # Stability must track every movement, including before the
+        # measurement window, so that the "previous coordinate" is correct
+        # when the window opens; the reporting helpers filter by time.
+        record.system_stability.record(time_s, system_coordinate)
+        record.application_stability.record(time_s, application_coordinate)
+
+        if time_s >= self.measurement_start_s:
+            if relative_error is not None:
+                record.system_errors.append((time_s, float(relative_error)))
+            if application_relative_error is not None:
+                record.application_errors.append((time_s, float(application_relative_error)))
+            if application_updated:
+                record.application_update_times.append(time_s)
+
+    # ------------------------------------------------------------------
+    # Interval bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def observed_duration_s(self) -> float:
+        if self._first_time_s is None or self._last_time_s is None:
+            return 0.0
+        return max(0.0, self._last_time_s - self._first_time_s)
+
+    def _measurement_bounds(self) -> Tuple[float, float]:
+        start = max(self.measurement_start_s, self._first_time_s or 0.0)
+        end = self._last_time_s if self._last_time_s is not None else start
+        return start, max(start, end)
+
+    @property
+    def measurement_duration_s(self) -> float:
+        start, end = self._measurement_bounds()
+        return end - start
+
+    def node_ids(self) -> List[str]:
+        return list(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Per-node summaries
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _percentile_of_errors(
+        errors: List[Tuple[float, float]], percentile: float
+    ) -> Optional[float]:
+        if not errors:
+            return None
+        values = [e for _, e in errors]
+        return float(np.percentile(values, percentile))
+
+    def per_node_error_percentile(
+        self, percentile: float, *, level: str = "system"
+    ) -> Dict[str, float]:
+        """Per-node percentile of relative error over the measurement window."""
+        results: Dict[str, float] = {}
+        for node_id, record in self._nodes.items():
+            errors = record.system_errors if level == "system" else record.application_errors
+            value = self._percentile_of_errors(errors, percentile)
+            if value is not None:
+                results[node_id] = value
+        return results
+
+    def per_node_median_error(self, *, level: str = "system") -> Dict[str, float]:
+        return self.per_node_error_percentile(50.0, level=level)
+
+    def per_node_instability(self, *, level: str = "system") -> Dict[str, float]:
+        """Per-node coordinate movement per second over the measurement window."""
+        start, end = self._measurement_bounds()
+        duration = max(end - start, 1e-9)
+        results: Dict[str, float] = {}
+        for node_id, record in self._nodes.items():
+            tracker = (
+                record.system_stability if level == "system" else record.application_stability
+            )
+            movement = tracker.movement_since(start)
+            results[node_id] = movement / duration
+        return results
+
+    def per_node_update_counts(self) -> Dict[str, int]:
+        """Application-coordinate updates per node within the measurement window."""
+        return {
+            node_id: len(record.application_update_times)
+            for node_id, record in self._nodes.items()
+        }
+
+    # ------------------------------------------------------------------
+    # System summaries
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _median(values: Dict[str, float]) -> Optional[float]:
+        if not values:
+            return None
+        return float(np.percentile(list(values.values()), 50.0))
+
+    def aggregate_instability(self, *, level: str = "system") -> float:
+        """Sum over nodes of per-node instability (system-wide ms/sec)."""
+        return float(sum(self.per_node_instability(level=level).values()))
+
+    def application_updates_per_node_per_second(self) -> float:
+        """Average fraction of nodes updating their application coordinate per second."""
+        start, end = self._measurement_bounds()
+        duration = max(end - start, 1e-9)
+        if not self._nodes:
+            return 0.0
+        total_updates = sum(
+            len(record.application_update_times) for record in self._nodes.values()
+        )
+        return total_updates / duration / len(self._nodes)
+
+    def node_snapshot(self, node_id: str) -> NodeMetricsSnapshot:
+        record = self._nodes[node_id]
+        start, end = self._measurement_bounds()
+        duration = max(end - start, 1e-9)
+        return NodeMetricsSnapshot(
+            node_id=node_id,
+            observation_count=record.observation_count,
+            median_relative_error=self._percentile_of_errors(record.system_errors, 50.0),
+            p95_relative_error=self._percentile_of_errors(record.system_errors, 95.0),
+            median_application_error=self._percentile_of_errors(record.application_errors, 50.0),
+            p95_application_error=self._percentile_of_errors(record.application_errors, 95.0),
+            system_instability_ms_per_s=record.system_stability.movement_since(start) / duration,
+            application_instability_ms_per_s=(
+                record.application_stability.movement_since(start) / duration
+            ),
+            application_updates=len(record.application_update_times),
+        )
+
+    def system_snapshot(self) -> SystemSnapshot:
+        """Headline summary over the measurement window."""
+        median_err = self.per_node_median_error(level="system")
+        p95_err = self.per_node_error_percentile(95.0, level="system")
+        app_median_err = self.per_node_median_error(level="application")
+        app_p95_err = self.per_node_error_percentile(95.0, level="application")
+        system_instability = self.per_node_instability(level="system")
+        app_instability = self.per_node_instability(level="application")
+        return SystemSnapshot(
+            node_count=len(self._nodes),
+            duration_s=self.measurement_duration_s,
+            median_of_median_error=self._median(median_err),
+            median_of_p95_error=self._median(p95_err),
+            median_of_median_application_error=self._median(app_median_err),
+            median_of_p95_application_error=self._median(app_p95_err),
+            aggregate_system_instability=float(sum(system_instability.values())),
+            aggregate_application_instability=float(sum(app_instability.values())),
+            median_node_system_instability=self._median(system_instability) or 0.0,
+            median_node_application_instability=self._median(app_instability) or 0.0,
+            application_updates_per_node_per_s=self.application_updates_per_node_per_second(),
+        )
+
+    # ------------------------------------------------------------------
+    # Time series (Figure 14)
+    # ------------------------------------------------------------------
+    def time_series(
+        self, interval_s: float, *, level: str = "application"
+    ) -> List[Dict[str, float]]:
+        """Per-interval median relative error and mean instability.
+
+        Matches Figure 14's reporting: data points are the median error and
+        the mean per-node instability over consecutive intervals of
+        ``interval_s`` seconds, starting from the first observation (the
+        start-up period is included so convergence is visible).
+        """
+        if interval_s <= 0.0:
+            raise ValueError("interval_s must be positive")
+        if self._first_time_s is None or self._last_time_s is None:
+            return []
+        start = self._first_time_s
+        end = self._last_time_s
+        series: List[Dict[str, float]] = []
+        t = start
+        while t < end:
+            t_next = t + interval_s
+            errors: List[float] = []
+            movements: List[float] = []
+            for record in self._nodes.values():
+                error_stream = (
+                    record.system_errors if level == "system" else record.application_errors
+                )
+                errors.extend(e for ts, e in error_stream if t <= ts < t_next)
+                tracker = (
+                    record.system_stability
+                    if level == "system"
+                    else record.application_stability
+                )
+                movement = sum(m for ts, m in tracker.movements() if t <= ts < t_next)
+                movements.append(movement / interval_s)
+            series.append(
+                {
+                    "time_s": t,
+                    "median_relative_error": float(np.median(errors)) if errors else float("nan"),
+                    "mean_instability": float(np.mean(movements)) if movements else 0.0,
+                }
+            )
+            t = t_next
+        return series
+
+    def reset(self) -> None:
+        self._nodes.clear()
+        self._first_time_s = None
+        self._last_time_s = None

@@ -1,0 +1,135 @@
+"""Tabular reporting helpers.
+
+The paper reports most comparisons as small tables (Table I) or as a few
+headline numbers ("54% improvement in accuracy, 96% in stability").  These
+helpers turn :class:`~repro.metrics.collector.SystemSnapshot` objects into
+comparison rows and render them as plain-text tables so every experiment
+and benchmark can print paper-style output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.metrics.collector import SystemSnapshot
+
+__all__ = ["ComparisonRow", "comparison_table", "format_table", "improvement_percent"]
+
+
+def improvement_percent(baseline: float, value: float) -> float:
+    """Relative change of ``value`` versus ``baseline`` in percent.
+
+    Matches the paper's convention: negative numbers are improvements
+    (e.g. "-42%" means 42% lower error than the baseline).
+    """
+    if baseline == 0.0:
+        return 0.0
+    return (value - baseline) / baseline * 100.0
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonRow:
+    """One configuration's headline metrics, relative to a baseline."""
+
+    label: str
+    median_relative_error: Optional[float]
+    instability: float
+    error_change_percent: Optional[float]
+    instability_change_percent: Optional[float]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "median_relative_error": self.median_relative_error,
+            "instability": self.instability,
+            "error_change_percent": self.error_change_percent,
+            "instability_change_percent": self.instability_change_percent,
+        }
+
+
+def comparison_table(
+    snapshots: Mapping[str, SystemSnapshot],
+    *,
+    baseline: str,
+    level: str = "application",
+) -> List[ComparisonRow]:
+    """Build Table-I-style rows: error and instability vs. a named baseline.
+
+    ``level`` selects whether application- or system-level metrics are
+    compared (Table I predates the application/system split, so it uses the
+    system level; Figures 11 and 13 compare application-level numbers).
+    """
+    if baseline not in snapshots:
+        raise ValueError(f"baseline {baseline!r} is not one of the provided snapshots")
+
+    def _error(snapshot: SystemSnapshot) -> Optional[float]:
+        if level == "system":
+            return snapshot.median_of_median_error
+        return snapshot.median_of_median_application_error
+
+    def _instability(snapshot: SystemSnapshot) -> float:
+        if level == "system":
+            return snapshot.aggregate_system_instability
+        return snapshot.aggregate_application_instability
+
+    base_snapshot = snapshots[baseline]
+    base_error = _error(base_snapshot)
+    base_instability = _instability(base_snapshot)
+
+    rows: List[ComparisonRow] = []
+    for label, snapshot in snapshots.items():
+        error = _error(snapshot)
+        instability = _instability(snapshot)
+        rows.append(
+            ComparisonRow(
+                label=label,
+                median_relative_error=error,
+                instability=instability,
+                error_change_percent=(
+                    improvement_percent(base_error, error)
+                    if base_error is not None and error is not None
+                    else None
+                ),
+                instability_change_percent=(
+                    improvement_percent(base_instability, instability)
+                    if base_instability
+                    else None
+                ),
+            )
+        )
+    return rows
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]] | Sequence[ComparisonRow],
+    columns: Sequence[str] | None = None,
+    *,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows of dictionaries (or ComparisonRows) as an aligned text table."""
+    dict_rows: List[Mapping[str, object]] = [
+        row.as_dict() if isinstance(row, ComparisonRow) else row for row in rows
+    ]
+    if not dict_rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(dict_rows[0].keys())
+
+    def _fmt(value: object) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    table = [[_fmt(row.get(col)) for col in columns] for row in dict_rows]
+    widths = [
+        max(len(str(col)), *(len(row[i]) for row in table)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(row[i].ljust(widths[i]) for i in range(len(columns))) for row in table
+    )
+    return f"{header}\n{separator}\n{body}"

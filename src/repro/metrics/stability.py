@@ -1,0 +1,98 @@
+"""Coordinate stability (instability) accounting.
+
+The paper quantifies stability as the rate of coordinate change,
+
+    s = sum(||delta x_i||) / t
+
+with the numerator in milliseconds of coordinate-space movement and ``t``
+in seconds, i.e. ms/sec.  A perfectly stable system moves 0 ms/sec even
+though its links keep producing (noisy) observations.
+
+:class:`StabilityTracker` tracks one coordinate stream (either the system-
+or application-level view of one node); per-node and aggregate figures are
+assembled by the metrics collector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.coordinate import Coordinate
+
+__all__ = ["StabilityTracker"]
+
+
+class StabilityTracker:
+    """Accumulates coordinate movement for one coordinate stream."""
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        self._previous: Optional[Coordinate] = None
+        self._first_time_s: Optional[float] = None
+        self._last_time_s: Optional[float] = None
+        self._total_movement_ms = 0.0
+        self._updates = 0
+        self._movements: List[Tuple[float, float]] = []
+
+    def record(self, time_s: float, coordinate: Coordinate) -> float:
+        """Record the coordinate at ``time_s``; returns the movement since last."""
+        movement = 0.0
+        if self._previous is not None:
+            movement = self._previous.euclidean_distance(coordinate)
+            self._total_movement_ms += movement
+            if movement > 0.0:
+                self._updates += 1
+                self._movements.append((time_s, movement))
+        else:
+            self._first_time_s = time_s
+        self._previous = coordinate
+        self._last_time_s = time_s
+        return movement
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    @property
+    def total_movement_ms(self) -> float:
+        """Total coordinate-space distance travelled."""
+        return self._total_movement_ms
+
+    @property
+    def update_count(self) -> int:
+        """Number of recorded observations that actually moved the coordinate."""
+        return self._updates
+
+    @property
+    def observed_duration_s(self) -> float:
+        if self._first_time_s is None or self._last_time_s is None:
+            return 0.0
+        return max(0.0, self._last_time_s - self._first_time_s)
+
+    def instability_ms_per_s(self, duration_s: Optional[float] = None) -> float:
+        """Movement per second: the paper's stability metric ``s``.
+
+        ``duration_s`` overrides the observed duration (used when the
+        tracker only covers part of a run but the rate should be computed
+        over the full measurement interval).
+        """
+        duration = self.observed_duration_s if duration_s is None else duration_s
+        if duration <= 0.0:
+            return 0.0
+        return self._total_movement_ms / duration
+
+    def movements(self) -> List[Tuple[float, float]]:
+        """(time_s, movement_ms) pairs for non-zero movements."""
+        return list(self._movements)
+
+    def movement_since(self, time_s: float) -> float:
+        """Total movement recorded at or after ``time_s``."""
+        return sum(m for t, m in self._movements if t >= time_s)
+
+    def reset(self) -> None:
+        self._previous = None
+        self._first_time_s = None
+        self._last_time_s = None
+        self._total_movement_ms = 0.0
+        self._updates = 0
+        self._movements.clear()

@@ -1,0 +1,44 @@
+"""Discrete-event simulation of the distributed coordinate protocol.
+
+Two execution modes cover the paper's two evaluation styles:
+
+* **Trace replay** (:mod:`repro.netsim.replay`) -- feed a pre-generated
+  latency trace to a set of :class:`~repro.core.node.CoordinateNode`
+  instances, mimicking the paper's simulator that "accepted our raw ping
+  trace as input and mimicked the distributed behavior of Vivaldi".  Used
+  by the Section III-V experiments.
+* **Protocol simulation** (:mod:`repro.netsim.simulator`,
+  :mod:`repro.netsim.protocol`, :mod:`repro.netsim.runner`) -- a full
+  discrete-event run of the deployed system: per-node neighbor sets, gossip
+  discovery, round-robin sampling every few seconds, and message delivery
+  with latency drawn from the link models.  Used for the Section VI
+  ("PlanetLab") experiments.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.churn import ChurnConfig, ChurnModel
+from repro.netsim.events import Event, EventQueue
+from repro.netsim.host import SimulatedHost
+from repro.netsim.network import Network
+from repro.netsim.protocol import PingProtocol, ProtocolConfig
+from repro.netsim.replay import ReplayResult, replay_trace
+from repro.netsim.runner import SimulationConfig, SimulationResult, run_simulation
+from repro.netsim.simulator import Simulator
+
+__all__ = [
+    "ChurnConfig",
+    "ChurnModel",
+    "Event",
+    "EventQueue",
+    "Network",
+    "PingProtocol",
+    "ProtocolConfig",
+    "ReplayResult",
+    "SimulatedHost",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "replay_trace",
+    "run_simulation",
+]

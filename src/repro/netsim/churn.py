@@ -1,0 +1,105 @@
+"""Node churn for the protocol simulation.
+
+The paper's deployment keeps a fixed node population, but it notes that "in
+a long-running system where nodes periodically enter and leave, adding a
+delay to the filter would increase its robustness against these
+pathological cases" (Section VI).  :class:`ChurnModel` makes that scenario
+testable: it schedules alternating offline/online periods for a fraction of
+the hosts, with exponentially distributed session and downtime lengths (the
+standard churn model for peer-to-peer measurement studies).
+
+While offline a host neither samples nor answers pings; on rejoining, its
+neighbors' per-link filters still hold stale history, which is exactly the
+situation the warm-up delay targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.netsim.host import SimulatedHost
+from repro.netsim.simulator import Simulator
+from repro.stats.sampling import derive_rng
+
+__all__ = ["ChurnConfig", "ChurnModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnConfig:
+    """Churn process parameters."""
+
+    #: Fraction of hosts that participate in churn (the rest stay up).
+    churning_fraction: float = 0.3
+    #: Mean online session length in seconds (exponentially distributed).
+    mean_session_s: float = 600.0
+    #: Mean offline period length in seconds (exponentially distributed).
+    mean_downtime_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.churning_fraction <= 1.0:
+            raise ValueError("churning_fraction must be within [0, 1]")
+        if self.mean_session_s <= 0.0 or self.mean_downtime_s <= 0.0:
+            raise ValueError("session and downtime means must be positive")
+
+
+class ChurnModel:
+    """Drives hosts offline and back online over the simulation."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        hosts: Dict[str, SimulatedHost],
+        *,
+        config: ChurnConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.simulator = simulator
+        self.hosts = hosts
+        self.config = config or ChurnConfig()
+        self._rng = derive_rng(seed, "churn")
+        self._transitions = 0
+        self._churners: List[str] = []
+
+    @property
+    def transitions(self) -> int:
+        """Total offline/online transitions performed."""
+        return self._transitions
+
+    @property
+    def churning_hosts(self) -> List[str]:
+        return list(self._churners)
+
+    def start(self) -> None:
+        """Select the churning hosts and schedule their first departures."""
+        host_ids = list(self.hosts)
+        churner_count = int(round(len(host_ids) * self.config.churning_fraction))
+        if churner_count == 0:
+            return
+        chosen = self._rng.choice(len(host_ids), size=churner_count, replace=False)
+        self._churners = [host_ids[int(i)] for i in chosen]
+        for host_id in self._churners:
+            delay = float(self._rng.exponential(self.config.mean_session_s))
+            self.simulator.schedule_in(delay, self._make_leave(host_id), label=f"leave {host_id}")
+
+    def _make_leave(self, host_id: str):
+        def leave() -> None:
+            host = self.hosts[host_id]
+            if host.online:
+                host.online = False
+                self._transitions += 1
+            downtime = float(self._rng.exponential(self.config.mean_downtime_s))
+            self.simulator.schedule_in(downtime, self._make_join(host_id), label=f"join {host_id}")
+
+        return leave
+
+    def _make_join(self, host_id: str):
+        def join() -> None:
+            host = self.hosts[host_id]
+            if not host.online:
+                host.online = True
+                self._transitions += 1
+            session = float(self._rng.exponential(self.config.mean_session_s))
+            self.simulator.schedule_in(session, self._make_leave(host_id), label=f"leave {host_id}")
+
+        return join

@@ -1,0 +1,114 @@
+"""A simulated host: a coordinate node plus its neighbor set.
+
+The host owns the per-node protocol state that is not part of the
+coordinate algorithm itself: the list of known neighbors, the round-robin
+sampling cursor, and the address book used for gossip.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.config import NodeConfig
+from repro.core.coordinate import Coordinate
+from repro.core.node import CoordinateNode, ObservationResult
+
+__all__ = ["SimulatedHost"]
+
+
+class SimulatedHost:
+    """One participant in the protocol simulation."""
+
+    def __init__(
+        self,
+        host_id: str,
+        config: NodeConfig,
+        *,
+        initial_neighbors: Iterable[str] = (),
+        max_neighbors: int = 32,
+    ) -> None:
+        if max_neighbors < 1:
+            raise ValueError("max_neighbors must be >= 1")
+        self.host_id = host_id
+        self.node = CoordinateNode(host_id, config)
+        self.max_neighbors = max_neighbors
+        #: Whether the host currently participates in the protocol.  Churn
+        #: (see :mod:`repro.netsim.churn`) toggles this flag; an offline
+        #: host neither samples nor answers pings.
+        self.online = True
+        self._neighbors: List[str] = []
+        self._round_robin_index = 0
+        for neighbor in initial_neighbors:
+            self.add_neighbor(neighbor)
+
+    # ------------------------------------------------------------------
+    # Neighbor management (gossip)
+    # ------------------------------------------------------------------
+    @property
+    def neighbors(self) -> List[str]:
+        return list(self._neighbors)
+
+    def add_neighbor(self, neighbor_id: str) -> bool:
+        """Add a neighbor learned through bootstrap or gossip.
+
+        Returns True if the neighbor was new and there was room for it.
+        The neighbor set is bounded; the paper's implementation keeps a
+        small set and learns new addresses by piggybacking one address on
+        every sampling message.
+        """
+        if neighbor_id == self.host_id or neighbor_id in self._neighbors:
+            return False
+        if len(self._neighbors) >= self.max_neighbors:
+            return False
+        self._neighbors.append(neighbor_id)
+        return True
+
+    def next_sample_target(self) -> Optional[str]:
+        """The next neighbor to sample, cycling round-robin (Section II)."""
+        if not self._neighbors:
+            return None
+        target = self._neighbors[self._round_robin_index % len(self._neighbors)]
+        self._round_robin_index += 1
+        return target
+
+    def gossip_address(self, rng_uniform: float) -> Optional[str]:
+        """Pick one known neighbor address to piggyback on a sampling message."""
+        if not self._neighbors:
+            return None
+        index = int(rng_uniform * len(self._neighbors)) % len(self._neighbors)
+        return self._neighbors[index]
+
+    # ------------------------------------------------------------------
+    # Coordinate plumbing
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        peer_id: str,
+        peer_coordinate: Coordinate,
+        peer_error: float,
+        rtt_ms: float,
+        peer_application_coordinate: Coordinate | None = None,
+    ) -> ObservationResult:
+        """Feed one measured RTT into the coordinate subsystem."""
+        return self.node.observe(
+            peer_id,
+            peer_coordinate,
+            peer_error,
+            rtt_ms,
+            peer_application_coordinate=peer_application_coordinate,
+        )
+
+    @property
+    def system_coordinate(self) -> Coordinate:
+        return self.node.system_coordinate
+
+    @property
+    def application_coordinate(self) -> Coordinate:
+        return self.node.application_coordinate
+
+    @property
+    def error_estimate(self) -> float:
+        return self.node.error_estimate
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"SimulatedHost({self.host_id!r}, neighbors={len(self._neighbors)})"

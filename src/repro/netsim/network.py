@@ -1,0 +1,94 @@
+"""Message delivery over the simulated network.
+
+The :class:`Network` turns a :class:`~repro.latency.planetlab.PlanetLabDataset`
+into a message substrate for the protocol simulation: sending a message
+between two hosts samples the pair's link model once for the round trip and
+delivers the message after half of that RTT (plus the other half for the
+reply, handled by the protocol).  Optional message loss models dropped
+pings -- the real system's pings are UDP and do get lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.latency.planetlab import PlanetLabDataset
+from repro.netsim.simulator import Simulator
+from repro.stats.sampling import derive_rng
+
+__all__ = ["Network", "NetworkConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkConfig:
+    """Network-level behaviour knobs."""
+
+    #: Probability that a ping (request/response pair) is lost entirely.
+    loss_probability: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ValueError("loss_probability must be within [0, 1)")
+
+
+class Network:
+    """Delivers messages between simulated hosts with realistic latency."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        dataset: PlanetLabDataset,
+        *,
+        config: NetworkConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.simulator = simulator
+        self.dataset = dataset
+        self.config = config or NetworkConfig()
+        self._rng = derive_rng(seed, "network")
+        self._messages_sent = 0
+        self._messages_lost = 0
+
+    @property
+    def messages_sent(self) -> int:
+        return self._messages_sent
+
+    @property
+    def messages_lost(self) -> int:
+        return self._messages_lost
+
+    def measure_rtt(self, src: str, dst: str) -> Optional[float]:
+        """Draw one round-trip observation for a ping, or ``None`` if lost."""
+        self._messages_sent += 1
+        if self._rng.uniform() < self.config.loss_probability:
+            self._messages_lost += 1
+            return None
+        return self.dataset.sample_rtt(src, dst, self.simulator.now, self._rng)
+
+    def send_ping(
+        self,
+        src: str,
+        dst: str,
+        on_response: Callable[[float], None],
+        on_loss: Callable[[], None] | None = None,
+    ) -> None:
+        """Simulate one request/response ping from ``src`` to ``dst``.
+
+        ``on_response(rtt_ms)`` fires at the source after the full round
+        trip; ``on_loss`` (if given) fires after a timeout when the ping is
+        lost.
+        """
+        rtt_ms = self.measure_rtt(src, dst)
+        if rtt_ms is None:
+            if on_loss is not None:
+                # A lost UDP ping is noticed only by the lack of a response;
+                # model the timeout as a generous two seconds.
+                self.simulator.schedule_in(2.0, on_loss, label=f"loss {src}->{dst}")
+            return
+        delay_s = rtt_ms / 1000.0
+        self.simulator.schedule_in(
+            delay_s, lambda: on_response(rtt_ms), label=f"pong {dst}->{src}"
+        )

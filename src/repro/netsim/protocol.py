@@ -1,0 +1,143 @@
+"""The sampling protocol: periodic pings, gossip, coordinate exchange.
+
+Mirrors the deployed system described in Sections II and VI of the paper:
+
+* each node starts with a small bootstrap neighbor set;
+* every ``sampling_interval_s`` (5 seconds on PlanetLab) it pings the next
+  neighbor in round-robin order;
+* the response carries the peer's current system coordinate and error
+  estimate, plus one gossiped neighbor address, which the sampler adds to
+  its own neighbor set;
+* the measured RTT, the peer coordinate, and the peer error are fed into
+  the local coordinate subsystem.
+
+The protocol only reads the *system-level* state of the peer -- exactly what
+a real response message would contain -- so the simulation faithfully
+reproduces the information flow of the deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.netsim.host import SimulatedHost
+from repro.netsim.network import Network
+from repro.netsim.simulator import Simulator
+from repro.stats.sampling import derive_rng
+
+__all__ = ["ProtocolConfig", "PingProtocol"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProtocolConfig:
+    """Timing and gossip parameters of the sampling protocol."""
+
+    #: Seconds between successive samples from one node (5 s in Section VI).
+    sampling_interval_s: float = 5.0
+    #: Random phase spread applied to each node's first sample, so the
+    #: population does not ping in lockstep.
+    initial_phase_spread_s: float = 5.0
+    #: Whether responses piggyback one gossiped neighbor address.
+    gossip_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sampling_interval_s <= 0.0:
+            raise ValueError("sampling_interval_s must be positive")
+        if self.initial_phase_spread_s < 0.0:
+            raise ValueError("initial_phase_spread_s must be non-negative")
+
+
+#: Callback invoked after every processed observation:
+#: ``(time_s, host, peer_id, raw_rtt_ms, observation_result)``.
+ObservationCallback = Callable[[float, SimulatedHost, str, float, object], None]
+
+
+class PingProtocol:
+    """Drives the sampling loops of all hosts on top of the simulator."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: Network,
+        hosts: Dict[str, SimulatedHost],
+        *,
+        config: ProtocolConfig | None = None,
+        seed: int = 0,
+        on_observation: Optional[ObservationCallback] = None,
+    ) -> None:
+        if not hosts:
+            raise ValueError("the protocol needs at least one host")
+        self.simulator = simulator
+        self.network = network
+        self.hosts = hosts
+        self.config = config or ProtocolConfig()
+        self._rng = derive_rng(seed, "protocol")
+        self._on_observation = on_observation
+        self._samples_attempted = 0
+        self._samples_completed = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule every host's first sampling round."""
+        for host in self.hosts.values():
+            phase = float(self._rng.uniform(0.0, self.config.initial_phase_spread_s))
+            self.simulator.schedule_in(
+                phase, self._make_sampler(host), label=f"sample {host.host_id}"
+            )
+
+    @property
+    def samples_attempted(self) -> int:
+        return self._samples_attempted
+
+    @property
+    def samples_completed(self) -> int:
+        return self._samples_completed
+
+    # ------------------------------------------------------------------
+    # Sampling rounds
+    # ------------------------------------------------------------------
+    def _make_sampler(self, host: SimulatedHost) -> Callable[[], None]:
+        def sample_once() -> None:
+            self._sample(host)
+            self.simulator.schedule_in(
+                self.config.sampling_interval_s,
+                sample_once,
+                label=f"sample {host.host_id}",
+            )
+
+        return sample_once
+
+    def _sample(self, host: SimulatedHost) -> None:
+        if not host.online:
+            return
+        target_id = host.next_sample_target()
+        if target_id is None or target_id not in self.hosts:
+            return
+        self._samples_attempted += 1
+        target = self.hosts[target_id]
+        if not target.online:
+            # An offline peer never answers; the ping simply times out.
+            return
+
+        def on_response(rtt_ms: float) -> None:
+            self._samples_completed += 1
+            now = self.simulator.now
+            # The response carries the peer's state *as of delivery time*.
+            result = host.observe(
+                target_id,
+                target.system_coordinate,
+                target.error_estimate,
+                rtt_ms,
+                peer_application_coordinate=target.application_coordinate,
+            )
+            if self.config.gossip_enabled:
+                gossiped = target.gossip_address(float(self._rng.uniform()))
+                if gossiped is not None and gossiped != host.host_id:
+                    host.add_neighbor(gossiped)
+            if self._on_observation is not None:
+                self._on_observation(now, host, target_id, rtt_ms, result)
+
+        self.network.send_ping(host.host_id, target_id, on_response)

@@ -1,0 +1,101 @@
+"""The discrete-event simulation loop.
+
+A :class:`Simulator` owns the virtual clock and the event queue.  Components
+schedule callbacks relative to the current time (``schedule_in``) or at an
+absolute time (``schedule_at``); ``run_until`` drains events in time order
+up to a horizon.  The simulator is single-threaded and deterministic: given
+the same seeds and the same scheduling order, two runs are bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.netsim.events import Event, EventQueue
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Virtual clock plus event queue."""
+
+    def __init__(self, start_time_s: float = 0.0) -> None:
+        if start_time_s < 0.0:
+            raise ValueError("start_time_s must be non-negative")
+        self._now = start_time_s
+        self._queue = EventQueue()
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(self, time_s: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute simulation time ``time_s``."""
+        if time_s < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: now={self._now}, requested={time_s}"
+            )
+        return self._queue.push(time_s, callback, label)
+
+    def schedule_in(self, delay_s: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` ``delay_s`` seconds from now."""
+        if delay_s < 0.0:
+            raise ValueError(f"delay must be non-negative, got {delay_s}")
+        return self._queue.push(self._now + delay_s, callback, label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process the next event.  Returns False when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = max(self._now, event.time_s)
+        self._events_processed += 1
+        event.callback()
+        return True
+
+    def run_until(self, end_time_s: float, *, max_events: Optional[int] = None) -> int:
+        """Run events with ``time <= end_time_s``; returns events processed.
+
+        ``max_events`` is a safety valve for runaway schedules (each event
+        may schedule more events); ``None`` means unlimited.
+        """
+        if end_time_s < self._now:
+            raise ValueError("end_time_s must not precede the current time")
+        processed = 0
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > end_time_s:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            self.step()
+            processed += 1
+        # Advance the clock to the horizon even if no event lands exactly there.
+        self._now = max(self._now, end_time_s)
+        return processed
+
+    def run_all(self, *, max_events: int = 10_000_000) -> int:
+        """Drain the queue completely (bounded by ``max_events``)."""
+        processed = 0
+        while processed < max_events and self.step():
+            processed += 1
+        return processed

@@ -1,0 +1,31 @@
+"""The motivating application substrate: coordinate-driven overlay services.
+
+The paper's authors built network coordinates for a stream-based overlay
+network where a coordinate change can "initiate a cascade of events,
+culminating in one or more heavyweight process migrations".  This package
+implements that class of application so the cost of coordinate instability
+can be measured end-to-end:
+
+* :mod:`repro.overlay.knn` -- coordinate-based (approximate) k-nearest-
+  neighbor queries.
+* :mod:`repro.overlay.placement` -- operator placement for stream
+  processing: choose the node minimising predicted latency to a set of
+  producers and consumers, and migrate when coordinates say a better
+  placement exists.
+* :mod:`repro.overlay.triggers` -- accounting of the application-level work
+  (re-evaluations, migrations) triggered by coordinate updates.
+"""
+
+from __future__ import annotations
+
+from repro.overlay.knn import CoordinateIndex
+from repro.overlay.placement import OperatorPlacement, PlacementDecision
+from repro.overlay.triggers import MigrationCost, UpdateTriggerAccountant
+
+__all__ = [
+    "CoordinateIndex",
+    "MigrationCost",
+    "OperatorPlacement",
+    "PlacementDecision",
+    "UpdateTriggerAccountant",
+]

@@ -1,0 +1,101 @@
+"""Accounting of application work triggered by coordinate updates.
+
+The paper's core argument for application-level coordinates is economic:
+every coordinate update an application reacts to has a cost (re-running a
+placement optimiser, migrating a process).  :class:`UpdateTriggerAccountant`
+measures that cost for a run, so experiments can report "how much
+application work did each configuration cause" alongside the accuracy and
+stability metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.coordinate import Coordinate
+
+__all__ = ["MigrationCost", "UpdateTriggerAccountant"]
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationCost:
+    """Cost model for the application work triggered by an update."""
+
+    #: Cost of re-evaluating placement after any coordinate update (cheap).
+    evaluation_cost: float = 1.0
+    #: Cost of an actual migration (heavyweight; dominates).
+    migration_cost: float = 100.0
+    #: Coordinate movement (ms) below which a migration is never triggered.
+    migration_threshold_ms: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.evaluation_cost < 0.0 or self.migration_cost < 0.0:
+            raise ValueError("costs must be non-negative")
+        if self.migration_threshold_ms < 0.0:
+            raise ValueError("migration_threshold_ms must be non-negative")
+
+
+class UpdateTriggerAccountant:
+    """Tracks coordinate updates per node and the application work they imply."""
+
+    def __init__(self, cost_model: MigrationCost | None = None) -> None:
+        self.cost_model = cost_model or MigrationCost()
+        self._last_coordinate: Dict[str, Coordinate] = {}
+        self._updates: Dict[str, int] = {}
+        self._migrations: Dict[str, int] = {}
+        self._total_cost = 0.0
+        self._events: List[Tuple[float, str, float]] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_update(self, time_s: float, node_id: str, coordinate: Coordinate) -> float:
+        """Record one application-coordinate update; returns its cost."""
+        previous = self._last_coordinate.get(node_id)
+        self._last_coordinate[node_id] = coordinate
+        self._updates[node_id] = self._updates.get(node_id, 0) + 1
+
+        cost = self.cost_model.evaluation_cost
+        if previous is not None:
+            movement = previous.euclidean_distance(coordinate)
+            if movement > self.cost_model.migration_threshold_ms:
+                cost += self.cost_model.migration_cost
+                self._migrations[node_id] = self._migrations.get(node_id, 0) + 1
+        self._total_cost += cost
+        self._events.append((time_s, node_id, cost))
+        return cost
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def total_cost(self) -> float:
+        """Total application work across all nodes."""
+        return self._total_cost
+
+    def update_count(self, node_id: Optional[str] = None) -> int:
+        if node_id is not None:
+            return self._updates.get(node_id, 0)
+        return sum(self._updates.values())
+
+    def migration_count(self, node_id: Optional[str] = None) -> int:
+        if node_id is not None:
+            return self._migrations.get(node_id, 0)
+        return sum(self._migrations.values())
+
+    def cost_per_node(self) -> Dict[str, float]:
+        costs: Dict[str, float] = {}
+        for _, node_id, cost in self._events:
+            costs[node_id] = costs.get(node_id, 0.0) + cost
+        return costs
+
+    def events(self) -> List[Tuple[float, str, float]]:
+        """(time_s, node_id, cost) for every recorded update."""
+        return list(self._events)
+
+    def cost_rate(self, duration_s: float) -> float:
+        """Application work per second over a run of ``duration_s``."""
+        if duration_s <= 0.0:
+            raise ValueError("duration_s must be positive")
+        return self._total_cost / duration_s

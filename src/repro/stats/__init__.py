@@ -1,0 +1,29 @@
+"""Statistical helpers shared by the core algorithms and the analysis code.
+
+* :mod:`repro.stats.percentile` -- percentile summaries, boxplot statistics,
+  and a streaming reservoir-backed percentile estimator.
+* :mod:`repro.stats.ranksum` -- the Wilcoxon rank-sum (Mann-Whitney U) test,
+  the one-dimensional change-detection test referenced from Kifer et al.
+* :mod:`repro.stats.distributions` -- empirical CDFs and summary utilities
+  used to report the paper's CDF figures.
+* :mod:`repro.stats.sampling` -- seeded RNG construction helpers.
+"""
+
+from __future__ import annotations
+
+from repro.stats.distributions import EmpiricalCDF, summarize
+from repro.stats.percentile import BoxplotSummary, StreamingPercentile, boxplot_summary
+from repro.stats.ranksum import RankSumResult, rank_sum_test
+from repro.stats.sampling import derive_rng, spawn_rngs
+
+__all__ = [
+    "BoxplotSummary",
+    "EmpiricalCDF",
+    "RankSumResult",
+    "StreamingPercentile",
+    "boxplot_summary",
+    "derive_rng",
+    "rank_sum_test",
+    "spawn_rngs",
+    "summarize",
+]

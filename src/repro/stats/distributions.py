@@ -1,0 +1,119 @@
+"""Empirical distributions and summary statistics for reporting.
+
+Most of the paper's results are reported as cumulative distribution
+functions (per-node median relative error, 95th-percentile relative error,
+instability) or as medians of those per-node distributions.
+:class:`EmpiricalCDF` captures a sample and answers both "what fraction of
+nodes are below x" and "what is the p-th percentile", which is all the
+figures need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["EmpiricalCDF", "summarize", "histogram_counts", "LOG_BUCKETS_MS"]
+
+
+#: The latency buckets of the paper's Figure 2 histogram (milliseconds).
+LOG_BUCKETS_MS: Tuple[Tuple[float, float], ...] = (
+    (0.0, 100.0),
+    (100.0, 200.0),
+    (200.0, 300.0),
+    (300.0, 400.0),
+    (400.0, 500.0),
+    (500.0, 600.0),
+    (600.0, 700.0),
+    (700.0, 800.0),
+    (800.0, 900.0),
+    (900.0, 1000.0),
+    (1000.0, 2000.0),
+    (2000.0, 3000.0),
+    (3000.0, float("inf")),
+)
+
+
+class EmpiricalCDF:
+    """Empirical cumulative distribution function over a finite sample."""
+
+    def __init__(self, values: Iterable[float]) -> None:
+        data = np.asarray(sorted(float(v) for v in values), dtype=float)
+        if data.size == 0:
+            raise ValueError("an empirical CDF needs at least one observation")
+        self._data = data
+
+    @property
+    def count(self) -> int:
+        return int(self._data.size)
+
+    def fraction_below(self, threshold: float) -> float:
+        """P(X <= threshold) under the empirical distribution."""
+        return float(np.searchsorted(self._data, threshold, side="right")) / self._data.size
+
+    def fraction_above(self, threshold: float) -> float:
+        """P(X > threshold)."""
+        return 1.0 - self.fraction_below(threshold)
+
+    def percentile(self, percentile: float) -> float:
+        return float(np.percentile(self._data, percentile))
+
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def values(self) -> np.ndarray:
+        """A copy of the sorted sample."""
+        return self._data.copy()
+
+    def points(self, max_points: int = 200) -> List[Tuple[float, float]]:
+        """(value, cumulative fraction) pairs, decimated for plotting/printing."""
+        n = self._data.size
+        if n <= max_points:
+            indices = np.arange(n)
+        else:
+            indices = np.linspace(0, n - 1, max_points).astype(int)
+        return [
+            (float(self._data[i]), float((i + 1) / n))
+            for i in indices
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"EmpiricalCDF(n={self.count}, median={self.median():.3g}, "
+            f"p95={self.percentile(95):.3g})"
+        )
+
+
+def summarize(values: Iterable[float]) -> Dict[str, float]:
+    """Standard summary used in reports: count, mean, median, p95, max."""
+    data = np.asarray([float(v) for v in values], dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot summarise an empty collection")
+    return {
+        "count": float(data.size),
+        "mean": float(data.mean()),
+        "median": float(np.percentile(data, 50.0)),
+        "p25": float(np.percentile(data, 25.0)),
+        "p75": float(np.percentile(data, 75.0)),
+        "p95": float(np.percentile(data, 95.0)),
+        "min": float(data.min()),
+        "max": float(data.max()),
+    }
+
+
+def histogram_counts(
+    values: Iterable[float],
+    buckets: Sequence[Tuple[float, float]] = LOG_BUCKETS_MS,
+) -> List[Tuple[Tuple[float, float], int]]:
+    """Count samples per bucket (used for the Figure 2/3 histograms)."""
+    data = np.asarray([float(v) for v in values], dtype=float)
+    results: List[Tuple[Tuple[float, float], int]] = []
+    for low, high in buckets:
+        if np.isinf(high):
+            count = int((data >= low).sum())
+        else:
+            count = int(((data >= low) & (data < high)).sum())
+        results.append(((low, high), count))
+    return results

@@ -1,0 +1,34 @@
+"""Seeded random-number-generator helpers.
+
+Every stochastic component in the library takes an explicit seed or RNG so
+experiments are exactly reproducible.  These helpers derive independent
+generators from a base seed and a string label, avoiding the classic
+pitfall of sequentially numbered seeds producing correlated streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+import numpy as np
+
+__all__ = ["derive_rng", "spawn_rngs", "derive_seed"]
+
+
+def derive_seed(base_seed: int, label: str) -> int:
+    """Derive a 64-bit seed from a base seed and a label, deterministically."""
+    key = f"{base_seed}:{label}".encode()
+    return int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(), "big")
+
+
+def derive_rng(base_seed: int, label: str) -> np.random.Generator:
+    """A generator whose stream is independent of other labels' streams."""
+    return np.random.default_rng(derive_seed(base_seed, label))
+
+
+def spawn_rngs(base_seed: int, count: int, label: str = "stream") -> List[np.random.Generator]:
+    """``count`` independent generators derived from one base seed."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [derive_rng(base_seed, f"{label}:{index}") for index in range(count)]

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite.
+
+The heavier fixtures (datasets, traces) are session-scoped: the content is
+deterministic for a given seed, and the objects are treated as read-only by
+tests, so sharing them keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import NodeConfig
+from repro.latency.planetlab import DatasetParameters, PlanetLabDataset
+from repro.latency.topology import GeographicTopology
+
+
+@pytest.fixture(scope="session")
+def small_topology() -> GeographicTopology:
+    """A 12-host topology spanning all four default regions."""
+    return GeographicTopology.generate(12, seed=1)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> PlanetLabDataset:
+    """A 12-host synthetic PlanetLab dataset."""
+    return PlanetLabDataset.generate(12, seed=1)
+
+
+@pytest.fixture(scope="session")
+def noiseless_dataset() -> PlanetLabDataset:
+    """A dataset whose links always return their baseline RTT."""
+    return PlanetLabDataset.generate(
+        10, seed=2, parameters=DatasetParameters(noiseless=True)
+    )
+
+
+@pytest.fixture(scope="session")
+def short_trace(small_dataset: PlanetLabDataset):
+    """A five-minute trace over the small dataset (read-only)."""
+    return small_dataset.generate_trace(duration_s=300.0, ping_interval_s=2.0)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(123)
+
+
+@pytest.fixture()
+def mp_config() -> NodeConfig:
+    return NodeConfig.preset("mp")
+
+
+@pytest.fixture()
+def raw_config() -> NodeConfig:
+    return NodeConfig.preset("raw")

@@ -1,0 +1,133 @@
+"""Tests for the analysis harness and the text-plot rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.harness import (
+    ExperimentScale,
+    build_dataset,
+    build_trace,
+    clear_caches,
+    compare_presets,
+    heuristic_metrics,
+    replay_preset,
+    sweep,
+)
+from repro.analysis.textplot import render_cdf, render_histogram, render_series
+from repro.core.config import NodeConfig
+from repro.latency.planetlab import DatasetParameters
+
+
+@pytest.fixture(scope="module")
+def tiny_scale() -> ExperimentScale:
+    return ExperimentScale(nodes=8, duration_s=240.0, ping_interval_s=2.0, seed=3)
+
+
+class TestExperimentScale:
+    def test_measurement_start_is_midpoint(self):
+        scale = ExperimentScale(nodes=10, duration_s=1000.0)
+        assert scale.measurement_start_s == 500.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(nodes=1)
+        with pytest.raises(ValueError):
+            ExperimentScale(duration_s=0.0)
+        with pytest.raises(ValueError):
+            ExperimentScale(ping_interval_s=0.0)
+
+
+class TestWorkloadCaching:
+    def test_build_dataset_is_cached(self):
+        clear_caches()
+        a = build_dataset(8, seed=1)
+        b = build_dataset(8, seed=1)
+        assert a is b
+
+    def test_different_parameters_get_different_datasets(self):
+        clear_caches()
+        a = build_dataset(8, seed=1)
+        b = build_dataset(8, seed=1, parameters=DatasetParameters(noiseless=True))
+        assert a is not b
+
+    def test_build_trace_is_cached_per_scale(self, tiny_scale):
+        clear_caches()
+        a = build_trace(tiny_scale)
+        b = build_trace(tiny_scale)
+        assert a is b
+        assert len(a) == tiny_scale.nodes * int(
+            tiny_scale.duration_s / tiny_scale.ping_interval_s
+        )
+
+
+class TestComparisons:
+    def test_replay_preset_accepts_names_and_configs(self, tiny_scale):
+        trace = build_trace(tiny_scale)
+        by_name = replay_preset(trace, "mp")
+        by_config = replay_preset(trace, NodeConfig.preset("mp"))
+        assert by_name.records_processed == by_config.records_processed
+
+    def test_compare_presets_returns_snapshot_per_label(self, tiny_scale):
+        trace = build_trace(tiny_scale)
+        snapshots = compare_presets(
+            trace,
+            {"raw": "raw", "mp": "mp"},
+            measurement_start_s=tiny_scale.measurement_start_s,
+        )
+        assert set(snapshots) == {"raw", "mp"}
+        assert snapshots["mp"].node_count == tiny_scale.nodes
+
+    def test_heuristic_metrics_reports_expected_keys(self, tiny_scale):
+        trace = build_trace(tiny_scale)
+        row = heuristic_metrics(
+            trace,
+            "energy",
+            {"threshold": 8.0, "window_size": 8},
+            measurement_start_s=tiny_scale.measurement_start_s,
+        )
+        assert {"median_relative_error", "instability", "updates_per_node_per_s"} <= set(row)
+        assert row["instability"] >= 0.0
+
+    def test_sweep_attaches_parameter_value(self):
+        rows = sweep([1, 2, 3], lambda v: {"metric": float(v * 10)})
+        assert [row["value"] for row in rows] == [1, 2, 3]
+        assert rows[2]["metric"] == 30.0
+
+
+class TestTextplot:
+    def test_render_cdf_contains_labels_and_percentiles(self):
+        text = render_cdf({"a": [1.0, 2.0, 3.0], "b": [10.0, 20.0]}, title="demo")
+        assert "demo" in text
+        assert "a (n=3):" in text
+        assert "p50=" in text
+
+    def test_render_cdf_log_scale(self):
+        text = render_cdf({"a": [1.0, 10.0, 100.0, 1000.0]}, log_x=True)
+        assert "(log scale)" in text
+
+    def test_render_cdf_rejects_empty(self):
+        with pytest.raises(ValueError):
+            render_cdf({})
+        with pytest.raises(ValueError):
+            render_cdf({"a": [float("nan")]})
+
+    def test_render_series_dimensions(self):
+        text = render_series([(0.0, 1.0), (1.0, 2.0), (2.0, 1.5)], width=20, height=5)
+        grid_lines = [line for line in text.splitlines() if line.startswith("  |")]
+        assert len(grid_lines) == 5
+        assert all(len(line) == 24 for line in grid_lines)
+
+    def test_render_series_rejects_all_nan(self):
+        with pytest.raises(ValueError):
+            render_series([(0.0, float("nan"))])
+
+    def test_render_histogram_log_bars(self):
+        buckets = [((0.0, 100.0), 1000), ((100.0, 200.0), 10), ((200.0, float("inf")), 0)]
+        text = render_histogram(buckets)
+        lines = text.splitlines()
+        assert "1000" in lines[0]
+        assert lines[2].count("#") == 0
+
+    def test_render_histogram_empty(self):
+        assert "(no samples)" in render_histogram([((0.0, 1.0), 0)])

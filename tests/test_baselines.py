@@ -1,0 +1,120 @@
+"""Tests for the baseline implementations (static matrix, Launois damping, landmarks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.landmark import LandmarkEmbedding
+from repro.baselines.launois import LaunoisConfig, LaunoisVivaldiNode
+from repro.baselines.static_matrix import StaticMatrixExperiment
+from repro.core.coordinate import Coordinate
+from repro.latency.matrix import LatencyMatrix
+from repro.latency.topology import GeographicTopology
+
+
+@pytest.fixture(scope="module")
+def matrix() -> LatencyMatrix:
+    return LatencyMatrix.from_topology(GeographicTopology.generate(14, seed=9))
+
+
+class TestStaticMatrixExperiment:
+    def test_converges_to_low_error_on_fixed_input(self, matrix):
+        """The original-paper idealisation: Vivaldi works beautifully on a matrix."""
+        experiment = StaticMatrixExperiment(matrix, seed=0)
+        result = experiment.run(rounds=400)
+        assert result.median_relative_error < 0.25
+        assert result.rounds == 400
+
+    def test_more_rounds_do_not_hurt(self, matrix):
+        experiment = StaticMatrixExperiment(matrix, seed=0)
+        early = experiment.run(rounds=50)
+        late = experiment.evaluate() if experiment.run(rounds=350) is None else experiment.evaluate()
+        assert late.median_relative_error <= early.median_relative_error * 1.5
+
+    def test_requires_positive_rounds(self, matrix):
+        with pytest.raises(ValueError):
+            StaticMatrixExperiment(matrix).run(rounds=0)
+
+    def test_evaluate_reports_percentiles(self, matrix):
+        experiment = StaticMatrixExperiment(matrix, seed=1)
+        experiment.run(rounds=100)
+        result = experiment.evaluate()
+        assert result.median_relative_error <= result.p95_relative_error
+
+
+class TestLaunoisVivaldi:
+    def test_damping_factor_decays_toward_zero(self):
+        node = LaunoisVivaldiNode("n", LaunoisConfig(decay_constant=10.0))
+        initial = node.damping_factor()
+        for _ in range(100):
+            node.observe("peer", Coordinate([50.0, 0.0, 0.0]), 0.5, 50.0)
+        assert initial == 1.0
+        assert node.damping_factor() < 0.1
+
+    def test_updates_shrink_over_time(self):
+        node = LaunoisVivaldiNode("n", LaunoisConfig(decay_constant=5.0))
+        peer = Coordinate([50.0, 0.0, 0.0])
+        node.observe("peer", peer, 0.5, 100.0)
+        early_position = node.system_coordinate
+        for _ in range(200):
+            node.observe("peer", peer, 0.5, 100.0)
+        before = node.system_coordinate
+        node.observe("peer", peer, 0.5, 500.0)  # a big change late in life
+        after = node.system_coordinate
+        assert after.euclidean_distance(before) < early_position.euclidean_distance(
+            Coordinate.origin(3)
+        )
+
+    def test_adapts_more_slowly_than_undamped_vivaldi(self):
+        """The trade-off the paper criticises: damped nodes go stale after a route change."""
+        from repro.core.vivaldi import VivaldiConfig, VivaldiState, vivaldi_update
+
+        damped = LaunoisVivaldiNode("d", LaunoisConfig(decay_constant=20.0))
+        plain = VivaldiState.initial(VivaldiConfig())
+        peer = Coordinate([50.0, 0.0, 0.0])
+        for _ in range(500):
+            damped.observe("peer", peer, 0.2, 60.0)
+            plain = vivaldi_update(plain, peer, 0.2, 60.0, VivaldiConfig())
+        # The true latency doubles (a route change); both see 30 new samples.
+        for _ in range(30):
+            damped.observe("peer", peer, 0.2, 120.0)
+            plain = vivaldi_update(plain, peer, 0.2, 120.0, VivaldiConfig())
+        damped_error = abs(damped.system_coordinate.euclidean_distance(peer) - 120.0)
+        plain_error = abs(plain.coordinate.euclidean_distance(peer) - 120.0)
+        assert damped_error > plain_error
+
+    def test_reset(self):
+        node = LaunoisVivaldiNode("n")
+        node.observe("peer", Coordinate([10.0, 0.0, 0.0]), 0.5, 10.0)
+        node.reset()
+        assert node.system_coordinate.is_origin()
+        assert node.observation_count == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LaunoisConfig(decay_constant=0.0)
+
+
+class TestLandmarkEmbedding:
+    def test_fit_assigns_coordinates_to_every_node(self, matrix):
+        embedding = LandmarkEmbedding(matrix, landmark_count=6, seed=0)
+        coordinates = embedding.fit()
+        assert set(coordinates) == set(matrix.node_ids)
+        assert len(embedding.landmarks) == 6
+
+    def test_embedding_error_is_reasonable(self, matrix):
+        embedding = LandmarkEmbedding(matrix, landmark_count=8, seed=0)
+        embedding.fit()
+        summary = embedding.evaluate()
+        assert summary["median_relative_error"] < 0.5
+
+    def test_evaluate_requires_fit(self, matrix):
+        with pytest.raises(RuntimeError):
+            LandmarkEmbedding(matrix, landmark_count=6).evaluate()
+
+    def test_landmark_count_validation(self, matrix):
+        with pytest.raises(ValueError):
+            LandmarkEmbedding(matrix, landmark_count=2, dimensions=3)
+        with pytest.raises(ValueError):
+            LandmarkEmbedding(matrix, landmark_count=1000)

@@ -1,0 +1,113 @@
+"""Tests for node churn in the protocol simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import NodeConfig
+from repro.netsim.churn import ChurnConfig, ChurnModel
+from repro.netsim.host import SimulatedHost
+from repro.netsim.runner import SimulationConfig, run_simulation
+from repro.netsim.simulator import Simulator
+
+
+def _hosts(count: int) -> dict:
+    return {
+        f"h{i}": SimulatedHost(f"h{i}", NodeConfig.preset("raw"), initial_neighbors=["h0"])
+        for i in range(count)
+    }
+
+
+class TestChurnConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(churning_fraction=1.5)
+        with pytest.raises(ValueError):
+            ChurnConfig(mean_session_s=0.0)
+        with pytest.raises(ValueError):
+            ChurnConfig(mean_downtime_s=-1.0)
+
+
+class TestChurnModel:
+    def test_zero_fraction_means_no_transitions(self):
+        sim = Simulator()
+        hosts = _hosts(10)
+        model = ChurnModel(sim, hosts, config=ChurnConfig(churning_fraction=0.0), seed=1)
+        model.start()
+        sim.run_until(5000.0)
+        assert model.transitions == 0
+        assert all(host.online for host in hosts.values())
+
+    def test_churners_toggle_online_state(self):
+        sim = Simulator()
+        hosts = _hosts(10)
+        model = ChurnModel(
+            sim,
+            hosts,
+            config=ChurnConfig(churning_fraction=0.5, mean_session_s=100.0, mean_downtime_s=50.0),
+            seed=2,
+        )
+        model.start()
+        assert len(model.churning_hosts) == 5
+        sim.run_until(2000.0)
+        assert model.transitions > 0
+
+    def test_non_churners_stay_online(self):
+        sim = Simulator()
+        hosts = _hosts(10)
+        model = ChurnModel(
+            sim,
+            hosts,
+            config=ChurnConfig(churning_fraction=0.3, mean_session_s=50.0, mean_downtime_s=50.0),
+            seed=3,
+        )
+        model.start()
+        sim.run_until(2000.0)
+        stable = [h for h in hosts if h not in model.churning_hosts]
+        assert all(hosts[h].online for h in stable)
+
+    def test_churn_is_deterministic_per_seed(self):
+        def run_once():
+            sim = Simulator()
+            hosts = _hosts(8)
+            model = ChurnModel(
+                sim,
+                hosts,
+                config=ChurnConfig(churning_fraction=0.5, mean_session_s=80.0, mean_downtime_s=40.0),
+                seed=4,
+            )
+            model.start()
+            sim.run_until(1000.0)
+            return model.transitions, sorted(model.churning_hosts)
+
+        assert run_once() == run_once()
+
+
+class TestChurnInSimulation:
+    def test_simulation_with_churn_still_converges(self):
+        config = SimulationConfig(
+            nodes=12,
+            duration_s=900.0,
+            churn=ChurnConfig(churning_fraction=0.25, mean_session_s=200.0, mean_downtime_s=60.0),
+            seed=5,
+        )
+        result = run_simulation(config)
+        assert result.churn_transitions > 0
+        snapshot = result.snapshot
+        assert snapshot.median_of_median_application_error is not None
+        assert snapshot.median_of_median_application_error < 1.0
+
+    def test_offline_hosts_do_not_complete_samples(self):
+        """With everyone churning and long downtimes, fewer samples complete."""
+        static = run_simulation(SimulationConfig(nodes=10, duration_s=600.0, seed=6))
+        churny = run_simulation(
+            SimulationConfig(
+                nodes=10,
+                duration_s=600.0,
+                churn=ChurnConfig(
+                    churning_fraction=1.0, mean_session_s=100.0, mean_downtime_s=200.0
+                ),
+                seed=6,
+            )
+        )
+        assert churny.samples_completed < static.samples_completed

@@ -1,0 +1,34 @@
+"""Tests for the experiment command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cli import main, run_experiments
+
+
+class TestRunExperiments:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiments(["fig99"])
+
+    def test_runs_small_experiment_and_writes_report(self, tmp_path):
+        reports = run_experiments(["fig06"], seed=1, output_dir=tmp_path)
+        assert len(reports) == 1
+        assert "Figure 6" in reports[0]
+        assert (tmp_path / "fig06.txt").exists()
+
+
+class TestMain:
+    def test_list_option(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig02" in output
+        assert "table1" in output
+
+    def test_no_arguments_is_an_error(self, capsys):
+        assert main([]) == 2
+
+    def test_named_experiment_prints_report(self, capsys):
+        assert main(["fig06", "--seed", "1"]) == 0
+        assert "Figure 6" in capsys.readouterr().out

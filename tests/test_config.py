@@ -1,0 +1,93 @@
+"""Tests for configuration dataclasses and presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PRESETS, FilterConfig, HeuristicConfig, NodeConfig
+from repro.core.filters import EWMAFilter, MovingPercentileFilter, NoFilter
+from repro.core.heuristics import AlwaysUpdateHeuristic, EnergyHeuristic, RelativeHeuristic
+from repro.core.vivaldi import VivaldiConfig
+
+
+class TestFilterConfig:
+    def test_build_creates_configured_filter(self):
+        config = FilterConfig("mp", {"history": 8, "percentile": 50.0})
+        built = config.build()
+        assert isinstance(built, MovingPercentileFilter)
+        assert built.history == 8
+
+    def test_build_creates_fresh_instances(self):
+        config = FilterConfig("ewma", {"alpha": 0.1})
+        assert config.build() is not config.build()
+
+    def test_with_params_merges(self):
+        config = FilterConfig("mp", {"history": 4}).with_params(percentile=50.0)
+        assert dict(config.params) == {"history": 4, "percentile": 50.0}
+
+
+class TestHeuristicConfig:
+    def test_build_creates_configured_heuristic(self):
+        config = HeuristicConfig("energy", {"threshold": 4.0, "window_size": 16})
+        built = config.build()
+        assert isinstance(built, EnergyHeuristic)
+        assert built.threshold == 4.0
+
+    def test_with_params_overrides(self):
+        config = HeuristicConfig("energy", {"threshold": 4.0}).with_params(threshold=8.0)
+        assert dict(config.params) == {"threshold": 8.0}
+
+
+class TestPresets:
+    def test_all_presets_build(self):
+        for name in PRESETS:
+            config = NodeConfig.preset(name)
+            assert config.filter.build() is not None
+            assert config.heuristic.build() is not None
+
+    def test_raw_preset_has_no_filter(self):
+        config = NodeConfig.preset("raw")
+        assert isinstance(config.filter.build(), NoFilter)
+        assert isinstance(config.heuristic.build(), AlwaysUpdateHeuristic)
+
+    def test_mp_preset_uses_paper_parameters(self):
+        built = NodeConfig.preset("mp").filter.build()
+        assert isinstance(built, MovingPercentileFilter)
+        assert built.history == 4
+        assert built.percentile == 25.0
+
+    def test_mp_energy_preset_uses_deployed_parameters(self):
+        heuristic = NodeConfig.preset("mp_energy").heuristic.build()
+        assert isinstance(heuristic, EnergyHeuristic)
+        assert heuristic.threshold == 8.0
+        assert heuristic.window_size == 32
+
+    def test_mp_relative_preset(self):
+        heuristic = NodeConfig.preset("mp_relative").heuristic.build()
+        assert isinstance(heuristic, RelativeHeuristic)
+        assert heuristic.relative_threshold == 0.3
+
+    def test_cluster_confidence_preset_sets_margin(self):
+        config = NodeConfig.preset("cluster_confidence")
+        assert config.vivaldi.error_margin_ms == 3.0
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            NodeConfig.preset("turbo")
+
+    def test_preset_overrides_replace_fields(self):
+        config = NodeConfig.preset("mp_energy", vivaldi=VivaldiConfig(dimensions=2))
+        assert config.vivaldi.dimensions == 2
+        assert config.heuristic.kind == "energy"
+
+    def test_describe_is_flat_and_complete(self):
+        info = NodeConfig.preset("mp_energy").describe()
+        assert info["filter"] == "mp"
+        assert info["heuristic"] == "energy"
+        assert info["dimensions"] == 3
+        assert info["cc"] == 0.25
+
+    def test_vivaldi_constants_match_paper_default(self):
+        config = NodeConfig.preset("mp")
+        assert config.vivaldi.cc == 0.25
+        assert config.vivaldi.ce == 0.25

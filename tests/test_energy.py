@@ -1,0 +1,143 @@
+"""Tests for the Szekely-Rizzo energy distance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coordinate import Coordinate
+from repro.core.energy import (
+    energy_distance,
+    energy_distance_arrays,
+    energy_distance_coordinates_naive,
+    energy_test_statistic,
+    pairwise_mean_distance,
+)
+
+points_3d = st.lists(
+    st.lists(
+        st.floats(min_value=-1000, max_value=1000, allow_nan=False), min_size=3, max_size=3
+    ),
+    min_size=2,
+    max_size=12,
+)
+
+
+def _coords(points):
+    return [Coordinate(p) for p in points]
+
+
+class TestPairwiseMeanDistance:
+    def test_single_point_is_zero(self):
+        assert pairwise_mean_distance([Coordinate([1.0, 2.0])]) == 0.0
+
+    def test_two_points(self):
+        points = [Coordinate([0.0, 0.0]), Coordinate([3.0, 4.0])]
+        # n^2 = 4 ordered pairs: two zero self-pairs and two pairs at distance 5.
+        assert pairwise_mean_distance(points) == pytest.approx(10.0 / 4.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_mean_distance([])
+
+
+class TestEnergyDistance:
+    def test_identical_samples_have_zero_distance(self):
+        sample = _coords([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0], [2.0, 0.0, 1.0]])
+        assert energy_distance(sample, sample) == pytest.approx(0.0, abs=1e-9)
+
+    def test_separated_clusters_have_large_distance(self):
+        near = _coords([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        far = _coords([[100.0, 100.0, 100.0], [101.0, 100.0, 100.0], [100.0, 101.0, 100.0]])
+        assert energy_distance(near, far) > 100.0
+
+    def test_distance_grows_with_separation(self):
+        base = _coords([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        closer = _coords([[5.0, 0.0, 0.0], [6.0, 0.0, 0.0]])
+        farther = _coords([[50.0, 0.0, 0.0], [51.0, 0.0, 0.0]])
+        assert energy_distance(base, farther) > energy_distance(base, closer)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            energy_distance([], _coords([[0.0, 0.0, 0.0]]))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            energy_distance(_coords([[0.0, 0.0]]), _coords([[0.0, 0.0, 0.0]]))
+
+    def test_matches_naive_reference_implementation(self):
+        rng = np.random.default_rng(3)
+        a = _coords(rng.normal(size=(8, 3)).tolist())
+        b = _coords(rng.normal(loc=2.0, size=(6, 3)).tolist())
+        assert energy_distance(a, b) == pytest.approx(
+            energy_distance_coordinates_naive(a, b), rel=1e-9
+        )
+
+    def test_array_and_coordinate_versions_agree(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=(10, 3))
+        b = rng.normal(loc=1.0, size=(7, 3))
+        from_arrays = energy_distance_arrays(a, b)
+        from_coords = energy_distance(_coords(a.tolist()), _coords(b.tolist()))
+        assert from_arrays == pytest.approx(from_coords, rel=1e-9)
+
+    def test_one_dimensional_arrays_accepted(self):
+        a = np.array([0.0, 1.0, 2.0])
+        b = np.array([10.0, 11.0, 12.0])
+        assert energy_distance_arrays(a, b) > 0.0
+
+    @given(points_3d, points_3d)
+    @settings(max_examples=40, deadline=None)
+    def test_non_negative(self, a, b):
+        assert energy_distance(_coords(a), _coords(b)) >= 0.0
+
+    @given(points_3d, points_3d)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetric(self, a, b):
+        ca, cb = _coords(a), _coords(b)
+        assert energy_distance(ca, cb) == pytest.approx(energy_distance(cb, ca), rel=1e-6, abs=1e-6)
+
+    @given(points_3d)
+    @settings(max_examples=30, deadline=None)
+    def test_translation_invariant(self, a):
+        ca = _coords(a)
+        shifted = [Coordinate([x + 17.0 for x in p]) for p in a]
+        other = _coords([[0.0, 0.0, 0.0], [5.0, 5.0, 5.0]])
+        shifted_other = [Coordinate([x + 17.0 for x in p.components]) for p in other]
+        assert energy_distance(ca, other) == pytest.approx(
+            energy_distance(shifted, shifted_other), rel=1e-6, abs=1e-6
+        )
+
+    @given(points_3d, points_3d, st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_scales_linearly_with_the_space(self, a, b, scale):
+        """Energy distance is homogeneous of degree 1 in the coordinates."""
+        ca, cb = _coords(a), _coords(b)
+        scaled_a = [Coordinate([x * scale for x in p]) for p in a]
+        scaled_b = [Coordinate([x * scale for x in p]) for p in b]
+        assert energy_distance(scaled_a, scaled_b) == pytest.approx(
+            scale * energy_distance(ca, cb), rel=1e-6, abs=1e-6
+        )
+
+
+class TestEnergyTestStatistic:
+    def test_unnormalised_equals_energy_distance(self):
+        a = _coords([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        b = _coords([[10.0, 0.0, 0.0], [11.0, 0.0, 0.0]])
+        assert energy_test_statistic(a, b) == pytest.approx(energy_distance(a, b))
+
+    def test_normalised_is_scale_free(self):
+        a = _coords([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        b = _coords([[10.0, 0.0, 0.0], [11.0, 0.0, 0.0], [10.0, 1.0, 0.0]])
+        scaled_a = [Coordinate([x * 7 for x in p.components]) for p in a]
+        scaled_b = [Coordinate([x * 7 for x in p.components]) for p in b]
+        assert energy_test_statistic(a, b, normalise=True) == pytest.approx(
+            energy_test_statistic(scaled_a, scaled_b, normalise=True), rel=1e-6
+        )
+
+    def test_normalised_handles_degenerate_spread(self):
+        a = _coords([[0.0, 0.0, 0.0], [0.0, 0.0, 0.0]])
+        b = _coords([[0.0, 0.0, 0.0], [0.0, 0.0, 0.0]])
+        assert energy_test_statistic(a, b, normalise=True) == 0.0

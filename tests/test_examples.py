@@ -1,0 +1,49 @@
+"""Smoke tests: every shipped example runs end to end.
+
+The examples are part of the public deliverable, so a broken example is a
+broken build.  The heavier ones are invoked with reduced arguments where
+they accept them.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=False,
+    )
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart_runs_and_reports_improvement(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "improvement" in result.stdout
+
+    def test_change_detection_demo_detects_drift(self):
+        result = _run("change_detection_demo.py")
+        assert result.returncode == 0, result.stderr
+        assert "drift" in result.stdout
+
+    def test_planetlab_simulation_small_run(self):
+        result = _run("planetlab_simulation.py", "--nodes", "12", "--minutes", "10")
+        assert result.returncode == 0, result.stderr
+        assert "headline improvements" in result.stdout
+
+    def test_streaming_overlay_placement(self):
+        result = _run("streaming_overlay_placement.py")
+        assert result.returncode == 0, result.stderr
+        assert "placement work" in result.stdout

@@ -1,0 +1,197 @@
+"""Tests for the per-figure experiment modules (run at tiny scale).
+
+Each test runs the experiment at a deliberately small scale and checks the
+*qualitative* property the paper's figure demonstrates, not exact numbers:
+the workloads are synthetic and scaled down, so absolute values differ, but
+who wins and in which direction must match the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    fig02_raw_histogram,
+    fig03_single_link,
+    fig04_history_size,
+    fig05_filter_cdfs,
+    fig06_confidence,
+    fig07_drift,
+    fig08_threshold_sweep,
+    fig09_window_sweep,
+    fig10_heuristic_compare,
+    fig11_app_vs_raw,
+    fig12_app_centroid,
+    fig13_deployment_cdfs,
+    fig14_timeseries,
+    table1_ewma,
+)
+
+
+class TestRegistry:
+    def test_every_paper_experiment_is_registered(self):
+        expected = {
+            "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
+            "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "table1",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_registry_entries_are_callable(self):
+        assert all(callable(run) for run in EXPERIMENTS.values())
+
+
+class TestFig02:
+    def test_heavy_tail_fraction_matches_paper_magnitude(self):
+        result = fig02_raw_histogram.run(nodes=10, duration_s=240.0, seed=1)
+        assert 0.0005 < result.fraction_above_1s < 0.03
+        assert result.total_samples == sum(count for _, count in result.buckets)
+        assert "Figure 2" in fig02_raw_histogram.format_report(result)
+
+
+class TestFig03:
+    def test_single_link_outliers_spread_over_time(self):
+        result = fig03_single_link.run(nodes=10, duration_s=2400.0, seed=1)
+        assert result.spread_ratio > 5.0
+        quarters_with_outliers = sum(1 for count in result.outliers_per_quarter if count > 0)
+        assert quarters_with_outliers >= 3
+        assert "Figure 3" in fig03_single_link.format_report(result)
+
+
+class TestFig04:
+    def test_short_histories_are_near_optimal(self):
+        result = fig04_history_size.run(
+            nodes=10, links=12, samples_per_link=300, history_sizes=(1, 4, 32), seed=1
+        )
+        medians = {h: s.median for h, s in result.summaries.items()}
+        # h=1 (no real filtering) is clearly worse than h=4; h=4 is within
+        # 20% of anything larger (the paper: longer histories don't help).
+        assert medians[1] > medians[4]
+        assert medians[4] <= medians[32] * 1.2
+        assert "Figure 4" in fig04_history_size.format_report(result)
+
+
+class TestFig05:
+    def test_mp_filter_improves_error_and_stability(self):
+        result = fig05_filter_cdfs.run(nodes=10, duration_s=600.0, seed=1)
+        assert result.median_error_improvement > 0.2
+        assert result.instability_improvement > 0.3
+        assert result.tail_reduction_factor > 2.0
+        assert "Figure 5" in fig05_filter_cdfs.format_report(result)
+
+
+class TestTable1:
+    def test_mp_beats_no_filter_and_large_alpha_ewma_is_worse(self):
+        result = table1_ewma.run(nodes=10, duration_s=600.0, seed=1)
+        mp = result.row("MP Filter")
+        raw = result.row("No Filter")
+        ewma_20 = result.row("EWMA a=0.20")
+        assert mp.median_relative_error < raw.median_relative_error
+        assert mp.instability < raw.instability
+        assert ewma_20.median_relative_error > mp.median_relative_error
+        assert "Table I" in table1_ewma.format_report(result)
+
+
+class TestFig06:
+    def test_confidence_building_keeps_confidence_high(self):
+        result = fig06_confidence.run(duration_s=180.0, seed=1)
+        with_margin = result.steady_state_confidence["Confidence Building"]
+        without_margin = result.steady_state_confidence["No Confidence Building"]
+        assert with_margin > 0.9
+        assert with_margin > without_margin + 0.1
+        assert "Figure 6" in fig06_confidence.format_report(result)
+
+
+class TestFig07:
+    def test_coordinates_keep_moving_on_a_changing_network(self):
+        result = fig07_drift.run(nodes=12, duration_s=1200.0, seed=1, snapshot_interval_s=60.0)
+        assert result.tracked
+        assert result.mean_net_displacement() > 1.0
+        assert "Figure 7" in fig07_drift.format_report(result)
+
+
+class TestFig08:
+    def test_stability_improves_with_threshold(self):
+        result = fig08_threshold_sweep.run(
+            nodes=8,
+            duration_s=400.0,
+            seed=1,
+            window_size=8,
+            energy_thresholds=(1.0, 64.0),
+            relative_thresholds=(0.1, 0.9),
+        )
+        assert result.energy_rows[-1]["instability"] <= result.energy_rows[0]["instability"]
+        assert result.relative_rows[-1]["instability"] <= result.relative_rows[0]["instability"]
+        assert "Figure 8" in fig08_threshold_sweep.format_report(result)
+
+
+class TestFig09:
+    def test_window_sweep_produces_rows_per_size(self):
+        result = fig09_window_sweep.run(
+            nodes=8, duration_s=400.0, seed=1, window_sizes=(4, 16)
+        )
+        assert [row["window_size"] for row in result.energy_rows] == [4, 16]
+        assert all(row["instability"] >= 0.0 for row in result.relative_rows)
+        assert "Figure 9" in fig09_window_sweep.format_report(result)
+
+
+class TestFig10:
+    def test_windowless_heuristics_lose_accuracy_at_large_thresholds(self):
+        result = fig10_heuristic_compare.run(
+            nodes=8,
+            duration_s=400.0,
+            seed=1,
+            window_size=8,
+            ms_thresholds=(1.0, 256.0),
+            energy_thresholds=(8.0,),
+            relative_thresholds=(0.3,),
+        )
+        application = result.rows["Application"]
+        # With a huge threshold the application coordinate goes stale: error rises.
+        assert application[-1]["median_relative_error"] > application[0]["median_relative_error"]
+        assert "Figure 10" in fig10_heuristic_compare.format_report(result)
+
+
+class TestFig11:
+    def test_window_heuristics_keep_accuracy_and_gain_stability(self):
+        result = fig11_app_vs_raw.run(nodes=10, duration_s=600.0, seed=1)
+        raw_instability = result.median_instability_by_config["Raw MP Filter"]
+        energy_instability = result.median_instability_by_config["Energy+MP Filter"]
+        assert energy_instability < raw_instability
+        raw_error = result.median_error_by_config["Raw MP Filter"]
+        energy_error = result.median_error_by_config["Energy+MP Filter"]
+        assert energy_error < raw_error * 2.0
+        assert "Figure 11" in fig11_app_vs_raw.format_report(result)
+
+
+class TestFig12:
+    def test_centroid_variant_is_more_stable_than_plain_application(self):
+        result = fig12_app_centroid.run(
+            nodes=8, duration_s=400.0, seed=1, thresholds=(4.0, 64.0), window_size=8
+        )
+        for centroid_row, application_row in zip(result.centroid_rows, result.application_rows):
+            assert centroid_row["instability"] <= application_row["instability"] * 1.5
+        assert "Figure 12" in fig12_app_centroid.format_report(result)
+
+
+class TestFig13:
+    def test_deployment_comparison_reproduces_headline_direction(self):
+        result = fig13_deployment_cdfs.run(nodes=16, duration_s=1500.0, seed=1)
+        assert result.fraction_error_above_1["Raw MP Filter"] <= result.fraction_error_above_1[
+            "Raw No Filter"
+        ]
+        assert result.instability_improvement_percent > 50.0
+        assert result.energy_below_raw_min_fraction > 0.5
+        assert "Figure 13" in fig13_deployment_cdfs.format_report(result)
+
+
+class TestFig14:
+    def test_time_series_shows_convergence(self):
+        result = fig14_timeseries.run(nodes=12, duration_s=1500.0, interval_s=300.0, seed=1)
+        series = result.series["Energy+MP Filter"]
+        assert len(series) == 5
+        finite = [row["median_relative_error"] for row in series if np.isfinite(row["median_relative_error"])]
+        # Error in the final interval is no worse than in the first.
+        assert finite[-1] <= finite[0] * 1.5
+        assert "Figure 14" in fig14_timeseries.format_report(result)

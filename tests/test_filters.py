@@ -1,0 +1,287 @@
+"""Tests for the per-link latency filters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filters import (
+    EWMAFilter,
+    FilterBank,
+    LatencyFilter,
+    MedianFilter,
+    MovingPercentileFilter,
+    NoFilter,
+    ThresholdFilter,
+    make_filter,
+    percentile_of,
+)
+
+latency_samples = st.floats(min_value=0.0, max_value=10_000.0, allow_nan=False)
+
+
+class TestPercentileOf:
+    def test_single_value(self):
+        assert percentile_of([5.0], 25.0) == 5.0
+
+    def test_median_of_two_is_midpoint(self):
+        assert percentile_of([1.0, 3.0], 50.0) == 2.0
+
+    def test_matches_numpy_linear_interpolation(self):
+        data = [7.0, 1.0, 9.0, 4.0, 2.0]
+        for p in (0.0, 25.0, 50.0, 75.0, 95.0, 100.0):
+            assert percentile_of(data, p) == pytest.approx(float(np.percentile(data, p)))
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_of([], 50.0)
+
+    def test_out_of_range_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_of([1.0], 120.0)
+
+
+class TestMovingPercentileFilter:
+    def test_paper_default_is_h4_p25(self):
+        mp = MovingPercentileFilter()
+        assert mp.history == 4
+        assert mp.percentile == 25.0
+
+    def test_first_sample_passes_through(self):
+        mp = MovingPercentileFilter(history=4, percentile=25.0)
+        assert mp.update(100.0) == 100.0
+
+    def test_output_is_low_percentile_of_window(self):
+        mp = MovingPercentileFilter(history=4, percentile=25.0)
+        for sample in (100.0, 110.0, 90.0):
+            mp.update(sample)
+        value = mp.update(2000.0)
+        # The outlier must not dominate: output stays near the low quartile.
+        assert value is not None and value < 110.0
+
+    def test_window_slides(self):
+        mp = MovingPercentileFilter(history=2, percentile=50.0)
+        mp.update(10.0)
+        mp.update(20.0)
+        assert mp.update(30.0) == pytest.approx(25.0)
+
+    def test_outlier_influence_expires_with_window(self):
+        mp = MovingPercentileFilter(history=4, percentile=25.0)
+        mp.update(3000.0)  # pathological first sample
+        for _ in range(4):
+            mp.update(50.0)
+        assert mp.current() == pytest.approx(50.0)
+
+    def test_current_does_not_consume(self):
+        mp = MovingPercentileFilter(history=4)
+        mp.update(10.0)
+        assert mp.current() == mp.current()
+
+    def test_current_before_any_sample_is_none(self):
+        assert MovingPercentileFilter().current() is None
+
+    def test_warmup_delays_output(self):
+        mp = MovingPercentileFilter(history=4, warmup=2)
+        assert mp.update(3000.0) is None
+        assert mp.update(50.0) is not None
+
+    def test_warmup_cannot_exceed_history(self):
+        with pytest.raises(ValueError):
+            MovingPercentileFilter(history=2, warmup=3)
+
+    def test_reset_clears_state(self):
+        mp = MovingPercentileFilter()
+        mp.update(10.0)
+        mp.reset()
+        assert mp.current() is None
+        assert mp.samples_seen == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MovingPercentileFilter(history=0)
+        with pytest.raises(ValueError):
+            MovingPercentileFilter(percentile=101.0)
+        with pytest.raises(ValueError):
+            MovingPercentileFilter(warmup=0)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            MovingPercentileFilter().update(-1.0)
+
+    def test_nan_sample_rejected(self):
+        with pytest.raises(ValueError):
+            MovingPercentileFilter().update(float("nan"))
+
+    @given(st.lists(latency_samples, min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_output_always_within_window_range(self, samples):
+        mp = MovingPercentileFilter(history=4, percentile=25.0)
+        window = []
+        for sample in samples:
+            window.append(sample)
+            window = window[-4:]
+            value = mp.update(sample)
+            assert value is not None
+            assert min(window) - 1e-9 <= value <= max(window) + 1e-9
+
+    @given(st.lists(latency_samples, min_size=5, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_history_one_is_identity(self, samples):
+        mp = MovingPercentileFilter(history=1, percentile=25.0)
+        for sample in samples:
+            assert mp.update(sample) == pytest.approx(sample)
+
+
+class TestMedianFilter:
+    def test_is_mp_with_p50(self):
+        median = MedianFilter(history=3)
+        assert median.percentile == 50.0
+
+    def test_median_of_window(self):
+        median = MedianFilter(history=3)
+        median.update(10.0)
+        median.update(1000.0)
+        assert median.update(20.0) == pytest.approx(20.0)
+
+
+class TestEWMAFilter:
+    def test_first_sample_initialises_value(self):
+        assert EWMAFilter(alpha=0.1).update(100.0) == 100.0
+
+    def test_recursion_matches_definition(self):
+        ewma = EWMAFilter(alpha=0.25)
+        ewma.update(100.0)
+        assert ewma.update(200.0) == pytest.approx(0.25 * 200.0 + 0.75 * 100.0)
+
+    def test_small_alpha_resists_outliers_but_still_moves(self):
+        ewma = EWMAFilter(alpha=0.02)
+        ewma.update(100.0)
+        after = ewma.update(3000.0)
+        assert after is not None and 100.0 < after < 200.0
+
+    def test_outlier_contaminates_subsequent_outputs(self):
+        """The failure mode Table I documents: the outlier lingers in the average."""
+        ewma = EWMAFilter(alpha=0.2)
+        ewma.update(100.0)
+        ewma.update(3000.0)
+        lingering = ewma.update(100.0)
+        assert lingering is not None and lingering > 150.0
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            EWMAFilter(alpha=0.0)
+        with pytest.raises(ValueError):
+            EWMAFilter(alpha=1.5)
+
+    def test_reset(self):
+        ewma = EWMAFilter()
+        ewma.update(10.0)
+        ewma.reset()
+        assert ewma.current() is None
+
+
+class TestThresholdFilter:
+    def test_accepts_values_below_threshold(self):
+        threshold = ThresholdFilter(threshold_ms=1000.0)
+        assert threshold.update(500.0) == 500.0
+
+    def test_drops_values_above_threshold(self):
+        threshold = ThresholdFilter(threshold_ms=1000.0)
+        assert threshold.update(1500.0) is None
+
+    def test_current_tracks_last_accepted(self):
+        threshold = ThresholdFilter(threshold_ms=1000.0)
+        threshold.update(400.0)
+        threshold.update(5000.0)
+        assert threshold.current() == 400.0
+
+    def test_per_link_tails_slip_under_a_global_threshold(self):
+        """A cut-off sized for the global distribution misses a fast link's outliers."""
+        threshold = ThresholdFilter(threshold_ms=1000.0)
+        # 10x outlier on a 50 ms link still passes a 1000 ms threshold.
+        assert threshold.update(500.0) == 500.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdFilter(threshold_ms=0.0)
+
+
+class TestNoFilter:
+    def test_identity(self):
+        nf = NoFilter()
+        assert nf.update(123.0) == 123.0
+        assert nf.current() == 123.0
+
+    def test_reset(self):
+        nf = NoFilter()
+        nf.update(1.0)
+        nf.reset()
+        assert nf.current() is None
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind, expected",
+        [
+            ("mp", MovingPercentileFilter),
+            ("moving_percentile", MovingPercentileFilter),
+            ("median", MedianFilter),
+            ("ewma", EWMAFilter),
+            ("threshold", ThresholdFilter),
+            ("none", NoFilter),
+            ("raw", NoFilter),
+        ],
+    )
+    def test_known_kinds(self, kind, expected):
+        assert isinstance(make_filter(kind), expected)
+
+    def test_kind_is_case_insensitive(self):
+        assert isinstance(make_filter("MP"), MovingPercentileFilter)
+
+    def test_kwargs_forwarded(self):
+        mp = make_filter("mp", history=8, percentile=50.0)
+        assert isinstance(mp, MovingPercentileFilter)
+        assert mp.history == 8
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_filter("kalman")
+
+    def test_all_filters_satisfy_protocol(self):
+        for kind in ("mp", "median", "ewma", "threshold", "none"):
+            assert isinstance(make_filter(kind), LatencyFilter)
+
+
+class TestFilterBank:
+    def test_each_peer_gets_its_own_filter(self):
+        bank = FilterBank("mp", history=4)
+        assert bank.filter_for("a") is not bank.filter_for("b")
+        assert bank.filter_for("a") is bank.filter_for("a")
+
+    def test_update_routes_to_peer_filter(self):
+        bank = FilterBank("mp", history=4, percentile=25.0)
+        bank.update("a", 100.0)
+        bank.update("b", 500.0)
+        assert bank.filter_for("a").current() == pytest.approx(100.0)
+        assert bank.filter_for("b").current() == pytest.approx(500.0)
+
+    def test_forget_removes_peer_state(self):
+        bank = FilterBank("mp")
+        bank.update("a", 1.0)
+        bank.forget("a")
+        assert bank.peer_count == 0
+
+    def test_reset_clears_all(self):
+        bank = FilterBank("mp")
+        bank.update("a", 1.0)
+        bank.update("b", 1.0)
+        bank.reset()
+        assert bank.peer_count == 0
+
+    def test_peers_listing(self):
+        bank = FilterBank("none")
+        bank.update("x", 1.0)
+        bank.update("y", 2.0)
+        assert sorted(bank.peers()) == ["x", "y"]

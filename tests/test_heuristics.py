@@ -1,0 +1,258 @@
+"""Tests for the application-level update heuristics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coordinate import Coordinate, centroid
+from repro.core.heuristics import (
+    AlwaysUpdateHeuristic,
+    ApplicationCentroidHeuristic,
+    ApplicationHeuristic,
+    EnergyHeuristic,
+    RelativeHeuristic,
+    SystemHeuristic,
+    UpdateHeuristic,
+    make_heuristic,
+)
+
+
+def _point(x: float, y: float = 0.0, z: float = 0.0) -> Coordinate:
+    return Coordinate([x, y, z])
+
+
+class TestAlwaysUpdate:
+    def test_tracks_system_coordinate_exactly(self):
+        heuristic = AlwaysUpdateHeuristic()
+        for x in (1.0, 2.0, 3.0):
+            update = heuristic.observe(_point(x))
+            assert update is not None and update.components[0] == x
+        assert heuristic.update_count == 3
+
+    def test_observation_count_tracks_inputs(self):
+        heuristic = AlwaysUpdateHeuristic()
+        heuristic.observe(_point(1.0))
+        heuristic.observe(_point(2.0))
+        assert heuristic.observation_count == 2
+
+
+class TestSystemHeuristic:
+    def test_first_observation_always_updates(self):
+        heuristic = SystemHeuristic(threshold_ms=10.0)
+        assert heuristic.observe(_point(1.0)) is not None
+
+    def test_small_step_does_not_update(self):
+        heuristic = SystemHeuristic(threshold_ms=10.0)
+        heuristic.observe(_point(0.0))
+        assert heuristic.observe(_point(5.0)) is None
+
+    def test_large_step_updates(self):
+        heuristic = SystemHeuristic(threshold_ms=10.0)
+        heuristic.observe(_point(0.0))
+        assert heuristic.observe(_point(50.0)) is not None
+
+    def test_pathological_slow_drift_never_updates(self):
+        """The failure mode the paper calls out: steps just under the threshold."""
+        heuristic = SystemHeuristic(threshold_ms=10.0)
+        heuristic.observe(_point(0.0))
+        position = 0.0
+        for _ in range(100):
+            position += 9.0  # always just below the threshold
+            assert heuristic.observe(_point(position)) is None
+        # The application's view is now wildly stale.
+        assert heuristic.application_coordinate.components[0] == 0.0
+        assert position > 800.0
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SystemHeuristic(threshold_ms=-1.0)
+
+    def test_reset_clears_state(self):
+        heuristic = SystemHeuristic()
+        heuristic.observe(_point(1.0))
+        heuristic.reset()
+        assert heuristic.application_coordinate is None
+        assert heuristic.update_count == 0
+
+
+class TestApplicationHeuristic:
+    def test_updates_on_cumulative_drift(self):
+        heuristic = ApplicationHeuristic(threshold_ms=10.0)
+        heuristic.observe(_point(0.0))
+        # Individual steps are small but drift accumulates past the threshold.
+        assert heuristic.observe(_point(6.0)) is None
+        assert heuristic.observe(_point(12.0)) is not None
+
+    def test_oscillation_below_threshold_never_updates(self):
+        heuristic = ApplicationHeuristic(threshold_ms=10.0)
+        heuristic.observe(_point(0.0))
+        for _ in range(50):
+            assert heuristic.observe(_point(8.0)) is None
+            assert heuristic.observe(_point(-8.0)) is None
+
+    def test_update_snaps_to_current_system_coordinate(self):
+        heuristic = ApplicationHeuristic(threshold_ms=10.0)
+        heuristic.observe(_point(0.0))
+        update = heuristic.observe(_point(25.0))
+        assert update is not None and update.components[0] == 25.0
+
+
+class TestApplicationCentroidHeuristic:
+    def test_update_value_is_window_centroid(self):
+        heuristic = ApplicationCentroidHeuristic(threshold_ms=5.0, window_size=4)
+        heuristic.observe(_point(0.0))
+        heuristic.observe(_point(2.0))
+        heuristic.observe(_point(4.0))
+        update = heuristic.observe(_point(20.0))
+        assert update is not None
+        expected = centroid([_point(0.0), _point(2.0), _point(4.0), _point(20.0)])
+        assert update.components == pytest.approx(expected.components)
+
+    def test_no_update_below_threshold(self):
+        heuristic = ApplicationCentroidHeuristic(threshold_ms=100.0, window_size=4)
+        heuristic.observe(_point(0.0))
+        assert heuristic.observe(_point(10.0)) is None
+
+    def test_window_size_validated(self):
+        with pytest.raises(ValueError):
+            ApplicationCentroidHeuristic(window_size=0)
+
+
+class TestRelativeHeuristic:
+    def test_first_observation_updates(self):
+        heuristic = RelativeHeuristic(relative_threshold=0.3, window_size=4)
+        assert heuristic.observe(_point(1.0)) is not None
+
+    def test_no_update_without_known_neighbor(self):
+        heuristic = RelativeHeuristic(relative_threshold=0.3, window_size=2)
+        heuristic.observe(_point(0.0))
+        for x in range(1, 10):
+            assert heuristic.observe(_point(float(x * 100))) is None
+
+    def test_updates_when_displacement_large_relative_to_neighbor(self):
+        heuristic = RelativeHeuristic(relative_threshold=0.3, window_size=2)
+        neighbor = _point(0.0, 10.0)  # ~10 ms away: a tight locale
+        updates = 0
+        for x in range(0, 40, 2):
+            if heuristic.observe(_point(float(x)), nearest_neighbor=neighbor) is not None:
+                updates += 1
+        assert updates >= 2  # the initial update plus at least one drift-triggered one
+
+    def test_far_neighbor_suppresses_small_moves(self):
+        heuristic = RelativeHeuristic(relative_threshold=0.5, window_size=2)
+        far_neighbor = _point(0.0, 10_000.0)
+        heuristic.observe(_point(0.0), nearest_neighbor=far_neighbor)
+        for x in range(1, 30):
+            assert heuristic.observe(_point(float(x)), nearest_neighbor=far_neighbor) is None
+
+    def test_update_value_is_current_window_centroid(self):
+        heuristic = RelativeHeuristic(relative_threshold=0.1, window_size=2)
+        neighbor = _point(0.0, 1.0)
+        heuristic.observe(_point(0.0), nearest_neighbor=neighbor)
+        heuristic.observe(_point(0.0), nearest_neighbor=neighbor)
+        heuristic.observe(_point(100.0), nearest_neighbor=neighbor)
+        update = heuristic.observe(_point(110.0), nearest_neighbor=neighbor)
+        assert update is not None
+        assert update.components[0] == pytest.approx(105.0)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            RelativeHeuristic(relative_threshold=0.0)
+
+
+class TestEnergyHeuristic:
+    def test_first_observation_updates(self):
+        heuristic = EnergyHeuristic(threshold=8.0, window_size=4)
+        assert heuristic.observe(_point(0.0)) is not None
+
+    def test_stationary_stream_never_updates_again(self):
+        rng = np.random.default_rng(1)
+        heuristic = EnergyHeuristic(threshold=8.0, window_size=8)
+        heuristic.observe(_point(0.0))
+        for _ in range(200):
+            jitter = rng.normal(scale=0.2, size=3)
+            assert heuristic.observe(Coordinate(jitter.tolist())) is None
+
+    def test_shifted_stream_triggers_update(self):
+        rng = np.random.default_rng(2)
+        heuristic = EnergyHeuristic(threshold=8.0, window_size=8)
+        heuristic.observe(_point(0.0))
+        for _ in range(20):
+            heuristic.observe(Coordinate(rng.normal(scale=0.5, size=3).tolist()))
+        updated = False
+        for _ in range(40):
+            shifted = rng.normal(loc=50.0, scale=0.5, size=3)
+            if heuristic.observe(Coordinate(shifted.tolist())) is not None:
+                updated = True
+                break
+        assert updated
+
+    def test_update_value_is_current_window_centroid(self):
+        heuristic = EnergyHeuristic(threshold=1.0, window_size=2)
+        heuristic.observe(_point(0.0))
+        heuristic.observe(_point(0.0))
+        heuristic.observe(_point(100.0))
+        update = heuristic.observe(_point(102.0))
+        assert update is not None
+        assert update.components[0] == pytest.approx(101.0)
+
+    def test_windows_reset_after_change_point(self):
+        heuristic = EnergyHeuristic(threshold=1.0, window_size=2)
+        heuristic.observe(_point(0.0))
+        heuristic.observe(_point(0.0))
+        heuristic.observe(_point(100.0))
+        assert heuristic.observe(_point(102.0)) is not None
+        # Immediately after a change point the windows are refilling, so no
+        # update can fire for the next 2 * window_size observations.
+        assert heuristic.observe(_point(104.0)) is None
+        assert heuristic.observe(_point(106.0)) is None
+        assert heuristic.observe(_point(108.0)) is None
+
+    def test_higher_threshold_means_fewer_updates(self):
+        rng = np.random.default_rng(3)
+        stream = [Coordinate(p.tolist()) for p in rng.normal(scale=3.0, size=(300, 3))]
+        low, high = EnergyHeuristic(threshold=1.0, window_size=8), EnergyHeuristic(
+            threshold=64.0, window_size=8
+        )
+        for point in stream:
+            low.observe(point)
+            high.observe(point)
+        assert high.update_count <= low.update_count
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            EnergyHeuristic(threshold=-1.0)
+        with pytest.raises(ValueError):
+            EnergyHeuristic(window_size=1)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind, expected",
+        [
+            ("always", AlwaysUpdateHeuristic),
+            ("raw", AlwaysUpdateHeuristic),
+            ("system", SystemHeuristic),
+            ("application", ApplicationHeuristic),
+            ("application_centroid", ApplicationCentroidHeuristic),
+            ("relative", RelativeHeuristic),
+            ("energy", EnergyHeuristic),
+        ],
+    )
+    def test_known_kinds(self, kind, expected):
+        assert isinstance(make_heuristic(kind), expected)
+
+    def test_kwargs_forwarded(self):
+        heuristic = make_heuristic("energy", threshold=4.0, window_size=16)
+        assert isinstance(heuristic, EnergyHeuristic)
+        assert heuristic.threshold == 4.0
+        assert heuristic.window_size == 16
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_heuristic("oracle")
+
+    def test_all_heuristics_satisfy_protocol(self):
+        for kind in ("always", "system", "application", "application_centroid", "relative", "energy"):
+            assert isinstance(make_heuristic(kind), UpdateHeuristic)

@@ -1,0 +1,141 @@
+"""Cross-module integration tests: the paper's qualitative claims end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.static_matrix import StaticMatrixExperiment
+from repro.core.config import NodeConfig
+from repro.latency.matrix import LatencyMatrix
+from repro.latency.planetlab import DatasetParameters, PlanetLabDataset
+from repro.netsim.replay import replay_trace
+from repro.netsim.runner import SimulationConfig, run_simulation
+
+
+@pytest.fixture(scope="module")
+def shared_universe():
+    dataset = PlanetLabDataset.generate(14, seed=21)
+    trace = dataset.generate_trace(duration_s=700.0, ping_interval_s=2.0, seed=21)
+    return dataset, trace
+
+
+class TestFilterClaims:
+    """Section IV: the MP filter improves both accuracy and stability."""
+
+    def test_mp_filter_improves_both_metrics_over_raw(self, shared_universe):
+        _, trace = shared_universe
+        raw = replay_trace(trace, NodeConfig.preset("raw")).snapshot
+        mp = replay_trace(trace, NodeConfig.preset("mp")).snapshot
+        assert mp.median_of_median_error < raw.median_of_median_error
+        assert mp.aggregate_system_instability < raw.aggregate_system_instability
+
+    def test_mp_filter_cuts_the_instability_tail(self, shared_universe):
+        _, trace = shared_universe
+        raw = replay_trace(trace, NodeConfig.preset("raw")).collector
+        mp = replay_trace(trace, NodeConfig.preset("mp")).collector
+        raw_tail = max(raw.per_node_instability(level="system").values())
+        mp_tail = max(mp.per_node_instability(level="system").values())
+        assert mp_tail < raw_tail
+
+
+class TestApplicationLevelClaims:
+    """Section V: application updates gain stability without losing accuracy."""
+
+    def test_energy_heuristic_reduces_application_instability(self, shared_universe):
+        _, trace = shared_universe
+        mp = replay_trace(trace, NodeConfig.preset("mp")).snapshot
+        energy = replay_trace(trace, NodeConfig.preset("mp_energy")).snapshot
+        assert (
+            energy.aggregate_application_instability
+            < 0.5 * mp.aggregate_application_instability
+        )
+
+    def test_energy_heuristic_keeps_accuracy_within_reason(self, shared_universe):
+        _, trace = shared_universe
+        mp = replay_trace(trace, NodeConfig.preset("mp")).snapshot
+        energy = replay_trace(trace, NodeConfig.preset("mp_energy")).snapshot
+        assert (
+            energy.median_of_median_application_error
+            < 2.0 * mp.median_of_median_application_error
+        )
+
+    def test_energy_heuristic_reduces_update_frequency(self, shared_universe):
+        _, trace = shared_universe
+        mp = replay_trace(trace, NodeConfig.preset("mp")).snapshot
+        energy = replay_trace(trace, NodeConfig.preset("mp_energy")).snapshot
+        assert (
+            energy.application_updates_per_node_per_s
+            < 0.2 * mp.application_updates_per_node_per_s
+        )
+
+    def test_relative_heuristic_also_stabilises(self, shared_universe):
+        _, trace = shared_universe
+        mp = replay_trace(trace, NodeConfig.preset("mp")).snapshot
+        relative = replay_trace(trace, NodeConfig.preset("mp_relative")).snapshot
+        assert (
+            relative.aggregate_application_instability
+            < mp.aggregate_application_instability
+        )
+
+
+class TestDeploymentClaims:
+    """Section VI: the full protocol simulation reproduces the same ordering."""
+
+    def test_full_stack_ordering_of_instability(self):
+        dataset = PlanetLabDataset.generate(12, seed=33)
+        snapshots = {}
+        for label, preset in (("raw", "raw"), ("mp", "mp"), ("mp_energy", "mp_energy")):
+            result = run_simulation(
+                SimulationConfig(
+                    nodes=12, duration_s=900.0, node_config=NodeConfig.preset(preset), seed=33
+                ),
+                dataset=dataset,
+            )
+            snapshots[label] = result.snapshot
+        assert (
+            snapshots["mp_energy"].aggregate_application_instability
+            < snapshots["mp"].aggregate_application_instability
+            < snapshots["raw"].aggregate_application_instability
+        )
+
+    def test_full_stack_error_improves_with_filter(self):
+        dataset = PlanetLabDataset.generate(12, seed=34)
+        results = {}
+        for label, preset in (("raw", "raw"), ("mp", "mp")):
+            result = run_simulation(
+                SimulationConfig(
+                    nodes=12, duration_s=900.0, node_config=NodeConfig.preset(preset), seed=34
+                ),
+                dataset=dataset,
+            )
+            results[label] = result.collector
+        raw_p95 = np.median(
+            list(results["raw"].per_node_error_percentile(95.0, level="application").values())
+        )
+        mp_p95 = np.median(
+            list(results["mp"].per_node_error_percentile(95.0, level="application").values())
+        )
+        assert mp_p95 < raw_p95
+
+
+class TestStaticMatrixContrast:
+    """The idealised evaluation setting really does hide the problem."""
+
+    def test_vivaldi_on_a_static_matrix_is_accurate_without_any_filter(self):
+        matrix = LatencyMatrix.from_topology(
+            PlanetLabDataset.generate(12, seed=40).topology
+        )
+        experiment = StaticMatrixExperiment(matrix, NodeConfig.preset("raw"), seed=40)
+        result = experiment.run(rounds=300)
+        assert result.median_relative_error < 0.3
+
+    def test_noiseless_stream_needs_no_filter_either(self):
+        dataset = PlanetLabDataset.generate(
+            10, seed=41, parameters=DatasetParameters(noiseless=True)
+        )
+        trace = dataset.generate_trace(duration_s=1200.0, ping_interval_s=2.0, seed=41)
+        raw = replay_trace(trace, NodeConfig.preset("raw")).snapshot
+        # Residual error reflects the intrinsic embedding error of the
+        # topology (triangle-inequality violations), not instability.
+        assert raw.median_of_median_error < 0.35

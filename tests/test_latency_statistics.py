@@ -1,0 +1,82 @@
+"""Calibration tests: the synthetic trace must reproduce Section III's statistics.
+
+These tests pin the statistical properties the paper's analysis relies on,
+so that changes to the latency substrate cannot silently invalidate the
+experiments (see DESIGN.md, "Substitutions").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.latency.planetlab import PlanetLabDataset
+
+
+@pytest.fixture(scope="module")
+def calibration_trace():
+    dataset = PlanetLabDataset.generate(24, seed=11)
+    return dataset, dataset.generate_trace(duration_s=900.0, ping_interval_s=1.0, seed=11)
+
+
+class TestGlobalDistribution:
+    def test_fraction_above_one_second_matches_paper(self, calibration_trace):
+        """The paper reports 0.4% of all samples above one second."""
+        _, trace = calibration_trace
+        rtts = trace.rtts()
+        fraction = float((rtts >= 1000.0).mean())
+        assert 0.001 < fraction < 0.02
+
+    def test_bulk_of_samples_below_a_few_hundred_ms(self, calibration_trace):
+        _, trace = calibration_trace
+        rtts = trace.rtts()
+        assert float(np.percentile(rtts, 90.0)) < 500.0
+
+    def test_tail_reaches_multiple_seconds(self, calibration_trace):
+        _, trace = calibration_trace
+        assert trace.rtts().max() > 2000.0
+
+    def test_distribution_spans_three_orders_of_magnitude(self, calibration_trace):
+        _, trace = calibration_trace
+        rtts = trace.rtts()
+        assert rtts.max() / max(rtts.min(), 0.1) > 100.0
+
+
+class TestPerLinkDistribution:
+    def test_individual_links_have_heavy_tails(self, calibration_trace):
+        """Figure 3: outliers are a per-link phenomenon."""
+        dataset, _ = calibration_trace
+        a, b = dataset.topology.host_ids[:2]
+        stream = dataset.generate_link_stream(a, b, duration_s=5000.0, ping_interval_s=1.0)
+        rtts = stream.rtts()
+        assert rtts.max() > 5.0 * np.median(rtts)
+
+    def test_link_outliers_are_spread_over_time(self, calibration_trace):
+        """Figure 3 (bottom): long-latency pings keep occurring throughout."""
+        dataset, _ = calibration_trace
+        a, b = dataset.topology.host_ids[:2]
+        stream = dataset.generate_link_stream(a, b, duration_s=8000.0, ping_interval_s=1.0)
+        rtts = stream.rtts()
+        threshold = 3.0 * np.median(rtts)
+        halves = np.array_split(rtts, 2)
+        assert all(int((half > threshold).sum()) > 0 for half in halves)
+
+    def test_low_percentile_is_a_stable_predictor(self, calibration_trace):
+        """Section III: a low percentile of recent history predicts the next value."""
+        dataset, _ = calibration_trace
+        a, b = dataset.topology.host_ids[:2]
+        stream = dataset.generate_link_stream(a, b, duration_s=2000.0, ping_interval_s=1.0)
+        rtts = stream.rtts()
+        p25_first = np.percentile(rtts[: len(rtts) // 2], 25.0)
+        p25_second = np.percentile(rtts[len(rtts) // 2 :], 25.0)
+        assert abs(p25_first - p25_second) / p25_first < 0.2
+
+    def test_mean_is_a_poor_predictor_compared_to_low_percentile(self, calibration_trace):
+        """The long tail drags the mean above the typical observation."""
+        dataset, _ = calibration_trace
+        a, b = dataset.topology.host_ids[:2]
+        stream = dataset.generate_link_stream(a, b, duration_s=5000.0, ping_interval_s=1.0)
+        rtts = stream.rtts()
+        median = float(np.median(rtts))
+        assert float(rtts.mean()) > median
+        assert abs(float(np.percentile(rtts, 25.0)) - median) / median < 0.15

@@ -1,0 +1,140 @@
+"""Tests for the per-link observation models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.latency.linkmodel import (
+    ClusterLink,
+    HeavyTailLink,
+    HeavyTailParameters,
+    LinkModel,
+    ShiftingLink,
+    StableLink,
+)
+
+
+class TestStableLink:
+    def test_samples_cluster_tightly_around_baseline(self, rng):
+        link = StableLink(base_rtt_ms=100.0, jitter_fraction=0.02)
+        samples = np.array([link.sample(rng, 0.0) for _ in range(2000)])
+        assert abs(np.median(samples) - 100.0) < 5.0
+        assert samples.max() < 150.0
+
+    def test_zero_jitter_is_exact(self, rng):
+        link = StableLink(base_rtt_ms=42.0, jitter_fraction=0.0)
+        assert link.sample(rng, 0.0) == pytest.approx(42.0)
+
+    def test_true_rtt_is_constant(self):
+        link = StableLink(base_rtt_ms=42.0)
+        assert link.true_rtt_ms(0.0) == link.true_rtt_ms(1e6) == 42.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StableLink(base_rtt_ms=-1.0)
+
+
+class TestHeavyTailLink:
+    def test_bulk_of_samples_near_baseline(self, rng):
+        link = HeavyTailLink(base_rtt_ms=100.0)
+        samples = np.array([link.sample(rng, 0.0) for _ in range(5000)])
+        assert abs(np.median(samples) - 100.0) < 15.0
+
+    def test_tail_spans_orders_of_magnitude(self, rng):
+        link = HeavyTailLink(base_rtt_ms=100.0)
+        samples = np.array([link.sample(rng, 0.0) for _ in range(20000)])
+        assert samples.max() > 10.0 * np.median(samples)
+
+    def test_outlier_fraction_roughly_matches_parameter(self, rng):
+        params = HeavyTailParameters(outlier_probability=0.01)
+        link = HeavyTailLink(base_rtt_ms=100.0, parameters=params)
+        samples = np.array([link.sample(rng, 0.0) for _ in range(20000)])
+        fraction = float((samples >= 1000.0).mean())
+        assert 0.004 < fraction < 0.03
+
+    def test_samples_are_always_positive(self, rng):
+        link = HeavyTailLink(base_rtt_ms=1.0)
+        samples = [link.sample(rng, 0.0) for _ in range(2000)]
+        assert min(samples) > 0.0
+
+    def test_mean_exceeds_median_because_of_the_tail(self, rng):
+        link = HeavyTailLink(base_rtt_ms=100.0)
+        samples = np.array([link.sample(rng, 0.0) for _ in range(20000)])
+        assert samples.mean() > np.median(samples)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HeavyTailParameters(spike_probability=1.5)
+        with pytest.raises(ValueError):
+            HeavyTailParameters(spike_probability=0.6, outlier_probability=0.6)
+        with pytest.raises(ValueError):
+            HeavyTailParameters(outlier_range_ms=(500.0, 100.0))
+
+
+class TestClusterLink:
+    def test_bulk_is_sub_1_2ms(self, rng):
+        link = ClusterLink()
+        samples = np.array([link.sample(rng, 0.0) for _ in range(5000)])
+        assert 0.3 < np.median(samples) < 1.2
+
+    def test_tail_fraction_roughly_five_percent(self, rng):
+        link = ClusterLink()
+        samples = np.array([link.sample(rng, 0.0) for _ in range(20000)])
+        tail = float((samples > 1.2).mean())
+        assert 0.02 < tail < 0.09
+
+    def test_samples_positive(self, rng):
+        link = ClusterLink()
+        assert min(link.sample(rng, 0.0) for _ in range(2000)) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterLink(base_rtt_ms=0.0)
+
+
+class TestShiftingLink:
+    def test_baseline_shifts_at_scheduled_time(self, rng):
+        inner = StableLink(base_rtt_ms=100.0, jitter_fraction=0.0)
+        link = ShiftingLink(inner=inner, shifts=((1000.0, 1.5),))
+        assert link.true_rtt_ms(0.0) == pytest.approx(100.0)
+        assert link.true_rtt_ms(2000.0) == pytest.approx(150.0)
+
+    def test_multiple_shifts_apply_latest(self):
+        inner = StableLink(base_rtt_ms=100.0, jitter_fraction=0.0)
+        link = ShiftingLink(inner=inner, shifts=((100.0, 2.0), (200.0, 0.5)))
+        assert link.true_rtt_ms(150.0) == pytest.approx(200.0)
+        assert link.true_rtt_ms(300.0) == pytest.approx(50.0)
+
+    def test_drift_grows_baseline_over_time(self):
+        inner = StableLink(base_rtt_ms=100.0, jitter_fraction=0.0)
+        link = ShiftingLink(inner=inner, drift_fraction_per_hour=0.1)
+        assert link.true_rtt_ms(3600.0) == pytest.approx(110.0)
+
+    def test_samples_follow_the_shifted_baseline(self, rng):
+        inner = StableLink(base_rtt_ms=100.0, jitter_fraction=0.01)
+        link = ShiftingLink(inner=inner, shifts=((10.0, 2.0),))
+        late_samples = np.array([link.sample(rng, 100.0) for _ in range(500)])
+        assert abs(np.median(late_samples) - 200.0) < 20.0
+
+    def test_unordered_shifts_rejected(self):
+        inner = StableLink(base_rtt_ms=10.0)
+        with pytest.raises(ValueError):
+            ShiftingLink(inner=inner, shifts=((100.0, 1.0), (50.0, 2.0)))
+
+    def test_non_positive_multiplier_rejected(self):
+        inner = StableLink(base_rtt_ms=10.0)
+        with pytest.raises(ValueError):
+            ShiftingLink(inner=inner, shifts=((10.0, 0.0),))
+
+
+class TestProtocolConformance:
+    def test_all_models_satisfy_the_link_model_protocol(self):
+        models = [
+            StableLink(10.0),
+            HeavyTailLink(10.0),
+            ClusterLink(),
+            ShiftingLink(inner=StableLink(10.0)),
+        ]
+        for model in models:
+            assert isinstance(model, LinkModel)

@@ -1,0 +1,90 @@
+"""Tests for the static latency-matrix abstraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.latency.matrix import LatencyMatrix
+from repro.latency.topology import GeographicTopology
+
+
+class TestConstruction:
+    def test_from_dict_symmetrises(self):
+        matrix = LatencyMatrix.from_dict({("a", "b"): 10.0, ("b", "c"): 20.0})
+        assert matrix.rtt_ms("a", "b") == matrix.rtt_ms("b", "a") == 10.0
+        assert matrix.rtt_ms("a", "c") == 0.0
+
+    def test_from_topology(self, small_topology):
+        matrix = LatencyMatrix.from_topology(small_topology)
+        hosts = small_topology.host_ids
+        assert matrix.size == small_topology.size
+        assert matrix.rtt_ms(hosts[0], hosts[1]) == pytest.approx(
+            small_topology.base_rtt_ms(hosts[0], hosts[1])
+        )
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            LatencyMatrix(["a", "b"], np.zeros((2, 3)))
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(ValueError):
+            LatencyMatrix(["a"], np.zeros((2, 2)))
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError):
+            LatencyMatrix(["a", "a"], np.zeros((2, 2)))
+
+    def test_rejects_negative_latency(self):
+        data = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(ValueError):
+            LatencyMatrix(["a", "b"], data)
+
+    def test_rejects_asymmetric_matrix(self):
+        data = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ValueError):
+            LatencyMatrix(["a", "b"], data)
+
+    def test_diagonal_forced_to_zero(self):
+        data = np.array([[5.0, 1.0], [1.0, 5.0]])
+        matrix = LatencyMatrix(["a", "b"], data)
+        assert matrix.rtt_ms("a", "a") == 0.0
+
+
+class TestAccess:
+    def test_as_array_returns_copy(self):
+        matrix = LatencyMatrix.from_dict({("a", "b"): 10.0})
+        array = matrix.as_array()
+        array[0, 1] = 999.0
+        assert matrix.rtt_ms("a", "b") == 10.0
+
+    def test_pairs_enumeration(self):
+        matrix = LatencyMatrix.from_dict({("a", "b"): 10.0, ("a", "c"): 20.0, ("b", "c"): 30.0})
+        pairs = list(matrix.pairs())
+        assert len(pairs) == 3
+        assert ("a", "b", 10.0) in pairs
+
+    def test_unknown_node_raises_key_error(self):
+        matrix = LatencyMatrix.from_dict({("a", "b"): 10.0})
+        with pytest.raises(KeyError):
+            matrix.rtt_ms("a", "zzz")
+
+
+class TestTriangleViolations:
+    def test_metric_matrix_has_no_violations(self):
+        # Distances of points on a line form a metric.
+        matrix = LatencyMatrix.from_dict(
+            {("a", "b"): 10.0, ("b", "c"): 10.0, ("a", "c"): 20.0}
+        )
+        assert matrix.triangle_violation_fraction() == 0.0
+
+    def test_violating_matrix_detected(self):
+        matrix = LatencyMatrix.from_dict(
+            {("a", "b"): 100.0, ("b", "c"): 1.0, ("a", "c"): 1.0}
+        )
+        assert matrix.triangle_violation_fraction() == 1.0
+
+    def test_sampled_estimate_on_larger_matrix(self, small_topology):
+        matrix = LatencyMatrix.from_topology(small_topology)
+        fraction = matrix.triangle_violation_fraction(sample_limit=500, seed=1)
+        assert 0.0 <= fraction <= 1.0

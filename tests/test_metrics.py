@@ -1,0 +1,248 @@
+"""Tests for the accuracy, stability, and collector metric modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coordinate import Coordinate
+from repro.metrics.accuracy import AccuracyAggregator, NodeAccuracy, absolute_error, relative_error
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.report import ComparisonRow, comparison_table, format_table, improvement_percent
+from repro.metrics.stability import StabilityTracker
+
+
+def _point(x: float) -> Coordinate:
+    return Coordinate([x, 0.0, 0.0])
+
+
+class TestErrorFunctions:
+    def test_absolute_error(self):
+        assert absolute_error(120.0, 100.0) == 20.0
+
+    def test_relative_error_definition(self):
+        assert relative_error(120.0, 100.0) == pytest.approx(0.2)
+        assert relative_error(80.0, 100.0) == pytest.approx(0.2)
+
+    def test_relative_error_clamps_tiny_observations(self):
+        assert relative_error(1.0, 0.0) == pytest.approx(1.0 / 1e-3 - 1.0, rel=1e-3)
+
+    def test_perfect_prediction_has_zero_error(self):
+        assert relative_error(50.0, 50.0) == 0.0
+
+
+class TestNodeAccuracy:
+    def test_median_and_percentile(self):
+        accuracy = NodeAccuracy("n")
+        for predicted in (110.0, 120.0, 130.0):
+            accuracy.record(predicted, 100.0)
+        assert accuracy.median() == pytest.approx(0.2)
+        assert accuracy.percentile(100.0) == pytest.approx(0.3)
+        assert accuracy.count == 3
+
+    def test_empty_summaries_are_none(self):
+        accuracy = NodeAccuracy("n")
+        assert accuracy.median() is None
+        assert accuracy.percentile(95.0) is None
+
+    def test_record_error_validates_sign(self):
+        accuracy = NodeAccuracy("n")
+        with pytest.raises(ValueError):
+            accuracy.record_error(-0.1)
+
+    def test_aggregator_median_of_medians(self):
+        aggregator = AccuracyAggregator()
+        aggregator.record("a", 110.0, 100.0)
+        aggregator.record("b", 150.0, 100.0)
+        aggregator.record("c", 200.0, 100.0)
+        assert aggregator.median_of_medians() == pytest.approx(0.5)
+        assert sorted(aggregator.node_ids()) == ["a", "b", "c"]
+
+    def test_aggregator_empty_is_none(self):
+        assert AccuracyAggregator().median_of_medians() is None
+
+
+class TestStabilityTracker:
+    def test_total_movement_accumulates(self):
+        tracker = StabilityTracker("n")
+        tracker.record(0.0, _point(0.0))
+        tracker.record(1.0, _point(3.0))
+        tracker.record(2.0, _point(7.0))
+        assert tracker.total_movement_ms == pytest.approx(7.0)
+        assert tracker.update_count == 2
+
+    def test_instability_is_movement_per_second(self):
+        tracker = StabilityTracker("n")
+        tracker.record(0.0, _point(0.0))
+        tracker.record(10.0, _point(5.0))
+        assert tracker.instability_ms_per_s() == pytest.approx(0.5)
+
+    def test_stationary_coordinate_has_zero_instability(self):
+        tracker = StabilityTracker("n")
+        for t in range(10):
+            tracker.record(float(t), _point(42.0))
+        assert tracker.instability_ms_per_s() == 0.0
+
+    def test_explicit_duration_override(self):
+        tracker = StabilityTracker("n")
+        tracker.record(0.0, _point(0.0))
+        tracker.record(1.0, _point(10.0))
+        assert tracker.instability_ms_per_s(duration_s=100.0) == pytest.approx(0.1)
+
+    def test_movement_since(self):
+        tracker = StabilityTracker("n")
+        tracker.record(0.0, _point(0.0))
+        tracker.record(5.0, _point(1.0))
+        tracker.record(10.0, _point(3.0))
+        assert tracker.movement_since(6.0) == pytest.approx(2.0)
+
+    def test_zero_duration_yields_zero_rate(self):
+        tracker = StabilityTracker("n")
+        tracker.record(0.0, _point(0.0))
+        assert tracker.instability_ms_per_s() == 0.0
+
+
+class TestMetricsCollector:
+    def _populate(self, collector: MetricsCollector) -> None:
+        for t in range(10):
+            collector.record_sample(
+                float(t),
+                "a",
+                system_coordinate=_point(float(t)),
+                application_coordinate=_point(0.0 if t < 5 else 10.0),
+                relative_error=0.1 * (t + 1),
+                application_relative_error=0.2,
+                application_updated=(t == 5),
+            )
+
+    def test_per_node_median_error_uses_measurement_window(self):
+        collector = MetricsCollector(measurement_start_s=5.0)
+        self._populate(collector)
+        medians = collector.per_node_median_error(level="system")
+        # Only errors at t >= 5 count: 0.6 .. 1.0, median 0.8.
+        assert medians["a"] == pytest.approx(0.8)
+
+    def test_error_percentiles(self):
+        collector = MetricsCollector()
+        self._populate(collector)
+        p95 = collector.per_node_error_percentile(95.0, level="system")["a"]
+        assert 0.9 <= p95 <= 1.0
+
+    def test_application_level_errors_tracked_separately(self):
+        collector = MetricsCollector()
+        self._populate(collector)
+        assert collector.per_node_median_error(level="application")["a"] == pytest.approx(0.2)
+
+    def test_instability_per_node_and_aggregate(self):
+        collector = MetricsCollector()
+        self._populate(collector)
+        system = collector.per_node_instability(level="system")["a"]
+        application = collector.per_node_instability(level="application")["a"]
+        # System coordinate moves 1 ms per second; the application one jumps
+        # 10 ms once over the 9-second window.
+        assert system == pytest.approx(1.0, rel=0.2)
+        assert application == pytest.approx(10.0 / 9.0, rel=0.2)
+        assert collector.aggregate_instability(level="system") == pytest.approx(system)
+
+    def test_update_counts_and_rate(self):
+        collector = MetricsCollector()
+        self._populate(collector)
+        assert collector.per_node_update_counts()["a"] == 1
+        assert collector.application_updates_per_node_per_second() == pytest.approx(1.0 / 9.0)
+
+    def test_system_snapshot_fields(self):
+        collector = MetricsCollector()
+        self._populate(collector)
+        snapshot = collector.system_snapshot()
+        assert snapshot.node_count == 1
+        assert snapshot.median_of_median_error is not None
+        assert snapshot.aggregate_system_instability > 0.0
+
+    def test_node_snapshot(self):
+        collector = MetricsCollector()
+        self._populate(collector)
+        node = collector.node_snapshot("a")
+        assert node.observation_count == 10
+        assert node.application_updates == 1
+
+    def test_time_series_bucketing(self):
+        collector = MetricsCollector()
+        self._populate(collector)
+        series = collector.time_series(3.0, level="system")
+        assert len(series) == 3
+        assert series[0]["time_s"] == 0.0
+        assert series[1]["median_relative_error"] == pytest.approx(0.5, abs=0.15)
+
+    def test_time_series_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            MetricsCollector().time_series(0.0)
+
+    def test_empty_collector_time_series_is_empty(self):
+        assert MetricsCollector().time_series(10.0) == []
+
+    def test_negative_measurement_start_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(measurement_start_s=-1.0)
+
+    def test_reset(self):
+        collector = MetricsCollector()
+        self._populate(collector)
+        collector.reset()
+        assert collector.node_ids() == []
+
+
+class TestReporting:
+    def test_improvement_percent_sign_convention(self):
+        assert improvement_percent(100.0, 50.0) == pytest.approx(-50.0)
+        assert improvement_percent(100.0, 150.0) == pytest.approx(50.0)
+        assert improvement_percent(0.0, 10.0) == 0.0
+
+    def _snapshot(self, error: float, instability: float):
+        collector = MetricsCollector()
+        collector.record_sample(
+            0.0,
+            "a",
+            system_coordinate=_point(0.0),
+            application_coordinate=_point(0.0),
+        )
+        collector.record_sample(
+            10.0,
+            "a",
+            system_coordinate=_point(instability * 10.0),
+            application_coordinate=_point(instability * 10.0),
+            relative_error=error,
+            application_relative_error=error,
+        )
+        return collector.system_snapshot()
+
+    def test_comparison_table_relative_to_baseline(self):
+        snapshots = {
+            "baseline": self._snapshot(0.2, 1.0),
+            "better": self._snapshot(0.1, 0.5),
+        }
+        rows = comparison_table(snapshots, baseline="baseline", level="system")
+        better = next(row for row in rows if row.label == "better")
+        assert better.error_change_percent == pytest.approx(-50.0)
+        assert better.instability_change_percent == pytest.approx(-50.0)
+
+    def test_comparison_table_requires_known_baseline(self):
+        with pytest.raises(ValueError):
+            comparison_table({"a": self._snapshot(0.1, 1.0)}, baseline="missing")
+
+    def test_format_table_renders_all_rows_and_columns(self):
+        rows = [
+            {"name": "x", "value": 1.5},
+            {"name": "longer-name", "value": None},
+        ]
+        text = format_table(rows, columns=["name", "value"])
+        assert "longer-name" in text
+        assert "1.500" in text
+        assert "-" in text
+
+    def test_format_table_accepts_comparison_rows(self):
+        row = ComparisonRow("cfg", 0.1, 5.0, -10.0, -20.0)
+        text = format_table([row])
+        assert "cfg" in text
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"

@@ -1,0 +1,144 @@
+"""Tests for the discrete-event simulator core (events, clock, scheduling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.events import Event, EventQueue
+from repro.netsim.simulator import Simulator
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(3.0, lambda: order.append("c"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(2.0, lambda: order.append("b"))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append("first"))
+        queue.push(1.0, lambda: order.append("second"))
+        queue.pop().callback()
+        queue.pop().callback()
+        assert order == ["first", "second"]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        assert queue.pop().time_s == 2.0
+
+    def test_len_ignores_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(5.0, lambda: None)
+        assert queue.peek_time() == 5.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, lambda: None)
+
+
+class TestSimulator:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_schedule_in_is_relative_to_now(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_in(5.0, lambda: fired.append(sim.now))
+        sim.run_until(10.0)
+        assert fired == [5.0]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(3.0, lambda: fired.append(sim.now))
+        sim.run_until(10.0)
+        assert fired == [3.0]
+
+    def test_cannot_schedule_in_the_past(self):
+        sim = Simulator(start_time_s=10.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(5.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_in(-1.0, lambda: None)
+
+    def test_run_until_does_not_execute_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_in(5.0, lambda: fired.append("early"))
+        sim.schedule_in(50.0, lambda: fired.append("late"))
+        sim.run_until(10.0)
+        assert fired == ["early"]
+        assert sim.pending_events == 1
+
+    def test_run_until_advances_clock_to_horizon(self):
+        sim = Simulator()
+        sim.run_until(42.0)
+        assert sim.now == 42.0
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def periodic():
+            fired.append(sim.now)
+            if sim.now < 4.5:
+                sim.schedule_in(1.0, periodic)
+
+        sim.schedule_in(1.0, periodic)
+        sim.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule_in(float(i), lambda: None)
+        sim.run_until(10.0)
+        assert sim.events_processed == 5
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule_in(float(i) / 10.0, lambda: None)
+        processed = sim.run_until(10.0, max_events=3)
+        assert processed == 3
+
+    def test_run_all_drains_queue(self):
+        sim = Simulator()
+        fired = []
+        for i in range(4):
+            sim.schedule_in(float(i), lambda i=i: fired.append(i))
+        sim.run_all()
+        assert fired == [0, 1, 2, 3]
+
+    def test_run_until_rejects_past_horizon(self):
+        sim = Simulator(start_time_s=10.0)
+        with pytest.raises(ValueError):
+            sim.run_until(5.0)
+
+    def test_determinism_of_interleaved_schedules(self):
+        def run_once():
+            sim = Simulator()
+            order = []
+            sim.schedule_in(1.0, lambda: order.append("a"))
+            sim.schedule_in(1.0, lambda: (order.append("b"), sim.schedule_in(0.0, lambda: order.append("c"))))
+            sim.run_until(2.0)
+            return order
+
+        assert run_once() == run_once()

@@ -1,0 +1,172 @@
+"""Tests for the network, host, and sampling-protocol layers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import NodeConfig
+from repro.netsim.host import SimulatedHost
+from repro.netsim.network import Network, NetworkConfig
+from repro.netsim.protocol import PingProtocol, ProtocolConfig
+from repro.netsim.simulator import Simulator
+
+
+class TestNetwork:
+    def test_measure_rtt_returns_positive_latency(self, small_dataset):
+        sim = Simulator()
+        network = Network(sim, small_dataset, config=NetworkConfig(loss_probability=0.0))
+        a, b = small_dataset.topology.host_ids[:2]
+        rtt = network.measure_rtt(a, b)
+        assert rtt is not None and rtt > 0.0
+
+    def test_loss_probability_one_is_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(loss_probability=1.0)
+
+    def test_lossy_network_drops_some_pings(self, small_dataset):
+        sim = Simulator()
+        network = Network(
+            sim, small_dataset, config=NetworkConfig(loss_probability=0.5), seed=1
+        )
+        a, b = small_dataset.topology.host_ids[:2]
+        outcomes = [network.measure_rtt(a, b) for _ in range(200)]
+        losses = sum(1 for o in outcomes if o is None)
+        assert 50 < losses < 150
+        assert network.messages_lost == losses
+        assert network.messages_sent == 200
+
+    def test_send_ping_delivers_response_after_rtt(self, small_dataset):
+        sim = Simulator()
+        network = Network(sim, small_dataset, config=NetworkConfig(loss_probability=0.0))
+        a, b = small_dataset.topology.host_ids[:2]
+        received = []
+        network.send_ping(a, b, lambda rtt: received.append((sim.now, rtt)))
+        sim.run_until(60.0)
+        assert len(received) == 1
+        delivered_at, rtt = received[0]
+        assert delivered_at == pytest.approx(rtt / 1000.0, rel=1e-6)
+
+    def test_lost_ping_invokes_loss_callback(self, small_dataset):
+        sim = Simulator()
+        network = Network(
+            sim, small_dataset, config=NetworkConfig(loss_probability=0.999), seed=2
+        )
+        a, b = small_dataset.topology.host_ids[:2]
+        losses = []
+        network.send_ping(a, b, lambda rtt: None, on_loss=lambda: losses.append(sim.now))
+        sim.run_until(10.0)
+        assert losses == [2.0]
+
+
+class TestSimulatedHost:
+    def test_bounded_neighbor_set(self):
+        host = SimulatedHost("h0", NodeConfig.preset("raw"), max_neighbors=2)
+        assert host.add_neighbor("a")
+        assert host.add_neighbor("b")
+        assert not host.add_neighbor("c")
+        assert host.neighbors == ["a", "b"]
+
+    def test_does_not_add_self_or_duplicates(self):
+        host = SimulatedHost("h0", NodeConfig.preset("raw"))
+        assert not host.add_neighbor("h0")
+        assert host.add_neighbor("a")
+        assert not host.add_neighbor("a")
+
+    def test_round_robin_sampling_order(self):
+        host = SimulatedHost("h0", NodeConfig.preset("raw"), initial_neighbors=["a", "b", "c"])
+        samples = [host.next_sample_target() for _ in range(6)]
+        assert samples == ["a", "b", "c", "a", "b", "c"]
+
+    def test_no_neighbors_means_no_target(self):
+        host = SimulatedHost("h0", NodeConfig.preset("raw"))
+        assert host.next_sample_target() is None
+
+    def test_gossip_address_comes_from_neighbor_set(self):
+        host = SimulatedHost("h0", NodeConfig.preset("raw"), initial_neighbors=["a", "b"])
+        assert host.gossip_address(0.0) == "a"
+        assert host.gossip_address(0.6) == "b"
+        assert SimulatedHost("x", NodeConfig.preset("raw")).gossip_address(0.5) is None
+
+    def test_max_neighbors_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedHost("h0", NodeConfig.preset("raw"), max_neighbors=0)
+
+
+class TestPingProtocol:
+    def _build(self, dataset, preset="mp", sampling_interval_s=2.0, seed=0, loss=0.0):
+        sim = Simulator()
+        network = Network(sim, dataset, config=NetworkConfig(loss_probability=loss), seed=seed)
+        host_ids = dataset.topology.host_ids[:6]
+        # Bootstrap as a ring: each host only knows its successor, so gossip
+        # is what spreads the remaining addresses.
+        hosts = {
+            host_id: SimulatedHost(
+                host_id,
+                NodeConfig.preset(preset),
+                initial_neighbors=[host_ids[(index + 1) % len(host_ids)]],
+            )
+            for index, host_id in enumerate(host_ids)
+        }
+        observations = []
+        protocol = PingProtocol(
+            sim,
+            network,
+            hosts,
+            config=ProtocolConfig(
+                sampling_interval_s=sampling_interval_s, initial_phase_spread_s=1.0
+            ),
+            seed=seed,
+            on_observation=lambda t, host, peer, rtt, result: observations.append(
+                (t, host.host_id, peer)
+            ),
+        )
+        return sim, protocol, hosts, observations
+
+    def test_samples_flow_and_coordinates_move(self, small_dataset):
+        sim, protocol, hosts, observations = self._build(small_dataset)
+        protocol.start()
+        sim.run_until(120.0)
+        assert protocol.samples_completed > 0
+        assert observations
+        moved = [h for h in hosts.values() if not h.system_coordinate.is_origin()]
+        assert moved
+
+    def test_sampling_rate_matches_configuration(self, small_dataset):
+        sim, protocol, hosts, _ = self._build(small_dataset, sampling_interval_s=5.0)
+        protocol.start()
+        sim.run_until(100.0)
+        # 6 hosts, one sample each 5 s for 100 s => about 120 attempts.
+        assert 90 <= protocol.samples_attempted <= 130
+
+    def test_gossip_grows_neighbor_sets(self, small_dataset):
+        sim, protocol, hosts, _ = self._build(small_dataset)
+        initial = {h: len(host.neighbors) for h, host in hosts.items()}
+        protocol.start()
+        sim.run_until(300.0)
+        grown = [
+            host_id
+            for host_id, host in hosts.items()
+            if len(host.neighbors) > initial[host_id]
+        ]
+        assert grown
+
+    def test_protocol_requires_hosts(self, small_dataset):
+        sim = Simulator()
+        network = Network(sim, small_dataset)
+        with pytest.raises(ValueError):
+            PingProtocol(sim, network, {})
+
+    def test_observation_callback_receives_simulation_time(self, small_dataset):
+        sim, protocol, hosts, observations = self._build(small_dataset)
+        protocol.start()
+        sim.run_until(60.0)
+        assert all(0.0 <= t <= 60.0 for t, _, _ in observations)
+
+    def test_runs_are_deterministic_for_a_seed(self, small_dataset):
+        def run_once():
+            sim, protocol, hosts, observations = self._build(small_dataset, seed=4)
+            protocol.start()
+            sim.run_until(60.0)
+            return [(round(t, 9), a, b) for t, a, b in observations]
+
+        assert run_once() == run_once()

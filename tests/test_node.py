@@ -1,0 +1,165 @@
+"""Tests for the complete per-host coordinate subsystem (CoordinateNode)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FilterConfig, HeuristicConfig, NodeConfig
+from repro.core.coordinate import Coordinate
+from repro.core.node import CoordinateNode
+
+
+def _peer(x: float) -> Coordinate:
+    return Coordinate([x, 0.0, 0.0])
+
+
+class TestBootstrap:
+    def test_new_node_sits_at_origin(self):
+        node = CoordinateNode("n0")
+        assert node.system_coordinate.is_origin()
+        assert node.application_coordinate.is_origin()
+
+    def test_new_node_has_maximal_error(self):
+        node = CoordinateNode("n0")
+        assert node.error_estimate == 1.0
+        assert node.confidence == 0.0
+
+    def test_default_config_applied(self):
+        node = CoordinateNode("n0")
+        assert node.config.filter.kind == "mp"
+
+
+class TestObserve:
+    def test_observation_moves_system_coordinate(self):
+        node = CoordinateNode("n0", NodeConfig.preset("raw"))
+        result = node.observe("peer", _peer(0.0), 1.0, 100.0)
+        assert result.system_movement_ms > 0.0
+        assert not node.system_coordinate.is_origin()
+
+    def test_result_reports_raw_and_filtered_values(self):
+        node = CoordinateNode("n0", NodeConfig.preset("mp"))
+        result = node.observe("peer", _peer(0.0), 1.0, 100.0)
+        assert result.raw_rtt_ms == 100.0
+        assert result.filtered_rtt_ms == 100.0
+
+    def test_mp_filter_suppresses_outlier_influence(self):
+        config = NodeConfig.preset("mp")
+        node = CoordinateNode("n0", config)
+        for _ in range(8):
+            node.observe("peer", _peer(50.0), 0.5, 60.0)
+        before = node.system_coordinate
+        result = node.observe("peer", _peer(50.0), 0.5, 5000.0)
+        # The filter output stays near the link's low percentile, so the
+        # outlier barely moves the coordinate.
+        assert result.filtered_rtt_ms is not None and result.filtered_rtt_ms < 100.0
+        assert node.system_coordinate.euclidean_distance(before) < 5.0
+
+    def test_raw_config_lets_outlier_move_coordinate(self):
+        node = CoordinateNode("n0", NodeConfig.preset("raw"))
+        for _ in range(8):
+            node.observe("peer", _peer(50.0), 0.5, 60.0)
+        before = node.system_coordinate
+        node.observe("peer", _peer(50.0), 0.5, 5000.0)
+        assert node.system_coordinate.euclidean_distance(before) > 50.0
+
+    def test_warmup_filter_defers_vivaldi_update(self):
+        config = NodeConfig(
+            filter=FilterConfig("mp", {"history": 4, "percentile": 25.0, "warmup": 2}),
+            heuristic=HeuristicConfig("always"),
+        )
+        node = CoordinateNode("n0", config)
+        result = node.observe("peer", _peer(0.0), 1.0, 3000.0)
+        assert result.filtered_rtt_ms is None
+        assert node.system_coordinate.is_origin()
+        assert result.relative_error is None
+
+    def test_relative_error_is_measured_against_raw_observation(self):
+        node = CoordinateNode("n0", NodeConfig.preset("mp"))
+        for _ in range(20):
+            node.observe("peer", _peer(50.0), 0.5, 60.0)
+        result = node.observe("peer", _peer(50.0), 0.5, 600.0)
+        # Prediction is far from the raw 600 ms outlier even though the
+        # filter fed Vivaldi something near 60 ms.
+        assert result.relative_error is not None and result.relative_error > 0.5
+
+    def test_observation_count_and_peer_tracking(self):
+        node = CoordinateNode("n0", NodeConfig.preset("raw"))
+        node.observe("a", _peer(10.0), 0.5, 20.0)
+        node.observe("b", _peer(30.0), 0.5, 40.0)
+        assert node.observation_count == 2
+        assert sorted(node.known_peers) == ["a", "b"]
+        assert node.peer_coordinate("a").components[0] == 10.0
+        assert node.peer_coordinate("missing") is None
+
+    def test_cumulative_movement_accumulates(self):
+        node = CoordinateNode("n0", NodeConfig.preset("raw"))
+        node.observe("a", _peer(10.0), 0.5, 100.0)
+        first = node.cumulative_system_movement_ms
+        node.observe("a", _peer(10.0), 0.5, 100.0)
+        assert node.cumulative_system_movement_ms >= first
+
+
+class TestApplicationCoordinate:
+    def test_always_heuristic_keeps_views_identical(self):
+        node = CoordinateNode("n0", NodeConfig.preset("mp"))
+        for x in range(20):
+            node.observe("peer", _peer(float(x)), 0.5, 50.0)
+        assert node.application_coordinate.components == node.system_coordinate.components
+
+    def test_energy_heuristic_decouples_views(self):
+        node = CoordinateNode("n0", NodeConfig.preset("mp_energy"))
+        for x in range(200):
+            node.observe("peer", _peer(50.0), 0.5, 50.0 + (x % 7))
+        # The system coordinate keeps jittering while the application view
+        # is updated only at change points, so they diverge slightly.
+        assert node.application_update_count < node.observation_count
+
+    def test_application_error_uses_peer_application_coordinate(self):
+        node = CoordinateNode("n0", NodeConfig.preset("mp"))
+        node.observe("peer", _peer(10.0), 0.5, 50.0)
+        result = node.observe(
+            "peer",
+            _peer(10.0),
+            0.5,
+            50.0,
+            peer_application_coordinate=_peer(1000.0),
+        )
+        other = node.observe("peer", _peer(10.0), 0.5, 50.0)
+        assert result.application_relative_error is not None
+        assert other.application_relative_error is not None
+        assert result.application_relative_error > other.application_relative_error
+
+
+class TestLatencyEstimation:
+    def test_estimate_latency_for_known_peer(self):
+        node = CoordinateNode("n0", NodeConfig.preset("raw"))
+        for _ in range(50):
+            node.observe("peer", _peer(80.0), 0.2, 80.0)
+        estimate = node.estimate_latency("peer")
+        assert estimate is not None and estimate > 0.0
+
+    def test_estimate_latency_unknown_peer_is_none(self):
+        node = CoordinateNode("n0")
+        assert node.estimate_latency("nobody") is None
+
+    def test_estimate_latency_to_arbitrary_coordinate(self):
+        node = CoordinateNode("n0")
+        assert node.estimate_latency_to(_peer(30.0)) == pytest.approx(30.0)
+
+
+class TestLifecycle:
+    def test_forget_peer_drops_filter_and_coordinate(self):
+        node = CoordinateNode("n0", NodeConfig.preset("mp"))
+        node.observe("peer", _peer(10.0), 0.5, 20.0)
+        node.forget_peer("peer")
+        assert node.peer_coordinate("peer") is None
+
+    def test_reset_restores_bootstrap_state(self):
+        node = CoordinateNode("n0", NodeConfig.preset("mp_energy"))
+        for _ in range(30):
+            node.observe("peer", _peer(10.0), 0.5, 20.0)
+        node.reset()
+        assert node.system_coordinate.is_origin()
+        assert node.observation_count == 0
+        assert node.application_update_count == 0
+        assert node.known_peers == []

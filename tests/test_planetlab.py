@@ -1,0 +1,114 @@
+"""Tests for the synthetic PlanetLab dataset builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.latency.linkmodel import HeavyTailLink, ShiftingLink, StableLink
+from repro.latency.planetlab import DatasetParameters, PlanetLabDataset, planetlab_topology
+
+
+class TestDatasetConstruction:
+    def test_topology_helper_defaults_to_paper_size(self):
+        topo = planetlab_topology(nodes=30, seed=0)
+        assert topo.size == 30
+
+    def test_generate_builds_requested_nodes(self):
+        dataset = PlanetLabDataset.generate(15, seed=3)
+        assert dataset.topology.size == 15
+
+    def test_parameters_validation(self):
+        with pytest.raises(ValueError):
+            DatasetParameters(shifting_fraction=1.5)
+        with pytest.raises(ValueError):
+            DatasetParameters(shift_multiplier_range=(2.0, 1.0))
+
+
+class TestLinkModels:
+    def test_link_model_is_cached_per_pair(self, small_dataset):
+        a, b = small_dataset.topology.host_ids[:2]
+        assert small_dataset.link_model(a, b) is small_dataset.link_model(b, a)
+
+    def test_self_link_rejected(self, small_dataset):
+        host = small_dataset.topology.host_ids[0]
+        with pytest.raises(ValueError):
+            small_dataset.link_model(host, host)
+
+    def test_noiseless_dataset_uses_stable_links(self, noiseless_dataset):
+        a, b = noiseless_dataset.topology.host_ids[:2]
+        assert isinstance(noiseless_dataset.link_model(a, b), StableLink)
+
+    def test_noisy_dataset_uses_heavy_tail_or_shifting_links(self, small_dataset):
+        a, b = small_dataset.topology.host_ids[:2]
+        model = small_dataset.link_model(a, b)
+        assert isinstance(model, (HeavyTailLink, ShiftingLink))
+
+    def test_true_rtt_matches_topology_baseline_for_non_shifting(self, noiseless_dataset):
+        a, b = noiseless_dataset.topology.host_ids[:2]
+        assert noiseless_dataset.true_rtt_ms(a, b) == pytest.approx(
+            noiseless_dataset.topology.base_rtt_ms(a, b)
+        )
+
+    def test_true_rtt_to_self_is_zero(self, small_dataset):
+        host = small_dataset.topology.host_ids[0]
+        assert small_dataset.true_rtt_ms(host, host) == 0.0
+
+    def test_sample_rtt_is_positive(self, small_dataset, rng):
+        a, b = small_dataset.topology.host_ids[:2]
+        for _ in range(100):
+            assert small_dataset.sample_rtt(a, b, 0.0, rng) > 0.0
+
+    def test_same_seed_gives_identical_link_universe(self):
+        a = PlanetLabDataset.generate(10, seed=5)
+        b = PlanetLabDataset.generate(10, seed=5)
+        host_x, host_y = a.topology.host_ids[:2]
+        assert a.true_rtt_ms(host_x, host_y) == pytest.approx(b.true_rtt_ms(host_x, host_y))
+        assert type(a.link_model(host_x, host_y)) is type(b.link_model(host_x, host_y))
+
+
+class TestTraceGeneration:
+    def test_trace_has_expected_record_count(self, small_dataset):
+        trace = small_dataset.generate_trace(duration_s=60.0, ping_interval_s=2.0)
+        # Every host sends one ping per interval.
+        assert len(trace) == small_dataset.topology.size * 30
+
+    def test_trace_time_bounds(self, small_dataset):
+        trace = small_dataset.generate_trace(duration_s=60.0, ping_interval_s=2.0)
+        assert trace.start_time_s >= 0.0
+        assert trace.end_time_s < 62.0
+
+    def test_trace_is_deterministic_given_seed(self, small_dataset):
+        a = small_dataset.generate_trace(duration_s=30.0, ping_interval_s=2.0, seed=9)
+        b = small_dataset.generate_trace(duration_s=30.0, ping_interval_s=2.0, seed=9)
+        assert len(a) == len(b)
+        assert a[0].rtt_ms == pytest.approx(b[0].rtt_ms)
+        assert a[-1].rtt_ms == pytest.approx(b[-1].rtt_ms)
+
+    def test_neighbor_limit_restricts_destinations(self, small_dataset):
+        trace = small_dataset.generate_trace(
+            duration_s=120.0, ping_interval_s=2.0, neighbors_per_node=3, seed=1
+        )
+        per_source = trace.per_source()
+        for src, records in per_source.items():
+            assert len({r.dst for r in records}) <= 3
+
+    def test_round_robin_covers_all_neighbors(self, small_dataset):
+        n = small_dataset.topology.size
+        # Long enough for each host to cycle through every peer.
+        trace = small_dataset.generate_trace(duration_s=float(2 * n), ping_interval_s=1.0, seed=2)
+        source = small_dataset.topology.host_ids[0]
+        destinations = {r.dst for r in trace.per_source()[source]}
+        assert len(destinations) == n - 1
+
+    def test_invalid_parameters_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            small_dataset.generate_trace(duration_s=0.0)
+        with pytest.raises(ValueError):
+            small_dataset.generate_trace(duration_s=10.0, ping_interval_s=0.0)
+
+    def test_link_stream_is_single_pair(self, small_dataset):
+        a, b = small_dataset.topology.host_ids[:2]
+        stream = small_dataset.generate_link_stream(a, b, duration_s=50.0, ping_interval_s=1.0)
+        assert len(stream) == 50
+        assert all(record.link() == (min(a, b), max(a, b)) for record in stream)

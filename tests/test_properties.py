@@ -1,0 +1,143 @@
+"""Cross-cutting property-based tests of system invariants.
+
+These complement the per-module property tests with invariants that span
+several components: the per-observation pipeline (filter -> Vivaldi ->
+heuristic), the replay bookkeeping, and the change-detection heuristics'
+relationship to the system-coordinate stream.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FilterConfig, HeuristicConfig, NodeConfig
+from repro.core.coordinate import Coordinate, centroid
+from repro.core.heuristics import make_heuristic
+from repro.core.node import CoordinateNode
+from repro.latency.trace import LatencyTrace, TraceRecord
+from repro.netsim.replay import replay_trace
+
+rtt_values = st.floats(min_value=0.5, max_value=5000.0, allow_nan=False)
+coordinate_points = st.lists(
+    st.floats(min_value=-500.0, max_value=500.0, allow_nan=False), min_size=3, max_size=3
+)
+
+
+class TestNodePipelineInvariants:
+    @given(st.lists(rtt_values, min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_coordinates_stay_finite_for_any_observation_stream(self, rtts):
+        node = CoordinateNode("n", NodeConfig.preset("mp_energy"))
+        peer = Coordinate([40.0, 10.0, 5.0])
+        for rtt in rtts:
+            result = node.observe("peer", peer, 0.4, rtt)
+            assert all(math.isfinite(c) for c in result.system_coordinate.components)
+            assert 0.0 <= node.error_estimate <= 1.0
+            if result.relative_error is not None:
+                assert result.relative_error >= 0.0
+
+    @given(st.lists(rtt_values, min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_cumulative_movement_is_sum_of_per_observation_movement(self, rtts):
+        node = CoordinateNode("n", NodeConfig.preset("mp"))
+        peer = Coordinate([40.0, 10.0, 5.0])
+        total = 0.0
+        for rtt in rtts:
+            total += node.observe("peer", peer, 0.4, rtt).system_movement_ms
+        assert node.cumulative_system_movement_ms == pytest.approx(total)
+
+    @given(st.lists(rtt_values, min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_application_updates_never_exceed_observations(self, rtts):
+        node = CoordinateNode("n", NodeConfig.preset("mp_energy"))
+        peer = Coordinate([40.0, 10.0, 5.0])
+        for rtt in rtts:
+            node.observe("peer", peer, 0.4, rtt)
+        assert node.application_update_count <= node.observation_count
+
+    @given(st.lists(rtt_values, min_size=2, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_filtered_value_never_exceeds_max_recent_raw_sample(self, rtts):
+        """The MP filter interpolates within its window: no overshoot."""
+        node = CoordinateNode("n", NodeConfig.preset("mp"))
+        peer = Coordinate([40.0, 10.0, 5.0])
+        window: list[float] = []
+        for rtt in rtts:
+            window = (window + [rtt])[-4:]
+            result = node.observe("peer", peer, 0.4, rtt)
+            assert result.filtered_rtt_ms is not None
+            assert result.filtered_rtt_ms <= max(window) + 1e-9
+            assert result.filtered_rtt_ms >= min(window) - 1e-9
+
+
+class TestHeuristicInvariants:
+    @given(st.lists(coordinate_points, min_size=1, max_size=80))
+    @settings(max_examples=30, deadline=None)
+    def test_application_coordinate_stays_within_observed_bounding_box(self, points):
+        """Every heuristic emits either a past system coordinate or a centroid
+        of past system coordinates, so c_a can never leave their bounding box."""
+        for kind, params in (
+            ("always", {}),
+            ("system", {"threshold_ms": 5.0}),
+            ("application", {"threshold_ms": 5.0}),
+            ("application_centroid", {"threshold_ms": 5.0, "window_size": 8}),
+            ("energy", {"threshold": 2.0, "window_size": 4}),
+        ):
+            heuristic = make_heuristic(kind, **params)
+            seen = []
+            for point in points:
+                coordinate = Coordinate(point)
+                seen.append(coordinate)
+                heuristic.observe(coordinate)
+                app = heuristic.application_coordinate
+                assert app is not None
+                for dim in range(3):
+                    values = [c[dim] for c in seen]
+                    assert min(values) - 1e-6 <= app[dim] <= max(values) + 1e-6
+
+    @given(st.lists(coordinate_points, min_size=1, max_size=80))
+    @settings(max_examples=30, deadline=None)
+    def test_update_counts_are_monotone_in_threshold(self, points):
+        loose = make_heuristic("application", threshold_ms=1.0)
+        strict = make_heuristic("application", threshold_ms=100.0)
+        for point in points:
+            coordinate = Coordinate(point)
+            loose.observe(coordinate)
+            strict.observe(coordinate)
+        assert strict.update_count <= loose.update_count
+
+
+class TestReplayInvariants:
+    @given(
+        st.integers(min_value=3, max_value=6),
+        st.integers(min_value=10, max_value=60),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_replay_accounting_matches_trace_shape(self, node_count, record_count, seed):
+        rng = np.random.default_rng(seed)
+        node_ids = [f"n{i}" for i in range(node_count)]
+        records = []
+        for step in range(record_count):
+            src, dst = rng.choice(node_count, size=2, replace=False)
+            records.append(
+                TraceRecord(
+                    time_s=float(step),
+                    src=node_ids[int(src)],
+                    dst=node_ids[int(dst)],
+                    rtt_ms=float(rng.lognormal(4.0, 0.5)),
+                )
+            )
+        trace = LatencyTrace(records)
+        result = replay_trace(trace, NodeConfig.preset("mp"), measurement_start_s=0.0)
+        assert result.records_processed == record_count
+        assert set(result.nodes) == set(trace.nodes())
+        # Every source node processed exactly as many observations as it issued.
+        per_source = trace.per_source()
+        for node_id, node in result.nodes.items():
+            assert node.observation_count == len(per_source.get(node_id, []))

@@ -1,0 +1,125 @@
+"""Tests for trace replay and the end-to-end simulation runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import NodeConfig
+from repro.latency.planetlab import PlanetLabDataset
+from repro.latency.trace import LatencyTrace, TraceRecord
+from repro.netsim.replay import replay_trace
+from repro.netsim.runner import SimulationConfig, SimulationResult, run_simulation
+
+
+class TestReplay:
+    def test_replays_every_record(self, short_trace, mp_config):
+        result = replay_trace(short_trace, mp_config)
+        assert result.records_processed == len(short_trace)
+
+    def test_creates_a_node_per_participant(self, short_trace, mp_config):
+        result = replay_trace(short_trace, mp_config)
+        assert sorted(result.nodes) == short_trace.nodes()
+
+    def test_source_node_is_the_one_updated(self):
+        trace = LatencyTrace([TraceRecord(0.0, "a", "b", 50.0)])
+        result = replay_trace(trace, NodeConfig.preset("raw"), measurement_start_s=0.0)
+        assert not result.nodes["a"].system_coordinate.is_origin()
+        assert result.nodes["b"].system_coordinate.is_origin()
+
+    def test_empty_trace_rejected(self, mp_config):
+        with pytest.raises(ValueError):
+            replay_trace(LatencyTrace(), mp_config)
+
+    def test_default_measurement_window_is_second_half(self, short_trace, mp_config):
+        result = replay_trace(short_trace, mp_config)
+        expected = short_trace.start_time_s + short_trace.duration_s / 2.0
+        assert result.collector.measurement_start_s == pytest.approx(expected)
+
+    def test_per_node_config_overrides(self, short_trace):
+        nodes = short_trace.nodes()
+        overrides = {nodes[0]: NodeConfig.preset("raw")}
+        result = replay_trace(short_trace, NodeConfig.preset("mp"), per_node_config=overrides)
+        assert result.nodes[nodes[0]].config.filter.kind == "none"
+        assert result.nodes[nodes[1]].config.filter.kind == "mp"
+
+    def test_on_record_hook_sees_every_record(self, short_trace, mp_config):
+        seen = []
+        replay_trace(short_trace, mp_config, on_record=lambda t, node: seen.append(t))
+        assert len(seen) == len(short_trace)
+
+    def test_snapshot_has_all_nodes(self, short_trace, mp_config):
+        snapshot = replay_trace(short_trace, mp_config).snapshot
+        assert snapshot.node_count == len(short_trace.nodes())
+
+    def test_replay_is_deterministic(self, short_trace, mp_config):
+        a = replay_trace(short_trace, mp_config)
+        b = replay_trace(short_trace, mp_config)
+        node_id = short_trace.nodes()[0]
+        assert a.nodes[node_id].system_coordinate.components == pytest.approx(
+            b.nodes[node_id].system_coordinate.components
+        )
+
+
+class TestRunSimulation:
+    def test_small_simulation_completes(self):
+        config = SimulationConfig(nodes=8, duration_s=120.0, seed=1)
+        result = run_simulation(config)
+        assert isinstance(result, SimulationResult)
+        assert result.samples_completed > 0
+        assert result.collector.node_ids()
+
+    def test_all_hosts_obtain_coordinates(self):
+        config = SimulationConfig(nodes=8, duration_s=300.0, seed=1)
+        result = run_simulation(config)
+        moved = [
+            host for host in result.hosts.values() if not host.system_coordinate.is_origin()
+        ]
+        assert len(moved) == len(result.hosts)
+
+    def test_shared_dataset_restricts_to_requested_nodes(self):
+        dataset = PlanetLabDataset.generate(12, seed=2)
+        config = SimulationConfig(nodes=8, duration_s=60.0, seed=2)
+        result = run_simulation(config, dataset=dataset)
+        assert len(result.hosts) == 8
+
+    def test_dataset_smaller_than_nodes_rejected(self):
+        dataset = PlanetLabDataset.generate(4, seed=2)
+        config = SimulationConfig(nodes=8, duration_s=60.0, seed=2)
+        with pytest.raises(ValueError):
+            run_simulation(config, dataset=dataset)
+
+    def test_measurement_start_defaults_to_midpoint(self):
+        config = SimulationConfig(nodes=6, duration_s=100.0, seed=0)
+        result = run_simulation(config)
+        assert result.collector.measurement_start_s == pytest.approx(50.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(nodes=1)
+        with pytest.raises(ValueError):
+            SimulationConfig(duration_s=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(bootstrap_neighbors=0)
+
+    def test_same_seed_gives_identical_results(self):
+        config = SimulationConfig(nodes=6, duration_s=120.0, seed=7)
+        a = run_simulation(config)
+        b = run_simulation(config)
+        assert a.samples_completed == b.samples_completed
+        host = next(iter(a.hosts))
+        assert a.hosts[host].system_coordinate.components == pytest.approx(
+            b.hosts[host].system_coordinate.components
+        )
+
+    def test_different_node_configs_share_the_universe(self):
+        dataset = PlanetLabDataset.generate(8, seed=3)
+        raw = run_simulation(
+            SimulationConfig(nodes=8, duration_s=120.0, node_config=NodeConfig.preset("raw"), seed=3),
+            dataset=dataset,
+        )
+        mp = run_simulation(
+            SimulationConfig(nodes=8, duration_s=120.0, node_config=NodeConfig.preset("mp"), seed=3),
+            dataset=dataset,
+        )
+        # Identical protocol schedule: the same number of samples complete.
+        assert raw.samples_attempted == mp.samples_attempted

@@ -1,0 +1,96 @@
+"""Tests for empirical CDFs, summaries, histogram bucketing, and RNG helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.distributions import LOG_BUCKETS_MS, EmpiricalCDF, histogram_counts, summarize
+from repro.stats.sampling import derive_rng, derive_seed, spawn_rngs
+
+
+class TestEmpiricalCDF:
+    def test_fraction_below_and_above(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf.fraction_below(2.0) == pytest.approx(0.5)
+        assert cdf.fraction_above(2.0) == pytest.approx(0.5)
+        assert cdf.fraction_below(10.0) == 1.0
+        assert cdf.fraction_below(0.0) == 0.0
+
+    def test_percentiles(self):
+        cdf = EmpiricalCDF(range(101))
+        assert cdf.median() == pytest.approx(50.0)
+        assert cdf.percentile(95.0) == pytest.approx(95.0)
+
+    def test_points_are_monotonic(self):
+        cdf = EmpiricalCDF(np.random.default_rng(0).normal(size=500))
+        points = cdf.points(max_points=50)
+        values = [v for v, _ in points]
+        fractions = [f for _, f in points]
+        assert values == sorted(values)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_points_decimation_cap(self):
+        cdf = EmpiricalCDF(range(1000))
+        assert len(cdf.points(max_points=100)) == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+
+    def test_count(self):
+        assert EmpiricalCDF([1, 2, 3]).count == 3
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize(range(1, 101))
+        assert summary["count"] == 100
+        assert summary["median"] == pytest.approx(50.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert summary["p95"] == pytest.approx(95.05)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestHistogramCounts:
+    def test_counts_partition_all_samples(self):
+        values = [50.0, 150.0, 1500.0, 5000.0]
+        buckets = histogram_counts(values, LOG_BUCKETS_MS)
+        assert sum(count for _, count in buckets) == len(values)
+
+    def test_open_ended_bucket_catches_extremes(self):
+        buckets = histogram_counts([10_000.0], LOG_BUCKETS_MS)
+        assert buckets[-1][1] == 1
+
+    def test_custom_buckets(self):
+        buckets = histogram_counts([5.0, 15.0], [(0.0, 10.0), (10.0, 20.0)])
+        assert [count for _, count in buckets] == [1, 1]
+
+
+class TestSamplingHelpers:
+    def test_derive_seed_is_deterministic(self):
+        assert derive_seed(1, "x") == derive_seed(1, "x")
+
+    def test_derive_seed_varies_with_label_and_base(self):
+        assert derive_seed(1, "x") != derive_seed(1, "y")
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_derive_rng_streams_are_reproducible(self):
+        a = derive_rng(7, "stream").normal(size=5)
+        b = derive_rng(7, "stream").normal(size=5)
+        assert np.allclose(a, b)
+
+    def test_derived_streams_are_distinct(self):
+        a = derive_rng(7, "one").normal(size=5)
+        b = derive_rng(7, "two").normal(size=5)
+        assert not np.allclose(a, b)
+
+    def test_spawn_rngs_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

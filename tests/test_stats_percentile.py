@@ -1,0 +1,85 @@
+"""Tests for boxplot summaries and the streaming percentile estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.percentile import BoxplotSummary, StreamingPercentile, boxplot_summary
+
+
+class TestBoxplotSummary:
+    def test_five_number_summary(self):
+        summary = boxplot_summary(range(1, 101))
+        assert summary.count == 100
+        assert summary.minimum == 1.0
+        assert summary.maximum == 100.0
+        assert summary.median == pytest.approx(50.5)
+        assert summary.lower_quartile == pytest.approx(25.75)
+        assert summary.upper_quartile == pytest.approx(75.25)
+
+    def test_outlier_detection_beyond_whiskers(self):
+        values = list(np.random.default_rng(0).normal(size=200)) + [50.0, -50.0]
+        summary = boxplot_summary(values)
+        assert summary.outlier_count >= 2
+
+    def test_no_outliers_for_uniform_data(self):
+        summary = boxplot_summary(np.linspace(0.0, 1.0, 50))
+        assert summary.outlier_count == 0
+
+    def test_interquartile_range(self):
+        summary = boxplot_summary([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.interquartile_range == pytest.approx(
+            summary.upper_quartile - summary.lower_quartile
+        )
+
+    def test_single_value(self):
+        summary = boxplot_summary([7.0])
+        assert summary.minimum == summary.maximum == summary.median == 7.0
+        assert summary.outlier_count == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            boxplot_summary([])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_whiskers_inside_min_max(self, values):
+        summary = boxplot_summary(values)
+        assert summary.minimum <= summary.lower_whisker <= summary.upper_whisker <= summary.maximum
+        assert summary.lower_quartile <= summary.median <= summary.upper_quartile
+
+
+class TestStreamingPercentile:
+    def test_exact_for_small_streams(self):
+        stream = StreamingPercentile(capacity=100)
+        stream.extend(range(50))
+        assert stream.median() == pytest.approx(float(np.percentile(range(50), 50.0)))
+
+    def test_count_tracks_all_observations(self):
+        stream = StreamingPercentile(capacity=10)
+        stream.extend(range(1000))
+        assert stream.count == 1000
+        assert len(stream.snapshot()) == 10
+
+    def test_approximate_for_large_streams(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(loc=100.0, scale=10.0, size=50_000)
+        stream = StreamingPercentile(capacity=4096, seed=1)
+        stream.extend(data)
+        assert stream.median() == pytest.approx(100.0, abs=2.0)
+        assert stream.percentile(95.0) == pytest.approx(float(np.percentile(data, 95.0)), abs=3.0)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingPercentile().median()
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingPercentile().add(float("nan"))
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            StreamingPercentile(capacity=0)

@@ -1,0 +1,69 @@
+"""Tests for the Wilcoxon rank-sum test."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.ranksum import RankSumResult, rank_sum_test
+
+
+class TestRankSum:
+    def test_identical_samples_are_not_significant(self):
+        result = rank_sum_test([1.0, 2.0, 3.0, 4.0], [1.0, 2.0, 3.0, 4.0])
+        assert result.p_value > 0.5
+        assert not result.significant()
+
+    def test_clearly_shifted_samples_are_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(loc=0.0, size=40)
+        b = rng.normal(loc=5.0, size=40)
+        result = rank_sum_test(a, b)
+        assert result.significant(alpha=0.01)
+
+    def test_same_distribution_usually_not_significant(self):
+        rng = np.random.default_rng(1)
+        rejections = 0
+        trials = 40
+        for _ in range(trials):
+            a = rng.normal(size=30)
+            b = rng.normal(size=30)
+            if rank_sum_test(a, b).significant(alpha=0.05):
+                rejections += 1
+        # The false positive rate should be near alpha, certainly below 20%.
+        assert rejections / trials < 0.2
+
+    def test_symmetry_of_p_value(self):
+        a = [1.0, 2.0, 3.0, 10.0, 11.0]
+        b = [5.0, 6.0, 7.0, 8.0, 9.0]
+        assert rank_sum_test(a, b).p_value == pytest.approx(
+            rank_sum_test(b, a).p_value, rel=1e-6
+        )
+
+    def test_handles_ties(self):
+        result = rank_sum_test([1.0, 1.0, 1.0, 2.0], [1.0, 1.0, 2.0, 2.0])
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_all_identical_values_gives_p_one(self):
+        result = rank_sum_test([3.0, 3.0, 3.0], [3.0, 3.0])
+        assert result.p_value == 1.0
+        assert result.z_score == 0.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            rank_sum_test([], [1.0])
+
+    def test_matches_scipy_when_available(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=25)
+        b = rng.normal(loc=0.8, size=30)
+        ours = rank_sum_test(a, b)
+        theirs = scipy_stats.mannwhitneyu(a, b, alternative="two-sided")
+        assert ours.p_value == pytest.approx(theirs.pvalue, abs=0.02)
+
+    def test_result_is_dataclass_with_fields(self):
+        result = rank_sum_test([1.0, 2.0], [3.0, 4.0])
+        assert isinstance(result, RankSumResult)
+        assert hasattr(result, "u_statistic")
+        assert hasattr(result, "z_score")

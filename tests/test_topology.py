@@ -1,0 +1,127 @@
+"""Tests for the geographic topology generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.latency.topology import DEFAULT_REGIONS, GeographicTopology, Host, Region, Site
+
+
+class TestGeneration:
+    def test_generates_requested_number_of_hosts(self):
+        topo = GeographicTopology.generate(17, seed=0)
+        assert topo.size == 17
+        assert len(topo.host_ids) == 17
+
+    def test_host_ids_are_unique(self):
+        topo = GeographicTopology.generate(40, seed=0)
+        assert len(set(topo.host_ids)) == 40
+
+    def test_generation_is_deterministic_for_a_seed(self):
+        a = GeographicTopology.generate(20, seed=7)
+        b = GeographicTopology.generate(20, seed=7)
+        assert a.host_ids == b.host_ids
+        for x, y in zip(a.host_ids, a.host_ids[1:]):
+            assert a.base_rtt_ms(x, y) == b.base_rtt_ms(x, y)
+
+    def test_different_seeds_give_different_topologies(self):
+        a = GeographicTopology.generate(20, seed=1)
+        b = GeographicTopology.generate(20, seed=2)
+        pair = (a.host_ids[0], a.host_ids[1])
+        assert a.base_rtt_ms(*pair) != pytest.approx(b.base_rtt_ms(*pair))
+
+    def test_every_host_belongs_to_a_known_region(self, small_topology):
+        regions = set(small_topology.regions())
+        for host_id in small_topology.host_ids:
+            assert small_topology.region_of(host_id) in regions
+
+    def test_custom_region_weights(self):
+        topo = GeographicTopology.generate(
+            30, seed=0, region_weights=[1.0, 0.0, 0.0, 0.0]
+        )
+        assert all(topo.region_of(h) == "us-east" for h in topo.host_ids)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            GeographicTopology.generate(0)
+        with pytest.raises(ValueError):
+            GeographicTopology.generate(5, sites_per_region=0)
+        with pytest.raises(ValueError):
+            GeographicTopology.generate(5, region_weights=[1.0])
+
+    def test_duplicate_host_ids_rejected(self):
+        host = Host("h0", "s0", "us-east", 1.0)
+        site = Site("s0", "us-east", (0.0, 0.0))
+        region = Region("us-east", (0.0, 0.0))
+        with pytest.raises(ValueError):
+            GeographicTopology([host, host], {"s0": site}, {"us-east": region})
+
+
+class TestBaseRtt:
+    def test_self_latency_is_zero(self, small_topology):
+        host = small_topology.host_ids[0]
+        assert small_topology.base_rtt_ms(host, host) == 0.0
+
+    def test_symmetry(self, small_topology):
+        hosts = small_topology.host_ids
+        for a, b in zip(hosts, hosts[1:]):
+            assert small_topology.base_rtt_ms(a, b) == pytest.approx(
+                small_topology.base_rtt_ms(b, a)
+            )
+
+    def test_all_rtts_positive(self, small_topology):
+        for a, b in small_topology.pairs():
+            assert small_topology.base_rtt_ms(a, b) > 0.0
+
+    def test_intra_region_faster_than_inter_continental(self):
+        topo = GeographicTopology.generate(60, seed=3)
+        intra, inter = [], []
+        for a, b in topo.pairs():
+            rtt = topo.base_rtt_ms(a, b)
+            if topo.region_of(a) == topo.region_of(b):
+                intra.append(rtt)
+            elif {topo.region_of(a), topo.region_of(b)} == {"us-east", "asia"}:
+                inter.append(rtt)
+        assert intra and inter
+        assert np.median(intra) < np.median(inter)
+
+    def test_inter_continental_rtts_in_plausible_range(self):
+        topo = GeographicTopology.generate(60, seed=3)
+        values = [
+            topo.base_rtt_ms(a, b)
+            for a, b in topo.pairs()
+            if {topo.region_of(a), topo.region_of(b)} == {"europe", "asia"}
+        ]
+        assert values
+        assert 80.0 < float(np.median(values)) < 500.0
+
+    def test_same_site_hosts_are_sub_5ms(self):
+        topo = GeographicTopology.generate(120, seed=4)
+        same_site_pairs = [
+            (a, b)
+            for a, b in topo.pairs()
+            if topo.host(a).site_id == topo.host(b).site_id
+        ]
+        if not same_site_pairs:
+            pytest.skip("no co-located hosts generated for this seed")
+        for a, b in same_site_pairs:
+            assert topo.base_rtt_ms(a, b) < 5.0
+
+    def test_rtt_matrix_matches_pairwise_calls(self, small_topology):
+        matrix = small_topology.rtt_matrix()
+        hosts = small_topology.host_ids
+        assert matrix.shape == (len(hosts), len(hosts))
+        assert matrix[0, 1] == pytest.approx(small_topology.base_rtt_ms(hosts[0], hosts[1]))
+        assert np.allclose(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0.0)
+
+    def test_pairs_enumerates_each_unordered_pair_once(self, small_topology):
+        pairs = list(small_topology.pairs())
+        n = small_topology.size
+        assert len(pairs) == n * (n - 1) // 2
+        assert len(set(frozenset(p) for p in pairs)) == len(pairs)
+
+    def test_hosts_in_region_partition_the_hosts(self, small_topology):
+        total = sum(len(small_topology.hosts_in_region(r)) for r in small_topology.regions())
+        assert total == small_topology.size

@@ -1,0 +1,112 @@
+"""Tests for trace records, containers, and persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.latency.trace import LatencyTrace, TraceRecord
+
+
+def _record(t: float, src: str = "a", dst: str = "b", rtt: float = 10.0) -> TraceRecord:
+    return TraceRecord(time_s=t, src=src, dst=dst, rtt_ms=rtt)
+
+
+class TestTraceRecord:
+    def test_link_is_direction_agnostic(self):
+        assert _record(0.0, "a", "b").link() == _record(0.0, "b", "a").link()
+
+    def test_link_is_sorted(self):
+        assert _record(0.0, "z", "a").link() == ("a", "z")
+
+
+class TestLatencyTrace:
+    def test_records_are_sorted_by_time_on_construction(self):
+        trace = LatencyTrace([_record(5.0), _record(1.0), _record(3.0)])
+        times = [r.time_s for r in trace]
+        assert times == sorted(times)
+
+    def test_len_and_indexing(self):
+        trace = LatencyTrace([_record(1.0), _record(2.0)])
+        assert len(trace) == 2
+        assert trace[0].time_s == 1.0
+
+    def test_append_enforces_time_order(self):
+        trace = LatencyTrace([_record(5.0)])
+        with pytest.raises(ValueError):
+            trace.append(_record(1.0))
+
+    def test_append_accepts_equal_timestamps(self):
+        trace = LatencyTrace([_record(5.0)])
+        trace.append(_record(5.0))
+        assert len(trace) == 2
+
+    def test_duration_and_bounds(self):
+        trace = LatencyTrace([_record(10.0), _record(40.0)])
+        assert trace.start_time_s == 10.0
+        assert trace.end_time_s == 40.0
+        assert trace.duration_s == 30.0
+
+    def test_empty_trace_has_zero_duration(self):
+        assert LatencyTrace().duration_s == 0.0
+
+    def test_nodes_lists_all_participants(self):
+        trace = LatencyTrace([_record(1.0, "a", "b"), _record(2.0, "c", "a")])
+        assert trace.nodes() == ["a", "b", "c"]
+
+    def test_rtts_returns_all_values(self):
+        trace = LatencyTrace([_record(1.0, rtt=5.0), _record(2.0, rtt=7.0)])
+        assert list(trace.rtts()) == [5.0, 7.0]
+
+    def test_per_link_groups_both_directions_together(self):
+        trace = LatencyTrace([_record(1.0, "a", "b"), _record(2.0, "b", "a")])
+        links = trace.per_link()
+        assert list(links) == [("a", "b")]
+        assert len(links[("a", "b")]) == 2
+
+    def test_per_source_groups_by_measuring_node(self):
+        trace = LatencyTrace([_record(1.0, "a", "b"), _record(2.0, "b", "a"), _record(3.0, "a", "c")])
+        sources = trace.per_source()
+        assert len(sources["a"]) == 2
+        assert len(sources["b"]) == 1
+
+    def test_link_stream_is_time_ordered_subset(self):
+        trace = LatencyTrace(
+            [_record(1.0, "a", "b"), _record(2.0, "a", "c"), _record(3.0, "b", "a")]
+        )
+        stream = trace.link_stream("a", "b")
+        assert [r.time_s for r in stream] == [1.0, 3.0]
+
+    def test_time_slice_is_half_open(self):
+        trace = LatencyTrace([_record(float(t)) for t in range(10)])
+        window = trace.time_slice(2.0, 5.0)
+        assert [r.time_s for r in window] == [2.0, 3.0, 4.0]
+
+    def test_time_slice_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            LatencyTrace().time_slice(5.0, 2.0)
+
+    def test_csv_roundtrip(self, tmp_path):
+        trace = LatencyTrace(
+            [_record(1.25, "a", "b", 10.5), _record(2.5, "b", "c", 220.125)]
+        )
+        path = tmp_path / "trace.csv"
+        trace.to_csv(path)
+        loaded = LatencyTrace.from_csv(path)
+        assert len(loaded) == len(trace)
+        for original, restored in zip(trace, loaded):
+            assert restored.time_s == pytest.approx(original.time_s)
+            assert restored.src == original.src
+            assert restored.dst == original.dst
+            assert restored.rtt_ms == pytest.approx(original.rtt_ms)
+
+    def test_from_csv_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "other.csv"
+        path.write_text("x,y\n1,2\n")
+        with pytest.raises(ValueError):
+            LatencyTrace.from_csv(path)
+
+    def test_csv_string_contains_header_and_rows(self):
+        trace = LatencyTrace([_record(1.0)])
+        text = trace.to_csv_string()
+        assert text.splitlines()[0] == "time_s,src,dst,rtt_ms"
+        assert len(text.splitlines()) == 2

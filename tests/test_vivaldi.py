@@ -1,0 +1,284 @@
+"""Tests for the Vivaldi update rule and confidence building."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coordinate import Coordinate
+from repro.core.vivaldi import (
+    MAX_ERROR_ESTIMATE,
+    MIN_ERROR_ESTIMATE,
+    VivaldiConfig,
+    VivaldiState,
+    vivaldi_update,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_match_paper(self):
+        config = VivaldiConfig()
+        assert config.dimensions == 3
+        assert config.cc == 0.25
+        assert config.ce == 0.25
+        assert config.error_margin_ms == 0.0
+
+    def test_rejects_zero_dimensions(self):
+        with pytest.raises(ValueError):
+            VivaldiConfig(dimensions=0)
+
+    def test_rejects_out_of_range_cc(self):
+        with pytest.raises(ValueError):
+            VivaldiConfig(cc=0.0)
+        with pytest.raises(ValueError):
+            VivaldiConfig(cc=1.5)
+
+    def test_rejects_out_of_range_ce(self):
+        with pytest.raises(ValueError):
+            VivaldiConfig(ce=-0.1)
+
+    def test_rejects_negative_margin(self):
+        with pytest.raises(ValueError):
+            VivaldiConfig(error_margin_ms=-1.0)
+
+    def test_rejects_out_of_range_initial_error(self):
+        with pytest.raises(ValueError):
+            VivaldiConfig(initial_error=2.0)
+
+
+class TestInitialState:
+    def test_initial_coordinate_is_origin(self):
+        state = VivaldiState.initial(VivaldiConfig(dimensions=4))
+        assert state.coordinate.is_origin()
+        assert state.coordinate.dimensions == 4
+
+    def test_initial_error_is_maximal(self):
+        state = VivaldiState.initial(VivaldiConfig())
+        assert state.error_estimate == 1.0
+        assert state.confidence == 0.0
+
+    def test_confidence_is_one_minus_error(self):
+        state = VivaldiState(Coordinate.origin(3), error_estimate=0.3)
+        assert state.confidence == pytest.approx(0.7)
+
+
+class TestSingleUpdate:
+    def setup_method(self):
+        self.config = VivaldiConfig()
+        self.state = VivaldiState.initial(self.config)
+
+    def test_update_moves_coordinate_away_from_coincident_peer(self):
+        new = vivaldi_update(self.state, Coordinate.origin(3), 1.0, 100.0, self.config)
+        assert new.coordinate.magnitude() > 0.0
+
+    def test_update_count_increments(self):
+        new = vivaldi_update(self.state, Coordinate.origin(3), 1.0, 100.0, self.config)
+        assert new.update_count == 1
+
+    def test_update_is_pure(self):
+        vivaldi_update(self.state, Coordinate.origin(3), 1.0, 100.0, self.config)
+        assert self.state.coordinate.is_origin()
+        assert self.state.update_count == 0
+
+    def test_too_close_nodes_move_apart(self):
+        state = VivaldiState(Coordinate([0.0, 0.0, 0.0]), 0.5)
+        peer = Coordinate([10.0, 0.0, 0.0])
+        new = vivaldi_update(state, peer, 0.5, 100.0, self.config)
+        # Measured RTT (100) far exceeds predicted distance (10): i moves away from j.
+        assert new.coordinate.euclidean_distance(peer) > state.coordinate.euclidean_distance(peer)
+
+    def test_too_far_nodes_move_together(self):
+        state = VivaldiState(Coordinate([0.0, 0.0, 0.0]), 0.5)
+        peer = Coordinate([200.0, 0.0, 0.0])
+        new = vivaldi_update(state, peer, 0.5, 50.0, self.config)
+        assert new.coordinate.euclidean_distance(peer) < state.coordinate.euclidean_distance(peer)
+
+    def test_perfect_prediction_keeps_coordinate(self):
+        state = VivaldiState(Coordinate([0.0, 0.0, 0.0]), 0.5)
+        peer = Coordinate([100.0, 0.0, 0.0])
+        new = vivaldi_update(state, peer, 0.5, 100.0, self.config)
+        assert new.coordinate.euclidean_distance(state.coordinate) == pytest.approx(0.0, abs=1e-9)
+
+    def test_perfect_prediction_reduces_error_estimate(self):
+        state = VivaldiState(Coordinate([0.0, 0.0, 0.0]), 0.5)
+        peer = Coordinate([100.0, 0.0, 0.0])
+        new = vivaldi_update(state, peer, 0.5, 100.0, self.config)
+        assert new.error_estimate < state.error_estimate
+
+    def test_bad_prediction_raises_error_estimate(self):
+        state = VivaldiState(Coordinate([0.0, 0.0, 0.0]), 0.1)
+        peer = Coordinate([10.0, 0.0, 0.0])
+        new = vivaldi_update(state, peer, 0.1, 2000.0, self.config)
+        assert new.error_estimate > state.error_estimate
+
+    def test_confident_node_moves_less_than_unconfident_one(self):
+        peer = Coordinate([50.0, 0.0, 0.0])
+        confident = VivaldiState(Coordinate([0.0, 0.0, 0.0]), 0.05)
+        unconfident = VivaldiState(Coordinate([0.0, 0.0, 0.0]), 0.95)
+        moved_confident = vivaldi_update(confident, peer, 0.5, 200.0, self.config)
+        moved_unconfident = vivaldi_update(unconfident, peer, 0.5, 200.0, self.config)
+        assert (
+            moved_confident.coordinate.euclidean_distance(confident.coordinate)
+            < moved_unconfident.coordinate.euclidean_distance(unconfident.coordinate)
+        )
+
+    def test_error_estimate_stays_in_bounds(self):
+        state = VivaldiState(Coordinate([1.0, 0.0, 0.0]), 0.99)
+        new = vivaldi_update(state, Coordinate([2.0, 0.0, 0.0]), 0.99, 5000.0, self.config)
+        assert MIN_ERROR_ESTIMATE <= new.error_estimate <= MAX_ERROR_ESTIMATE
+
+    def test_non_finite_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            vivaldi_update(self.state, Coordinate.origin(3), 1.0, float("nan"), self.config)
+        with pytest.raises(ValueError):
+            vivaldi_update(self.state, Coordinate.origin(3), 1.0, float("inf"), self.config)
+
+    def test_zero_rtt_is_clamped_not_fatal(self):
+        new = vivaldi_update(self.state, Coordinate.origin(3), 1.0, 0.0, self.config)
+        assert math.isfinite(new.coordinate.magnitude())
+
+    def test_random_direction_used_when_coincident(self):
+        new = vivaldi_update(
+            self.state,
+            Coordinate.origin(3),
+            1.0,
+            100.0,
+            self.config,
+            random_direction=[0.0, 1.0, 0.0],
+        )
+        assert new.coordinate[0] == pytest.approx(0.0)
+        assert new.coordinate[1] > 0.0
+
+
+class TestConfidenceBuilding:
+    def test_margin_treats_small_differences_as_exact(self):
+        config = VivaldiConfig(error_margin_ms=3.0)
+        state = VivaldiState(Coordinate([1.0, 0.0, 0.0]), 0.5)
+        peer = Coordinate([0.0, 0.0, 0.0])
+        # Predicted distance is 1 ms, observed 3 ms: within the margin, so
+        # the error estimate must not increase.
+        new = vivaldi_update(state, peer, 0.5, 3.0, config)
+        assert new.error_estimate <= state.error_estimate
+
+    def test_without_margin_small_jitter_erodes_confidence(self):
+        config = VivaldiConfig(error_margin_ms=0.0)
+        state = VivaldiState(Coordinate([1.0, 0.0, 0.0]), 0.05)
+        peer = Coordinate([0.0, 0.0, 0.0])
+        new = vivaldi_update(state, peer, 0.05, 3.0, config)
+        assert new.error_estimate > state.error_estimate
+
+    def test_margin_does_not_mask_large_errors(self):
+        config = VivaldiConfig(error_margin_ms=3.0)
+        state = VivaldiState(Coordinate([1.0, 0.0, 0.0]), 0.2)
+        peer = Coordinate([0.0, 0.0, 0.0])
+        new = vivaldi_update(state, peer, 0.2, 500.0, config)
+        assert new.error_estimate > state.error_estimate
+
+
+class TestHeight:
+    def test_height_absorbs_access_link_latency(self):
+        config = VivaldiConfig(use_height=True)
+        state = VivaldiState(Coordinate([0.0, 0.0, 0.0], height=0.0), 0.8)
+        peer = Coordinate([10.0, 0.0, 0.0], height=0.0)
+        # Repeated observations of a latency much larger than the Euclidean
+        # separation should grow the height term.
+        for _ in range(50):
+            state = vivaldi_update(state, peer, 0.5, 80.0, config)
+        assert state.coordinate.height > 0.0
+
+    def test_height_never_negative(self):
+        config = VivaldiConfig(use_height=True)
+        state = VivaldiState(Coordinate([0.0, 0.0, 0.0], height=5.0), 0.5)
+        peer = Coordinate([100.0, 0.0, 0.0], height=0.0)
+        for _ in range(50):
+            state = vivaldi_update(state, peer, 0.5, 20.0, config)
+            assert state.coordinate.height >= 0.0
+
+
+class TestConvergence:
+    def test_two_nodes_converge_to_true_distance(self):
+        config = VivaldiConfig()
+        a = VivaldiState.initial(config)
+        b = VivaldiState.initial(config)
+        true_rtt = 80.0
+        for _ in range(300):
+            a = vivaldi_update(a, b.coordinate, b.error_estimate, true_rtt, config)
+            b = vivaldi_update(b, a.coordinate, a.error_estimate, true_rtt, config)
+        assert a.coordinate.euclidean_distance(b.coordinate) == pytest.approx(true_rtt, rel=0.05)
+
+    def test_error_estimates_fall_during_convergence(self):
+        config = VivaldiConfig()
+        a = VivaldiState.initial(config)
+        b = VivaldiState.initial(config)
+        for _ in range(300):
+            a = vivaldi_update(a, b.coordinate, b.error_estimate, 60.0, config)
+            b = vivaldi_update(b, a.coordinate, a.error_estimate, 60.0, config)
+        assert a.error_estimate < 0.2
+        assert b.error_estimate < 0.2
+
+    def test_triangle_of_nodes_converges(self):
+        config = VivaldiConfig(dimensions=2)
+        rng = np.random.default_rng(5)
+        # Start from small random positions: three nodes all at the exact
+        # origin can fall into a collinear local minimum in 2-D.
+        states = [
+            VivaldiState(Coordinate(rng.normal(scale=5.0, size=2).tolist()), 1.0)
+            for _ in range(3)
+        ]
+        rtts = {(0, 1): 50.0, (1, 2): 60.0, (0, 2): 70.0}
+        for _ in range(3000):
+            i = int(rng.integers(0, 3))
+            j = int(rng.integers(0, 3))
+            if i == j:
+                continue
+            rtt = rtts[(min(i, j), max(i, j))]
+            direction = rng.normal(size=2)
+            states[i] = vivaldi_update(
+                states[i],
+                states[j].coordinate,
+                states[j].error_estimate,
+                rtt,
+                config,
+                random_direction=direction.tolist(),
+            )
+        for (i, j), rtt in rtts.items():
+            predicted = states[i].coordinate.euclidean_distance(states[j].coordinate)
+            assert predicted == pytest.approx(rtt, rel=0.25)
+
+
+class TestUpdateProperties:
+    @given(
+        st.lists(st.floats(min_value=-500, max_value=500), min_size=3, max_size=3),
+        st.lists(st.floats(min_value=-500, max_value=500), min_size=3, max_size=3),
+        st.floats(min_value=0.01, max_value=0.99),
+        st.floats(min_value=0.01, max_value=0.99),
+        st.floats(min_value=0.1, max_value=5000.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_update_always_produces_finite_bounded_state(
+        self, own, peer, own_error, peer_error, rtt
+    ):
+        config = VivaldiConfig()
+        state = VivaldiState(Coordinate(own), own_error)
+        new = vivaldi_update(state, Coordinate(peer), peer_error, rtt, config)
+        assert all(math.isfinite(c) for c in new.coordinate.components)
+        assert MIN_ERROR_ESTIMATE <= new.error_estimate <= MAX_ERROR_ESTIMATE
+
+    @given(
+        st.floats(min_value=1.0, max_value=1000.0),
+        st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_single_update_movement_is_bounded_by_cc_times_error(self, rtt, error):
+        """One observation can move the coordinate by at most cc * |error|."""
+        config = VivaldiConfig()
+        state = VivaldiState(Coordinate([10.0, 0.0, 0.0]), error)
+        peer = Coordinate([0.0, 0.0, 0.0])
+        new = vivaldi_update(state, peer, error, rtt, config)
+        movement = new.coordinate.euclidean_distance(state.coordinate)
+        max_movement = config.cc * abs(rtt - state.coordinate.euclidean_distance(peer))
+        assert movement <= max_movement + 1e-9

@@ -1,0 +1,114 @@
+"""Tests for the two-window change-detection bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.windows import ChangeDetectionWindows
+
+
+class TestWindowMechanics:
+    def test_requires_positive_window_size(self):
+        with pytest.raises(ValueError):
+            ChangeDetectionWindows(0)
+
+    def test_not_ready_before_two_windows_of_data(self):
+        windows = ChangeDetectionWindows(4)
+        for value in range(7):
+            windows.add(value)
+        assert not windows.ready
+
+    def test_ready_after_two_windows_of_data(self):
+        windows = ChangeDetectionWindows(4)
+        for value in range(8):
+            windows.add(value)
+        assert windows.ready
+
+    def test_start_window_freezes_at_first_k_elements(self):
+        windows = ChangeDetectionWindows(3)
+        for value in range(10):
+            windows.add(value)
+        assert windows.start_window == [0, 1, 2]
+
+    def test_current_window_slides(self):
+        windows = ChangeDetectionWindows(3)
+        for value in range(10):
+            windows.add(value)
+        assert windows.current_window == [7, 8, 9]
+
+    def test_both_windows_share_prefix_while_filling(self):
+        windows = ChangeDetectionWindows(4)
+        for value in range(3):
+            windows.add(value)
+        assert windows.start_window == [0, 1, 2]
+        assert windows.current_window == [0, 1, 2]
+
+    def test_extend_matches_repeated_add(self):
+        a = ChangeDetectionWindows(3)
+        b = ChangeDetectionWindows(3)
+        values = list(range(9))
+        a.extend(values)
+        for value in values:
+            b.add(value)
+        assert a.start_window == b.start_window
+        assert a.current_window == b.current_window
+
+    def test_declare_change_point_resets_everything(self):
+        windows = ChangeDetectionWindows(3)
+        for value in range(10):
+            windows.add(value)
+        windows.declare_change_point()
+        assert windows.start_window == []
+        assert windows.current_window == []
+        assert windows.observations_since_reset == 0
+        assert not windows.ready
+
+    def test_windows_refill_after_change_point(self):
+        windows = ChangeDetectionWindows(2)
+        windows.extend([1, 2, 3, 4])
+        windows.declare_change_point()
+        windows.extend([10, 11, 12, 13])
+        assert windows.start_window == [10, 11]
+        assert windows.current_window == [12, 13]
+        assert windows.ready
+
+    def test_len_counts_observations_since_reset(self):
+        windows = ChangeDetectionWindows(4)
+        windows.extend(range(6))
+        assert len(windows) == 6
+
+    def test_reset_is_alias_for_change_point(self):
+        windows = ChangeDetectionWindows(2)
+        windows.extend([1, 2, 3])
+        windows.reset()
+        assert len(windows) == 0
+
+    def test_window_copies_are_independent(self):
+        windows = ChangeDetectionWindows(2)
+        windows.extend([1, 2, 3, 4])
+        snapshot = windows.current_window
+        snapshot.append(99)
+        assert windows.current_window == [3, 4]
+
+    def test_generic_over_element_type(self):
+        windows: ChangeDetectionWindows[str] = ChangeDetectionWindows(2)
+        windows.extend(["a", "b", "c"])
+        assert windows.start_window == ["a", "b"]
+
+    @given(st.integers(min_value=1, max_value=16), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=60, deadline=None)
+    def test_window_sizes_never_exceed_k(self, k, n):
+        windows = ChangeDetectionWindows(k)
+        windows.extend(range(n))
+        assert len(windows.start_window) == min(k, n)
+        assert len(windows.current_window) == min(k, n)
+        assert windows.ready == (n >= 2 * k)
+
+    @given(st.integers(min_value=1, max_value=10), st.lists(st.integers(), min_size=0, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_current_window_is_stream_suffix(self, k, values):
+        windows = ChangeDetectionWindows(k)
+        windows.extend(values)
+        assert windows.current_window == values[-k:] if values else windows.current_window == []

@@ -1,0 +1,62 @@
+"""Engine scaling benchmark: serial versus sharded parallel execution.
+
+Expands the ``mesh-replay`` scenario into an 8-cell filter-parameter grid
+(64 nodes per cell, 512 nodes total), runs it through ``repro scenarios
+sweep`` with 2 worker processes, verifies the parallel metrics are
+byte-identical to the serial run, and records the wall-clock comparison in
+``BENCH_engine.json`` at the repo root.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_engine_scaling.py``),
+optionally passing a worker count (default 2).  The equivalent CLI
+invocation is printed on start so the artifact is reproducible by hand.
+
+The wall-clock speedup is bounded by the host's core count: the recorded
+``host_cpu_count`` puts the number in context (on a 1-core container the
+parallel run validates determinism but cannot beat serial -- worker
+processes time-share the single core and add start-up cost).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+from pathlib import Path
+
+from repro.scenarios.cli import main as scenarios_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The acceptance grid: 4 history sizes x 2 percentiles = 8 cells of 64
+#: nodes each (512 total).
+SWEEP_ARGS = [
+    "sweep",
+    "mesh-replay",
+    "--set",
+    "history=2,4,8,16",
+    "--set",
+    "percentile=25,50",
+    "--check-serial",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    workers = int(argv[0]) if argv else 2
+    if workers < 2:
+        raise SystemExit("the scaling benchmark needs at least 2 workers")
+    start_method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    args = [
+        *SWEEP_ARGS,
+        "--workers",
+        str(workers),
+        "--mp-context",
+        start_method,
+        "--bench-json",
+        str(REPO_ROOT / "BENCH_engine.json"),
+    ]
+    print("repro scenarios " + " ".join(args))
+    return scenarios_main(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,20 @@ These quantify the per-observation cost of the machinery the paper adds on
 top of Vivaldi (the MP filter, the energy statistic, the full node update),
 demonstrating the paper's claim that the enhancements are lightweight
 enough for every node to run on every sample.
+
+``__slots__`` on the per-observation classes (``CoordinateNode``, the
+filters, the heuristics, ``ChangeDetectionWindows``, ``StabilityTracker``;
+``VivaldiState`` and ``ObservationResult`` already used slotted
+dataclasses) measurably tightened the hot path.  Reference numbers from one
+machine (Linux, CPython 3.11, 20k observations via ``timeit``):
+
+========================  ==============  =============
+benchmark                 before slots    after slots
+========================  ==============  =============
+node.observe (mp_energy)  63.3 us/op      45.5 us/op
+node.observe (raw)        49.1 us/op      36.7 us/op
+mp_filter.update          1.27 us/op      1.31 us/op
+========================  ==============  =============
 """
 
 from __future__ import annotations

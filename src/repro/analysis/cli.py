@@ -1,4 +1,4 @@
-"""Command-line entry point for regenerating the paper's figures and tables.
+"""Command-line entry point for experiments and scenarios (``repro``).
 
 Usage::
 
@@ -6,10 +6,15 @@ Usage::
     python -m repro.analysis.cli fig05 table1
     python -m repro.analysis.cli --all
     python -m repro.analysis.cli fig13 --output results/
+    python -m repro.analysis.cli scenarios list
+    python -m repro.analysis.cli scenarios sweep knn-overlay --set window=16,32
 
 Each experiment prints its paper-style report to stdout; ``--output DIR``
 additionally writes one ``<experiment>.txt`` file per experiment so runs
-can be archived and diffed.
+can be archived and diffed.  The ``scenarios`` command group (see
+:mod:`repro.scenarios.cli`) lists and executes declarative scenarios on
+the sharded engine; with the package installed, the console script
+``repro`` exposes the same interface (``repro scenarios sweep ...``).
 """
 
 from __future__ import annotations
@@ -71,9 +76,21 @@ def run_experiments(
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "scenarios":
+        # The scenario command group has its own parser; everything after
+        # the group name belongs to it.
+        from repro.scenarios.cli import main as scenarios_main
+
+        return scenarios_main(argv[1:])
+
     parser = argparse.ArgumentParser(
-        prog="repro-experiments",
-        description="Regenerate the paper's figures and tables from the reproduction.",
+        prog="repro",
+        description=(
+            "Regenerate the paper's figures and tables from the reproduction "
+            "('repro fig05 table1'), or drive declarative scenarios "
+            "('repro scenarios list|run|sweep ...')."
+        ),
     )
     parser.add_argument("experiments", nargs="*", help="experiment ids (e.g. fig05 table1)")
     parser.add_argument("--all", action="store_true", help="run every experiment")

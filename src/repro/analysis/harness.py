@@ -6,6 +6,12 @@ coordinate configurations against it -- so they live here, with in-process
 caching keyed on the workload parameters.  Caching matters because the
 benchmark suite regenerates the same trace for many figures; building it
 once keeps the whole suite fast without coupling experiments to each other.
+
+The scenario engine's kernel (:mod:`repro.engine.kernel`) shares these
+builders: every engine worker process gets its own cache, so grid cells
+that differ only in coordinate configuration reuse one universe per
+worker.  The caches are bounded (FIFO) because a sweep over topology sizes
+would otherwise pin every generated trace in a long-lived worker.
 """
 
 from __future__ import annotations
@@ -63,11 +69,20 @@ class ExperimentScale:
 _DATASET_CACHE: Dict[Tuple, PlanetLabDataset] = {}
 _TRACE_CACHE: Dict[Tuple, LatencyTrace] = {}
 
+#: Entries kept per cache; oldest-inserted entries are evicted beyond this.
+_CACHE_LIMIT = 8
+
 
 def clear_caches() -> None:
     """Drop cached datasets and traces (used by tests)."""
     _DATASET_CACHE.clear()
     _TRACE_CACHE.clear()
+
+
+def _cache_insert(cache: Dict[Tuple, Any], key: Tuple, value: Any) -> None:
+    cache[key] = value
+    while len(cache) > _CACHE_LIMIT:
+        cache.pop(next(iter(cache)))
 
 
 def build_dataset(
@@ -82,7 +97,7 @@ def build_dataset(
     dataset = _DATASET_CACHE.get(key)
     if dataset is None:
         dataset = PlanetLabDataset.generate(nodes, seed=seed, parameters=params)
-        _DATASET_CACHE[key] = dataset
+        _cache_insert(_DATASET_CACHE, key, dataset)
     return dataset
 
 
@@ -103,7 +118,7 @@ def build_trace(
             neighbors_per_node=scale.neighbors_per_node,
             seed=scale.seed,
         )
-        _TRACE_CACHE[key] = trace
+        _cache_insert(_TRACE_CACHE, key, trace)
     return trace
 
 

@@ -113,6 +113,8 @@ class MovingPercentileFilter:
         for a second sample.
     """
 
+    __slots__ = ("history", "percentile", "warmup", "_window")
+
     def __init__(self, history: int = 4, percentile: float = 25.0, warmup: int = 1) -> None:
         if history < 1:
             raise ValueError(f"history must be >= 1, got {history}")
@@ -153,6 +155,8 @@ class MovingPercentileFilter:
 class MedianFilter(MovingPercentileFilter):
     """Moving Median filter: the MP filter with ``p = 50``."""
 
+    __slots__ = ()
+
     def __init__(self, history: int = 4, warmup: int = 1) -> None:
         super().__init__(history=history, percentile=50.0, warmup=warmup)
 
@@ -165,6 +169,8 @@ class EWMAFilter:
     no filter at all, because heavy-tailed outliers are not a trend an EWMA
     should track -- they should simply be discarded.
     """
+
+    __slots__ = ("alpha", "_value")
 
     def __init__(self, alpha: float = 0.10) -> None:
         if not 0.0 < alpha <= 1.0:
@@ -200,6 +206,8 @@ class ThresholdFilter:
     finds only minimal improvement from thresholds in isolation.
     """
 
+    __slots__ = ("threshold_ms", "_last_accepted")
+
     def __init__(self, threshold_ms: float = 1000.0) -> None:
         if threshold_ms <= 0.0:
             raise ValueError(f"threshold_ms must be positive, got {threshold_ms}")
@@ -225,6 +233,8 @@ class ThresholdFilter:
 
 class NoFilter:
     """Identity filter: raw observations go straight to Vivaldi."""
+
+    __slots__ = ("_last",)
 
     def __init__(self) -> None:
         self._last: float | None = None
@@ -275,6 +285,8 @@ class FilterBank:
     Each link (pair of nodes) maintains its own filter state, so the bank
     lazily creates a fresh filter the first time a peer is observed.
     """
+
+    __slots__ = ("_kind", "_kwargs", "_filters")
 
     def __init__(self, kind: str = "mp", **filter_kwargs: object) -> None:
         self._kind = kind

@@ -85,6 +85,8 @@ class UpdateHeuristic(Protocol):
 class _BaseHeuristic:
     """Shared bookkeeping for the concrete heuristics."""
 
+    __slots__ = ("_application", "_updates", "_observations")
+
     def __init__(self) -> None:
         self._application: Optional[Coordinate] = None
         self._updates = 0
@@ -121,6 +123,8 @@ class AlwaysUpdateHeuristic(_BaseHeuristic):
     baseline the paper calls the "Raw MP Filter" in Figures 11 and 13.
     """
 
+    __slots__ = ()
+
     def observe(
         self,
         system_coordinate: Coordinate,
@@ -137,6 +141,8 @@ class SystemHeuristic(_BaseHeuristic):
     threshold: the application coordinate silently drifts arbitrarily far
     from the system one.
     """
+
+    __slots__ = ("threshold_ms", "_previous_system")
 
     def __init__(self, threshold_ms: float = 16.0) -> None:
         super().__init__()
@@ -171,6 +177,8 @@ class ApplicationHeuristic(_BaseHeuristic):
     threshold never surface to the application.
     """
 
+    __slots__ = ("threshold_ms",)
+
     def __init__(self, threshold_ms: float = 16.0) -> None:
         super().__init__()
         if threshold_ms < 0.0:
@@ -200,6 +208,8 @@ class ApplicationCentroidHeuristic(_BaseHeuristic):
     that the window-based heuristics' advantage lies in *when* they fire,
     not merely in using a centroid.
     """
+
+    __slots__ = ("threshold_ms", "window_size", "_recent")
 
     def __init__(self, threshold_ms: float = 16.0, window_size: int = 32) -> None:
         super().__init__()
@@ -239,6 +249,8 @@ class RelativeHeuristic(_BaseHeuristic):
     a 5 ms wobble matters for a node whose nearest neighbor is 10 ms away
     but not for one whose nearest neighbor is 200 ms away.
     """
+
+    __slots__ = ("relative_threshold", "window_size", "_windows", "_last_neighbor")
 
     def __init__(self, relative_threshold: float = 0.3, window_size: int = 32) -> None:
         super().__init__()
@@ -301,6 +313,8 @@ class EnergyHeuristic(_BaseHeuristic):
     (a change point in the Kifer et al. sense).  The paper deploys this
     heuristic with ``window_size = 32`` and ``tau = 8`` on PlanetLab.
     """
+
+    __slots__ = ("threshold", "window_size", "_windows")
 
     def __init__(self, threshold: float = 8.0, window_size: int = 32) -> None:
         super().__init__()

@@ -63,6 +63,17 @@ class CoordinateNode:
         Policy configuration; see :class:`repro.core.config.NodeConfig`.
     """
 
+    __slots__ = (
+        "node_id",
+        "config",
+        "_state",
+        "_filters",
+        "_heuristic",
+        "_peer_coordinates",
+        "_observation_count",
+        "_cumulative_system_movement_ms",
+    )
+
     def __init__(self, node_id: str, config: NodeConfig | None = None) -> None:
         self.node_id = node_id
         self.config = config or NodeConfig()

@@ -41,6 +41,8 @@ class ChangeDetectionWindows(Generic[T]):
         (Figure 9).
     """
 
+    __slots__ = ("window_size", "_start", "_current", "_observations_since_reset")
+
     def __init__(self, window_size: int) -> None:
         if window_size < 1:
             raise ValueError(f"window_size must be >= 1, got {window_size}")

@@ -1,0 +1,23 @@
+"""Sharded, cached execution engine for declarative scenarios.
+
+* :mod:`repro.engine.kernel` -- the serial kernel (one spec, one result);
+* :mod:`repro.engine.executor` -- multiprocessing fan-out with a serial
+  fallback that is byte-identical by construction;
+* :mod:`repro.engine.cache` -- incremental (spec hash, seed) result cache;
+* :mod:`repro.engine.results` -- canonical, serialisable cell results.
+"""
+
+from repro.engine.cache import ResultCache
+from repro.engine.executor import EngineReport, execute
+from repro.engine.kernel import ScenarioRun, run_scenario
+from repro.engine.results import ScenarioResult, results_canonical_json
+
+__all__ = [
+    "EngineReport",
+    "ResultCache",
+    "ScenarioResult",
+    "ScenarioRun",
+    "execute",
+    "results_canonical_json",
+    "run_scenario",
+]

@@ -1,0 +1,78 @@
+"""On-disk result cache keyed by (spec hash, seed).
+
+Completed grid cells are stored as one JSON file each, so re-running a
+sweep after editing a few cells only executes the edited cells: the spec
+hash covers everything that affects a run's outcome (and nothing that
+doesn't -- renames and timing never invalidate).  The cache is safe to
+share between serial and parallel runs because cell results are pure
+functions of (spec, seed); corrupt or unreadable entries are treated as
+misses rather than errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.engine.results import ScenarioResult
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """One-file-per-cell JSON cache of scenario results."""
+
+    __slots__ = ("directory",)
+
+    #: Bumped when the result schema changes; part of every filename so a
+    #: schema change invalidates old entries instead of mis-parsing them.
+    FORMAT = 1
+
+    def __init__(self, directory: Path | str) -> None:
+        self.directory = Path(directory)
+
+    def _path(self, spec_hash: str, seed: int) -> Path:
+        return self.directory / f"v{self.FORMAT}-{spec_hash}-{seed}.json"
+
+    def get(self, spec: ScenarioSpec) -> Optional[ScenarioResult]:
+        """The cached result for ``spec``, or ``None`` on a miss."""
+        path = self._path(spec.spec_hash(), spec.seed)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        try:
+            result = ScenarioResult.from_dict(payload, cached=True)
+        except (KeyError, TypeError, ValueError):
+            return None
+        # The cell may have been renamed since it was cached; the label is
+        # not part of the key, so restore the caller's name.
+        result.name = spec.name
+        return result
+
+    def put(self, result: ScenarioResult) -> None:
+        """Store ``result`` atomically (rename over a temp file)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(result.spec_hash, result.seed)
+        handle, temp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(result.to_dict(), stream)
+            os.replace(temp_name, path)
+        except OSError:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob(f"v{self.FORMAT}-*.json"))

@@ -1,0 +1,156 @@
+"""Sharded scenario execution across worker processes.
+
+:func:`execute` fans a list of scenario specs (typically a
+:class:`~repro.scenarios.grid.ScenarioGrid` expansion) out across
+``multiprocessing`` workers.  Design points:
+
+* **One kernel.**  Workers and the serial fallback both call
+  :func:`repro.engine.kernel.run_scenario`, a pure function of the spec,
+  so parallel results are byte-identical to serial results (asserted by
+  ``tests/test_engine.py`` and ``benchmarks/bench_engine_scaling.py``).
+* **Specs travel as data.**  Cells are shipped to workers as ``to_dict``
+  payloads and rebuilt there, avoiding any pickling coupling to the
+  scenario classes and keeping the worker interface stable.
+* **Incremental re-runs.**  With a cache directory, completed cells are
+  looked up by (spec hash, seed) before any worker is spawned; only the
+  missing cells execute.
+* **Collector merging.**  With ``keep_collectors=True`` each shard's
+  :class:`~repro.metrics.collector.MetricsCollector` is returned to the
+  parent and :meth:`EngineReport.merged_collector` exposes the grid-wide
+  view (cells are namespaced by name since shards reuse host ids).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.collector import MetricsCollector
+from repro.scenarios.spec import ScenarioSpec
+
+from repro.engine.cache import ResultCache
+from repro.engine.kernel import run_scenario
+from repro.engine.results import ScenarioResult, results_canonical_json
+
+__all__ = ["EngineReport", "execute"]
+
+
+@dataclass(slots=True)
+class EngineReport:
+    """Outcome of one :func:`execute` call."""
+
+    #: Per-cell results, in the order the specs were given (regardless of
+    #: completion order across workers).
+    results: List[ScenarioResult]
+    #: Worker processes used (1 = serial).
+    workers: int
+    #: Cells served from the cache.
+    cache_hits: int
+    #: Wall-clock time of the whole execution.
+    elapsed_s: float
+    #: Shard collectors (same order as ``results``) when requested.
+    collectors: Optional[List[MetricsCollector]] = field(default=None, repr=False)
+
+    def canonical_json(self) -> str:
+        """Byte-stable JSON over all results (for determinism checks)."""
+        return results_canonical_json(self.results)
+
+    def merged_collector(self) -> MetricsCollector:
+        """Grid-wide metrics view over all shard collectors."""
+        if self.collectors is None:
+            raise ValueError(
+                "collectors were not kept; run execute(..., keep_collectors=True)"
+            )
+        return MetricsCollector.merge(
+            self.collectors, prefixes=[result.name for result in self.results]
+        )
+
+
+def _run_cell(
+    task: Tuple[int, Dict[str, Any], bool]
+) -> Tuple[int, Dict[str, Any], Optional[MetricsCollector]]:
+    """Worker entry point: rebuild the spec, run it, ship the result back."""
+    index, payload, keep_collector = task
+    run = run_scenario(ScenarioSpec.from_dict(payload))
+    return index, run.result.to_dict(), run.collector if keep_collector else None
+
+
+def execute(
+    specs: Sequence[ScenarioSpec],
+    *,
+    workers: int = 1,
+    cache_dir: Optional[Path | str] = None,
+    keep_collectors: bool = False,
+    mp_context: str = "spawn",
+) -> EngineReport:
+    """Run every spec and return ordered results.
+
+    Parameters
+    ----------
+    workers:
+        Worker *processes*; ``1`` runs everything serially in-process (the
+        reference path).  The pool size never exceeds the number of cells
+        that actually need to run.
+    cache_dir:
+        Enables the (spec hash, seed) result cache.  Ignored while
+        ``keep_collectors`` is set, because collectors cannot be served
+        from the JSON cache; results are still *written* for later runs.
+    keep_collectors:
+        Return each shard's :class:`MetricsCollector` for grid-level
+        merging.  Costs one pickled collector per cell of transfer.
+    mp_context:
+        ``multiprocessing`` start method.  The default ``spawn`` works
+        everywhere; ``fork`` starts faster on Linux.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    started = time.perf_counter()
+    specs = list(specs)
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+
+    results: List[Optional[ScenarioResult]] = [None] * len(specs)
+    collectors: List[Optional[MetricsCollector]] = [None] * len(specs)
+    cache_hits = 0
+
+    pending: List[Tuple[int, Dict[str, Any], bool]] = []
+    for index, spec in enumerate(specs):
+        cached = cache.get(spec) if cache is not None and not keep_collectors else None
+        if cached is not None:
+            results[index] = cached
+            cache_hits += 1
+        else:
+            pending.append((index, spec.to_dict(), keep_collectors))
+
+    pool_size = min(workers, len(pending))
+    if pool_size <= 1:
+        for index, _payload, _keep in pending:
+            run = run_scenario(specs[index])
+            results[index] = run.result
+            collectors[index] = run.collector
+    else:
+        context = multiprocessing.get_context(mp_context)
+        with context.Pool(processes=pool_size) as pool:
+            for index, payload, collector in pool.imap_unordered(
+                _run_cell, pending, chunksize=1
+            ):
+                results[index] = ScenarioResult.from_dict(payload)
+                collectors[index] = collector
+
+    if cache is not None:
+        for result in results:
+            if result is not None and not result.cached:
+                cache.put(result)
+
+    final_results = [result for result in results if result is not None]
+    if len(final_results) != len(specs):  # pragma: no cover - defensive
+        raise RuntimeError("engine lost track of a shard result")
+    return EngineReport(
+        results=final_results,
+        workers=workers,
+        cache_hits=cache_hits,
+        elapsed_s=time.perf_counter() - started,
+        collectors=[c for c in collectors if c is not None] if keep_collectors else None,
+    )

@@ -1,0 +1,298 @@
+"""The serial execution kernel: one :class:`ScenarioSpec` -> one result.
+
+This is the single code path shared by every execution strategy: the
+engine's worker processes call :func:`run_scenario` on their shard exactly
+as the serial fallback does, which is what makes parallel output
+byte-identical to serial output.  The kernel is a pure function of the
+spec: datasets, traces, protocol RNG and workload RNG are all derived from
+the spec's seed, so re-running a spec in a different process (or on a
+different worker count) reproduces the same numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.harness import ExperimentScale, build_dataset, build_trace
+from repro.core.coordinate import Coordinate
+from repro.latency.planetlab import PlanetLabDataset
+from repro.metrics.collector import MetricsCollector
+from repro.netsim.replay import replay_trace
+from repro.netsim.runner import SimulationConfig, run_simulation
+from repro.netsim.network import NetworkConfig
+from repro.netsim.protocol import ProtocolConfig
+from repro.overlay.knn import CoordinateIndex
+from repro.scenarios.spec import ScenarioSpec
+from repro.stats.sampling import derive_rng
+
+from repro.engine.results import ScenarioResult
+
+__all__ = ["run_scenario", "ScenarioRun"]
+
+
+class ScenarioRun:
+    """A result plus the live collector it was derived from."""
+
+    __slots__ = ("result", "collector")
+
+    def __init__(self, result: ScenarioResult, collector: MetricsCollector) -> None:
+        self.result = result
+        self.collector = collector
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioRun:
+    """Execute one scenario and return its result and metrics collector."""
+    started = time.perf_counter()
+    parameters = spec.network.to_parameters()
+    measurement_start_s = spec.resolved_measurement_start_s()
+    dataset = build_dataset(spec.network.nodes, seed=spec.seed, parameters=parameters)
+
+    counters: Dict[str, Optional[float]] = {}
+    workload_payload: Dict[str, Any] = {}
+
+    if spec.mode == "replay":
+        scale = ExperimentScale(
+            nodes=spec.network.nodes,
+            duration_s=spec.duration_s,
+            ping_interval_s=spec.ping_interval_s,
+            neighbors_per_node=spec.neighbors_per_node,
+            seed=spec.seed,
+        )
+        trace = build_trace(scale, parameters=parameters)
+        on_record, finish_drift = _drift_probe(spec, dataset, measurement_start_s)
+        replay = replay_trace(
+            trace,
+            spec.node_config(),
+            measurement_start_s=measurement_start_s,
+            on_record=on_record,
+        )
+        collector = replay.collector
+        counters["records_processed"] = float(replay.records_processed)
+        final_coordinates = replay.application_coordinates()
+        if finish_drift is not None:
+            workload_payload.update(finish_drift())
+    else:
+        config = SimulationConfig(
+            nodes=spec.network.nodes,
+            duration_s=spec.duration_s,
+            measurement_start_s=measurement_start_s,
+            node_config=spec.node_config(),
+            protocol=(
+                ProtocolConfig(sampling_interval_s=spec.sampling_interval_s)
+                if spec.sampling_interval_s is not None
+                else ProtocolConfig()
+            ),
+            network=NetworkConfig(loss_probability=spec.loss_probability),
+            dataset=parameters,
+            churn=spec.churn.to_config() if spec.churn is not None else None,
+            bootstrap_neighbors=spec.bootstrap_neighbors,
+            seed=spec.seed,
+        )
+        sim = run_simulation(config, dataset=dataset)
+        collector = sim.collector
+        counters["samples_attempted"] = float(sim.samples_attempted)
+        counters["samples_completed"] = float(sim.samples_completed)
+        counters["events_processed"] = float(sim.events_processed)
+        counters["churn_transitions"] = float(sim.churn_transitions)
+        final_coordinates = sim.application_coordinates()
+
+    metrics: Dict[str, Optional[float]] = dict(asdict(collector.system_snapshot()))
+    metrics.update(counters)
+    metrics.update(_run_workload(spec, dataset, final_coordinates, workload_payload))
+
+    per_node = {
+        "median_application_error": collector.per_node_median_error(level="application"),
+        "p95_application_error": collector.per_node_error_percentile(
+            95.0, level="application"
+        ),
+        "p95_system_error": collector.per_node_error_percentile(95.0, level="system"),
+        "application_instability": collector.per_node_instability(level="application"),
+    }
+
+    result = ScenarioResult(
+        name=spec.name,
+        spec_hash=spec.spec_hash(),
+        seed=spec.seed,
+        mode=spec.mode,
+        metrics=metrics,
+        per_node=per_node,
+        workload=workload_payload,
+        elapsed_s=time.perf_counter() - started,
+    )
+    return ScenarioRun(result, collector)
+
+
+# ----------------------------------------------------------------------
+# Drift probe (the Figure 7 methodology)
+# ----------------------------------------------------------------------
+def _drift_probe(spec, dataset, measurement_start_s):
+    """Build the per-region coordinate tracker for the drift workload.
+
+    Returns ``(on_record, finish)``: the replay hook and a closure
+    producing the workload payload, or ``(None, None)`` for other
+    workloads.  Mirrors ``fig07_drift`` exactly -- one tracked node per
+    region, snapshots every ``snapshot_interval_s`` once the measurement
+    window opens -- so the ported scenario reproduces the figure's numbers.
+    """
+    if spec.workload.kind != "drift":
+        return None, None
+    snapshot_interval_s = float(spec.workload.param("snapshot_interval_s"))
+    topology = dataset.topology
+    tracked_ids: Dict[str, str] = {}
+    for region in topology.regions():
+        hosts = topology.hosts_in_region(region)
+        if hosts:
+            tracked_ids[hosts[0]] = region
+
+    snapshots: Dict[str, List[Tuple[float, Coordinate]]] = {nid: [] for nid in tracked_ids}
+    next_snapshot: Dict[str, float] = {nid: measurement_start_s for nid in tracked_ids}
+
+    def on_record(time_s: float, node) -> None:
+        node_id = node.node_id
+        if node_id not in tracked_ids:
+            return
+        if time_s >= next_snapshot[node_id]:
+            snapshots[node_id].append((time_s, node.system_coordinate))
+            next_snapshot[node_id] = time_s + snapshot_interval_s
+
+    def finish() -> Dict[str, Any]:
+        tracked: List[Dict[str, Any]] = []
+        for node_id, region in tracked_ids.items():
+            track = snapshots[node_id]
+            if len(track) < 2:
+                continue
+            path = sum(
+                track[i][1].euclidean_distance(track[i + 1][1])
+                for i in range(len(track) - 1)
+            )
+            net = track[0][1].euclidean_distance(track[-1][1])
+            tracked.append(
+                {
+                    "node_id": node_id,
+                    "region": region,
+                    "net_displacement_ms": float(net),
+                    "path_length_ms": float(path),
+                    "consistency": float(net / path) if path > 0.0 else 0.0,
+                }
+            )
+        return {"tracked": tracked}
+
+    return on_record, finish
+
+
+# ----------------------------------------------------------------------
+# Application-level workloads over the final coordinates
+# ----------------------------------------------------------------------
+def _run_workload(
+    spec: ScenarioSpec,
+    dataset: PlanetLabDataset,
+    coordinates: Dict[str, Coordinate],
+    workload_payload: Dict[str, Any],
+) -> Dict[str, Optional[float]]:
+    kind = spec.workload.kind
+    if kind == "drift":
+        tracked = workload_payload.get("tracked", [])
+        if not tracked:
+            return {"drift_mean_net_displacement_ms": None, "drift_mean_consistency": None}
+        return {
+            "drift_mean_net_displacement_ms": float(
+                sum(t["net_displacement_ms"] for t in tracked) / len(tracked)
+            ),
+            "drift_mean_consistency": float(
+                sum(t["consistency"] for t in tracked) / len(tracked)
+            ),
+        }
+    if kind == "knn":
+        return _knn_workload(spec, dataset, coordinates)
+    if kind == "placement":
+        return _placement_workload(spec, dataset, coordinates)
+    return {}
+
+
+def _knn_workload(spec, dataset, coordinates) -> Dict[str, Optional[float]]:
+    """kNN queries: how well do coordinate-space neighbors match true RTTs?
+
+    Reports the mean overlap between the coordinate-predicted and the true
+    ``k`` nearest sets, and the mean latency stretch of the predicted set
+    (mean true RTT of predicted neighbors over mean true RTT of the
+    optimal ones; 1.0 = perfect).
+    """
+    hosts = sorted(coordinates)
+    k = min(int(spec.workload.param("k")), len(hosts) - 1)
+    queries = int(spec.workload.param("queries"))
+    if k < 1 or queries < 1:
+        return {"knn_mean_overlap": None, "knn_mean_stretch": None}
+
+    index = CoordinateIndex()
+    index.update_many(coordinates)
+    end_time = spec.duration_s
+    rng = derive_rng(spec.seed, "workload-knn")
+
+    overlaps: List[float] = []
+    stretches: List[float] = []
+    for _ in range(queries):
+        target = hosts[int(rng.integers(0, len(hosts)))]
+        predicted = [node_id for node_id, _ in index.nearest_to_node(target, k=k)]
+        by_true_rtt = sorted(
+            (dataset.true_rtt_ms(target, other, end_time), other)
+            for other in hosts
+            if other != target
+        )
+        true_best = [other for _, other in by_true_rtt[:k]]
+        optimal_mean = sum(rtt for rtt, _ in by_true_rtt[:k]) / k
+        predicted_mean = (
+            sum(dataset.true_rtt_ms(target, other, end_time) for other in predicted) / k
+        )
+        overlaps.append(len(set(predicted) & set(true_best)) / k)
+        stretches.append(predicted_mean / optimal_mean if optimal_mean > 0.0 else 1.0)
+    return {
+        "knn_mean_overlap": float(sum(overlaps) / len(overlaps)),
+        "knn_mean_stretch": float(sum(stretches) / len(stretches)),
+    }
+
+
+def _placement_workload(spec, dataset, coordinates) -> Dict[str, Optional[float]]:
+    """Operator placement: choose hosts by coordinates, score by true RTTs.
+
+    For each synthetic operator (a set of endpoint hosts), the host
+    minimising the *predicted* endpoint cost is selected and scored
+    against the host minimising the *true* endpoint cost.
+    """
+    hosts = sorted(coordinates)
+    operators = int(spec.workload.param("operators"))
+    endpoints = min(int(spec.workload.param("endpoints")), len(hosts))
+    if operators < 1 or endpoints < 1:
+        return {"placement_mean_stretch": None, "placement_mean_cost_ms": None}
+
+    end_time = spec.duration_s
+    rng = derive_rng(spec.seed, "workload-placement")
+
+    def true_cost(host: str, endpoint_hosts: List[str]) -> float:
+        return sum(
+            dataset.true_rtt_ms(host, endpoint, end_time)
+            for endpoint in endpoint_hosts
+            if endpoint != host
+        )
+
+    stretches: List[float] = []
+    costs: List[float] = []
+    for _ in range(operators):
+        chosen_indexes = rng.choice(len(hosts), size=endpoints, replace=False)
+        endpoint_hosts = [hosts[int(i)] for i in chosen_indexes]
+        chosen = min(
+            hosts,
+            key=lambda host: sum(
+                coordinates[host].distance(coordinates[endpoint])
+                for endpoint in endpoint_hosts
+            ),
+        )
+        chosen_cost = true_cost(chosen, endpoint_hosts)
+        optimal_cost = min(true_cost(host, endpoint_hosts) for host in hosts)
+        costs.append(chosen_cost)
+        stretches.append(chosen_cost / optimal_cost if optimal_cost > 0.0 else 1.0)
+    return {
+        "placement_mean_stretch": float(sum(stretches) / len(stretches)),
+        "placement_mean_cost_ms": float(sum(costs) / len(costs)),
+    }

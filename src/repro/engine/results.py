@@ -1,0 +1,91 @@
+"""Serializable per-cell results of scenario execution.
+
+A :class:`ScenarioResult` is everything a grid cell reports back across a
+process boundary or out of the on-disk cache: headline metrics, per-node
+distributions (for CDFs), and workload-specific outputs.  Results are
+*canonically* serialisable -- :meth:`ScenarioResult.canonical_json` is
+byte-identical for identical runs regardless of worker count, process
+start method or cache state, which is how the engine's determinism
+guarantee is stated and tested.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = ["ScenarioResult", "canonical_json", "results_canonical_json"]
+
+
+def canonical_json(payload: Mapping[str, Any]) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, exact float reprs."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=True)
+
+
+@dataclass(slots=True)
+class ScenarioResult:
+    """Outcome of one scenario run (one grid cell)."""
+
+    name: str
+    spec_hash: str
+    seed: int
+    mode: str
+    #: Flat headline metrics: the system snapshot plus run counters plus
+    #: workload summary figures.  ``None`` marks an undefined statistic
+    #: (e.g. no application errors recorded).
+    metrics: Dict[str, Optional[float]] = field(default_factory=dict)
+    #: Per-node distributions, keyed metric name -> node id -> value.
+    per_node: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Workload-specific structured output (e.g. drift tracks).
+    workload: Dict[str, Any] = field(default_factory=dict)
+    #: Wall-clock cost of producing this result (excluded from canonical
+    #: output: timing varies run to run, the numbers must not).
+    elapsed_s: float = 0.0
+    #: Whether this result came from the engine's cache.
+    cached: bool = False
+
+    # ------------------------------------------------------------------
+    # Canonical form
+    # ------------------------------------------------------------------
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The deterministic payload: everything except timing/provenance."""
+        return {
+            "name": self.name,
+            "spec_hash": self.spec_hash,
+            "seed": self.seed,
+            "mode": self.mode,
+            "metrics": self.metrics,
+            "per_node": self.per_node,
+            "workload": self.workload,
+        }
+
+    def canonical_json(self) -> str:
+        return canonical_json(self.canonical_dict())
+
+    # ------------------------------------------------------------------
+    # Serialisation (cache, process transfer)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        payload = self.canonical_dict()
+        payload["elapsed_s"] = self.elapsed_s
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any], *, cached: bool = False) -> "ScenarioResult":
+        return cls(
+            name=payload["name"],
+            spec_hash=payload["spec_hash"],
+            seed=int(payload["seed"]),
+            mode=payload["mode"],
+            metrics=dict(payload.get("metrics", {})),
+            per_node={k: dict(v) for k, v in payload.get("per_node", {}).items()},
+            workload=dict(payload.get("workload", {})),
+            elapsed_s=float(payload.get("elapsed_s", 0.0)),
+            cached=cached,
+        )
+
+
+def results_canonical_json(results: List[ScenarioResult]) -> str:
+    """Canonical JSON over an ordered result list (the sweep-level form)."""
+    return canonical_json({"results": [r.canonical_dict() for r in results]})

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Protocol, Sequence, Tuple, runtime_checkable
+from typing import List, Mapping, Protocol, Sequence, Tuple, runtime_checkable
 
 import numpy as np
 
@@ -113,6 +113,26 @@ class HeavyTailParameters:
             raise ValueError("spike and outlier probabilities must sum to <= 1")
         if self.outlier_range_ms[0] <= 0 or self.outlier_range_ms[1] < self.outlier_range_ms[0]:
             raise ValueError("outlier_range_ms must be a positive, ordered pair")
+
+    @classmethod
+    def from_mapping(cls, overrides: "Mapping[str, object]") -> "HeavyTailParameters":
+        """Build parameters from a plain mapping of field overrides.
+
+        Used by the declarative scenario layer, whose specs round-trip
+        through JSON: unknown keys raise a readable error and list values
+        (JSON's spelling of tuples) are converted back to tuples.
+        """
+        known = set(cls.__dataclass_fields__)
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown heavy-tail parameters {unknown}; known: {sorted(known)}"
+            )
+        coerced = {
+            key: tuple(value) if isinstance(value, list) else value
+            for key, value in overrides.items()
+        }
+        return cls(**coerced)  # type: ignore[arg-type]
 
 
 @dataclass(frozen=True, slots=True)

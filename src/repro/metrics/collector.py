@@ -320,3 +320,72 @@ class MetricsCollector:
         self._nodes.clear()
         self._first_time_s = None
         self._last_time_s = None
+
+    # ------------------------------------------------------------------
+    # Merging (scenario engine)
+    # ------------------------------------------------------------------
+    @classmethod
+    def merge(
+        cls,
+        collectors: "List[MetricsCollector]",
+        *,
+        prefixes: Optional[List[str]] = None,
+    ) -> "MetricsCollector":
+        """Combine per-shard collectors into one system-wide collector.
+
+        The scenario engine runs each grid cell in its own worker process
+        and gets one collector per shard back; merging yields a single
+        collector whose per-node and aggregate queries span the whole grid.
+
+        Node ids must be disjoint across the inputs.  Shards that simulate
+        the same universe under different configurations reuse host names,
+        so pass ``prefixes`` (one label per collector, typically the cell
+        name) to namespace them as ``"<prefix>/<node_id>"``.
+
+        The inputs must share one ``measurement_start_s``: windowed
+        statistics (instability rates in particular) are computed over the
+        collector-wide measurement window, so merging shards with
+        different windows would silently change each shard's own numbers.
+        Merge e.g. a duration sweep per-cell instead.
+
+        The merged collector *references* the input records rather than
+        copying them: treat it as a read-only view over the shards.
+        """
+        sources = list(collectors)
+        if not sources:
+            raise ValueError("merge requires at least one collector")
+        if prefixes is not None and len(prefixes) != len(sources):
+            raise ValueError(
+                f"got {len(prefixes)} prefixes for {len(sources)} collectors"
+            )
+        starts = {c.measurement_start_s for c in sources}
+        if len(starts) > 1:
+            raise ValueError(
+                "cannot merge collectors with different measurement windows "
+                f"(measurement_start_s values: {sorted(starts)}); windowed "
+                "rates would change meaning across shards"
+            )
+        merged = cls(measurement_start_s=sources[0].measurement_start_s)
+        for index, collector in enumerate(sources):
+            prefix = f"{prefixes[index]}/" if prefixes is not None else ""
+            for node_id, record in collector._nodes.items():
+                key = prefix + node_id
+                if key in merged._nodes:
+                    raise ValueError(
+                        f"duplicate node id {key!r} while merging collectors; "
+                        "pass prefixes= to namespace the shards"
+                    )
+                merged._nodes[key] = record
+            if collector._first_time_s is not None:
+                merged._first_time_s = (
+                    collector._first_time_s
+                    if merged._first_time_s is None
+                    else min(merged._first_time_s, collector._first_time_s)
+                )
+            if collector._last_time_s is not None:
+                merged._last_time_s = (
+                    collector._last_time_s
+                    if merged._last_time_s is None
+                    else max(merged._last_time_s, collector._last_time_s)
+                )
+        return merged

@@ -26,6 +26,16 @@ __all__ = ["StabilityTracker"]
 class StabilityTracker:
     """Accumulates coordinate movement for one coordinate stream."""
 
+    __slots__ = (
+        "node_id",
+        "_previous",
+        "_first_time_s",
+        "_last_time_s",
+        "_total_movement_ms",
+        "_updates",
+        "_movements",
+    )
+
     def __init__(self, node_id: str) -> None:
         self.node_id = node_id
         self._previous: Optional[Coordinate] = None

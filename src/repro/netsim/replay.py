@@ -35,6 +35,12 @@ class ReplayResult:
         """Convenience accessor for the system-wide metric summary."""
         return self.collector.system_snapshot()
 
+    def application_coordinates(self):
+        """Final application-level coordinate per node (workload queries)."""
+        return {
+            node_id: node.application_coordinate for node_id, node in self.nodes.items()
+        }
+
 
 def replay_trace(
     trace: LatencyTrace,

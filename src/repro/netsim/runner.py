@@ -81,6 +81,13 @@ class SimulationResult:
         """System-wide metric summary over the measurement window."""
         return self.collector.system_snapshot()
 
+    def application_coordinates(self):
+        """Final application-level coordinate per host (workload queries)."""
+        return {
+            host_id: host.node.application_coordinate
+            for host_id, host in self.hosts.items()
+        }
+
 
 def run_simulation(
     config: SimulationConfig,

@@ -1,0 +1,39 @@
+"""Declarative scenario subsystem.
+
+This package turns the repo's evaluation conditions into data:
+
+* :mod:`repro.scenarios.spec` -- :class:`ScenarioSpec` and its component
+  specs (network, churn, workload), validation, serialisation, hashing;
+* :mod:`repro.scenarios.grid` -- :class:`ScenarioGrid` parameter sweeps;
+* :mod:`repro.scenarios.registry` -- the ``@scenario(name)`` registry;
+* :mod:`repro.scenarios.library` -- built-in scenarios porting the
+  ``fig*`` experiments (drift, deployment CDFs, churn ablation) and the
+  application-level overlay workloads;
+* :mod:`repro.scenarios.cli` -- the ``repro scenarios`` command group.
+
+Execution lives in :mod:`repro.engine`, which shards grids across worker
+processes and caches completed cells.
+"""
+
+from repro.scenarios.grid import ScenarioGrid
+from repro.scenarios.registry import get_scenario, iter_scenarios, scenario, scenario_names
+from repro.scenarios.spec import (
+    ChurnSpec,
+    NetworkSpec,
+    ScenarioError,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "ChurnSpec",
+    "NetworkSpec",
+    "ScenarioError",
+    "ScenarioGrid",
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "get_scenario",
+    "iter_scenarios",
+    "scenario",
+    "scenario_names",
+]

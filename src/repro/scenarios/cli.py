@@ -1,0 +1,256 @@
+"""The ``repro scenarios`` command group.
+
+Usage::
+
+    repro scenarios list
+    repro scenarios run fig07-drift planetlab-churn-30pct --workers 4
+    repro scenarios sweep knn-overlay --set window=16,32,64 --set threshold=4,8 \
+        --workers 4 --cache .scenario-cache --check-serial --bench-json BENCH_engine.json
+
+(``repro`` is the console entry point; ``python -m repro.analysis.cli``
+works identically.)  ``run`` executes registered scenarios; ``sweep``
+expands one registered scenario over parameter axes and shards the grid
+across worker processes.  ``--check-serial`` re-runs the grid serially
+and verifies the parallel output is byte-identical, reporting the
+speedup; ``--bench-json`` records that comparison as a benchmark
+artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.engine import execute
+from repro.engine.results import ScenarioResult
+from repro.scenarios.grid import ScenarioGrid
+from repro.scenarios.registry import get_scenario, iter_scenarios
+
+__all__ = ["main"]
+
+#: Headline metric columns printed per result (when defined).
+_SUMMARY_METRICS = (
+    ("median_of_median_application_error", "med err"),
+    ("median_of_p95_application_error", "p95 err"),
+    ("aggregate_application_instability", "instab ms/s"),
+    ("application_updates_per_node_per_s", "upd/node/s"),
+)
+
+
+def _parse_axis(raw: str) -> tuple:
+    if "=" not in raw:
+        raise argparse.ArgumentTypeError(
+            f"--set expects AXIS=V1[,V2,...], got {raw!r}"
+        )
+    name, _, values_raw = raw.partition("=")
+    values: List[Any] = []
+    for token in values_raw.split(","):
+        token = token.strip()
+        if not token:
+            raise argparse.ArgumentTypeError(
+                f"--set {name.strip()}: empty value in {values_raw!r}"
+            )
+        if token.lower() in ("true", "false"):
+            values.append(token.lower() == "true")
+            continue
+        for converter in (int, float):
+            try:
+                values.append(converter(token))
+                break
+            except ValueError:
+                continue
+        else:
+            values.append(token)
+    return name.strip(), tuple(values)
+
+
+def _format_metric(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.4g}"
+
+
+def _print_results(results: Sequence[ScenarioResult]) -> None:
+    name_width = max(len(result.name) for result in results)
+    header = f"{'scenario':<{name_width}}  " + "  ".join(
+        f"{label:>12}" for _, label in _SUMMARY_METRICS
+    ) + f"  {'time':>7}  cached"
+    print(header)
+    print("-" * len(header))
+    for result in results:
+        row = f"{result.name:<{name_width}}  " + "  ".join(
+            f"{_format_metric(result.metrics.get(key)):>12}" for key, _ in _SUMMARY_METRICS
+        )
+        print(f"{row}  {result.elapsed_s:>6.1f}s  {'yes' if result.cached else 'no'}")
+
+
+def _write_json(path: Path, results: Sequence[ScenarioResult]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps([result.to_dict() for result in results], indent=2))
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for name, spec in iter_scenarios():
+        print(
+            f"{name:<28} {spec.mode:<9} {spec.network.nodes:>4} nodes  "
+            f"{spec.workload.kind:<9} {spec.description}"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    specs = [get_scenario(name) for name in args.names]
+    report = execute(
+        specs, workers=args.workers, cache_dir=args.cache, mp_context=args.mp_context
+    )
+    _print_results(report.results)
+    print(
+        f"\n{len(report.results)} scenario(s) in {report.elapsed_s:.1f}s "
+        f"({report.workers} worker(s), {report.cache_hits} cache hit(s))"
+    )
+    if args.output is not None:
+        _write_json(args.output, report.results)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.bench_json is not None and not args.check_serial:
+        print("error: --bench-json requires --check-serial", file=sys.stderr)
+        return 2
+    base = get_scenario(args.name)
+    axes: Dict[str, tuple] = {}
+    for axis_name, values in args.set or []:
+        if axis_name in axes:
+            print(f"error: axis {axis_name!r} given more than once", file=sys.stderr)
+            return 2
+        axes[axis_name] = values
+    cells = ScenarioGrid(base).sweep(**axes)
+    total_nodes = sum(cell.network.nodes for cell in cells)
+    print(
+        f"sweeping {base.name!r}: {len(cells)} cell(s), {total_nodes} total nodes, "
+        f"{args.workers} worker(s)"
+    )
+    report = execute(
+        cells, workers=args.workers, cache_dir=args.cache, mp_context=args.mp_context
+    )
+    _print_results(report.results)
+    print(f"\nparallel wall-clock: {report.elapsed_s:.1f}s ({report.cache_hits} cache hit(s))")
+
+    if args.check_serial:
+        compared = report
+        if report.cache_hits:
+            # A partly cache-served run would make both the timing and the
+            # identity check meaningless; re-run the parallel leg fresh.
+            print("parallel run was partly cached; re-running uncached for the comparison")
+            compared = execute(cells, workers=args.workers, mp_context=args.mp_context)
+        serial = execute(cells, workers=1)
+        identical = serial.canonical_json() == compared.canonical_json()
+        speedup = (
+            serial.elapsed_s / compared.elapsed_s if compared.elapsed_s > 0 else float("nan")
+        )
+        print(
+            f"serial wall-clock: {serial.elapsed_s:.1f}s -> speedup {speedup:.2f}x, "
+            f"byte-identical: {identical}"
+        )
+        bench_record: Dict[str, Any] = {
+            "benchmark": "engine_scaling",
+            "scenario": base.name,
+            "axes": {name: list(values) for name, values in axes.items()},
+            "cells": len(cells),
+            "total_nodes": total_nodes,
+            "workers": compared.workers,
+            "mp_context": args.mp_context,
+            # Speedup is bounded by the host: worker processes time-share
+            # whatever cores exist, so a 1-core host can only demonstrate
+            # determinism, not scaling.
+            "host_cpu_count": os.cpu_count(),
+            "serial_s": round(serial.elapsed_s, 3),
+            "parallel_s": round(compared.elapsed_s, 3),
+            "speedup": round(speedup, 3),
+            "byte_identical": identical,
+        }
+        # Written before the divergence check: a failing comparison is
+        # exactly when the recorded evidence matters.
+        if args.bench_json is not None:
+            args.bench_json.write_text(json.dumps(bench_record, indent=2) + "\n")
+            print(f"benchmark record written to {args.bench_json}")
+        if not identical:
+            print("error: parallel results diverged from serial results", file=sys.stderr)
+            return 1
+    if args.output is not None:
+        _write_json(args.output, report.results)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro scenarios",
+        description="List and execute declarative scenarios.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list registered scenarios").set_defaults(
+        handler=_cmd_list
+    )
+
+    run = commands.add_parser("run", help="run registered scenarios by name")
+    run.add_argument("names", nargs="+", help="registered scenario names")
+    run.set_defaults(handler=_cmd_run)
+
+    sweep = commands.add_parser("sweep", help="expand one scenario over parameter axes")
+    sweep.add_argument("name", help="registered scenario to use as the grid base")
+    sweep.add_argument(
+        "--set",
+        action="append",
+        type=_parse_axis,
+        metavar="AXIS=V1[,V2,...]",
+        help="axis values (repeatable); e.g. --set window=16,32 --set nodes=64",
+    )
+    sweep.add_argument(
+        "--check-serial",
+        action="store_true",
+        help="re-run serially and verify the parallel output is byte-identical",
+    )
+    sweep.add_argument(
+        "--bench-json",
+        type=Path,
+        default=None,
+        help="write the serial-vs-parallel comparison to this JSON file",
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    for sub in (run, sweep):
+        sub.add_argument("--workers", type=int, default=1, help="worker processes")
+        sub.add_argument(
+            "--cache", type=Path, default=None, help="result cache directory"
+        )
+        sub.add_argument(
+            "--output", type=Path, default=None, help="write full results as JSON"
+        )
+        sub.add_argument(
+            "--mp-context",
+            choices=("spawn", "fork", "forkserver"),
+            default="spawn",
+            help="multiprocessing start method (fork starts faster on Linux)",
+        )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ValueError as exc:
+        # ScenarioError (spec/registry problems) and engine argument
+        # errors both surface as a one-line message, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

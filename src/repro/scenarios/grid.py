@@ -1,0 +1,125 @@
+"""Parameter-grid expansion over scenario specs.
+
+A :class:`ScenarioGrid` turns one base :class:`ScenarioSpec` plus a set of
+axes into the Cartesian product of concrete specs, one per grid cell::
+
+    grid = ScenarioGrid(base)
+    specs = grid.sweep(window=(16, 32, 64), threshold=(4.0, 8.0))
+    # -> 6 specs named "base[window=16,threshold=4.0]", ...
+
+Axis names are either full dotted paths into the spec's ``to_dict``
+representation (``"network.nodes"``, ``"heuristic_params.window_size"``)
+or one of the short aliases below, which map the paper's vocabulary onto
+the spec fields.  Sweeping a filter/heuristic parameter on a preset-based
+spec transparently resolves the preset into explicit fields first.
+
+Seeds follow the base spec's ``seed_policy``: ``fixed`` reuses the base
+seed for every cell (different configurations over the *same* universe --
+the paper's comparison methodology), while ``per_cell`` derives a distinct
+deterministic seed per cell (independent universes, e.g. for confidence
+intervals over repetitions; sweep ``"seed"`` explicitly for full control).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.scenarios.spec import ScenarioError, ScenarioSpec
+
+__all__ = ["ScenarioGrid", "AXIS_ALIASES"]
+
+#: Short axis names accepted by :meth:`ScenarioGrid.sweep`.
+AXIS_ALIASES: Dict[str, str] = {
+    "nodes": "network.nodes",
+    "shifting_fraction": "network.shifting_fraction",
+    "drift_fraction_per_hour": "network.drift_fraction_per_hour",
+    "noiseless": "network.noiseless",
+    "window": "heuristic_params.window_size",
+    "window_size": "heuristic_params.window_size",
+    "threshold": "heuristic_params.threshold",
+    "relative_threshold": "heuristic_params.relative_threshold",
+    "threshold_ms": "heuristic_params.threshold_ms",
+    "history": "filter_params.history",
+    "percentile": "filter_params.percentile",
+    "warmup": "filter_params.warmup",
+    "churning_fraction": "churn.churning_fraction",
+    "duration": "duration_s",
+    "workload": "workload.kind",
+}
+
+#: Dotted-path prefixes that require the preset to be resolved first.
+_CONFIG_PREFIXES = ("filter_params", "heuristic_params", "filter_kind", "heuristic_kind")
+
+
+def _set_path(payload: Dict[str, Any], path: str, value: Any) -> None:
+    parts = path.split(".")
+    target: Dict[str, Any] = payload
+    for part in parts[:-1]:
+        child = target.get(part)
+        if not isinstance(child, dict):
+            raise ScenarioError(
+                f"axis {path!r}: {part!r} is not a nested mapping in the spec "
+                f"(is the relevant feature enabled on the base spec?)"
+            )
+        target = child
+    target[parts[-1]] = value
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return format(value, "g")
+    return str(value)
+
+
+class ScenarioGrid:
+    """Cartesian-product expansion of a base spec over named axes."""
+
+    __slots__ = ("base",)
+
+    def __init__(self, base: ScenarioSpec) -> None:
+        self.base = base
+
+    def sweep(self, **axes: Sequence[Any]) -> List[ScenarioSpec]:
+        """Expand the grid: one spec per combination of axis values.
+
+        Axis order (keyword order) determines both the cell naming and the
+        expansion order, so grids are reproducible.
+        """
+        if not axes:
+            return [self.base]
+        resolved_axes: List[Tuple[str, str, Sequence[Any]]] = []
+        for alias, values in axes.items():
+            path = AXIS_ALIASES.get(alias, alias)
+            if isinstance(values, (str, bytes)) or not isinstance(values, Sequence):
+                values = (values,)
+            if len(values) == 0:
+                raise ScenarioError(f"axis {alias!r} has no values")
+            resolved_axes.append((alias, path, tuple(values)))
+
+        base = self.base
+        if any(path.split(".")[0] in _CONFIG_PREFIXES for _, path, _ in resolved_axes):
+            base = base.resolved()
+
+        specs: List[ScenarioSpec] = []
+        for combo in itertools.product(*(values for _, _, values in resolved_axes)):
+            payload = base.to_dict()
+            label = ",".join(
+                f"{alias}={_format_value(value)}"
+                for (alias, _, _), value in zip(resolved_axes, combo)
+            )
+            for (alias, path, _), value in zip(resolved_axes, combo):
+                _set_path(payload, path, value)
+            payload["name"] = f"{base.name}[{label}]"
+            spec = ScenarioSpec.from_dict(payload)
+            if spec.seed_policy == "per_cell" and "seed" not in axes:
+                spec = ScenarioSpec.from_dict(
+                    {**spec.to_dict(), "seed": base.derive_cell_seed(label)}
+                )
+            specs.append(spec)
+        return specs
+
+    @classmethod
+    def of(cls, base: ScenarioSpec, axes: Mapping[str, Sequence[Any]]) -> List[ScenarioSpec]:
+        """Functional form: ``ScenarioGrid.of(base, {"window": (16, 32)})``."""
+        return cls(base).sweep(**dict(axes))

@@ -1,0 +1,149 @@
+"""Built-in scenario library: the paper's conditions as declarative specs.
+
+Each entry replaces a bespoke ``fig*`` experiment path with data.  The
+equivalence tests in ``tests/test_scenarios.py`` pin the ported scenarios
+to their legacy experiment modules: same universe, same configuration,
+same numbers.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.registry import scenario
+from repro.scenarios.spec import ChurnSpec, NetworkSpec, ScenarioSpec, WorkloadSpec
+
+__all__ = ["FIG13_PRESETS"]
+
+#: The four side-by-side deployment configurations of Figure 13.
+FIG13_PRESETS = {
+    "raw": "Raw No Filter",
+    "raw_energy": "Energy+No Filter",
+    "mp": "Raw MP Filter",
+    "mp_energy": "Energy+MP Filter",
+}
+
+
+@scenario("fig07-drift")
+def _fig07_drift() -> ScenarioSpec:
+    """Figure 7: per-region coordinate drift over a changing network."""
+    return ScenarioSpec(
+        name="fig07-drift",
+        description="Coordinates drift consistently as routes shift (Figure 7)",
+        mode="replay",
+        network=NetworkSpec(nodes=24, shifting_fraction=0.5, drift_fraction_per_hour=0.10),
+        preset="mp",
+        duration_s=3600.0,
+        ping_interval_s=2.0,
+        workload=WorkloadSpec(kind="drift", params={"snapshot_interval_s": 60.0}),
+        seed=0,
+    )
+
+
+def _fig13_factory(preset: str, label: str):
+    def factory() -> ScenarioSpec:
+        return ScenarioSpec(
+            name=f"fig13-deployment-{preset.replace('_', '-')}",
+            description=f"Figure 13 deployment comparison: {label}",
+            mode="simulate",
+            network=NetworkSpec(nodes=30),
+            preset=preset,
+            duration_s=3600.0,
+            seed=0,
+        )
+
+    return factory
+
+
+for _preset, _label in FIG13_PRESETS.items():
+    scenario(f"fig13-deployment-{_preset.replace('_', '-')}")(_fig13_factory(_preset, _label))
+
+
+def _churn_ablation_factory(warmup: int):
+    def factory() -> ScenarioSpec:
+        return ScenarioSpec(
+            name=f"churn-ablation-warmup{warmup}",
+            description=(
+                "Protocol simulation under 30% churn with the MP filter's "
+                f"warm-up delay set to {warmup} sample(s)"
+            ),
+            mode="simulate",
+            network=NetworkSpec(nodes=20),
+            preset=None,
+            filter_kind="mp",
+            filter_params={"history": 4, "percentile": 25.0, "warmup": warmup},
+            heuristic_kind="energy",
+            heuristic_params={"threshold": 8.0, "window_size": 32},
+            duration_s=1800.0,
+            churn=ChurnSpec(churning_fraction=0.3, mean_session_s=400.0, mean_downtime_s=120.0),
+            seed=12,
+        )
+
+    return factory
+
+
+for _warmup in (1, 2):
+    scenario(f"churn-ablation-warmup{_warmup}")(_churn_ablation_factory(_warmup))
+
+
+@scenario("planetlab-churn-30pct")
+def _planetlab_churn() -> ScenarioSpec:
+    """The deployed configuration under 30% node churn."""
+    return ScenarioSpec(
+        name="planetlab-churn-30pct",
+        description="Deployed Energy+MP configuration with 30% of nodes churning",
+        mode="simulate",
+        network=NetworkSpec(nodes=30),
+        preset="mp_energy",
+        duration_s=3600.0,
+        churn=ChurnSpec(churning_fraction=0.3),
+        seed=0,
+    )
+
+
+@scenario("mesh-replay")
+def _mesh_replay() -> ScenarioSpec:
+    """A plain full-mesh replay sized for engine benchmarking.
+
+    ``bench_engine_scaling.py`` sweeps this scenario's filter parameters
+    into a >=500-node grid; it is also a convenient neutral base for ad-hoc
+    sweeps (``repro scenarios sweep mesh-replay --set nodes=...``).
+    """
+    return ScenarioSpec(
+        name="mesh-replay",
+        description="Full-mesh trace replay with the MP filter (benchmark base)",
+        mode="replay",
+        network=NetworkSpec(nodes=64),
+        preset="mp",
+        duration_s=600.0,
+        ping_interval_s=2.0,
+        seed=0,
+    )
+
+
+@scenario("knn-overlay")
+def _knn_overlay() -> ScenarioSpec:
+    """Application-level workload: k-nearest-neighbor queries."""
+    return ScenarioSpec(
+        name="knn-overlay",
+        description="kNN queries over application-level coordinates after a replay",
+        mode="replay",
+        network=NetworkSpec(nodes=24),
+        preset="mp_energy",
+        duration_s=1200.0,
+        workload=WorkloadSpec(kind="knn", params={"k": 3, "queries": 64}),
+        seed=0,
+    )
+
+
+@scenario("placement-overlay")
+def _placement_overlay() -> ScenarioSpec:
+    """Application-level workload: stream-operator placement."""
+    return ScenarioSpec(
+        name="placement-overlay",
+        description="Operator placement over application-level coordinates after a replay",
+        mode="replay",
+        network=NetworkSpec(nodes=24),
+        preset="mp_energy",
+        duration_s=1200.0,
+        workload=WorkloadSpec(kind="placement", params={"operators": 16, "endpoints": 3}),
+        seed=0,
+    )

@@ -1,0 +1,83 @@
+"""Named-scenario registry.
+
+Experiments register declarative scenario factories under stable names::
+
+    @scenario("planetlab-churn-30pct")
+    def _churned_deployment() -> ScenarioSpec:
+        return ScenarioSpec(name="planetlab-churn-30pct", mode="simulate", ...)
+
+Factories (rather than spec instances) are registered so that building a
+scenario is always side-effect free and cheap at import time; the spec is
+constructed -- and therefore validated -- when it is requested.  The CLI,
+the engine benchmarks and the tests all resolve scenarios through this
+registry, so "run the churn scenario at 500 nodes" is a name plus a grid
+axis, not a new script.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Tuple
+
+from repro.scenarios.spec import ScenarioError, ScenarioSpec
+
+__all__ = ["scenario", "get_scenario", "scenario_names", "iter_scenarios", "register"]
+
+ScenarioFactory = Callable[[], ScenarioSpec]
+
+_REGISTRY: Dict[str, ScenarioFactory] = {}
+
+
+def register(name: str, factory: ScenarioFactory) -> None:
+    """Register ``factory`` under ``name`` (programmatic form)."""
+    if name in _REGISTRY:
+        raise ScenarioError(f"scenario {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def scenario(name: str) -> Callable[[ScenarioFactory], ScenarioFactory]:
+    """Decorator form of :func:`register`.
+
+    The registered name wins over whatever ``name`` the factory's spec
+    carries: the spec is re-labelled on construction so registry lookups
+    and result labels always agree.
+    """
+
+    def decorator(factory: ScenarioFactory) -> ScenarioFactory:
+        register(name, factory)
+        return factory
+
+    return decorator
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Build the named scenario's spec (validated on construction)."""
+    _ensure_library_loaded()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise ScenarioError(f"unknown scenario {name!r}; known: {known}") from None
+    spec = factory()
+    if spec.name != name:
+        spec = ScenarioSpec.from_dict({**spec.to_dict(), "name": name})
+    return spec
+
+
+def scenario_names() -> List[str]:
+    _ensure_library_loaded()
+    return sorted(_REGISTRY)
+
+
+def iter_scenarios() -> Iterator[Tuple[str, ScenarioSpec]]:
+    for name in scenario_names():
+        yield name, get_scenario(name)
+
+
+def _ensure_library_loaded() -> None:
+    """Import the built-in scenario library exactly once.
+
+    Imported lazily to avoid a registry <-> library import cycle while
+    still making ``get_scenario("fig07-drift")`` work without the caller
+    importing the library module explicitly.
+    """
+    from repro.scenarios import library  # noqa: F401  (import registers)

@@ -1,10 +1,14 @@
-"""Tests for the experiment command-line interface."""
+"""Tests for the experiment and scenario command-line interfaces."""
 
 from __future__ import annotations
+
+import json
 
 import pytest
 
 from repro.analysis.cli import main, run_experiments
+from repro.scenarios import ScenarioSpec
+from repro.scenarios.registry import _REGISTRY, register
 
 
 class TestRunExperiments:
@@ -32,3 +36,121 @@ class TestMain:
     def test_named_experiment_prints_report(self, capsys):
         assert main(["fig06", "--seed", "1"]) == 0
         assert "Figure 6" in capsys.readouterr().out
+
+
+@pytest.fixture()
+def tiny_scenario():
+    """Register a fast throwaway scenario and clean it up afterwards."""
+    name = "cli-test-tiny"
+
+    def factory() -> ScenarioSpec:
+        payload = ScenarioSpec(
+            name=name, mode="replay", preset="mp", duration_s=120.0, seed=1
+        ).to_dict()
+        payload["network"] = {**payload["network"], "nodes": 6}
+        return ScenarioSpec.from_dict(payload)
+
+    register(name, factory)
+    try:
+        yield name
+    finally:
+        _REGISTRY.pop(name, None)
+
+
+class TestScenariosCommandGroup:
+    def test_list_shows_registered_scenarios(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig07-drift" in output
+        assert "planetlab-churn-30pct" in output
+
+    def test_run_prints_summary_and_writes_json(self, capsys, tmp_path, tiny_scenario):
+        output_path = tmp_path / "results.json"
+        assert (
+            main(["scenarios", "run", tiny_scenario, "--output", str(output_path)]) == 0
+        )
+        assert tiny_scenario in capsys.readouterr().out
+        payload = json.loads(output_path.read_text())
+        assert payload[0]["name"] == tiny_scenario
+        assert "median_of_median_application_error" in payload[0]["metrics"]
+
+    def test_run_unknown_scenario_is_an_error(self, capsys):
+        assert main(["scenarios", "run", "no-such-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_sweep_expands_and_caches(self, capsys, tmp_path, tiny_scenario):
+        cache_dir = tmp_path / "cache"
+        args = [
+            "scenarios",
+            "sweep",
+            tiny_scenario,
+            "--set",
+            "history=2,4",
+            "--cache",
+            str(cache_dir),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "2 cell(s)" in first
+        assert f"{tiny_scenario}[history=2]" in first
+        assert main(args) == 0
+        assert "2 cache hit(s)" in capsys.readouterr().out
+
+    def test_sweep_check_serial_reports_byte_identical(
+        self, capsys, tmp_path, tiny_scenario
+    ):
+        bench_path = tmp_path / "bench.json"
+        args = [
+            "scenarios",
+            "sweep",
+            tiny_scenario,
+            "--set",
+            "history=2,4",
+            "--check-serial",
+            "--bench-json",
+            str(bench_path),
+        ]
+        assert main(args) == 0
+        assert "byte-identical: True" in capsys.readouterr().out
+        record = json.loads(bench_path.read_text())
+        assert record["byte_identical"] is True
+        assert record["cells"] == 2
+
+    def test_sweep_boolean_axis_parses_real_booleans(self, capsys, tiny_scenario):
+        # 'false' must become False, not a truthy string (which would
+        # silently enable the flag in every cell).
+        assert (
+            main(["scenarios", "sweep", tiny_scenario, "--set", "noiseless=true,false"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"{tiny_scenario}[noiseless=True]" in out
+        assert f"{tiny_scenario}[noiseless=False]" in out
+
+    def test_sweep_duplicate_axis_is_an_error(self, capsys, tiny_scenario):
+        args = [
+            "scenarios", "sweep", tiny_scenario,
+            "--set", "history=2", "--set", "history=4",
+        ]
+        assert main(args) == 2
+        assert "given more than once" in capsys.readouterr().err
+
+    def test_sweep_bad_axis_value_is_a_readable_error(self, capsys, tiny_scenario):
+        args = ["scenarios", "sweep", tiny_scenario, "--set", "history=zebra"]
+        assert main(args) == 2
+        assert "coordinate configuration invalid" in capsys.readouterr().err
+
+    def test_check_serial_reruns_uncached_for_fair_comparison(
+        self, capsys, tmp_path, tiny_scenario
+    ):
+        cache_dir = tmp_path / "cache"
+        base_args = [
+            "scenarios", "sweep", tiny_scenario,
+            "--set", "history=2,4", "--cache", str(cache_dir),
+        ]
+        assert main(base_args) == 0
+        capsys.readouterr()
+        assert main([*base_args, "--check-serial"]) == 0
+        out = capsys.readouterr().out
+        assert "re-running uncached" in out
+        assert "byte-identical: True" in out

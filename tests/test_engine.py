@@ -1,0 +1,166 @@
+"""Tests for the sharded execution engine: determinism, caching, merging."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.engine import ResultCache, ScenarioResult, execute, run_scenario
+from repro.metrics.collector import MetricsCollector
+from repro.scenarios import ScenarioGrid, ScenarioSpec
+
+
+def _start_method() -> str:
+    """Prefer fork (fast, Linux) but fall back to the portable default."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+@pytest.fixture(scope="module")
+def small_grid() -> list:
+    base = ScenarioSpec(
+        name="engine-test",
+        mode="replay",
+        preset="mp",
+        duration_s=200.0,
+        ping_interval_s=2.0,
+        seed=5,
+    )
+    # 4 cells x 8 nodes; heterogeneous filter settings.
+    base_dict = base.to_dict()
+    base_dict["network"] = {**base_dict["network"], "nodes": 8}
+    return ScenarioGrid(ScenarioSpec.from_dict(base_dict)).sweep(
+        history=(2, 4), percentile=(25, 50)
+    )
+
+
+class TestDeterminism:
+    def test_same_spec_twice_is_byte_identical(self, small_grid):
+        first = run_scenario(small_grid[0]).result
+        second = run_scenario(small_grid[0]).result
+        assert first.canonical_json() == second.canonical_json()
+
+    def test_serial_vs_parallel_byte_identical(self, small_grid):
+        serial = execute(small_grid, workers=1)
+        parallel = execute(small_grid, workers=2, mp_context=_start_method())
+        assert parallel.workers == 2
+        assert serial.canonical_json() == parallel.canonical_json()
+        # Results come back in spec order regardless of completion order.
+        assert [r.name for r in parallel.results] == [s.name for s in small_grid]
+
+    def test_simulate_mode_parallel_matches_serial(self):
+        base = ScenarioSpec(
+            name="engine-sim-test",
+            mode="simulate",
+            preset="mp_energy",
+            duration_s=200.0,
+            seed=3,
+        )
+        payload = base.to_dict()
+        payload["network"] = {**payload["network"], "nodes": 8}
+        cells = ScenarioGrid(ScenarioSpec.from_dict(payload)).sweep(
+            **{"loss_probability": (0.0, 0.05)}
+        )
+        serial = execute(cells, workers=1)
+        parallel = execute(cells, workers=2, mp_context=_start_method())
+        assert serial.canonical_json() == parallel.canonical_json()
+
+
+class TestCache:
+    def test_second_run_is_served_from_cache(self, small_grid, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first = execute(small_grid, workers=1, cache_dir=cache_dir)
+        assert first.cache_hits == 0
+        second = execute(small_grid, workers=1, cache_dir=cache_dir)
+        assert second.cache_hits == len(small_grid)
+        assert all(result.cached for result in second.results)
+        assert first.canonical_json() == second.canonical_json()
+
+    def test_cache_is_incremental_per_cell(self, small_grid, tmp_path):
+        cache_dir = tmp_path / "cache"
+        execute(small_grid[:2], workers=1, cache_dir=cache_dir)
+        report = execute(small_grid, workers=1, cache_dir=cache_dir)
+        assert report.cache_hits == 2
+
+    def test_cache_keyed_by_seed(self, small_grid, tmp_path):
+        cache_dir = tmp_path / "cache"
+        execute(small_grid[:1], workers=1, cache_dir=cache_dir)
+        reseeded = ScenarioSpec.from_dict({**small_grid[0].to_dict(), "seed": 99})
+        report = execute([reseeded], workers=1, cache_dir=cache_dir)
+        assert report.cache_hits == 0
+
+    def test_corrupt_cache_entry_is_a_miss(self, small_grid, tmp_path):
+        cache_dir = tmp_path / "cache"
+        execute(small_grid[:1], workers=1, cache_dir=cache_dir)
+        for entry in cache_dir.glob("*.json"):
+            entry.write_text("{not json")
+        report = execute(small_grid[:1], workers=1, cache_dir=cache_dir)
+        assert report.cache_hits == 0
+
+    def test_cached_result_restores_current_name(self, small_grid, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run = run_scenario(small_grid[0])
+        cache.put(run.result)
+        renamed = ScenarioSpec.from_dict(
+            {**small_grid[0].to_dict(), "name": "renamed-cell"}
+        )
+        cached = cache.get(renamed)
+        assert cached is not None
+        assert cached.cached
+        assert cached.name == "renamed-cell"
+        assert cached.metrics == run.result.metrics
+
+
+class TestCollectorMerging:
+    def test_merged_collector_spans_the_grid(self, small_grid):
+        report = execute(
+            small_grid[:2], workers=2, keep_collectors=True, mp_context=_start_method()
+        )
+        merged = report.merged_collector()
+        assert merged.system_snapshot().node_count == 16
+        prefixes = {node_id.split("/")[0] for node_id in merged.node_ids()}
+        assert prefixes == {small_grid[0].name, small_grid[1].name}
+
+    def test_merged_collector_requires_keep_collectors(self, small_grid):
+        report = execute(small_grid[:1], workers=1)
+        with pytest.raises(ValueError, match="keep_collectors"):
+            report.merged_collector()
+
+    def test_merge_rejects_colliding_node_ids(self, small_grid):
+        collector = run_scenario(small_grid[0]).collector
+        with pytest.raises(ValueError, match="duplicate node id"):
+            MetricsCollector.merge([collector, collector])
+
+    def test_merge_rejects_different_measurement_windows(self, small_grid):
+        # Shards from a duration sweep have different windows; windowed
+        # rates (instability) would silently change meaning if merged.
+        collector = run_scenario(small_grid[0]).collector
+        other_spec = ScenarioSpec.from_dict(
+            {**small_grid[0].to_dict(), "duration_s": 300.0}
+        )
+        other = run_scenario(other_spec).collector
+        with pytest.raises(ValueError, match="different measurement windows"):
+            MetricsCollector.merge([collector, other], prefixes=["a", "b"])
+
+    def test_merge_preserves_aggregate_metrics(self, small_grid):
+        collectors = [run_scenario(spec).collector for spec in small_grid[:2]]
+        merged = MetricsCollector.merge(collectors, prefixes=["a", "b"])
+        expected = sum(c.aggregate_instability(level="system") for c in collectors)
+        assert merged.aggregate_instability(level="system") == pytest.approx(expected)
+
+
+class TestScenarioResult:
+    def test_round_trip(self, small_grid):
+        result = run_scenario(small_grid[0]).result
+        clone = ScenarioResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert clone.canonical_json() == result.canonical_json()
+
+    def test_canonical_json_excludes_timing(self, small_grid):
+        result = run_scenario(small_grid[0]).result
+        assert result.elapsed_s > 0.0
+        assert "elapsed" not in result.canonical_json()
+
+    def test_workers_must_be_positive(self, small_grid):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            execute(small_grid, workers=0)

@@ -47,3 +47,8 @@ class TestExamples:
         result = _run("streaming_overlay_placement.py")
         assert result.returncode == 0, result.stderr
         assert "placement work" in result.stdout
+
+    def test_scenario_sweep_uses_cache_on_rerun(self):
+        result = _run("scenario_sweep.py", "--nodes", "8", "--minutes", "5")
+        assert result.returncode == 0, result.stderr
+        assert "4/4 cells served from the cache" in result.stdout

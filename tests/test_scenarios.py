@@ -1,0 +1,292 @@
+"""Tests for the declarative scenario layer (spec, grid, registry, library).
+
+Includes the equivalence suite pinning the ported scenarios to their
+legacy experiment paths: the same universe and configuration must produce
+the same numbers whether driven by a ``fig*`` module or by a spec.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import EXPERIMENTS, fig07_drift, fig13_deployment_cdfs
+from repro.core.config import FilterConfig, HeuristicConfig, NodeConfig
+from repro.engine import run_scenario
+from repro.netsim.churn import ChurnConfig
+from repro.netsim.runner import SimulationConfig, run_simulation
+from repro.scenarios import (
+    ChurnSpec,
+    NetworkSpec,
+    ScenarioError,
+    ScenarioGrid,
+    ScenarioSpec,
+    WorkloadSpec,
+    get_scenario,
+    iter_scenarios,
+    scenario_names,
+)
+
+
+def _with(spec: ScenarioSpec, **overrides) -> ScenarioSpec:
+    """A copy of ``spec`` with top-level fields overridden."""
+    return ScenarioSpec.from_dict({**spec.to_dict(), **overrides})
+
+
+def _scaled(spec: ScenarioSpec, nodes: int, duration_s: float) -> ScenarioSpec:
+    payload = spec.to_dict()
+    payload["network"] = {**payload["network"], "nodes": nodes}
+    payload["duration_s"] = duration_s
+    return ScenarioSpec.from_dict(payload)
+
+
+class TestScenarioSpecValidation:
+    def test_valid_spec_constructs(self):
+        spec = ScenarioSpec(name="ok", duration_s=100.0)
+        assert spec.resolved_measurement_start_s() == 50.0
+
+    def test_reports_all_errors_at_once_with_name(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            ScenarioSpec(
+                name="broken",
+                mode="teleport",
+                duration_s=-1.0,
+                network=NetworkSpec(nodes=1),
+            )
+        message = str(excinfo.value)
+        assert "scenario 'broken'" in message
+        assert "mode must be" in message
+        assert "duration_s must be positive" in message
+        assert "network.nodes must be >= 2" in message
+
+    def test_churn_requires_simulate_mode(self):
+        with pytest.raises(ScenarioError, match="churn requires mode='simulate'"):
+            ScenarioSpec(name="x", mode="replay", churn=ChurnSpec())
+
+    def test_drift_workload_requires_replay(self):
+        with pytest.raises(ScenarioError, match="drift workload requires mode='replay'"):
+            ScenarioSpec(name="x", mode="simulate", workload=WorkloadSpec(kind="drift"))
+
+    def test_unknown_workload_kind_rejected(self):
+        with pytest.raises(ScenarioError, match="workload.kind"):
+            ScenarioSpec(name="x", workload=WorkloadSpec(kind="rendering"))
+
+    def test_unknown_workload_param_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown parameters"):
+            ScenarioSpec(name="x", workload=WorkloadSpec(kind="knn", params={"kk": 3}))
+
+    def test_preset_or_explicit_config_required(self):
+        with pytest.raises(ScenarioError, match="either a preset"):
+            ScenarioSpec(name="x", preset=None)
+
+    def test_unknown_heavy_tail_parameter_rejected(self):
+        with pytest.raises(ScenarioError, match="heavy_tail"):
+            ScenarioSpec(name="x", network=NetworkSpec(heavy_tail={"tail": 1.0}))
+
+
+class TestScenarioSpecSerialisation:
+    def test_round_trip(self):
+        spec = get_scenario("churn-ablation-warmup2")
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ScenarioError, match="unknown fields"):
+            ScenarioSpec.from_dict({"name": "x", "velocity": 3})
+
+    def test_hash_ignores_name_description_and_seed(self):
+        spec = ScenarioSpec(name="a", description="one", seed=1)
+        other = ScenarioSpec(name="b", description="two", seed=2)
+        assert spec.spec_hash() == other.spec_hash()
+
+    def test_hash_changes_with_content(self):
+        spec = ScenarioSpec(name="a")
+        other = _with(spec, duration_s=spec.duration_s + 1.0)
+        assert spec.spec_hash() != other.spec_hash()
+
+    def test_node_config_preset_with_overrides(self):
+        spec = ScenarioSpec(
+            name="x",
+            preset="mp_energy",
+            heuristic_kind="energy",
+            heuristic_params={"threshold": 4.0, "window_size": 16},
+        )
+        config = spec.node_config()
+        assert config.filter.kind == "mp"
+        assert config.heuristic.params["threshold"] == 4.0
+
+    def test_resolved_expands_preset(self):
+        resolved = get_scenario("fig07-drift").resolved()
+        assert resolved.preset is None
+        assert resolved.filter_kind == "mp"
+        assert resolved.node_config() == get_scenario("fig07-drift").node_config()
+
+
+class TestScenarioGrid:
+    def test_cartesian_expansion_and_naming(self):
+        base = ScenarioSpec(name="base", preset="mp_energy")
+        cells = ScenarioGrid(base).sweep(window=(16, 32), threshold=(4.0, 8.0))
+        assert [cell.name for cell in cells] == [
+            "base[window=16,threshold=4]",
+            "base[window=16,threshold=8]",
+            "base[window=32,threshold=4]",
+            "base[window=32,threshold=8]",
+        ]
+        assert {cell.heuristic_params["window_size"] for cell in cells} == {16, 32}
+        # Sweeping heuristic params resolves the preset but keeps its filter.
+        assert all(cell.filter_kind == "mp" for cell in cells)
+
+    def test_dotted_paths_and_scalar_values(self):
+        base = ScenarioSpec(name="base")
+        cells = ScenarioGrid(base).sweep(**{"network.nodes": (8, 16), "duration": 300.0})
+        assert [cell.network.nodes for cell in cells] == [8, 16]
+        assert all(cell.duration_s == 300.0 for cell in cells)
+
+    def test_fixed_seed_policy_shares_the_universe(self):
+        base = ScenarioSpec(name="base", seed=7)
+        cells = ScenarioGrid(base).sweep(window=(16, 32))
+        assert [cell.seed for cell in cells] == [7, 7]
+
+    def test_per_cell_seed_policy_derives_distinct_seeds(self):
+        base = ScenarioSpec(name="base", seed=7, seed_policy="per_cell")
+        cells = ScenarioGrid(base).sweep(window=(16, 32))
+        assert cells[0].seed != cells[1].seed
+        # ... deterministically.
+        again = ScenarioGrid(base).sweep(window=(16, 32))
+        assert [c.seed for c in again] == [c.seed for c in cells]
+
+    def test_invalid_axis_path_is_readable(self):
+        base = ScenarioSpec(name="base")
+        with pytest.raises(ScenarioError, match="churn.*not a nested mapping"):
+            ScenarioGrid(base).sweep(churning_fraction=(0.1, 0.2))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ScenarioError, match="no values"):
+            ScenarioGrid(ScenarioSpec(name="base")).sweep(window=())
+
+    def test_no_axes_returns_base(self):
+        base = ScenarioSpec(name="base")
+        assert ScenarioGrid(base).sweep() == [base]
+
+
+class TestRegistry:
+    def test_library_scenarios_registered(self):
+        names = scenario_names()
+        for expected in (
+            "fig07-drift",
+            "fig13-deployment-mp-energy",
+            "churn-ablation-warmup1",
+            "churn-ablation-warmup2",
+            "planetlab-churn-30pct",
+        ):
+            assert expected in names
+
+    def test_unknown_scenario_error_lists_known(self):
+        with pytest.raises(ScenarioError, match="unknown scenario 'nope'; known:"):
+            get_scenario("nope")
+
+    def test_every_registered_scenario_builds_and_validates(self):
+        for name, spec in iter_scenarios():
+            assert spec.name == name
+            spec.node_config()  # resolvable configuration
+            assert spec.spec_hash()
+
+
+class TestBenchmarkRegistryCompleteness:
+    """Every ``benchmarks/bench_fig*.py`` maps to a registered experiment."""
+
+    def test_every_fig_benchmark_has_a_registered_experiment(self):
+        benchmarks_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+        bench_files = sorted(benchmarks_dir.glob("bench_fig*.py"))
+        assert bench_files, "expected bench_fig*.py modules in benchmarks/"
+        for bench in bench_files:
+            match = re.match(r"bench_(fig\d+)_", bench.name)
+            assert match is not None, f"unparseable benchmark name {bench.name}"
+            experiment_id = match.group(1)
+            assert experiment_id in EXPERIMENTS, (
+                f"{bench.name} has no registered experiment {experiment_id!r} "
+                "in repro.analysis.experiments"
+            )
+
+
+class TestLegacyEquivalence:
+    """Ported scenarios reproduce the legacy experiment paths exactly."""
+
+    NODES = 12
+    DURATION_S = 600.0
+
+    def test_fig07_drift_scenario_matches_legacy(self):
+        legacy = fig07_drift.run(
+            nodes=self.NODES,
+            duration_s=self.DURATION_S,
+            ping_interval_s=2.0,
+            seed=0,
+            snapshot_interval_s=60.0,
+        )
+        spec = _scaled(get_scenario("fig07-drift"), self.NODES, self.DURATION_S)
+        run = run_scenario(spec)
+        tracked = run.result.workload["tracked"]
+        assert len(tracked) == len(legacy.tracked)
+        for scenario_drift, legacy_drift in zip(tracked, legacy.tracked):
+            assert scenario_drift["node_id"] == legacy_drift.node_id
+            assert scenario_drift["region"] == legacy_drift.region
+            assert scenario_drift["net_displacement_ms"] == legacy_drift.net_displacement_ms
+            assert scenario_drift["path_length_ms"] == legacy_drift.path_length_ms
+            assert scenario_drift["consistency"] == legacy_drift.consistency
+        assert (
+            run.result.metrics["drift_mean_net_displacement_ms"]
+            == legacy.mean_net_displacement()
+        )
+
+    @pytest.mark.parametrize(
+        "preset,label",
+        [("raw", "Raw No Filter"), ("mp_energy", "Energy+MP Filter")],
+    )
+    def test_fig13_deployment_scenario_matches_legacy(self, preset, label):
+        legacy = fig13_deployment_cdfs.run(
+            nodes=self.NODES, duration_s=self.DURATION_S, seed=0
+        )
+        spec = _scaled(
+            get_scenario(f"fig13-deployment-{preset.replace('_', '-')}"),
+            self.NODES,
+            self.DURATION_S,
+        )
+        run = run_scenario(spec)
+        assert (
+            sorted(run.result.per_node["p95_application_error"].values())
+            == legacy.p95_error[label]
+        )
+        assert (
+            sorted(run.result.per_node["application_instability"].values())
+            == legacy.node_instability[label]
+        )
+
+    def test_churn_ablation_scenario_matches_legacy(self):
+        # The legacy path: a hand-built SimulationConfig, exactly as
+        # benchmarks/bench_ablation_churn.py constructs it.
+        node_config = NodeConfig(
+            filter=FilterConfig("mp", {"history": 4, "percentile": 25.0, "warmup": 2}),
+            heuristic=HeuristicConfig("energy", {"threshold": 8.0, "window_size": 32}),
+        )
+        legacy = run_simulation(
+            SimulationConfig(
+                nodes=self.NODES,
+                duration_s=self.DURATION_S,
+                node_config=node_config,
+                churn=ChurnConfig(
+                    churning_fraction=0.3, mean_session_s=400.0, mean_downtime_s=120.0
+                ),
+                seed=12,
+            )
+        )
+        spec = _scaled(
+            get_scenario("churn-ablation-warmup2"), self.NODES, self.DURATION_S
+        )
+        run = run_scenario(spec)
+        assert run.result.metrics["churn_transitions"] == float(legacy.churn_transitions)
+        assert run.result.metrics["churn_transitions"] > 0
+        legacy_snapshot = asdict(legacy.collector.system_snapshot())
+        for key, value in legacy_snapshot.items():
+            assert run.result.metrics[key] == value, key

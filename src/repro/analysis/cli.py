@@ -8,13 +8,17 @@ Usage::
     python -m repro.analysis.cli fig13 --output results/
     python -m repro.analysis.cli scenarios list
     python -m repro.analysis.cli scenarios sweep knn-overlay --set window=16,32
+    python -m repro.analysis.cli serve mesh-replay --out snapshot.json
+    python -m repro.analysis.cli query --snapshot snapshot.json knn host-0003
 
 Each experiment prints its paper-style report to stdout; ``--output DIR``
 additionally writes one ``<experiment>.txt`` file per experiment so runs
 can be archived and diffed.  The ``scenarios`` command group (see
 :mod:`repro.scenarios.cli`) lists and executes declarative scenarios on
-the sharded engine; with the package installed, the console script
-``repro`` exposes the same interface (``repro scenarios sweep ...``).
+the sharded engine; the ``serve`` and ``query`` groups (see
+:mod:`repro.service.cli`) expose the coordinate query service.  With the
+package installed, the console script ``repro`` exposes the same
+interface (``repro scenarios sweep ...``, ``repro serve ...``).
 """
 
 from __future__ import annotations
@@ -83,6 +87,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.scenarios.cli import main as scenarios_main
 
         return scenarios_main(argv[1:])
+    if argv and argv[0] in ("serve", "query"):
+        # The query-service groups keep the group name: their shared
+        # parser distinguishes serve from query itself.
+        from repro.service.cli import main as service_main
+
+        return service_main(argv)
 
     parser = argparse.ArgumentParser(
         prog="repro",

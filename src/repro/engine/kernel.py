@@ -208,6 +208,8 @@ def _run_workload(
         return _knn_workload(spec, dataset, coordinates)
     if kind == "placement":
         return _placement_workload(spec, dataset, coordinates)
+    if kind == "queries":
+        return _queries_workload(spec, coordinates, workload_payload)
     return {}
 
 
@@ -250,6 +252,85 @@ def _knn_workload(spec, dataset, coordinates) -> Dict[str, Optional[float]]:
     return {
         "knn_mean_overlap": float(sum(overlaps) / len(overlaps)),
         "knn_mean_stretch": float(sum(stretches) / len(stretches)),
+    }
+
+
+def _queries_workload(
+    spec: ScenarioSpec,
+    coordinates: Dict[str, Coordinate],
+    workload_payload: Dict[str, Any],
+) -> Dict[str, Optional[float]]:
+    """Serve a deterministic query mix from the coordinate query service.
+
+    The final coordinates are committed into a
+    :class:`~repro.service.snapshot.SnapshotStore` and a seeded query
+    stream is driven through the batching planner twice -- once on the
+    configured spatial index and once on the linear oracle -- so the cell
+    reports both the service's behaviour (cache hit rate, per-kind counts)
+    and an end-to-end index/oracle agreement check.  The planner's clock
+    and timer are pinned to a logical zero so every reported number is a
+    pure function of the spec: engine results stay byte-identical across
+    worker counts and cache states.
+    """
+    from repro.service.planner import QueryPlanner
+    from repro.service.snapshot import SnapshotStore
+    from repro.service.workload import generate_queries, run_workload
+
+    hosts = sorted(coordinates)
+    if len(hosts) < 2:
+        return {"query_count": None, "query_cache_hit_rate": None}
+    workload = spec.workload
+    queries = generate_queries(
+        hosts,
+        int(workload.param("count")),
+        mix=str(workload.param("mix")),
+        seed=spec.seed,
+        k=int(workload.param("k")),
+        radius_ms=float(workload.param("radius_ms")),
+    )
+
+    def serve(index_kind: str):
+        store = SnapshotStore.from_coordinates(
+            coordinates, index_kind=index_kind, source=spec.name
+        )
+        planner = QueryPlanner(
+            store,
+            cache_entries=int(workload.param("cache_entries")),
+            clock=lambda: 0.0,
+            timer=lambda: 0.0,
+        )
+        return run_workload(
+            planner,
+            queries,
+            batch_size=int(workload.param("batch_size")),
+            timer=lambda: 0.0,
+        )
+
+    index_kind = str(workload.param("index"))
+    indexed = serve(index_kind)
+    # With the linear index configured the oracle run would compare the
+    # linear scan with itself; skip the duplicate work.
+    oracle = indexed if index_kind == "linear" else serve("linear")
+    neighbor_rtts = [
+        neighbor["predicted_rtt_ms"]
+        for result in indexed.results
+        if result.query.kind in ("knn", "nearest")
+        for neighbor in result.payload["neighbors"]
+    ]
+    workload_payload.update(
+        {
+            "index_kind": index_kind,
+            "checksum": indexed.checksum,
+            "stats": dict(indexed.stats),
+        }
+    )
+    return {
+        "query_count": float(indexed.query_count),
+        "query_cache_hit_rate": float(indexed.cache_hit_rate),
+        "query_index_linear_agreement": float(indexed.checksum == oracle.checksum),
+        "query_mean_neighbor_rtt_ms": (
+            float(sum(neighbor_rtts) / len(neighbor_rtts)) if neighbor_rtts else None
+        ),
     }
 
 

@@ -158,6 +158,25 @@ class MetricsCollector:
     def node_ids(self) -> List[str]:
         return list(self._nodes)
 
+    def latest_coordinates(self, *, level: str = "application") -> Dict[str, Coordinate]:
+        """Each node's most recently recorded coordinate at ``level``.
+
+        This is the ingest feed of the coordinate query service
+        (:mod:`repro.service.snapshot`): a collector attached to a netsim
+        or replay run exposes the live coordinate of every node it has
+        seen, and the snapshot store turns successive reads into versioned
+        point-in-time views.  Nodes that have not recorded any coordinate
+        yet are omitted.
+        """
+        results: Dict[str, Coordinate] = {}
+        for node_id, record in self._nodes.items():
+            tracker = (
+                record.system_stability if level == "system" else record.application_stability
+            )
+            if tracker.latest is not None:
+                results[node_id] = tracker.latest
+        return results
+
     # ------------------------------------------------------------------
     # Per-node summaries
     # ------------------------------------------------------------------

@@ -69,6 +69,16 @@ class StabilityTracker:
         return self._total_movement_ms
 
     @property
+    def latest(self) -> Optional[Coordinate]:
+        """The most recently recorded coordinate (None before any record).
+
+        This is what the coordinate query service ingests: the tracker
+        already sees every movement of the stream, so its tail doubles as
+        the node's current position without additional bookkeeping.
+        """
+        return self._previous
+
+    @property
     def update_count(self) -> int:
         """Number of recorded observations that actually moved the coordinate."""
         return self._updates

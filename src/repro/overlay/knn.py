@@ -3,9 +3,17 @@
 Once nodes have coordinates, "who is closest to X" becomes a geometric
 query instead of a measurement campaign.  :class:`CoordinateIndex` is a
 small in-memory index over the application-level coordinates of a set of
-nodes supporting k-nearest-neighbor and range queries.  A linear scan is
-used: the systems in the paper have hundreds of nodes, where a scan is both
-faster and simpler than a spatial tree.
+nodes supporting k-nearest-neighbor, range and minimum-cost-host queries.
+A linear scan is used: the systems in the paper have hundreds of nodes,
+where a scan is both faster and simpler than a spatial tree.
+
+At query-service scale the scan is the bottleneck, so this class doubles
+as the *pluggable query contract*: the sub-linear spatial implementations
+in :mod:`repro.service.index` subclass it, inherit the maintenance API,
+and override the query methods.  The linear scan stays the correctness
+oracle -- any implementation must return exactly what this class returns,
+including ordering (ties are broken by insertion order, matching the
+stable sort over the insertion-ordered backing dict).
 """
 
 from __future__ import annotations
@@ -89,3 +97,25 @@ class CoordinateIndex:
         ]
         hits.sort(key=lambda pair: pair[1])
         return hits
+
+    def min_cost_host(self, endpoints: Sequence[Coordinate]) -> Tuple[str, float]:
+        """The indexed node minimising total predicted RTT to ``endpoints``.
+
+        This is the 1-median query behind operator placement: the returned
+        host minimises ``sum(host.distance(e) for e in endpoints)``.  Ties
+        are broken toward the earliest-inserted host (the first strict
+        minimum encountered in insertion order), which spatial subclasses
+        must reproduce exactly.
+        """
+        if not endpoints:
+            raise ValueError("min_cost_host needs at least one endpoint")
+        best_host: Optional[str] = None
+        best_cost = float("inf")
+        for node_id, coordinate in self._coordinates.items():
+            cost = sum(coordinate.distance(endpoint) for endpoint in endpoints)
+            if cost < best_cost:
+                best_cost = cost
+                best_host = node_id
+        if best_host is None:
+            raise ValueError("cannot run min_cost_host on an empty index")
+        return best_host, best_cost

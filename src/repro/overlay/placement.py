@@ -37,7 +37,10 @@ class OperatorPlacement:
     ----------
     index:
         The coordinate index of candidate hosts (typically fed with
-        application-level coordinates).
+        application-level coordinates).  Any :class:`CoordinateIndex`
+        implementation works; the spatial indexes in
+        :mod:`repro.service.index` answer the placement query sub-linearly
+        with results identical to the linear scan.
     migration_hysteresis_ms:
         A new host must beat the current placement's predicted cost by at
         least this margin before a migration is triggered.  ``0`` migrates
@@ -99,16 +102,10 @@ class OperatorPlacement:
                 f"none of the endpoints of {operator_id!r} have known coordinates"
             )
 
-        best_host: Optional[str] = None
-        best_cost = float("inf")
-        for host_id in self.index.node_ids():
-            host_coordinate = self.index.coordinate_of(host_id)
-            assert host_coordinate is not None
-            cost = self._placement_cost(host_coordinate, endpoint_coordinates)
-            if cost < best_cost:
-                best_cost = cost
-                best_host = host_id
-        assert best_host is not None
+        # Delegated to the index so spatial implementations can answer the
+        # 1-median query sub-linearly; the linear base class reproduces the
+        # historical first-strict-minimum scan exactly.
+        best_host, best_cost = self.index.min_cost_host(endpoint_coordinates)
 
         previous = self._placements.get(operator_id)
         migrated = False

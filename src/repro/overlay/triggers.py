@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.coordinate import Coordinate
+from repro.overlay.knn import CoordinateIndex
 
 __all__ = ["MigrationCost", "UpdateTriggerAccountant"]
 
@@ -37,11 +38,26 @@ class MigrationCost:
 
 
 class UpdateTriggerAccountant:
-    """Tracks coordinate updates per node and the application work they imply."""
+    """Tracks coordinate updates per node and the application work they imply.
 
-    def __init__(self, cost_model: MigrationCost | None = None) -> None:
+    The per-node "last seen coordinate" state lives in a pluggable
+    :class:`~repro.overlay.knn.CoordinateIndex` rather than a bare dict, so
+    the accountant can also answer proximity questions about the nodes it
+    tracks ("which nodes migrated near X?").  The linear default is the
+    right choice for the usual record-heavy access pattern: every update
+    marks a spatial index dirty, so a sub-linear index from
+    :mod:`repro.service.index` only pays off when updates arrive in bulk
+    *before* a query-heavy phase (one rebuild amortised over many queries).
+    """
+
+    def __init__(
+        self,
+        cost_model: MigrationCost | None = None,
+        *,
+        index: CoordinateIndex | None = None,
+    ) -> None:
         self.cost_model = cost_model or MigrationCost()
-        self._last_coordinate: Dict[str, Coordinate] = {}
+        self.index = index if index is not None else CoordinateIndex()
         self._updates: Dict[str, int] = {}
         self._migrations: Dict[str, int] = {}
         self._total_cost = 0.0
@@ -52,8 +68,8 @@ class UpdateTriggerAccountant:
     # ------------------------------------------------------------------
     def record_update(self, time_s: float, node_id: str, coordinate: Coordinate) -> float:
         """Record one application-coordinate update; returns its cost."""
-        previous = self._last_coordinate.get(node_id)
-        self._last_coordinate[node_id] = coordinate
+        previous = self.index.coordinate_of(node_id)
+        self.index.update(node_id, coordinate)
         self._updates[node_id] = self._updates.get(node_id, 0) + 1
 
         cost = self.cost_model.evaluation_cost
@@ -93,6 +109,10 @@ class UpdateTriggerAccountant:
     def events(self) -> List[Tuple[float, str, float]]:
         """(time_s, node_id, cost) for every recorded update."""
         return list(self._events)
+
+    def nodes_near(self, coordinate: Coordinate, k: int = 1) -> List[Tuple[str, float]]:
+        """The ``k`` tracked nodes currently closest to ``coordinate``."""
+        return self.index.nearest(coordinate, k)
 
     def cost_rate(self, duration_s: float) -> float:
         """Application work per second over a run of ``duration_s``."""

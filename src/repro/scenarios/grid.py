@@ -46,6 +46,11 @@ AXIS_ALIASES: Dict[str, str] = {
     "churning_fraction": "churn.churning_fraction",
     "duration": "duration_s",
     "workload": "workload.kind",
+    # Query-service workload knobs (the 'queries' workload kind).
+    "count": "workload.params.count",
+    "mix": "workload.params.mix",
+    "k": "workload.params.k",
+    "query_index": "workload.params.index",
 }
 
 #: Dotted-path prefixes that require the preset to be resolved first.

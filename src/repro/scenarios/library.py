@@ -134,6 +134,49 @@ def _knn_overlay() -> ScenarioSpec:
     )
 
 
+@scenario("query-service-mixed")
+def _query_service_mixed() -> ScenarioSpec:
+    """The coordinate query service under a blended read workload.
+
+    Runs a replay to convergence, snapshots the application coordinates
+    into the service layer, and serves a deterministic Zipf-skewed mix of
+    knn / nearest / range / pairwise / centroid queries through the
+    batching planner on the vp-tree index, with the linear oracle run
+    side-by-side for an agreement check.
+    """
+    return ScenarioSpec(
+        name="query-service-mixed",
+        description="Snapshot + vp-tree query service serving a mixed read workload",
+        mode="replay",
+        network=NetworkSpec(nodes=64),
+        preset="mp_energy",
+        duration_s=900.0,
+        workload=WorkloadSpec(
+            kind="queries",
+            params={"count": 512, "mix": "mixed", "k": 3, "index": "vptree"},
+        ),
+        seed=0,
+    )
+
+
+@scenario("query-service-knn")
+def _query_service_knn() -> ScenarioSpec:
+    """The query service under pure k-nearest-neighbor load (grid index)."""
+    return ScenarioSpec(
+        name="query-service-knn",
+        description="Snapshot + grid-index query service serving pure kNN load",
+        mode="replay",
+        network=NetworkSpec(nodes=64),
+        preset="mp_energy",
+        duration_s=900.0,
+        workload=WorkloadSpec(
+            kind="queries",
+            params={"count": 512, "mix": "knn", "k": 5, "index": "grid"},
+        ),
+        seed=0,
+    )
+
+
 @scenario("placement-overlay")
 def _placement_overlay() -> ScenarioSpec:
     """Application-level workload: stream-operator placement."""

@@ -69,6 +69,17 @@ WORKLOAD_KINDS: Dict[str, Dict[str, Any]] = {
     "knn": {"k": 3, "queries": 64},
     # Application-level operator placement over final coordinates.
     "placement": {"operators": 16, "endpoints": 3},
+    # Coordinate query service: a deterministic query mix served from a
+    # snapshot of the final coordinates through the batching planner.
+    "queries": {
+        "count": 256,
+        "mix": "mixed",
+        "k": 3,
+        "radius_ms": 50.0,
+        "index": "vptree",
+        "cache_entries": 1024,
+        "batch_size": 64,
+    },
 }
 
 
@@ -181,6 +192,25 @@ class WorkloadSpec:
             f"workload {self.kind!r} has unknown parameters {unknown}; "
             f"known: {sorted(known)}",
         )
+        if self.kind == "queries" and not unknown:
+            # Imported lazily: the scenario layer must not eagerly load the
+            # service subsystem (kernel and CLI keep that import one-way
+            # and on-demand) just for two membership checks.
+            from repro.service.index import INDEX_KINDS
+            from repro.service.workload import QUERY_MIXES
+
+            mix = self.params.get("mix", known["mix"])
+            _check(
+                errors,
+                mix in QUERY_MIXES,
+                f"workload.mix must be one of {sorted(QUERY_MIXES)}, got {mix!r}",
+            )
+            index = self.params.get("index", known["index"])
+            _check(
+                errors,
+                index in INDEX_KINDS,
+                f"workload.index must be one of {list(INDEX_KINDS)}, got {index!r}",
+            )
         return errors
 
     def param(self, name: str) -> Any:

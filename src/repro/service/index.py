@@ -1,0 +1,480 @@
+"""Sub-linear spatial indexes behind the :class:`CoordinateIndex` contract.
+
+The linear scan in :mod:`repro.overlay.knn` is the correctness oracle; the
+implementations here answer the same queries -- k-nearest, range, and the
+placement 1-median -- without touching every node:
+
+* :class:`VPTreeIndex` -- a vantage-point tree over the predicted-latency
+  metric itself.  The coordinate distance ``||x_i - x_j|| + h_i + h_j``
+  satisfies the triangle inequality even with Vivaldi height terms, which
+  is all the vp-tree's pruning bounds require.  Queries inspect
+  ``O(log n)``-ish nodes on the paper's low-dimensional embeddings.
+* :class:`GridIndex` -- a uniform grid over the Euclidean components with
+  per-cell minimum-height bounds, searched in expanding shells.  Cheaper
+  to rebuild than the tree; best for dense, frequently refreshed
+  snapshots.
+
+Exactness contract: every query returns *identical* results to the linear
+oracle -- same node sets, same predicted RTTs (the exact same
+``Coordinate.distance`` floats), same ordering.  Ties are broken by
+insertion order, matching the oracle's stable sort over its
+insertion-ordered dict; the traversals below therefore track a per-node
+insertion sequence number and never prune on bound *equality*, only on
+strict excess.
+
+Rebuilds are lazy: mutations mark the structure dirty and the next query
+rebuilds it, so bulk ``update_many`` loads cost one build, not n.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from heapq import heappush, heapreplace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.coordinate import Coordinate
+from repro.overlay.knn import CoordinateIndex
+
+__all__ = ["INDEX_KINDS", "build_index", "VPTreeIndex", "GridIndex"]
+
+#: Registered index kinds, resolvable through :func:`build_index`.
+INDEX_KINDS = ("linear", "vptree", "grid")
+
+#: Entries per vp-tree leaf bucket / target entries per grid cell.
+_LEAF_SIZE = 12
+
+
+def _loosen(bound: float) -> float:
+    """Make a pruning lower bound safe against floating-point rounding.
+
+    Bounds like ``d_v - radius`` are exact in real arithmetic but are
+    computed from rounded distances, so they can land a few ulps *above*
+    the true distance of a node they are meant to bound -- which would
+    prune a node sitting exactly at the k-th-best distance or range
+    radius and break the oracle-identity contract on tie-heavy (e.g.
+    lattice) inputs.  Loosening by an epsilon that dwarfs accumulated
+    rounding error (<= ~1e-15 relative) while staying far below any
+    meaningful latency difference means we only ever explore slightly
+    more, never less; results stay exact because candidates are always
+    scored with the exact ``Coordinate.distance`` floats.
+    """
+    return bound - 1e-9 * (1.0 + abs(bound))
+
+
+def build_index(kind: str = "vptree") -> CoordinateIndex:
+    """Construct an empty index of the requested kind."""
+    if kind == "linear":
+        return CoordinateIndex()
+    if kind == "vptree":
+        return VPTreeIndex()
+    if kind == "grid":
+        return GridIndex()
+    raise ValueError(f"unknown index kind {kind!r}; known: {list(INDEX_KINDS)}")
+
+
+class _SpatialIndex(CoordinateIndex):
+    """Shared bookkeeping: insertion sequence numbers and lazy rebuilds."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._seq: Dict[str, int] = {}
+        self._next_seq = 0
+        self._dirty = True
+
+    # -- maintenance ---------------------------------------------------
+    def update(self, node_id: str, coordinate: Coordinate) -> None:
+        if node_id not in self._seq:
+            self._seq[node_id] = self._next_seq
+            self._next_seq += 1
+        super().update(node_id, coordinate)
+        self._dirty = True
+
+    def remove(self, node_id: str) -> None:
+        self._seq.pop(node_id, None)
+        super().remove(node_id)
+        self._dirty = True
+
+    def _entries(self) -> List[Tuple[int, str, Coordinate]]:
+        """(seq, node_id, coordinate), in insertion order."""
+        return [
+            (self._seq[node_id], node_id, coordinate)
+            for node_id, coordinate in self._coordinates.items()
+        ]
+
+    def _ensure_built(self) -> None:
+        if self._dirty:
+            self._rebuild()
+            self._dirty = False
+
+    def _rebuild(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class _KBest:
+    """A bounded best-k collector ordered by (distance, insertion seq)."""
+
+    __slots__ = ("k", "_heap")
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        # Max-heap via negated keys: worst surviving candidate on top.
+        self._heap: List[Tuple[float, int, str]] = []
+
+    @property
+    def threshold(self) -> float:
+        """Current k-th best distance (inf until k candidates are held)."""
+        if len(self._heap) < self.k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def offer(self, distance: float, seq: int, node_id: str) -> None:
+        if len(self._heap) < self.k:
+            heappush(self._heap, (-distance, -seq, node_id))
+            return
+        worst_distance, worst_seq = -self._heap[0][0], -self._heap[0][1]
+        if distance < worst_distance or (distance == worst_distance and seq < worst_seq):
+            heapreplace(self._heap, (-distance, -seq, node_id))
+
+    def sorted_results(self) -> List[Tuple[str, float]]:
+        ranked = sorted((-d, -seq, node_id) for d, seq, node_id in self._heap)
+        return [(node_id, distance) for distance, _, node_id in ranked]
+
+
+# ----------------------------------------------------------------------
+# Vantage-point tree
+# ----------------------------------------------------------------------
+class _VPNode:
+    __slots__ = ("seq", "node_id", "coordinate", "mu", "radius", "children", "bucket")
+
+    def __init__(self) -> None:
+        self.seq = 0
+        self.node_id = ""
+        self.coordinate: Optional[Coordinate] = None
+        self.mu = 0.0
+        #: Max distance from the vantage to any point in this subtree.
+        self.radius = 0.0
+        self.children: List[Optional["_VPNode"]] = [None, None]
+        self.bucket: Optional[List[Tuple[int, str, Coordinate]]] = None
+
+
+class VPTreeIndex(_SpatialIndex):
+    """Vantage-point tree over the predicted-latency metric.
+
+    The vantage of every subtree is its earliest-inserted entry, so the
+    structure -- and therefore traversal order and results -- is a pure
+    function of the index contents.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._root: Optional[_VPNode] = None
+
+    def _rebuild(self) -> None:
+        entries = self._entries()
+        if not entries:
+            self._root = None
+            return
+        root_holder: List[Optional[_VPNode]] = [None, None]
+        stack: List[Tuple[List[Tuple[int, str, Coordinate]], List[Optional[_VPNode]], int]] = [
+            (entries, root_holder, 0)
+        ]
+        while stack:
+            group, holder, slot = stack.pop()
+            node = _VPNode()
+            holder[slot] = node
+            if len(group) <= _LEAF_SIZE:
+                node.bucket = group
+                continue
+            seq, node_id, vantage = group[0]
+            rest = group[1:]
+            distances = [vantage.distance(coordinate) for _, _, coordinate in rest]
+            ranked = sorted(distances)
+            mu = ranked[(len(ranked) - 1) // 2]
+            near = [entry for entry, d in zip(rest, distances) if d <= mu]
+            far = [entry for entry, d in zip(rest, distances) if d > mu]
+            if not far:
+                # No split progress (duplicate-heavy group): finish as a
+                # leaf instead of chaining one vantage per level.
+                node.bucket = group
+                continue
+            node.seq, node.node_id, node.coordinate = seq, node_id, vantage
+            node.mu = mu
+            node.radius = ranked[-1]
+            stack.append((near, node.children, 0))
+            stack.append((far, node.children, 1))
+        self._root = root_holder[0]
+
+    # -- queries -------------------------------------------------------
+    def nearest(
+        self,
+        target: Coordinate,
+        k: int = 1,
+        *,
+        exclude: Iterable[str] = (),
+    ) -> List[Tuple[str, float]]:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self._ensure_built()
+        if self._root is None:
+            return []
+        excluded = set(exclude)
+        best = _KBest(k)
+
+        def offer(distance: float, seq: int, node_id: str) -> None:
+            if node_id not in excluded:
+                best.offer(distance, seq, node_id)
+
+        stack: List[Tuple[_VPNode, float]] = [(self._root, 0.0)]
+        while stack:
+            node, bound = stack.pop()
+            if bound > best.threshold:
+                continue
+            if node.bucket is not None:
+                for seq, node_id, coordinate in node.bucket:
+                    offer(target.distance(coordinate), seq, node_id)
+                continue
+            assert node.coordinate is not None
+            d_v = target.distance(node.coordinate)
+            offer(d_v, node.seq, node.node_id)
+            near_bound = _loosen(max(0.0, d_v - node.mu))
+            far_bound = _loosen(max(0.0, node.mu - d_v, d_v - node.radius))
+            near, far = node.children
+            # Push the more promising side last so it is explored first
+            # and tightens the threshold early.
+            order = ((far, far_bound), (near, near_bound))
+            if d_v > node.mu:
+                order = ((near, near_bound), (far, far_bound))
+            for child, child_bound in order:
+                if child is not None and child_bound <= best.threshold:
+                    stack.append((child, child_bound))
+        return best.sorted_results()
+
+    def within(self, target: Coordinate, radius_ms: float) -> List[Tuple[str, float]]:
+        if radius_ms < 0.0:
+            raise ValueError("radius_ms must be non-negative")
+        self._ensure_built()
+        if self._root is None:
+            return []
+        hits: List[Tuple[float, int, str]] = []
+        stack: List[_VPNode] = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.bucket is not None:
+                for seq, node_id, coordinate in node.bucket:
+                    distance = target.distance(coordinate)
+                    if distance <= radius_ms:
+                        hits.append((distance, seq, node_id))
+                continue
+            assert node.coordinate is not None
+            d_v = target.distance(node.coordinate)
+            if d_v <= radius_ms:
+                hits.append((d_v, node.seq, node.node_id))
+            near, far = node.children
+            if near is not None and _loosen(max(0.0, d_v - node.mu)) <= radius_ms:
+                stack.append(near)
+            if far is not None and _loosen(
+                max(0.0, node.mu - d_v, d_v - node.radius)
+            ) <= radius_ms:
+                stack.append(far)
+        hits.sort()
+        return [(node_id, distance) for distance, _, node_id in hits]
+
+    def min_cost_host(self, endpoints: Sequence[Coordinate]) -> Tuple[str, float]:
+        if not endpoints:
+            raise ValueError("min_cost_host needs at least one endpoint")
+        self._ensure_built()
+        if self._root is None:
+            raise ValueError("cannot run min_cost_host on an empty index")
+        best_cost = float("inf")
+        best_seq = -1
+        best_host: Optional[str] = None
+
+        def offer(cost: float, seq: int, node_id: str) -> None:
+            nonlocal best_cost, best_seq, best_host
+            if cost < best_cost or (cost == best_cost and seq < best_seq):
+                best_cost, best_seq, best_host = cost, seq, node_id
+
+        stack: List[Tuple[_VPNode, float]] = [(self._root, 0.0)]
+        while stack:
+            node, bound = stack.pop()
+            if bound > best_cost:
+                continue
+            if node.bucket is not None:
+                for seq, node_id, coordinate in node.bucket:
+                    offer(
+                        sum(coordinate.distance(endpoint) for endpoint in endpoints),
+                        seq,
+                        node_id,
+                    )
+                continue
+            assert node.coordinate is not None
+            per_endpoint = [node.coordinate.distance(endpoint) for endpoint in endpoints]
+            offer(sum(per_endpoint), node.seq, node.node_id)
+            near, far = node.children
+            if near is not None:
+                near_bound = _loosen(sum(max(0.0, d - node.mu) for d in per_endpoint))
+                if near_bound <= best_cost:
+                    stack.append((near, near_bound))
+            if far is not None:
+                far_bound = _loosen(
+                    sum(max(0.0, node.mu - d, d - node.radius) for d in per_endpoint)
+                )
+                if far_bound <= best_cost:
+                    stack.append((far, far_bound))
+        assert best_host is not None
+        return best_host, best_cost
+
+
+# ----------------------------------------------------------------------
+# Uniform grid
+# ----------------------------------------------------------------------
+class GridIndex(_SpatialIndex):
+    """Uniform grid over the Euclidean components, searched shell by shell.
+
+    Cell size targets ``n ** (1/d)`` cells per dimension over the bounding
+    box.  Candidate cells are pruned with an exact axis-aligned-box lower
+    bound plus the query height and the cell's minimum stored height, so
+    results remain identical to the oracle even in height-augmented
+    spaces.  The placement 1-median query falls back to the inherited
+    linear scan -- use :class:`VPTreeIndex` to accelerate placement.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cells: Dict[Tuple[int, ...], List[Tuple[int, str, Coordinate]]] = {}
+        self._cell_min_height: Dict[Tuple[int, ...], float] = {}
+        self._origin: Tuple[float, ...] = ()
+        self._cell_size = 1.0
+        self._dims = 0
+        self._cells_per_dim = 1
+        self._min_height = 0.0
+
+    def _rebuild(self) -> None:
+        self._cells.clear()
+        self._cell_min_height.clear()
+        entries = self._entries()
+        if not entries:
+            self._dims = 0
+            return
+        dims = entries[0][2].dimensions
+        for _, node_id, coordinate in entries:
+            if coordinate.dimensions != dims:
+                raise ValueError(
+                    f"GridIndex needs uniform dimensionality; {node_id!r} has "
+                    f"{coordinate.dimensions}, expected {dims}"
+                )
+        lows = [min(c.components[i] for _, _, c in entries) for i in range(dims)]
+        highs = [max(c.components[i] for _, _, c in entries) for i in range(dims)]
+        extent = max(high - low for low, high in zip(lows, highs))
+        cells_per_dim = max(1, math.ceil(len(entries) ** (1.0 / dims) / 2.0))
+        self._dims = dims
+        self._origin = tuple(lows)
+        self._cell_size = (extent / cells_per_dim) if extent > 0.0 else 1.0
+        self._cells_per_dim = cells_per_dim
+        self._min_height = min(c.height for _, _, c in entries)
+        for entry in entries:
+            key = self._cell_key(entry[2].components)
+            self._cells.setdefault(key, []).append(entry)
+            held = self._cell_min_height.get(key)
+            if held is None or entry[2].height < held:
+                self._cell_min_height[key] = entry[2].height
+
+    def _cell_key(self, components: Sequence[float]) -> Tuple[int, ...]:
+        return tuple(
+            int(math.floor((value - origin) / self._cell_size))
+            for value, origin in zip(components, self._origin)
+        )
+
+    def _box_lower_bound(self, target: Coordinate, key: Tuple[int, ...]) -> float:
+        """Exact lower bound on predicted RTT to any point stored in ``key``."""
+        gap_sq = 0.0
+        for axis, cell in enumerate(key):
+            low = self._origin[axis] + cell * self._cell_size
+            high = low + self._cell_size
+            value = target.components[axis]
+            if value < low:
+                gap_sq += (low - value) ** 2
+            elif value > high:
+                gap_sq += (value - high) ** 2
+        return _loosen(math.sqrt(gap_sq) + target.height + self._cell_min_height[key])
+
+    def _shells(self, target: Coordinate):
+        """Yield (shell_rank, cell_keys) rings around the target, nearest first."""
+        center = tuple(
+            min(max(index, 0), self._cells_per_dim - 1)
+            for index in self._cell_key(target.components)
+        )
+        occupied = set(self._cells)
+        remaining = len(occupied)
+        shell = 0
+        while remaining > 0:
+            keys = []
+            if shell == 0:
+                candidates: Iterable[Tuple[int, ...]] = (center,)
+            else:
+                candidates = (
+                    tuple(c + o for c, o in zip(center, offsets))
+                    for offsets in itertools.product(
+                        range(-shell, shell + 1), repeat=self._dims
+                    )
+                    if max(abs(o) for o in offsets) == shell
+                )
+            for key in candidates:
+                if key in occupied:
+                    keys.append(key)
+            remaining -= len(keys)
+            yield shell, keys
+            shell += 1
+
+    def _shell_lower_bound(self, target: Coordinate, shell: int) -> float:
+        """Lower bound on predicted RTT to anything in shell ``shell`` or beyond."""
+        return _loosen(
+            max(0.0, (shell - 1) * self._cell_size) + target.height + self._min_height
+        )
+
+    def nearest(
+        self,
+        target: Coordinate,
+        k: int = 1,
+        *,
+        exclude: Iterable[str] = (),
+    ) -> List[Tuple[str, float]]:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self._ensure_built()
+        if not self._cells:
+            return []
+        excluded = set(exclude)
+        best = _KBest(k)
+        for shell, keys in self._shells(target):
+            if self._shell_lower_bound(target, shell) > best.threshold:
+                break
+            for key in keys:
+                if self._box_lower_bound(target, key) > best.threshold:
+                    continue
+                for seq, node_id, coordinate in self._cells[key]:
+                    if node_id in excluded:
+                        continue
+                    best.offer(target.distance(coordinate), seq, node_id)
+        return best.sorted_results()
+
+    def within(self, target: Coordinate, radius_ms: float) -> List[Tuple[str, float]]:
+        if radius_ms < 0.0:
+            raise ValueError("radius_ms must be non-negative")
+        self._ensure_built()
+        if not self._cells:
+            return []
+        hits: List[Tuple[float, int, str]] = []
+        for shell, keys in self._shells(target):
+            if self._shell_lower_bound(target, shell) > radius_ms:
+                break
+            for key in keys:
+                if self._box_lower_bound(target, key) > radius_ms:
+                    continue
+                for seq, node_id, coordinate in self._cells[key]:
+                    distance = target.distance(coordinate)
+                    if distance <= radius_ms:
+                        hits.append((distance, seq, node_id))
+        hits.sort()
+        return [(node_id, distance) for distance, _, node_id in hits]

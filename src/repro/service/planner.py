@@ -1,0 +1,359 @@
+"""Batched query planning over coordinate snapshots: the read path.
+
+:class:`QueryPlanner` turns :class:`~repro.service.snapshot.SnapshotStore`
+views into answers for the application-level questions the paper argues
+coordinates make geometric:
+
+* ``knn`` -- the k nodes nearest an indexed node (excluding itself);
+* ``nearest`` -- the single nearest node to a node (``knn`` with k=1);
+* ``range`` -- all nodes within a predicted-RTT radius of a node;
+* ``pairwise`` -- the predicted RTT between two nodes;
+* ``centroid`` -- the latency-optimal meeting point of a node group and
+  the indexed node closest to it.
+
+Queries are **batched**: :meth:`QueryPlanner.submit` stages work and
+:meth:`QueryPlanner.flush` executes the whole batch against a *single*
+pinned snapshot version, so one flush is internally consistent even while
+ingest keeps committing new versions, and the per-version spatial index is
+built once per generation rather than once per query.
+
+Results are **cached** in an LRU+TTL map whose key includes the snapshot
+version -- a cached answer can therefore never leak across coordinate
+generations; entries from superseded versions simply age out.  Per-kind
+**stats** (counts, cache hits, and service-latency percentiles via
+:class:`~repro.stats.percentile.StreamingPercentile`, exact below its
+capacity cutoff) make the serving layer observable.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.coordinate import centroid
+from repro.service.snapshot import CoordinateSnapshot, SnapshotStore
+from repro.stats.percentile import StreamingPercentile
+
+__all__ = ["Query", "QueryError", "QueryResult", "QueryPlanner", "LRUTTLCache", "QUERY_KINDS"]
+
+#: Recognised query kinds.
+QUERY_KINDS = ("knn", "nearest", "range", "pairwise", "centroid")
+
+
+class QueryError(ValueError):
+    """A query referenced unknown nodes or carried invalid parameters."""
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """One proximity question, hashable so it can key the result cache."""
+
+    kind: str
+    #: Subject node for knn / nearest / range.
+    target: Optional[str] = None
+    k: int = 1
+    radius_ms: float = 0.0
+    #: Node pair for pairwise latency.
+    pair: Tuple[str, str] = ("", "")
+    #: Node group for centroid queries (empty = all indexed nodes).
+    members: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in QUERY_KINDS:
+            raise QueryError(f"unknown query kind {self.kind!r}; known: {list(QUERY_KINDS)}")
+        if self.kind in ("knn", "nearest", "range") and not self.target:
+            raise QueryError(f"{self.kind} query needs a target node")
+        if self.kind == "knn" and self.k < 1:
+            raise QueryError("knn query needs k >= 1")
+        if self.kind == "range" and self.radius_ms < 0.0:
+            raise QueryError("range query needs a non-negative radius_ms")
+        if self.kind == "pairwise" and (not self.pair[0] or not self.pair[1]):
+            raise QueryError("pairwise query needs two node ids")
+
+    # -- convenience constructors --------------------------------------
+    @classmethod
+    def knn(cls, target: str, k: int = 3) -> "Query":
+        return cls(kind="knn", target=target, k=k)
+
+    @classmethod
+    def nearest(cls, target: str) -> "Query":
+        return cls(kind="nearest", target=target, k=1)
+
+    @classmethod
+    def range(cls, target: str, radius_ms: float) -> "Query":
+        return cls(kind="range", target=target, radius_ms=radius_ms)
+
+    @classmethod
+    def pairwise(cls, a: str, b: str) -> "Query":
+        return cls(kind="pairwise", pair=(a, b))
+
+    @classmethod
+    def centroid(cls, members: Tuple[str, ...] = ()) -> "Query":
+        return cls(kind="centroid", members=tuple(members))
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResult:
+    """The answer to one query, tagged with its provenance."""
+
+    query: Query
+    #: JSON-safe answer payload; shape depends on the query kind.  None
+    #: when the query failed (see ``error``).
+    payload: Any
+    snapshot_version: int
+    cached: bool
+    #: The failure message for a query that could not be answered inside
+    #: a batch (e.g. an unknown node); None on success.
+    error: Optional[str] = None
+
+
+class LRUTTLCache:
+    """A bounded LRU cache whose entries also expire after ``ttl_s``.
+
+    The clock is injected so deterministic consumers (the scenario
+    workload, tests) can drive expiry logically instead of by wall time.
+    """
+
+    __slots__ = ("max_entries", "ttl_s", "_clock", "_entries", "hits", "misses", "expirations")
+
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        ttl_s: float = float("inf"),
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if ttl_s <= 0.0:
+            raise ValueError("ttl_s must be positive")
+        self.max_entries = max_entries
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._entries: "OrderedDict[Any, Tuple[float, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Any) -> Tuple[bool, Any]:
+        """(found, value); found is False for missing *and* expired keys."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return False, None
+        stored_at, value = entry
+        if self._clock() - stored_at > self.ttl_s:
+            del self._entries[key]
+            self.expirations += 1
+            self.misses += 1
+            return False, None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return True, value
+
+    def put(self, key: Any, value: Any) -> None:
+        self._entries[key] = (self._clock(), value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+@dataclass(slots=True)
+class _KindStats:
+    """Mutable per-query-kind accounting."""
+
+    submitted: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    errors: int = 0
+    latency_us: StreamingPercentile = field(
+        default_factory=lambda: StreamingPercentile(capacity=8192)
+    )
+
+    def as_dict(self) -> Dict[str, Any]:
+        summary: Dict[str, Any] = {
+            "submitted": self.submitted,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "errors": self.errors,
+        }
+        if self.latency_us.count:
+            summary["p50_us"] = self.latency_us.percentile(50.0)
+            summary["p99_us"] = self.latency_us.percentile(99.0)
+            summary["latency_exact"] = self.latency_us.is_exact
+        return summary
+
+
+class QueryPlanner:
+    """Plans, batches, caches and accounts proximity queries."""
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        *,
+        cache_entries: int = 4096,
+        cache_ttl_s: float = float("inf"),
+        clock: Callable[[], float] = time.monotonic,
+        timer: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.store = store
+        self.cache = LRUTTLCache(cache_entries, cache_ttl_s, clock=clock)
+        self._timer = timer
+        self._pending: List[Query] = []
+        self._stats: Dict[str, _KindStats] = {kind: _KindStats() for kind in QUERY_KINDS}
+        self.batches_flushed = 0
+
+    # -- batching ------------------------------------------------------
+    def submit(self, query: Query) -> None:
+        """Stage a query for the next :meth:`flush`."""
+        self._stats[query.kind].submitted += 1
+        self._pending.append(query)
+
+    @property
+    def pending_queries(self) -> int:
+        return len(self._pending)
+
+    def flush(self) -> List[QueryResult]:
+        """Execute the staged batch against one pinned snapshot version.
+
+        Results come back in submission order; the whole batch sees the
+        same snapshot even if the store commits mid-flush.  A query that
+        fails (e.g. an unknown node) yields an error-carrying result in
+        its slot instead of poisoning the rest of the batch.
+        """
+        batch, self._pending = self._pending, []
+        if not batch:
+            return []
+        self.batches_flushed += 1
+        snapshot = self.store.latest()
+        index = self.store.index_for(snapshot)
+        results: List[QueryResult] = []
+        for query in batch:
+            try:
+                results.append(self._serve(query, snapshot, index))
+            except QueryError as exc:
+                results.append(
+                    QueryResult(query, None, snapshot.version, cached=False, error=str(exc))
+                )
+        return results
+
+    def execute(self, query: Query) -> QueryResult:
+        """Serve one query immediately against the latest snapshot.
+
+        Unlike :meth:`flush`, a failing query raises :class:`QueryError`
+        here -- the caller asked exactly one question.
+        """
+        self._stats[query.kind].submitted += 1
+        snapshot = self.store.latest()
+        return self._serve(query, snapshot, self.store.index_for(snapshot))
+
+    def execute_batch(self, queries: List[Query]) -> List[QueryResult]:
+        for query in queries:
+            self.submit(query)
+        return self.flush()
+
+    # -- stats ---------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Per-kind counters plus cache-level totals (JSON-safe)."""
+        per_kind = {
+            kind: stats.as_dict()
+            for kind, stats in self._stats.items()
+            if stats.submitted or stats.executed
+        }
+        return {
+            "kinds": per_kind,
+            "batches_flushed": self.batches_flushed,
+            "cache": {
+                "entries": len(self.cache),
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "expirations": self.cache.expirations,
+            },
+        }
+
+    def cache_hit_rate(self) -> float:
+        total = self.cache.hits + self.cache.misses
+        return self.cache.hits / total if total else 0.0
+
+    # -- execution ------------------------------------------------------
+    def _serve(self, query: Query, snapshot: CoordinateSnapshot, index) -> QueryResult:
+        stats = self._stats[query.kind]
+        key = (snapshot.version, query)
+        found, payload = self.cache.get(key)
+        if found:
+            stats.cache_hits += 1
+            # Deep-copied so a consumer mutating its result can never
+            # corrupt the cached pristine answer.
+            return QueryResult(query, copy.deepcopy(payload), snapshot.version, cached=True)
+        started = self._timer()
+        try:
+            payload = self._answer(query, snapshot, index)
+        except QueryError:
+            stats.errors += 1
+            raise
+        stats.latency_us.add((self._timer() - started) * 1e6)
+        stats.executed += 1
+        self.cache.put(key, copy.deepcopy(payload))
+        return QueryResult(query, payload, snapshot.version, cached=False)
+
+    def _answer(self, query: Query, snapshot: CoordinateSnapshot, index) -> Any:
+        kind = query.kind
+        if kind in ("knn", "nearest"):
+            coordinate = snapshot.coordinate_of(query.target)
+            if coordinate is None:
+                raise QueryError(f"unknown node {query.target!r}")
+            k = query.k if kind == "knn" else 1
+            neighbors = index.nearest(coordinate, k, exclude=[query.target])
+            return {
+                "target": query.target,
+                "neighbors": [
+                    {"node_id": node_id, "predicted_rtt_ms": rtt}
+                    for node_id, rtt in neighbors
+                ],
+            }
+        if kind == "range":
+            coordinate = snapshot.coordinate_of(query.target)
+            if coordinate is None:
+                raise QueryError(f"unknown node {query.target!r}")
+            hits = [
+                {"node_id": node_id, "predicted_rtt_ms": rtt}
+                for node_id, rtt in index.within(coordinate, query.radius_ms)
+                if node_id != query.target
+            ]
+            return {"target": query.target, "radius_ms": query.radius_ms, "hits": hits}
+        if kind == "pairwise":
+            first, second = query.pair
+            a = snapshot.coordinate_of(first)
+            b = snapshot.coordinate_of(second)
+            if a is None or b is None:
+                missing = first if a is None else second
+                raise QueryError(f"unknown node {missing!r}")
+            return {"pair": [first, second], "predicted_rtt_ms": a.distance(b)}
+        if kind == "centroid":
+            members = query.members or tuple(snapshot.node_ids())
+            coordinates = []
+            for node_id in members:
+                coordinate = snapshot.coordinate_of(node_id)
+                if coordinate is None:
+                    raise QueryError(f"unknown node {node_id!r}")
+                coordinates.append(coordinate)
+            if not coordinates:
+                raise QueryError("centroid query over an empty snapshot")
+            point = centroid(coordinates)
+            nearest = index.nearest(point, 1)
+            return {
+                "members": len(members),
+                "centroid": list(point.components),
+                "nearest_host": nearest[0][0] if nearest else None,
+                "nearest_rtt_ms": nearest[0][1] if nearest else None,
+            }
+        raise QueryError(f"unknown query kind {kind!r}")  # pragma: no cover

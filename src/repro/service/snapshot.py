@@ -1,0 +1,304 @@
+"""Versioned coordinate snapshots: the query service's write path.
+
+Coordinate producers (netsim hosts via their run's
+:class:`~repro.metrics.collector.MetricsCollector`, trace replays, or any
+``{node_id: Coordinate}`` stream) feed a :class:`SnapshotStore`.  Updates
+are *staged* until :meth:`SnapshotStore.commit` publishes them as a new
+immutable :class:`CoordinateSnapshot` with a monotonically increasing
+version, so the read path always works against a consistent point-in-time
+view:
+
+* an open snapshot never changes -- ingest arriving mid-query cannot bleed
+  into it (readers hold a frozen mapping; writers build the next version
+  on the side);
+* query results are attributable to a version, which is what makes the
+  planner's result cache sound (cache keys include the version, so serving
+  a cached result can never mix coordinate generations);
+* per-version spatial indexes are built lazily and memoised, so a batch of
+  queries against one version pays one index build.
+
+Thread-safety: staging, commits and index memoisation take an internal
+lock; published snapshots are immutable and safe to read from any thread
+without coordination.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from types import MappingProxyType
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.coordinate import Coordinate
+from repro.overlay.knn import CoordinateIndex
+from repro.service.index import INDEX_KINDS, build_index
+
+__all__ = ["CoordinateSnapshot", "SnapshotStore"]
+
+
+class CoordinateSnapshot:
+    """An immutable, versioned point-in-time view of node coordinates."""
+
+    __slots__ = ("version", "coordinates", "source")
+
+    def __init__(
+        self,
+        version: int,
+        coordinates: Mapping[str, Coordinate],
+        *,
+        source: str = "",
+    ) -> None:
+        self.version = version
+        #: Read-only mapping; the backing dict is owned by the snapshot and
+        #: never mutated after construction.
+        self.coordinates: Mapping[str, Coordinate] = MappingProxyType(dict(coordinates))
+        #: Free-form provenance label (scenario name, trace id, ...).
+        self.source = source
+
+    def __len__(self) -> int:
+        return len(self.coordinates)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self.coordinates
+
+    def coordinate_of(self, node_id: str) -> Optional[Coordinate]:
+        return self.coordinates.get(node_id)
+
+    def node_ids(self) -> List[str]:
+        return list(self.coordinates)
+
+    def items(self) -> Iterator[Tuple[str, Coordinate]]:
+        return iter(self.coordinates.items())
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "source": self.source,
+            "coordinates": {
+                node_id: {
+                    "components": list(coordinate.components),
+                    "height": coordinate.height,
+                }
+                for node_id, coordinate in self.coordinates.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CoordinateSnapshot":
+        entries = payload.get("coordinates")
+        if not isinstance(entries, Mapping):
+            raise ValueError("malformed snapshot: missing 'coordinates' mapping")
+        coordinates = {}
+        for node_id, entry in entries.items():
+            try:
+                components = entry["components"]
+            except (TypeError, KeyError):
+                raise ValueError(
+                    f"malformed snapshot: entry for {node_id!r} has no 'components'"
+                ) from None
+            try:
+                coordinates[node_id] = Coordinate(components, entry.get("height", 0.0))
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"malformed snapshot: entry for {node_id!r}: {exc}"
+                ) from None
+        return cls(
+            int(payload.get("version", 1)),
+            coordinates,
+            source=str(payload.get("source", "")),
+        )
+
+    def save(self, path: Path) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path: Path) -> "CoordinateSnapshot":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+class SnapshotStore:
+    """Ingests streaming coordinate updates and publishes versioned views.
+
+    Parameters
+    ----------
+    index_kind:
+        Spatial index built for published versions (``linear``, ``vptree``
+        or ``grid``; see :mod:`repro.service.index`).
+    history:
+        How many published versions stay addressable through :meth:`at`
+        (older versions are forgotten; their snapshots remain valid for
+        any reader still holding one).
+    """
+
+    def __init__(self, *, index_kind: str = "vptree", history: int = 4) -> None:
+        if index_kind not in INDEX_KINDS:
+            raise ValueError(
+                f"unknown index kind {index_kind!r}; known: {list(INDEX_KINDS)}"
+            )
+        if history < 1:
+            raise ValueError("history must be >= 1")
+        self.index_kind = index_kind
+        self.history = history
+        self._lock = threading.Lock()
+        self._staged: Dict[str, Optional[Coordinate]] = {}
+        self._latest = CoordinateSnapshot(0, {})
+        self._versions: Dict[int, CoordinateSnapshot] = {0: self._latest}
+        self._indexes: Dict[int, CoordinateIndex] = {}
+        self._ingested = 0
+
+    # -- ingest (write path) -------------------------------------------
+    def apply(self, node_id: str, coordinate: Coordinate) -> None:
+        """Stage one coordinate update for the next commit."""
+        with self._lock:
+            self._staged[node_id] = coordinate
+            self._ingested += 1
+
+    def apply_many(self, coordinates: Mapping[str, Coordinate]) -> None:
+        with self._lock:
+            for node_id, coordinate in coordinates.items():
+                self._staged[node_id] = coordinate
+                self._ingested += 1
+
+    def retire(self, node_id: str) -> None:
+        """Stage the removal of a node (e.g. it left the overlay)."""
+        with self._lock:
+            self._staged[node_id] = None
+            self._ingested += 1
+
+    def ingest_collector(self, collector, *, level: str = "application") -> None:
+        """Stage every node's latest coordinate from a metrics collector.
+
+        ``collector`` is anything exposing
+        ``latest_coordinates(level=...)`` -- in practice the
+        :class:`~repro.metrics.collector.MetricsCollector` attached to a
+        netsim or replay run.
+        """
+        self.apply_many(collector.latest_coordinates(level=level))
+
+    @property
+    def pending_updates(self) -> int:
+        """Staged updates awaiting the next commit."""
+        with self._lock:
+            return len(self._staged)
+
+    @property
+    def ingested_updates(self) -> int:
+        """Total updates ever staged (commit resets nothing)."""
+        with self._lock:
+            return self._ingested
+
+    def commit(self, *, source: str = "") -> CoordinateSnapshot:
+        """Publish staged updates as a new immutable version.
+
+        A no-op commit (nothing staged) returns the current snapshot
+        without minting a new version.
+        """
+        with self._lock:
+            if not self._staged:
+                return self._latest
+            merged = dict(self._latest.coordinates)
+            for node_id, coordinate in self._staged.items():
+                if coordinate is None:
+                    merged.pop(node_id, None)
+                else:
+                    merged[node_id] = coordinate
+            self._staged.clear()
+            snapshot = CoordinateSnapshot(
+                self._latest.version + 1, merged, source=source or self._latest.source
+            )
+            self._latest = snapshot
+            self._versions[snapshot.version] = snapshot
+            floor = snapshot.version - self.history + 1
+            for version in [v for v in self._versions if v < floor]:
+                self._versions.pop(version, None)
+            # Swept independently of _versions: index_for() may have
+            # memoised an index whose version was already evicted above.
+            for version in [v for v in self._indexes if v < floor]:
+                self._indexes.pop(version, None)
+            return snapshot
+
+    # -- read path ------------------------------------------------------
+    def latest(self) -> CoordinateSnapshot:
+        """The most recently committed snapshot (version 0 when empty)."""
+        with self._lock:
+            return self._latest
+
+    @property
+    def version(self) -> int:
+        return self.latest().version
+
+    def at(self, version: int) -> CoordinateSnapshot:
+        """A retained historical version; raises KeyError once evicted."""
+        with self._lock:
+            try:
+                return self._versions[version]
+            except KeyError:
+                raise KeyError(
+                    f"snapshot version {version} is not retained "
+                    f"(history={self.history}, latest={self._latest.version})"
+                ) from None
+
+    def index_for(self, snapshot: Optional[CoordinateSnapshot] = None) -> CoordinateIndex:
+        """A spatial index over ``snapshot`` (default: latest), memoised.
+
+        The index is built once per version and shared by all queries
+        against that version; because snapshots are immutable the memoised
+        index can never go stale.
+        """
+        target = snapshot if snapshot is not None else self.latest()
+        with self._lock:
+            index = self._indexes.get(target.version)
+        if index is not None:
+            return index
+        # Built outside the lock so a large build never blocks ingest, and
+        # finalised eagerly so concurrent readers of the published index
+        # never trigger (and race on) a lazy rebuild.
+        index = build_index(self.index_kind)
+        index.update_many(dict(target.coordinates))
+        finalise = getattr(index, "_ensure_built", None)
+        if finalise is not None:
+            finalise()
+        with self._lock:
+            if target.version not in self._versions:
+                # A reader holding an already-evicted snapshot: hand it the
+                # index but do not memoise it, or nothing would ever
+                # reclaim it (commit only sweeps retained versions).
+                return index
+            return self._indexes.setdefault(target.version, index)
+
+    # -- convenience ----------------------------------------------------
+    @classmethod
+    def from_coordinates(
+        cls,
+        coordinates: Mapping[str, Coordinate],
+        *,
+        index_kind: str = "vptree",
+        source: str = "",
+    ) -> "SnapshotStore":
+        """A store pre-loaded with one committed snapshot."""
+        store = cls(index_kind=index_kind)
+        store.apply_many(coordinates)
+        store.commit(source=source)
+        return store
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: CoordinateSnapshot, *, index_kind: str = "vptree"
+    ) -> "SnapshotStore":
+        """A store republishing ``snapshot`` under its *original* version.
+
+        Query results served from a reloaded artifact stay attributable to
+        the version recorded in the file (renumbering to 1 would break the
+        correlation); later commits continue counting from there.
+        """
+        store = cls(index_kind=index_kind)
+        with store._lock:
+            published = CoordinateSnapshot(
+                snapshot.version, dict(snapshot.coordinates), source=snapshot.source
+            )
+            store._latest = published
+            store._versions = {published.version: published}
+        return store

@@ -74,6 +74,16 @@ class StreamingPercentile:
     reservoir of a few thousand points estimates the median and the 95th
     percentile to well within the reporting precision of the paper's
     figures.
+
+    **Exactness cutoff.** Until ``capacity`` observations have been added
+    the reservoir holds *every* sample, so percentile queries are exact --
+    they equal ``np.percentile`` over the full stream, bit for bit.  From
+    observation ``capacity + 1`` on, Algorithm R starts evicting uniformly
+    at random and answers become estimates whose error shrinks with
+    ``capacity``.  :attr:`is_exact` reports which side of the cutoff the
+    stream is on; consumers that need guaranteed-exact tails (the query
+    service's per-query-type p99 stats, benchmark reports) size ``capacity``
+    above their worst-case sample count and assert on it.
     """
 
     def __init__(self, capacity: int = 4096, seed: int = 0) -> None:
@@ -106,8 +116,22 @@ class StreamingPercentile:
         """Total observations seen (not the reservoir size)."""
         return self._seen
 
+    @property
+    def is_exact(self) -> bool:
+        """True while the reservoir still holds every observation.
+
+        Holds exactly when ``count <= capacity``: no sample has been
+        evicted yet, so :meth:`percentile` is the exact percentile of the
+        full stream rather than a reservoir estimate.
+        """
+        return self._seen <= self.capacity
+
     def percentile(self, percentile: float) -> float:
-        """Estimate the requested percentile of everything seen so far."""
+        """The requested percentile of everything seen so far.
+
+        Exact while :attr:`is_exact` is true; a reservoir estimate after
+        the stream crosses the ``capacity`` cutoff.
+        """
         if not self._reservoir:
             raise ValueError("no observations have been added yet")
         return float(np.percentile(self._reservoir, percentile))

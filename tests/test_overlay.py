@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core.coordinate import Coordinate
 from repro.overlay.knn import CoordinateIndex
 from repro.overlay.placement import OperatorPlacement
 from repro.overlay.triggers import MigrationCost, UpdateTriggerAccountant
+from repro.service.index import VPTreeIndex, build_index
 
 
 def _point(x: float, y: float = 0.0) -> Coordinate:
@@ -71,6 +73,22 @@ class TestCoordinateIndex:
         idx = CoordinateIndex()
         idx.update_many({"x": _point(1.0), "y": _point(2.0)})
         assert len(idx) == 2
+
+    def test_min_cost_host_matches_manual_scan(self, index):
+        endpoints = [_point(0.0), _point(100.0)]
+        host, cost = index.min_cost_host(endpoints)
+        expected = {
+            node_id: sum(index.coordinate_of(node_id).distance(e) for e in endpoints)
+            for node_id in index.node_ids()
+        }
+        assert cost == min(expected.values())
+        assert expected[host] == cost
+
+    def test_min_cost_host_validation(self, index):
+        with pytest.raises(ValueError):
+            index.min_cost_host([])
+        with pytest.raises(ValueError):
+            CoordinateIndex().min_cost_host([_point(0.0)])
 
 
 def _triangle_index() -> CoordinateIndex:
@@ -202,3 +220,62 @@ class TestUpdateTriggerAccountant:
         accountant.record_update(5.0, "a", _point(1.0))
         events = accountant.events()
         assert [t for t, _, _ in events] == [0.0, 5.0]
+
+    def test_pluggable_index_tracks_last_coordinates(self):
+        accountant = UpdateTriggerAccountant(index=VPTreeIndex())
+        accountant.record_update(0.0, "a", _point(0.0))
+        accountant.record_update(1.0, "b", _point(100.0))
+        accountant.record_update(2.0, "a", _point(10.0))
+        assert accountant.index.coordinate_of("a") == _point(10.0)
+        assert accountant.nodes_near(_point(12.0), k=1)[0][0] == "a"
+        # Costs are unaffected by the index choice.
+        reference = UpdateTriggerAccountant()
+        for time_s, node_id, point in ((0.0, "a", 0.0), (1.0, "b", 100.0), (2.0, "a", 10.0)):
+            reference.record_update(time_s, node_id, _point(point))
+        assert accountant.total_cost == reference.total_cost
+
+
+class TestPlacementWithSpatialIndexes:
+    """The pluggable spatial indexes must not change placement behaviour."""
+
+    @pytest.mark.parametrize("kind", ["vptree", "grid"])
+    def test_decisions_identical_to_linear_oracle(self, kind):
+        rng = np.random.default_rng(17)
+        coordinates = {
+            f"h{i:03d}": Coordinate(rng.normal(scale=40.0, size=3).tolist())
+            for i in range(80)
+        }
+        operators = {
+            f"op{j}": [f"h{int(i):03d}" for i in rng.choice(80, size=3, replace=False)]
+            for j in range(12)
+        }
+
+        def run(index):
+            index.update_many(coordinates)
+            placement = OperatorPlacement(index, migration_hysteresis_ms=5.0)
+            decisions = []
+            for operator_id, endpoints in operators.items():
+                placement.register_operator(operator_id, endpoints)
+            decisions.extend(placement.evaluate_all())
+            # Shift some coordinates and re-evaluate: migration decisions
+            # must match too, not just initial placements.
+            for i in range(0, 80, 7):
+                index.update(
+                    f"h{i:03d}", Coordinate(rng.normal(scale=40.0, size=3).tolist())
+                )
+            decisions.extend(placement.evaluate_all())
+            return decisions, placement.migrations
+
+        linear_decisions, linear_migrations = run(CoordinateIndex())
+        rng = np.random.default_rng(17)  # regenerate identical universe
+        coordinates = {
+            f"h{i:03d}": Coordinate(rng.normal(scale=40.0, size=3).tolist())
+            for i in range(80)
+        }
+        operators = {
+            f"op{j}": [f"h{int(i):03d}" for i in rng.choice(80, size=3, replace=False)]
+            for j in range(12)
+        }
+        spatial_decisions, spatial_migrations = run(build_index(kind))
+        assert spatial_decisions == linear_decisions
+        assert spatial_migrations == linear_migrations

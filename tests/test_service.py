@@ -1,0 +1,690 @@
+"""Tests for the coordinate query service (snapshot store, indexes, planner)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.coordinate import Coordinate
+from repro.overlay.knn import CoordinateIndex
+from repro.service.index import INDEX_KINDS, GridIndex, VPTreeIndex, build_index
+from repro.service.planner import (
+    LRUTTLCache,
+    Query,
+    QueryError,
+    QueryPlanner,
+)
+from repro.service.snapshot import CoordinateSnapshot, SnapshotStore
+from repro.service.workload import (
+    QUERY_MIXES,
+    generate_queries,
+    payload_checksum,
+    run_workload,
+)
+
+
+def _random_coordinates(rng, n, *, with_heights=False):
+    coordinates = {}
+    for i in range(n):
+        height = float(abs(rng.normal(scale=3.0))) if with_heights and i % 5 == 0 else 0.0
+        coordinates[f"n{i:05d}"] = Coordinate(
+            rng.normal(scale=60.0, size=3).tolist(), height=height
+        )
+    return coordinates
+
+
+# ----------------------------------------------------------------------
+# Spatial indexes vs the linear oracle
+# ----------------------------------------------------------------------
+class TestIndexesMatchOracle:
+    """Randomized equivalence: spatial results must be identical to linear.
+
+    The acceptance bar is 1000 randomized k-nearest trials per spatial
+    index kind, spread over several universes (with and without height
+    terms) plus range and placement queries.
+    """
+
+    UNIVERSES = ((100, False), (250, True), (400, False))
+    TRIALS_PER_UNIVERSE = 334  # x3 universes > 1k trials per kind
+
+    @pytest.mark.parametrize("kind", ["vptree", "grid"])
+    def test_knn_identical_over_1k_random_trials(self, kind):
+        rng = np.random.default_rng(42)
+        for nodes, with_heights in self.UNIVERSES:
+            coordinates = _random_coordinates(rng, nodes, with_heights=with_heights)
+            oracle = CoordinateIndex()
+            oracle.update_many(coordinates)
+            index = build_index(kind)
+            index.update_many(coordinates)
+            for _ in range(self.TRIALS_PER_UNIVERSE):
+                target = Coordinate(rng.normal(scale=70.0, size=3).tolist())
+                k = int(rng.integers(1, 10))
+                assert index.nearest(target, k) == oracle.nearest(target, k)
+
+    @pytest.mark.parametrize("kind", ["vptree", "grid"])
+    def test_within_identical(self, kind):
+        rng = np.random.default_rng(43)
+        coordinates = _random_coordinates(rng, 300, with_heights=True)
+        oracle = CoordinateIndex()
+        oracle.update_many(coordinates)
+        index = build_index(kind)
+        index.update_many(coordinates)
+        for _ in range(200):
+            target = Coordinate(rng.normal(scale=70.0, size=3).tolist())
+            radius = float(rng.uniform(0.0, 120.0))
+            assert index.within(target, radius) == oracle.within(target, radius)
+
+    def test_min_cost_host_identical(self):
+        rng = np.random.default_rng(44)
+        coordinates = _random_coordinates(rng, 300, with_heights=True)
+        names = sorted(coordinates)
+        oracle = CoordinateIndex()
+        oracle.update_many(coordinates)
+        index = VPTreeIndex()
+        index.update_many(coordinates)
+        for _ in range(200):
+            picked = rng.choice(len(names), size=int(rng.integers(1, 6)), replace=False)
+            endpoints = [coordinates[names[int(i)]] for i in picked]
+            assert index.min_cost_host(endpoints) == oracle.min_cost_host(endpoints)
+
+    @pytest.mark.parametrize("kind", ["vptree", "grid"])
+    def test_lattice_ties_identical_to_oracle(self, kind):
+        # Regression: integer-lattice coordinates create many exact
+        # distance ties, and pruning bounds computed from rounded floats
+        # can land one ulp above a tied node's true distance.  Without
+        # float-safe (loosened) bounds the vp-tree pruned nodes sitting
+        # exactly at the k-th-best distance or the range radius.
+        rng = np.random.default_rng(42)
+        coordinates = {
+            f"n{i:03d}": Coordinate(
+                [float(int(v)) for v in rng.integers(-8, 9, size=2)]
+            )
+            for i in range(120)
+        }
+        oracle = CoordinateIndex()
+        oracle.update_many(coordinates)
+        index = build_index(kind)
+        index.update_many(coordinates)
+        for _ in range(400):
+            target = Coordinate([float(int(v)) for v in rng.integers(-10, 11, size=2)])
+            k = int(rng.integers(1, 12))
+            assert index.nearest(target, k) == oracle.nearest(target, k)
+            radius = float(int(rng.integers(0, 8)))
+            assert index.within(target, radius) == oracle.within(target, radius)
+        if kind == "vptree":
+            names = sorted(coordinates)
+            for _ in range(100):
+                picked = rng.choice(len(names), size=3, replace=False)
+                endpoints = [coordinates[names[int(i)]] for i in picked]
+                assert index.min_cost_host(endpoints) == oracle.min_cost_host(endpoints)
+
+    @pytest.mark.parametrize("kind", ["vptree", "grid"])
+    def test_duplicate_coordinates_tie_break_matches_oracle(self, kind):
+        # Exact ties must resolve by insertion order, like the oracle's
+        # stable sort over its insertion-ordered dict.
+        point = Coordinate([5.0, 5.0, 5.0])
+        coordinates = {f"dup{i}": point for i in range(40)}
+        coordinates["far"] = Coordinate([500.0, 0.0, 0.0])
+        oracle = CoordinateIndex()
+        oracle.update_many(coordinates)
+        index = build_index(kind)
+        index.update_many(coordinates)
+        target = Coordinate([4.0, 5.0, 5.0])
+        for k in (1, 3, 17, 41):
+            assert index.nearest(target, k) == oracle.nearest(target, k)
+        assert index.within(target, 10.0) == oracle.within(target, 10.0)
+
+    @pytest.mark.parametrize("kind", ["vptree", "grid"])
+    def test_exclusions_and_updates(self, kind):
+        rng = np.random.default_rng(45)
+        coordinates = _random_coordinates(rng, 120)
+        oracle = CoordinateIndex()
+        oracle.update_many(coordinates)
+        index = build_index(kind)
+        index.update_many(coordinates)
+        target = coordinates["n00003"]
+        exclude = ["n00003", "n00010", "n00042"]
+        assert index.nearest(target, 5, exclude=exclude) == oracle.nearest(
+            target, 5, exclude=exclude
+        )
+        # Mutations invalidate and rebuild lazily.
+        moved = Coordinate([1000.0, 0.0, 0.0])
+        for store in (oracle, index):
+            store.update("n00007", moved)
+            store.remove("n00001")
+        assert index.nearest(moved, 4) == oracle.nearest(moved, 4)
+        assert len(index) == len(oracle) == 119
+
+    def test_empty_index_queries(self):
+        for kind in ("vptree", "grid"):
+            index = build_index(kind)
+            assert index.nearest(Coordinate([0.0, 0.0, 0.0]), 3) == []
+            assert index.within(Coordinate([0.0, 0.0, 0.0]), 10.0) == []
+
+    def test_build_index_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown index kind"):
+            build_index("btree")
+
+    def test_grid_rejects_mixed_dimensionality(self):
+        index = GridIndex()
+        index.update("a", Coordinate([1.0, 2.0, 3.0]))
+        index.update("b", Coordinate([1.0, 2.0]))
+        with pytest.raises(ValueError, match="uniform dimensionality"):
+            index.nearest(Coordinate([0.0, 0.0, 0.0]), 1)
+
+
+# ----------------------------------------------------------------------
+# Snapshot store
+# ----------------------------------------------------------------------
+class TestSnapshotStore:
+    def test_versions_advance_only_on_commit(self):
+        store = SnapshotStore()
+        assert store.version == 0
+        store.apply("a", Coordinate([1.0, 0.0]))
+        assert store.version == 0
+        assert store.pending_updates == 1
+        snapshot = store.commit()
+        assert snapshot.version == 1
+        assert store.pending_updates == 0
+        assert snapshot.coordinate_of("a") == Coordinate([1.0, 0.0])
+
+    def test_noop_commit_mints_no_version(self):
+        store = SnapshotStore()
+        store.apply("a", Coordinate([1.0, 0.0]))
+        store.commit()
+        assert store.commit().version == 1
+
+    def test_open_snapshot_is_immutable_under_later_commits(self):
+        store = SnapshotStore()
+        store.apply("a", Coordinate([1.0, 0.0]))
+        store.commit()
+        held = store.latest()
+        store.apply("a", Coordinate([9.0, 0.0]))
+        store.apply("b", Coordinate([2.0, 0.0]))
+        store.commit()
+        assert held.version == 1
+        assert held.coordinate_of("a") == Coordinate([1.0, 0.0])
+        assert "b" not in held
+        assert store.latest().coordinate_of("a") == Coordinate([9.0, 0.0])
+        with pytest.raises(TypeError):
+            held.coordinates["a"] = Coordinate([0.0, 0.0])  # read-only proxy
+
+    def test_retire_removes_on_next_commit(self):
+        store = SnapshotStore.from_coordinates(
+            {"a": Coordinate([1.0]), "b": Coordinate([2.0])}
+        )
+        store.retire("a")
+        snapshot = store.commit()
+        assert "a" not in snapshot
+        assert "b" in snapshot
+
+    def test_history_eviction(self):
+        store = SnapshotStore(history=2)
+        for i in range(4):
+            store.apply("a", Coordinate([float(i)]))
+            store.commit()
+        assert store.at(4).coordinate_of("a") == Coordinate([3.0])
+        assert store.at(3) is not None
+        with pytest.raises(KeyError, match="not retained"):
+            store.at(1)
+
+    def test_index_memoised_per_version(self):
+        store = SnapshotStore.from_coordinates(
+            {"a": Coordinate([1.0, 0.0]), "b": Coordinate([5.0, 0.0])}
+        )
+        first = store.index_for()
+        assert store.index_for() is first
+        store.apply("c", Coordinate([2.0, 0.0]))
+        store.commit()
+        second = store.index_for()
+        assert second is not first
+        assert len(second) == 3
+
+    def test_index_for_evicted_version_is_not_memoised(self):
+        store = SnapshotStore(history=2)
+        store.apply("a", Coordinate([1.0, 0.0]))
+        held = store.commit()
+        for i in range(4):
+            store.apply("a", Coordinate([float(i + 2), 0.0]))
+            store.commit()
+        # Version 1 fell out of the history window; a slow reader can
+        # still build an index over its snapshot, but the store must not
+        # retain it (nothing would ever sweep it).
+        assert store.index_for(held) is not None
+        assert 1 not in store._indexes
+        assert store.index_for(held) is not store.index_for(held)
+
+    def test_ingest_collector_level_selection(self):
+        from repro.metrics.collector import MetricsCollector
+
+        collector = MetricsCollector()
+        collector.record_sample(
+            1.0,
+            "host1",
+            system_coordinate=Coordinate([1.0, 1.0]),
+            application_coordinate=Coordinate([2.0, 2.0]),
+        )
+        store = SnapshotStore()
+        store.ingest_collector(collector)
+        snapshot = store.commit()
+        assert snapshot.coordinate_of("host1") == Coordinate([2.0, 2.0])
+        system_store = SnapshotStore()
+        system_store.ingest_collector(collector, level="system")
+        assert system_store.commit().coordinate_of("host1") == Coordinate([1.0, 1.0])
+
+    def test_from_snapshot_preserves_the_saved_version(self):
+        snapshot = CoordinateSnapshot(
+            5, {"a": Coordinate([1.0]), "b": Coordinate([2.0])}, source="artifact"
+        )
+        store = SnapshotStore.from_snapshot(snapshot)
+        assert store.version == 5
+        planner = QueryPlanner(store)
+        assert planner.execute(Query.nearest("a")).snapshot_version == 5
+        store.apply("c", Coordinate([3.0]))
+        assert store.commit().version == 6
+
+    def test_snapshot_json_roundtrip(self, tmp_path):
+        snapshot = CoordinateSnapshot(
+            3,
+            {"a": Coordinate([1.5, -2.5], height=0.5), "b": Coordinate([0.0, 4.0])},
+            source="roundtrip",
+        )
+        path = tmp_path / "snap.json"
+        snapshot.save(path)
+        loaded = CoordinateSnapshot.load(path)
+        assert loaded.version == 3
+        assert loaded.source == "roundtrip"
+        assert dict(loaded.coordinates) == dict(snapshot.coordinates)
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            SnapshotStore(index_kind="nope")
+        with pytest.raises(ValueError):
+            SnapshotStore(history=0)
+
+
+class TestConcurrentIngest:
+    """Updates arriving mid-query must not bleed into an open snapshot."""
+
+    def test_open_view_stable_while_writer_hammers_commits(self):
+        rng = np.random.default_rng(7)
+        store = SnapshotStore.from_coordinates(_random_coordinates(rng, 80))
+        held = store.latest()
+        frozen = {node_id: coordinate for node_id, coordinate in held.items()}
+        held_index = store.index_for(held)
+        stop = threading.Event()
+        committed = []
+
+        def writer():
+            generation = 0
+            while not stop.is_set():
+                generation += 1
+                store.apply_many(
+                    {
+                        f"n{i:05d}": Coordinate([float(generation), float(i), 0.0])
+                        for i in range(0, 80, 3)
+                    }
+                )
+                store.apply(f"new{generation}", Coordinate([0.5, 0.5, 0.5]))
+                committed.append(store.commit().version)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            target = Coordinate([10.0, 10.0, 10.0])
+            baseline = held_index.nearest(target, 5)
+            for _ in range(300):
+                # The open view and its index never change, no matter how
+                # many versions the writer publishes underneath.
+                assert held_index.nearest(target, 5) == baseline
+                assert dict(held.items()) == frozen
+        finally:
+            stop.set()
+            thread.join(timeout=10.0)
+        assert held.version == 1
+        assert not thread.is_alive()
+        assert committed, "writer thread never committed"
+        assert store.version == committed[-1]
+        assert store.latest().version > held.version
+
+    def test_flush_pins_one_version_per_batch(self):
+        store = SnapshotStore.from_coordinates(
+            {"a": Coordinate([0.0, 0.0]), "b": Coordinate([3.0, 0.0]), "c": Coordinate([9.0, 0.0])}
+        )
+        planner = QueryPlanner(store)
+        for query in (Query.nearest("a"), Query.nearest("b"), Query.nearest("c")):
+            planner.submit(query)
+        results = planner.flush()
+        assert {result.snapshot_version for result in results} == {1}
+        # Stage an update mid-stream: the *next* flush sees the new version.
+        planner.submit(Query.nearest("a"))
+        store.apply("d", Coordinate([0.1, 0.0]))
+        store.commit()
+        (result,) = planner.flush()
+        assert result.snapshot_version == 2
+        assert result.payload["neighbors"][0]["node_id"] == "d"
+
+
+# ----------------------------------------------------------------------
+# Planner: cache, batching, stats
+# ----------------------------------------------------------------------
+class TestLRUTTLCache:
+    def test_ttl_expiry_with_injected_clock(self):
+        now = [0.0]
+        cache = LRUTTLCache(max_entries=8, ttl_s=10.0, clock=lambda: now[0])
+        cache.put("k", "v")
+        assert cache.get("k") == (True, "v")
+        now[0] = 10.5
+        assert cache.get("k") == (False, None)
+        assert cache.expirations == 1
+
+    def test_lru_eviction_order(self):
+        cache = LRUTTLCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a")[0]  # refresh a; b is now least-recent
+        cache.put("c", 3)
+        assert cache.get("b") == (False, None)
+        assert cache.get("a") == (True, 1)
+        assert cache.get("c") == (True, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LRUTTLCache(max_entries=0)
+        with pytest.raises(ValueError):
+            LRUTTLCache(ttl_s=0.0)
+
+
+class TestQueryPlanner:
+    @pytest.fixture()
+    def store(self):
+        rng = np.random.default_rng(9)
+        return SnapshotStore.from_coordinates(_random_coordinates(rng, 40))
+
+    def test_cache_key_includes_snapshot_version(self, store):
+        planner = QueryPlanner(store)
+        query = Query.knn("n00001", k=3)
+        first = planner.execute(query)
+        second = planner.execute(query)
+        assert not first.cached and second.cached
+        assert first.payload == second.payload
+        # A new coordinate generation must miss the cache.
+        store.apply("n00001", Coordinate([999.0, 999.0, 999.0]))
+        store.commit()
+        third = planner.execute(query)
+        assert not third.cached
+        assert third.payload != first.payload
+
+    def test_consumer_mutation_cannot_corrupt_the_cache(self, store):
+        planner = QueryPlanner(store)
+        query = Query.knn("n00002", k=3)
+        first = planner.execute(query)
+        pristine = json.loads(json.dumps(first.payload))
+        first.payload["neighbors"].clear()
+        first.payload["vandalised"] = True
+        second = planner.execute(query)
+        assert second.cached
+        assert second.payload == pristine
+        second.payload["neighbors"].pop()
+        assert planner.execute(query).payload == pristine
+
+    def test_stats_account_per_kind(self, store):
+        planner = QueryPlanner(store)
+        planner.execute_batch(
+            [Query.knn("n00001", k=2), Query.knn("n00001", k=2), Query.pairwise("n00001", "n00002")]
+        )
+        stats = planner.stats()
+        assert stats["kinds"]["knn"]["submitted"] == 2
+        assert stats["kinds"]["knn"]["executed"] == 1
+        assert stats["kinds"]["knn"]["cache_hits"] == 1
+        assert stats["kinds"]["pairwise"]["executed"] == 1
+        assert stats["batches_flushed"] == 1
+        assert stats["kinds"]["knn"]["latency_exact"] is True
+        assert planner.cache_hit_rate() == pytest.approx(1.0 / 3.0)
+
+    def test_query_kinds_answer_shapes(self, store):
+        planner = QueryPlanner(store)
+        knn = planner.execute(Query.knn("n00000", k=4)).payload
+        assert len(knn["neighbors"]) == 4
+        assert knn["neighbors"][0]["node_id"] != "n00000"
+        nearest = planner.execute(Query.nearest("n00000")).payload
+        assert nearest["neighbors"][0] == knn["neighbors"][0]
+        rng_payload = planner.execute(Query.range("n00000", 80.0)).payload
+        assert all(hit["predicted_rtt_ms"] <= 80.0 for hit in rng_payload["hits"])
+        pair = planner.execute(Query.pairwise("n00000", "n00001")).payload
+        snapshot = store.latest()
+        assert pair["predicted_rtt_ms"] == snapshot.coordinate_of("n00000").distance(
+            snapshot.coordinate_of("n00001")
+        )
+        centroid_payload = planner.execute(
+            Query.centroid(("n00000", "n00001", "n00002"))
+        ).payload
+        assert centroid_payload["members"] == 3
+        assert centroid_payload["nearest_host"] in store.latest().node_ids()
+
+    def test_flush_isolates_failing_queries(self, store):
+        # One bad request must not poison the batch: good queries before
+        # and after it still get answers, the bad slot carries the error.
+        planner = QueryPlanner(store)
+        planner.submit(Query.knn("n00001", k=2))
+        planner.submit(Query.knn("ghost", k=2))
+        planner.submit(Query.knn("n00002", k=2))
+        results = planner.flush()
+        assert [r.error is None for r in results] == [True, False, True]
+        assert results[0].payload["neighbors"]
+        assert results[1].payload is None
+        assert "unknown node" in results[1].error
+        assert results[2].payload["neighbors"]
+        assert planner.pending_queries == 0
+        assert planner.stats()["kinds"]["knn"]["errors"] == 1
+
+    def test_unknown_nodes_raise_query_error(self, store):
+        planner = QueryPlanner(store)
+        with pytest.raises(QueryError, match="unknown node"):
+            planner.execute(Query.knn("ghost"))
+        with pytest.raises(QueryError, match="unknown node"):
+            planner.execute(Query.pairwise("n00000", "ghost"))
+        assert planner.stats()["kinds"]["knn"]["errors"] == 1
+
+    def test_query_validation(self):
+        with pytest.raises(QueryError):
+            Query(kind="teleport")
+        with pytest.raises(QueryError):
+            Query.knn("a", k=0)
+        with pytest.raises(QueryError):
+            Query(kind="knn")  # no target
+        with pytest.raises(QueryError):
+            Query(kind="pairwise", pair=("a", ""))
+
+
+# ----------------------------------------------------------------------
+# Workload generation
+# ----------------------------------------------------------------------
+class TestWorkload:
+    def test_streams_are_deterministic(self):
+        nodes = [f"n{i}" for i in range(30)]
+        first = generate_queries(nodes, 100, mix="mixed", seed=5)
+        second = generate_queries(nodes, 100, mix="mixed", seed=5)
+        assert first == second
+        assert generate_queries(nodes, 100, mix="mixed", seed=6) != first
+
+    def test_mix_controls_kinds(self):
+        nodes = [f"n{i}" for i in range(10)]
+        for mix, kind in (
+            ("knn", "knn"),
+            ("nearest", "nearest"),
+            ("pairwise-latency", "pairwise"),
+            ("centroid", "centroid"),
+        ):
+            queries = generate_queries(nodes, 25, mix=mix, seed=1)
+            assert {query.kind for query in queries} == {kind}
+        mixed_kinds = {q.kind for q in generate_queries(nodes, 300, mix="mixed", seed=1)}
+        assert mixed_kinds == set(QUERY_MIXES["mixed"])
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError, match="unknown query mix"):
+            generate_queries(["a", "b"], 10, mix="write-heavy")
+
+    def test_checksum_identical_across_index_kinds(self):
+        rng = np.random.default_rng(11)
+        coordinates = _random_coordinates(rng, 150, with_heights=True)
+        queries = generate_queries(sorted(coordinates), 400, mix="mixed", seed=2)
+        checksums = set()
+        for kind in INDEX_KINDS:
+            store = SnapshotStore.from_coordinates(coordinates, index_kind=kind)
+            report = run_workload(QueryPlanner(store), queries)
+            checksums.add(report.checksum)
+            assert report.query_count == 400
+        assert len(checksums) == 1
+
+    def test_zipf_skew_produces_cache_hits(self):
+        rng = np.random.default_rng(12)
+        coordinates = _random_coordinates(rng, 100)
+        store = SnapshotStore.from_coordinates(coordinates)
+        queries = generate_queries(sorted(coordinates), 500, mix="knn", seed=3)
+        report = run_workload(QueryPlanner(store), queries)
+        assert report.cache_hit_rate > 0.2
+        assert payload_checksum(report.results) == report.checksum
+
+
+# ----------------------------------------------------------------------
+# Scenario integration
+# ----------------------------------------------------------------------
+class TestQueriesScenarioWorkload:
+    def test_queries_workload_runs_and_agrees_with_oracle(self):
+        from repro.engine.kernel import run_scenario
+        from repro.scenarios.spec import ScenarioSpec, WorkloadSpec
+
+        spec = ScenarioSpec(
+            name="queries-tiny",
+            mode="replay",
+            preset="mp",
+            duration_s=120.0,
+            network=__import__("repro.scenarios.spec", fromlist=["NetworkSpec"]).NetworkSpec(
+                nodes=8
+            ),
+            workload=WorkloadSpec(kind="queries", params={"count": 64, "mix": "mixed"}),
+            seed=1,
+        )
+        result = run_scenario(spec).result
+        assert result.metrics["query_count"] == 64.0
+        assert result.metrics["query_index_linear_agreement"] == 1.0
+        assert 0.0 <= result.metrics["query_cache_hit_rate"] <= 1.0
+        assert result.workload["checksum"]
+        # Deterministic: a re-run reproduces the canonical payload exactly.
+        rerun = run_scenario(spec).result
+        assert rerun.canonical_json() == result.canonical_json()
+
+    def test_spec_validates_mix_and_index(self):
+        from repro.scenarios.spec import ScenarioError, ScenarioSpec, WorkloadSpec
+
+        with pytest.raises(ScenarioError, match="workload.mix"):
+            ScenarioSpec(
+                name="bad-mix",
+                workload=WorkloadSpec(kind="queries", params={"mix": "write-heavy"}),
+            )
+        with pytest.raises(ScenarioError, match="workload.index"):
+            ScenarioSpec(
+                name="bad-index",
+                workload=WorkloadSpec(kind="queries", params={"index": "btree"}),
+            )
+
+
+# ----------------------------------------------------------------------
+# CLI: repro serve / repro query
+# ----------------------------------------------------------------------
+class TestServiceCli:
+    @pytest.fixture()
+    def snapshot_path(self, tmp_path):
+        rng = np.random.default_rng(21)
+        snapshot = CoordinateSnapshot(
+            1, _random_coordinates(rng, 30), source="cli-test"
+        )
+        path = tmp_path / "snap.json"
+        snapshot.save(path)
+        return path
+
+    def test_query_info(self, capsys, snapshot_path):
+        from repro.analysis.cli import main
+
+        assert main(["query", "--snapshot", str(snapshot_path), "info"]) == 0
+        out = capsys.readouterr().out
+        assert "30 nodes" in out
+
+    def test_query_knn_prints_neighbors(self, capsys, snapshot_path):
+        from repro.analysis.cli import main
+
+        assert (
+            main(["query", "--snapshot", str(snapshot_path), "knn", "n00004", "--k", "2"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["target"] == "n00004"
+        assert len(payload["neighbors"]) == 2
+
+    def test_malformed_snapshot_file_is_a_readable_error(self, capsys, tmp_path):
+        from repro.analysis.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["query", "--snapshot", str(bad), "info"]) == 2
+        assert "malformed snapshot" in capsys.readouterr().err
+        bad.write_text(json.dumps({"coordinates": {"a": {"height": 1.0}}}))
+        assert main(["query", "--snapshot", str(bad), "info"]) == 2
+        assert "no 'components'" in capsys.readouterr().err
+        bad.write_text(json.dumps({"coordinates": {"a": {"components": [None, 2.0]}}}))
+        assert main(["query", "--snapshot", str(bad), "info"]) == 2
+        assert "malformed snapshot" in capsys.readouterr().err
+
+    def test_query_unknown_node_is_an_error(self, capsys, snapshot_path):
+        from repro.analysis.cli import main
+
+        assert main(["query", "--snapshot", str(snapshot_path), "knn", "ghost"]) == 2
+        assert "unknown node" in capsys.readouterr().err
+
+    def test_query_workload_compare_linear(self, capsys, snapshot_path):
+        from repro.analysis.cli import main
+
+        args = [
+            "query", "--snapshot", str(snapshot_path),
+            "workload", "--count", "200", "--mix", "mixed", "--compare-linear",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "identical results: True" in out
+        assert "cache hit rate" in out
+
+    def test_serve_writes_snapshot_and_serves_queries(self, capsys, tmp_path):
+        from repro.analysis.cli import main
+        from repro.scenarios import ScenarioSpec
+        from repro.scenarios.registry import _REGISTRY, register
+
+        name = "service-cli-test-tiny"
+
+        def factory() -> ScenarioSpec:
+            payload = ScenarioSpec(
+                name=name, mode="replay", preset="mp", duration_s=120.0, seed=1
+            ).to_dict()
+            payload["network"] = {**payload["network"], "nodes": 6}
+            return ScenarioSpec.from_dict(payload)
+
+        register(name, factory)
+        out_path = tmp_path / "served.json"
+        try:
+            args = [
+                "serve", name,
+                "--out", str(out_path),
+                "--queries", "50", "--mix", "knn", "--compare-linear",
+            ]
+            assert main(args) == 0
+        finally:
+            _REGISTRY.pop(name, None)
+        out = capsys.readouterr().out
+        assert "snapshot v1: 6 node coordinates" in out
+        assert "identical results: True" in out
+        snapshot = CoordinateSnapshot.load(out_path)
+        assert len(snapshot) == 6
+        assert snapshot.source == name

@@ -58,6 +58,24 @@ class TestStreamingPercentile:
         stream.extend(range(50))
         assert stream.median() == pytest.approx(float(np.percentile(range(50), 50.0)))
 
+    def test_is_exact_flips_at_the_capacity_cutoff(self):
+        stream = StreamingPercentile(capacity=10, seed=3)
+        stream.extend(range(10))
+        assert stream.is_exact
+        stream.add(10.0)
+        assert not stream.is_exact
+
+    def test_exact_mode_matches_full_stream_bit_for_bit(self):
+        rng = np.random.default_rng(5)
+        data = rng.lognormal(mean=3.0, sigma=0.5, size=500)
+        stream = StreamingPercentile(capacity=512)
+        stream.extend(data)
+        assert stream.is_exact
+        for q in (1.0, 50.0, 95.0, 99.0):
+            # Not approx: below capacity nothing has been evicted, so the
+            # answer is the exact percentile of everything seen.
+            assert stream.percentile(q) == float(np.percentile(data, q))
+
     def test_count_tracks_all_observations(self):
         stream = StreamingPercentile(capacity=10)
         stream.extend(range(1000))

@@ -1,0 +1,202 @@
+"""Vectorized-backend benchmark: scalar vs NumPy write path at scale.
+
+Runs the synchronous-round batch simulation (:mod:`repro.netsim.batch`) on
+the same network universe with both backends -- the scalar per-node oracle
+and the vectorized array engine -- at 500 / 5,000 / 50,000 nodes, and
+records ticks/sec, observations/sec and the speedup into
+``BENCH_vectorized.json`` at the repo root.  Every size also checks that
+the two backends produced *byte-identical* final coordinates, so the
+speedup numbers are never bought with silent divergence.
+
+The headline configuration is the ``mp`` preset (MP(4, 25) filter,
+application coordinate tracking the system one -- the paper's "Raw MP
+Filter" deployment); a secondary section exercises the deployed
+``mp_energy`` configuration, whose per-observation cost is dominated by
+the O(window^2) energy statistic on both backends.
+
+The acceptance bar is a >=10x ticks/sec advantage for the vectorized
+backend at 5,000 nodes.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_vectorized.py          # full (500/5k/50k)
+    PYTHONPATH=src python benchmarks/bench_vectorized.py --smoke  # CI-sized
+
+``--smoke`` shrinks the sizes and tick counts so the script finishes in
+seconds; the artifact is tagged ``"smoke": true`` and the 10x bar is
+reported but not enforced.  The CI regression gate
+(``benchmarks/check_regression.py``) compares the smoke artifact's
+*speedup ratios* (hardware-independent) against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import NodeConfig
+from repro.latency.planetlab import PlanetLabDataset
+from repro.netsim.batch import BatchSimulationResult, run_batch_simulation
+from repro.netsim.runner import SimulationConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_vectorized.json"
+
+#: (nodes, ticks) per size.  Tick counts shrink with size so the scalar
+#: oracle stays tractable; throughput is reported per tick, so fewer ticks
+#: only widen the error bars, not bias the comparison.
+FULL_SIZES: Tuple[Tuple[int, int], ...] = ((500, 40), (5_000, 20), (50_000, 6))
+SMOKE_SIZES: Tuple[Tuple[int, int], ...] = ((200, 30), (1_000, 12))
+
+#: Secondary section: the deployed configuration (energy heuristic).  The
+#: two change-detection windows need 2 * 32 observations per node before
+#: the energy statistic starts firing, so these runs are >= 80 ticks --
+#: anything shorter would never exercise the O(window^2) hot loop.
+ENERGY_FULL_SIZES: Tuple[Tuple[int, int], ...] = ((500, 120), (5_000, 80))
+ENERGY_SMOKE_SIZES: Tuple[Tuple[int, int], ...] = ((200, 80),)
+
+SAMPLING_INTERVAL_S = 5.0
+ACCEPTANCE_NODES = 5_000
+ACCEPTANCE_SPEEDUP = 10.0
+
+
+def _run_backend(
+    config: SimulationConfig, dataset: PlanetLabDataset, backend: str
+) -> BatchSimulationResult:
+    return run_batch_simulation(
+        config, backend=backend, dataset=dataset, collect_profile=True
+    )
+
+
+def _coords_identical(a: BatchSimulationResult, b: BatchSimulationResult) -> Tuple[bool, float]:
+    max_delta = 0.0
+    identical = True
+    for left, right in zip(a.final_system, b.final_system):
+        for u, v in zip(left.components, right.components):
+            delta = abs(u - v)
+            if delta > max_delta:
+                max_delta = delta
+            if u != v:
+                identical = False
+    return identical, max_delta
+
+
+def _throughput(result: BatchSimulationResult) -> Dict[str, object]:
+    return {
+        "run_s": round(result.run_s, 4),
+        "setup_s": round(result.setup_s, 4),
+        "ticks_per_s": round(result.ticks_per_s, 2),
+        "observations_per_s": (
+            round(result.samples_completed / result.run_s, 1)
+            if result.run_s > 0
+            else float("inf")
+        ),
+        "samples_completed": result.samples_completed,
+    }
+
+
+def bench_size(nodes: int, ticks: int, *, preset: str, seed: int = 0) -> Dict[str, object]:
+    config = SimulationConfig(
+        nodes=nodes,
+        duration_s=ticks * SAMPLING_INTERVAL_S,
+        node_config=NodeConfig.preset(preset),
+        seed=seed,
+    )
+    # One shared universe: identical base RTTs, shifts and drift for both
+    # backends, so the comparison is apples to apples.
+    dataset = PlanetLabDataset.generate(nodes, seed=seed, parameters=config.dataset)
+    vectorized = _run_backend(config, dataset, "vectorized")
+    scalar = _run_backend(config, dataset, "scalar")
+    identical, max_delta = _coords_identical(scalar, vectorized)
+    speedup = (
+        vectorized.ticks_per_s / scalar.ticks_per_s
+        if scalar.ticks_per_s > 0
+        else float("inf")
+    )
+    record = {
+        "nodes": nodes,
+        "ticks": ticks,
+        "scalar": _throughput(scalar),
+        "vectorized": _throughput(vectorized),
+        "vectorized_phases": {
+            key: value
+            for key, value in vectorized.profile.items()
+            if key.endswith("_s")
+        },
+        "speedup": round(speedup, 2),
+        "coords_byte_identical": identical,
+        "max_coord_delta_ms": max_delta,
+    }
+    print(
+        f"  {preset:>9} {nodes:>6} nodes x {ticks:>3} ticks: "
+        f"scalar {scalar.ticks_per_s:8.2f} t/s, vectorized "
+        f"{vectorized.ticks_per_s:8.1f} t/s -> {speedup:7.1f}x "
+        f"(identical={identical})"
+    )
+    return record
+
+
+def run(smoke: bool, out_path: Path) -> int:
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    energy_sizes = ENERGY_SMOKE_SIZES if smoke else ENERGY_FULL_SIZES
+    print(f"vectorized-backend benchmark ({'smoke' if smoke else 'full'} mode)")
+    headline: List[Dict[str, object]] = [
+        bench_size(nodes, ticks, preset="mp") for nodes, ticks in sizes
+    ]
+    print("  -- deployed configuration (mp_energy) --")
+    energy: List[Dict[str, object]] = [
+        bench_size(nodes, ticks, preset="mp_energy") for nodes, ticks in energy_sizes
+    ]
+
+    acceptance_at: Optional[Dict[str, object]] = None
+    bar_nodes = ACCEPTANCE_NODES if not smoke else max(nodes for nodes, _ in sizes)
+    for record in headline:
+        if record["nodes"] == bar_nodes:
+            acceptance_at = record
+    assert acceptance_at is not None
+    met = (
+        float(acceptance_at["speedup"]) >= ACCEPTANCE_SPEEDUP
+        and all(bool(r["coords_byte_identical"]) for r in headline + energy)
+    )
+
+    payload = {
+        "benchmark": "vectorized_backend",
+        "smoke": smoke,
+        "sampling_interval_s": SAMPLING_INTERVAL_S,
+        "host_cpu_count": os.cpu_count(),
+        "sizes": headline,
+        "preset": "mp",
+        "energy_sizes": energy,
+        "energy_preset": "mp_energy",
+        "acceptance": {
+            "bar": (
+                f"vectorized >= {ACCEPTANCE_SPEEDUP:.0f}x scalar ticks/sec at "
+                f"{bar_nodes} nodes, with byte-identical coordinates"
+            ),
+            "speedup": acceptance_at["speedup"],
+            "met": met,
+            "enforced": not smoke,
+        },
+    }
+    out_path.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"written: {out_path}")
+    if not smoke and not met:
+        print("ACCEPTANCE FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument("--out", type=Path, default=ARTIFACT, help="artifact path")
+    args = parser.parse_args(argv)
+    return run(args.smoke, args.out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,182 @@
+"""Benchmark regression gate: compare smoke artifacts against baselines.
+
+CI machines differ wildly in absolute speed, so gating on raw ticks/sec or
+queries/sec would flap with the runner lottery.  This gate therefore
+compares only *ratio* metrics -- throughput relative to an in-run baseline
+measured on the same machine moments earlier -- which are stable across
+hardware:
+
+* ``vectorized_backend`` artifacts: the vectorized-over-scalar ticks/sec
+  speedup at every size, plus the byte-identical coordinate check;
+* ``service_query_scaling`` artifacts: each spatial index's queries/sec
+  over the linear scan at every size, plus the identical-results check.
+
+A metric regresses when it falls more than ``--tolerance`` (default 0.30,
+i.e. 30%) below its committed baseline in ``benchmarks/baselines/``.
+Correctness booleans (identical results) must hold outright.  Exit status:
+0 = pass, 1 = regression, 2 = usage/baseline error.
+
+Re-baselining: regenerate the smoke artifacts and copy them over the files
+in ``benchmarks/baselines/`` (see ``benchmarks/README.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+DEFAULT_TOLERANCE = 0.30
+
+#: (ratio metrics, boolean correctness metrics) per artifact, keyed by the
+#: payload's ``benchmark`` field.
+Metrics = Tuple[Dict[str, float], Dict[str, bool]]
+
+
+def _extract_vectorized(payload: Dict) -> Metrics:
+    ratios: Dict[str, float] = {}
+    checks: Dict[str, bool] = {}
+    for section, records in (("", payload["sizes"]), ("energy_", payload.get("energy_sizes", []))):
+        for record in records:
+            nodes = record["nodes"]
+            ratios[f"{section}speedup_at_{nodes}_nodes"] = float(record["speedup"])
+            checks[f"{section}coords_identical_at_{nodes}_nodes"] = bool(
+                record["coords_byte_identical"]
+            )
+    return ratios, checks
+
+
+def _extract_service(payload: Dict) -> Metrics:
+    ratios: Dict[str, float] = {}
+    checks: Dict[str, bool] = {}
+    for record in payload["sizes"]:
+        nodes = record["nodes"]
+        for kind, stats in record["kinds"].items():
+            if "speedup_vs_linear" in stats:
+                ratios[f"{kind}_speedup_at_{nodes}_nodes"] = float(
+                    stats["speedup_vs_linear"]
+                )
+            if "identical_to_linear" in stats:
+                checks[f"{kind}_identical_at_{nodes}_nodes"] = bool(
+                    stats["identical_to_linear"]
+                )
+    return ratios, checks
+
+
+EXTRACTORS = {
+    "vectorized_backend": _extract_vectorized,
+    "service_query_scaling": _extract_service,
+}
+
+
+def _load(path: Path) -> Dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"error: artifact {path} not found (run the benchmark first)")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: artifact {path} is not valid JSON: {exc}")
+
+
+def check_artifact(
+    current_path: Path, baseline_path: Path, tolerance: float
+) -> List[str]:
+    """Compare one artifact; returns human-readable failure lines."""
+    current = _load(current_path)
+    if not baseline_path.exists():
+        raise SystemExit(
+            f"error: no committed baseline {baseline_path} for {current_path.name}; "
+            "copy the smoke artifact there to baseline it (see benchmarks/README.md)"
+        )
+    baseline = _load(baseline_path)
+
+    kind = current.get("benchmark")
+    if kind != baseline.get("benchmark"):
+        raise SystemExit(
+            f"error: benchmark kind mismatch for {current_path.name}: "
+            f"{kind!r} vs baseline {baseline.get('benchmark')!r}"
+        )
+    extractor = EXTRACTORS.get(kind)
+    if extractor is None:
+        raise SystemExit(
+            f"error: no extractor for benchmark kind {kind!r} "
+            f"(known: {sorted(EXTRACTORS)})"
+        )
+
+    current_ratios, current_checks = extractor(current)
+    baseline_ratios, _ = extractor(baseline)
+
+    failures: List[str] = []
+    for name in sorted(set(current_ratios) & set(baseline_ratios)):
+        base = baseline_ratios[name]
+        now = current_ratios[name]
+        floor = base * (1.0 - tolerance)
+        status = "OK"
+        if now < floor:
+            status = "REGRESSION"
+            failures.append(
+                f"{current_path.name}: {name} regressed {base:.2f} -> {now:.2f} "
+                f"(floor {floor:.2f} at {tolerance:.0%} tolerance)"
+            )
+        print(
+            f"  {status:>10}  {name:<40} baseline {base:>9.2f}  current {now:>9.2f}"
+        )
+    missing = sorted(set(baseline_ratios) - set(current_ratios))
+    for name in missing:
+        failures.append(
+            f"{current_path.name}: metric {name} present in baseline but missing "
+            "from the current artifact (benchmark shrank?)"
+        )
+    for name, passed in sorted(current_checks.items()):
+        print(f"  {'OK' if passed else 'FAILED':>10}  {name}")
+        if not passed:
+            failures.append(f"{current_path.name}: correctness check {name} failed")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "artifacts", nargs="+", type=Path, help="current BENCH_*.json smoke artifacts"
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=DEFAULT_BASELINE_DIR,
+        help="directory of committed baseline artifacts (matched by filename)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional drop below baseline (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        print("error: --tolerance must be within [0, 1)", file=sys.stderr)
+        return 2
+
+    failures: List[str] = []
+    for artifact in args.artifacts:
+        baseline = args.baseline_dir / artifact.name
+        print(f"{artifact} vs {baseline}:")
+        try:
+            failures.extend(check_artifact(artifact, baseline, args.tolerance))
+        except SystemExit as exc:
+            print(exc, file=sys.stderr)
+            return 2
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  - {line}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,7 @@ from repro.core.heuristics import (
     make_heuristic,
 )
 from repro.core.node import CoordinateNode, ObservationResult
+from repro.core.vectorized import VectorizedNodeState, unsupported_reasons
 from repro.core.vivaldi import VivaldiConfig, VivaldiState, vivaldi_update
 from repro.core.windows import ChangeDetectionWindows
 
@@ -68,11 +69,13 @@ __all__ = [
     "SystemHeuristic",
     "ThresholdFilter",
     "UpdateHeuristic",
+    "VectorizedNodeState",
     "VivaldiConfig",
     "VivaldiState",
     "centroid",
     "energy_distance",
     "make_filter",
     "make_heuristic",
+    "unsupported_reasons",
     "vivaldi_update",
 ]

@@ -1,0 +1,615 @@
+"""NumPy-vectorized per-node coordinate state: the batch write path.
+
+The scalar core (:mod:`repro.core.node` and friends) processes one latency
+observation at a time through Python objects, which caps tick-based
+simulations at a few hundred nodes.  :class:`VectorizedNodeState` holds the
+*same* state for a whole population as flat arrays -- coordinates ``(n, d)``,
+error estimates ``(n,)``, per-link filter ring buffers ``(n, k, h)``, and
+heuristic windows ``(n, w, d)`` -- and advances every node's observation for
+a tick in one :meth:`observe_batch` call.
+
+Bit-for-bit parity with the scalar core is a design goal, not an accident:
+every formula below is written in the *same floating-point operation order*
+as its scalar counterpart (``vivaldi_update``, ``percentile_of``, the
+heuristics' centroid and energy computations), so that a vectorized run
+reproduces the scalar oracle's per-node coordinates byte-identically, not
+merely "within tolerance".  Where NumPy's reduction order could differ from
+the scalar code (sums across dimensions), the reduction is spelled out as a
+sequential accumulation.  The equivalence tests in
+``tests/test_vectorized.py`` pin this down.
+
+Not everything the scalar core supports is vectorized.  The supported
+surface is checked by :func:`unsupported_reasons`, which the scenario layer
+calls at validation time:
+
+* filters: ``mp`` / ``moving_percentile`` / ``median`` / ``ewma`` /
+  ``threshold`` / ``none`` / ``raw``;
+* heuristics: ``always`` / ``raw`` / ``system`` / ``application`` /
+  ``application_centroid`` / ``energy`` (``relative`` needs a per-node
+  nearest-neighbor scan over gossip-learned peers and stays scalar-only);
+* Vivaldi without the height augmentation (``use_height=False``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.config import NodeConfig
+from repro.core.coordinate import Coordinate
+from repro.core.vivaldi import (
+    MAX_ERROR_ESTIMATE,
+    MIN_ERROR_ESTIMATE,
+    MIN_LATENCY_MS,
+)
+
+__all__ = [
+    "BackendUnsupportedError",
+    "TickObservations",
+    "VectorizedNodeState",
+    "unsupported_reasons",
+    "VECTORIZED_FILTER_KINDS",
+    "VECTORIZED_HEURISTIC_KINDS",
+]
+
+#: Filter kinds the vectorized write path implements.
+VECTORIZED_FILTER_KINDS = (
+    "mp",
+    "moving_percentile",
+    "median",
+    "ewma",
+    "threshold",
+    "none",
+    "raw",
+)
+
+#: Heuristic kinds the vectorized write path implements.
+VECTORIZED_HEURISTIC_KINDS = (
+    "always",
+    "raw",
+    "system",
+    "application",
+    "application_centroid",
+    "energy",
+)
+
+
+class BackendUnsupportedError(ValueError):
+    """The node configuration cannot run on the vectorized backend."""
+
+
+def unsupported_reasons(config: NodeConfig) -> List[str]:
+    """Why ``config`` cannot run vectorized (empty list = fully supported).
+
+    Used by :class:`~repro.scenarios.spec.ScenarioSpec` validation so a
+    ``backend='vectorized'`` scenario with e.g. the RELATIVE heuristic
+    fails at spec-construction time with a readable message instead of
+    mid-run.
+    """
+    reasons: List[str] = []
+    if config.filter.kind.lower() not in VECTORIZED_FILTER_KINDS:
+        reasons.append(
+            f"filter kind {config.filter.kind!r} is not vectorized "
+            f"(supported: {sorted(set(VECTORIZED_FILTER_KINDS))})"
+        )
+    if config.heuristic.kind.lower() not in VECTORIZED_HEURISTIC_KINDS:
+        reasons.append(
+            f"heuristic kind {config.heuristic.kind!r} is not vectorized "
+            f"(supported: {sorted(set(VECTORIZED_HEURISTIC_KINDS))})"
+        )
+    if config.vivaldi.use_height:
+        reasons.append("the height-augmented coordinate space is not vectorized")
+    return reasons
+
+
+@dataclass(slots=True)
+class TickObservations:
+    """Arrays describing one tick's completed observations.
+
+    All arrays are aligned: element ``i`` describes the observation made by
+    node ``node_idx[i]`` of node ``peer_idx[i]`` through neighbor slot
+    ``slot_idx[i]`` with raw sample ``rtt_ms[i]``.  Each node appears at
+    most once per tick (one ping per sampling round, as in the protocol).
+    """
+
+    node_idx: np.ndarray
+    peer_idx: np.ndarray
+    slot_idx: np.ndarray
+    rtt_ms: np.ndarray
+
+
+@dataclass(slots=True)
+class TickOutcome:
+    """Per-observation outcome arrays (aligned with the tick's inputs).
+
+    ``relative_error`` / ``application_relative_error`` are ``NaN`` for
+    observations the per-link filter swallowed (warm-up / threshold), the
+    same cases where the scalar :class:`~repro.core.node.ObservationResult`
+    reports ``None``.
+    """
+
+    system_coords: np.ndarray
+    application_coords: np.ndarray
+    relative_error: np.ndarray
+    application_relative_error: np.ndarray
+    application_updated: np.ndarray
+
+
+class VectorizedNodeState:
+    """Array-of-structs coordinate state for ``count`` nodes.
+
+    Parameters
+    ----------
+    count:
+        Number of nodes.
+    config:
+        The (shared) per-node configuration; must pass
+        :func:`unsupported_reasons`.
+    neighbor_slots:
+        Maximum neighbor-list length across nodes; sizes the per-link
+        filter state ``(count, neighbor_slots, ...)``.
+    """
+
+    def __init__(self, count: int, config: NodeConfig, neighbor_slots: int) -> None:
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if neighbor_slots < 1:
+            raise ValueError("neighbor_slots must be >= 1")
+        reasons = unsupported_reasons(config)
+        if reasons:
+            raise BackendUnsupportedError("; ".join(reasons))
+        self.count = count
+        self.config = config
+        self.dimensions = config.vivaldi.dimensions
+
+        # Vivaldi state (VivaldiState.initial: origin coordinate, max error).
+        self.coords = np.zeros((count, self.dimensions), dtype=np.float64)
+        self.error = np.full(count, float(config.vivaldi.initial_error), dtype=np.float64)
+
+        # --- per-link filter state --------------------------------------
+        kind = config.filter.kind.lower()
+        params = dict(config.filter.params)
+        self._filter_kind = kind
+        if kind in ("mp", "moving_percentile", "median"):
+            self._history = int(params.get("history", 4))
+            self._percentile = 50.0 if kind == "median" else float(
+                params.get("percentile", 25.0)
+            )
+            self._warmup = int(params.get("warmup", 1))
+            if not 1 <= self._warmup <= self._history:
+                raise ValueError("warmup must be within [1, history]")
+            self._windows = np.full(
+                (count, neighbor_slots, self._history), np.nan, dtype=np.float64
+            )
+            self._window_counts = np.zeros((count, neighbor_slots), dtype=np.int64)
+        elif kind == "ewma":
+            self._alpha = float(params.get("alpha", 0.10))
+            self._ewma = np.full((count, neighbor_slots), np.nan, dtype=np.float64)
+        elif kind == "threshold":
+            self._threshold_ms = float(params.get("threshold_ms", 1000.0))
+        # "none"/"raw": stateless.
+
+        # --- heuristic state --------------------------------------------
+        hkind = config.heuristic.kind.lower()
+        hparams = dict(config.heuristic.params)
+        self._heuristic_kind = hkind
+        self.app_coords = np.zeros((count, self.dimensions), dtype=np.float64)
+        self.has_app = np.zeros(count, dtype=bool)
+        if hkind == "system":
+            self._tau = float(hparams.get("threshold_ms", 16.0))
+            self._prev_system = np.zeros((count, self.dimensions), dtype=np.float64)
+            self._has_prev_system = np.zeros(count, dtype=bool)
+        elif hkind == "application":
+            self._tau = float(hparams.get("threshold_ms", 16.0))
+        elif hkind == "application_centroid":
+            self._tau = float(hparams.get("threshold_ms", 16.0))
+            self._window_size = int(hparams.get("window_size", 32))
+            self._recent = np.zeros(
+                (count, self._window_size, self.dimensions), dtype=np.float64
+            )
+            self._recent_count = np.zeros(count, dtype=np.int64)
+        elif hkind == "energy":
+            self._tau = float(hparams.get("threshold", 8.0))
+            self._window_size = int(hparams.get("window_size", 32))
+            if self._window_size < 2:
+                raise ValueError("window_size must be >= 2")
+            w = self._window_size
+            self._start_win = np.zeros((count, w, self.dimensions), dtype=np.float64)
+            self._start_len = np.zeros(count, dtype=np.int64)
+            self._cur_win = np.zeros((count, w, self.dimensions), dtype=np.float64)
+            self._cur_count = np.zeros(count, dtype=np.int64)
+            self._obs_since_reset = np.zeros(count, dtype=np.int64)
+            # The start window freezes once full, so its within-sample mean
+            # pairwise distance is constant until the next change point --
+            # cache it instead of recomputing O(w^2) distances per tick.
+            self._within_start = np.zeros(count, dtype=np.float64)
+            self._within_start_ok = np.zeros(count, dtype=bool)
+
+        #: Wall-clock seconds spent per phase (filter / update / heuristic),
+        #: for the ``--profile`` tooling.
+        self.phase_seconds: Dict[str, float] = {
+            "filter": 0.0,
+            "update": 0.0,
+            "heuristic": 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def application_view(self) -> np.ndarray:
+        """Application coordinates with the pre-first-update fallback.
+
+        Mirrors :attr:`CoordinateNode.application_coordinate`: before the
+        heuristic has fired for a node, its application coordinate *is* its
+        system coordinate.
+        """
+        return np.where(self.has_app[:, None], self.app_coords, self.coords)
+
+    def coordinate_objects(self, *, level: str = "application") -> List[Coordinate]:
+        """Materialise per-node :class:`Coordinate` objects (reporting only)."""
+        source = self.coords if level == "system" else self.application_view()
+        return [Coordinate(row.tolist()) for row in source]
+
+    # ------------------------------------------------------------------
+    # The batched observation step
+    # ------------------------------------------------------------------
+    def observe_batch(self, tick: TickObservations) -> TickOutcome:
+        """Process one tick's observations for all observing nodes at once.
+
+        Peer state (coordinate, error estimate, application coordinate) is
+        read *before* any update -- the synchronous-round semantics of the
+        batch model -- so the order of nodes within the arrays cannot
+        influence the result.
+        """
+        idx = tick.node_idx
+        m = idx.shape[0]
+        d = self.dimensions
+        if m == 0:
+            empty = np.empty((0, d))
+            none = np.empty(0)
+            return TickOutcome(empty, empty, none, none, np.empty(0, dtype=bool))
+
+        # Snapshot the peer state before mutating anything.
+        peer_coords = self.coords[tick.peer_idx].copy()
+        peer_error = self.error[tick.peer_idx].copy()
+        peer_app = np.where(
+            self.has_app[tick.peer_idx][:, None],
+            self.app_coords[tick.peer_idx],
+            peer_coords,
+        )
+
+        started = time.perf_counter()
+        filtered, emitted = self._filter_update(idx, tick.slot_idx, tick.rtt_ms)
+        self.phase_seconds["filter"] += time.perf_counter() - started
+
+        raw = np.maximum(tick.rtt_ms, MIN_LATENCY_MS)
+        rel_err = np.full(m, np.nan)
+        app_rel_err = np.full(m, np.nan)
+        updated = np.zeros(m, dtype=bool)
+
+        if np.any(emitted):
+            e_sel = np.nonzero(emitted)[0]
+            e_idx = idx[e_sel]
+
+            started = time.perf_counter()
+            self._vivaldi_update(
+                e_idx, peer_coords[e_sel], peer_error[e_sel], filtered[e_sel]
+            )
+            new_coords = self.coords[e_idx]
+            predicted = _euclidean_rows(new_coords, peer_coords[e_sel])
+            rel_err[e_sel] = np.abs(predicted - raw[e_sel]) / raw[e_sel]
+            self.phase_seconds["update"] += time.perf_counter() - started
+
+            started = time.perf_counter()
+            updated[e_sel] = self._heuristic_update(e_idx, new_coords)
+            app_view = np.where(
+                self.has_app[e_idx][:, None], self.app_coords[e_idx], self.coords[e_idx]
+            )
+            app_predicted = _euclidean_rows(app_view, peer_app[e_sel])
+            app_rel_err[e_sel] = np.abs(app_predicted - raw[e_sel]) / raw[e_sel]
+            self.phase_seconds["heuristic"] += time.perf_counter() - started
+
+        return TickOutcome(
+            system_coords=self.coords[idx].copy(),
+            application_coords=np.where(
+                self.has_app[idx][:, None], self.app_coords[idx], self.coords[idx]
+            ),
+            relative_error=rel_err,
+            application_relative_error=app_rel_err,
+            application_updated=updated,
+        )
+
+    # ------------------------------------------------------------------
+    # Filters
+    # ------------------------------------------------------------------
+    def _filter_update(
+        self, idx: np.ndarray, slot: np.ndarray, rtt_ms: np.ndarray
+    ) -> tuple:
+        """Per-link filter step; returns ``(filtered_values, emitted_mask)``."""
+        kind = self._filter_kind
+        if kind in ("none", "raw"):
+            return rtt_ms.astype(np.float64, copy=True), np.ones(idx.shape[0], dtype=bool)
+        if kind == "threshold":
+            emitted = rtt_ms <= self._threshold_ms
+            return rtt_ms.astype(np.float64, copy=True), emitted
+        if kind == "ewma":
+            previous = self._ewma[idx, slot]
+            fresh = np.isnan(previous)
+            value = np.where(
+                fresh, rtt_ms, self._alpha * rtt_ms + (1.0 - self._alpha) * previous
+            )
+            self._ewma[idx, slot] = value
+            return value, np.ones(idx.shape[0], dtype=bool)
+
+        # Moving percentile / median: per-link ring buffers.
+        counts = self._window_counts[idx, slot]
+        position = counts % self._history
+        self._windows[idx, slot, position] = rtt_ms
+        self._window_counts[idx, slot] = counts + 1
+        length = np.minimum(counts + 1, self._history)
+        emitted = length >= self._warmup
+
+        rows = np.sort(self._windows[idx, slot], axis=1)  # NaNs sort last
+        # percentile_of with linear interpolation, in the same operation
+        # order as the scalar helper so results are byte-identical.
+        rank = (self._percentile / 100.0) * (length - 1)
+        lower = np.floor(rank).astype(np.int64)
+        upper = np.ceil(rank).astype(np.int64)
+        weight = rank - lower
+        row_index = np.arange(rows.shape[0])
+        lower_value = rows[row_index, lower]
+        upper_value = rows[row_index, upper]
+        filtered = lower_value * (1.0 - weight) + upper_value * weight
+        return filtered, emitted
+
+    # ------------------------------------------------------------------
+    # Vivaldi (the batched spring step)
+    # ------------------------------------------------------------------
+    def _vivaldi_update(
+        self,
+        idx: np.ndarray,
+        peer_coords: np.ndarray,
+        peer_error: np.ndarray,
+        filtered_rtt: np.ndarray,
+    ) -> None:
+        """Batched :func:`repro.core.vivaldi.vivaldi_update` over ``idx``."""
+        cfg = self.config.vivaldi
+        measured = np.maximum(filtered_rtt, MIN_LATENCY_MS)
+        remote = _clamp_error_array(peer_error)
+        local = _clamp_error_array(self.error[idx])
+
+        total = local + remote
+        positive = total > 0.0
+        weight = np.where(positive, local / np.where(positive, total, 1.0), 0.5)
+
+        own = self.coords[idx]
+        delta = own - peer_coords
+        euclid = _euclidean_from_delta(delta)
+        predicted = euclid  # pure metric space: heights are zero
+
+        if cfg.error_margin_ms > 0.0:
+            within = np.abs(predicted - measured) <= cfg.error_margin_ms
+            measured_for_error = np.where(
+                within, np.where(predicted > 0.0, predicted, measured), measured
+            )
+        else:
+            measured_for_error = measured
+
+        relative_error = np.abs(predicted - measured_for_error) / np.maximum(
+            measured_for_error, MIN_LATENCY_MS
+        )
+        alpha = cfg.ce * weight
+        new_error = _clamp_error_array(alpha * relative_error + (1.0 - alpha) * local)
+
+        # The adaptive per-node timestep: confident nodes take small steps,
+        # uncertain ones large ones (delta = c_c * w_s in Figure 1).
+        step = cfg.cc * weight
+        moving = euclid > 0.0
+        safe = np.where(moving, euclid, 1.0)
+        unit = delta / safe[:, None]
+        # Coinciding coordinates: deterministic push along the first axis,
+        # exactly as Coordinate.unit_vector_toward's fallback.
+        unit[~moving] = 0.0
+        unit[~moving, 0] = 1.0
+
+        displacement = step * (measured - euclid)
+        self.coords[idx] = own + displacement[:, None] * unit
+        self.error[idx] = new_error
+
+    # ------------------------------------------------------------------
+    # Heuristics
+    # ------------------------------------------------------------------
+    def _heuristic_update(self, idx: np.ndarray, system: np.ndarray) -> np.ndarray:
+        """Apply the application-update heuristic; returns the fired mask."""
+        kind = self._heuristic_kind
+        if kind in ("always", "raw"):
+            self.app_coords[idx] = system
+            self.has_app[idx] = True
+            return np.ones(idx.shape[0], dtype=bool)
+        if kind == "application":
+            distance = _euclidean_rows(self.app_coords[idx], system)
+            fired = ~self.has_app[idx] | (distance > self._tau)
+            f_idx = idx[fired]
+            self.app_coords[f_idx] = system[fired]
+            self.has_app[f_idx] = True
+            return fired
+        if kind == "system":
+            previous = self._prev_system[idx]
+            had_previous = self._has_prev_system[idx]
+            moved = _euclidean_rows(previous, system) > self._tau
+            fired = ~self.has_app[idx] | ~had_previous | moved
+            self._prev_system[idx] = system
+            self._has_prev_system[idx] = True
+            f_idx = idx[fired]
+            self.app_coords[f_idx] = system[fired]
+            self.has_app[f_idx] = True
+            return fired
+        if kind == "application_centroid":
+            return self._application_centroid_update(idx, system)
+        return self._energy_update(idx, system)
+
+    def _application_centroid_update(
+        self, idx: np.ndarray, system: np.ndarray
+    ) -> np.ndarray:
+        w = self._window_size
+        counts = self._recent_count[idx]
+        self._recent[idx, counts % w] = system
+        self._recent_count[idx] = counts + 1
+
+        distance = _euclidean_rows(self.app_coords[idx], system)
+        fired = ~self.has_app[idx] | (distance > self._tau)
+        if np.any(fired):
+            f_idx = idx[fired]
+            self.app_coords[f_idx] = _ring_centroid(
+                self._recent[f_idx], self._recent_count[f_idx], w
+            )
+            self.has_app[f_idx] = True
+        return fired
+
+    def _energy_update(self, idx: np.ndarray, system: np.ndarray) -> np.ndarray:
+        w = self._window_size
+        # ChangeDetectionWindows.add: the start window fills (then freezes),
+        # the current window always slides.
+        start_len = self._start_len[idx]
+        filling = start_len < w
+        fill_idx = idx[filling]
+        self._start_win[fill_idx, start_len[filling]] = system[filling]
+        self._start_len[fill_idx] = start_len[filling] + 1
+        self._within_start_ok[fill_idx] = False
+
+        cur_count = self._cur_count[idx]
+        self._cur_win[idx, cur_count % w] = system
+        self._cur_count[idx] = cur_count + 1
+        self._obs_since_reset[idx] += 1
+
+        fired = np.zeros(idx.shape[0], dtype=bool)
+
+        # First update: the application coordinate adopts the system one.
+        first = ~self.has_app[idx]
+        f_idx = idx[first]
+        self.app_coords[f_idx] = system[first]
+        self.has_app[f_idx] = True
+        fired |= first
+
+        ready = ~first & (self._obs_since_reset[idx] >= 2 * w)
+        if np.any(ready):
+            r_sel = np.nonzero(ready)[0]
+            r_idx = idx[r_sel]
+            current = _ordered_ring(self._cur_win[r_idx], self._cur_count[r_idx], w)
+            statistic = self._energy_statistic(r_idx, current)
+            over = statistic > self._tau
+            if np.any(over):
+                o_sel = r_sel[over]
+                o_idx = idx[o_sel]
+                self.app_coords[o_idx] = _window_centroid(current[over])
+                # declare_change_point: both windows restart from scratch.
+                self._start_len[o_idx] = 0
+                self._cur_count[o_idx] = 0
+                self._obs_since_reset[o_idx] = 0
+                self._within_start_ok[o_idx] = False
+                fired[o_sel] = True
+        return fired
+
+    def _energy_statistic(self, node_idx: np.ndarray, current: np.ndarray) -> np.ndarray:
+        """Batched Szekely-Rizzo energy distance between the two windows.
+
+        Matches :func:`repro.core.energy.energy_distance_arrays` operation
+        for operation; the frozen start window's within-sample mean is
+        cached per node between change points.
+        """
+        w = self._window_size
+        start = self._start_win[node_idx]
+
+        missing = ~self._within_start_ok[node_idx]
+        if np.any(missing):
+            miss_nodes = node_idx[missing]
+            self._within_start[miss_nodes] = _batched_mean_pairwise(
+                start[missing], start[missing]
+            )
+            self._within_start_ok[miss_nodes] = True
+        within_start = self._within_start[node_idx]
+
+        cross = _batched_mean_pairwise(start, current)
+        within_current = _batched_mean_pairwise(current, current)
+        scale = (w * w) / (w + w)
+        return np.maximum(0.0, scale * (2.0 * cross - within_start - within_current))
+
+
+# ----------------------------------------------------------------------
+# Array helpers (operation-order-compatible with the scalar core)
+# ----------------------------------------------------------------------
+def _clamp_error_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized ``vivaldi._clamp_error``: NaN -> max, then clip."""
+    return np.where(
+        np.isnan(values),
+        MAX_ERROR_ESTIMATE,
+        np.clip(values, MIN_ERROR_ESTIMATE, MAX_ERROR_ESTIMATE),
+    )
+
+
+def _euclidean_from_delta(delta: np.ndarray) -> np.ndarray:
+    """Row-wise Euclidean norm, accumulating dimensions sequentially.
+
+    ``Coordinate.euclidean_distance`` sums squared differences left to
+    right; an explicit accumulation reproduces that order exactly (NumPy's
+    pairwise ``sum`` could associate differently for wide coordinates).
+    """
+    acc = delta[:, 0] * delta[:, 0]
+    for j in range(1, delta.shape[1]):
+        acc = acc + delta[:, j] * delta[:, j]
+    return np.sqrt(acc)
+
+
+def _euclidean_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return _euclidean_from_delta(a - b)
+
+
+def _ordered_ring(ring: np.ndarray, counts: np.ndarray, window: int) -> np.ndarray:
+    """Materialise ring buffers as oldest-to-newest windows ``(m, w, d)``.
+
+    Only called for full windows (``counts >= window``).
+    """
+    offsets = (counts[:, None] - window + np.arange(window)[None, :]) % window
+    rows = np.arange(ring.shape[0])[:, None]
+    return ring[rows, offsets]
+
+
+def _window_centroid(windows: np.ndarray) -> np.ndarray:
+    """Centroid of full ``(m, w, d)`` windows, summed in window order."""
+    acc = windows[:, 0, :].copy()
+    for j in range(1, windows.shape[1]):
+        acc = acc + windows[:, j, :]
+    return acc / float(windows.shape[1])
+
+
+def _ring_centroid(ring: np.ndarray, counts: np.ndarray, window: int) -> np.ndarray:
+    """Centroid of possibly part-full ring buffers, in insertion order."""
+    length = np.minimum(counts, window)
+    start = np.where(counts > window, counts % window, 0)
+    acc = np.zeros((ring.shape[0], ring.shape[2]))
+    for j in range(window):
+        valid = j < length
+        position = (start + j) % window
+        rows = np.arange(ring.shape[0])
+        contribution = np.where(
+            valid[:, None], ring[rows, position], 0.0
+        )
+        acc = acc + contribution
+    return acc / length[:, None].astype(np.float64)
+
+
+def _batched_mean_pairwise(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Batched ``energy._mean_pairwise_numpy`` over ``(m, w, d)`` windows.
+
+    The per-node computation reduces exactly like the scalar helper: the
+    squared differences are summed over the (innermost, contiguous)
+    dimension axis and the ``w**2`` distances of each node are averaged as
+    one contiguous row, matching ``.mean()`` over a ``(w, w)`` matrix.
+    """
+    m, w, _ = a.shape
+    diff = a[:, :, None, :] - b[:, None, :, :]
+    distances = np.sqrt((diff * diff).sum(axis=-1))
+    return distances.reshape(m, w * w).mean(axis=1)

@@ -33,18 +33,33 @@ __all__ = ["run_scenario", "ScenarioRun"]
 
 
 class ScenarioRun:
-    """A result plus the live collector it was derived from."""
+    """A result plus the live collector it was derived from.
 
-    __slots__ = ("result", "collector")
+    ``collector`` is a :class:`~repro.metrics.collector.MetricsCollector`
+    for the scalar paths and the duck-typed
+    :class:`~repro.netsim.batch.BatchMetrics` for the vectorized backend;
+    both answer the same queries.  ``profile`` holds the per-phase tick
+    timings when the caller asked for them (vectorized/batch runs only) --
+    timing is wall-clock and therefore never part of the result itself.
+    """
 
-    def __init__(self, result: ScenarioResult, collector: MetricsCollector) -> None:
+    __slots__ = ("result", "collector", "profile")
+
+    def __init__(
+        self,
+        result: ScenarioResult,
+        collector: MetricsCollector,
+        profile: Optional[Dict[str, float]] = None,
+    ) -> None:
         self.result = result
         self.collector = collector
+        self.profile = profile
 
 
-def run_scenario(spec: ScenarioSpec) -> ScenarioRun:
+def run_scenario(spec: ScenarioSpec, *, collect_profile: bool = False) -> ScenarioRun:
     """Execute one scenario and return its result and metrics collector."""
     started = time.perf_counter()
+    profile: Optional[Dict[str, float]] = None
     parameters = spec.network.to_parameters()
     measurement_start_s = spec.resolved_measurement_start_s()
     dataset = build_dataset(spec.network.nodes, seed=spec.seed, parameters=parameters)
@@ -90,13 +105,34 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioRun:
             bootstrap_neighbors=spec.bootstrap_neighbors,
             seed=spec.seed,
         )
-        sim = run_simulation(config, dataset=dataset)
-        collector = sim.collector
-        counters["samples_attempted"] = float(sim.samples_attempted)
-        counters["samples_completed"] = float(sim.samples_completed)
-        counters["events_processed"] = float(sim.events_processed)
-        counters["churn_transitions"] = float(sim.churn_transitions)
-        final_coordinates = sim.application_coordinates()
+        if spec.backend == "vectorized":
+            from repro.netsim.batch import run_batch_simulation
+
+            sim = run_batch_simulation(
+                config,
+                dataset=dataset,
+                backend="vectorized",
+                collect_profile=collect_profile,
+            )
+            collector = sim.metrics
+            counters["samples_attempted"] = float(sim.samples_attempted)
+            counters["samples_completed"] = float(sim.samples_completed)
+            counters["ticks"] = float(sim.ticks)
+            counters["churn_transitions"] = float(sim.churn_transitions)
+            final_coordinates = sim.application_coordinates()
+            profile = sim.profile if collect_profile else None
+            if spec.strict_equivalence:
+                oracle = run_batch_simulation(config, dataset=dataset, backend="scalar")
+                _assert_strict_equivalence(spec, sim, oracle)
+                counters["strict_equivalence"] = 1.0
+        else:
+            sim = run_simulation(config, dataset=dataset)
+            collector = sim.collector
+            counters["samples_attempted"] = float(sim.samples_attempted)
+            counters["samples_completed"] = float(sim.samples_completed)
+            counters["events_processed"] = float(sim.events_processed)
+            counters["churn_transitions"] = float(sim.churn_transitions)
+            final_coordinates = sim.application_coordinates()
 
     metrics: Dict[str, Optional[float]] = dict(asdict(collector.system_snapshot()))
     metrics.update(counters)
@@ -121,7 +157,50 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioRun:
         workload=workload_payload,
         elapsed_s=time.perf_counter() - started,
     )
-    return ScenarioRun(result, collector)
+    return ScenarioRun(result, collector, profile)
+
+
+# ----------------------------------------------------------------------
+# Strict backend equivalence (the vectorized backend's safety net)
+# ----------------------------------------------------------------------
+def _assert_strict_equivalence(spec, vectorized, oracle) -> None:
+    """Fail loudly unless the two batch backends produced identical output.
+
+    "Identical" means byte-identical: the same system snapshot, the same
+    per-node error and instability distributions, and bit-equal final
+    coordinates at both levels.  Anything less would let a vectorization
+    bug silently shift published numbers.
+    """
+    from repro.engine.results import canonical_json
+
+    problems = []
+    snap_v = canonical_json(asdict(vectorized.metrics.system_snapshot()))
+    snap_o = canonical_json(asdict(oracle.metrics.system_snapshot()))
+    if snap_v != snap_o:
+        problems.append("system snapshots differ")
+    for label, query in (
+        ("median application error", lambda m: m.per_node_median_error(level="application")),
+        ("p95 system error", lambda m: m.per_node_error_percentile(95.0, level="system")),
+        ("application instability", lambda m: m.per_node_instability(level="application")),
+    ):
+        if query(vectorized.metrics) != query(oracle.metrics):
+            problems.append(f"per-node {label} distributions differ")
+    for level, left, right in (
+        ("system", vectorized.final_system, oracle.final_system),
+        ("application", vectorized.final_application, oracle.final_application),
+    ):
+        for host_id, coord_v, coord_o in zip(vectorized.host_ids, left, right):
+            if tuple(coord_v.components) != tuple(coord_o.components):
+                problems.append(
+                    f"{level} coordinate of {host_id} diverged: "
+                    f"{coord_v.components} != {coord_o.components}"
+                )
+                break
+    if problems:
+        raise ValueError(
+            f"scenario {spec.name!r}: vectorized backend diverged from the "
+            "scalar oracle under strict_equivalence: " + "; ".join(problems)
+        )
 
 
 # ----------------------------------------------------------------------

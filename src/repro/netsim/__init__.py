@@ -13,10 +13,25 @@ Two execution modes cover the paper's two evaluation styles:
   discovery, round-robin sampling every few seconds, and message delivery
   with latency drawn from the link models.  Used for the Section VI
   ("PlanetLab") experiments.
+
+A third mode, **batch simulation** (:mod:`repro.netsim.batch`), is a
+synchronous-round discretisation of the protocol whose write path runs
+either on the scalar core (the correctness oracle) or as NumPy array
+operations (:mod:`repro.core.vectorized`), scaling tick-based runs to tens
+of thousands of nodes.
 """
 
 from __future__ import annotations
 
+from repro.netsim.batch import (
+    BatchLinkSampler,
+    BatchMetrics,
+    BatchSimulationResult,
+    ScalarTickBackend,
+    SimulationBackend,
+    VectorizedTickBackend,
+    run_batch_simulation,
+)
 from repro.netsim.churn import ChurnConfig, ChurnModel
 from repro.netsim.events import Event, EventQueue
 from repro.netsim.host import SimulatedHost
@@ -27,6 +42,9 @@ from repro.netsim.runner import SimulationConfig, SimulationResult, run_simulati
 from repro.netsim.simulator import Simulator
 
 __all__ = [
+    "BatchLinkSampler",
+    "BatchMetrics",
+    "BatchSimulationResult",
     "ChurnConfig",
     "ChurnModel",
     "Event",
@@ -35,10 +53,14 @@ __all__ = [
     "PingProtocol",
     "ProtocolConfig",
     "ReplayResult",
+    "ScalarTickBackend",
     "SimulatedHost",
+    "SimulationBackend",
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
+    "VectorizedTickBackend",
     "replay_trace",
+    "run_batch_simulation",
     "run_simulation",
 ]

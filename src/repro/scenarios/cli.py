@@ -26,9 +26,10 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.engine import execute
-from repro.engine.results import ScenarioResult
+from repro.engine.results import ScenarioResult, results_canonical_json
 from repro.scenarios.grid import ScenarioGrid
 from repro.scenarios.registry import get_scenario, iter_scenarios
+from repro.scenarios.spec import SIMULATION_BACKENDS, ScenarioSpec
 
 __all__ = ["main"]
 
@@ -102,18 +103,56 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    specs = [get_scenario(name) for name in args.names]
-    report = execute(
-        specs, workers=args.workers, cache_dir=args.cache, mp_context=args.mp_context
-    )
-    _print_results(report.results)
-    print(
-        f"\n{len(report.results)} scenario(s) in {report.elapsed_s:.1f}s "
-        f"({report.workers} worker(s), {report.cache_hits} cache hit(s))"
-    )
+def _with_backend(spec: ScenarioSpec, backend: Optional[str]) -> ScenarioSpec:
+    """Re-validate the spec with the CLI backend override applied."""
+    if backend is None or spec.backend == backend:
+        return spec
+    return ScenarioSpec.from_dict({**spec.to_dict(), "backend": backend})
+
+
+def _write_outputs(args: argparse.Namespace, results: Sequence[ScenarioResult]) -> None:
+    """Shared tail of every command: the --output / --canonical-output files."""
     if args.output is not None:
-        _write_json(args.output, report.results)
+        _write_json(args.output, results)
+    if args.canonical_output is not None:
+        args.canonical_output.write_text(results_canonical_json(list(results)) + "\n")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    specs = [_with_backend(get_scenario(name), args.backend) for name in args.names]
+    if args.profile is not None:
+        # Per-phase tick timings only exist inside the kernel, so profiled
+        # runs execute serially and uncached in this process (--workers and
+        # --cache are ignored).
+        from repro.engine.kernel import run_scenario
+
+        import time as _time
+
+        started = _time.perf_counter()
+        results: List[ScenarioResult] = []
+        profiles: Dict[str, Any] = {}
+        for spec in specs:
+            run = run_scenario(spec, collect_profile=True)
+            results.append(run.result)
+            profiles[spec.name] = run.profile or {
+                "note": "per-phase timings require backend='vectorized'"
+            }
+        summary = f"{_time.perf_counter() - started:.1f}s (serial, profiled)"
+    else:
+        report = execute(
+            specs, workers=args.workers, cache_dir=args.cache, mp_context=args.mp_context
+        )
+        results = report.results
+        summary = (
+            f"{report.elapsed_s:.1f}s "
+            f"({report.workers} worker(s), {report.cache_hits} cache hit(s))"
+        )
+    _print_results(results)
+    print(f"\n{len(results)} scenario(s) in {summary}")
+    if args.profile is not None:
+        args.profile.write_text(json.dumps(profiles, indent=2) + "\n")
+        print(f"per-phase timings written to {args.profile}")
+    _write_outputs(args, results)
     return 0
 
 
@@ -121,7 +160,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.bench_json is not None and not args.check_serial:
         print("error: --bench-json requires --check-serial", file=sys.stderr)
         return 2
-    base = get_scenario(args.name)
+    base = _with_backend(get_scenario(args.name), args.backend)
     axes: Dict[str, tuple] = {}
     for axis_name, values in args.set or []:
         if axis_name in axes:
@@ -181,8 +220,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if not identical:
             print("error: parallel results diverged from serial results", file=sys.stderr)
             return 1
-    if args.output is not None:
-        _write_json(args.output, report.results)
+    _write_outputs(args, report.results)
     return 0
 
 
@@ -199,6 +237,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = commands.add_parser("run", help="run registered scenarios by name")
     run.add_argument("names", nargs="+", help="registered scenario names")
+    run.add_argument(
+        "--profile",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "run serially (uncached) and dump per-phase tick timings "
+            "(sample, filter, update, heuristic, metrics) as JSON"
+        ),
+    )
     run.set_defaults(handler=_cmd_run)
 
     sweep = commands.add_parser("sweep", help="expand one scenario over parameter axes")
@@ -230,6 +278,19 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--output", type=Path, default=None, help="write full results as JSON"
+        )
+        sub.add_argument(
+            "--backend",
+            choices=SIMULATION_BACKENDS,
+            default=None,
+            help="override the spec's simulation backend (vectorized needs simulate mode)",
+        )
+        sub.add_argument(
+            "--canonical-output",
+            type=Path,
+            default=None,
+            metavar="PATH",
+            help="write byte-stable canonical JSON (for determinism diffs)",
         )
         sub.add_argument(
             "--mp-context",

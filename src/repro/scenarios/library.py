@@ -177,6 +177,84 @@ def _query_service_knn() -> ScenarioSpec:
     )
 
 
+@scenario("fig07-vectorized")
+def _fig07_vectorized() -> ScenarioSpec:
+    """The Figure 7 network universe on the vectorized batch engine.
+
+    Same shifting-link / drifting universe as ``fig07-drift``, but run
+    through the synchronous-round NumPy backend at ~10x the node count the
+    scalar replay uses -- the drift workload itself needs replay hooks, so
+    this entry reports the ping-level stability metrics instead.
+    """
+    return ScenarioSpec(
+        name="fig07-vectorized",
+        description="Shifting/drifting universe on the vectorized batch backend",
+        mode="simulate",
+        network=NetworkSpec(nodes=256, shifting_fraction=0.5, drift_fraction_per_hour=0.10),
+        preset="mp",
+        duration_s=1800.0,
+        backend="vectorized",
+        seed=0,
+    )
+
+
+@scenario("churn-vectorized")
+def _churn_vectorized() -> ScenarioSpec:
+    """The deployed Energy+MP configuration under churn, vectorized."""
+    return ScenarioSpec(
+        name="churn-vectorized",
+        description="Energy+MP under 30% churn on the vectorized batch backend",
+        mode="simulate",
+        network=NetworkSpec(nodes=256),
+        preset="mp_energy",
+        duration_s=1800.0,
+        churn=ChurnSpec(churning_fraction=0.3, mean_session_s=400.0, mean_downtime_s=120.0),
+        backend="vectorized",
+        seed=0,
+    )
+
+
+@scenario("stress-10k-vectorized")
+def _stress_10k_vectorized() -> ScenarioSpec:
+    """A 10,000-node stress run, only feasible on the vectorized backend.
+
+    The scalar write path needs minutes per tick at this scale; the batch
+    engine finishes the whole run in seconds.  Kept short so it stays a
+    practical smoke test for very large populations.
+    """
+    return ScenarioSpec(
+        name="stress-10k-vectorized",
+        description="10k-node synchronous-round stress run (vectorized only)",
+        mode="simulate",
+        network=NetworkSpec(nodes=10_000),
+        preset="mp",
+        duration_s=300.0,
+        backend="vectorized",
+        seed=0,
+    )
+
+
+@scenario("vectorized-strict-small")
+def _vectorized_strict_small() -> ScenarioSpec:
+    """Pinned strict-equivalence guard: vectorized must match the oracle.
+
+    Small enough to run in CI on every push; the kernel executes both
+    batch backends on the same universe and fails unless metrics,
+    per-node distributions and final coordinates are byte-identical.
+    """
+    return ScenarioSpec(
+        name="vectorized-strict-small",
+        description="Byte-identical vectorized-vs-scalar equivalence guard",
+        mode="simulate",
+        network=NetworkSpec(nodes=12),
+        preset="mp",
+        duration_s=240.0,
+        backend="vectorized",
+        strict_equivalence=True,
+        seed=7,
+    )
+
+
 @scenario("placement-overlay")
 def _placement_overlay() -> ScenarioSpec:
     """Application-level workload: stream-operator placement."""

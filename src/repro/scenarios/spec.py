@@ -43,6 +43,7 @@ __all__ = [
     "WorkloadSpec",
     "ScenarioSpec",
     "SEED_POLICIES",
+    "SIMULATION_BACKENDS",
     "WORKLOAD_KINDS",
 ]
 
@@ -58,6 +59,12 @@ class ScenarioError(ValueError):
 
 #: Recognised seed policies for grid expansion.
 SEED_POLICIES = ("fixed", "per_cell")
+
+#: Recognised simulation backends.  ``scalar`` is the existing per-node
+#: path (discrete-event simulation, or trace replay in replay mode);
+#: ``vectorized`` runs the NumPy synchronous-round batch engine
+#: (:mod:`repro.netsim.batch`) and requires ``mode='simulate'``.
+SIMULATION_BACKENDS = ("scalar", "vectorized")
 
 #: Recognised workload kinds and the parameters each accepts (with defaults).
 WORKLOAD_KINDS: Dict[str, Dict[str, Any]] = {
@@ -253,6 +260,17 @@ class ScenarioSpec:
     bootstrap_neighbors: int = 4
     #: Optional churn process (simulate mode only).
     churn: Optional[ChurnSpec] = None
+    #: Execution backend: ``scalar`` (the default per-node path) or
+    #: ``vectorized`` (the NumPy synchronous-round batch engine; simulate
+    #: mode only, and the coordinate configuration must be within the
+    #: vectorized surface -- see :mod:`repro.core.vectorized`).
+    backend: str = "scalar"
+    #: When True (vectorized backend only), the kernel also runs the
+    #: scalar tick oracle on the same universe and fails the run unless
+    #: metrics, per-node distributions and final coordinates are
+    #: byte-identical.  Meant for small pinned specs that guard the
+    #: backend's equivalence in CI.
+    strict_equivalence: bool = False
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     #: Base random seed for the whole universe.
     seed: int = 0
@@ -292,6 +310,15 @@ class ScenarioSpec:
             "loss_probability must be within [0, 1)",
         )
         _check(errors, self.bootstrap_neighbors >= 1, "bootstrap_neighbors must be >= 1")
+        _check(
+            errors,
+            self.backend in SIMULATION_BACKENDS,
+            f"backend must be one of {SIMULATION_BACKENDS}, got {self.backend!r}",
+        )
+        if self.backend == "vectorized" and self.mode != "simulate":
+            errors.append("backend 'vectorized' requires mode='simulate'")
+        if self.strict_equivalence and self.backend != "vectorized":
+            errors.append("strict_equivalence requires backend='vectorized'")
         if self.preset is None and (self.filter_kind is None or self.heuristic_kind is None):
             errors.append(
                 "either a preset or both filter_kind and heuristic_kind must be given"
@@ -306,6 +333,15 @@ class ScenarioSpec:
                 config.heuristic.build()
             except (TypeError, ValueError) as exc:
                 errors.append(f"coordinate configuration invalid: {exc}")
+            else:
+                if self.backend == "vectorized":
+                    # Imported lazily, mirroring the service-layer checks:
+                    # the spec layer must not eagerly pull in the batch
+                    # engine for a membership test.
+                    from repro.core.vectorized import unsupported_reasons
+
+                    for reason in unsupported_reasons(config):
+                        errors.append(f"backend 'vectorized': {reason}")
         if self.churn is not None:
             if self.mode != "simulate":
                 errors.append("churn requires mode='simulate' (replay has a fixed trace)")

@@ -140,6 +140,41 @@ class TestScenariosCommandGroup:
         assert main(args) == 2
         assert "coordinate configuration invalid" in capsys.readouterr().err
 
+    def test_run_backend_override_and_profile(self, capsys, tmp_path):
+        profile_path = tmp_path / "profile.json"
+        canonical_path = tmp_path / "canonical.json"
+        args = [
+            "scenarios", "run", "vectorized-strict-small",
+            "--profile", str(profile_path),
+            "--canonical-output", str(canonical_path),
+        ]
+        assert main(args) == 0
+        assert "profiled" in capsys.readouterr().out
+        phases = json.loads(profile_path.read_text())["vectorized-strict-small"]
+        for key in ("sample_s", "filter_s", "update_s", "heuristic_s", "ticks"):
+            assert key in phases
+        canonical = json.loads(canonical_path.read_text())
+        assert canonical["results"][0]["metrics"]["strict_equivalence"] == 1.0
+
+    def test_run_backend_override_rejects_invalid_combination(self, capsys):
+        args = ["scenarios", "run", "fig07-drift", "--backend", "vectorized"]
+        assert main(args) == 2
+        assert "requires mode='simulate'" in capsys.readouterr().err
+
+    def test_canonical_output_is_stable_across_worker_counts(
+        self, capsys, tmp_path, tiny_scenario
+    ):
+        paths = []
+        for workers in ("1", "2"):
+            path = tmp_path / f"canonical-w{workers}.json"
+            args = [
+                "scenarios", "run", tiny_scenario,
+                "--workers", workers, "--canonical-output", str(path),
+            ]
+            assert main(args) == 0
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
     def test_check_serial_reruns_uncached_for_fair_comparison(
         self, capsys, tmp_path, tiny_scenario
     ):

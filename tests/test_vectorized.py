@@ -1,0 +1,342 @@
+"""Vectorized backend: equivalence with the scalar oracle, spec wiring,
+and the benchmark regression gate.
+
+The central contract is that the NumPy batch write path
+(:mod:`repro.core.vectorized` driven by :mod:`repro.netsim.batch`)
+reproduces the scalar per-node core *byte for byte* on the same tick
+schedule.  The documented public tolerance is ``COORDINATE_TOLERANCE_MS``
+(what callers may rely on across NumPy versions); these tests additionally
+pin the current implementation to exact equality so any silent divergence
+surfaces immediately.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FilterConfig, HeuristicConfig, NodeConfig
+from repro.core.vectorized import (
+    BackendUnsupportedError,
+    VectorizedNodeState,
+    unsupported_reasons,
+)
+from repro.core.vivaldi import VivaldiConfig
+from repro.engine.kernel import run_scenario
+from repro.latency.planetlab import PlanetLabDataset
+from repro.netsim.batch import BatchChurnSchedule, run_batch_simulation
+from repro.netsim.churn import ChurnConfig
+from repro.netsim.runner import SimulationConfig
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import NetworkSpec, ScenarioError, ScenarioSpec
+
+#: Documented vectorized-vs-scalar agreement bar for final coordinates, in
+#: milliseconds of coordinate space.  The implementation currently achieves
+#: exact (bitwise) agreement; the tolerance is the public contract.
+COORDINATE_TOLERANCE_MS = 1e-9
+
+
+def _run_pair(config: SimulationConfig):
+    """Run both backends on one shared universe."""
+    dataset = PlanetLabDataset.generate(
+        config.nodes, seed=config.seed, parameters=config.dataset
+    )
+    scalar = run_batch_simulation(config, backend="scalar", dataset=dataset)
+    vectorized = run_batch_simulation(config, backend="vectorized", dataset=dataset)
+    return scalar, vectorized
+
+
+def _max_coordinate_delta(a, b) -> float:
+    deltas = [
+        abs(u - v)
+        for left, right in zip(a, b)
+        for u, v in zip(left.components, right.components)
+    ]
+    return max(deltas) if deltas else 0.0
+
+
+def _assert_equivalent(scalar, vectorized, *, exact: bool = True) -> None:
+    delta = _max_coordinate_delta(scalar.final_system, vectorized.final_system)
+    assert delta <= COORDINATE_TOLERANCE_MS, f"system coordinates diverged by {delta}"
+    app_delta = _max_coordinate_delta(
+        scalar.final_application, vectorized.final_application
+    )
+    assert app_delta <= COORDINATE_TOLERANCE_MS
+    assert scalar.samples_attempted == vectorized.samples_attempted
+    assert scalar.samples_completed == vectorized.samples_completed
+    if exact:
+        snap_s = json.dumps(asdict(scalar.metrics.system_snapshot()), sort_keys=True)
+        snap_v = json.dumps(asdict(vectorized.metrics.system_snapshot()), sort_keys=True)
+        assert snap_s == snap_v
+        assert scalar.metrics.per_node_error_percentile(
+            95.0, level="application"
+        ) == vectorized.metrics.per_node_error_percentile(95.0, level="application")
+        assert scalar.metrics.per_node_instability(
+            level="application"
+        ) == vectorized.metrics.per_node_instability(level="application")
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize(
+        "preset",
+        [
+            "mp",
+            "raw",
+            "mp_energy",
+            "mp_system",
+            "mp_application",
+            "mp_application_centroid",
+            "raw_energy",
+            "cluster_confidence",
+        ],
+    )
+    def test_preset_equivalence_is_byte_identical(self, preset):
+        # 80 ticks: enough for the energy windows (2 * 32 observations) to
+        # become ready, so the O(w^2) statistic actually executes.
+        config = SimulationConfig(
+            nodes=16,
+            duration_s=400.0,
+            node_config=NodeConfig.preset(preset),
+            seed=5,
+        )
+        scalar, vectorized = _run_pair(config)
+        _assert_equivalent(scalar, vectorized)
+
+    @pytest.mark.parametrize(
+        "filter_config",
+        [
+            FilterConfig("ewma", {"alpha": 0.05}),
+            FilterConfig("threshold", {"threshold_ms": 120.0}),
+            FilterConfig("mp", {"history": 4, "percentile": 25.0, "warmup": 2}),
+            FilterConfig("median", {"history": 5}),
+        ],
+        ids=lambda cfg: cfg.kind,
+    )
+    def test_filter_equivalence(self, filter_config):
+        config = SimulationConfig(
+            nodes=12,
+            duration_s=250.0,
+            node_config=NodeConfig(filter=filter_config),
+            seed=2,
+        )
+        scalar, vectorized = _run_pair(config)
+        _assert_equivalent(scalar, vectorized)
+
+    def test_churn_equivalence(self):
+        config = SimulationConfig(
+            nodes=24,
+            duration_s=500.0,
+            node_config=NodeConfig.preset("mp_energy"),
+            churn=ChurnConfig(
+                churning_fraction=0.4, mean_session_s=150.0, mean_downtime_s=60.0
+            ),
+            seed=11,
+        )
+        scalar, vectorized = _run_pair(config)
+        assert scalar.churn_transitions == vectorized.churn_transitions > 0
+        _assert_equivalent(scalar, vectorized)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        nodes=st.integers(min_value=4, max_value=14),
+        dimensions=st.integers(min_value=2, max_value=4),
+        churn_fraction=st.sampled_from([0.0, 0.25, 0.5]),
+        loss=st.sampled_from([0.0, 0.01, 0.05]),
+        preset=st.sampled_from(["mp", "raw", "mp_application"]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_property_sweep_agrees_within_tolerance(
+        self, nodes, dimensions, churn_fraction, loss, preset, seed
+    ):
+        """Sweeping node counts, dimensionality and churn rates, the
+        vectorized backend agrees with the scalar oracle within the
+        documented coordinate tolerance."""
+        from repro.netsim.network import NetworkConfig
+
+        node_config = NodeConfig.preset(
+            preset, vivaldi=VivaldiConfig(dimensions=dimensions)
+        )
+        config = SimulationConfig(
+            nodes=nodes,
+            duration_s=120.0,
+            node_config=node_config,
+            network=NetworkConfig(loss_probability=loss),
+            churn=(
+                ChurnConfig(churning_fraction=churn_fraction, mean_session_s=60.0)
+                if churn_fraction > 0.0
+                else None
+            ),
+            seed=seed,
+        )
+        scalar, vectorized = _run_pair(config)
+        _assert_equivalent(scalar, vectorized)
+
+    def test_strict_equivalence_scenario_passes(self):
+        run = run_scenario(get_scenario("vectorized-strict-small"))
+        assert run.result.metrics["strict_equivalence"] == 1.0
+        assert run.result.metrics["ticks"] == 48.0
+
+    def test_profile_phases_reported(self):
+        run = run_scenario(get_scenario("vectorized-strict-small"), collect_profile=True)
+        assert run.profile is not None
+        for phase in ("sample_s", "filter_s", "update_s", "heuristic_s", "metrics_s"):
+            assert phase in run.profile
+
+
+class TestSupportSurface:
+    def test_relative_heuristic_not_vectorized(self):
+        config = NodeConfig.preset("mp_relative")
+        assert unsupported_reasons(config)
+        with pytest.raises(BackendUnsupportedError, match="relative"):
+            VectorizedNodeState(4, config, 2)
+
+    def test_height_space_not_vectorized(self):
+        config = NodeConfig(vivaldi=VivaldiConfig(use_height=True))
+        assert any("height" in reason for reason in unsupported_reasons(config))
+
+    def test_spec_rejects_unsupported_configuration(self):
+        with pytest.raises(ScenarioError, match="relative.*not vectorized"):
+            ScenarioSpec(
+                name="bad", mode="simulate", preset="mp_relative", backend="vectorized"
+            )
+
+    def test_vectorized_requires_simulate_mode(self):
+        with pytest.raises(ScenarioError, match="requires mode='simulate'"):
+            ScenarioSpec(name="bad", mode="replay", backend="vectorized")
+
+    def test_strict_requires_vectorized(self):
+        with pytest.raises(ScenarioError, match="strict_equivalence requires"):
+            ScenarioSpec(name="bad", mode="simulate", strict_equivalence=True)
+
+    def test_backend_round_trips_and_hashes(self):
+        spec = ScenarioSpec(
+            name="vec",
+            mode="simulate",
+            network=NetworkSpec(nodes=8),
+            backend="vectorized",
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        scalar_twin = ScenarioSpec.from_dict({**spec.to_dict(), "backend": "scalar"})
+        assert spec.spec_hash() != scalar_twin.spec_hash()
+
+
+class TestBatchChurnSchedule:
+    def test_masks_alternate_and_transitions_counted(self):
+        schedule = BatchChurnSchedule(
+            40,
+            ChurnConfig(churning_fraction=0.5, mean_session_s=100.0, mean_downtime_s=50.0),
+            duration_s=1000.0,
+            seed=1,
+        )
+        assert schedule.churners.shape[0] == 20
+        assert schedule.transitions > 0
+        saw_offline = False
+        for t in np.linspace(0.0, 1000.0, 21):
+            mask = schedule.online_mask(float(t))
+            assert mask.shape == (40,)
+            non_churners = np.setdiff1d(np.arange(40), schedule.churners)
+            assert mask[non_churners].all()
+            if not mask.all():
+                saw_offline = True
+        assert saw_offline
+
+    def test_zero_fraction_means_everyone_stays_up(self):
+        schedule = BatchChurnSchedule(
+            10, ChurnConfig(churning_fraction=0.0), duration_s=500.0, seed=0
+        )
+        assert schedule.transitions == 0
+        assert schedule.online_mask(250.0).all()
+
+
+# ----------------------------------------------------------------------
+# Benchmark regression gate
+# ----------------------------------------------------------------------
+def _load_check_regression():
+    path = Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+    spec = importlib.util.spec_from_file_location("check_regression", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _vectorized_artifact(speedups, *, identical=True) -> dict:
+    return {
+        "benchmark": "vectorized_backend",
+        "smoke": True,
+        "sizes": [
+            {
+                "nodes": nodes,
+                "speedup": value,
+                "coords_byte_identical": identical,
+            }
+            for nodes, value in speedups.items()
+        ],
+        "energy_sizes": [],
+    }
+
+
+class TestRegressionGate:
+    def test_passes_within_tolerance(self, tmp_path, capsys):
+        gate = _load_check_regression()
+        baseline_dir = tmp_path / "baselines"
+        baseline_dir.mkdir()
+        name = "BENCH_vectorized_smoke.json"
+        (baseline_dir / name).write_text(
+            json.dumps(_vectorized_artifact({200: 20.0, 1000: 40.0}))
+        )
+        current = tmp_path / name
+        # 25% below baseline at one size: inside the 30% tolerance.
+        current.write_text(json.dumps(_vectorized_artifact({200: 15.0, 1000: 41.0})))
+        assert gate.main([str(current), "--baseline-dir", str(baseline_dir)]) == 0
+
+    def test_fails_on_throughput_regression(self, tmp_path, capsys):
+        gate = _load_check_regression()
+        baseline_dir = tmp_path / "baselines"
+        baseline_dir.mkdir()
+        name = "BENCH_vectorized_smoke.json"
+        (baseline_dir / name).write_text(
+            json.dumps(_vectorized_artifact({200: 20.0, 1000: 40.0}))
+        )
+        current = tmp_path / name
+        # >30% drop at 1000 nodes: the gate must fail.
+        current.write_text(json.dumps(_vectorized_artifact({200: 20.0, 1000: 20.0})))
+        assert gate.main([str(current), "--baseline-dir", str(baseline_dir)]) == 1
+
+    def test_fails_on_correctness_check(self, tmp_path, capsys):
+        gate = _load_check_regression()
+        baseline_dir = tmp_path / "baselines"
+        baseline_dir.mkdir()
+        name = "BENCH_vectorized_smoke.json"
+        (baseline_dir / name).write_text(json.dumps(_vectorized_artifact({200: 20.0})))
+        current = tmp_path / name
+        current.write_text(
+            json.dumps(_vectorized_artifact({200: 21.0}, identical=False))
+        )
+        assert gate.main([str(current), "--baseline-dir", str(baseline_dir)]) == 1
+
+    def test_missing_baseline_is_an_error(self, tmp_path, capsys):
+        gate = _load_check_regression()
+        current = tmp_path / "BENCH_vectorized_smoke.json"
+        current.write_text(json.dumps(_vectorized_artifact({200: 20.0})))
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        assert gate.main([str(current), "--baseline-dir", str(empty)]) == 2
+
+    def test_committed_baselines_parse(self):
+        gate = _load_check_regression()
+        baseline_dir = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
+        names = sorted(p.name for p in baseline_dir.glob("BENCH_*.json"))
+        assert names == ["BENCH_service_smoke.json", "BENCH_vectorized_smoke.json"]
+        for path in baseline_dir.glob("BENCH_*.json"):
+            payload = json.loads(path.read_text())
+            extractor = gate.EXTRACTORS[payload["benchmark"]]
+            ratios, checks = extractor(payload)
+            assert ratios, f"{path.name} yields no ratio metrics"
+            assert all(checks.values()), f"{path.name} baselined a failing check"

@@ -9,7 +9,10 @@ hardware:
 * ``vectorized_backend`` artifacts: the vectorized-over-scalar ticks/sec
   speedup at every size, plus the byte-identical coordinate check;
 * ``service_query_scaling`` artifacts: each spatial index's queries/sec
-  over the linear scan at every size, plus the identical-results check.
+  over the linear scan at every size, plus the identical-results check;
+* ``pipeline_array_native`` artifacts: the RELATIVE+height sim speedup,
+  the array-over-object snapshot-ingest speedup and the batched-over-
+  per-query dense execution speedup, plus their identity checks.
 
 A metric regresses when it falls more than ``--tolerance`` (default 0.30,
 i.e. 30%) below its committed baseline in ``benchmarks/baselines/``.
@@ -67,9 +70,34 @@ def _extract_service(payload: Dict) -> Metrics:
     return ratios, checks
 
 
+def _extract_pipeline(payload: Dict) -> Metrics:
+    ratios: Dict[str, float] = {}
+    checks: Dict[str, bool] = {}
+    for record in payload["simulation"]:
+        nodes = record["nodes"]
+        ratios[f"sim_speedup_at_{nodes}_nodes"] = float(record["speedup"])
+        checks[f"sim_coords_identical_at_{nodes}_nodes"] = bool(
+            record["coords_byte_identical"]
+        )
+    ingest = payload["ingest"]
+    ratios[f"ingest_speedup_at_{ingest['nodes']}_nodes"] = float(ingest["speedup"])
+    query = payload["query"]
+    ratios[f"batched_query_speedup_at_{query['nodes']}_nodes"] = float(
+        query["batched_over_single"]
+    )
+    checks[f"batched_identical_to_single_at_{query['nodes']}_nodes"] = bool(
+        query["batched_identical_to_single"]
+    )
+    checks[f"results_identical_to_linear_at_{query['nodes']}_nodes"] = bool(
+        query["identical_to_linear"]
+    )
+    return ratios, checks
+
+
 EXTRACTORS = {
     "vectorized_backend": _extract_vectorized,
     "service_query_scaling": _extract_service,
+    "pipeline_array_native": _extract_pipeline,
 }
 
 

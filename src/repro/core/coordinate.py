@@ -133,10 +133,19 @@ class Coordinate:
     # Metric
     # ------------------------------------------------------------------
     def euclidean_distance(self, other: "Coordinate") -> float:
-        """Plain Euclidean distance between component vectors."""
+        """Plain Euclidean distance between component vectors.
+
+        Squares are spelled ``d * d`` rather than ``d ** 2``: libm's
+        ``pow`` is not guaranteed correctly rounded for exponent 2 on
+        every platform, while IEEE multiplication is -- and the array
+        implementations this class is the oracle for (the vectorized
+        backend, the dense index) square by multiplication, so anything
+        else would leak one-ulp divergences into the byte-identity
+        contracts.
+        """
         self._check_compatible(other)
         return math.sqrt(
-            sum((a - b) ** 2 for a, b in zip(self.components, other.components))
+            sum((a - b) * (a - b) for a, b in zip(self.components, other.components))
         )
 
     def distance(self, other: "Coordinate") -> float:

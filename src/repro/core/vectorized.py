@@ -18,16 +18,23 @@ the scalar code (sums across dimensions), the reduction is spelled out as a
 sequential accumulation.  The equivalence tests in
 ``tests/test_vectorized.py`` pin this down.
 
-Not everything the scalar core supports is vectorized.  The supported
-surface is checked by :func:`unsupported_reasons`, which the scenario layer
-calls at validation time:
+The whole scalar surface is vectorized:
 
 * filters: ``mp`` / ``moving_percentile`` / ``median`` / ``ewma`` /
   ``threshold`` / ``none`` / ``raw``;
 * heuristics: ``always`` / ``raw`` / ``system`` / ``application`` /
-  ``application_centroid`` / ``energy`` (``relative`` needs a per-node
-  nearest-neighbor scan over gossip-learned peers and stays scalar-only);
-* Vivaldi without the height augmentation (``use_height=False``).
+  ``application_centroid`` / ``energy`` / ``relative`` (the RELATIVE
+  heuristic's nearest-neighbor scan runs over a per-(node, slot) array of
+  last-heard peer coordinates, with insertion sequence numbers so distance
+  ties resolve exactly like the scalar dict scan);
+* Vivaldi with or without the height augmentation (``use_height``; the
+  height spring, the height-aware predicted RTTs and the centroid height
+  averaging all follow the scalar operation order).
+
+:func:`unsupported_reasons` remains the scenario layer's validation hook:
+it reports configurations naming kinds this module does not implement
+(empty today; future scalar-only kinds would surface here instead of
+failing mid-run).
 """
 
 from __future__ import annotations
@@ -74,6 +81,7 @@ VECTORIZED_HEURISTIC_KINDS = (
     "application",
     "application_centroid",
     "energy",
+    "relative",
 )
 
 
@@ -100,8 +108,6 @@ def unsupported_reasons(config: NodeConfig) -> List[str]:
             f"heuristic kind {config.heuristic.kind!r} is not vectorized "
             f"(supported: {sorted(set(VECTORIZED_HEURISTIC_KINDS))})"
         )
-    if config.vivaldi.use_height:
-        reasons.append("the height-augmented coordinate space is not vectorized")
     return reasons
 
 
@@ -168,6 +174,10 @@ class VectorizedNodeState:
         # Vivaldi state (VivaldiState.initial: origin coordinate, max error).
         self.coords = np.zeros((count, self.dimensions), dtype=np.float64)
         self.error = np.full(count, float(config.vivaldi.initial_error), dtype=np.float64)
+        #: Height term of the augmented coordinate space (all zero -- the
+        #: pure metric space -- unless ``use_height`` is set).
+        self._use_height = bool(config.vivaldi.use_height)
+        self.height = np.zeros(count, dtype=np.float64)
 
         # --- per-link filter state --------------------------------------
         kind = config.filter.kind.lower()
@@ -197,6 +207,7 @@ class VectorizedNodeState:
         hparams = dict(config.heuristic.params)
         self._heuristic_kind = hkind
         self.app_coords = np.zeros((count, self.dimensions), dtype=np.float64)
+        self.app_height = np.zeros(count, dtype=np.float64)
         self.has_app = np.zeros(count, dtype=bool)
         if hkind == "system":
             self._tau = float(hparams.get("threshold_ms", 16.0))
@@ -211,6 +222,8 @@ class VectorizedNodeState:
                 (count, self._window_size, self.dimensions), dtype=np.float64
             )
             self._recent_count = np.zeros(count, dtype=np.int64)
+            if self._use_height:
+                self._recent_h = np.zeros((count, self._window_size), dtype=np.float64)
         elif hkind == "energy":
             self._tau = float(hparams.get("threshold", 8.0))
             self._window_size = int(hparams.get("window_size", 32))
@@ -222,11 +235,43 @@ class VectorizedNodeState:
             self._cur_win = np.zeros((count, w, self.dimensions), dtype=np.float64)
             self._cur_count = np.zeros(count, dtype=np.int64)
             self._obs_since_reset = np.zeros(count, dtype=np.int64)
+            if self._use_height:
+                self._cur_h = np.zeros((count, w), dtype=np.float64)
             # The start window freezes once full, so its within-sample mean
             # pairwise distance is constant until the next change point --
             # cache it instead of recomputing O(w^2) distances per tick.
             self._within_start = np.zeros(count, dtype=np.float64)
             self._within_start_ok = np.zeros(count, dtype=bool)
+        elif hkind == "relative":
+            self._tau = float(hparams.get("relative_threshold", 0.3))
+            if self._tau <= 0.0:
+                raise ValueError("relative_threshold must be positive")
+            self._window_size = int(hparams.get("window_size", 32))
+            if self._window_size < 1:
+                raise ValueError("window_size must be >= 1")
+            w = self._window_size
+            self._start_win = np.zeros((count, w, self.dimensions), dtype=np.float64)
+            self._start_len = np.zeros(count, dtype=np.int64)
+            self._cur_win = np.zeros((count, w, self.dimensions), dtype=np.float64)
+            self._cur_count = np.zeros(count, dtype=np.int64)
+            self._obs_since_reset = np.zeros(count, dtype=np.int64)
+            if self._use_height:
+                self._cur_h = np.zeros((count, w), dtype=np.float64)
+            # The start window freezes once full, so its centroid is
+            # constant until the next change point -- cache it.
+            self._start_centroid = np.zeros((count, self.dimensions), dtype=np.float64)
+            self._start_centroid_ok = np.zeros(count, dtype=bool)
+            # RELATIVE's locale scale needs the nearest *known* peer: the
+            # scalar node keeps a dict of last-heard peer coordinates; the
+            # array equivalent is one row per (node, neighbor slot) plus
+            # insertion sequence numbers so exact distance ties resolve in
+            # the dict's first-observed order.
+            self._peer_store = np.zeros(
+                (count, neighbor_slots, self.dimensions), dtype=np.float64
+            )
+            self._peer_known = np.zeros((count, neighbor_slots), dtype=bool)
+            self._peer_first_seen = np.zeros((count, neighbor_slots), dtype=np.int64)
+            self._peer_insertions = np.zeros(count, dtype=np.int64)
 
         #: Wall-clock seconds spent per phase (filter / update / heuristic),
         #: for the ``--profile`` tooling.
@@ -248,10 +293,26 @@ class VectorizedNodeState:
         """
         return np.where(self.has_app[:, None], self.app_coords, self.coords)
 
+    def application_height_view(self) -> np.ndarray:
+        """Application-level heights with the same pre-first-update fallback."""
+        return np.where(self.has_app, self.app_height, self.height)
+
+    def coordinate_arrays(self, *, level: str = "application"):
+        """``(components, heights)`` arrays for the whole population.
+
+        The system-level view returns the live state arrays themselves (no
+        copy); callers that need a stable snapshot must copy.
+        """
+        if level == "system":
+            return self.coords, self.height
+        return self.application_view(), self.application_height_view()
+
     def coordinate_objects(self, *, level: str = "application") -> List[Coordinate]:
         """Materialise per-node :class:`Coordinate` objects (reporting only)."""
-        source = self.coords if level == "system" else self.application_view()
-        return [Coordinate(row.tolist()) for row in source]
+        source, heights = self.coordinate_arrays(level=level)
+        return [
+            Coordinate(row.tolist(), height) for row, height in zip(source, heights)
+        ]
 
     # ------------------------------------------------------------------
     # The batched observation step
@@ -275,11 +336,21 @@ class VectorizedNodeState:
         # Snapshot the peer state before mutating anything.
         peer_coords = self.coords[tick.peer_idx].copy()
         peer_error = self.error[tick.peer_idx].copy()
+        peer_height = self.height[tick.peer_idx].copy()
+        peer_has_app = self.has_app[tick.peer_idx]
         peer_app = np.where(
-            self.has_app[tick.peer_idx][:, None],
+            peer_has_app[:, None],
             self.app_coords[tick.peer_idx],
             peer_coords,
         )
+        peer_app_height = np.where(
+            peer_has_app, self.app_height[tick.peer_idx], peer_height
+        )
+
+        if self._heuristic_kind == "relative":
+            # The scalar node records the peer's coordinate on *every*
+            # observation, before the filter gets a say.
+            self._record_peers(idx, tick.slot_idx, peer_coords)
 
         started = time.perf_counter()
         filtered, emitted = self._filter_update(idx, tick.slot_idx, tick.rtt_ms)
@@ -296,19 +367,30 @@ class VectorizedNodeState:
 
             started = time.perf_counter()
             self._vivaldi_update(
-                e_idx, peer_coords[e_sel], peer_error[e_sel], filtered[e_sel]
+                e_idx,
+                peer_coords[e_sel],
+                peer_error[e_sel],
+                peer_height[e_sel],
+                filtered[e_sel],
             )
             new_coords = self.coords[e_idx]
             predicted = _euclidean_rows(new_coords, peer_coords[e_sel])
+            if self._use_height:
+                predicted = (predicted + self.height[e_idx]) + peer_height[e_sel]
             rel_err[e_sel] = np.abs(predicted - raw[e_sel]) / raw[e_sel]
             self.phase_seconds["update"] += time.perf_counter() - started
 
             started = time.perf_counter()
-            updated[e_sel] = self._heuristic_update(e_idx, new_coords)
+            updated[e_sel] = self._heuristic_update(e_idx, new_coords, self.height[e_idx])
             app_view = np.where(
                 self.has_app[e_idx][:, None], self.app_coords[e_idx], self.coords[e_idx]
             )
             app_predicted = _euclidean_rows(app_view, peer_app[e_sel])
+            if self._use_height:
+                own_app_height = np.where(
+                    self.has_app[e_idx], self.app_height[e_idx], self.height[e_idx]
+                )
+                app_predicted = (app_predicted + own_app_height) + peer_app_height[e_sel]
             app_rel_err[e_sel] = np.abs(app_predicted - raw[e_sel]) / raw[e_sel]
             self.phase_seconds["heuristic"] += time.perf_counter() - started
 
@@ -373,6 +455,7 @@ class VectorizedNodeState:
         idx: np.ndarray,
         peer_coords: np.ndarray,
         peer_error: np.ndarray,
+        peer_height: np.ndarray,
         filtered_rtt: np.ndarray,
     ) -> None:
         """Batched :func:`repro.core.vivaldi.vivaldi_update` over ``idx``."""
@@ -388,7 +471,11 @@ class VectorizedNodeState:
         own = self.coords[idx]
         delta = own - peer_coords
         euclid = _euclidean_from_delta(delta)
-        predicted = euclid  # pure metric space: heights are zero
+        if self._use_height:
+            own_height = self.height[idx]
+            predicted = (euclid + own_height) + peer_height
+        else:
+            predicted = euclid  # pure metric space: heights are zero
 
         if cfg.error_margin_ms > 0.0:
             within = np.abs(predicted - measured) <= cfg.error_margin_ms
@@ -416,17 +503,38 @@ class VectorizedNodeState:
         unit[~moving, 0] = 1.0
 
         displacement = step * (measured - euclid)
-        self.coords[idx] = own + displacement[:, None] * unit
+        new_coords = own + displacement[:, None] * unit
+        self.coords[idx] = new_coords
         self.error[idx] = new_error
+
+        if self._use_height:
+            # The height spring absorbs the residual error the Euclidean
+            # part cannot explain, in the exact scalar operation order.
+            residual = measured - _euclidean_rows(new_coords, peer_coords)
+            height_target = np.maximum(0.0, residual - peer_height)
+            self.height[idx] = np.maximum(
+                0.0, own_height + step * (height_target - own_height)
+            )
 
     # ------------------------------------------------------------------
     # Heuristics
     # ------------------------------------------------------------------
-    def _heuristic_update(self, idx: np.ndarray, system: np.ndarray) -> np.ndarray:
-        """Apply the application-update heuristic; returns the fired mask."""
+    def _heuristic_update(
+        self, idx: np.ndarray, system: np.ndarray, system_height: np.ndarray
+    ) -> np.ndarray:
+        """Apply the application-update heuristic; returns the fired mask.
+
+        ``system_height`` carries the height component of the system
+        coordinate (all zero in a pure metric space): the heuristics'
+        distance tests are height-blind (``euclidean_distance``), but the
+        application coordinate they publish adopts the full coordinate,
+        height included.
+        """
         kind = self._heuristic_kind
         if kind in ("always", "raw"):
             self.app_coords[idx] = system
+            if self._use_height:
+                self.app_height[idx] = system_height
             self.has_app[idx] = True
             return np.ones(idx.shape[0], dtype=bool)
         if kind == "application":
@@ -434,6 +542,8 @@ class VectorizedNodeState:
             fired = ~self.has_app[idx] | (distance > self._tau)
             f_idx = idx[fired]
             self.app_coords[f_idx] = system[fired]
+            if self._use_height:
+                self.app_height[f_idx] = system_height[fired]
             self.has_app[f_idx] = True
             return fired
         if kind == "system":
@@ -445,18 +555,24 @@ class VectorizedNodeState:
             self._has_prev_system[idx] = True
             f_idx = idx[fired]
             self.app_coords[f_idx] = system[fired]
+            if self._use_height:
+                self.app_height[f_idx] = system_height[fired]
             self.has_app[f_idx] = True
             return fired
         if kind == "application_centroid":
-            return self._application_centroid_update(idx, system)
-        return self._energy_update(idx, system)
+            return self._application_centroid_update(idx, system, system_height)
+        if kind == "relative":
+            return self._relative_update(idx, system, system_height)
+        return self._energy_update(idx, system, system_height)
 
     def _application_centroid_update(
-        self, idx: np.ndarray, system: np.ndarray
+        self, idx: np.ndarray, system: np.ndarray, system_height: np.ndarray
     ) -> np.ndarray:
         w = self._window_size
         counts = self._recent_count[idx]
         self._recent[idx, counts % w] = system
+        if self._use_height:
+            self._recent_h[idx, counts % w] = system_height
         self._recent_count[idx] = counts + 1
 
         distance = _euclidean_rows(self.app_coords[idx], system)
@@ -466,34 +582,79 @@ class VectorizedNodeState:
             self.app_coords[f_idx] = _ring_centroid(
                 self._recent[f_idx], self._recent_count[f_idx], w
             )
+            if self._use_height:
+                self.app_height[f_idx] = _ring_centroid(
+                    self._recent_h[f_idx][:, :, None], self._recent_count[f_idx], w
+                )[:, 0]
             self.has_app[f_idx] = True
         return fired
 
-    def _energy_update(self, idx: np.ndarray, system: np.ndarray) -> np.ndarray:
+    # -- two-window (Kifer et al.) shared bookkeeping ------------------
+    #
+    # ENERGY and RELATIVE share everything except the change test: the
+    # start window fills then freezes, the current window slides, the
+    # first emitted observation publishes the system coordinate, and a
+    # fired change point resets both windows.  ``stale`` is the
+    # heuristic's memo-validity array (the cached within-start statistic
+    # for ENERGY, the cached start centroid for RELATIVE), invalidated
+    # whenever the start window changes.
+
+    def _two_window_add(
+        self,
+        idx: np.ndarray,
+        system: np.ndarray,
+        system_height: np.ndarray,
+        stale: np.ndarray,
+    ) -> np.ndarray:
+        """ChangeDetectionWindows.add for every node in ``idx``; returns
+        the fired-first-update mask."""
         w = self._window_size
-        # ChangeDetectionWindows.add: the start window fills (then freezes),
-        # the current window always slides.
         start_len = self._start_len[idx]
         filling = start_len < w
         fill_idx = idx[filling]
         self._start_win[fill_idx, start_len[filling]] = system[filling]
         self._start_len[fill_idx] = start_len[filling] + 1
-        self._within_start_ok[fill_idx] = False
+        stale[fill_idx] = False
 
         cur_count = self._cur_count[idx]
         self._cur_win[idx, cur_count % w] = system
+        if self._use_height:
+            self._cur_h[idx, cur_count % w] = system_height
         self._cur_count[idx] = cur_count + 1
         self._obs_since_reset[idx] += 1
-
-        fired = np.zeros(idx.shape[0], dtype=bool)
 
         # First update: the application coordinate adopts the system one.
         first = ~self.has_app[idx]
         f_idx = idx[first]
         self.app_coords[f_idx] = system[first]
+        if self._use_height:
+            self.app_height[f_idx] = system_height[first]
         self.has_app[f_idx] = True
-        fired |= first
+        return first
 
+    def _two_window_fire(
+        self, o_idx: np.ndarray, centroid_over: np.ndarray, stale: np.ndarray
+    ) -> None:
+        """Publish the current-window centroid and declare a change point."""
+        w = self._window_size
+        self.app_coords[o_idx] = centroid_over
+        if self._use_height:
+            current_h = _ordered_ring(
+                self._cur_h[o_idx][:, :, None], self._cur_count[o_idx], w
+            )
+            self.app_height[o_idx] = _window_centroid(current_h)[:, 0]
+        # declare_change_point: both windows restart from scratch.
+        self._start_len[o_idx] = 0
+        self._cur_count[o_idx] = 0
+        self._obs_since_reset[o_idx] = 0
+        stale[o_idx] = False
+
+    def _energy_update(
+        self, idx: np.ndarray, system: np.ndarray, system_height: np.ndarray
+    ) -> np.ndarray:
+        w = self._window_size
+        fired = self._two_window_add(idx, system, system_height, self._within_start_ok)
+        first = fired.copy()
         ready = ~first & (self._obs_since_reset[idx] >= 2 * w)
         if np.any(ready):
             r_sel = np.nonzero(ready)[0]
@@ -503,15 +664,100 @@ class VectorizedNodeState:
             over = statistic > self._tau
             if np.any(over):
                 o_sel = r_sel[over]
-                o_idx = idx[o_sel]
-                self.app_coords[o_idx] = _window_centroid(current[over])
-                # declare_change_point: both windows restart from scratch.
-                self._start_len[o_idx] = 0
-                self._cur_count[o_idx] = 0
-                self._obs_since_reset[o_idx] = 0
-                self._within_start_ok[o_idx] = False
+                self._two_window_fire(
+                    idx[o_sel], _window_centroid(current[over]), self._within_start_ok
+                )
                 fired[o_sel] = True
         return fired
+
+    def _relative_update(
+        self, idx: np.ndarray, system: np.ndarray, system_height: np.ndarray
+    ) -> np.ndarray:
+        """Batched :class:`~repro.core.heuristics.RelativeHeuristic`.
+
+        Same two-window bookkeeping as ENERGY, but the trigger compares the
+        centroid displacement against the distance from the (frozen) start
+        centroid to the node's nearest known peer, scaled by the relative
+        threshold.
+        """
+        w = self._window_size
+        fired = self._two_window_add(idx, system, system_height, self._start_centroid_ok)
+        first = fired.copy()
+        ready = ~first & (self._obs_since_reset[idx] >= 2 * w)
+        if np.any(ready):
+            r_sel = np.nonzero(ready)[0]
+            r_idx = idx[r_sel]
+            start_centroid = self._start_centroid_for(r_idx)
+            current = _ordered_ring(self._cur_win[r_idx], self._cur_count[r_idx], w)
+            current_centroid = _window_centroid(current)
+            displacement = _euclidean_rows(start_centroid, current_centroid)
+            neighbor = self._nearest_known_peer(r_idx, system[r_sel])
+            locale_scale = _euclidean_rows(start_centroid, neighbor)
+            # A zero locale scale means the neighborhood is degenerate; the
+            # scalar heuristic never fires in that case.
+            over = np.zeros(r_idx.shape[0], dtype=bool)
+            positive = locale_scale > 0.0
+            over[positive] = (
+                displacement[positive] / locale_scale[positive]
+            ) > self._tau
+            if np.any(over):
+                o_sel = r_sel[over]
+                self._two_window_fire(
+                    idx[o_sel], current_centroid[over], self._start_centroid_ok
+                )
+                fired[o_sel] = True
+        return fired
+
+    def _start_centroid_for(self, node_idx: np.ndarray) -> np.ndarray:
+        """Centroid of each node's (full, frozen) start window, memoised."""
+        missing = ~self._start_centroid_ok[node_idx]
+        if np.any(missing):
+            miss_nodes = node_idx[missing]
+            self._start_centroid[miss_nodes] = _window_centroid(
+                self._start_win[miss_nodes]
+            )
+            self._start_centroid_ok[miss_nodes] = True
+        return self._start_centroid[node_idx]
+
+    def _record_peers(
+        self, idx: np.ndarray, slot: np.ndarray, peer_coords: np.ndarray
+    ) -> None:
+        """Remember each observing node's peer coordinate (RELATIVE only)."""
+        fresh = ~self._peer_known[idx, slot]
+        if np.any(fresh):
+            f_nodes = idx[fresh]
+            f_slots = slot[fresh]
+            order = self._peer_insertions[f_nodes]
+            self._peer_first_seen[f_nodes, f_slots] = order
+            self._peer_insertions[f_nodes] = order + 1
+            self._peer_known[f_nodes, f_slots] = True
+        self._peer_store[idx, slot] = peer_coords
+
+    def _nearest_known_peer(
+        self, node_idx: np.ndarray, own_coords: np.ndarray
+    ) -> np.ndarray:
+        """Coordinate of each node's closest known peer.
+
+        Exact distance ties resolve toward the earliest-recorded peer,
+        matching the scalar dict scan's first-strict-minimum behaviour.
+        """
+        store = self._peer_store[node_idx]
+        known = self._peer_known[node_idx]
+        delta = store - own_coords[:, None, :]
+        acc = delta[:, :, 0] * delta[:, :, 0]
+        for j in range(1, delta.shape[2]):
+            acc = acc + delta[:, :, j] * delta[:, :, j]
+        distances = np.sqrt(acc)
+        distances[~known] = np.inf
+        best = distances.min(axis=1)
+        tie_rank = np.where(
+            known & (distances == best[:, None]),
+            self._peer_first_seen[node_idx],
+            np.iinfo(np.int64).max,
+        )
+        choice = tie_rank.argmin(axis=1)
+        rows = np.arange(store.shape[0])
+        return store[rows, choice]
 
     def _energy_statistic(self, node_idx: np.ndarray, current: np.ndarray) -> np.ndarray:
         """Batched Szekely-Rizzo energy distance between the two windows.

@@ -38,9 +38,11 @@ class ScenarioRun:
     ``collector`` is a :class:`~repro.metrics.collector.MetricsCollector`
     for the scalar paths and the duck-typed
     :class:`~repro.netsim.batch.BatchMetrics` for the vectorized backend;
-    both answer the same queries.  ``profile`` holds the per-phase tick
-    timings when the caller asked for them (vectorized/batch runs only) --
-    timing is wall-clock and therefore never part of the result itself.
+    both answer the same queries.  ``profile`` holds per-phase wall-clock
+    timings when the caller asked for them: the batch engine's tick phases
+    (vectorized runs) and, for ``queries`` workloads on any backend, the
+    snapshot-publish and query-serving phases -- timing is wall-clock and
+    therefore never part of the result itself.
     """
 
     __slots__ = ("result", "collector", "profile")
@@ -66,6 +68,10 @@ def run_scenario(spec: ScenarioSpec, *, collect_profile: bool = False) -> Scenar
 
     counters: Dict[str, Optional[float]] = {}
     workload_payload: Dict[str, Any] = {}
+    #: (host_ids, components, heights) of the final application-level
+    #: coordinates when the run produced them as arrays (vectorized
+    #: backend); lets the queries workload stay in array land end to end.
+    coordinate_arrays: Optional[Tuple[List[str], Any, Any]] = None
 
     if spec.mode == "replay":
         scale = ExperimentScale(
@@ -120,6 +126,9 @@ def run_scenario(spec: ScenarioSpec, *, collect_profile: bool = False) -> Scenar
             counters["ticks"] = float(sim.ticks)
             counters["churn_transitions"] = float(sim.churn_transitions)
             final_coordinates = sim.application_coordinates()
+            if sim.final_application_arrays is not None:
+                components, heights = sim.final_application_arrays
+                coordinate_arrays = (sim.host_ids, components, heights)
             profile = sim.profile if collect_profile else None
             if spec.strict_equivalence:
                 oracle = run_batch_simulation(config, dataset=dataset, backend="scalar")
@@ -136,7 +145,20 @@ def run_scenario(spec: ScenarioSpec, *, collect_profile: bool = False) -> Scenar
 
     metrics: Dict[str, Optional[float]] = dict(asdict(collector.system_snapshot()))
     metrics.update(counters)
-    metrics.update(_run_workload(spec, dataset, final_coordinates, workload_payload))
+    workload_profile: Optional[Dict[str, float]] = {} if collect_profile else None
+    metrics.update(
+        _run_workload(
+            spec,
+            dataset,
+            final_coordinates,
+            workload_payload,
+            coordinate_arrays=coordinate_arrays,
+            profile=workload_profile,
+        )
+    )
+    if collect_profile and workload_profile:
+        profile = dict(profile) if profile else {}
+        profile.update(workload_profile)
 
     per_node = {
         "median_application_error": collector.per_node_median_error(level="application"),
@@ -190,10 +212,14 @@ def _assert_strict_equivalence(spec, vectorized, oracle) -> None:
         ("application", vectorized.final_application, oracle.final_application),
     ):
         for host_id, coord_v, coord_o in zip(vectorized.host_ids, left, right):
-            if tuple(coord_v.components) != tuple(coord_o.components):
+            if (
+                tuple(coord_v.components) != tuple(coord_o.components)
+                or coord_v.height != coord_o.height
+            ):
                 problems.append(
                     f"{level} coordinate of {host_id} diverged: "
-                    f"{coord_v.components} != {coord_o.components}"
+                    f"{coord_v.components} (h={coord_v.height}) != "
+                    f"{coord_o.components} (h={coord_o.height})"
                 )
                 break
     if problems:
@@ -269,6 +295,9 @@ def _run_workload(
     dataset: PlanetLabDataset,
     coordinates: Dict[str, Coordinate],
     workload_payload: Dict[str, Any],
+    *,
+    coordinate_arrays: Optional[Tuple[List[str], Any, Any]] = None,
+    profile: Optional[Dict[str, float]] = None,
 ) -> Dict[str, Optional[float]]:
     kind = spec.workload.kind
     if kind == "drift":
@@ -288,7 +317,13 @@ def _run_workload(
     if kind == "placement":
         return _placement_workload(spec, dataset, coordinates)
     if kind == "queries":
-        return _queries_workload(spec, coordinates, workload_payload)
+        return _queries_workload(
+            spec,
+            coordinates,
+            workload_payload,
+            coordinate_arrays=coordinate_arrays,
+            profile=profile,
+        )
     return {}
 
 
@@ -338,6 +373,9 @@ def _queries_workload(
     spec: ScenarioSpec,
     coordinates: Dict[str, Coordinate],
     workload_payload: Dict[str, Any],
+    *,
+    coordinate_arrays: Optional[Tuple[List[str], Any, Any]] = None,
+    profile: Optional[Dict[str, float]] = None,
 ) -> Dict[str, Optional[float]]:
     """Serve a deterministic query mix from the coordinate query service.
 
@@ -350,6 +388,17 @@ def _queries_workload(
     and timer are pinned to a logical zero so every reported number is a
     pure function of the spec: engine results stay byte-identical across
     worker counts and cache states.
+
+    When the run produced its coordinates as arrays (vectorized backend),
+    the indexed leg publishes them through the zero-copy
+    ``SnapshotStore.from_arrays`` path -- with the ``dense`` index the
+    whole dataset -> simulation -> snapshot -> answered-workload pipeline
+    never materialises per-node objects.  The oracle leg always uses the
+    object-based ingest, so whenever the indexed leg served from arrays
+    the agreement check also guards the array bridge -- including the
+    ``index='linear'`` configuration, where the two legs differ only in
+    ingest path.  ``profile`` (when given) receives the snapshot-publish
+    and query-serving wall-clock phases.
     """
     from repro.service.planner import QueryPlanner
     from repro.service.snapshot import SnapshotStore
@@ -368,28 +417,60 @@ def _queries_workload(
         radius_ms=float(workload.param("radius_ms")),
     )
 
-    def serve(index_kind: str):
-        store = SnapshotStore.from_coordinates(
-            coordinates, index_kind=index_kind, source=spec.name
-        )
+    def record_phase(phase: str, seconds: float) -> None:
+        if profile is not None:
+            profile[phase] = round(profile.get(phase, 0.0) + seconds, 6)
+
+    def serve(index_kind: str, *, use_arrays: bool):
+        started = time.perf_counter()
+        if use_arrays and coordinate_arrays is not None:
+            host_ids, components, heights = coordinate_arrays
+            store = SnapshotStore.from_arrays(
+                host_ids,
+                components,
+                heights,
+                index_kind=index_kind,
+                source=spec.name,
+            )
+        else:
+            store = SnapshotStore.from_coordinates(
+                coordinates, index_kind=index_kind, source=spec.name
+            )
+        record_phase("snapshot_publish_s", time.perf_counter() - started)
         planner = QueryPlanner(
             store,
             cache_entries=int(workload.param("cache_entries")),
             clock=lambda: 0.0,
             timer=lambda: 0.0,
         )
-        return run_workload(
+        started = time.perf_counter()
+        report = run_workload(
             planner,
             queries,
             batch_size=int(workload.param("batch_size")),
             timer=lambda: 0.0,
         )
+        record_phase(
+            "query_serve_s" if use_arrays else "oracle_serve_s",
+            time.perf_counter() - started,
+        )
+        return report
 
     index_kind = str(workload.param("index"))
-    indexed = serve(index_kind)
-    # With the linear index configured the oracle run would compare the
-    # linear scan with itself; skip the duplicate work.
-    oracle = indexed if index_kind == "linear" else serve("linear")
+    served_from_arrays = coordinate_arrays is not None
+    indexed = serve(index_kind, use_arrays=True)
+    # With the linear index configured AND no array bridge in play, the
+    # oracle run would compare the linear scan with itself; skip the
+    # duplicate work.  When the indexed leg served from arrays, the
+    # object-ingest oracle leg is what validates the bridge, so it runs
+    # even for index='linear'.
+    oracle = (
+        indexed
+        if index_kind == "linear" and not served_from_arrays
+        else serve("linear", use_arrays=False)
+    )
+    if profile is not None:
+        profile["query_count"] = float(indexed.query_count)
     neighbor_rtts = [
         neighbor["predicted_rtt_ms"]
         for result in indexed.results

@@ -96,6 +96,21 @@ class SimulationBackend(Protocol):
         """Current coordinate of every node, in host order."""
         ...
 
+    def coordinate_arrays(
+        self, *, level: str = "application"
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(components (n, d), heights (n,))`` in host order.
+
+        The array twin of :meth:`final_coordinates`: no per-node object
+        materialisation, which is what the service layer's zero-copy
+        snapshot ingest consumes.  Application-level arrays must be
+        *detached* (not views of live state -- both implementations
+        materialise the has-app fallback into fresh arrays anyway), so
+        publishers can adopt them without copying; system-level arrays
+        may be live views.
+        """
+        ...
+
 
 class VectorizedTickBackend:
     """The NumPy batch write path behind the backend protocol."""
@@ -114,6 +129,11 @@ class VectorizedTickBackend:
 
     def final_coordinates(self, *, level: str = "application") -> List[Coordinate]:
         return self.state.coordinate_objects(level=level)
+
+    def coordinate_arrays(
+        self, *, level: str = "application"
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return self.state.coordinate_arrays(level=level)
 
 
 class ScalarTickBackend:
@@ -186,6 +206,14 @@ class ScalarTickBackend:
         if level == "system":
             return [node.system_coordinate for node in self.nodes]
         return [node.application_coordinate for node in self.nodes]
+
+    def coordinate_arrays(
+        self, *, level: str = "application"
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        coordinates = self.final_coordinates(level=level)
+        components = np.array([c.components for c in coordinates], dtype=np.float64)
+        heights = np.array([c.height for c in coordinates], dtype=np.float64)
+        return components, heights
 
 
 def make_backend(
@@ -584,10 +612,18 @@ class BatchSimulationResult:
     #: Wall-clock time of the tick loop itself.
     run_s: float
     #: Per-phase wall-clock breakdown (``--profile``): sampling, filter,
-    #: spring update, heuristic, metrics.
+    #: spring update, heuristic, metrics (and snapshot publishing when a
+    #: ``publish_store`` is attached).
     profile: Dict[str, float] = field(default_factory=dict)
     final_application: List[Coordinate] = field(default_factory=list)
     final_system: List[Coordinate] = field(default_factory=list)
+    #: Array twins of the final coordinate lists: ``(components, heights)``
+    #: in host order, fed to the service layer without object
+    #: materialisation.
+    final_application_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+    final_system_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+    #: Coordinate epochs pushed into the attached ``publish_store``.
+    snapshots_published: int = 0
 
     @property
     def collector(self) -> BatchMetrics:
@@ -639,12 +675,24 @@ def run_batch_simulation(
     backend: str = "vectorized",
     dataset: Optional[PlanetLabDataset] = None,
     collect_profile: bool = False,
+    publish_store=None,
+    publish_every_ticks: Optional[int] = None,
 ) -> BatchSimulationResult:
     """Run the synchronous-round simulation on the chosen backend.
 
     ``dataset`` can be supplied to share one network universe between runs
     (e.g. scalar-vs-vectorized comparisons); otherwise one is generated
     from ``config.seed`` exactly as the event-driven runner would.
+
+    ``publish_store`` is anything exposing
+    ``publish_arrays(node_ids, components, heights, *, source)`` -- in
+    practice a :class:`~repro.service.snapshot.SnapshotStore` (duck-typed
+    here so netsim never imports the service layer).  The final
+    application-level coordinates are always published when a store is
+    attached; ``publish_every_ticks`` additionally publishes an epoch
+    every that many ticks, each a new immutable version.  Each published
+    epoch adopts the backend's (detached) application-level arrays --
+    one ``(n, d)`` materialisation per epoch, never per-node objects.
     """
     if backend not in BACKEND_KINDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKEND_KINDS}")
@@ -689,11 +737,29 @@ def run_batch_simulation(
     round_robin = np.zeros(n, dtype=np.int64)
     all_nodes = np.arange(n, dtype=np.int64)
 
+    if publish_every_ticks is not None:
+        if publish_store is None:
+            raise ValueError("publish_every_ticks requires a publish_store")
+        if publish_every_ticks < 1:
+            raise ValueError("publish_every_ticks must be >= 1")
+
     samples_attempted = 0
     samples_completed = 0
     sample_seconds = 0.0
     metrics_seconds = 0.0
+    publish_seconds = 0.0
+    snapshots_published = 0
     setup_s = time.perf_counter() - setup_started
+
+    def publish_epoch(label: str) -> None:
+        nonlocal publish_seconds, snapshots_published
+        phase_started = time.perf_counter()
+        # Application-level arrays are detached per the backend protocol,
+        # so the store can adopt (and freeze) them without another copy.
+        components, heights = backend_impl.coordinate_arrays(level="application")
+        publish_store.publish_arrays(host_ids, components, heights, source=label)
+        snapshots_published += 1
+        publish_seconds += time.perf_counter() - phase_started
 
     run_started = time.perf_counter()
     for k in range(ticks):
@@ -727,6 +793,11 @@ def run_batch_simulation(
         phase_started = time.perf_counter()
         metrics.record_tick(t, observers, outcome)
         metrics_seconds += time.perf_counter() - phase_started
+
+        if publish_every_ticks is not None and (k + 1) % publish_every_ticks == 0:
+            publish_epoch(f"batch:{backend}:tick{k + 1}")
+    if publish_store is not None:
+        publish_epoch(f"batch:{backend}:final")
     run_s = time.perf_counter() - run_started
 
     profile: Dict[str, float] = {}
@@ -739,6 +810,9 @@ def run_batch_simulation(
             "setup_s": round(setup_s, 6),
             "ticks_per_s": round(ticks / run_s, 3) if run_s > 0 else float("inf"),
         }
+        if publish_store is not None:
+            profile["publish_s"] = round(publish_seconds, 6)
+            profile["snapshots_published"] = float(snapshots_published)
         for phase, seconds in backend_impl.phase_seconds.items():
             profile[f"{phase}_s"] = round(seconds, 6)
 
@@ -756,4 +830,7 @@ def run_batch_simulation(
         profile=profile,
         final_application=backend_impl.final_coordinates(level="application"),
         final_system=backend_impl.final_coordinates(level="system"),
+        final_application_arrays=backend_impl.coordinate_arrays(level="application"),
+        final_system_arrays=backend_impl.coordinate_arrays(level="system"),
+        snapshots_published=snapshots_published,
     )

@@ -135,7 +135,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             run = run_scenario(spec, collect_profile=True)
             results.append(run.result)
             profiles[spec.name] = run.profile or {
-                "note": "per-phase timings require backend='vectorized'"
+                "note": (
+                    "per-phase timings require backend='vectorized' "
+                    "or a 'queries' workload"
+                )
             }
         summary = f"{_time.perf_counter() - started:.1f}s (serial, profiled)"
     else:
@@ -243,8 +246,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help=(
-            "run serially (uncached) and dump per-phase tick timings "
-            "(sample, filter, update, heuristic, metrics) as JSON"
+            "run serially (uncached) and dump per-phase wall-clock timings "
+            "as JSON: tick phases (sample, filter, update, heuristic, "
+            "metrics) for vectorized runs, plus snapshot-publish and "
+            "query-serving phases for 'queries' workloads on any backend"
         ),
     )
     run.set_defaults(handler=_cmd_run)

@@ -234,6 +234,77 @@ def _stress_10k_vectorized() -> ScenarioSpec:
     )
 
 
+@scenario("fig07-relative-vectorized")
+def _fig07_relative_vectorized() -> ScenarioSpec:
+    """The full paper configuration on the batch engine: RELATIVE + height.
+
+    The fig07 shifting/drifting universe with the MP filter, the RELATIVE
+    application-update heuristic and height-augmented coordinates -- the
+    exact pipeline the paper's headline figures run -- executed on the
+    vectorized backend, which previously rejected both RELATIVE and
+    heights at spec validation time.
+    """
+    return ScenarioSpec(
+        name="fig07-relative-vectorized",
+        description="Paper RELATIVE + height pipeline on the vectorized batch backend",
+        mode="simulate",
+        network=NetworkSpec(nodes=256, shifting_fraction=0.5, drift_fraction_per_hour=0.10),
+        preset="mp_relative",
+        use_height=True,
+        duration_s=1800.0,
+        backend="vectorized",
+        seed=0,
+    )
+
+
+@scenario("vectorized-strict-relative")
+def _vectorized_strict_relative() -> ScenarioSpec:
+    """Strict-equivalence guard for the RELATIVE + height vectorization.
+
+    Long enough (96 ticks) for the two change-detection windows to become
+    ready and the locale-scaled trigger to fire, so the nearest-neighbor
+    scan and centroid paths are actually exercised against the oracle.
+    """
+    return ScenarioSpec(
+        name="vectorized-strict-relative",
+        description="Byte-identical RELATIVE + height equivalence guard",
+        mode="simulate",
+        network=NetworkSpec(nodes=12),
+        preset="mp_relative",
+        use_height=True,
+        duration_s=480.0,
+        backend="vectorized",
+        strict_equivalence=True,
+        seed=7,
+    )
+
+
+@scenario("query-service-dense")
+def _query_service_dense() -> ScenarioSpec:
+    """The array-native pipeline end to end: sim -> snapshot -> queries.
+
+    A vectorized simulation publishes its final coordinates through the
+    zero-copy array ingest, the ``dense`` index adopts the snapshot
+    arrays, and the planner answers the batch through the batched NumPy
+    path -- with the object-based linear oracle run side-by-side for the
+    agreement check.
+    """
+    return ScenarioSpec(
+        name="query-service-dense",
+        description="Zero-copy snapshot + dense batched queries after a vectorized run",
+        mode="simulate",
+        network=NetworkSpec(nodes=512),
+        preset="mp",
+        duration_s=600.0,
+        backend="vectorized",
+        workload=WorkloadSpec(
+            kind="queries",
+            params={"count": 512, "mix": "mixed", "k": 5, "index": "dense"},
+        ),
+        seed=0,
+    )
+
+
 @scenario("vectorized-strict-small")
 def _vectorized_strict_small() -> ScenarioSpec:
     """Pinned strict-equivalence guard: vectorized must match the oracle.

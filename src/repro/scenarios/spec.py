@@ -244,6 +244,10 @@ class ScenarioSpec:
     #: Explicit heuristic configuration (overrides the preset's heuristic).
     heuristic_kind: Optional[str] = None
     heuristic_params: Mapping[str, Any] = field(default_factory=dict)
+    #: Run Vivaldi in the height-augmented coordinate space (Dabek et al.):
+    #: predicted RTT becomes ``||x_i - x_j|| + h_i + h_j``.  Applies on top
+    #: of whatever preset / explicit configuration is selected.
+    use_height: bool = False
     #: Simulated duration in seconds.
     duration_s: float = 1200.0
     #: Metrics are reported from this time on (default: half the duration).
@@ -341,7 +345,11 @@ class ScenarioSpec:
                     from repro.core.vectorized import unsupported_reasons
 
                     for reason in unsupported_reasons(config):
-                        errors.append(f"backend 'vectorized': {reason}")
+                        errors.append(
+                            f"backend 'vectorized': {reason}; set "
+                            "backend='scalar' to run this configuration "
+                            "on the per-node path"
+                        )
         if self.churn is not None:
             if self.mode != "simulate":
                 errors.append("churn requires mode='simulate' (replay has a fixed trace)")
@@ -374,6 +382,10 @@ class ScenarioSpec:
             config = replace(
                 config,
                 heuristic=HeuristicConfig(self.heuristic_kind, dict(self.heuristic_params)),
+            )
+        if self.use_height:
+            config = replace(
+                config, vivaldi=replace(config.vivaldi, use_height=True)
             )
         return config
 

@@ -13,6 +13,12 @@ placement 1-median -- without touching every node:
   per-cell minimum-height bounds, searched in expanding shells.  Cheaper
   to rebuild than the tree; best for dense, frequently refreshed
   snapshots.
+* :class:`DenseIndex` -- batched brute-force over flat NumPy arrays.  Every
+  query touches every node, but as one array expression; it is the only
+  kind with *batch* entry points (``knn_batch_by_id`` / ``range_batch_by_id``,
+  used by the planner to answer a whole same-version batch in one NumPy
+  call) and the only kind that ingests an array-backed snapshot without
+  materialising per-node objects.
 
 Exactness contract: every query returns *identical* results to the linear
 oracle -- same node sets, same predicted RTTs (the exact same
@@ -33,13 +39,15 @@ import math
 from heapq import heappush, heapreplace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.coordinate import Coordinate
 from repro.overlay.knn import CoordinateIndex
 
-__all__ = ["INDEX_KINDS", "build_index", "VPTreeIndex", "GridIndex"]
+__all__ = ["INDEX_KINDS", "build_index", "VPTreeIndex", "GridIndex", "DenseIndex"]
 
 #: Registered index kinds, resolvable through :func:`build_index`.
-INDEX_KINDS = ("linear", "vptree", "grid")
+INDEX_KINDS = ("linear", "vptree", "grid", "dense")
 
 #: Entries per vp-tree leaf bucket / target entries per grid cell.
 _LEAF_SIZE = 12
@@ -70,6 +78,8 @@ def build_index(kind: str = "vptree") -> CoordinateIndex:
         return VPTreeIndex()
     if kind == "grid":
         return GridIndex()
+    if kind == "dense":
+        return DenseIndex()
     raise ValueError(f"unknown index kind {kind!r}; known: {list(INDEX_KINDS)}")
 
 
@@ -364,21 +374,26 @@ class GridIndex(_SpatialIndex):
                     f"GridIndex needs uniform dimensionality; {node_id!r} has "
                     f"{coordinate.dimensions}, expected {dims}"
                 )
-        lows = [min(c.components[i] for _, _, c in entries) for i in range(dims)]
-        highs = [max(c.components[i] for _, _, c in entries) for i in range(dims)]
-        extent = max(high - low for low, high in zip(lows, highs))
+        matrix = np.asarray([c.components for _, _, c in entries], dtype=np.float64)
+        heights = np.asarray([c.height for _, _, c in entries], dtype=np.float64)
+        lows = matrix.min(axis=0)
+        extent = float((matrix.max(axis=0) - lows).max())
         cells_per_dim = max(1, math.ceil(len(entries) ** (1.0 / dims) / 2.0))
         self._dims = dims
-        self._origin = tuple(lows)
+        self._origin = tuple(lows.tolist())
         self._cell_size = (extent / cells_per_dim) if extent > 0.0 else 1.0
         self._cells_per_dim = cells_per_dim
-        self._min_height = min(c.height for _, _, c in entries)
-        for entry in entries:
-            key = self._cell_key(entry[2].components)
+        self._min_height = float(heights.min())
+        # Cell assignment for the whole population in one array expression
+        # (bit-identical to the scalar _cell_key: same subtraction, same
+        # division, same floor).
+        cell_keys = np.floor((matrix - lows[None, :]) / self._cell_size).astype(np.int64)
+        for entry, key_row, height in zip(entries, cell_keys, heights):
+            key = tuple(key_row.tolist())
             self._cells.setdefault(key, []).append(entry)
             held = self._cell_min_height.get(key)
-            if held is None or entry[2].height < held:
-                self._cell_min_height[key] = entry[2].height
+            if held is None or height < held:
+                self._cell_min_height[key] = float(height)
 
     def _cell_key(self, components: Sequence[float]) -> Tuple[int, ...]:
         return tuple(
@@ -478,3 +493,522 @@ class GridIndex(_SpatialIndex):
                         hits.append((distance, seq, node_id))
         hits.sort()
         return [(node_id, distance) for distance, _, node_id in hits]
+
+
+# ----------------------------------------------------------------------
+# Dense (batched brute-force) index
+# ----------------------------------------------------------------------
+#: Queries per chunk of the batched pruning matrix.  Small enough that the
+#: ``chunk * n`` float32 working set (32 x 100k = 12.8 MB) stays cache-
+#: resident across the kernel's passes; larger chunks measurably regress.
+_BATCH_CHUNK = 32
+
+
+class DenseIndex(_SpatialIndex):
+    """Flat-array brute force: every query scans every node, vectorized.
+
+    The whole snapshot lives in three aligned arrays -- node ids, ``(n, d)``
+    components and ``(n,)`` heights -- so a query is a handful of NumPy
+    expressions over contiguous memory instead of a tree walk.  On the
+    paper's low-dimensional embeddings that loses asymptotically to the
+    vp-tree for *single* queries but wins decisively for *batches*:
+    :meth:`knn_batch_by_id` / :meth:`range_batch_by_id` answer q queries
+    against one snapshot version with chunked ``(q, n)`` distance matrices,
+    amortising all per-query Python overhead.
+
+    Tie-order guarantee: results are ordered by ``(predicted RTT,
+    insertion sequence)``, with the insertion sequence of an array-ingested
+    snapshot being its row order -- exactly the linear oracle's stable sort
+    over its insertion-ordered dict, so dense results (batched or not) are
+    byte-identical to the oracle, ties included.  The selection uses
+    ``argpartition`` for the k-th-distance cut and only sorts the candidate
+    set at the boundary.
+
+    :meth:`ingest_arrays` adopts snapshot arrays directly (no per-node
+    object materialisation); later ``update``/``remove`` calls hydrate the
+    object-based maintenance state first, keeping the mutable API intact.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._ids: List[str] = []
+        self._components = np.empty((0, 0), dtype=np.float64)
+        self._heights = np.empty(0, dtype=np.float64)
+        self._row_seq = np.empty(0, dtype=np.int64)
+        self._row_of: Optional[Dict[str, int]] = None
+        self._array_only = False
+        #: Lazily built float32 pruning twins (see the batch kernels).
+        self._prune = None
+
+    # -- array ingestion (the zero-copy path) --------------------------
+    def ingest_arrays(
+        self,
+        node_ids: Sequence[str],
+        components: np.ndarray,
+        heights: Optional[np.ndarray] = None,
+    ) -> None:
+        """Adopt snapshot arrays as the index contents (no copy).
+
+        Replaces any previous contents.  Insertion sequence becomes the
+        row order.  The arrays are referenced, not copied; callers must
+        treat them as frozen afterwards.
+        """
+        components = np.asarray(components, dtype=np.float64)
+        if components.ndim != 2:
+            raise ValueError("components must be a (n, d) array")
+        ids = list(node_ids)
+        if len(ids) != components.shape[0]:
+            raise ValueError(
+                f"{len(ids)} node ids for {components.shape[0]} coordinate rows"
+            )
+        if heights is None:
+            heights = np.zeros(len(ids), dtype=np.float64)
+        else:
+            heights = np.asarray(heights, dtype=np.float64)
+            if heights.shape != (len(ids),):
+                raise ValueError("heights must be a (n,) array aligned with node_ids")
+        self._ids = ids
+        self._components = components
+        self._heights = heights
+        self._row_seq = np.arange(len(ids), dtype=np.int64)
+        self._row_of = None
+        self._prune = None
+        self._coordinates.clear()
+        self._seq.clear()
+        self._next_seq = 0
+        self._array_only = True
+        self._dirty = False
+
+    @classmethod
+    def from_arrays(
+        cls,
+        node_ids: Sequence[str],
+        components: np.ndarray,
+        heights: Optional[np.ndarray] = None,
+    ) -> "DenseIndex":
+        index = cls()
+        index.ingest_arrays(node_ids, components, heights)
+        return index
+
+    def _hydrate_objects(self) -> None:
+        """Materialise the object-based maintenance state from the arrays."""
+        if not self._array_only:
+            return
+        for row, node_id in enumerate(self._ids):
+            self._seq[node_id] = row
+            self._coordinates[node_id] = Coordinate(
+                self._components[row].tolist(), float(self._heights[row])
+            )
+        self._next_seq = len(self._ids)
+        self._array_only = False
+
+    # -- maintenance ---------------------------------------------------
+    def update(self, node_id: str, coordinate: Coordinate) -> None:
+        self._hydrate_objects()
+        super().update(node_id, coordinate)
+
+    def remove(self, node_id: str) -> None:
+        self._hydrate_objects()
+        super().remove(node_id)
+
+    def _rebuild(self) -> None:
+        entries = self._entries()
+        self._ids = [node_id for _, node_id, _ in entries]
+        self._prune = None
+        if not entries:
+            self._components = np.empty((0, 0), dtype=np.float64)
+            self._heights = np.empty(0, dtype=np.float64)
+            self._row_seq = np.empty(0, dtype=np.int64)
+            self._row_of = None
+            return
+        dims = entries[0][2].dimensions
+        for _, node_id, coordinate in entries:
+            if coordinate.dimensions != dims:
+                raise ValueError(
+                    f"DenseIndex needs uniform dimensionality; {node_id!r} has "
+                    f"{coordinate.dimensions}, expected {dims}"
+                )
+        self._components = np.asarray(
+            [c.components for _, _, c in entries], dtype=np.float64
+        )
+        self._heights = np.asarray([c.height for _, _, c in entries], dtype=np.float64)
+        self._row_seq = np.asarray([seq for seq, _, _ in entries], dtype=np.int64)
+        self._row_of = None
+
+    @property
+    def _row_index(self) -> Dict[str, int]:
+        if self._row_of is None:
+            self._row_of = {node_id: row for row, node_id in enumerate(self._ids)}
+        return self._row_of
+
+    # -- accessors (array-backed when object state is absent) ----------
+    def __len__(self) -> int:
+        if self._array_only:
+            return len(self._ids)
+        return len(self._coordinates)
+
+    def __contains__(self, node_id: str) -> bool:
+        if self._array_only:
+            return node_id in self._row_index
+        return node_id in self._coordinates
+
+    def coordinate_of(self, node_id: str) -> Optional[Coordinate]:
+        if self._array_only:
+            row = self._row_index.get(node_id)
+            if row is None:
+                return None
+            return Coordinate(
+                self._components[row].tolist(), float(self._heights[row])
+            )
+        return self._coordinates.get(node_id)
+
+    def node_ids(self) -> List[str]:
+        if self._array_only:
+            return list(self._ids)
+        return list(self._coordinates)
+
+    def nearest_to_node(self, node_id: str, k: int = 1) -> List[Tuple[str, float]]:
+        self._ensure_built()
+        coordinate = self.coordinate_of(node_id)
+        if coordinate is None:
+            raise KeyError(f"{node_id!r} is not in the index")
+        return self.nearest(coordinate, k, exclude=[node_id])
+
+    # -- distance kernels ----------------------------------------------
+    def _check_dimensions(self, target: Coordinate) -> None:
+        if self._components.shape[0] and target.dimensions != self._components.shape[1]:
+            raise ValueError(
+                "coordinate dimensionality mismatch: "
+                f"{self._components.shape[1]} vs {target.dimensions}"
+            )
+
+    def _distances_to(self, target: Coordinate) -> np.ndarray:
+        """Predicted RTT from ``target`` to every row, oracle-exact.
+
+        Same operation order as ``Coordinate.distance``: a left-to-right
+        accumulation of squared component differences, then
+        ``(sqrt + target.height) + row height``.
+        """
+        self._check_dimensions(target)
+        return (self._euclidean_to(target) + target.height) + self._heights
+
+    def _cost_to(self, endpoint: Coordinate) -> np.ndarray:
+        """Predicted RTT from every row *to* ``endpoint``.
+
+        Same floats as ``row.distance(endpoint)`` -- the 1-median oracle
+        adds the row height before the endpoint height, the mirror image
+        of :meth:`_distances_to`, and float addition is not associative.
+        """
+        self._check_dimensions(endpoint)
+        return (self._euclidean_to(endpoint) + self._heights) + endpoint.height
+
+    def _euclidean_to(self, target: Coordinate) -> np.ndarray:
+        delta = self._components - np.asarray(target.components, dtype=np.float64)
+        acc = delta[:, 0] * delta[:, 0]
+        for j in range(1, delta.shape[1]):
+            acc = acc + delta[:, j] * delta[:, j]
+        return np.sqrt(acc)
+
+    def _top_k(self, distances: np.ndarray, k: int) -> List[Tuple[str, float]]:
+        """Best-k rows by ``(distance, insertion seq)``; +inf rows excluded."""
+        n = distances.shape[0]
+        if k < n:
+            head = np.argpartition(distances, k - 1)[:k]
+            tau = distances[head].max()
+            candidates = np.nonzero(distances <= tau)[0]
+        else:
+            candidates = np.arange(n)
+        candidates = candidates[distances[candidates] < np.inf]
+        order = np.lexsort((self._row_seq[candidates], distances[candidates]))
+        return [
+            (self._ids[int(row)], float(distances[row]))
+            for row in candidates[order[:k]]
+        ]
+
+    # -- queries -------------------------------------------------------
+    def nearest(
+        self,
+        target: Coordinate,
+        k: int = 1,
+        *,
+        exclude: Iterable[str] = (),
+    ) -> List[Tuple[str, float]]:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self._ensure_built()
+        if not self._ids:
+            return []
+        distances = self._distances_to(target)
+        excluded_rows = [
+            row
+            for row in (self._row_index.get(node_id) for node_id in exclude)
+            if row is not None
+        ]
+        if excluded_rows:
+            distances[excluded_rows] = np.inf
+        return self._top_k(distances, k)
+
+    def within(self, target: Coordinate, radius_ms: float) -> List[Tuple[str, float]]:
+        if radius_ms < 0.0:
+            raise ValueError("radius_ms must be non-negative")
+        self._ensure_built()
+        if not self._ids:
+            return []
+        distances = self._distances_to(target)
+        hits = np.nonzero(distances <= radius_ms)[0]
+        order = np.lexsort((self._row_seq[hits], distances[hits]))
+        return [(self._ids[int(row)], float(distances[row])) for row in hits[order]]
+
+    def min_cost_host(self, endpoints: Sequence[Coordinate]) -> Tuple[str, float]:
+        if not endpoints:
+            raise ValueError("min_cost_host needs at least one endpoint")
+        self._ensure_built()
+        if not self._ids:
+            raise ValueError("cannot run min_cost_host on an empty index")
+        cost = self._cost_to(endpoints[0])
+        for endpoint in endpoints[1:]:
+            cost = cost + self._cost_to(endpoint)
+        best = cost.min()
+        ties = np.nonzero(cost == best)[0]
+        row = int(ties[np.argmin(self._row_seq[ties])])
+        return self._ids[row], float(best)
+
+    # -- batch entry points (the planner's one-NumPy-call path) --------
+    #
+    # The batched kernels run in two stages.  Stage one PRUNES in a
+    # *shifted squared* space: ``g(x) = |x|^2 - 2 t.x`` (the norms
+    # identity minus the per-row constant ``|t|^2``) comes out of one
+    # float32 sgemm against a cached augmented matrix ``[X^T; |x|^2]``,
+    # and a deterministic column sample estimates a per-row threshold
+    # that keeps roughly ``4 * (k + pad)`` candidates -- no per-row
+    # argpartition over all n columns.  Stage two RESCORES only the
+    # surviving candidates with the exact float64 expression of
+    # :meth:`_distances_to`, so every emitted float is bit-identical to
+    # the single-query (and linear oracle) answer.
+    #
+    # Exactness of the *selection* is certified per row, not assumed:
+    # with ``err2`` a conservative bound on the float32 error of g, an
+    # excluded row provably has Euclidean distance above
+    # ``cut = sqrt(tau + |t|^2 - err2)`` -- and heights only add on top.
+    # A row's batch answer is only kept when ``cut`` strictly exceeds its
+    # k-th exact candidate distance; otherwise (too few candidates, tie
+    # within the error bound, height-dominated neighborhoods) that row
+    # falls back to an exact full scan.  Range queries need no fallback:
+    # the threshold over-approximates and the exact rescore filters.
+
+    #: Candidate padding beyond k for the pruning stage.
+    _PRUNE_PAD = 32
+    #: float32 machine epsilon with a generous safety factor for the
+    #: handful of roundings in the norms identity (input rounding, the
+    #: dot product, the sum, the cancellation-exposed subtraction).
+    _PRUNE_EPS = 64.0 * 1.1920929e-07
+    #: Columns sampled (deterministic stride) for the threshold estimate.
+    _PRUNE_SAMPLE = 1024
+
+    def _pruning_cache(self):
+        """Cached float32 ``[X^T; |x|^2]`` augmented matrix and norms."""
+        if self._prune is None:
+            components32 = self._components.astype(np.float32)
+            norms32 = (components32 * components32).sum(axis=1)
+            augmented = np.vstack([components32.T, norms32[None, :]])
+            norms64 = (self._components * self._components).sum(axis=1)
+            self._prune = (
+                components32,
+                augmented,
+                norms64,
+                float(norms32.max()) if norms32.size else 0.0,
+            )
+        return self._prune
+
+    def _shifted_squared(
+        self, rows: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, np.ndarray, float]:
+        """``g = |x|^2 - 2 t.x`` per (row, column), plus ``|t|^2`` and err2.
+
+        ``|g - g_true| <= err2`` for every entry: each term of the norms
+        identity is bounded by ``m2`` and the whole evaluation takes a
+        handful of float32 roundings, covered by the safety factor in
+        ``_PRUNE_EPS``.  ``out`` (a ``(>= q, n)`` float32 scratch buffer)
+        lets chunked callers reuse one allocation.
+        """
+        components32, augmented, norms64, norm_max = self._pruning_cache()
+        q = rows.shape[0]
+        d = components32.shape[1]
+        lhs = np.empty((q, d + 1), dtype=np.float32)
+        np.multiply(components32[rows], np.float32(-2.0), out=lhs[:, :d])
+        lhs[:, d] = 1.0
+        if out is not None:
+            shifted = np.matmul(lhs, augmented, out=out[:q])
+        else:
+            shifted = lhs @ augmented
+        target_norms = norms64[rows]
+        m2 = 2.0 * (float(target_norms.max()) if target_norms.size else 0.0) + 2.0 * norm_max
+        err2 = self._PRUNE_EPS * max(m2, 1.0)
+        return shifted, target_norms, err2
+
+    def _exact_candidate_distances(
+        self, rows: np.ndarray, candidates: np.ndarray
+    ) -> np.ndarray:
+        """Exact predicted RTTs row->candidate, same floats as the oracle."""
+        comps = self._components
+        delta = comps[candidates] - comps[rows][:, None, :]
+        acc = delta[..., 0] * delta[..., 0]
+        for j in range(1, comps.shape[1]):
+            acc = acc + delta[..., j] * delta[..., j]
+        return (np.sqrt(acc) + self._heights[rows][:, None]) + self._heights[candidates]
+
+    def _exact_row_distances(self, row: int) -> np.ndarray:
+        """Exact predicted RTTs from one row to every row (fallback path)."""
+        comps = self._components
+        delta = comps - comps[row]
+        acc = delta[:, 0] * delta[:, 0]
+        for j in range(1, comps.shape[1]):
+            acc = acc + delta[:, j] * delta[:, j]
+        return (np.sqrt(acc) + self._heights[row]) + self._heights
+
+    def _resolve_rows(self, target_ids: Sequence[str]) -> List[Tuple[int, int]]:
+        return [
+            (position, row)
+            for position, row in (
+                (position, self._row_index.get(node_id))
+                for position, node_id in enumerate(target_ids)
+            )
+            if row is not None
+        ]
+
+    def knn_batch_by_id(
+        self, target_ids: Sequence[str], k: int
+    ) -> List[Optional[List[Tuple[str, float]]]]:
+        """k-nearest for many indexed targets, self-excluded, in one sweep.
+
+        Element ``i`` answers ``target_ids[i]``; ``None`` marks an unknown
+        target (the caller decides how to fail it).  Answers are identical
+        -- floats, ordering, ties -- to ``nearest(coord, k, exclude=[id])``
+        per target.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self._ensure_built()
+        results: List[Optional[List[Tuple[str, float]]]] = [None] * len(target_ids)
+        if not self._ids:
+            return results
+        known = self._resolve_rows(target_ids)
+        n = len(self._ids)
+        target_count = max(2 * (k + self._PRUNE_PAD), 96)
+        if target_count * 2 >= n:
+            # Too small for pruning to exclude much: exact scans.
+            for position, row in known:
+                distances = self._exact_row_distances(row)
+                distances[row] = np.inf
+                results[position] = self._top_k(distances, k)
+            return results
+        row_ids = self._row_seq
+        sample_cols = np.arange(0, n, max(1, n // self._PRUNE_SAMPLE), dtype=np.int64)
+        rank = min(
+            sample_cols.size - 1,
+            max(1, (target_count * sample_cols.size) // n),
+        )
+        scratch = np.empty((min(_BATCH_CHUNK, len(known)), n), dtype=np.float32)
+        for offset in range(0, len(known), _BATCH_CHUNK):
+            chunk = known[offset : offset + _BATCH_CHUNK]
+            rows = np.asarray([row for _, row in chunk], dtype=np.int64)
+            q = rows.shape[0]
+            shifted, target_norms, err2 = self._shifted_squared(rows, out=scratch)
+            shifted[np.arange(q), rows] = np.inf  # self-exclusion
+            # Per-row candidate threshold from a strided column sample:
+            # the rank is chosen so roughly target_count columns survive.
+            tau = np.partition(shifted[:, sample_cols], rank, axis=1)[:, rank]
+            # flatnonzero + divmod is an order of magnitude faster than
+            # 2-D nonzero on a sparse (q, n) mask.
+            flat = np.flatnonzero((shifted <= tau[:, None]).ravel())
+            local_rows, cols = np.divmod(flat, n)
+            exact = (
+                self._exact_candidate_distances(rows[local_rows], cols[:, None]).ravel()
+                if cols.size
+                else np.empty(0)
+            )
+            order = np.lexsort((row_ids[cols], exact, local_rows))
+            local_rows = local_rows[order]
+            cols = cols[order]
+            exact = exact[order]
+            boundaries = np.searchsorted(local_rows, np.arange(q + 1))
+            # An excluded column's Euclidean distance provably exceeds
+            # cut = sqrt(tau + |t|^2 - err2); heights only add to it.
+            cut = np.sqrt(
+                np.maximum(tau.astype(np.float64) + target_norms - err2, 0.0)
+            )
+            for local, (position, row) in enumerate(chunk):
+                begin, end = boundaries[local], boundaries[local + 1]
+                count = end - begin
+                certified = (
+                    count >= k and cut[local] > exact[begin + k - 1]
+                )
+                if certified:
+                    results[position] = [
+                        (self._ids[int(node_row)], float(distance))
+                        for node_row, distance in zip(
+                            cols[begin : begin + k], exact[begin : begin + k]
+                        )
+                    ]
+                else:
+                    distances = self._exact_row_distances(row)
+                    distances[row] = np.inf
+                    results[position] = self._top_k(distances, k)
+        return results
+
+    def range_batch_by_id(
+        self, target_ids: Sequence[str], radius_ms: float
+    ) -> List[Optional[List[Tuple[str, float]]]]:
+        """Range query for many indexed targets in one sweep.
+
+        Answers match ``within(coord, radius_ms)`` per target exactly;
+        note the planner (not the index) drops the target itself from
+        range payloads, mirroring the single-query code path.
+        """
+        if radius_ms < 0.0:
+            raise ValueError("radius_ms must be non-negative")
+        self._ensure_built()
+        results: List[Optional[List[Tuple[str, float]]]] = [None] * len(target_ids)
+        if not self._ids:
+            return results
+        known = self._resolve_rows(target_ids)
+        row_ids = self._row_seq
+        for offset in range(0, len(known), _BATCH_CHUNK):
+            chunk = known[offset : offset + _BATCH_CHUNK]
+            rows = np.asarray([row for _, row in chunk], dtype=np.int64)
+            shifted, target_norms, err2 = self._shifted_squared(rows)
+            # Every true hit has euclid <= dist <= radius, hence
+            # g <= radius^2 - |t|^2 + err2; the exact rescore below
+            # discards the over-approximation, so no fallback is needed.
+            tau = (radius_ms * radius_ms - target_norms) + err2
+            # Rounded *up* to float32 so the comparison stays in float32
+            # (no (q, n) float64 temporary) without ever tightening the
+            # over-approximation.
+            tau32 = np.nextafter(
+                tau.astype(np.float32), np.float32(np.inf)
+            )
+            flat = np.flatnonzero((shifted <= tau32[:, None]).ravel())
+            local_rows, cols = np.divmod(flat, shifted.shape[1])
+            exact = (
+                self._exact_candidate_distances(
+                    rows[local_rows], cols[:, None]
+                ).ravel()
+                if cols.size
+                else np.empty(0)
+            )
+            keep = exact <= radius_ms
+            local_rows, cols, exact = local_rows[keep], cols[keep], exact[keep]
+            order = np.lexsort((row_ids[cols], exact, local_rows))
+            local_rows, cols, exact = (
+                local_rows[order],
+                cols[order],
+                exact[order],
+            )
+            boundaries = np.searchsorted(local_rows, np.arange(rows.shape[0] + 1))
+            for local, (position, _) in enumerate(chunk):
+                begin, end = boundaries[local], boundaries[local + 1]
+                results[position] = [
+                    (self._ids[int(node_row)], float(distance))
+                    for node_row, distance in zip(cols[begin:end], exact[begin:end])
+                ]
+        return results

@@ -17,6 +17,14 @@ pinned snapshot version, so one flush is internally consistent even while
 ingest keeps committing new versions, and the per-version spatial index is
 built once per generation rather than once per query.
 
+When the pinned index is the ``dense`` kind, flush goes further: all
+cache-missing knn / nearest / range queries in the batch are grouped (by
+``k`` / radius) and answered through the index's batch entry points --
+chunked ``(q, n)`` NumPy distance matrices instead of q separate scans --
+with byte-identical payloads, cache writes and per-kind stats.  Everything
+else in the batch (pairwise, centroid, unknown targets, duplicates served
+from the cache, non-dense indexes) falls back to the per-query path.
+
 Results are **cached** in an LRU+TTL map whose key includes the snapshot
 version -- a cached answer can therefore never leak across coordinate
 generations; entries from superseded versions simply age out.  Per-kind
@@ -229,6 +237,14 @@ class QueryPlanner:
         same snapshot even if the store commits mid-flush.  A query that
         fails (e.g. an unknown node) yields an error-carrying result in
         its slot instead of poisoning the rest of the batch.
+
+        On a ``dense`` index the knn / nearest / range portion of the
+        batch executes through the index's batched NumPy entry points (see
+        the module docstring); payloads, cache contents and stats match
+        the per-query path exactly, with one documented difference: the
+        batched answers' cache insertions happen before the fallback
+        portion's, so with a cache smaller than the batch the *eviction*
+        order within one flush can differ.
         """
         batch, self._pending = self._pending, []
         if not batch:
@@ -236,15 +252,108 @@ class QueryPlanner:
         self.batches_flushed += 1
         snapshot = self.store.latest()
         index = self.store.index_for(snapshot)
+        slots: List[Optional[QueryResult]] = [None] * len(batch)
+        if len(batch) > 1 and hasattr(index, "knn_batch_by_id"):
+            self._flush_batched(batch, snapshot, index, slots)
         results: List[QueryResult] = []
-        for query in batch:
-            try:
-                results.append(self._serve(query, snapshot, index))
-            except QueryError as exc:
-                results.append(
-                    QueryResult(query, None, snapshot.version, cached=False, error=str(exc))
-                )
+        for position, query in enumerate(batch):
+            served = slots[position]
+            if served is None:
+                try:
+                    served = self._serve(query, snapshot, index)
+                except QueryError as exc:
+                    served = QueryResult(
+                        query, None, snapshot.version, cached=False, error=str(exc)
+                    )
+            results.append(served)
         return results
+
+    def _flush_batched(self, batch, snapshot, index, slots) -> None:
+        """Answer the batchable portion of ``batch`` in grouped NumPy calls.
+
+        Fills ``slots`` in place; positions left as ``None`` (unbatchable
+        kinds, unknown targets, in-batch duplicates awaiting the first
+        occurrence's cache write) are served by the per-query fallback.
+        Cache-hit accounting mirrors the sequential path: a first
+        occurrence misses and executes, duplicates hit the cache.
+        """
+        knn_groups: Dict[int, List[int]] = {}
+        range_groups: Dict[float, List[int]] = {}
+        scheduled = set()
+        for position, query in enumerate(batch):
+            if query.kind in ("knn", "nearest"):
+                group_key: Any = query.k if query.kind == "knn" else 1
+                groups: Dict[Any, List[int]] = knn_groups
+            elif query.kind == "range":
+                group_key = query.radius_ms
+                groups = range_groups
+            else:
+                continue
+            if query.target not in index:
+                continue  # let the per-query path raise the canonical error
+            key = (snapshot.version, query)
+            if key in scheduled:
+                continue  # duplicate: hits the cache in the fallback pass
+            stats = self._stats[query.kind]
+            found, payload = self.cache.get(key)
+            if found:
+                stats.cache_hits += 1
+                slots[position] = QueryResult(
+                    query, copy.deepcopy(payload), snapshot.version, cached=True
+                )
+                continue
+            scheduled.add(key)
+            groups.setdefault(group_key, []).append(position)
+
+        for k, positions in knn_groups.items():
+            started = self._timer()
+            answers = index.knn_batch_by_id(
+                [batch[position].target for position in positions], k
+            )
+            self._record_batch(batch, snapshot, slots, positions, answers, started, "knn")
+        for radius_ms, positions in range_groups.items():
+            started = self._timer()
+            answers = index.range_batch_by_id(
+                [batch[position].target for position in positions], radius_ms
+            )
+            self._record_batch(
+                batch, snapshot, slots, positions, answers, started, "range"
+            )
+
+    def _record_batch(
+        self, batch, snapshot, slots, positions, answers, started, shape
+    ) -> None:
+        """Turn one group's batched answers into payloads, cache and stats."""
+        per_query_us = (self._timer() - started) * 1e6 / max(len(positions), 1)
+        for position, answer in zip(positions, answers):
+            if answer is None:  # unknown target: per-query path reports it
+                continue
+            query = batch[position]
+            if shape == "knn":
+                payload: Any = {
+                    "target": query.target,
+                    "neighbors": [
+                        {"node_id": node_id, "predicted_rtt_ms": rtt}
+                        for node_id, rtt in answer
+                    ],
+                }
+            else:
+                payload = {
+                    "target": query.target,
+                    "radius_ms": query.radius_ms,
+                    "hits": [
+                        {"node_id": node_id, "predicted_rtt_ms": rtt}
+                        for node_id, rtt in answer
+                        if node_id != query.target
+                    ],
+                }
+            stats = self._stats[query.kind]
+            stats.latency_us.add(per_query_us)
+            stats.executed += 1
+            self.cache.put((snapshot.version, query), copy.deepcopy(payload))
+            slots[position] = QueryResult(
+                query, payload, snapshot.version, cached=False
+            )
 
     def execute(self, query: Query) -> QueryResult:
         """Serve one query immediately against the latest snapshot.

@@ -17,6 +17,17 @@ view:
 * per-version spatial indexes are built lazily and memoised, so a batch of
   queries against one version pays one index build.
 
+Two snapshot representations share one duck-typed read API:
+
+* :class:`CoordinateSnapshot` -- the object-based form (a frozen
+  ``{node_id: Coordinate}`` mapping), fed by ``apply``/``commit`` staging;
+  this is the correctness oracle the array path is checked against.
+* :class:`ArraySnapshot` -- the array-backed form: node ids plus ``(n, d)``
+  component and ``(n,)`` height arrays, published whole via
+  :meth:`SnapshotStore.publish_arrays`.  A batch simulation hands its
+  state arrays straight in -- no per-node object materialisation -- and a
+  ``dense`` index adopts them without copying.
+
 Thread-safety: staging, commits and index memoisation take an internal
 lock; published snapshots are immutable and safe to read from any thread
 without coordination.
@@ -28,13 +39,15 @@ import json
 import threading
 from pathlib import Path
 from types import MappingProxyType
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.coordinate import Coordinate
 from repro.overlay.knn import CoordinateIndex
 from repro.service.index import INDEX_KINDS, build_index
 
-__all__ = ["CoordinateSnapshot", "SnapshotStore"]
+__all__ = ["ArraySnapshot", "CoordinateSnapshot", "SnapshotStore"]
 
 
 class CoordinateSnapshot:
@@ -117,6 +130,134 @@ class CoordinateSnapshot:
     @classmethod
     def load(cls, path: Path) -> "CoordinateSnapshot":
         return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+class ArraySnapshot:
+    """An immutable, versioned snapshot backed by flat NumPy arrays.
+
+    Same read API as :class:`CoordinateSnapshot` (duck-typed: ``version``,
+    ``coordinate_of``, ``node_ids``, ``items``, ``coordinates``, ...), but
+    the backing store is three aligned arrays instead of a mapping of
+    per-node objects.  The arrays are *adopted*, not copied, and marked
+    read-only -- the zero-copy half of the simulation -> service bridge.
+    ``Coordinate`` objects are materialised lazily, one per
+    ``coordinate_of`` lookup; batch consumers (the ``dense`` index) never
+    materialise any.
+    """
+
+    __slots__ = (
+        "version",
+        "source",
+        "_node_ids",
+        "_components",
+        "_heights",
+        "_row_of",
+        "_mapping",
+    )
+
+    def __init__(
+        self,
+        version: int,
+        node_ids: Sequence[str],
+        components: np.ndarray,
+        heights: Optional[np.ndarray] = None,
+        *,
+        source: str = "",
+    ) -> None:
+        components = np.asarray(components, dtype=np.float64)
+        if components.ndim != 2 or components.shape[1] < 1:
+            raise ValueError("components must be a (n, d) array with d >= 1")
+        ids = list(node_ids)
+        if len(ids) != components.shape[0]:
+            raise ValueError(
+                f"{len(ids)} node ids for {components.shape[0]} coordinate rows"
+            )
+        if heights is None:
+            heights = np.zeros(len(ids), dtype=np.float64)
+        else:
+            heights = np.asarray(heights, dtype=np.float64)
+            if heights.shape != (len(ids),):
+                raise ValueError("heights must be a (n,) array aligned with node_ids")
+        if len(ids) and (
+            not np.isfinite(components).all()
+            or not np.isfinite(heights).all()
+            or (heights < 0.0).any()
+        ):
+            raise ValueError(
+                "coordinate components must be finite and heights finite and non-negative"
+            )
+        components.setflags(write=False)
+        heights.setflags(write=False)
+        self.version = version
+        self.source = source
+        self._node_ids = ids
+        self._components = components
+        self._heights = heights
+        self._row_of: Optional[Dict[str, int]] = None
+        self._mapping: Optional[Mapping[str, Coordinate]] = None
+
+    # -- array access (the zero-copy read path) ------------------------
+    def arrays(self) -> Tuple[List[str], np.ndarray, np.ndarray]:
+        """``(node_ids, components (n, d), heights (n,))``, no copies."""
+        return self._node_ids, self._components, self._heights
+
+    # -- CoordinateSnapshot-compatible API -----------------------------
+    def __len__(self) -> int:
+        return len(self._node_ids)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._row_index
+
+    @property
+    def _row_index(self) -> Dict[str, int]:
+        if self._row_of is None:
+            self._row_of = {node_id: row for row, node_id in enumerate(self._node_ids)}
+        return self._row_of
+
+    def coordinate_of(self, node_id: str) -> Optional[Coordinate]:
+        row = self._row_index.get(node_id)
+        if row is None:
+            return None
+        return Coordinate(self._components[row].tolist(), float(self._heights[row]))
+
+    def node_ids(self) -> List[str]:
+        return list(self._node_ids)
+
+    def items(self) -> Iterator[Tuple[str, Coordinate]]:
+        for row, node_id in enumerate(self._node_ids):
+            yield node_id, Coordinate(
+                self._components[row].tolist(), float(self._heights[row])
+            )
+
+    @property
+    def coordinates(self) -> Mapping[str, Coordinate]:
+        """Object-based view, materialised once on first use.
+
+        Exists so object-path consumers (non-dense index builds, commits
+        layered on top of an array epoch) keep working; the hot read path
+        never touches it.
+        """
+        if self._mapping is None:
+            self._mapping = MappingProxyType(dict(self.items()))
+        return self._mapping
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "source": self.source,
+            "coordinates": {
+                node_id: {
+                    "components": self._components[row].tolist(),
+                    "height": float(self._heights[row]),
+                }
+                for row, node_id in enumerate(self._node_ids)
+            },
+        }
+
+    def save(self, path: Path) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
 
 
 class SnapshotStore:
@@ -209,15 +350,53 @@ class SnapshotStore:
             snapshot = CoordinateSnapshot(
                 self._latest.version + 1, merged, source=source or self._latest.source
             )
-            self._latest = snapshot
-            self._versions[snapshot.version] = snapshot
-            floor = snapshot.version - self.history + 1
-            for version in [v for v in self._versions if v < floor]:
-                self._versions.pop(version, None)
-            # Swept independently of _versions: index_for() may have
-            # memoised an index whose version was already evicted above.
-            for version in [v for v in self._indexes if v < floor]:
-                self._indexes.pop(version, None)
+            self._publish_locked(snapshot)
+            return snapshot
+
+    def _publish_locked(self, snapshot) -> None:
+        """Install ``snapshot`` as latest and sweep history (lock held)."""
+        self._latest = snapshot
+        self._versions[snapshot.version] = snapshot
+        floor = snapshot.version - self.history + 1
+        for version in [v for v in self._versions if v < floor]:
+            self._versions.pop(version, None)
+        # Swept independently of _versions: index_for() may have
+        # memoised an index whose version was already evicted above.
+        for version in [v for v in self._indexes if v < floor]:
+            self._indexes.pop(version, None)
+
+    def publish_arrays(
+        self,
+        node_ids: Sequence[str],
+        components: np.ndarray,
+        heights: Optional[np.ndarray] = None,
+        *,
+        source: str = "",
+    ) -> ArraySnapshot:
+        """Publish whole-population arrays as the next immutable version.
+
+        The zero-copy ingest path: the arrays are adopted (and frozen) as
+        an :class:`ArraySnapshot` -- no staging dict, no per-node
+        ``Coordinate`` objects.  Pass copies when the source arrays keep
+        mutating (a still-running simulation); a finished epoch can be
+        handed over as-is.  Raises if object updates are currently staged,
+        so a mixed write pattern can never silently drop them.
+        """
+        with self._lock:
+            if self._staged:
+                raise ValueError(
+                    "cannot publish an array snapshot while object updates are "
+                    "staged; commit() or discard them first"
+                )
+            snapshot = ArraySnapshot(
+                self._latest.version + 1,
+                node_ids,
+                components,
+                heights,
+                source=source or self._latest.source,
+            )
+            self._publish_locked(snapshot)
+            self._ingested += len(snapshot)
             return snapshot
 
     # -- read path ------------------------------------------------------
@@ -257,7 +436,14 @@ class SnapshotStore:
         # finalised eagerly so concurrent readers of the published index
         # never trigger (and race on) a lazy rebuild.
         index = build_index(self.index_kind)
-        index.update_many(dict(target.coordinates))
+        ingest_arrays = getattr(index, "ingest_arrays", None)
+        arrays = getattr(target, "arrays", None)
+        if ingest_arrays is not None and arrays is not None:
+            # Array snapshot -> dense index: adopt the snapshot arrays
+            # directly, no per-node objects anywhere on the path.
+            ingest_arrays(*arrays())
+        else:
+            index.update_many(dict(target.coordinates))
         finalise = getattr(index, "_ensure_built", None)
         if finalise is not None:
             finalise()
@@ -270,6 +456,21 @@ class SnapshotStore:
             return self._indexes.setdefault(target.version, index)
 
     # -- convenience ----------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        node_ids: Sequence[str],
+        components: np.ndarray,
+        heights: Optional[np.ndarray] = None,
+        *,
+        index_kind: str = "dense",
+        source: str = "",
+    ) -> "SnapshotStore":
+        """A store pre-loaded with one array-backed snapshot (version 1)."""
+        store = cls(index_kind=index_kind)
+        store.publish_arrays(node_ids, components, heights, source=source)
+        return store
+
     @classmethod
     def from_coordinates(
         cls,

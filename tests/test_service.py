@@ -10,14 +10,20 @@ import pytest
 
 from repro.core.coordinate import Coordinate
 from repro.overlay.knn import CoordinateIndex
-from repro.service.index import INDEX_KINDS, GridIndex, VPTreeIndex, build_index
+from repro.service.index import (
+    INDEX_KINDS,
+    DenseIndex,
+    GridIndex,
+    VPTreeIndex,
+    build_index,
+)
 from repro.service.planner import (
     LRUTTLCache,
     Query,
     QueryError,
     QueryPlanner,
 )
-from repro.service.snapshot import CoordinateSnapshot, SnapshotStore
+from repro.service.snapshot import ArraySnapshot, CoordinateSnapshot, SnapshotStore
 from repro.service.workload import (
     QUERY_MIXES,
     generate_queries,
@@ -50,7 +56,7 @@ class TestIndexesMatchOracle:
     UNIVERSES = ((100, False), (250, True), (400, False))
     TRIALS_PER_UNIVERSE = 334  # x3 universes > 1k trials per kind
 
-    @pytest.mark.parametrize("kind", ["vptree", "grid"])
+    @pytest.mark.parametrize("kind", ["vptree", "grid", "dense"])
     def test_knn_identical_over_1k_random_trials(self, kind):
         rng = np.random.default_rng(42)
         for nodes, with_heights in self.UNIVERSES:
@@ -64,7 +70,7 @@ class TestIndexesMatchOracle:
                 k = int(rng.integers(1, 10))
                 assert index.nearest(target, k) == oracle.nearest(target, k)
 
-    @pytest.mark.parametrize("kind", ["vptree", "grid"])
+    @pytest.mark.parametrize("kind", ["vptree", "grid", "dense"])
     def test_within_identical(self, kind):
         rng = np.random.default_rng(43)
         coordinates = _random_coordinates(rng, 300, with_heights=True)
@@ -90,7 +96,7 @@ class TestIndexesMatchOracle:
             endpoints = [coordinates[names[int(i)]] for i in picked]
             assert index.min_cost_host(endpoints) == oracle.min_cost_host(endpoints)
 
-    @pytest.mark.parametrize("kind", ["vptree", "grid"])
+    @pytest.mark.parametrize("kind", ["vptree", "grid", "dense"])
     def test_lattice_ties_identical_to_oracle(self, kind):
         # Regression: integer-lattice coordinates create many exact
         # distance ties, and pruning bounds computed from rounded floats
@@ -121,7 +127,7 @@ class TestIndexesMatchOracle:
                 endpoints = [coordinates[names[int(i)]] for i in picked]
                 assert index.min_cost_host(endpoints) == oracle.min_cost_host(endpoints)
 
-    @pytest.mark.parametrize("kind", ["vptree", "grid"])
+    @pytest.mark.parametrize("kind", ["vptree", "grid", "dense"])
     def test_duplicate_coordinates_tie_break_matches_oracle(self, kind):
         # Exact ties must resolve by insertion order, like the oracle's
         # stable sort over its insertion-ordered dict.
@@ -137,7 +143,7 @@ class TestIndexesMatchOracle:
             assert index.nearest(target, k) == oracle.nearest(target, k)
         assert index.within(target, 10.0) == oracle.within(target, 10.0)
 
-    @pytest.mark.parametrize("kind", ["vptree", "grid"])
+    @pytest.mark.parametrize("kind", ["vptree", "grid", "dense"])
     def test_exclusions_and_updates(self, kind):
         rng = np.random.default_rng(45)
         coordinates = _random_coordinates(rng, 120)
@@ -159,10 +165,23 @@ class TestIndexesMatchOracle:
         assert len(index) == len(oracle) == 119
 
     def test_empty_index_queries(self):
-        for kind in ("vptree", "grid"):
+        for kind in ("vptree", "grid", "dense"):
             index = build_index(kind)
             assert index.nearest(Coordinate([0.0, 0.0, 0.0]), 3) == []
             assert index.within(Coordinate([0.0, 0.0, 0.0]), 10.0) == []
+
+    def test_dense_min_cost_host_identical(self):
+        rng = np.random.default_rng(46)
+        coordinates = _random_coordinates(rng, 300, with_heights=True)
+        names = sorted(coordinates)
+        oracle = CoordinateIndex()
+        oracle.update_many(coordinates)
+        index = build_index("dense")
+        index.update_many(coordinates)
+        for _ in range(200):
+            picked = rng.choice(len(names), size=int(rng.integers(1, 6)), replace=False)
+            endpoints = [coordinates[names[int(i)]] for i in picked]
+            assert index.min_cost_host(endpoints) == oracle.min_cost_host(endpoints)
 
     def test_build_index_rejects_unknown_kind(self):
         with pytest.raises(ValueError, match="unknown index kind"):
@@ -174,6 +193,161 @@ class TestIndexesMatchOracle:
         index.update("b", Coordinate([1.0, 2.0]))
         with pytest.raises(ValueError, match="uniform dimensionality"):
             index.nearest(Coordinate([0.0, 0.0, 0.0]), 1)
+
+
+# ----------------------------------------------------------------------
+# Dense batch entry points and the array snapshot bridge
+# ----------------------------------------------------------------------
+class TestDenseBatchAndArrays:
+    def _universe(self, n=300, seed=50):
+        rng = np.random.default_rng(seed)
+        ids = [f"n{i:05d}" for i in range(n)]
+        components = rng.normal(scale=60.0, size=(n, 3))
+        heights = np.where(
+            np.arange(n) % 5 == 0, np.abs(rng.normal(scale=3.0, size=n)), 0.0
+        )
+        coordinates = {
+            node_id: Coordinate(row.tolist(), float(height))
+            for node_id, row, height in zip(ids, components, heights)
+        }
+        return ids, components, heights, coordinates, rng
+
+    def test_batch_entry_points_match_single_queries(self):
+        ids, components, heights, coordinates, rng = self._universe()
+        oracle = CoordinateIndex()
+        oracle.update_many(coordinates)
+        index = DenseIndex.from_arrays(ids, components, heights)
+        targets = [ids[int(i)] for i in rng.integers(0, len(ids), size=150)]
+        for k in (1, 4):
+            for target, answer in zip(targets, index.knn_batch_by_id(targets, k)):
+                assert answer == oracle.nearest(
+                    coordinates[target], k, exclude=[target]
+                )
+        for target, answer in zip(targets, index.range_batch_by_id(targets, 60.0)):
+            assert answer == oracle.within(coordinates[target], 60.0)
+
+    def test_batch_unknown_targets_are_none(self):
+        ids, components, heights, _, _ = self._universe(n=20)
+        index = DenseIndex.from_arrays(ids, components, heights)
+        answers = index.knn_batch_by_id(["nope", ids[0]], 2)
+        assert answers[0] is None and answers[1] is not None
+
+    def test_array_snapshot_read_api_matches_object_snapshot(self):
+        ids, components, heights, coordinates, _ = self._universe(n=40)
+        objectified = CoordinateSnapshot(3, coordinates, source="obj")
+        arrayified = ArraySnapshot(3, ids, components, heights, source="arr")
+        assert len(arrayified) == len(objectified)
+        assert arrayified.node_ids() == objectified.node_ids()
+        assert (ids[7] in arrayified) and ("nope" not in arrayified)
+        assert arrayified.coordinate_of(ids[7]) == objectified.coordinate_of(ids[7])
+        assert arrayified.coordinate_of("nope") is None
+        assert dict(arrayified.items()) == dict(objectified.items())
+        assert (
+            arrayified.to_dict()["coordinates"] == objectified.to_dict()["coordinates"]
+        )
+
+    def test_array_snapshot_arrays_are_frozen(self):
+        ids, components, heights, _, _ = self._universe(n=10)
+        snapshot = ArraySnapshot(1, ids, components, heights)
+        _, frozen, _ = snapshot.arrays()
+        with pytest.raises(ValueError):
+            frozen[0, 0] = 1.0
+
+    def test_publish_arrays_versions_and_dense_adoption(self):
+        ids, components, heights, _, _ = self._universe(n=60)
+        store = SnapshotStore(index_kind="dense")
+        snapshot = store.publish_arrays(ids, components, heights, source="epoch1")
+        assert snapshot.version == 1 and store.version == 1
+        index = store.index_for()
+        # Zero-copy adoption: the dense index holds the snapshot's arrays.
+        _, snap_components, snap_heights = snapshot.arrays()
+        assert index._components is snap_components
+        assert index._heights is snap_heights
+        later = store.publish_arrays(ids, components + 1.0, heights, source="epoch2")
+        assert later.version == 2
+        assert store.at(1) is snapshot
+
+    def test_publish_arrays_refuses_staged_object_updates(self):
+        ids, components, heights, _, _ = self._universe(n=4)
+        store = SnapshotStore()
+        store.apply("x", Coordinate([1.0, 2.0, 3.0]))
+        with pytest.raises(ValueError, match="staged"):
+            store.publish_arrays(ids, components, heights)
+
+    def test_object_commit_on_top_of_array_epoch(self):
+        ids, components, heights, _, _ = self._universe(n=12)
+        store = SnapshotStore.from_arrays(ids, components, heights)
+        store.apply(ids[0], Coordinate([0.0, 0.0, 0.0]))
+        merged = store.commit()
+        assert merged.version == 2
+        assert merged.coordinate_of(ids[0]) == Coordinate([0.0, 0.0, 0.0])
+        assert merged.coordinate_of(ids[1]) == Coordinate(
+            components[1].tolist(), float(heights[1])
+        )
+
+    @pytest.mark.parametrize("kind", ["dense", "vptree", "grid"])
+    def test_batched_flush_identical_to_single_queries(self, kind):
+        """Batch-vs-single identity: one flushed batch must answer exactly
+        like per-query execution -- results, tie order and cache behaviour
+        -- for the batched dense path and the per-query fallback kinds."""
+        from repro.service.planner import QueryPlanner
+        from repro.service.workload import (
+            generate_queries,
+            payload_checksum,
+            run_workload,
+        )
+
+        ids, components, heights, coordinates, _ = self._universe(n=250)
+        queries = generate_queries(sorted(ids), 400, mix="mixed", seed=3)
+
+        def planner():
+            if kind == "dense":
+                store = SnapshotStore.from_arrays(
+                    ids, components, heights, index_kind=kind
+                )
+            else:
+                store = SnapshotStore.from_coordinates(coordinates, index_kind=kind)
+            return QueryPlanner(store, clock=lambda: 0.0, timer=lambda: 0.0)
+
+        batched = run_workload(planner(), queries, batch_size=64, timer=lambda: 0.0)
+        single_planner = planner()
+        singles = [single_planner.execute(query) for query in queries]
+        assert payload_checksum(singles) == batched.checksum
+        assert single_planner.cache_hit_rate() == batched.cache_hit_rate
+        # The linear oracle agrees end to end as well.
+        linear = run_workload(
+            QueryPlanner(
+                SnapshotStore.from_coordinates(coordinates, index_kind="linear"),
+                clock=lambda: 0.0,
+                timer=lambda: 0.0,
+            ),
+            queries,
+            batch_size=64,
+            timer=lambda: 0.0,
+        )
+        assert linear.checksum == batched.checksum
+        assert linear.stats["kinds"] == dict(batched.stats["kinds"])
+
+    def test_grid_cell_assignment_matches_scalar_loop(self):
+        """The vectorized build-time bucketing must bucket exactly like
+        the per-node _cell_key loop it replaced."""
+        _, _, _, coordinates, _ = self._universe(n=350, seed=51)
+        index = GridIndex()
+        index.update_many(coordinates)
+        index._ensure_built()
+        looped = {}
+        for node_id, coordinate in coordinates.items():
+            key = index._cell_key(coordinate.components)
+            looped.setdefault(key, []).append(node_id)
+        vectorized = {
+            key: [node_id for _, node_id, _ in entries]
+            for key, entries in index._cells.items()
+        }
+        assert vectorized == looped
+        for key, entries in index._cells.items():
+            assert index._cell_min_height[key] == min(
+                coordinate.height for _, _, coordinate in entries
+            )
 
 
 # ----------------------------------------------------------------------

@@ -93,13 +93,15 @@ class TestBackendEquivalence:
             "mp_system",
             "mp_application",
             "mp_application_centroid",
+            "mp_relative",
             "raw_energy",
             "cluster_confidence",
         ],
     )
     def test_preset_equivalence_is_byte_identical(self, preset):
-        # 80 ticks: enough for the energy windows (2 * 32 observations) to
-        # become ready, so the O(w^2) statistic actually executes.
+        # 80 ticks: enough for the energy/relative windows (2 * 32
+        # observations) to become ready, so the window statistics and the
+        # RELATIVE nearest-neighbor scan actually execute.
         config = SimulationConfig(
             nodes=16,
             duration_s=400.0,
@@ -108,6 +110,24 @@ class TestBackendEquivalence:
         )
         scalar, vectorized = _run_pair(config)
         _assert_equivalent(scalar, vectorized)
+
+    @pytest.mark.parametrize(
+        "preset", ["mp", "mp_energy", "mp_relative", "mp_application_centroid"]
+    )
+    def test_height_equivalence_is_byte_identical(self, preset):
+        """The height-augmented space: spring, error metrics and centroid
+        heights must match the scalar oracle bit for bit."""
+        config = SimulationConfig(
+            nodes=14,
+            duration_s=400.0,
+            node_config=NodeConfig.preset(preset, vivaldi=VivaldiConfig(use_height=True)),
+            seed=13,
+        )
+        scalar, vectorized = _run_pair(config)
+        _assert_equivalent(scalar, vectorized)
+        heights = [c.height for c in vectorized.final_system]
+        assert any(h > 0.0 for h in heights), "height spring never engaged"
+        assert [c.height for c in scalar.final_system] == heights
 
     @pytest.mark.parametrize(
         "filter_config",
@@ -178,10 +198,52 @@ class TestBackendEquivalence:
         scalar, vectorized = _run_pair(config)
         _assert_equivalent(scalar, vectorized)
 
+    @settings(max_examples=10, deadline=None)
+    @given(
+        nodes=st.integers(min_value=5, max_value=14),
+        dimensions=st.integers(min_value=2, max_value=4),
+        churn_fraction=st.sampled_from([0.0, 0.3]),
+        use_height=st.booleans(),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_relative_height_property_sweep(
+        self, nodes, dimensions, churn_fraction, use_height, seed
+    ):
+        """RELATIVE (+ optional height) across node counts, dimensionality
+        and churn: byte-identical to the scalar oracle.  80 ticks so the
+        change-detection windows become ready and the locale-scaled
+        trigger can fire."""
+        node_config = NodeConfig.preset(
+            "mp_relative",
+            vivaldi=VivaldiConfig(dimensions=dimensions, use_height=use_height),
+        )
+        config = SimulationConfig(
+            nodes=nodes,
+            duration_s=400.0,
+            node_config=node_config,
+            churn=(
+                ChurnConfig(churning_fraction=churn_fraction, mean_session_s=120.0)
+                if churn_fraction > 0.0
+                else None
+            ),
+            seed=seed,
+        )
+        scalar, vectorized = _run_pair(config)
+        _assert_equivalent(scalar, vectorized)
+        assert [c.height for c in scalar.final_application] == [
+            c.height for c in vectorized.final_application
+        ]
+
     def test_strict_equivalence_scenario_passes(self):
         run = run_scenario(get_scenario("vectorized-strict-small"))
         assert run.result.metrics["strict_equivalence"] == 1.0
         assert run.result.metrics["ticks"] == 48.0
+
+    def test_strict_relative_height_scenario_passes(self):
+        """The paper RELATIVE + height pipeline under the strict guard."""
+        run = run_scenario(get_scenario("vectorized-strict-relative"))
+        assert run.result.metrics["strict_equivalence"] == 1.0
+        assert run.result.metrics["ticks"] == 96.0
 
     def test_profile_phases_reported(self):
         run = run_scenario(get_scenario("vectorized-strict-small"), collect_profile=True)
@@ -191,21 +253,71 @@ class TestBackendEquivalence:
 
 
 class TestSupportSurface:
-    def test_relative_heuristic_not_vectorized(self):
+    def test_whole_scalar_surface_is_vectorized(self):
+        """Every preset -- RELATIVE and height included -- runs vectorized."""
+        from repro.core.config import PRESETS
+
+        for name in PRESETS:
+            config = NodeConfig.preset(name)
+            assert unsupported_reasons(config) == [], name
+        assert unsupported_reasons(NodeConfig.preset("mp_relative")) == []
+        assert (
+            unsupported_reasons(NodeConfig(vivaldi=VivaldiConfig(use_height=True)))
+            == []
+        )
+        VectorizedNodeState(4, NodeConfig.preset("mp_relative"), 2)
+
+    def test_unknown_kind_still_raises_at_construction(self):
+        import repro.core.vectorized as vectorized_module
+
         config = NodeConfig.preset("mp_relative")
-        assert unsupported_reasons(config)
-        with pytest.raises(BackendUnsupportedError, match="relative"):
-            VectorizedNodeState(4, config, 2)
+        surface = tuple(
+            kind
+            for kind in vectorized_module.VECTORIZED_HEURISTIC_KINDS
+            if kind != "relative"
+        )
+        original = vectorized_module.VECTORIZED_HEURISTIC_KINDS
+        vectorized_module.VECTORIZED_HEURISTIC_KINDS = surface
+        try:
+            assert unsupported_reasons(config)
+            with pytest.raises(BackendUnsupportedError, match="relative"):
+                VectorizedNodeState(4, config, 2)
+        finally:
+            vectorized_module.VECTORIZED_HEURISTIC_KINDS = original
 
-    def test_height_space_not_vectorized(self):
-        config = NodeConfig(vivaldi=VivaldiConfig(use_height=True))
-        assert any("height" in reason for reason in unsupported_reasons(config))
+    def test_unsupported_spec_error_names_heuristic_and_fallback(self, monkeypatch):
+        """The validation error must name the offending heuristic and
+        point at the scalar-backend fallback, not be a generic rejection."""
+        import repro.core.vectorized as vectorized_module
 
-    def test_spec_rejects_unsupported_configuration(self):
-        with pytest.raises(ScenarioError, match="relative.*not vectorized"):
+        monkeypatch.setattr(
+            vectorized_module,
+            "VECTORIZED_HEURISTIC_KINDS",
+            tuple(
+                kind
+                for kind in vectorized_module.VECTORIZED_HEURISTIC_KINDS
+                if kind != "relative"
+            ),
+        )
+        with pytest.raises(
+            ScenarioError, match=r"heuristic kind 'relative'.*backend='scalar'"
+        ):
             ScenarioSpec(
                 name="bad", mode="simulate", preset="mp_relative", backend="vectorized"
             )
+
+    def test_relative_spec_validates_on_vectorized_backend(self):
+        spec = ScenarioSpec(
+            name="ok",
+            mode="simulate",
+            preset="mp_relative",
+            use_height=True,
+            backend="vectorized",
+        )
+        assert spec.node_config().vivaldi.use_height is True
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        flat_twin = ScenarioSpec.from_dict({**spec.to_dict(), "use_height": False})
+        assert spec.spec_hash() != flat_twin.spec_hash()
 
     def test_vectorized_requires_simulate_mode(self):
         with pytest.raises(ScenarioError, match="requires mode='simulate'"):
@@ -225,6 +337,54 @@ class TestSupportSurface:
         assert ScenarioSpec.from_dict(spec.to_dict()) == spec
         scalar_twin = ScenarioSpec.from_dict({**spec.to_dict(), "backend": "scalar"})
         assert spec.spec_hash() != scalar_twin.spec_hash()
+
+
+class TestSnapshotPublishBridge:
+    def test_epochs_published_into_store(self):
+        """run_batch_simulation pushes array epochs straight into a
+        SnapshotStore: one version per publish interval plus the final
+        state, no per-node objects on the way in."""
+        from repro.service.snapshot import ArraySnapshot, SnapshotStore
+
+        store = SnapshotStore(index_kind="dense", history=32)
+        config = SimulationConfig(
+            nodes=16, duration_s=100.0, node_config=NodeConfig.preset("mp"), seed=3
+        )
+        sim = run_batch_simulation(
+            config,
+            backend="vectorized",
+            publish_store=store,
+            publish_every_ticks=5,
+            collect_profile=True,
+        )
+        # 20 ticks -> 4 interval epochs + the final publish.
+        assert sim.snapshots_published == 5
+        assert store.version == 5
+        latest = store.latest()
+        assert isinstance(latest, ArraySnapshot)
+        assert latest.source.endswith("final")
+        final = dict(zip(sim.host_ids, sim.final_application))
+        for host_id, coordinate in final.items():
+            assert latest.coordinate_of(host_id) == coordinate
+        assert "publish_s" in sim.profile
+
+    def test_final_arrays_match_object_coordinates(self):
+        config = SimulationConfig(
+            nodes=10, duration_s=60.0, node_config=NodeConfig.preset("mp"), seed=1
+        )
+        for backend in ("scalar", "vectorized"):
+            sim = run_batch_simulation(config, backend=backend)
+            components, heights = sim.final_application_arrays
+            for row, coordinate in enumerate(sim.final_application):
+                assert tuple(components[row].tolist()) == tuple(coordinate.components)
+                assert float(heights[row]) == coordinate.height
+
+    def test_publish_interval_requires_store(self):
+        config = SimulationConfig(
+            nodes=4, duration_s=20.0, node_config=NodeConfig.preset("mp"), seed=0
+        )
+        with pytest.raises(ValueError, match="publish_store"):
+            run_batch_simulation(config, publish_every_ticks=2)
 
 
 class TestBatchChurnSchedule:
@@ -333,7 +493,11 @@ class TestRegressionGate:
         gate = _load_check_regression()
         baseline_dir = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
         names = sorted(p.name for p in baseline_dir.glob("BENCH_*.json"))
-        assert names == ["BENCH_service_smoke.json", "BENCH_vectorized_smoke.json"]
+        assert names == [
+            "BENCH_pipeline_smoke.json",
+            "BENCH_service_smoke.json",
+            "BENCH_vectorized_smoke.json",
+        ]
         for path in baseline_dir.glob("BENCH_*.json"):
             payload = json.loads(path.read_text())
             extractor = gate.EXTRACTORS[payload["benchmark"]]

@@ -12,7 +12,10 @@ hardware:
   over the linear scan at every size, plus the identical-results check;
 * ``pipeline_array_native`` artifacts: the RELATIVE+height sim speedup,
   the array-over-object snapshot-ingest speedup and the batched-over-
-  per-query dense execution speedup, plus their identity checks.
+  per-query dense execution speedup, plus their identity checks;
+* ``server_load`` artifacts: the serving daemon's queries/sec at each
+  shard count relative to its own 1-shard leg, plus the cross-shard and
+  linear-oracle identity checks and the ingest-while-serving check.
 
 A metric regresses when it falls more than ``--tolerance`` (default 0.30,
 i.e. 30%) below its committed baseline in ``benchmarks/baselines/``.
@@ -94,10 +97,32 @@ def _extract_pipeline(payload: Dict) -> Metrics:
     return ratios, checks
 
 
+def _extract_server(payload: Dict) -> Metrics:
+    ratios: Dict[str, float] = {}
+    checks: Dict[str, bool] = {}
+    for record in payload["shard_scaling"]:
+        shards = record["shards"]
+        # qps per shard count relative to the same run's 1-shard leg --
+        # a same-machine ratio, stable across runner hardware.
+        ratios[f"qps_ratio_at_{shards}_shards"] = float(record["qps_ratio_vs_1_shard"])
+        checks[f"identical_to_1_shard_at_{shards}_shards"] = bool(
+            record["identical_to_1_shard"]
+        )
+        checks[f"oracle_prefix_identical_at_{shards}_shards"] = bool(
+            record["oracle_prefix_identical"]
+        )
+        checks[f"no_errors_at_{shards}_shards"] = record["errors"] == 0
+    ingest = payload.get("ingest")
+    if ingest is not None:
+        checks["serving_during_ingest_ok"] = bool(ingest["serving_during_ingest_ok"])
+    return ratios, checks
+
+
 EXTRACTORS = {
     "vectorized_backend": _extract_vectorized,
     "service_query_scaling": _extract_service,
     "pipeline_array_native": _extract_pipeline,
+    "server_load": _extract_server,
 }
 
 

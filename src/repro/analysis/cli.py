@@ -10,6 +10,8 @@ Usage::
     python -m repro.analysis.cli scenarios sweep knn-overlay --set window=16,32
     python -m repro.analysis.cli serve mesh-replay --out snapshot.json
     python -m repro.analysis.cli query --snapshot snapshot.json knn host-0003
+    python -m repro.analysis.cli serve-daemon --snapshot snapshot.json --port 9917
+    python -m repro.analysis.cli load --port 9917 --count 5000 --mix mixed
 
 Each experiment prints its paper-style report to stdout; ``--output DIR``
 additionally writes one ``<experiment>.txt`` file per experiment so runs
@@ -93,6 +95,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.service.cli import main as service_main
 
         return service_main(argv)
+    if argv and argv[0] in ("serve-daemon", "load"):
+        # The network daemon and its load harness (repro.server).
+        from repro.server.cli import main as server_main
+
+        return server_main(argv)
 
     parser = argparse.ArgumentParser(
         prog="repro",

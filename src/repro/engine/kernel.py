@@ -72,6 +72,10 @@ def run_scenario(spec: ScenarioSpec, *, collect_profile: bool = False) -> Scenar
     #: coordinates when the run produced them as arrays (vectorized
     #: backend); lets the queries workload stay in array land end to end.
     coordinate_arrays: Optional[Tuple[List[str], Any, Any]] = None
+    #: Live-serving harness (queries-live workload): created before the
+    #: simulation so epochs stream into the running daemon, consumed by
+    #: the workload stage, and closed on every path out of this function.
+    live_harness = None
 
     if spec.mode == "replay":
         scale = ExperimentScale(
@@ -114,12 +118,27 @@ def run_scenario(spec: ScenarioSpec, *, collect_profile: bool = False) -> Scenar
         if spec.backend == "vectorized":
             from repro.netsim.batch import run_batch_simulation
 
-            sim = run_batch_simulation(
-                config,
-                dataset=dataset,
-                backend="vectorized",
-                collect_profile=collect_profile,
-            )
+            publish_kwargs: Dict[str, Any] = {}
+            if spec.workload.kind == "queries-live":
+                # The live-serving daemon must be up before the first
+                # epoch streams out of the simulation; it stays up (and
+                # under load) until the workload stage finishes with it.
+                live_harness = _build_live_harness(spec)
+                live_harness.__enter__()
+                publish_kwargs = live_harness.publish_kwargs()
+            try:
+                sim = run_batch_simulation(
+                    config,
+                    dataset=dataset,
+                    backend="vectorized",
+                    collect_profile=collect_profile,
+                    **publish_kwargs,
+                )
+            except BaseException:
+                if live_harness is not None:
+                    live_harness.__exit__(None, None, None)
+                    live_harness = None
+                raise
             collector = sim.metrics
             counters["samples_attempted"] = float(sim.samples_attempted)
             counters["samples_completed"] = float(sim.samples_completed)
@@ -146,16 +165,21 @@ def run_scenario(spec: ScenarioSpec, *, collect_profile: bool = False) -> Scenar
     metrics: Dict[str, Optional[float]] = dict(asdict(collector.system_snapshot()))
     metrics.update(counters)
     workload_profile: Optional[Dict[str, float]] = {} if collect_profile else None
-    metrics.update(
-        _run_workload(
-            spec,
-            dataset,
-            final_coordinates,
-            workload_payload,
-            coordinate_arrays=coordinate_arrays,
-            profile=workload_profile,
+    try:
+        metrics.update(
+            _run_workload(
+                spec,
+                dataset,
+                final_coordinates,
+                workload_payload,
+                coordinate_arrays=coordinate_arrays,
+                profile=workload_profile,
+                live_harness=live_harness,
+            )
         )
-    )
+    finally:
+        if live_harness is not None:
+            live_harness.__exit__(None, None, None)
     if collect_profile and workload_profile:
         profile = dict(profile) if profile else {}
         profile.update(workload_profile)
@@ -290,6 +314,27 @@ def _drift_probe(spec, dataset, measurement_start_s):
 # ----------------------------------------------------------------------
 # Application-level workloads over the final coordinates
 # ----------------------------------------------------------------------
+def _build_live_harness(spec: ScenarioSpec):
+    """The queries-live serving harness configured from the workload spec."""
+    from repro.server.live import LiveServingHarness
+
+    workload = spec.workload
+    return LiveServingHarness(
+        shards=int(workload.param("shards")),
+        index_kind=str(workload.param("index")),
+        publish_every_ticks=int(workload.param("publish_every_ticks")),
+        live_count=int(workload.param("live_count")),
+        measured_count=int(workload.param("count")),
+        mix=str(workload.param("mix")),
+        k=int(workload.param("k")),
+        radius_ms=float(workload.param("radius_ms")),
+        concurrency=int(workload.param("concurrency")),
+        cache_entries=int(workload.param("cache_entries")),
+        seed=spec.seed,
+        source=spec.name,
+    )
+
+
 def _run_workload(
     spec: ScenarioSpec,
     dataset: PlanetLabDataset,
@@ -298,8 +343,14 @@ def _run_workload(
     *,
     coordinate_arrays: Optional[Tuple[List[str], Any, Any]] = None,
     profile: Optional[Dict[str, float]] = None,
+    live_harness=None,
 ) -> Dict[str, Optional[float]]:
     kind = spec.workload.kind
+    if kind == "queries-live":
+        assert live_harness is not None, "queries-live runs need a live harness"
+        live_metrics, live_payload = live_harness.finish(profile)
+        workload_payload.update(live_payload)
+        return live_metrics
     if kind == "drift":
         tracked = workload_payload.get("tracked", [])
         if not tracked:

@@ -305,6 +305,41 @@ def _query_service_dense() -> ScenarioSpec:
     )
 
 
+@scenario("queries-live-mixed")
+def _queries_live_mixed() -> ScenarioSpec:
+    """Live serving end to end: sim -> streaming ingest -> daemon -> load.
+
+    A vectorized simulation streams coordinate epochs straight into a
+    running sharded daemon (zero-downtime rollover) while a closed-loop
+    client keeps querying over the wire; each live response is audited
+    against the generation it claims to be served from.  After the final
+    epoch a measured workload replays over the wire and is checksummed
+    against the single-store linear oracle.
+    """
+    return ScenarioSpec(
+        name="queries-live-mixed",
+        description="Sharded daemon serving a mixed workload while epochs stream in",
+        mode="simulate",
+        network=NetworkSpec(nodes=128),
+        preset="mp",
+        duration_s=600.0,
+        backend="vectorized",
+        workload=WorkloadSpec(
+            kind="queries-live",
+            params={
+                "count": 384,
+                "live_count": 96,
+                "mix": "mixed",
+                "k": 3,
+                "index": "vptree",
+                "shards": 2,
+                "publish_every_ticks": 8,
+            },
+        ),
+        seed=0,
+    )
+
+
 @scenario("vectorized-strict-small")
 def _vectorized_strict_small() -> ScenarioSpec:
     """Pinned strict-equivalence guard: vectorized must match the oracle.

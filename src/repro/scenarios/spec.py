@@ -87,6 +87,24 @@ WORKLOAD_KINDS: Dict[str, Dict[str, Any]] = {
         "cache_entries": 1024,
         "batch_size": 64,
     },
+    # Live coordinate serving: the simulation streams epochs into a
+    # running sharded daemon (zero-downtime rollover) while a closed-loop
+    # client issues queries over the wire; after the final epoch a
+    # measured workload is replayed and checksummed against the
+    # single-store linear oracle.  Requires the vectorized backend (the
+    # array-native publish path is what streams epochs).
+    "queries-live": {
+        "count": 256,
+        "live_count": 64,
+        "mix": "mixed",
+        "k": 3,
+        "radius_ms": 50.0,
+        "index": "vptree",
+        "shards": 2,
+        "publish_every_ticks": 8,
+        "concurrency": 4,
+        "cache_entries": 1024,
+    },
 }
 
 
@@ -199,7 +217,7 @@ class WorkloadSpec:
             f"workload {self.kind!r} has unknown parameters {unknown}; "
             f"known: {sorted(known)}",
         )
-        if self.kind == "queries" and not unknown:
+        if self.kind in ("queries", "queries-live") and not unknown:
             # Imported lazily: the scenario layer must not eagerly load the
             # service subsystem (kernel and CLI keep that import one-way
             # and on-demand) just for two membership checks.
@@ -217,6 +235,22 @@ class WorkloadSpec:
                 errors,
                 index in INDEX_KINDS,
                 f"workload.index must be one of {list(INDEX_KINDS)}, got {index!r}",
+            )
+        if self.kind == "queries-live" and not unknown:
+            shards = self.params.get("shards", known["shards"])
+            _check(
+                errors,
+                isinstance(shards, int) and shards >= 1,
+                f"workload.shards must be a positive integer, got {shards!r}",
+            )
+            cadence = self.params.get(
+                "publish_every_ticks", known["publish_every_ticks"]
+            )
+            _check(
+                errors,
+                isinstance(cadence, int) and cadence >= 1,
+                "workload.publish_every_ticks must be a positive integer, "
+                f"got {cadence!r}",
             )
         return errors
 
@@ -357,6 +391,11 @@ class ScenarioSpec:
         errors.extend(self.workload.validate())
         if self.workload.kind == "drift" and self.mode != "replay":
             errors.append("the drift workload requires mode='replay'")
+        if self.workload.kind == "queries-live" and self.backend != "vectorized":
+            errors.append(
+                "the queries-live workload requires backend='vectorized' "
+                "(epochs stream through the batch engine's publish path)"
+            )
         _check(
             errors,
             self.seed_policy in SEED_POLICIES,

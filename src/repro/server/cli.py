@@ -1,0 +1,357 @@
+"""The ``repro serve-daemon`` and ``repro load`` command groups.
+
+Usage::
+
+    # Serve a saved snapshot over TCP on 4 shards
+    repro serve-daemon --snapshot snapshot.json --shards 4 --port 9917
+
+    # Serve a registered scenario's final coordinates
+    repro serve-daemon --scenario mesh-replay --shards 2 --index vptree
+
+    # Serve a synthetic clustered universe (benchmarks, smoke tests)
+    repro serve-daemon --synthetic 5000 --port 9917 --ready-file ready.txt
+
+    # Replay a deterministic mixed workload against a running daemon
+    repro load --port 9917 --count 5000 --mix mixed --concurrency 16
+
+    # ... verifying byte-identical results against the linear oracle,
+    # then shutting the daemon down cleanly
+    repro load --port 9917 --count 2000 --verify-oracle --shutdown
+
+``serve-daemon`` runs in the foreground until Ctrl-C, a ``shutdown``
+request, or ``--max-seconds``; ``--ready-file`` writes ``host port`` once
+the socket is bound (for scripts and CI).  ``load`` fetches the node
+population over the wire, generates the same deterministic query stream
+the in-process workload layer would, and reports throughput plus exact
+per-kind latency percentiles; ``--verify-oracle`` downloads the served
+snapshot and replays the stream through the single-store linear oracle,
+failing (exit 1) unless the daemon's answers are byte-identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence
+
+from repro.server.client import AsyncCoordinateClient
+from repro.server.daemon import CoordinateServer
+from repro.server.load import LOAD_MODES, run_load_async, synthetic_coordinates
+from repro.server.sharding import ShardedCoordinateStore
+from repro.service.index import INDEX_KINDS
+from repro.service.planner import QueryPlanner
+from repro.service.snapshot import CoordinateSnapshot, SnapshotStore
+from repro.service.workload import QUERY_MIXES, generate_queries, run_workload
+
+__all__ = ["main"]
+
+
+# ----------------------------------------------------------------------
+# repro serve-daemon
+# ----------------------------------------------------------------------
+def _build_store(args: argparse.Namespace) -> ShardedCoordinateStore:
+    store = ShardedCoordinateStore(
+        args.shards,
+        index_kind=args.index,
+        history=args.history,
+        cache_entries=args.cache_entries,
+    )
+    if args.snapshot is not None:
+        snapshot = CoordinateSnapshot.load(args.snapshot)
+        store.publish_coordinates(
+            dict(snapshot.coordinates), source=snapshot.source or str(args.snapshot)
+        )
+    elif args.scenario is not None:
+        from repro.engine.kernel import run_scenario
+        from repro.scenarios.registry import get_scenario
+
+        spec = get_scenario(args.scenario)
+        print(
+            f"running scenario {spec.name!r} ({spec.mode}, "
+            f"{spec.network.nodes} nodes)...",
+            flush=True,
+        )
+        run = run_scenario(spec)
+        store.ingest_collector(run.collector, source=spec.name)
+    else:
+        store.publish_coordinates(
+            synthetic_coordinates(args.synthetic, seed=args.seed),
+            source=f"synthetic-{args.synthetic}",
+        )
+    return store
+
+
+def _cmd_serve_daemon(args: argparse.Namespace) -> int:
+    store = _build_store(args)
+    server = CoordinateServer(
+        store,
+        host=args.host,
+        port=args.port,
+        max_in_flight_per_connection=args.window,
+        admission_limit=args.admission_limit,
+    )
+
+    async def serve() -> None:
+        host, port = await server.start()
+        generation = store.generation()
+        print(
+            f"serving {len(generation)} nodes (v{generation.version}, "
+            f"{store.shards} shard(s), {store.index_kind} index) "
+            f"on {host}:{port}",
+            flush=True,
+        )
+        if args.ready_file is not None:
+            args.ready_file.write_text(f"{host} {port}\n")
+        if args.max_seconds is not None:
+            asyncio.get_running_loop().call_later(args.max_seconds, server.stop)
+        await server.wait_stopped()
+        print("daemon stopped cleanly", flush=True)
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        server.stop()
+        print("interrupted; daemon stopped cleanly", flush=True)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro load
+# ----------------------------------------------------------------------
+def _print_load_report(report) -> None:
+    print(
+        f"{report.query_count} queries in {report.elapsed_s:.3f}s "
+        f"({report.queries_per_s:,.0f} q/s, mode {report.mode}"
+        + (
+            f", offered {report.offered_qps:,.0f} q/s"
+            if report.offered_qps is not None
+            else ""
+        )
+        + f"), {report.ok} ok / {report.errors} errors "
+        f"({report.overloaded} overloaded), "
+        f"versions {list(report.versions)}, checksum {report.checksum[:12]}"
+    )
+    if report.kinds:
+        width = max(len(kind) for kind in report.kinds)
+        header = f"{'kind':<{width}}  {'count':>7}  {'p50 ms':>9}  {'p99 ms':>9}"
+        print(header)
+        print("-" * len(header))
+        for kind, summary in sorted(report.kinds.items()):
+            print(
+                f"{kind:<{width}}  {summary['count']:>7}  "
+                f"{summary['p50_ms']:>9.3f}  {summary['p99_ms']:>9.3f}"
+            )
+
+
+async def _load_async(args: argparse.Namespace) -> int:
+    address = (args.host, args.port)
+    client = await AsyncCoordinateClient.connect(*address)
+    try:
+        listing = await client.op("nodes")
+        if not listing.get("ok"):
+            print(f"error: daemon refused node listing: {listing.get('error')}", file=sys.stderr)
+            return 2
+        node_ids = listing["payload"]["node_ids"]
+        if len(node_ids) < 2:
+            print("error: daemon is serving fewer than two nodes", file=sys.stderr)
+            return 2
+        snapshot_payload: Optional[Dict[str, Any]] = None
+        if args.verify_oracle:
+            dump = await client.op("snapshot")
+            if not dump.get("ok"):
+                print(
+                    f"error: daemon refused snapshot dump: {dump.get('error')}",
+                    file=sys.stderr,
+                )
+                return 2
+
+            snapshot_payload = dump["payload"]
+
+        queries = generate_queries(
+            node_ids,
+            args.count,
+            mix=args.mix,
+            seed=args.seed,
+            k=args.k,
+            radius_ms=args.radius,
+        )
+        report = await run_load_async(
+            address,
+            queries,
+            mode=args.mode,
+            concurrency=args.concurrency,
+            connections=args.connections,
+            rate_qps=args.rate,
+        )
+        _print_load_report(report)
+
+        exit_code = 0
+        if report.errors:
+            print(f"error: {report.errors} request(s) failed", file=sys.stderr)
+            exit_code = 1
+        if args.verify_oracle and snapshot_payload is not None:
+            oracle_store = SnapshotStore.from_snapshot(
+                CoordinateSnapshot.from_dict(snapshot_payload), index_kind="linear"
+            )
+            oracle = run_workload(
+                QueryPlanner(oracle_store, clock=lambda: 0.0, timer=lambda: 0.0),
+                queries,
+                timer=lambda: 0.0,
+            )
+            identical = oracle.checksum == report.checksum
+            print(f"linear oracle checksum {oracle.checksum[:12]}; identical: {identical}")
+            if not identical:
+                print(
+                    "error: daemon results diverged from the single-store linear oracle",
+                    file=sys.stderr,
+                )
+                exit_code = 1
+        if args.out is not None:
+            args.out.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+            print(f"load report written to {args.out}")
+        if args.shutdown:
+            response = await client.op("shutdown")
+            if response.get("ok"):
+                print("daemon acknowledged shutdown")
+            else:  # pragma: no cover - daemon never refuses shutdown
+                print(
+                    f"error: daemon refused shutdown: {response.get('error')}",
+                    file=sys.stderr,
+                )
+                exit_code = exit_code or 1
+        return exit_code
+    finally:
+        await client.close()
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    if args.mode == "open" and args.rate is None:
+        print("error: --mode open requires --rate", file=sys.stderr)
+        return 2
+    try:
+        return asyncio.run(_load_async(args))
+    except ConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+# ----------------------------------------------------------------------
+# Parsers
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the coordinate-serving daemon and drive load against it.",
+    )
+    groups = parser.add_subparsers(dest="group", required=True)
+
+    serve = groups.add_parser(
+        "serve-daemon", help="serve coordinates over TCP on sharded live stores"
+    )
+    source = serve.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--snapshot", type=Path, default=None, help="snapshot JSON from 'repro serve'"
+    )
+    source.add_argument(
+        "--scenario", default=None, help="registered scenario to run and serve"
+    )
+    source.add_argument(
+        "--synthetic",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve a synthetic clustered universe of N nodes",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0, help="0 picks an ephemeral port")
+    serve.add_argument("--shards", type=int, default=2, help="shard count")
+    serve.add_argument(
+        "--index", choices=INDEX_KINDS, default="vptree", help="per-shard index kind"
+    )
+    serve.add_argument("--history", type=int, default=4, help="retained generations")
+    serve.add_argument("--cache-entries", type=int, default=8192)
+    serve.add_argument(
+        "--window",
+        type=int,
+        default=32,
+        help="per-connection in-flight window (backpressure threshold)",
+    )
+    serve.add_argument(
+        "--admission-limit",
+        type=int,
+        default=1024,
+        help="global in-flight limit; excess requests get an overloaded error",
+    )
+    serve.add_argument("--seed", type=int, default=7, help="seed for --synthetic")
+    serve.add_argument(
+        "--ready-file",
+        type=Path,
+        default=None,
+        help="write 'host port' here once the socket is bound",
+    )
+    serve.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="stop automatically after this long (scripted runs)",
+    )
+    serve.set_defaults(handler=_cmd_serve_daemon)
+
+    load = groups.add_parser(
+        "load", help="replay a deterministic workload against a running daemon"
+    )
+    load.add_argument("--host", default="127.0.0.1")
+    load.add_argument("--port", type=int, required=True)
+    load.add_argument("--count", type=int, default=1000, help="number of queries")
+    load.add_argument(
+        "--mix", choices=sorted(QUERY_MIXES), default="mixed", help="query mix"
+    )
+    load.add_argument("--seed", type=int, default=0, help="workload seed")
+    load.add_argument("--k", type=int, default=3, help="k for knn queries")
+    load.add_argument(
+        "--radius", type=float, default=50.0, help="radius (ms) for range queries"
+    )
+    load.add_argument(
+        "--mode", choices=LOAD_MODES, default="closed", help="closed or open loop"
+    )
+    load.add_argument(
+        "--concurrency", type=int, default=8, help="closed-loop worker count"
+    )
+    load.add_argument("--connections", type=int, default=1, help="TCP connections")
+    load.add_argument(
+        "--rate", type=float, default=None, help="open-loop arrival rate (q/s)"
+    )
+    load.add_argument(
+        "--verify-oracle",
+        action="store_true",
+        help="download the snapshot and verify byte-identical results "
+        "against the single-store linear oracle",
+    )
+    load.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="send a shutdown request to the daemon after the run",
+    )
+    load.add_argument(
+        "--out", type=Path, default=None, help="write the load report as JSON"
+    )
+    load.set_defaults(handler=_cmd_load)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

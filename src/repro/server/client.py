@@ -1,0 +1,127 @@
+"""Asyncio client for the coordinate daemon.
+
+:class:`AsyncCoordinateClient` speaks the length-prefixed JSON protocol
+with pipelining: many requests may be outstanding on one connection, and
+a background reader task resolves them by correlation id (the daemon also
+guarantees in-order responses, but id matching keeps the client correct
+for any compliant server).  The client assigns its own monotonically
+increasing ids; callers never manage them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, Optional, Tuple
+
+from repro.server.protocol import (
+    HEADER,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    frame_length,
+    query_to_request,
+)
+from repro.service.planner import Query
+
+__all__ = ["AsyncCoordinateClient", "request_once"]
+
+
+class AsyncCoordinateClient:
+    """One pipelined protocol connection to a coordinate daemon."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: Dict[Any, asyncio.Future] = {}
+        self._closed = False
+        self._reader_task = asyncio.create_task(self._read_responses())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncCoordinateClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _read_responses(self) -> None:
+        try:
+            while True:
+                header = await self._reader.readexactly(HEADER.size)
+                body = await self._reader.readexactly(frame_length(header))
+                response = decode_frame(body)
+                future = self._pending.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            ProtocolError,
+        ) as exc:
+            self._fail_pending(exc)
+        except asyncio.CancelledError:
+            self._fail_pending(ConnectionError("client closed"))
+            raise
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        self._closed = True
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(ConnectionError(f"connection lost: {exc}"))
+        self._pending.clear()
+
+    async def request(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object and await its response.
+
+        The client overwrites ``id`` with its own correlation value.
+        """
+        if self._closed:
+            raise ConnectionError("client is closed")
+        request_id = next(self._ids)
+        payload = dict(request)
+        payload["id"] = request_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(encode_frame(payload))
+        await self._writer.drain()
+        return await future
+
+    async def query(self, query: Query) -> Dict[str, Any]:
+        """Send one service-layer query and await its wire response."""
+        return await self.request(query_to_request(query, None))
+
+    async def op(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one non-query operation (``version``, ``stats``, ...)."""
+        return await self.request({"op": op, **fields})
+
+    async def close(self) -> None:
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "AsyncCoordinateClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+async def request_once(
+    address: Tuple[str, int], request: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Connect, send one request, return its response, disconnect."""
+    client = await AsyncCoordinateClient.connect(*address)
+    try:
+        return await client.request(request)
+    finally:
+        await client.close()

@@ -1,0 +1,399 @@
+"""The asyncio coordinate-serving daemon.
+
+:class:`CoordinateServer` wraps a
+:class:`~repro.server.sharding.ShardedCoordinateStore` with the
+length-prefixed JSON protocol (:mod:`repro.server.protocol`) over TCP:
+
+* **Pipelining with ordered responses** -- a connection may have many
+  requests in flight; responses are written strictly in arrival order
+  (ids are echoed as well, so clients can use either discipline).
+* **Per-connection backpressure** -- each connection has a bounded
+  in-flight window; once it fills, the daemon simply stops *reading*
+  that socket, pushing back through TCP flow control instead of
+  buffering without bound.
+* **Bounded admission** -- a global in-flight limit sheds load
+  explicitly: past it, requests are answered immediately with an
+  ``overloaded`` error (and counted) rather than queued into memory.
+* **Non-blocking serving** -- query execution runs on a small thread
+  pool, so a long scatter-gather at 50k nodes never stalls the event
+  loop's frame reading, and NumPy-backed shard kernels can overlap.
+* **Zero-downtime ingest** -- the store's publish methods are plain
+  thread-safe calls; a simulation thread streams epochs straight into
+  the serving store (``run_batch_simulation(publish_store=...)``) while
+  the loop keeps serving.  Rollover is one atomic reference swap, so no
+  request ever observes a half-published generation.
+
+The daemon can run inside an existing event loop (:meth:`start` /
+:meth:`wait_stopped`) or own a background loop thread
+(:meth:`run_in_thread`), which is how the load harness, the
+``queries-live`` scenario workload and the tests drive it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+
+from repro.server.protocol import (
+    HEADER,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    frame_length,
+    request_to_query,
+)
+from repro.server.sharding import ShardedCoordinateStore
+from repro.service.planner import QueryError
+
+__all__ = ["CoordinateServer", "ServerThread"]
+
+
+class CoordinateServer:
+    """Serve a sharded coordinate store over the wire protocol."""
+
+    def __init__(
+        self,
+        store: ShardedCoordinateStore,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_in_flight_per_connection: int = 32,
+        admission_limit: int = 1024,
+        executor_workers: Optional[int] = None,
+    ) -> None:
+        if max_in_flight_per_connection < 1:
+            raise ValueError("max_in_flight_per_connection must be >= 1")
+        if admission_limit < 1:
+            raise ValueError("admission_limit must be >= 1")
+        self.store = store
+        self.host = host
+        self.port = port
+        self.max_in_flight_per_connection = max_in_flight_per_connection
+        self.admission_limit = admission_limit
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_workers or max(2, store.shards),
+            thread_name_prefix="coordserve",
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._in_flight = 0
+        self._stats_lock = threading.Lock()
+        self._admitted = 0
+        self._rejected_overload = 0
+        self._connections_total = 0
+        self._connections_open = 0
+        self._max_in_flight_seen = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port); valid once started."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        name = sock.getsockname()
+        return name[0], name[1]
+
+    async def start(self) -> Tuple[str, int]:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        return self.address
+
+    def stop(self) -> None:
+        """Request shutdown (safe from any thread; idempotent)."""
+        loop, event = self._loop, self._stop_event
+        if loop is None or event is None:
+            return
+        try:
+            loop.call_soon_threadsafe(event.set)
+        except RuntimeError:
+            pass  # the loop already stopped (e.g. a wire 'shutdown' op)
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`stop` (or a ``shutdown`` op), then shut down."""
+        assert self._stop_event is not None and self._server is not None
+        await self._stop_event.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        self._executor.shutdown(wait=True)
+
+    def run_in_thread(self) -> "ServerThread":
+        """Run the daemon on its own background event-loop thread."""
+        return ServerThread(self)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        with self._stats_lock:
+            self._connections_total += 1
+            self._connections_open += 1
+        window = asyncio.Semaphore(self.max_in_flight_per_connection)
+        responses: "asyncio.Queue[Optional[asyncio.Task]]" = asyncio.Queue()
+        writer_task = asyncio.create_task(
+            self._write_responses(responses, writer, window)
+        )
+        shutdown_requested = False
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(HEADER.size)
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break
+                length = frame_length(header)
+                body = await reader.readexactly(length)
+                request = decode_frame(body)
+                # Backpressure: once this connection's window is full we
+                # stop reading its socket until a response drains.
+                await window.acquire()
+                task = asyncio.create_task(self._process(request))
+                await responses.put(task)
+                if request.get("op") == "shutdown":
+                    shutdown_requested = True
+                    break
+        except ProtocolError as exc:
+            # A corrupt frame poisons the stream; report once and drop.
+            await window.acquire()
+            failed: asyncio.Future = asyncio.get_running_loop().create_future()
+            failed.set_result({"id": None, "ok": False, "error": str(exc)})
+            await responses.put(failed)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            await responses.put(None)
+            await writer_task
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            with self._stats_lock:
+                self._connections_open -= 1
+            if shutdown_requested:
+                self.stop()
+
+    async def _write_responses(
+        self,
+        responses: "asyncio.Queue[Optional[asyncio.Task]]",
+        writer: asyncio.StreamWriter,
+        window: asyncio.Semaphore,
+    ) -> None:
+        """Drain completed responses to the socket, strictly in order."""
+        while True:
+            pending = await responses.get()
+            if pending is None:
+                return
+            try:
+                response = await pending
+            except Exception as exc:  # defensive: a handler bug, not a client error
+                response = {"id": None, "ok": False, "error": f"internal error: {exc}"}
+            try:
+                writer.write(encode_frame(response))
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                return
+            finally:
+                window.release()
+
+    # ------------------------------------------------------------------
+    # Request processing
+    # ------------------------------------------------------------------
+    def _admit(self) -> bool:
+        with self._stats_lock:
+            if self._in_flight >= self.admission_limit:
+                self._rejected_overload += 1
+                return False
+            self._in_flight += 1
+            self._admitted += 1
+            if self._in_flight > self._max_in_flight_seen:
+                self._max_in_flight_seen = self._in_flight
+            return True
+
+    def _release(self) -> None:
+        with self._stats_lock:
+            self._in_flight -= 1
+
+    async def _process(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Dispatch one request; never raises (the response carries errors).
+
+        The catch-all matters for correlation: an id-matching client only
+        resolves a pending request when its id comes back, so even an
+        unexpected failure (e.g. the executor shut down by a concurrent
+        ``shutdown`` op) must echo the request's id.
+        """
+        request_id = request.get("id")
+        try:
+            return await self._process_admitted(request, request_id)
+        except Exception as exc:
+            return {"id": request_id, "ok": False, "error": f"internal error: {exc}"}
+
+    async def _process_admitted(
+        self, request: Dict[str, Any], request_id: Any
+    ) -> Dict[str, Any]:
+        if not self._admit():
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": (
+                    f"overloaded: admission limit of {self.admission_limit} "
+                    "in-flight requests reached"
+                ),
+                "overloaded": True,
+            }
+        try:
+            op = request.get("op")
+            try:
+                query = request_to_query(request)
+            except (ProtocolError, QueryError) as exc:
+                return {"id": request_id, "ok": False, "error": str(exc)}
+            if query is not None:
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(
+                    self._executor, self._serve_query, request_id, query
+                )
+            if op == "ping":
+                return {"id": request_id, "ok": True, "payload": {"pong": True}}
+            if op == "version":
+                generation = self.store.generation()
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    "payload": {
+                        "version": generation.version,
+                        "nodes": len(generation),
+                        "source": generation.source,
+                    },
+                    "version": generation.version,
+                }
+            if op == "stats":
+                payload = self.store.stats()
+                payload["admission"] = self.admission_stats()
+                return {"id": request_id, "ok": True, "payload": payload}
+            if op == "nodes":
+                generation = self.store.generation()
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    "payload": {"node_ids": list(generation.node_order)},
+                    "version": generation.version,
+                }
+            if op == "snapshot":
+                loop = asyncio.get_running_loop()
+                generation = self.store.generation()
+                payload = await loop.run_in_executor(
+                    self._executor, generation.snapshot.to_dict
+                )
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    "payload": payload,
+                    "version": generation.version,
+                }
+            if op == "shutdown":
+                return {"id": request_id, "ok": True, "payload": {"stopping": True}}
+            return {  # pragma: no cover - request_to_query already validated op
+                "id": request_id,
+                "ok": False,
+                "error": f"unhandled op {op!r}",
+            }
+        finally:
+            self._release()
+
+    def _serve_query(self, request_id: Any, query) -> Dict[str, Any]:
+        """Executed on the thread pool: pin a generation, serve, respond."""
+        try:
+            payload, version, cached = self.store.serve(query)
+        except QueryError as exc:
+            return {"id": request_id, "ok": False, "error": str(exc)}
+        return {
+            "id": request_id,
+            "ok": True,
+            "payload": payload,
+            "version": version,
+            "cached": cached,
+        }
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def admission_stats(self) -> Dict[str, Any]:
+        with self._stats_lock:
+            return {
+                "limit": self.admission_limit,
+                "per_connection_window": self.max_in_flight_per_connection,
+                "in_flight": self._in_flight,
+                "max_in_flight": self._max_in_flight_seen,
+                "admitted": self._admitted,
+                "rejected_overload": self._rejected_overload,
+                "connections_total": self._connections_total,
+                "connections_open": self._connections_open,
+            }
+
+
+class ServerThread:
+    """A daemon running on its own event-loop thread (context manager).
+
+    The owning thread starts the loop, runs the server until
+    :meth:`stop`, then tears everything down.  The serving *store* stays
+    directly usable from any other thread -- publishing epochs does not
+    go through the loop at all.
+    """
+
+    def __init__(self, server: CoordinateServer) -> None:
+        self.server = server
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self.address: Optional[Tuple[str, int]] = None
+
+    def start(self, timeout_s: float = 10.0) -> Tuple[str, int]:
+        self._thread = threading.Thread(
+            target=self._run, name="coordinate-daemon", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout_s):
+            raise RuntimeError("coordinate daemon failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"coordinate daemon failed to start: {self._startup_error}"
+            )
+        assert self.address is not None
+        return self.address
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                self.address = await self.server.start()
+            except BaseException as exc:
+                self._startup_error = exc
+                self._started.set()
+                return
+            self._started.set()
+            await self.server.wait_stopped()
+
+        asyncio.run(main())
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        self.server.stop()
+        if self._thread is not None:
+            self._thread.join(timeout_s)
+            if self._thread.is_alive():  # pragma: no cover - watchdog only
+                raise RuntimeError("coordinate daemon did not stop in time")
+            self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

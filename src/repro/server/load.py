@@ -1,0 +1,249 @@
+"""Closed- and open-loop load generation against a coordinate daemon.
+
+The harness replays the service layer's deterministic workload mixes
+(:mod:`repro.service.workload`) over the wire:
+
+* **closed** mode runs N concurrent workers, each issuing its next query
+  the moment its previous response arrives -- the classic closed loop
+  whose offered load adapts to service rate; throughput is the headline.
+* **open** mode fires queries on a fixed arrival schedule (``rate_qps``)
+  regardless of completions -- latency under a *given* offered load is
+  the headline.  Arrivals that cannot be admitted locally (the in-flight
+  cap) wait, and that wait is charged to the recorded latency, so the
+  report does not suffer from coordinated omission.
+
+Responses are collected *in query-stream order* (not completion order)
+and checksummed with the exact service-layer digest, which is what lets a
+replayed mix be compared byte-for-byte against the in-process single
+store: ``payload_checksum(load.results) == payload_checksum(oracle)``.
+
+Per-kind latency percentiles are exact (the reservoir capacity is sized
+above the query count) and reported in milliseconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from types import SimpleNamespace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.coordinate import Coordinate
+from repro.server.client import AsyncCoordinateClient
+from repro.server.protocol import query_to_request
+from repro.service.planner import Query
+from repro.service.workload import payload_checksum
+from repro.stats.percentile import StreamingPercentile
+
+__all__ = [
+    "LoadReport",
+    "run_load",
+    "run_load_async",
+    "synthetic_arrays",
+    "synthetic_coordinates",
+]
+
+#: Load-generation modes.
+LOAD_MODES = ("closed", "open")
+
+
+def synthetic_arrays(
+    n: int, *, seed: int = 7, clusters: int = 12, dims: int = 3
+):
+    """``(node_ids, components (n, d), heights (n,))`` of a clustered universe.
+
+    Deterministic in ``(n, seed, clusters, dims)``.  The single source of
+    the synthetic population: :func:`synthetic_coordinates` (the CLI's
+    ``--synthetic``) and ``bench_server.py`` both build from it, so the
+    populations they serve are identical by construction.
+    """
+    if n < 2:
+        raise ValueError("synthetic universes need at least two nodes")
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-300.0, 300.0, size=(clusters, dims))
+    assignments = rng.integers(0, clusters, size=n)
+    points = centers[assignments] + rng.normal(scale=25.0, size=(n, dims))
+    return [f"node{i:06d}" for i in range(n)], points, np.zeros(n)
+
+
+def synthetic_coordinates(
+    n: int, *, seed: int = 7, clusters: int = 12, dims: int = 3
+) -> Dict[str, Coordinate]:
+    """The object-mapping view of :func:`synthetic_arrays`."""
+    node_ids, points, _ = synthetic_arrays(n, seed=seed, clusters=clusters, dims=dims)
+    return {
+        node_id: Coordinate(points[row].tolist())
+        for row, node_id in enumerate(node_ids)
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class LoadReport:
+    """Outcome of one load run against a daemon."""
+
+    mode: str
+    query_count: int
+    ok: int
+    errors: int
+    overloaded: int
+    elapsed_s: float
+    #: Per-kind latency summaries: count / p50_ms / p99_ms / exact flag.
+    kinds: Dict[str, Dict[str, Any]]
+    #: Responses in query-stream order (wire response objects).
+    responses: Tuple[Dict[str, Any], ...]
+    #: Exact service-layer digest over payloads in stream order.
+    checksum: str
+    #: Distinct snapshot versions observed across responses.
+    versions: Tuple[int, ...]
+    #: For open mode: the offered arrival rate (None in closed mode).
+    offered_qps: Optional[float] = None
+
+    @property
+    def queries_per_s(self) -> float:
+        if self.elapsed_s <= 0.0:
+            return float("nan")
+        return self.query_count / self.elapsed_s
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe summary (responses elided)."""
+        return {
+            "mode": self.mode,
+            "query_count": self.query_count,
+            "ok": self.ok,
+            "errors": self.errors,
+            "overloaded": self.overloaded,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "qps": round(self.queries_per_s, 1),
+            "offered_qps": self.offered_qps,
+            "kinds": self.kinds,
+            "checksum": self.checksum,
+            "versions": list(self.versions),
+        }
+
+
+async def run_load_async(
+    address: Tuple[str, int],
+    queries: Sequence[Query],
+    *,
+    mode: str = "closed",
+    concurrency: int = 8,
+    connections: int = 1,
+    rate_qps: Optional[float] = None,
+    max_in_flight: int = 1024,
+) -> LoadReport:
+    """Drive ``queries`` through a running daemon and summarise."""
+    if mode not in LOAD_MODES:
+        raise ValueError(f"unknown load mode {mode!r}; known: {list(LOAD_MODES)}")
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    if connections < 1:
+        raise ValueError("connections must be >= 1")
+    if mode == "open" and (rate_qps is None or rate_qps <= 0.0):
+        raise ValueError("open mode needs a positive rate_qps")
+
+    clients = [
+        await AsyncCoordinateClient.connect(*address) for _ in range(connections)
+    ]
+    responses: List[Optional[Dict[str, Any]]] = [None] * len(queries)
+    latency = {
+        kind: StreamingPercentile(capacity=max(len(queries), 1))
+        for kind in ("knn", "nearest", "range", "pairwise", "centroid")
+    }
+    requests = [query_to_request(query, None) for query in queries]
+
+    async def issue(position: int, client: AsyncCoordinateClient, sent_at: float) -> None:
+        response = await client.request(requests[position])
+        latency[queries[position].kind].add((time.perf_counter() - sent_at) * 1e3)
+        responses[position] = response
+
+    started = time.perf_counter()
+    try:
+        if mode == "closed":
+            stream = iter(range(len(queries)))
+
+            async def worker(worker_index: int) -> None:
+                client = clients[worker_index % connections]
+                while True:
+                    # No await between next() and issue(): the single-loop
+                    # iterator hand-off is race-free.
+                    try:
+                        position = next(stream)
+                    except StopIteration:
+                        return
+                    await issue(position, client, time.perf_counter())
+
+            await asyncio.gather(*(worker(i) for i in range(concurrency)))
+        else:
+            interval = 1.0 / float(rate_qps)
+            in_flight = asyncio.Semaphore(max_in_flight)
+            tasks: List[asyncio.Task] = []
+
+            async def fire(position: int) -> None:
+                # The arrival clock starts at the *scheduled* send time:
+                # any local admission wait is part of measured latency.
+                sent_at = time.perf_counter()
+                async with in_flight:
+                    await issue(position, clients[position % connections], sent_at)
+
+            for position in range(len(queries)):
+                due = started + position * interval
+                delay = due - time.perf_counter()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                tasks.append(asyncio.create_task(fire(position)))
+            await asyncio.gather(*tasks)
+    finally:
+        for client in clients:
+            await client.close()
+    elapsed = time.perf_counter() - started
+
+    ok = sum(1 for response in responses if response and response.get("ok"))
+    overloaded = sum(
+        1 for response in responses if response and response.get("overloaded")
+    )
+    errors = len(responses) - ok
+    kinds: Dict[str, Dict[str, Any]] = {}
+    for kind, summary in latency.items():
+        if summary.count:
+            kinds[kind] = {
+                "count": summary.count,
+                "p50_ms": round(summary.percentile(50.0), 4),
+                "p99_ms": round(summary.percentile(99.0), 4),
+                "latency_exact": summary.is_exact,
+            }
+    checksum = payload_checksum(
+        [
+            SimpleNamespace(payload=(response or {}).get("payload"))
+            for response in responses
+        ]
+    )
+    versions = sorted(
+        {
+            int(response["version"])
+            for response in responses
+            if response and response.get("version") is not None
+        }
+    )
+    return LoadReport(
+        mode=mode,
+        query_count=len(queries),
+        ok=ok,
+        errors=errors,
+        overloaded=overloaded,
+        elapsed_s=elapsed,
+        kinds=kinds,
+        responses=tuple(response or {} for response in responses),
+        checksum=checksum,
+        versions=tuple(versions),
+        # Only an open loop *offers* a rate; a stray rate_qps passed with
+        # closed mode must not masquerade as an offered-load figure.
+        offered_qps=float(rate_qps) if mode == "open" and rate_qps else None,
+    )
+
+
+def run_load(address: Tuple[str, int], queries: Sequence[Query], **kwargs) -> LoadReport:
+    """Synchronous wrapper: run the async load harness to completion."""
+    return asyncio.run(run_load_async(address, queries, **kwargs))

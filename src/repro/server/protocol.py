@@ -1,0 +1,219 @@
+"""The daemon's wire protocol: length-prefixed JSON frames.
+
+A frame is a 4-byte big-endian unsigned length followed by that many bytes
+of UTF-8 JSON.  Requests and responses are JSON objects:
+
+Request::
+
+    {"id": 7, "op": "knn", "target": "node000012", "k": 3}
+
+Response::
+
+    {"id": 7, "ok": true, "payload": {...}, "version": 42, "cached": false}
+    {"id": 7, "ok": false, "error": "unknown node 'nodeXXX'"}
+
+``id`` is an opaque client-chosen correlation value echoed back verbatim;
+the daemon answers each connection's requests in arrival order, so clients
+may also rely on ordering alone.  ``version`` is the snapshot version the
+whole answer was served from -- every element of a payload is consistent
+with exactly that one published generation, across all shards.
+
+Query payloads are *identical* to the in-process
+:class:`~repro.service.planner.QueryPlanner` payload shapes (same keys,
+same floats, same ordering), which is what lets a replayed workload be
+checksummed against the single-store oracle byte for byte.
+
+Operations
+----------
+
+========== ==========================================================
+``knn``       ``target``, ``k`` -> planner knn payload
+``nearest``   ``target`` -> planner knn payload with one neighbor
+``range``     ``target``, ``radius_ms`` -> planner range payload
+``distance``  ``a``, ``b`` -> planner pairwise payload
+``centroid``  ``members`` (list, may be empty) -> planner centroid payload
+``version``   -> ``{"version": int, "nodes": int, "source": str}``
+``stats``     -> serving/ingest/admission counters (JSON-safe)
+``nodes``     -> ``{"node_ids": [...], "version": int}``
+``snapshot``  -> the full snapshot dict (``CoordinateSnapshot.to_dict``)
+``ping``      -> ``{"pong": true}``
+``shutdown``  -> ``{"stopping": true}`` and the daemon begins shutdown
+========== ==========================================================
+
+The module is deliberately dependency-light (no asyncio imports) so both
+the asyncio daemon and synchronous tools can share it.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.service.planner import Query, QueryError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "encode_frame",
+    "decode_frame",
+    "frame_length",
+    "HEADER",
+    "request_to_query",
+    "query_to_request",
+    "OPS",
+]
+
+#: Frame header: 4-byte big-endian unsigned payload length.
+HEADER = struct.Struct(">I")
+
+#: Upper bound on a single frame's JSON body.  Large enough for a full
+#: 100k-node snapshot dump, small enough to fail fast on a corrupt or
+#: hostile length prefix.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: Recognised operations.
+OPS = (
+    "knn",
+    "nearest",
+    "range",
+    "distance",
+    "centroid",
+    "version",
+    "stats",
+    "nodes",
+    "snapshot",
+    "ping",
+    "shutdown",
+)
+
+
+class ProtocolError(ValueError):
+    """A malformed frame or request (the connection should be dropped)."""
+
+
+def encode_frame(payload: Mapping[str, Any]) -> bytes:
+    """One wire frame: header + compact JSON body."""
+    body = json.dumps(payload, separators=(",", ":"), allow_nan=False).encode()
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return HEADER.pack(len(body)) + body
+
+
+def frame_length(header: bytes) -> int:
+    """Decode and validate the 4-byte length prefix."""
+    if len(header) != HEADER.size:
+        raise ProtocolError(f"truncated frame header ({len(header)} bytes)")
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return length
+
+def decode_frame(body: bytes) -> Dict[str, Any]:
+    """Parse a frame body into a request/response object."""
+    try:
+        payload = json.loads(body)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame body must be a JSON object")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Request <-> Query translation
+# ----------------------------------------------------------------------
+def request_to_query(request: Mapping[str, Any]) -> Optional[Query]:
+    """The service-layer :class:`Query` for a query-op request.
+
+    Returns ``None`` for non-query operations (``version``, ``stats``,
+    ...).  Raises :class:`~repro.service.planner.QueryError` on invalid
+    parameters and :class:`ProtocolError` on an unknown/missing ``op`` --
+    the caller turns both into error responses.
+    """
+    op = request.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; known: {list(OPS)}"
+        )
+    if op == "knn":
+        return Query.knn(_require_str(request, "target"), k=_require_int(request, "k", 3))
+    if op == "nearest":
+        return Query.nearest(_require_str(request, "target"))
+    if op == "range":
+        return Query.range(
+            _require_str(request, "target"), _require_float(request, "radius_ms")
+        )
+    if op == "distance":
+        return Query.pairwise(_require_str(request, "a"), _require_str(request, "b"))
+    if op == "centroid":
+        members = request.get("members", [])
+        if not isinstance(members, (list, tuple)) or not all(
+            isinstance(member, str) for member in members
+        ):
+            raise QueryError("centroid 'members' must be a list of node ids")
+        return Query.centroid(tuple(members))
+    return None
+
+
+def query_to_request(query: Query, request_id: Any) -> Dict[str, Any]:
+    """The wire request answering ``query`` (the load generator's side)."""
+    if query.kind == "knn":
+        return {"id": request_id, "op": "knn", "target": query.target, "k": query.k}
+    if query.kind == "nearest":
+        return {"id": request_id, "op": "nearest", "target": query.target}
+    if query.kind == "range":
+        return {
+            "id": request_id,
+            "op": "range",
+            "target": query.target,
+            "radius_ms": query.radius_ms,
+        }
+    if query.kind == "pairwise":
+        return {"id": request_id, "op": "distance", "a": query.pair[0], "b": query.pair[1]}
+    if query.kind == "centroid":
+        return {"id": request_id, "op": "centroid", "members": list(query.members)}
+    raise ProtocolError(f"query kind {query.kind!r} has no wire form")
+
+
+def _require_str(request: Mapping[str, Any], key: str) -> str:
+    value = request.get(key)
+    if not isinstance(value, str) or not value:
+        raise QueryError(f"request needs a non-empty string {key!r}")
+    return value
+
+
+def _require_int(request: Mapping[str, Any], key: str, default: int) -> int:
+    value = request.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise QueryError(f"request field {key!r} must be an integer")
+    return value
+
+
+def _require_float(request: Mapping[str, Any], key: str) -> float:
+    value = request.get(key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise QueryError(f"request needs a numeric {key!r}")
+    return float(value)
+
+
+def split_frames(buffer: bytes) -> Tuple[Tuple[Dict[str, Any], ...], bytes]:
+    """Split complete frames off ``buffer``; returns (frames, remainder).
+
+    A convenience for synchronous consumers (tests, simple tools); the
+    asyncio paths read frames incrementally instead.
+    """
+    frames = []
+    offset = 0
+    while len(buffer) - offset >= HEADER.size:
+        length = frame_length(buffer[offset : offset + HEADER.size])
+        if len(buffer) - offset - HEADER.size < length:
+            break
+        start = offset + HEADER.size
+        frames.append(decode_frame(buffer[start : start + length]))
+        offset = start + length
+    return tuple(frames), buffer[offset:]

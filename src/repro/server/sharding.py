@@ -1,0 +1,521 @@
+"""Sharded live coordinate stores with scatter-gather query routing.
+
+:class:`ShardedCoordinateStore` partitions the node population across N
+shards by a stable hash of the node id.  Each shard owns its own
+:class:`~repro.service.snapshot.SnapshotStore` (and therefore its own
+pluggable spatial index); cross-shard queries scatter to every shard and
+merge the partial answers.
+
+**Oracle identity.** Merged answers are byte-identical -- same node sets,
+same ``Coordinate.distance`` floats, same ordering including ties -- to a
+single un-sharded store serving the same snapshot:
+
+* distances only involve the query point and one node's coordinate, so a
+  shard computes exactly the floats the single store would;
+* the single-store oracle breaks distance ties by snapshot insertion
+  order, so every published generation carries a *global* insertion
+  sequence; each shard ingests its nodes in global-order subsequence
+  (making shard-local tie order consistent with it) and the merge sorts
+  candidates by ``(distance, global sequence)``;
+* any node in the global top-k is necessarily in its own shard's top-k
+  (the global comparator restricted to one shard is the shard's own
+  comparator), so merging per-shard top-k lists loses nothing.
+
+**Generations and torn reads.** Every publish builds a complete immutable
+:class:`ShardGeneration` -- per-shard snapshots, per-shard indexes, the
+global sequence map -- *before* a single atomic reference swap installs
+it.  A request pins the generation reference once and serves the whole
+answer from it, so a response can never mix coordinate versions across
+shards, and rollover never blocks serving (readers of the old generation
+simply finish on it).  This is the router-level analogue of the snapshot
+store's own immutability argument.
+
+The store keeps an internal single-store router
+:class:`~repro.service.snapshot.SnapshotStore` as the authority on
+version numbers and global insertion order; its merge semantics under
+incremental object commits are therefore *definitionally* the oracle's.
+
+Thread-safety: publishes are serialised by an ingest lock; serving reads
+one volatile reference and immutable data plus a small stats lock, so any
+number of threads (or event-loop executors) can query concurrently with
+ingest.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.coordinate import Coordinate, centroid
+from repro.overlay.knn import CoordinateIndex
+from repro.service.index import INDEX_KINDS
+from repro.service.planner import LRUTTLCache, Query, QueryError, QUERY_KINDS
+from repro.service.snapshot import SnapshotStore
+from repro.stats.percentile import StreamingPercentile
+
+__all__ = ["ShardedCoordinateStore", "ShardGeneration", "shard_of"]
+
+
+def shard_of(node_id: str, shards: int) -> int:
+    """Stable hash partition of ``node_id`` into ``[0, shards)``.
+
+    blake2b rather than ``hash()``: the assignment must be identical
+    across processes and Python releases (PYTHONHASHSEED varies).
+    """
+    digest = hashlib.blake2b(node_id.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % shards
+
+
+class ShardGeneration:
+    """One immutable, fully built serving generation.
+
+    Everything a request needs -- per-shard indexes, the coordinate
+    lookup, the global tie-break order -- is reachable from this object,
+    so a request that captured it is untouched by later publishes.
+    """
+
+    __slots__ = (
+        "version",
+        "source",
+        "snapshot",
+        "shard_indexes",
+        "shard_sizes",
+        "global_seq",
+        "node_order",
+    )
+
+    def __init__(
+        self,
+        version: int,
+        source: str,
+        snapshot,
+        shard_indexes: Tuple[CoordinateIndex, ...],
+        shard_sizes: Tuple[int, ...],
+        global_seq: Dict[str, int],
+        node_order: List[str],
+    ) -> None:
+        self.version = version
+        self.source = source
+        #: The un-sharded router snapshot (coordinate lookup + wire dump).
+        self.snapshot = snapshot
+        self.shard_indexes = shard_indexes
+        self.shard_sizes = shard_sizes
+        #: node id -> position in the oracle's insertion order.
+        self.global_seq = global_seq
+        #: Node ids in oracle insertion order.
+        self.node_order = node_order
+
+    def __len__(self) -> int:
+        return len(self.node_order)
+
+    # -- scatter-gather queries (oracle-identical payloads) -------------
+    def _coordinate_of(self, node_id: str) -> Coordinate:
+        coordinate = self.snapshot.coordinate_of(node_id)
+        if coordinate is None:
+            raise QueryError(f"unknown node {node_id!r}")
+        return coordinate
+
+    def _merge(
+        self, partials: List[List[Tuple[str, float]]], limit: Optional[int]
+    ) -> List[Tuple[str, float]]:
+        """Merge per-shard (node_id, rtt) lists by ``(rtt, global seq)``."""
+        merged = [pair for partial in partials for pair in partial]
+        merged.sort(key=lambda pair: (pair[1], self.global_seq[pair[0]]))
+        return merged if limit is None else merged[:limit]
+
+    def knn(self, target: str, k: int) -> Dict[str, Any]:
+        coordinate = self._coordinate_of(target)
+        partials = [
+            index.nearest(coordinate, k, exclude=[target])
+            for index in self.shard_indexes
+        ]
+        neighbors = self._merge(partials, k)
+        return {
+            "target": target,
+            "neighbors": [
+                {"node_id": node_id, "predicted_rtt_ms": rtt}
+                for node_id, rtt in neighbors
+            ],
+        }
+
+    def range(self, target: str, radius_ms: float) -> Dict[str, Any]:
+        coordinate = self._coordinate_of(target)
+        partials = [index.within(coordinate, radius_ms) for index in self.shard_indexes]
+        hits = self._merge(partials, None)
+        return {
+            "target": target,
+            "radius_ms": radius_ms,
+            "hits": [
+                {"node_id": node_id, "predicted_rtt_ms": rtt}
+                for node_id, rtt in hits
+                if node_id != target
+            ],
+        }
+
+    def distance(self, first: str, second: str) -> Dict[str, Any]:
+        a = self.snapshot.coordinate_of(first)
+        b = self.snapshot.coordinate_of(second)
+        if a is None or b is None:
+            missing = first if a is None else second
+            raise QueryError(f"unknown node {missing!r}")
+        return {"pair": [first, second], "predicted_rtt_ms": a.distance(b)}
+
+    def centroid(self, members: Tuple[str, ...]) -> Dict[str, Any]:
+        chosen = members or tuple(self.node_order)
+        coordinates = [self._coordinate_of(node_id) for node_id in chosen]
+        if not coordinates:
+            raise QueryError("centroid query over an empty snapshot")
+        point = centroid(coordinates)
+        partials = [index.nearest(point, 1) for index in self.shard_indexes]
+        nearest = self._merge(partials, 1)
+        return {
+            "members": len(chosen),
+            "centroid": list(point.components),
+            "nearest_host": nearest[0][0] if nearest else None,
+            "nearest_rtt_ms": nearest[0][1] if nearest else None,
+        }
+
+    def answer(self, query: Query) -> Any:
+        """The oracle-identical payload for one service-layer query."""
+        if query.kind in ("knn", "nearest"):
+            return self.knn(query.target, query.k if query.kind == "knn" else 1)
+        if query.kind == "range":
+            return self.range(query.target, query.radius_ms)
+        if query.kind == "pairwise":
+            return self.distance(*query.pair)
+        if query.kind == "centroid":
+            return self.centroid(query.members)
+        raise QueryError(f"unknown query kind {query.kind!r}")  # pragma: no cover
+
+
+@dataclass(slots=True)
+class _ServeStats:
+    """Mutable per-query-kind serving counters (guarded by the stats lock)."""
+
+    served: int = 0
+    cache_hits: int = 0
+    errors: int = 0
+    latency_us: StreamingPercentile = field(
+        default_factory=lambda: StreamingPercentile(capacity=65536)
+    )
+
+    def as_dict(self) -> Dict[str, Any]:
+        summary: Dict[str, Any] = {
+            "served": self.served,
+            "cache_hits": self.cache_hits,
+            "errors": self.errors,
+        }
+        if self.latency_us.count:
+            summary["p50_us"] = self.latency_us.percentile(50.0)
+            summary["p99_us"] = self.latency_us.percentile(99.0)
+            summary["latency_exact"] = self.latency_us.is_exact
+        return summary
+
+
+class ShardedCoordinateStore:
+    """N hash-partitioned shard stores behind one scatter-gather router.
+
+    The complete serving engine minus the network: the asyncio daemon
+    (:mod:`repro.server.daemon`) is a thin shell over :meth:`serve` and
+    the publish methods, which keeps the whole behaviour testable and
+    benchmarkable in-process.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        *,
+        index_kind: str = "vptree",
+        history: int = 4,
+        cache_entries: int = 8192,
+        cache_ttl_s: float = float("inf"),
+        timer: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if index_kind not in INDEX_KINDS:
+            raise ValueError(
+                f"unknown index kind {index_kind!r}; known: {list(INDEX_KINDS)}"
+            )
+        self.shards = shards
+        self.index_kind = index_kind
+        self.history = history
+        self._timer = timer
+        #: Serialises publishes; serving never takes it.
+        self._ingest_lock = threading.Lock()
+        #: Guards cache + stats bookkeeping (short critical sections).
+        self._stats_lock = threading.Lock()
+        #: The single-store authority on versions and insertion order.
+        #: Its index is never built; it exists for merge semantics, the
+        #: coordinate lookup and the wire snapshot dump.
+        self._router = SnapshotStore(index_kind="linear", history=history)
+        self._shard_stores = tuple(
+            SnapshotStore(index_kind=index_kind, history=history) for _ in range(shards)
+        )
+        empty = ShardGeneration(
+            0, "", self._router.latest(), tuple(CoordinateIndex() for _ in range(shards)),
+            tuple(0 for _ in range(shards)), {}, [],
+        )
+        self._generation = empty
+        self._generations: Dict[int, ShardGeneration] = {0: empty}
+        self.cache = LRUTTLCache(cache_entries, cache_ttl_s)
+        self._serve_stats: Dict[str, _ServeStats] = {
+            kind: _ServeStats() for kind in QUERY_KINDS
+        }
+        self._publishes = 0
+        self._last_publish_s = 0.0
+        self._ingested_nodes = 0
+
+    # ------------------------------------------------------------------
+    # Ingest (whole-population epochs and incremental commits)
+    # ------------------------------------------------------------------
+    def publish_arrays(
+        self,
+        node_ids: Sequence[str],
+        components: np.ndarray,
+        heights: Optional[np.ndarray] = None,
+        *,
+        source: str = "",
+    ) -> ShardGeneration:
+        """Publish one whole-population array epoch as the next generation.
+
+        Signature-compatible with
+        :meth:`repro.service.snapshot.SnapshotStore.publish_arrays`, so a
+        running :func:`~repro.netsim.batch.run_batch_simulation` can
+        stream epochs straight into a live server via ``publish_store``.
+        """
+        with self._ingest_lock:
+            started = self._timer()
+            snapshot = self._router.publish_arrays(
+                node_ids, components, heights, source=source
+            )
+            ids, comps, hts = snapshot.arrays()
+            generation = self._build_generation_locked(
+                snapshot, ids, np.asarray(comps), np.asarray(hts)
+            )
+            self._install_locked(generation, started)
+            return generation
+
+    def publish_coordinates(
+        self, coordinates: Mapping[str, Coordinate], *, source: str = ""
+    ) -> ShardGeneration:
+        """Commit an object-based update batch as the next generation.
+
+        Incremental semantics are exactly the single store's: existing
+        nodes update in place, new nodes append in iteration order.
+        """
+        with self._ingest_lock:
+            started = self._timer()
+            self._router.apply_many(coordinates)
+            snapshot = self._router.commit(source=source)
+            if snapshot.version == self._generation.version:
+                return self._generation  # no-op commit: nothing staged
+            order = snapshot.node_ids()
+            if order:
+                comps = np.asarray(
+                    [snapshot.coordinates[node_id].components for node_id in order],
+                    dtype=np.float64,
+                )
+                hts = np.asarray(
+                    [snapshot.coordinates[node_id].height for node_id in order],
+                    dtype=np.float64,
+                )
+            else:
+                comps = np.empty((0, 1))
+                hts = np.empty(0)
+            generation = self._build_generation_locked(snapshot, order, comps, hts)
+            self._install_locked(generation, started)
+            return generation
+
+    def ingest_collector(self, collector, *, level: str = "application", source: str = "") -> ShardGeneration:
+        """Publish every node's latest coordinate from a metrics collector."""
+        return self.publish_coordinates(
+            collector.latest_coordinates(level=level), source=source
+        )
+
+    def _build_generation_locked(
+        self,
+        snapshot,
+        node_ids: Sequence[str],
+        components: np.ndarray,
+        heights: np.ndarray,
+    ) -> ShardGeneration:
+        """Partition one published snapshot and build every shard index.
+
+        Runs entirely on the publisher's thread while the previous
+        generation keeps serving; nothing is visible until the caller's
+        atomic install.
+        """
+        assignments = [shard_of(node_id, self.shards) for node_id in node_ids]
+        global_seq = {node_id: position for position, node_id in enumerate(node_ids)}
+        dims = components.shape[1] if components.ndim == 2 and components.shape[1] else 1
+        shard_indexes: List[CoordinateIndex] = []
+        shard_sizes: List[int] = []
+        for shard in range(self.shards):
+            rows = [row for row, owner in enumerate(assignments) if owner == shard]
+            store = self._shard_stores[shard]
+            # Fancy indexing copies, so the shard arrays are independent of
+            # (and writable regardless of) the frozen router snapshot.
+            shard_snapshot = store.publish_arrays(
+                [node_ids[row] for row in rows],
+                components[rows] if rows else np.empty((0, dims)),
+                heights[rows] if rows else np.empty(0),
+                source=snapshot.source,
+            )
+            shard_indexes.append(store.index_for(shard_snapshot))
+            shard_sizes.append(len(rows))
+        return ShardGeneration(
+            snapshot.version,
+            snapshot.source,
+            snapshot,
+            tuple(shard_indexes),
+            tuple(shard_sizes),
+            global_seq,
+            list(node_ids),
+        )
+
+    def _install_locked(self, generation: ShardGeneration, started: float) -> None:
+        self._generations[generation.version] = generation
+        floor = generation.version - self.history + 1
+        for version in [v for v in self._generations if v < floor]:
+            self._generations.pop(version, None)
+        # The swap: a single reference assignment.  Readers see either the
+        # whole old generation or the whole new one, never a mixture.
+        self._generation = generation
+        with self._stats_lock:
+            self.cache.current_version = generation.version
+            self._publishes += 1
+            self._ingested_nodes += len(generation)
+            self._last_publish_s = self._timer() - started
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def generation(self) -> ShardGeneration:
+        """The current serving generation (pin it once per request)."""
+        return self._generation
+
+    def at(self, version: int) -> ShardGeneration:
+        generation = self._generations.get(version)
+        if generation is None:
+            raise KeyError(
+                f"generation {version} is not retained "
+                f"(history={self.history}, latest={self._generation.version})"
+            )
+        return generation
+
+    @property
+    def version(self) -> int:
+        return self._generation.version
+
+    def serve(
+        self, query: Query, *, generation: Optional[ShardGeneration] = None
+    ) -> Tuple[Any, int, bool]:
+        """Answer one query: ``(payload, snapshot_version, cached)``.
+
+        The whole answer is computed from one pinned generation.  Results
+        are cached keyed on ``(version, query)`` -- an answer can never
+        leak across generations -- and failures raise
+        :class:`~repro.service.planner.QueryError` after being counted.
+        """
+        pinned = generation if generation is not None else self._generation
+        stats = self._serve_stats[query.kind]
+        key = (pinned.version, query)
+        with self._stats_lock:
+            found, payload = self.cache.get(key)
+            if found:
+                stats.served += 1
+                stats.cache_hits += 1
+        if found:
+            return copy.deepcopy(payload), pinned.version, True
+        started = self._timer()
+        try:
+            payload = pinned.answer(query)
+        except QueryError:
+            with self._stats_lock:
+                stats.errors += 1
+            raise
+        elapsed_us = (self._timer() - started) * 1e6
+        # Copied outside the lock: a large range payload's deep copy must
+        # not serialise every other executor thread's bookkeeping.
+        cached_copy = copy.deepcopy(payload)
+        with self._stats_lock:
+            self.cache.put(key, cached_copy)
+            stats.served += 1
+            stats.latency_us.add(elapsed_us)
+        return payload, pinned.version, False
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Serving, cache, ingest and shard-occupancy counters (JSON-safe)."""
+        generation = self._generation
+        with self._stats_lock:
+            kinds = {
+                kind: stats.as_dict()
+                for kind, stats in self._serve_stats.items()
+                if stats.served or stats.errors
+            }
+            cache = {
+                "entries": len(self.cache),
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "expirations": self.cache.expirations,
+                "evictions_lru": self.cache.evictions_lru,
+                "evictions_rollover": self.cache.evictions_rollover,
+            }
+            ingest = {
+                "versions_published": self._publishes,
+                "nodes_ingested": self._ingested_nodes,
+                "last_publish_s": round(self._last_publish_s, 6),
+            }
+        return {
+            "version": generation.version,
+            "nodes": len(generation),
+            "source": generation.source,
+            "shards": {
+                "count": self.shards,
+                "index_kind": self.index_kind,
+                "sizes": list(generation.shard_sizes),
+            },
+            "kinds": kinds,
+            "cache": cache,
+            "ingest": ingest,
+        }
+
+    # ------------------------------------------------------------------
+    # Construction conveniences
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_snapshot(
+        cls, snapshot, *, shards: int = 2, index_kind: str = "vptree", **kwargs
+    ) -> "ShardedCoordinateStore":
+        """A store pre-loaded with one snapshot's coordinates.
+
+        The generation is republished (version restarts at 1); use the
+        publish methods directly to preserve external version numbering.
+        """
+        store = cls(shards, index_kind=index_kind, **kwargs)
+        store.publish_coordinates(dict(snapshot.coordinates), source=snapshot.source)
+        return store
+
+    @classmethod
+    def from_coordinates(
+        cls,
+        coordinates: Mapping[str, Coordinate],
+        *,
+        shards: int = 2,
+        index_kind: str = "vptree",
+        source: str = "",
+        **kwargs,
+    ) -> "ShardedCoordinateStore":
+        store = cls(shards, index_kind=index_kind, **kwargs)
+        store.publish_coordinates(coordinates, source=source)
+        return store

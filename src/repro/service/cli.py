@@ -61,7 +61,9 @@ def _print_stats(stats: Dict[str, Any]) -> None:
     cache = stats.get("cache", {})
     print(
         f"cache: {cache.get('entries', 0)} entries, {cache.get('hits', 0)} hits, "
-        f"{cache.get('misses', 0)} misses, {cache.get('expirations', 0)} expirations; "
+        f"{cache.get('misses', 0)} misses, {cache.get('expirations', 0)} expirations, "
+        f"{cache.get('evictions_lru', 0)} lru / "
+        f"{cache.get('evictions_rollover', 0)} rollover evictions; "
         f"{stats.get('batches_flushed', 0)} batch(es)"
     )
 
@@ -299,7 +301,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (QueryError, FileNotFoundError, ValueError) as exc:
+    except (QueryError, OSError, ValueError) as exc:
+        # Covers every snapshot-loading failure mode (missing file,
+        # permission problems, invalid JSON, wrong JSON shape) plus bad
+        # query parameters: one clear line on stderr, nonzero exit.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

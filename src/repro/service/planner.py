@@ -27,7 +27,10 @@ from the cache, non-dense indexes) falls back to the per-query path.
 
 Results are **cached** in an LRU+TTL map whose key includes the snapshot
 version -- a cached answer can therefore never leak across coordinate
-generations; entries from superseded versions simply age out.  Per-kind
+generations; entries from superseded versions simply age out, and their
+capacity evictions are counted separately from live-version LRU evictions
+(see :class:`LRUTTLCache`) so serving hit rates stay interpretable under
+snapshot rollover.  Per-kind
 **stats** (counts, cache hits, and service-latency percentiles via
 :class:`~repro.stats.percentile.StreamingPercentile`, exact below its
 capacity cutoff) make the serving layer observable.
@@ -123,9 +126,33 @@ class LRUTTLCache:
 
     The clock is injected so deterministic consumers (the scenario
     workload, tests) can drive expiry logically instead of by wall time.
+
+    Capacity evictions are classified: when the consumer keeps
+    :attr:`current_version` up to date (the planner and the serving
+    daemon pin it to the snapshot version they serve from), an entry
+    evicted while keyed to a *superseded* version counts as a
+    ``rollover`` eviction -- it was dead weight the moment the store
+    published a newer snapshot -- while an entry keyed to the live
+    version counts as a plain ``lru`` eviction (genuine capacity
+    pressure).  TTL expiry stays its own counter (``expirations``).
+    Live-serving hit rates are only interpretable with this split: a
+    low hit rate caused by rollover churn calls for faster clients or
+    slower publishing, one caused by LRU pressure calls for a bigger
+    cache.
     """
 
-    __slots__ = ("max_entries", "ttl_s", "_clock", "_entries", "hits", "misses", "expirations")
+    __slots__ = (
+        "max_entries",
+        "ttl_s",
+        "_clock",
+        "_entries",
+        "hits",
+        "misses",
+        "expirations",
+        "current_version",
+        "evictions_lru",
+        "evictions_rollover",
+    )
 
     def __init__(
         self,
@@ -145,6 +172,11 @@ class LRUTTLCache:
         self.hits = 0
         self.misses = 0
         self.expirations = 0
+        #: The snapshot version currently being served; entries keyed to
+        #: older versions evict as ``rollover`` rather than ``lru``.
+        self.current_version: Optional[int] = None
+        self.evictions_lru = 0
+        self.evictions_rollover = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -169,7 +201,23 @@ class LRUTTLCache:
         self._entries[key] = (self._clock(), value)
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            evicted_key, _ = self._entries.popitem(last=False)
+            self._classify_eviction(evicted_key)
+
+    def _classify_eviction(self, key: Any) -> None:
+        version = (
+            key[0]
+            if isinstance(key, tuple) and key and isinstance(key[0], int)
+            else None
+        )
+        if (
+            self.current_version is not None
+            and version is not None
+            and version < self.current_version
+        ):
+            self.evictions_rollover += 1
+        else:
+            self.evictions_lru += 1
 
     def clear(self) -> None:
         self._entries.clear()
@@ -251,6 +299,7 @@ class QueryPlanner:
             return []
         self.batches_flushed += 1
         snapshot = self.store.latest()
+        self.cache.current_version = snapshot.version
         index = self.store.index_for(snapshot)
         slots: List[Optional[QueryResult]] = [None] * len(batch)
         if len(batch) > 1 and hasattr(index, "knn_batch_by_id"):
@@ -363,6 +412,7 @@ class QueryPlanner:
         """
         self._stats[query.kind].submitted += 1
         snapshot = self.store.latest()
+        self.cache.current_version = snapshot.version
         return self._serve(query, snapshot, self.store.index_for(snapshot))
 
     def execute_batch(self, queries: List[Query]) -> List[QueryResult]:
@@ -386,6 +436,8 @@ class QueryPlanner:
                 "hits": self.cache.hits,
                 "misses": self.cache.misses,
                 "expirations": self.cache.expirations,
+                "evictions_lru": self.cache.evictions_lru,
+                "evictions_rollover": self.cache.evictions_rollover,
             },
         }
 

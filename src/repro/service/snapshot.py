@@ -100,6 +100,11 @@ class CoordinateSnapshot:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "CoordinateSnapshot":
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                "malformed snapshot: top-level JSON must be an object, "
+                f"got {type(payload).__name__}"
+            )
         entries = payload.get("coordinates")
         if not isinstance(entries, Mapping):
             raise ValueError("malformed snapshot: missing 'coordinates' mapping")
@@ -117,11 +122,14 @@ class CoordinateSnapshot:
                 raise ValueError(
                     f"malformed snapshot: entry for {node_id!r}: {exc}"
                 ) from None
-        return cls(
-            int(payload.get("version", 1)),
-            coordinates,
-            source=str(payload.get("source", "")),
-        )
+        try:
+            version = int(payload.get("version", 1))
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"malformed snapshot: 'version' must be an integer, "
+                f"got {payload.get('version')!r}"
+            ) from None
+        return cls(version, coordinates, source=str(payload.get("source", "")))
 
     def save(self, path: Path) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -129,7 +137,26 @@ class CoordinateSnapshot:
 
     @classmethod
     def load(cls, path: Path) -> "CoordinateSnapshot":
-        return cls.from_dict(json.loads(Path(path).read_text()))
+        """Load a snapshot JSON file.
+
+        Every failure mode a caller can hit -- missing file, unreadable
+        file, invalid JSON, valid JSON of the wrong shape -- surfaces as
+        ``OSError`` or ``ValueError`` with the offending path in the
+        message, so command-line front ends can report one clear line
+        instead of a traceback.
+        """
+        try:
+            text = Path(path).read_text()
+        except FileNotFoundError:
+            raise FileNotFoundError(f"snapshot file {path} does not exist") from None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"snapshot file {path} is not valid JSON: {exc}") from None
+        try:
+            return cls.from_dict(payload)
+        except ValueError as exc:
+            raise ValueError(f"snapshot file {path}: {exc}") from None
 
 
 class ArraySnapshot:

@@ -1,0 +1,617 @@
+"""Tests for the async coordinate-serving daemon (:mod:`repro.server`).
+
+The load-bearing guarantees:
+
+* sharded scatter-gather answers are byte-identical -- floats, ordering,
+  ties -- to the single-store linear oracle, for every shard count and
+  index kind;
+* a response is always internally consistent with exactly one published
+  snapshot version, even while epochs stream in concurrently (no torn
+  reads across shards);
+* the wire protocol round-trips payloads exactly, and the daemon's
+  replies over TCP checksum-match the in-process oracle;
+* admission control sheds load explicitly and shutdown is clean.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.coordinate import Coordinate
+from repro.server.client import AsyncCoordinateClient
+from repro.server.daemon import CoordinateServer
+from repro.server.load import run_load, synthetic_coordinates
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    HEADER,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    frame_length,
+    query_to_request,
+    request_to_query,
+    split_frames,
+)
+from repro.server.sharding import ShardGeneration, ShardedCoordinateStore, shard_of
+from repro.service.planner import Query, QueryError, QueryPlanner
+from repro.service.snapshot import SnapshotStore
+from repro.service.workload import generate_queries, payload_checksum, run_workload
+
+SHARD_COUNTS = (1, 2, 3, 5)
+INDEX_KINDS = ("linear", "vptree", "grid", "dense")
+
+
+def oracle_payloads(coords, queries):
+    """The single-store linear oracle's payloads, in stream order."""
+    store = SnapshotStore.from_coordinates(coords, index_kind="linear", source="t")
+    planner = QueryPlanner(store, clock=lambda: 0.0, timer=lambda: 0.0)
+    report = run_workload(planner, queries, timer=lambda: 0.0)
+    return [result.payload for result in report.results], report.checksum
+
+
+@pytest.fixture(scope="module")
+def universe():
+    coords = synthetic_coordinates(180, seed=3)
+    queries = generate_queries(list(coords), 400, mix="mixed", seed=11, k=4)
+    payloads, checksum = oracle_payloads(coords, queries)
+    return coords, queries, payloads, checksum
+
+
+# ----------------------------------------------------------------------
+# Wire protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_frame_roundtrip(self):
+        request = {"id": 3, "op": "knn", "target": "n1", "k": 5}
+        frame = encode_frame(request)
+        assert frame_length(frame[: HEADER.size]) == len(frame) - HEADER.size
+        assert decode_frame(frame[HEADER.size :]) == request
+
+    def test_split_frames_handles_partials(self):
+        a = encode_frame({"id": 1, "op": "ping"})
+        b = encode_frame({"id": 2, "op": "version"})
+        frames, rest = split_frames(a + b[:3])
+        assert [frame["id"] for frame in frames] == [1]
+        assert rest == b[:3]
+        frames, rest = split_frames(rest + b[3:])
+        assert [frame["id"] for frame in frames] == [2]
+        assert rest == b""
+
+    def test_oversized_length_prefix_rejected(self):
+        header = HEADER.pack(MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            frame_length(header)
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_frame(b"[1,2,3]")
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_frame(b"{nope")
+
+    def test_request_to_query_and_back(self):
+        for query in (
+            Query.knn("a", k=7),
+            Query.nearest("b"),
+            Query.range("c", 12.5),
+            Query.pairwise("a", "b"),
+            Query.centroid(("a", "b", "c")),
+        ):
+            assert request_to_query(query_to_request(query, 1)) == query
+
+    def test_request_validation_errors(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            request_to_query({"op": "explode"})
+        with pytest.raises(QueryError, match="target"):
+            request_to_query({"op": "knn", "k": 3})
+        with pytest.raises(QueryError, match="must be an integer"):
+            request_to_query({"op": "knn", "target": "a", "k": "three"})
+        with pytest.raises(QueryError, match="numeric"):
+            request_to_query({"op": "range", "target": "a"})
+        with pytest.raises(QueryError, match="list of node ids"):
+            request_to_query({"op": "centroid", "members": "abc"})
+        assert request_to_query({"op": "stats"}) is None
+
+
+# ----------------------------------------------------------------------
+# Shard partitioning and scatter-gather identity
+# ----------------------------------------------------------------------
+class TestSharding:
+    def test_shard_of_is_stable_and_in_range(self):
+        for shards in (1, 2, 7):
+            for node_id in ("a", "b", "node000123", ""):
+                owner = shard_of(node_id, shards)
+                assert 0 <= owner < shards
+                assert owner == shard_of(node_id, shards)
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("kind", INDEX_KINDS)
+    def test_sharded_answers_identical_to_oracle(self, universe, shards, kind):
+        coords, queries, payloads, _ = universe
+        store = ShardedCoordinateStore.from_coordinates(
+            coords, shards=shards, index_kind=kind, source="t"
+        )
+        served = [store.serve(query)[0] for query in queries]
+        assert served == payloads
+
+    def test_tie_order_matches_oracle_on_lattice(self):
+        # A lattice is maximally tie-heavy: many nodes at identical
+        # distances.  The merged order must still equal the oracle's
+        # insertion-order tie-break.
+        coords = {
+            f"p{i:03d}": Coordinate([float(i % 5), float(i // 5)]) for i in range(25)
+        }
+        queries = [Query.knn(f"p{i:03d}", k=6) for i in range(25)]
+        queries += [Query.range(f"p{i:03d}", 2.0) for i in range(25)]
+        payloads, _ = oracle_payloads(coords, queries)
+        for shards in SHARD_COUNTS:
+            store = ShardedCoordinateStore.from_coordinates(
+                coords, shards=shards, index_kind="vptree"
+            )
+            assert [store.serve(query)[0] for query in queries] == payloads
+
+    def test_publish_arrays_identical_to_object_publish(self):
+        coords = synthetic_coordinates(90, seed=5)
+        node_ids = list(coords)
+        components = np.asarray([coords[n].components for n in node_ids])
+        heights = np.zeros(len(node_ids))
+        by_arrays = ShardedCoordinateStore(3, index_kind="dense")
+        by_arrays.publish_arrays(node_ids, components, heights, source="arr")
+        by_objects = ShardedCoordinateStore.from_coordinates(
+            coords, shards=3, index_kind="dense"
+        )
+        queries = generate_queries(node_ids, 150, mix="mixed", seed=2)
+        assert [by_arrays.serve(q)[0] for q in queries] == [
+            by_objects.serve(q)[0] for q in queries
+        ]
+        assert by_arrays.version == 1
+
+    def test_incremental_commits_match_single_store_semantics(self):
+        # Updates in place, new nodes appended: the sharded router must
+        # reproduce the single store's merged insertion order exactly.
+        first = {f"n{i}": Coordinate([float(i), 0.0]) for i in range(12)}
+        moved = {f"n{i}": Coordinate([float(i), 1.0]) for i in range(0, 12, 2)}
+        moved["extra0"] = Coordinate([0.5, 0.5])
+        moved["extra1"] = Coordinate([1.5, 0.5])
+
+        sharded = ShardedCoordinateStore(3, index_kind="vptree")
+        sharded.publish_coordinates(first, source="t")
+        sharded.publish_coordinates(moved, source="t")
+
+        single = SnapshotStore(index_kind="linear")
+        single.apply_many(first)
+        single.commit(source="t")
+        single.apply_many(moved)
+        single.commit(source="t")
+
+        merged = dict(first)
+        merged.update(moved)
+        queries = generate_queries(list(merged), 200, mix="mixed", seed=9)
+        planner = QueryPlanner(single, clock=lambda: 0.0, timer=lambda: 0.0)
+        oracle = run_workload(planner, queries, timer=lambda: 0.0)
+        assert sharded.version == 2
+        assert [sharded.serve(q)[0] for q in queries] == [
+            r.payload for r in oracle.results
+        ]
+
+    def test_generation_pinning_and_retention(self):
+        store = ShardedCoordinateStore(2, index_kind="linear", history=2)
+        a = {f"n{i}": Coordinate([float(i)]) for i in range(4)}
+        store.publish_coordinates(a)
+        pinned = store.generation()
+        for round_no in range(4):
+            store.publish_coordinates(
+                {f"n{i}": Coordinate([float(i + round_no)]) for i in range(4)}
+            )
+        # The pinned generation still answers from its own coordinates.
+        payload = pinned.knn("n0", 1)
+        assert payload["neighbors"][0]["predicted_rtt_ms"] == 1.0
+        assert store.version == 5
+        with pytest.raises(KeyError, match="not retained"):
+            store.at(1)
+        assert store.at(store.version) is store.generation()
+
+    def test_unknown_nodes_and_empty_store_raise(self):
+        store = ShardedCoordinateStore(2)
+        with pytest.raises(QueryError, match="unknown node"):
+            store.serve(Query.knn("ghost"))
+        with pytest.raises(QueryError, match="empty snapshot"):
+            store.serve(Query.centroid(()))
+        store.publish_coordinates({"a": Coordinate([0.0]), "b": Coordinate([1.0])})
+        with pytest.raises(QueryError, match="unknown node 'ghost'"):
+            store.serve(Query.pairwise("a", "ghost"))
+
+    def test_cache_serves_repeats_and_respects_rollover(self):
+        coords = {f"n{i}": Coordinate([float(i)]) for i in range(6)}
+        store = ShardedCoordinateStore.from_coordinates(coords, shards=2)
+        query = Query.knn("n0", k=2)
+        payload, version, cached = store.serve(query)
+        repeat, _, cached_again = store.serve(query)
+        assert not cached and cached_again and repeat == payload
+        # New generation: the cache key includes the version, so the
+        # answer is recomputed against the new coordinates.
+        store.publish_coordinates({"n0": Coordinate([10.0])})
+        moved, version2, cached3 = store.serve(query)
+        assert version2 == version + 1 and not cached3
+        assert moved != payload
+        stats = store.stats()
+        assert stats["cache"]["hits"] == 1
+        assert stats["kinds"]["knn"]["served"] == 3
+
+    def test_stats_shape(self):
+        coords = synthetic_coordinates(24, seed=1)
+        store = ShardedCoordinateStore.from_coordinates(coords, shards=3)
+        store.serve(Query.nearest(next(iter(coords))))
+        stats = store.stats()
+        assert stats["shards"]["count"] == 3
+        assert sum(stats["shards"]["sizes"]) == 24
+        assert stats["ingest"]["versions_published"] == 1
+        assert stats["version"] == 1 and stats["nodes"] == 24
+        json.dumps(stats)  # JSON-safe
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shards"):
+            ShardedCoordinateStore(0)
+        with pytest.raises(ValueError, match="unknown index kind"):
+            ShardedCoordinateStore(2, index_kind="octree")
+
+
+# ----------------------------------------------------------------------
+# The daemon over TCP
+# ----------------------------------------------------------------------
+def serve_in_thread(store, **kwargs):
+    return CoordinateServer(store, **kwargs).run_in_thread()
+
+
+class TestDaemon:
+    def test_wire_results_identical_to_oracle_closed_loop(self, universe):
+        coords, queries, _, checksum = universe
+        store = ShardedCoordinateStore.from_coordinates(
+            coords, shards=3, index_kind="vptree", source="t"
+        )
+        with serve_in_thread(store) as handle:
+            report = run_load(
+                handle.address, queries, mode="closed", concurrency=8, connections=2
+            )
+        assert report.errors == 0
+        assert report.checksum == checksum
+        assert report.versions == (1,)
+        assert set(report.kinds) == {"knn", "nearest", "range", "pairwise", "centroid"}
+        for summary in report.kinds.values():
+            assert summary["latency_exact"]
+
+    def test_wire_results_identical_to_oracle_open_loop(self, universe):
+        coords, queries, _, checksum = universe
+        store = ShardedCoordinateStore.from_coordinates(coords, shards=2)
+        with serve_in_thread(store) as handle:
+            report = run_load(
+                handle.address,
+                queries[:100],
+                mode="open",
+                rate_qps=5000.0,
+                connections=2,
+            )
+        assert report.errors == 0
+        assert report.offered_qps == 5000.0
+        _, expected = oracle_payloads(coords, queries[:100])
+        assert report.checksum == expected
+
+    def test_admin_ops(self):
+        coords = synthetic_coordinates(16, seed=2)
+        store = ShardedCoordinateStore.from_coordinates(coords, shards=2, source="adm")
+
+        async def scenario(address):
+            async with await AsyncCoordinateClient.connect(*address) as client:
+                pong = await client.op("ping")
+                version = await client.op("version")
+                nodes = await client.op("nodes")
+                stats = await client.op("stats")
+                dump = await client.op("snapshot")
+                bad = await client.op("knn", target="ghost")
+                malformed = await client.request({"op": "warp"})
+                return pong, version, nodes, stats, dump, bad, malformed
+
+        with serve_in_thread(store) as handle:
+            pong, version, nodes, stats, dump, bad, malformed = asyncio.run(
+                scenario(handle.address)
+            )
+        assert pong["ok"] and pong["payload"] == {"pong": True}
+        assert version["payload"] == {"version": 1, "nodes": 16, "source": "adm"}
+        assert sorted(nodes["payload"]["node_ids"]) == sorted(coords)
+        assert stats["payload"]["admission"]["connections_total"] == 1
+        assert stats["payload"]["shards"]["count"] == 2
+        restored = {
+            node_id: Coordinate(entry["components"], entry["height"])
+            for node_id, entry in dump["payload"]["coordinates"].items()
+        }
+        assert restored == dict(coords)
+        assert not bad["ok"] and "unknown node" in bad["error"]
+        assert not malformed["ok"] and "unknown op" in malformed["error"]
+
+    def test_admission_control_sheds_load(self):
+        store = ShardedCoordinateStore.from_coordinates(
+            synthetic_coordinates(8, seed=1), shards=1
+        )
+        server = CoordinateServer(store, admission_limit=1)
+        assert server._admit() is True
+        assert server._admit() is False
+        server._release()
+        assert server._admit() is True
+        stats = server.admission_stats()
+        assert stats["rejected_overload"] == 1
+        assert stats["admitted"] == 2
+        assert stats["max_in_flight"] == 1
+
+    def test_corrupt_frame_gets_error_then_close(self):
+        store = ShardedCoordinateStore.from_coordinates(
+            synthetic_coordinates(8, seed=1), shards=1
+        )
+
+        async def scenario(address):
+            reader, writer = await asyncio.open_connection(*address)
+            writer.write(HEADER.pack(MAX_FRAME_BYTES + 5))
+            await writer.drain()
+            header = await reader.readexactly(HEADER.size)
+            body = await reader.readexactly(frame_length(header))
+            response = decode_frame(body)
+            trailer = await reader.read()  # server closes after the error
+            writer.close()
+            return response, trailer
+
+        with serve_in_thread(store) as handle:
+            response, trailer = asyncio.run(scenario(handle.address))
+        assert not response["ok"] and "exceeds" in response["error"]
+        assert trailer == b""
+
+    def test_shutdown_op_stops_daemon_cleanly(self):
+        store = ShardedCoordinateStore.from_coordinates(
+            synthetic_coordinates(8, seed=1), shards=1
+        )
+        handle = serve_in_thread(store)
+        address = handle.start()
+
+        async def shutdown(address):
+            async with await AsyncCoordinateClient.connect(*address) as client:
+                return await client.op("shutdown")
+
+        response = asyncio.run(shutdown(address))
+        assert response["ok"] and response["payload"] == {"stopping": True}
+        handle.stop()  # joins; the shutdown op already initiated the stop
+        with pytest.raises(OSError):
+            asyncio.run(shutdown(address))
+
+
+# ----------------------------------------------------------------------
+# Concurrent ingest while serving: no torn reads (satellite)
+# ----------------------------------------------------------------------
+class TestIngestWhileServing:
+    def test_every_response_consistent_with_exactly_one_version(self):
+        """The torn-read detector.
+
+        Epochs with *disjoint* coordinate sets stream into the daemon
+        while concurrent clients hammer knn/range/centroid queries.  A
+        response claiming version v must equal a re-serve of the same
+        query against the retained generation v -- any cross-shard
+        mixing of generations changes some distance and fails the
+        comparison.
+        """
+        n = 48
+        node_ids = [f"h{i:03d}" for i in range(n)]
+        rng = np.random.default_rng(7)
+        base = rng.uniform(-100.0, 100.0, size=(n, 3))
+        epochs = 24
+        store = ShardedCoordinateStore(3, index_kind="vptree", history=epochs + 2)
+        store.publish_arrays(node_ids, base.copy(), np.zeros(n), source="e0")
+
+        stop = threading.Event()
+
+        def ingest():
+            # Every epoch translates the whole universe, so distances
+            # between any cross-epoch pair differ from both epochs' own.
+            for epoch in range(1, epochs):
+                shifted = base + epoch * 13.37
+                store.publish_arrays(
+                    node_ids, shifted, np.zeros(n), source=f"e{epoch}"
+                )
+                time.sleep(0.002)
+            stop.set()
+
+        queries = generate_queries(node_ids, 600, mix="mixed", seed=5, k=3)
+        server = CoordinateServer(store)
+        with server.run_in_thread() as handle:
+            writer = threading.Thread(target=ingest)
+            writer.start()
+            report = run_load(
+                handle.address, queries, mode="closed", concurrency=6, connections=3
+            )
+            writer.join()
+        assert report.errors == 0
+        versions_seen = set()
+        for query, response in zip(queries, report.responses):
+            version = int(response["version"])
+            versions_seen.add(version)
+            generation = store.at(version)
+            assert response["payload"] == generation.answer(query), (
+                f"torn read: version {version}, query {query}"
+            )
+        assert versions_seen <= set(range(1, epochs + 1))
+
+    def test_serving_store_cache_never_leaks_across_versions(self):
+        coords = {f"n{i}": Coordinate([float(i)]) for i in range(8)}
+        store = ShardedCoordinateStore.from_coordinates(coords, shards=2)
+        query = Query.knn("n3", k=2)
+        before, v1, _ = store.serve(query)
+        store.publish_coordinates(
+            {f"n{i}": Coordinate([float(i) * 3.0]) for i in range(8)}
+        )
+        after, v2, cached = store.serve(query)
+        assert v2 == v1 + 1 and not cached
+        assert before != after
+
+
+# ----------------------------------------------------------------------
+# The queries-live scenario workload
+# ----------------------------------------------------------------------
+class TestQueriesLiveScenario:
+    @pytest.fixture(scope="class")
+    def live_spec(self):
+        from repro.scenarios.spec import ScenarioSpec
+
+        return ScenarioSpec.from_dict(
+            {
+                "name": "live-test",
+                "mode": "simulate",
+                "network": {"nodes": 32},
+                "preset": "mp",
+                "duration_s": 150.0,
+                "backend": "vectorized",
+                "workload": {
+                    "kind": "queries-live",
+                    "params": {
+                        "count": 96,
+                        "live_count": 24,
+                        "shards": 2,
+                        "publish_every_ticks": 5,
+                    },
+                },
+                "seed": 3,
+            }
+        )
+
+    def test_end_to_end_metrics(self, live_spec):
+        from repro.engine.kernel import run_scenario
+
+        profile: dict = {}
+        run = run_scenario(live_spec, collect_profile=True)
+        metrics = run.result.metrics
+        assert metrics["query_oracle_agreement"] == 1.0
+        assert metrics["live_ok_rate"] == 1.0
+        assert metrics["live_consistency"] == 1.0
+        assert metrics["query_error_count"] == 0.0
+        assert metrics["query_count"] == 96.0
+        assert metrics["live_query_count"] == 24.0
+        # 150s / 5s interval = 30 ticks; publish every 5 -> 6 + final.
+        assert metrics["epochs_published"] == 7.0
+        payload = run.result.workload
+        assert payload["checksum"] == payload["oracle_checksum"]
+        assert payload["shards"] == 2
+        assert run.profile and "measured_serve_qps" in run.profile
+
+    def test_results_deterministic_across_runs(self, live_spec):
+        from repro.engine.kernel import run_scenario
+
+        first = run_scenario(live_spec).result.canonical_json()
+        second = run_scenario(live_spec).result.canonical_json()
+        assert first == second
+
+    def test_spec_validation(self):
+        from repro.scenarios.spec import ScenarioError, ScenarioSpec
+
+        with pytest.raises(ScenarioError, match="backend='vectorized'"):
+            ScenarioSpec.from_dict(
+                {
+                    "name": "bad",
+                    "mode": "simulate",
+                    "preset": "mp",
+                    "workload": {"kind": "queries-live"},
+                }
+            )
+        with pytest.raises(ScenarioError, match="shards"):
+            ScenarioSpec.from_dict(
+                {
+                    "name": "bad",
+                    "mode": "simulate",
+                    "preset": "mp",
+                    "backend": "vectorized",
+                    "workload": {"kind": "queries-live", "params": {"shards": 0}},
+                }
+            )
+        with pytest.raises(ScenarioError, match="publish_every_ticks"):
+            ScenarioSpec.from_dict(
+                {
+                    "name": "bad",
+                    "mode": "simulate",
+                    "preset": "mp",
+                    "backend": "vectorized",
+                    "workload": {
+                        "kind": "queries-live",
+                        "params": {"publish_every_ticks": 0},
+                    },
+                }
+            )
+
+
+# ----------------------------------------------------------------------
+# CLI: serve-daemon + load
+# ----------------------------------------------------------------------
+class TestServerCli:
+    def test_serve_daemon_and_load_roundtrip(self, tmp_path, capsys):
+        from repro.server.cli import main
+
+        ready = tmp_path / "ready.txt"
+        out = tmp_path / "load.json"
+        daemon_rc: list = []
+
+        def run_daemon():
+            daemon_rc.append(
+                main(
+                    [
+                        "serve-daemon",
+                        "--synthetic", "64",
+                        "--shards", "2",
+                        "--ready-file", str(ready),
+                        "--max-seconds", "60",
+                    ]
+                )
+            )
+
+        thread = threading.Thread(target=run_daemon)
+        thread.start()
+        try:
+            deadline = time.time() + 15.0
+            while not ready.exists() and time.time() < deadline:
+                time.sleep(0.01)
+            assert ready.exists(), "daemon never wrote the ready file"
+            host, port = ready.read_text().split()
+            rc = main(
+                [
+                    "load",
+                    "--host", host,
+                    "--port", port,
+                    "--count", "300",
+                    "--mix", "mixed",
+                    "--verify-oracle",
+                    "--shutdown",
+                    "--out", str(out),
+                ]
+            )
+            assert rc == 0
+        finally:
+            thread.join(timeout=15.0)
+        assert not thread.is_alive()
+        assert daemon_rc == [0]
+        captured = capsys.readouterr().out
+        assert "identical: True" in captured
+        assert "daemon acknowledged shutdown" in captured
+        assert "daemon stopped cleanly" in captured
+        report = json.loads(out.read_text())
+        assert report["ok"] == 300 and report["errors"] == 0
+
+    def test_load_against_dead_port_is_clean_error(self, capsys):
+        from repro.server.cli import main
+
+        rc = main(["load", "--port", "1", "--count", "10"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_top_level_dispatch(self, capsys):
+        from repro.analysis.cli import main
+
+        rc = main(["load", "--port", "1", "--count", "10"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err

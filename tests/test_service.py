@@ -571,6 +571,30 @@ class TestLRUTTLCache:
         with pytest.raises(ValueError):
             LRUTTLCache(ttl_s=0.0)
 
+    def test_capacity_evictions_classified_lru_vs_rollover(self):
+        cache = LRUTTLCache(max_entries=2)
+        cache.current_version = 2
+        cache.put((1, "stale-a"), 1)  # superseded version
+        cache.put((2, "live-a"), 2)
+        cache.put((2, "live-b"), 3)  # evicts the stale entry
+        assert cache.evictions_rollover == 1 and cache.evictions_lru == 0
+        cache.put((2, "live-c"), 4)  # evicts a live entry
+        assert cache.evictions_rollover == 1 and cache.evictions_lru == 1
+
+    def test_unversioned_keys_always_classify_as_lru(self):
+        cache = LRUTTLCache(max_entries=1)
+        cache.current_version = 5
+        cache.put("plain", 1)
+        cache.put("other", 2)
+        assert cache.evictions_lru == 1 and cache.evictions_rollover == 0
+
+    def test_rollover_requires_known_current_version(self):
+        cache = LRUTTLCache(max_entries=1)
+        cache.put((1, "a"), 1)
+        cache.put((2, "b"), 2)
+        # Without current_version the cache cannot call it rollover.
+        assert cache.evictions_lru == 1 and cache.evictions_rollover == 0
+
 
 class TestQueryPlanner:
     @pytest.fixture()
@@ -618,6 +642,28 @@ class TestQueryPlanner:
         assert stats["batches_flushed"] == 1
         assert stats["kinds"]["knn"]["latency_exact"] is True
         assert planner.cache_hit_rate() == pytest.approx(1.0 / 3.0)
+
+    def test_stats_split_rollover_from_lru_evictions(self, store):
+        # A cache of 3 entries serving across a snapshot rollover: the
+        # old generation's entries must evict as 'rollover', same-version
+        # capacity pressure as 'lru'.
+        planner = QueryPlanner(store, cache_entries=3)
+        planner.execute_batch(
+            [Query.knn(f"n{i:05d}", k=2) for i in range(1, 4)]
+        )
+        store.apply("n00001", Coordinate([123.0, 45.0, 6.0]))
+        store.commit()
+        planner.execute_batch(
+            [Query.knn(f"n{i:05d}", k=2) for i in range(1, 4)]
+        )
+        stats = planner.stats()["cache"]
+        assert stats["evictions_rollover"] == 3
+        assert stats["evictions_lru"] == 0
+        # Same-version overflow now evicts as plain LRU.
+        planner.execute_batch([Query.knn("n00004", k=2)])
+        stats = planner.stats()["cache"]
+        assert stats["evictions_lru"] == 1
+        assert stats["evictions_rollover"] == 3
 
     def test_query_kinds_answer_shapes(self, store):
         planner = QueryPlanner(store)
@@ -812,6 +858,48 @@ class TestServiceCli:
         bad.write_text(json.dumps({"coordinates": {"a": {"components": [None, 2.0]}}}))
         assert main(["query", "--snapshot", str(bad), "info"]) == 2
         assert "malformed snapshot" in capsys.readouterr().err
+
+    def test_unparseable_and_missing_snapshots_are_one_line_errors(
+        self, capsys, tmp_path
+    ):
+        # Every failure mode must exit 2 with a single clear stderr line
+        # (never a traceback): missing file, invalid JSON, valid JSON of
+        # the wrong shape, a directory path, and a bad version field.
+        from repro.analysis.cli import main
+
+        missing = tmp_path / "nope.json"
+        assert main(["query", "--snapshot", str(missing), "info"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "does not exist" in err
+        assert len(err.strip().splitlines()) == 1
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json at all")
+        assert main(["query", "--snapshot", str(bad), "info"]) == 2
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err and len(err.strip().splitlines()) == 1
+
+        bad.write_text("[1, 2, 3]")
+        assert main(["query", "--snapshot", str(bad), "info"]) == 2
+        err = capsys.readouterr().err
+        assert "must be an object" in err and len(err.strip().splitlines()) == 1
+
+        assert main(["query", "--snapshot", str(tmp_path), "info"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and len(err.strip().splitlines()) == 1
+
+        bad.write_text(json.dumps({"version": "vX", "coordinates": {}}))
+        assert main(["query", "--snapshot", str(bad), "info"]) == 2
+        err = capsys.readouterr().err
+        assert "'version' must be an integer" in err
+
+    def test_serve_daemon_cli_rejects_missing_snapshot_cleanly(self, capsys, tmp_path):
+        from repro.analysis.cli import main
+
+        missing = tmp_path / "nope.json"
+        assert main(["serve-daemon", "--snapshot", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and len(err.strip().splitlines()) == 1
 
     def test_query_unknown_node_is_an_error(self, capsys, snapshot_path):
         from repro.analysis.cli import main

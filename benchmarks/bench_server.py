@@ -112,6 +112,10 @@ def bench_shards(
         "latency_exact": all(entry["latency_exact"] for entry in report.kinds.values()),
         "checksum": report.checksum,
         "prefix_checksum": prefix_checksum,
+        # Mergeable latency histograms per query kind; the regression
+        # gate's tail analyzer (repro.obs.regression) diffs these against
+        # the committed baseline's.
+        "telemetry": report.telemetry,
     }
 
 
@@ -151,6 +155,7 @@ def bench_ingest(
         "qps_during_ingest": round(report.queries_per_s, 1),
         "versions_observed": len(report.versions),
         "serving_during_ingest_ok": report.errors == 0,
+        "telemetry": report.telemetry,
     }
 
 

@@ -19,8 +19,13 @@ hardware:
 
 A metric regresses when it falls more than ``--tolerance`` (default 0.30,
 i.e. 30%) below its committed baseline in ``benchmarks/baselines/``.
-Correctness booleans (identical results) must hold outright.  Exit status:
-0 = pass, 1 = regression, 2 = usage/baseline error.
+Correctness booleans (identical results) must hold outright.  Artifacts
+carrying ``telemetry`` sections (latency histograms, see
+``repro.obs.regression``) additionally pass through the tail gate: scale-
+invariant p99/p50 amplification and median-aligned bucket-shape checks
+that catch tail blow-ups without flapping on absolute machine speed.
+Baselines recorded before telemetry existed pass the tail gate vacuously.
+Exit status: 0 = pass, 1 = regression, 2 = usage/baseline error.
 
 Re-baselining: regenerate the smoke artifacts and copy them over the files
 in ``benchmarks/baselines/`` (see ``benchmarks/README.md``).
@@ -35,6 +40,14 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# The tail gate lives in the package; make it importable when the gate is
+# run as a plain script without PYTHONPATH=src.
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.regression import compare_payloads  # noqa: E402
+
 DEFAULT_BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
 DEFAULT_TOLERANCE = 0.30
 
@@ -188,6 +201,19 @@ def check_artifact(
         print(f"  {'OK' if passed else 'FAILED':>10}  {name}")
         if not passed:
             failures.append(f"{current_path.name}: correctness check {name} failed")
+
+    # Tail gate over any telemetry (histogram) sections the two artifacts
+    # share; baselines predating telemetry match zero sections and pass.
+    findings, compared = compare_payloads(baseline, current)
+    if compared:
+        status = "REGRESSION" if findings else "OK"
+        print(
+            f"  {status:>10}  tail gate over {compared} telemetry section(s)"
+        )
+        for finding in findings:
+            failures.append(f"{current_path.name}: {finding}")
+    else:
+        print(f"{'--':>12}  tail gate skipped (no shared telemetry sections)")
     return failures
 
 

@@ -95,8 +95,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.service.cli import main as service_main
 
         return service_main(argv)
-    if argv and argv[0] in ("serve-daemon", "load"):
-        # The network daemon and its load harness (repro.server).
+    if argv and argv[0] in ("serve-daemon", "load", "metrics"):
+        # The network daemon, its load harness and the telemetry fetcher.
         from repro.server.cli import main as server_main
 
         return server_main(argv)

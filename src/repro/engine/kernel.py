@@ -23,6 +23,7 @@ from repro.netsim.replay import replay_trace
 from repro.netsim.runner import SimulationConfig, run_simulation
 from repro.netsim.network import NetworkConfig
 from repro.netsim.protocol import ProtocolConfig
+from repro.obs import get_registry, span
 from repro.overlay.knn import CoordinateIndex
 from repro.scenarios.spec import ScenarioSpec
 from repro.stats.sampling import derive_rng
@@ -64,7 +65,13 @@ def run_scenario(spec: ScenarioSpec, *, collect_profile: bool = False) -> Scenar
     profile: Optional[Dict[str, float]] = None
     parameters = spec.network.to_parameters()
     measurement_start_s = spec.resolved_measurement_start_s()
-    dataset = build_dataset(spec.network.nodes, seed=spec.seed, parameters=parameters)
+    # Coarse phase spans on the process-wide registry: no-ops unless the
+    # caller enabled spans (repro.obs.set_spans_enabled), so deterministic
+    # results and hot-path cost are untouched by default.
+    with span("kernel.build_dataset", nodes=spec.network.nodes):
+        dataset = build_dataset(
+            spec.network.nodes, seed=spec.seed, parameters=parameters
+        )
 
     counters: Dict[str, Optional[float]] = {}
     workload_payload: Dict[str, Any] = {}
@@ -87,12 +94,13 @@ def run_scenario(spec: ScenarioSpec, *, collect_profile: bool = False) -> Scenar
         )
         trace = build_trace(scale, parameters=parameters)
         on_record, finish_drift = _drift_probe(spec, dataset, measurement_start_s)
-        replay = replay_trace(
-            trace,
-            spec.node_config(),
-            measurement_start_s=measurement_start_s,
-            on_record=on_record,
-        )
+        with span("kernel.simulate", backend="replay"):
+            replay = replay_trace(
+                trace,
+                spec.node_config(),
+                measurement_start_s=measurement_start_s,
+                on_record=on_record,
+            )
         collector = replay.collector
         counters["records_processed"] = float(replay.records_processed)
         final_coordinates = replay.application_coordinates()
@@ -127,13 +135,14 @@ def run_scenario(spec: ScenarioSpec, *, collect_profile: bool = False) -> Scenar
                 live_harness.__enter__()
                 publish_kwargs = live_harness.publish_kwargs()
             try:
-                sim = run_batch_simulation(
-                    config,
-                    dataset=dataset,
-                    backend="vectorized",
-                    collect_profile=collect_profile,
-                    **publish_kwargs,
-                )
+                with span("kernel.simulate", backend="vectorized"):
+                    sim = run_batch_simulation(
+                        config,
+                        dataset=dataset,
+                        backend="vectorized",
+                        collect_profile=collect_profile,
+                        **publish_kwargs,
+                    )
             except BaseException:
                 if live_harness is not None:
                     live_harness.__exit__(None, None, None)
@@ -154,7 +163,8 @@ def run_scenario(spec: ScenarioSpec, *, collect_profile: bool = False) -> Scenar
                 _assert_strict_equivalence(spec, sim, oracle)
                 counters["strict_equivalence"] = 1.0
         else:
-            sim = run_simulation(config, dataset=dataset)
+            with span("kernel.simulate", backend="scalar"):
+                sim = run_simulation(config, dataset=dataset)
             collector = sim.collector
             counters["samples_attempted"] = float(sim.samples_attempted)
             counters["samples_completed"] = float(sim.samples_completed)
@@ -166,17 +176,18 @@ def run_scenario(spec: ScenarioSpec, *, collect_profile: bool = False) -> Scenar
     metrics.update(counters)
     workload_profile: Optional[Dict[str, float]] = {} if collect_profile else None
     try:
-        metrics.update(
-            _run_workload(
-                spec,
-                dataset,
-                final_coordinates,
-                workload_payload,
-                coordinate_arrays=coordinate_arrays,
-                profile=workload_profile,
-                live_harness=live_harness,
+        with span("kernel.workload", kind=spec.workload.kind):
+            metrics.update(
+                _run_workload(
+                    spec,
+                    dataset,
+                    final_coordinates,
+                    workload_payload,
+                    coordinate_arrays=coordinate_arrays,
+                    profile=workload_profile,
+                    live_harness=live_harness,
+                )
             )
-        )
     finally:
         if live_harness is not None:
             live_harness.__exit__(None, None, None)
@@ -203,6 +214,9 @@ def run_scenario(spec: ScenarioSpec, *, collect_profile: bool = False) -> Scenar
         workload=workload_payload,
         elapsed_s=time.perf_counter() - started,
     )
+    get_registry().counter(
+        "kernel_scenarios_total", "Scenarios executed in this process.", mode=spec.mode
+    ).inc()
     return ScenarioRun(result, collector, profile)
 
 

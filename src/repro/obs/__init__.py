@@ -1,0 +1,59 @@
+"""Process-wide telemetry: counters, gauges, mergeable histograms, spans.
+
+See :mod:`repro.obs.registry` for the instrument model,
+:mod:`repro.obs.tracing` for spans and per-request trace recording, and
+:mod:`repro.obs.regression` for the histogram tail-regression analyzer
+that backs the CI gate.
+
+The module-level helpers below operate on one process-wide default
+registry, used for coarse engine-level spans and counters; serving
+components (stores, daemons, planners, load runs) construct their own
+:class:`~repro.obs.registry.TelemetryRegistry` so concurrent runs never
+share instruments.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.registry import (
+    DEFAULT_SCHEME,
+    BucketScheme,
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    TelemetryRegistry,
+)
+from repro.obs.tracing import NOOP_SPAN, TraceRecorder
+
+__all__ = [
+    "BucketScheme",
+    "Counter",
+    "DEFAULT_SCHEME",
+    "Gauge",
+    "LatencyHistogram",
+    "NOOP_SPAN",
+    "TelemetryRegistry",
+    "TraceRecorder",
+    "get_registry",
+    "set_spans_enabled",
+    "span",
+]
+
+#: The process-wide default registry (spans disabled by default).
+_GLOBAL_REGISTRY = TelemetryRegistry()
+
+
+def get_registry() -> TelemetryRegistry:
+    """The process-wide default registry."""
+    return _GLOBAL_REGISTRY
+
+
+def set_spans_enabled(enabled: bool = True) -> None:
+    """Toggle span recording on the process-wide default registry."""
+    _GLOBAL_REGISTRY.enable_spans(enabled)
+
+
+def span(name: str, trace: Any = None, **labels: Any):
+    """A span on the process-wide default registry (no-op when disabled)."""
+    return _GLOBAL_REGISTRY.span(name, trace=trace, **labels)

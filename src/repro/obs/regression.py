@@ -1,0 +1,278 @@
+"""Tail-regression analysis over histogram telemetry reports.
+
+The CI regression gate (`benchmarks/check_regression.py`) historically
+compared throughput ratios only, so a p99 blowup -- say during shard
+rollover -- would merge clean as long as mean throughput held.  This
+module closes that hole: it diffs the **latency histograms** embedded in
+two load-run reports (the ``telemetry`` sections written by
+``repro load --out`` and by ``benchmarks/bench_server.py``) and flags
+distribution changes that a mean or a throughput ratio cannot see.
+
+Two scale-invariant checks per (section, query-kind) pair, chosen so the
+gate survives baselines recorded on different hardware:
+
+* **Tail amplification** -- ``p99 / p50`` and ``p999 / p50``.  Dividing
+  by the median cancels machine speed; what remains is the *shape* of
+  the tail.  The gate fails when the current amplification exceeds the
+  baseline amplification by more than ``tail_ratio_limit``.
+* **Bucket-shape shift** -- bucket frequency vectors are aligned by
+  shifting the current histogram by the whole-bucket offset of the
+  medians (again cancelling uniform machine-speed scaling), then
+  compared by total-variation distance.  A bimodal stall mode or a
+  fattened tail moves mass between buckets and trips this even when the
+  percentile summary happens to straddle it.
+
+Both checks are direction-aware: getting *faster* than baseline never
+fails.  Sections with fewer than ``min_count`` observations are skipped
+rather than judged on noise.
+
+Run standalone::
+
+    python -m repro.obs.regression BASELINE.json CURRENT.json
+
+Exit status: 0 clean, 1 tail regression found, 2 usage/input error.
+The same comparison is invoked in-process by
+``benchmarks/check_regression.py`` for ``server_load`` artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.obs.registry import LatencyHistogram
+
+__all__ = [
+    "Thresholds",
+    "collect_telemetry_sections",
+    "compare_histograms",
+    "compare_payloads",
+    "compare_telemetry",
+    "main",
+]
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Gate limits; defaults are deliberately generous.
+
+    A committed baseline re-checked on a different CI runner sees
+    scheduling jitter worth tens of percent; a genuine tail regression
+    (a lock convoy, a stall during rollover) shifts p99/p50 by integer
+    factors.  The defaults sit between the two.
+    """
+
+    #: Fail when current tail amplification > baseline amplification x this.
+    tail_ratio_limit: float = 2.5
+    #: Fail when median-aligned bucket total-variation distance > this.
+    shift_limit: float = 0.6
+    #: Skip sections with fewer observations than this (too noisy to judge).
+    min_count: int = 100
+
+
+def _amplification(histogram: LatencyHistogram, percentile: float) -> float:
+    median = histogram.percentile(50.0)
+    if median <= 0.0:
+        return math.nan
+    return histogram.percentile(percentile) / median
+
+
+def _aligned_total_variation(
+    baseline: LatencyHistogram, current: LatencyHistogram
+) -> float:
+    """TV distance between bucket frequencies after median alignment."""
+    base_median = baseline.percentile(50.0)
+    cur_median = current.percentile(50.0)
+    if base_median <= 0.0 or cur_median <= 0.0:
+        return 0.0
+    growth = baseline.scheme.growth
+    offset = round(math.log(cur_median / base_median) / math.log(growth))
+    base_counts = baseline.bucket_counts()
+    cur_counts = current.bucket_counts()
+    size = len(base_counts)
+    distance = 0.0
+    for index in range(size):
+        base_freq = base_counts[index] / baseline.count
+        shifted = index + offset
+        cur_freq = (
+            cur_counts[shifted] / current.count if 0 <= shifted < size else 0.0
+        )
+        distance += abs(base_freq - cur_freq)
+    return 0.5 * distance
+
+
+def compare_histograms(
+    baseline: LatencyHistogram,
+    current: LatencyHistogram,
+    *,
+    context: str,
+    thresholds: Thresholds = Thresholds(),
+) -> List[str]:
+    """Findings (empty when clean) for one baseline/current histogram pair."""
+    if baseline.count < thresholds.min_count or current.count < thresholds.min_count:
+        return []
+    findings: List[str] = []
+    for percentile, label in ((99.0, "p99"), (99.9, "p999")):
+        base_amp = _amplification(baseline, percentile)
+        cur_amp = _amplification(current, percentile)
+        if math.isnan(base_amp) or math.isnan(cur_amp):
+            continue
+        if cur_amp > base_amp * thresholds.tail_ratio_limit:
+            findings.append(
+                f"{context}: {label}/p50 amplification {cur_amp:.2f} exceeds "
+                f"baseline {base_amp:.2f} by more than the "
+                f"x{thresholds.tail_ratio_limit:g} limit "
+                f"({label}={current.percentile(percentile):.4g} ms, "
+                f"p50={current.percentile(50.0):.4g} ms)"
+            )
+    shift = _aligned_total_variation(baseline, current)
+    if shift > thresholds.shift_limit:
+        findings.append(
+            f"{context}: median-aligned bucket distribution moved "
+            f"(total-variation {shift:.3f} > limit {thresholds.shift_limit:g})"
+        )
+    return findings
+
+
+def compare_telemetry(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    *,
+    context: str = "telemetry",
+    thresholds: Thresholds = Thresholds(),
+) -> List[str]:
+    """Compare two report ``telemetry`` sections kind by kind."""
+    findings: List[str] = []
+    base_kinds = baseline.get("kinds", {})
+    cur_kinds = current.get("kinds", {})
+    for kind in sorted(set(base_kinds) & set(cur_kinds)):
+        base_hist = base_kinds[kind].get("histogram")
+        cur_hist = cur_kinds[kind].get("histogram")
+        if not base_hist or not cur_hist:
+            continue
+        findings.extend(
+            compare_histograms(
+                LatencyHistogram.from_dict(base_hist),
+                LatencyHistogram.from_dict(cur_hist),
+                context=f"{context}[{kind}]",
+                thresholds=thresholds,
+            )
+        )
+    return findings
+
+
+def collect_telemetry_sections(
+    document: Any, path: str = ""
+) -> Dict[str, Mapping[str, Any]]:
+    """Every ``telemetry`` section in a JSON document, keyed by its path.
+
+    Walks the document recursively, so the same analyzer consumes bare
+    ``repro load --out`` reports (telemetry at the top level) and
+    ``bench_server`` artifacts (one section per shard record plus the
+    ingest leg) without shape-specific plumbing.
+    """
+    sections: Dict[str, Mapping[str, Any]] = {}
+    if isinstance(document, Mapping):
+        telemetry = document.get("telemetry")
+        if isinstance(telemetry, Mapping) and isinstance(
+            telemetry.get("kinds"), Mapping
+        ):
+            sections[path or "<root>"] = telemetry
+        for key, value in document.items():
+            if key == "telemetry":
+                continue
+            child = f"{path}.{key}" if path else str(key)
+            sections.update(collect_telemetry_sections(value, child))
+    elif isinstance(document, list):
+        for index, value in enumerate(document):
+            sections.update(collect_telemetry_sections(value, f"{path}[{index}]"))
+    return sections
+
+
+def compare_payloads(
+    baseline: Any,
+    current: Any,
+    *,
+    thresholds: Thresholds = Thresholds(),
+) -> Tuple[List[str], int]:
+    """Compare every telemetry section shared by two report documents.
+
+    Returns ``(findings, compared_sections)``; a pair of documents with
+    no shared telemetry compares zero sections and passes vacuously (old
+    baselines recorded before telemetry existed stay accepted).
+    """
+    base_sections = collect_telemetry_sections(baseline)
+    cur_sections = collect_telemetry_sections(current)
+    findings: List[str] = []
+    shared = sorted(set(base_sections) & set(cur_sections))
+    for path in shared:
+        findings.extend(
+            compare_telemetry(
+                base_sections[path],
+                cur_sections[path],
+                context=path,
+                thresholds=thresholds,
+            )
+        )
+    return findings, len(shared)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.regression",
+        description=(
+            "Diff the latency-histogram telemetry of two load-run reports "
+            "and fail on tail regressions."
+        ),
+    )
+    parser.add_argument("baseline", type=Path, help="baseline report JSON")
+    parser.add_argument("current", type=Path, help="current report JSON")
+    parser.add_argument(
+        "--tail-ratio-limit",
+        type=float,
+        default=Thresholds.tail_ratio_limit,
+        help="max allowed growth factor of p99/p50 and p999/p50 "
+        "amplification vs baseline (default %(default)s)",
+    )
+    parser.add_argument(
+        "--shift-limit",
+        type=float,
+        default=Thresholds.shift_limit,
+        help="max allowed median-aligned total-variation distance "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--min-count",
+        type=int,
+        default=Thresholds.min_count,
+        help="skip histograms with fewer observations (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    thresholds = Thresholds(
+        tail_ratio_limit=args.tail_ratio_limit,
+        shift_limit=args.shift_limit,
+        min_count=args.min_count,
+    )
+    try:
+        baseline = json.loads(args.baseline.read_text())
+        current = json.loads(args.current.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    findings, compared = compare_payloads(baseline, current, thresholds=thresholds)
+    if findings:
+        print(f"TAIL REGRESSION ({len(findings)} finding(s)):")
+        for finding in findings:
+            print(f"  - {finding}")
+        return 1
+    print(f"tail gate clean ({compared} telemetry section(s) compared)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -18,6 +18,10 @@ Usage::
     # then shutting the daemon down cleanly
     repro load --port 9917 --count 2000 --verify-oracle --shutdown
 
+    # Dump the server's telemetry registry in Prometheus text format
+    repro metrics --port 9917
+    repro metrics --port 9917 --out metrics.prom
+
 ``serve-daemon`` runs in the foreground until Ctrl-C, a ``shutdown``
 request, or ``--max-seconds``; ``--ready-file`` writes ``host port`` once
 the socket is bound (for scripts and CI).  ``load`` fetches the node
@@ -26,6 +30,14 @@ the in-process workload layer would, and reports throughput plus exact
 per-kind latency percentiles; ``--verify-oracle`` downloads the served
 snapshot and replays the stream through the single-store linear oracle,
 failing (exit 1) unless the daemon's answers are byte-identical.
+
+``load --metrics-out FILE`` writes the load run's *client-side* registry
+(per-kind latency histograms and outcome counters) as Prometheus text;
+with ``--deterministic-timing`` recorded latencies are a pure hash of the
+query stream, so the file is byte-identical across repeated seeded runs.
+``metrics`` fetches the *server-side* registry over the wire ``metrics``
+op.  ``serve-daemon --trace-spans`` additionally records per-stage span
+histograms (``span_ms``) on the request path.
 """
 
 from __future__ import annotations
@@ -37,6 +49,7 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence
 
+from repro.obs.registry import TelemetryRegistry
 from repro.server.client import AsyncCoordinateClient
 from repro.server.daemon import CoordinateServer
 from repro.server.load import LOAD_MODES, run_load_async, synthetic_coordinates
@@ -92,6 +105,7 @@ def _cmd_serve_daemon(args: argparse.Namespace) -> int:
         port=args.port,
         max_in_flight_per_connection=args.window,
         admission_limit=args.admission_limit,
+        trace_spans=args.trace_spans,
     )
 
     async def serve() -> None:
@@ -178,6 +192,7 @@ async def _load_async(args: argparse.Namespace) -> int:
             k=args.k,
             radius_ms=args.radius,
         )
+        registry = TelemetryRegistry()
         report = await run_load_async(
             address,
             queries,
@@ -185,6 +200,8 @@ async def _load_async(args: argparse.Namespace) -> int:
             concurrency=args.concurrency,
             connections=args.connections,
             rate_qps=args.rate,
+            registry=registry,
+            deterministic_timing=args.deterministic_timing,
         )
         _print_load_report(report)
 
@@ -212,6 +229,9 @@ async def _load_async(args: argparse.Namespace) -> int:
         if args.out is not None:
             args.out.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
             print(f"load report written to {args.out}")
+        if args.metrics_out is not None:
+            args.metrics_out.write_text(registry.render_prometheus())
+            print(f"Prometheus metrics written to {args.metrics_out}")
         if args.shutdown:
             response = await client.op("shutdown")
             if response.get("ok"):
@@ -233,6 +253,37 @@ def _cmd_load(args: argparse.Namespace) -> int:
         return 2
     try:
         return asyncio.run(_load_async(args))
+    except ConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+# ----------------------------------------------------------------------
+# repro metrics
+# ----------------------------------------------------------------------
+async def _metrics_async(args: argparse.Namespace) -> int:
+    client = await AsyncCoordinateClient.connect(args.host, args.port)
+    try:
+        response = await client.op("metrics")
+    finally:
+        await client.close()
+    if not response.get("ok"):
+        print(
+            f"error: daemon refused metrics: {response.get('error')}", file=sys.stderr
+        )
+        return 2
+    text = response["payload"]["text"]
+    if args.out is not None:
+        args.out.write_text(text)
+        print(f"Prometheus metrics written to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    try:
+        return asyncio.run(_metrics_async(args))
     except ConnectionError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -298,6 +349,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stop automatically after this long (scripted runs)",
     )
+    serve.add_argument(
+        "--trace-spans",
+        action="store_true",
+        help="record per-stage span histograms (span_ms) on the request path",
+    )
     serve.set_defaults(handler=_cmd_serve_daemon)
 
     load = groups.add_parser(
@@ -338,7 +394,29 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument(
         "--out", type=Path, default=None, help="write the load report as JSON"
     )
+    load.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="write the load run's telemetry registry as Prometheus text",
+    )
+    load.add_argument(
+        "--deterministic-timing",
+        action="store_true",
+        help="record hash-derived synthetic latencies instead of the wall "
+        "clock, making histograms and --metrics-out byte-reproducible",
+    )
     load.set_defaults(handler=_cmd_load)
+
+    metrics = groups.add_parser(
+        "metrics", help="fetch a daemon's telemetry in Prometheus text format"
+    )
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument("--port", type=int, required=True)
+    metrics.add_argument(
+        "--out", type=Path, default=None, help="write to a file instead of stdout"
+    )
+    metrics.set_defaults(handler=_cmd_metrics)
 
     return parser
 

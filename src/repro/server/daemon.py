@@ -36,8 +36,11 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional, Tuple
 
+from repro.obs.registry import TelemetryRegistry
+from repro.obs.tracing import TraceRecorder, make_span
 from repro.server.protocol import (
     HEADER,
+    OPS,
     ProtocolError,
     decode_frame,
     encode_frame,
@@ -62,6 +65,8 @@ class CoordinateServer:
         max_in_flight_per_connection: int = 32,
         admission_limit: int = 1024,
         executor_workers: Optional[int] = None,
+        registry: Optional[TelemetryRegistry] = None,
+        trace_spans: bool = False,
     ) -> None:
         if max_in_flight_per_connection < 1:
             raise ValueError("max_in_flight_per_connection must be >= 1")
@@ -72,6 +77,11 @@ class CoordinateServer:
         self.port = port
         self.max_in_flight_per_connection = max_in_flight_per_connection
         self.admission_limit = admission_limit
+        #: The daemon adopts the store's registry by default, so one
+        #: ``metrics`` op renders store + daemon instruments together.
+        self.registry = registry if registry is not None else store.registry
+        if trace_spans:
+            self.registry.enable_spans(True)
         self._executor = ThreadPoolExecutor(
             max_workers=executor_workers or max(2, store.shards),
             thread_name_prefix="coordserve",
@@ -79,13 +89,50 @@ class CoordinateServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop_event: Optional[asyncio.Event] = None
-        self._in_flight = 0
+        #: The admission decision stays an atomic check-and-increment
+        #: under this lock; the registry instruments mirror the counts.
         self._stats_lock = threading.Lock()
-        self._admitted = 0
-        self._rejected_overload = 0
-        self._connections_total = 0
-        self._connections_open = 0
+        self._in_flight = 0
         self._max_in_flight_seen = 0
+        self._c_admitted = self.registry.counter(
+            "daemon_admitted_total", "Requests admitted past the limiter."
+        )
+        self._c_rejected = self.registry.counter(
+            "daemon_rejected_overload_total", "Requests shed by admission control."
+        )
+        self._c_connections = self.registry.counter(
+            "daemon_connections_total", "Client connections accepted."
+        )
+        self._g_connections_open = self.registry.gauge(
+            "daemon_connections_open", "Currently open client connections."
+        )
+        self._g_in_flight = self.registry.gauge(
+            "daemon_in_flight", "Requests currently admitted and executing."
+        )
+        self._g_in_flight_max = self.registry.gauge(
+            "daemon_in_flight_max", "High-water mark of admitted requests."
+        )
+
+    def _count_error(self, op: Any) -> None:
+        """Per-op error accounting (satellite: the stats op reports these)."""
+        label = op if isinstance(op, str) and op in OPS else "invalid"
+        self.registry.counter(
+            "daemon_errors_total", "Error responses by requested op.", op=label
+        ).inc()
+
+    def error_stats(self) -> Dict[str, Any]:
+        """The ``errors`` section of the stats payload: per-op counts.
+
+        ``by_op`` holds only ops that actually failed (requests whose op
+        was missing or unknown count under ``"invalid"``); ``total`` sums
+        them, so the old single global view is still one key away.
+        """
+        by_op: Dict[str, int] = {}
+        for op in (*OPS, "invalid"):
+            count = self.registry.counter("daemon_errors_total", op=op).value
+            if count:
+                by_op[op] = count
+        return {"by_op": by_op, "total": sum(by_op.values())}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -135,9 +182,8 @@ class CoordinateServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        with self._stats_lock:
-            self._connections_total += 1
-            self._connections_open += 1
+        self._c_connections.inc()
+        self._g_connections_open.inc()
         window = asyncio.Semaphore(self.max_in_flight_per_connection)
         responses: "asyncio.Queue[Optional[asyncio.Task]]" = asyncio.Queue()
         writer_task = asyncio.create_task(
@@ -163,6 +209,7 @@ class CoordinateServer:
                     break
         except ProtocolError as exc:
             # A corrupt frame poisons the stream; report once and drop.
+            self._count_error(None)
             await window.acquire()
             failed: asyncio.Future = asyncio.get_running_loop().create_future()
             failed.set_result({"id": None, "ok": False, "error": str(exc)})
@@ -177,8 +224,7 @@ class CoordinateServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
-            with self._stats_lock:
-                self._connections_open -= 1
+            self._g_connections_open.dec()
             if shutdown_requested:
                 self.stop()
 
@@ -211,17 +257,26 @@ class CoordinateServer:
     def _admit(self) -> bool:
         with self._stats_lock:
             if self._in_flight >= self.admission_limit:
-                self._rejected_overload += 1
-                return False
-            self._in_flight += 1
-            self._admitted += 1
-            if self._in_flight > self._max_in_flight_seen:
-                self._max_in_flight_seen = self._in_flight
-            return True
+                admitted = False
+            else:
+                admitted = True
+                self._in_flight += 1
+                if self._in_flight > self._max_in_flight_seen:
+                    self._max_in_flight_seen = self._in_flight
+                in_flight = self._in_flight
+        if not admitted:
+            self._c_rejected.inc()
+            return False
+        self._c_admitted.inc()
+        self._g_in_flight.set(in_flight)
+        self._g_in_flight_max.update_max(in_flight)
+        return True
 
     def _release(self) -> None:
         with self._stats_lock:
             self._in_flight -= 1
+            in_flight = self._in_flight
+        self._g_in_flight.set(in_flight)
 
     async def _process(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Dispatch one request; never raises (the response carries errors).
@@ -232,15 +287,35 @@ class CoordinateServer:
         ``shutdown`` op) must echo the request's id.
         """
         request_id = request.get("id")
+        op = request.get("op")
+        # Per-request tracing is explicitly propagated (not contextvars:
+        # those do not follow values into run_in_executor threads).
+        trace = TraceRecorder() if request.get("trace") else None
+        span_op = op if isinstance(op, str) and op in OPS else "invalid"
         try:
-            return await self._process_admitted(request, request_id)
+            with make_span(self.registry, "daemon.request", trace, {"op": span_op}):
+                response = await self._process_admitted(request, request_id, trace)
         except Exception as exc:
-            return {"id": request_id, "ok": False, "error": f"internal error: {exc}"}
+            response = {
+                "id": request_id,
+                "ok": False,
+                "error": f"internal error: {exc}",
+            }
+        if not response.get("ok"):
+            self._count_error(op)
+        if trace is not None:
+            response["trace"] = trace.as_payload()
+        return response
 
     async def _process_admitted(
-        self, request: Dict[str, Any], request_id: Any
+        self,
+        request: Dict[str, Any],
+        request_id: Any,
+        trace: Optional[TraceRecorder] = None,
     ) -> Dict[str, Any]:
-        if not self._admit():
+        with make_span(self.registry, "daemon.admission", trace, {}):
+            admitted = self._admit()
+        if not admitted:
             return {
                 "id": request_id,
                 "ok": False,
@@ -259,7 +334,7 @@ class CoordinateServer:
             if query is not None:
                 loop = asyncio.get_running_loop()
                 return await loop.run_in_executor(
-                    self._executor, self._serve_query, request_id, query
+                    self._executor, self._serve_query, request_id, query, trace
                 )
             if op == "ping":
                 return {"id": request_id, "ok": True, "payload": {"pong": True}}
@@ -278,7 +353,17 @@ class CoordinateServer:
             if op == "stats":
                 payload = self.store.stats()
                 payload["admission"] = self.admission_stats()
+                payload["errors"] = self.error_stats()
                 return {"id": request_id, "ok": True, "payload": payload}
+            if op == "metrics":
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    "payload": {
+                        "content_type": "text/plain; version=0.0.4",
+                        "text": self.registry.render_prometheus(),
+                    },
+                }
             if op == "nodes":
                 generation = self.store.generation()
                 return {
@@ -309,10 +394,12 @@ class CoordinateServer:
         finally:
             self._release()
 
-    def _serve_query(self, request_id: Any, query) -> Dict[str, Any]:
+    def _serve_query(
+        self, request_id: Any, query, trace: Optional[TraceRecorder] = None
+    ) -> Dict[str, Any]:
         """Executed on the thread pool: pin a generation, serve, respond."""
         try:
-            payload, version, cached = self.store.serve(query)
+            payload, version, cached = self.store.serve(query, trace=trace)
         except QueryError as exc:
             return {"id": request_id, "ok": False, "error": str(exc)}
         return {
@@ -328,16 +415,18 @@ class CoordinateServer:
     # ------------------------------------------------------------------
     def admission_stats(self) -> Dict[str, Any]:
         with self._stats_lock:
-            return {
-                "limit": self.admission_limit,
-                "per_connection_window": self.max_in_flight_per_connection,
-                "in_flight": self._in_flight,
-                "max_in_flight": self._max_in_flight_seen,
-                "admitted": self._admitted,
-                "rejected_overload": self._rejected_overload,
-                "connections_total": self._connections_total,
-                "connections_open": self._connections_open,
-            }
+            in_flight = self._in_flight
+            max_in_flight = self._max_in_flight_seen
+        return {
+            "limit": self.admission_limit,
+            "per_connection_window": self.max_in_flight_per_connection,
+            "in_flight": in_flight,
+            "max_in_flight": max_in_flight,
+            "admitted": self._c_admitted.value,
+            "rejected_overload": self._c_rejected.value,
+            "connections_total": self._c_connections.value,
+            "connections_open": int(self._g_connections_open.value),
+        }
 
 
 class ServerThread:

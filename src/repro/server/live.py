@@ -78,6 +78,11 @@ class LiveServingHarness:
             cache_entries=cache_entries,
         )
         self.server = CoordinateServer(self.store, admission_limit=4096)
+        #: The server-side telemetry registry (store + daemon instruments;
+        #: the daemon adopts the store's).  Client-side load telemetry
+        #: lives in each leg's LoadReport instead, so daemon-observed and
+        #: client-observed latency never mix in one instrument.
+        self.registry = self.server.registry
         self._server_thread: Optional[ServerThread] = None
         self._driver: Optional[threading.Thread] = None
         self._driver_report: Optional[LoadReport] = None
@@ -245,6 +250,8 @@ class LiveServingHarness:
             profile["measured_serve_s"] = round(measured.elapsed_s, 6)
             for kind, summary in measured.kinds.items():
                 profile[f"measured_{kind}_p99_ms"] = summary["p99_ms"]
+            for kind, summary in measured.telemetry.get("kinds", {}).items():
+                profile[f"measured_{kind}_p999_ms"] = summary["p999_ms"]
         if profile is not None and live is not None:
             # Which versions the live stream happened to hit is timing-
             # dependent, so it rides with the wall-clock profile, never
@@ -260,6 +267,10 @@ class LiveServingHarness:
         return metrics, payload
 
     # ------------------------------------------------------------------
+    def metrics_text(self) -> str:
+        """The server-side registry rendered as Prometheus text."""
+        return self.registry.render_prometheus()
+
     @property
     def address(self) -> Tuple[str, int]:
         assert self._server_thread is not None and self._server_thread.address

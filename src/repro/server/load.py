@@ -19,19 +19,36 @@ store: ``payload_checksum(load.results) == payload_checksum(oracle)``.
 
 Per-kind latency percentiles are exact (the reservoir capacity is sized
 above the query count) and reported in milliseconds.
+
+**Telemetry.** Every run feeds a :class:`~repro.obs.registry
+.TelemetryRegistry` (a fresh one per run unless the caller passes its
+own): per-kind mergeable latency histograms plus outcome counters.  The
+registry renders to Prometheus text for ``repro load --metrics-out``,
+and the report's ``telemetry`` section embeds the per-kind histograms so
+two runs' distributions can be diffed by :mod:`repro.obs.regression`.
+
+**Deterministic timing.** With ``deterministic_timing=True`` the
+recorded per-query latency is a pure hash of ``(position, kind)`` -- a
+log-uniform synthetic value -- instead of the wall clock.  Latencies are
+folded into the estimators and histograms *in query-stream order* after
+the run, independent of async completion interleaving, so a seeded
+workload yields byte-identical telemetry (and Prometheus text) on every
+run -- the property the histogram determinism tests pin down.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from types import SimpleNamespace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.coordinate import Coordinate
+from repro.obs.registry import TelemetryRegistry
 from repro.server.client import AsyncCoordinateClient
 from repro.server.protocol import query_to_request
 from repro.service.planner import Query
@@ -48,6 +65,20 @@ __all__ = [
 
 #: Load-generation modes.
 LOAD_MODES = ("closed", "open")
+
+
+def deterministic_latency_ms(position: int, kind: str) -> float:
+    """A synthetic per-query latency: a pure hash of (position, kind).
+
+    Log-uniform over [0.1, 10) ms.  Being independent of the wall clock
+    *and* of async completion order, it makes a seeded workload's whole
+    telemetry output reproducible bit for bit.
+    """
+    digest = hashlib.blake2b(
+        f"load-latency:{kind}:{position}".encode(), digest_size=8
+    ).digest()
+    uniform = int.from_bytes(digest, "big") / 2.0**64
+    return 0.1 * 10.0 ** (2.0 * uniform)
 
 
 def synthetic_arrays(
@@ -100,6 +131,8 @@ class LoadReport:
     versions: Tuple[int, ...]
     #: For open mode: the offered arrival rate (None in closed mode).
     offered_qps: Optional[float] = None
+    #: Histogram-backed per-kind tail summary (p50/p99/p999 + buckets).
+    telemetry: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def queries_per_s(self) -> float:
@@ -108,7 +141,12 @@ class LoadReport:
         return self.query_count / self.elapsed_s
 
     def as_dict(self) -> Dict[str, Any]:
-        """JSON-safe summary (responses elided)."""
+        """JSON-safe summary (responses elided).
+
+        The ``telemetry`` key is additive: every pre-existing key keeps
+        its exact meaning, so older report consumers are unaffected (the
+        schema-stability test pins this).
+        """
         return {
             "mode": self.mode,
             "query_count": self.query_count,
@@ -121,6 +159,7 @@ class LoadReport:
             "kinds": self.kinds,
             "checksum": self.checksum,
             "versions": list(self.versions),
+            "telemetry": self.telemetry,
         }
 
 
@@ -133,6 +172,8 @@ async def run_load_async(
     connections: int = 1,
     rate_qps: Optional[float] = None,
     max_in_flight: int = 1024,
+    registry: Optional[TelemetryRegistry] = None,
+    deterministic_timing: bool = False,
 ) -> LoadReport:
     """Drive ``queries`` through a running daemon and summarise."""
     if mode not in LOAD_MODES:
@@ -143,20 +184,26 @@ async def run_load_async(
         raise ValueError("connections must be >= 1")
     if mode == "open" and (rate_qps is None or rate_qps <= 0.0):
         raise ValueError("open mode needs a positive rate_qps")
+    if registry is None:
+        registry = TelemetryRegistry()
 
     clients = [
         await AsyncCoordinateClient.connect(*address) for _ in range(connections)
     ]
     responses: List[Optional[Dict[str, Any]]] = [None] * len(queries)
-    latency = {
-        kind: StreamingPercentile(capacity=max(len(queries), 1))
-        for kind in ("knn", "nearest", "range", "pairwise", "centroid")
-    }
+    #: Raw per-query latency in ms, indexed by stream position; folded
+    #: into estimators/histograms in stream order after the run so the
+    #: telemetry is independent of completion interleaving.
+    measured: List[Optional[float]] = [None] * len(queries)
     requests = [query_to_request(query, None) for query in queries]
 
     async def issue(position: int, client: AsyncCoordinateClient, sent_at: float) -> None:
         response = await client.request(requests[position])
-        latency[queries[position].kind].add((time.perf_counter() - sent_at) * 1e3)
+        measured[position] = (
+            deterministic_latency_ms(position, queries[position].kind)
+            if deterministic_timing
+            else (time.perf_counter() - sent_at) * 1e3
+        )
         responses[position] = response
 
     started = time.perf_counter()
@@ -205,7 +252,34 @@ async def run_load_async(
         1 for response in responses if response and response.get("overloaded")
     )
     errors = len(responses) - ok
+
+    # Fold latencies in stream order: exact reservoir + registry histogram
+    # receive the identical value sequence, so the histogram-derived tails
+    # are one bucket width from the exact ones by construction.
+    latency = {
+        kind: StreamingPercentile(capacity=max(len(queries), 1))
+        for kind in ("knn", "nearest", "range", "pairwise", "centroid")
+    }
+    histograms = {
+        kind: registry.histogram(
+            "load_latency_ms", "Client-observed query latency.", kind=kind
+        )
+        for kind in latency
+    }
+    for position, value in enumerate(measured):
+        if value is None:
+            continue
+        kind = queries[position].kind
+        latency[kind].add(value)
+        histograms[kind].observe(value)
+    registry.counter("load_requests_total", "Load-run responses.", outcome="ok").inc(ok)
+    registry.counter("load_requests_total", outcome="error").inc(errors)
+    registry.counter(
+        "load_overloaded_total", "Responses shed by daemon admission control."
+    ).inc(overloaded)
+
     kinds: Dict[str, Dict[str, Any]] = {}
+    telemetry_kinds: Dict[str, Dict[str, Any]] = {}
     for kind, summary in latency.items():
         if summary.count:
             kinds[kind] = {
@@ -214,6 +288,19 @@ async def run_load_async(
                 "p99_ms": round(summary.percentile(99.0), 4),
                 "latency_exact": summary.is_exact,
             }
+            telemetry_kinds[kind] = {
+                "count": summary.count,
+                "p50_ms": round(summary.percentile(50.0), 4),
+                "p99_ms": round(summary.percentile(99.0), 4),
+                "p999_ms": round(summary.percentile(99.9), 4),
+                "latency_exact": summary.is_exact,
+                "histogram": histograms[kind].to_dict(),
+            }
+    telemetry = {
+        "unit": "ms",
+        "deterministic_timing": deterministic_timing,
+        "kinds": telemetry_kinds,
+    }
     checksum = payload_checksum(
         [
             SimpleNamespace(payload=(response or {}).get("payload"))
@@ -241,6 +328,7 @@ async def run_load_async(
         # Only an open loop *offers* a rate; a stray rate_qps passed with
         # closed mode must not masquerade as an offered-load figure.
         offered_qps=float(rate_qps) if mode == "open" and rate_qps else None,
+        telemetry=telemetry,
     )
 
 

@@ -33,12 +33,18 @@ Operations
 ``distance``  ``a``, ``b`` -> planner pairwise payload
 ``centroid``  ``members`` (list, may be empty) -> planner centroid payload
 ``version``   -> ``{"version": int, "nodes": int, "source": str}``
-``stats``     -> serving/ingest/admission counters (JSON-safe)
+``stats``     -> serving/ingest/admission/error counters (JSON-safe)
+``metrics``   -> ``{"content_type": str, "text": str}`` -- the server's
+                 telemetry registry rendered in Prometheus text format
 ``nodes``     -> ``{"node_ids": [...], "version": int}``
 ``snapshot``  -> the full snapshot dict (``CoordinateSnapshot.to_dict``)
 ``ping``      -> ``{"pong": true}``
 ``shutdown``  -> ``{"stopping": true}`` and the daemon begins shutdown
 ========== ==========================================================
+
+Any request may additionally set ``"trace": true``; the response then
+carries a ``trace`` list of per-stage ``{"stage", ..., "ms"}`` entries
+(admission, cache probe, per-shard scatter, merge) for that one request.
 
 The module is deliberately dependency-light (no asyncio imports) so both
 the asyncio daemon and synchronous tools can share it.
@@ -81,6 +87,7 @@ OPS = (
     "centroid",
     "version",
     "stats",
+    "metrics",
     "nodes",
     "snapshot",
     "ping",

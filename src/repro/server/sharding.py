@@ -47,12 +47,13 @@ import copy
 import hashlib
 import threading
 import time
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.coordinate import Coordinate, centroid
+from repro.obs.registry import Counter, LatencyHistogram, TelemetryRegistry
+from repro.obs.tracing import NOOP_SPAN, TraceRecorder, make_span
 from repro.overlay.knn import CoordinateIndex
 from repro.service.index import INDEX_KINDS
 from repro.service.planner import LRUTTLCache, Query, QueryError, QUERY_KINDS
@@ -60,6 +61,13 @@ from repro.service.snapshot import SnapshotStore
 from repro.stats.percentile import StreamingPercentile
 
 __all__ = ["ShardedCoordinateStore", "ShardGeneration", "shard_of"]
+
+
+def _span(registry: Optional[TelemetryRegistry], name: str, trace, **labels):
+    """A span when a registry is attached; the shared no-op otherwise."""
+    if registry is None:
+        return NOOP_SPAN
+    return make_span(registry, name, trace, labels)
 
 
 def shard_of(node_id: str, shards: int) -> int:
@@ -129,13 +137,21 @@ class ShardGeneration:
         merged.sort(key=lambda pair: (pair[1], self.global_seq[pair[0]]))
         return merged if limit is None else merged[:limit]
 
-    def knn(self, target: str, k: int) -> Dict[str, Any]:
+    def knn(
+        self,
+        target: str,
+        k: int,
+        *,
+        registry: Optional[TelemetryRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> Dict[str, Any]:
         coordinate = self._coordinate_of(target)
-        partials = [
-            index.nearest(coordinate, k, exclude=[target])
-            for index in self.shard_indexes
-        ]
-        neighbors = self._merge(partials, k)
+        partials = []
+        for shard, index in enumerate(self.shard_indexes):
+            with _span(registry, "query.scatter", trace, shard=shard):
+                partials.append(index.nearest(coordinate, k, exclude=[target]))
+        with _span(registry, "query.merge", trace):
+            neighbors = self._merge(partials, k)
         return {
             "target": target,
             "neighbors": [
@@ -144,10 +160,21 @@ class ShardGeneration:
             ],
         }
 
-    def range(self, target: str, radius_ms: float) -> Dict[str, Any]:
+    def range(
+        self,
+        target: str,
+        radius_ms: float,
+        *,
+        registry: Optional[TelemetryRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> Dict[str, Any]:
         coordinate = self._coordinate_of(target)
-        partials = [index.within(coordinate, radius_ms) for index in self.shard_indexes]
-        hits = self._merge(partials, None)
+        partials = []
+        for shard, index in enumerate(self.shard_indexes):
+            with _span(registry, "query.scatter", trace, shard=shard):
+                partials.append(index.within(coordinate, radius_ms))
+        with _span(registry, "query.merge", trace):
+            hits = self._merge(partials, None)
         return {
             "target": target,
             "radius_ms": radius_ms,
@@ -166,14 +193,24 @@ class ShardGeneration:
             raise QueryError(f"unknown node {missing!r}")
         return {"pair": [first, second], "predicted_rtt_ms": a.distance(b)}
 
-    def centroid(self, members: Tuple[str, ...]) -> Dict[str, Any]:
+    def centroid(
+        self,
+        members: Tuple[str, ...],
+        *,
+        registry: Optional[TelemetryRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> Dict[str, Any]:
         chosen = members or tuple(self.node_order)
         coordinates = [self._coordinate_of(node_id) for node_id in chosen]
         if not coordinates:
             raise QueryError("centroid query over an empty snapshot")
         point = centroid(coordinates)
-        partials = [index.nearest(point, 1) for index in self.shard_indexes]
-        nearest = self._merge(partials, 1)
+        partials = []
+        for shard, index in enumerate(self.shard_indexes):
+            with _span(registry, "query.scatter", trace, shard=shard):
+                partials.append(index.nearest(point, 1))
+        with _span(registry, "query.merge", trace):
+            nearest = self._merge(partials, 1)
         return {
             "members": len(chosen),
             "centroid": list(point.components),
@@ -181,40 +218,112 @@ class ShardGeneration:
             "nearest_rtt_ms": nearest[0][1] if nearest else None,
         }
 
-    def answer(self, query: Query) -> Any:
+    def answer(
+        self,
+        query: Query,
+        *,
+        registry: Optional[TelemetryRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> Any:
         """The oracle-identical payload for one service-layer query."""
         if query.kind in ("knn", "nearest"):
-            return self.knn(query.target, query.k if query.kind == "knn" else 1)
+            return self.knn(
+                query.target,
+                query.k if query.kind == "knn" else 1,
+                registry=registry,
+                trace=trace,
+            )
         if query.kind == "range":
-            return self.range(query.target, query.radius_ms)
+            return self.range(
+                query.target, query.radius_ms, registry=registry, trace=trace
+            )
         if query.kind == "pairwise":
             return self.distance(*query.pair)
         if query.kind == "centroid":
-            return self.centroid(query.members)
+            return self.centroid(query.members, registry=registry, trace=trace)
         raise QueryError(f"unknown query kind {query.kind!r}")  # pragma: no cover
 
 
-@dataclass(slots=True)
-class _ServeStats:
-    """Mutable per-query-kind serving counters (guarded by the stats lock)."""
+#: Reservoir size for the exact per-kind latency percentiles.
+_LATENCY_RESERVOIR = 65536
 
-    served: int = 0
-    cache_hits: int = 0
-    errors: int = 0
-    latency_us: StreamingPercentile = field(
-        default_factory=lambda: StreamingPercentile(capacity=65536)
+
+class _ServeStats:
+    """Per-query-kind serving instruments.
+
+    Counts and the mergeable latency histogram live in the store's
+    telemetry registry (each instrument carries its own lock), so serving
+    threads never touch the store-wide stats lock for bookkeeping.  The
+    *exact* percentile read-out (``p50_us``/``p99_us`` in ``stats()``)
+    additionally keeps one :class:`StreamingPercentile` per executor
+    thread -- recorded lock-free via a thread-local -- and folds them
+    together with :meth:`StreamingPercentile.merge` only when stats are
+    read.  Below the reservoir capacity the merge is a concatenation, so
+    the folded answer equals a single shared estimator's, without the
+    shared lock.
+    """
+
+    __slots__ = (
+        "kind",
+        "served",
+        "cache_hits",
+        "errors",
+        "latency_ms",
+        "_local",
+        "_estimators",
+        "_lock",
     )
+
+    def __init__(self, kind: str, registry: TelemetryRegistry) -> None:
+        self.kind = kind
+        self.served: Counter = registry.counter(
+            "store_served_total", "Queries served by the sharded store.", kind=kind
+        )
+        self.cache_hits: Counter = registry.counter(
+            "store_cache_hits_total", "Result-cache hits.", kind=kind
+        )
+        self.errors: Counter = registry.counter(
+            "store_errors_total", "Queries that raised QueryError.", kind=kind
+        )
+        self.latency_ms: LatencyHistogram = registry.histogram(
+            "store_serve_latency_ms",
+            "Uncached serve latency in milliseconds.",
+            kind=kind,
+        )
+        self._local = threading.local()
+        self._estimators: List[StreamingPercentile] = []
+        self._lock = threading.Lock()
+
+    def record_latency(self, elapsed_us: float) -> None:
+        estimator = getattr(self._local, "estimator", None)
+        if estimator is None:
+            estimator = StreamingPercentile(capacity=_LATENCY_RESERVOIR)
+            with self._lock:
+                self._estimators.append(estimator)
+            self._local.estimator = estimator
+        estimator.add(elapsed_us)
+        self.latency_ms.observe(elapsed_us / 1e3)
+
+    def merged_latency_us(self) -> StreamingPercentile:
+        """All per-thread estimators folded into one (read-time merge)."""
+        merged = StreamingPercentile(capacity=_LATENCY_RESERVOIR)
+        with self._lock:
+            estimators = list(self._estimators)
+        for estimator in estimators:
+            merged.merge(estimator)
+        return merged
 
     def as_dict(self) -> Dict[str, Any]:
         summary: Dict[str, Any] = {
-            "served": self.served,
-            "cache_hits": self.cache_hits,
-            "errors": self.errors,
+            "served": self.served.value,
+            "cache_hits": self.cache_hits.value,
+            "errors": self.errors.value,
         }
-        if self.latency_us.count:
-            summary["p50_us"] = self.latency_us.percentile(50.0)
-            summary["p99_us"] = self.latency_us.percentile(99.0)
-            summary["latency_exact"] = self.latency_us.is_exact
+        latency_us = self.merged_latency_us()
+        if latency_us.count:
+            summary["p50_us"] = latency_us.percentile(50.0)
+            summary["p99_us"] = latency_us.percentile(99.0)
+            summary["latency_exact"] = latency_us.is_exact
         return summary
 
 
@@ -236,6 +345,7 @@ class ShardedCoordinateStore:
         cache_entries: int = 8192,
         cache_ttl_s: float = float("inf"),
         timer: Callable[[], float] = time.perf_counter,
+        registry: Optional[TelemetryRegistry] = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -247,6 +357,9 @@ class ShardedCoordinateStore:
         self.index_kind = index_kind
         self.history = history
         self._timer = timer
+        #: All serving/ingest instruments; the daemon adopts this registry
+        #: so one ``metrics`` render covers the whole server.
+        self.registry = registry if registry is not None else TelemetryRegistry()
         #: Serialises publishes; serving never takes it.
         self._ingest_lock = threading.Lock()
         #: Guards cache + stats bookkeeping (short critical sections).
@@ -266,11 +379,26 @@ class ShardedCoordinateStore:
         self._generations: Dict[int, ShardGeneration] = {0: empty}
         self.cache = LRUTTLCache(cache_entries, cache_ttl_s)
         self._serve_stats: Dict[str, _ServeStats] = {
-            kind: _ServeStats() for kind in QUERY_KINDS
+            kind: _ServeStats(kind, self.registry) for kind in QUERY_KINDS
         }
-        self._publishes = 0
-        self._last_publish_s = 0.0
-        self._ingested_nodes = 0
+        self._c_publishes = self.registry.counter(
+            "store_publishes_total", "Generations published."
+        )
+        self._c_nodes_ingested = self.registry.counter(
+            "store_nodes_ingested_total", "Nodes ingested across all publishes."
+        )
+        self._g_last_publish_s = self.registry.gauge(
+            "store_last_publish_seconds", "Duration of the latest publish."
+        )
+        self._h_publish_ms = self.registry.histogram(
+            "store_publish_ms", "Generation build-and-install time."
+        )
+        self._g_version = self.registry.gauge(
+            "store_version", "Currently served generation version."
+        )
+        self._g_nodes = self.registry.gauge(
+            "store_nodes", "Node count of the current generation."
+        )
 
     # ------------------------------------------------------------------
     # Ingest (whole-population epochs and incremental commits)
@@ -388,11 +516,15 @@ class ShardedCoordinateStore:
         # The swap: a single reference assignment.  Readers see either the
         # whole old generation or the whole new one, never a mixture.
         self._generation = generation
+        elapsed_s = self._timer() - started
         with self._stats_lock:
             self.cache.current_version = generation.version
-            self._publishes += 1
-            self._ingested_nodes += len(generation)
-            self._last_publish_s = self._timer() - started
+        self._c_publishes.inc()
+        self._c_nodes_ingested.inc(len(generation))
+        self._g_last_publish_s.set(elapsed_s)
+        self._h_publish_ms.observe(elapsed_s * 1e3)
+        self._g_version.set(generation.version)
+        self._g_nodes.set(len(generation))
 
     # ------------------------------------------------------------------
     # Serving
@@ -415,7 +547,11 @@ class ShardedCoordinateStore:
         return self._generation.version
 
     def serve(
-        self, query: Query, *, generation: Optional[ShardGeneration] = None
+        self,
+        query: Query,
+        *,
+        generation: Optional[ShardGeneration] = None,
+        trace: Optional[TraceRecorder] = None,
     ) -> Tuple[Any, int, bool]:
         """Answer one query: ``(payload, snapshot_version, cached)``.
 
@@ -423,23 +559,27 @@ class ShardedCoordinateStore:
         are cached keyed on ``(version, query)`` -- an answer can never
         leak across generations -- and failures raise
         :class:`~repro.service.planner.QueryError` after being counted.
+
+        Passing a :class:`TraceRecorder` collects per-stage durations
+        (cache probe, per-shard scatter, merge) for this one request even
+        when the registry's spans are globally disabled.
         """
         pinned = generation if generation is not None else self._generation
         stats = self._serve_stats[query.kind]
         key = (pinned.version, query)
-        with self._stats_lock:
-            found, payload = self.cache.get(key)
-            if found:
-                stats.served += 1
-                stats.cache_hits += 1
+        with _span(self.registry, "store.cache", trace, kind=query.kind):
+            with self._stats_lock:
+                found, payload = self.cache.get(key)
         if found:
+            stats.served.inc()
+            stats.cache_hits.inc()
             return copy.deepcopy(payload), pinned.version, True
         started = self._timer()
         try:
-            payload = pinned.answer(query)
+            with _span(self.registry, "store.serve", trace, kind=query.kind):
+                payload = pinned.answer(query, registry=self.registry, trace=trace)
         except QueryError:
-            with self._stats_lock:
-                stats.errors += 1
+            stats.errors.inc()
             raise
         elapsed_us = (self._timer() - started) * 1e6
         # Copied outside the lock: a large range payload's deep copy must
@@ -447,8 +587,8 @@ class ShardedCoordinateStore:
         cached_copy = copy.deepcopy(payload)
         with self._stats_lock:
             self.cache.put(key, cached_copy)
-            stats.served += 1
-            stats.latency_us.add(elapsed_us)
+        stats.served.inc()
+        stats.record_latency(elapsed_us)
         return payload, pinned.version, False
 
     # ------------------------------------------------------------------
@@ -457,12 +597,12 @@ class ShardedCoordinateStore:
     def stats(self) -> Dict[str, Any]:
         """Serving, cache, ingest and shard-occupancy counters (JSON-safe)."""
         generation = self._generation
+        kinds = {
+            kind: stats.as_dict()
+            for kind, stats in self._serve_stats.items()
+            if stats.served.value or stats.errors.value
+        }
         with self._stats_lock:
-            kinds = {
-                kind: stats.as_dict()
-                for kind, stats in self._serve_stats.items()
-                if stats.served or stats.errors
-            }
             cache = {
                 "entries": len(self.cache),
                 "hits": self.cache.hits,
@@ -471,11 +611,11 @@ class ShardedCoordinateStore:
                 "evictions_lru": self.cache.evictions_lru,
                 "evictions_rollover": self.cache.evictions_rollover,
             }
-            ingest = {
-                "versions_published": self._publishes,
-                "nodes_ingested": self._ingested_nodes,
-                "last_publish_s": round(self._last_publish_s, 6),
-            }
+        ingest = {
+            "versions_published": self._c_publishes.value,
+            "nodes_ingested": self._c_nodes_ingested.value,
+            "last_publish_s": round(self._g_last_publish_s.value, 6),
+        }
         return {
             "version": generation.version,
             "nodes": len(generation),

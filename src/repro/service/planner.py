@@ -41,10 +41,11 @@ from __future__ import annotations
 import copy
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.coordinate import centroid
+from repro.obs.registry import TelemetryRegistry
 from repro.service.snapshot import CoordinateSnapshot, SnapshotStore
 from repro.stats.percentile import StreamingPercentile
 
@@ -223,24 +224,46 @@ class LRUTTLCache:
         self._entries.clear()
 
 
-@dataclass(slots=True)
 class _KindStats:
-    """Mutable per-query-kind accounting."""
+    """Per-query-kind accounting backed by registry instruments.
 
-    submitted: int = 0
-    executed: int = 0
-    cache_hits: int = 0
-    errors: int = 0
-    latency_us: StreamingPercentile = field(
-        default_factory=lambda: StreamingPercentile(capacity=8192)
-    )
+    The counts live in telemetry counters (shared with the Prometheus
+    rendering); the exact-percentile reservoir stays local because the
+    ``p50_us``/``p99_us`` stats keys promise exactness below capacity,
+    which a bucketed histogram cannot give -- the registry histogram
+    records the same latencies for merging and tail analysis.
+    """
+
+    __slots__ = ("submitted", "executed", "cache_hits", "errors", "latency_us", "latency_ms")
+
+    def __init__(self, kind: str, registry: TelemetryRegistry) -> None:
+        self.submitted = registry.counter(
+            "planner_submitted_total", "Queries staged or executed.", kind=kind
+        )
+        self.executed = registry.counter(
+            "planner_executed_total", "Queries answered by the index.", kind=kind
+        )
+        self.cache_hits = registry.counter(
+            "planner_cache_hits_total", "Result-cache hits.", kind=kind
+        )
+        self.errors = registry.counter(
+            "planner_errors_total", "Queries that raised QueryError.", kind=kind
+        )
+        self.latency_us = StreamingPercentile(capacity=8192)
+        self.latency_ms = registry.histogram(
+            "planner_serve_latency_ms", "Uncached planner serve latency.", kind=kind
+        )
+
+    def record_latency(self, elapsed_us: float) -> None:
+        self.latency_us.add(elapsed_us)
+        self.latency_ms.observe(elapsed_us / 1e3)
 
     def as_dict(self) -> Dict[str, Any]:
         summary: Dict[str, Any] = {
-            "submitted": self.submitted,
-            "executed": self.executed,
-            "cache_hits": self.cache_hits,
-            "errors": self.errors,
+            "submitted": self.submitted.value,
+            "executed": self.executed.value,
+            "cache_hits": self.cache_hits.value,
+            "errors": self.errors.value,
         }
         if self.latency_us.count:
             summary["p50_us"] = self.latency_us.percentile(50.0)
@@ -260,18 +283,28 @@ class QueryPlanner:
         cache_ttl_s: float = float("inf"),
         clock: Callable[[], float] = time.monotonic,
         timer: Callable[[], float] = time.perf_counter,
+        registry: Optional[TelemetryRegistry] = None,
     ) -> None:
         self.store = store
         self.cache = LRUTTLCache(cache_entries, cache_ttl_s, clock=clock)
         self._timer = timer
         self._pending: List[Query] = []
-        self._stats: Dict[str, _KindStats] = {kind: _KindStats() for kind in QUERY_KINDS}
-        self.batches_flushed = 0
+        self.registry = registry if registry is not None else TelemetryRegistry()
+        self._stats: Dict[str, _KindStats] = {
+            kind: _KindStats(kind, self.registry) for kind in QUERY_KINDS
+        }
+        self._c_batches = self.registry.counter(
+            "planner_batches_flushed_total", "Non-empty batches flushed."
+        )
+
+    @property
+    def batches_flushed(self) -> int:
+        return self._c_batches.value
 
     # -- batching ------------------------------------------------------
     def submit(self, query: Query) -> None:
         """Stage a query for the next :meth:`flush`."""
-        self._stats[query.kind].submitted += 1
+        self._stats[query.kind].submitted.inc()
         self._pending.append(query)
 
     @property
@@ -297,25 +330,26 @@ class QueryPlanner:
         batch, self._pending = self._pending, []
         if not batch:
             return []
-        self.batches_flushed += 1
-        snapshot = self.store.latest()
-        self.cache.current_version = snapshot.version
-        index = self.store.index_for(snapshot)
-        slots: List[Optional[QueryResult]] = [None] * len(batch)
-        if len(batch) > 1 and hasattr(index, "knn_batch_by_id"):
-            self._flush_batched(batch, snapshot, index, slots)
-        results: List[QueryResult] = []
-        for position, query in enumerate(batch):
-            served = slots[position]
-            if served is None:
-                try:
-                    served = self._serve(query, snapshot, index)
-                except QueryError as exc:
-                    served = QueryResult(
-                        query, None, snapshot.version, cached=False, error=str(exc)
-                    )
-            results.append(served)
-        return results
+        self._c_batches.inc()
+        with self.registry.span("planner.flush"):
+            snapshot = self.store.latest()
+            self.cache.current_version = snapshot.version
+            index = self.store.index_for(snapshot)
+            slots: List[Optional[QueryResult]] = [None] * len(batch)
+            if len(batch) > 1 and hasattr(index, "knn_batch_by_id"):
+                self._flush_batched(batch, snapshot, index, slots)
+            results: List[QueryResult] = []
+            for position, query in enumerate(batch):
+                served = slots[position]
+                if served is None:
+                    try:
+                        served = self._serve(query, snapshot, index)
+                    except QueryError as exc:
+                        served = QueryResult(
+                            query, None, snapshot.version, cached=False, error=str(exc)
+                        )
+                results.append(served)
+            return results
 
     def _flush_batched(self, batch, snapshot, index, slots) -> None:
         """Answer the batchable portion of ``batch`` in grouped NumPy calls.
@@ -346,7 +380,7 @@ class QueryPlanner:
             stats = self._stats[query.kind]
             found, payload = self.cache.get(key)
             if found:
-                stats.cache_hits += 1
+                stats.cache_hits.inc()
                 slots[position] = QueryResult(
                     query, copy.deepcopy(payload), snapshot.version, cached=True
                 )
@@ -355,19 +389,23 @@ class QueryPlanner:
             groups.setdefault(group_key, []).append(position)
 
         for k, positions in knn_groups.items():
-            started = self._timer()
-            answers = index.knn_batch_by_id(
-                [batch[position].target for position in positions], k
-            )
-            self._record_batch(batch, snapshot, slots, positions, answers, started, "knn")
+            with self.registry.span("planner.batch", shape="knn"):
+                started = self._timer()
+                answers = index.knn_batch_by_id(
+                    [batch[position].target for position in positions], k
+                )
+                self._record_batch(
+                    batch, snapshot, slots, positions, answers, started, "knn"
+                )
         for radius_ms, positions in range_groups.items():
-            started = self._timer()
-            answers = index.range_batch_by_id(
-                [batch[position].target for position in positions], radius_ms
-            )
-            self._record_batch(
-                batch, snapshot, slots, positions, answers, started, "range"
-            )
+            with self.registry.span("planner.batch", shape="range"):
+                started = self._timer()
+                answers = index.range_batch_by_id(
+                    [batch[position].target for position in positions], radius_ms
+                )
+                self._record_batch(
+                    batch, snapshot, slots, positions, answers, started, "range"
+                )
 
     def _record_batch(
         self, batch, snapshot, slots, positions, answers, started, shape
@@ -397,8 +435,8 @@ class QueryPlanner:
                     ],
                 }
             stats = self._stats[query.kind]
-            stats.latency_us.add(per_query_us)
-            stats.executed += 1
+            stats.record_latency(per_query_us)
+            stats.executed.inc()
             self.cache.put((snapshot.version, query), copy.deepcopy(payload))
             slots[position] = QueryResult(
                 query, payload, snapshot.version, cached=False
@@ -410,7 +448,7 @@ class QueryPlanner:
         Unlike :meth:`flush`, a failing query raises :class:`QueryError`
         here -- the caller asked exactly one question.
         """
-        self._stats[query.kind].submitted += 1
+        self._stats[query.kind].submitted.inc()
         snapshot = self.store.latest()
         self.cache.current_version = snapshot.version
         return self._serve(query, snapshot, self.store.index_for(snapshot))
@@ -426,7 +464,7 @@ class QueryPlanner:
         per_kind = {
             kind: stats.as_dict()
             for kind, stats in self._stats.items()
-            if stats.submitted or stats.executed
+            if stats.submitted.value or stats.executed.value
         }
         return {
             "kinds": per_kind,
@@ -451,18 +489,19 @@ class QueryPlanner:
         key = (snapshot.version, query)
         found, payload = self.cache.get(key)
         if found:
-            stats.cache_hits += 1
+            stats.cache_hits.inc()
             # Deep-copied so a consumer mutating its result can never
             # corrupt the cached pristine answer.
             return QueryResult(query, copy.deepcopy(payload), snapshot.version, cached=True)
         started = self._timer()
         try:
-            payload = self._answer(query, snapshot, index)
+            with self.registry.span("planner.serve", kind=query.kind):
+                payload = self._answer(query, snapshot, index)
         except QueryError:
-            stats.errors += 1
+            stats.errors.inc()
             raise
-        stats.latency_us.add((self._timer() - started) * 1e6)
-        stats.executed += 1
+        stats.record_latency((self._timer() - started) * 1e6)
+        stats.executed.inc()
         self.cache.put(key, copy.deepcopy(payload))
         return QueryResult(query, payload, snapshot.version, cached=False)
 

@@ -92,6 +92,9 @@ class StreamingPercentile:
         self.capacity = capacity
         self._reservoir: List[float] = []
         self._seen = 0
+        #: Set by a sampled-mode merge: the reservoir no longer holds
+        #: every observation even if the count is below capacity.
+        self._forced_sampled = False
         self._rng = np.random.default_rng(seed)
 
     def add(self, value: float) -> None:
@@ -111,6 +114,50 @@ class StreamingPercentile:
         for value in values:
             self.add(value)
 
+    def merge(self, other: "StreamingPercentile") -> None:
+        """Fold another estimator's stream into this one.
+
+        Lets each worker (an executor thread, a shard process) keep a
+        private lock-free estimator and combine them only at read time.
+        ``other`` is never mutated.
+
+        **Exact mode.**  When both estimators are still exact and the
+        combined stream fits in this reservoir's ``capacity``, the merge
+        concatenates the reservoirs: the result holds every observation
+        of both streams, so it remains exact and -- percentiles being
+        order-independent -- answers identically to a single estimator
+        fed the union stream.
+
+        **Sampled mode.**  Otherwise the merged reservoir is built by
+        weighted sampling: each slot draws from one of the two reservoirs
+        with probability proportional to the stream size it represents,
+        which keeps every original observation's inclusion probability
+        uniform.  The result is an estimate, and :attr:`is_exact` goes
+        false.
+        """
+        if other._seen == 0:
+            return
+        combined = self._seen + other._seen
+        if self.is_exact and other.is_exact and combined <= self.capacity:
+            self._reservoir.extend(other._reservoir)
+            self._seen = combined
+            return
+        pool_self = list(self._reservoir)
+        pool_other = list(other._reservoir)
+        size = min(self.capacity, len(pool_self) + len(pool_other))
+        weight_self = self._seen / combined if combined else 0.0
+        merged: List[float] = []
+        for _ in range(size):
+            use_self = pool_self and (
+                not pool_other or self._rng.random() < weight_self
+            )
+            pool = pool_self if use_self else pool_other
+            merged.append(pool.pop(int(self._rng.integers(0, len(pool)))))
+        self._reservoir = merged
+        self._seen = combined
+        # The reservoir no longer holds every sample, whatever the count.
+        self._forced_sampled = True
+
     @property
     def count(self) -> int:
         """Total observations seen (not the reservoir size)."""
@@ -120,11 +167,12 @@ class StreamingPercentile:
     def is_exact(self) -> bool:
         """True while the reservoir still holds every observation.
 
-        Holds exactly when ``count <= capacity``: no sample has been
-        evicted yet, so :meth:`percentile` is the exact percentile of the
-        full stream rather than a reservoir estimate.
+        Holds while ``count <= capacity`` and no sampled-mode
+        :meth:`merge` has run: no sample has been evicted yet, so
+        :meth:`percentile` is the exact percentile of the full stream
+        rather than a reservoir estimate.
         """
-        return self._seen <= self.capacity
+        return not self._forced_sampled and self._seen <= self.capacity
 
     def percentile(self, percentile: float) -> float:
         """The requested percentile of everything seen so far.

@@ -1,0 +1,508 @@
+"""Tests for the telemetry layer (:mod:`repro.obs`).
+
+The load-bearing guarantees:
+
+* histograms over a fixed :class:`BucketScheme` merge **exactly**: shard
+  histograms fold into precisely the histogram a single store would have
+  recorded for the union stream, bit for bit;
+* bucket-read percentiles land within one multiplicative bucket width of
+  the exact sample percentile (cross-checked against both
+  ``np.percentile`` and :class:`StreamingPercentile` in exact mode);
+* Prometheus text rendering is a pure function of the recorded values --
+  same recordings, byte-identical text, regardless of creation order;
+* spans cost one attribute check when disabled, and traced requests get
+  ordered per-stage entries;
+* the tail-regression analyzer passes a baseline against itself and a
+  uniform machine-speed rescale, and fails an injected tail blow-up.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import get_registry, set_spans_enabled, span
+from repro.obs.registry import (
+    BucketScheme,
+    Counter,
+    DEFAULT_SCHEME,
+    Gauge,
+    LatencyHistogram,
+    TelemetryRegistry,
+)
+from repro.obs.regression import (
+    Thresholds,
+    collect_telemetry_sections,
+    compare_histograms,
+    compare_payloads,
+)
+from repro.obs.regression import main as regression_main
+from repro.obs.tracing import NOOP_SPAN, TraceRecorder, make_span
+from repro.stats.percentile import StreamingPercentile
+
+
+# ----------------------------------------------------------------------
+# Bucket scheme
+# ----------------------------------------------------------------------
+class TestBucketScheme:
+    def test_boundaries_are_pure_function_of_parameters(self):
+        a = BucketScheme(lo=1e-3, per_decade=20, decades=8)
+        b = BucketScheme(lo=1e-3, per_decade=20, decades=8)
+        assert a == b
+        assert a.boundaries() == b.boundaries()
+        assert len(a.boundaries()) == 161
+        assert a.bucket_count == 162  # finite buckets + overflow
+
+    def test_bucket_index_uses_le_semantics(self):
+        scheme = DEFAULT_SCHEME
+        edges = scheme.boundaries()
+        # A value exactly on an edge belongs to that edge's bucket.
+        assert scheme.bucket_index(edges[0]) == 0
+        assert scheme.bucket_index(edges[40]) == 40
+        # Beyond the last edge: the overflow bucket.
+        assert scheme.bucket_index(edges[-1] * 2.0) == len(edges)
+
+    def test_growth_is_one_bucket_width(self):
+        scheme = DEFAULT_SCHEME
+        edges = scheme.boundaries()
+        assert edges[1] / edges[0] == pytest.approx(scheme.growth)
+        assert scheme.growth == pytest.approx(10.0 ** (1.0 / 20.0))
+
+    def test_dict_roundtrip(self):
+        scheme = BucketScheme(lo=0.5, per_decade=10, decades=4)
+        assert BucketScheme.from_dict(scheme.to_dict()) == scheme
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="lo"):
+            BucketScheme(lo=0.0)
+        with pytest.raises(ValueError, match="per_decade"):
+            BucketScheme(per_decade=0)
+
+
+# ----------------------------------------------------------------------
+# Instruments and the registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = TelemetryRegistry()
+        first = registry.counter("served_total", kind="knn")
+        second = registry.counter("served_total", kind="knn")
+        other = registry.counter("served_total", kind="range")
+        assert first is second and first is not other
+        first.inc(3)
+        assert second.value == 3 and other.value == 0
+
+    def test_type_mismatch_rejected(self):
+        registry = TelemetryRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_histogram_scheme_mismatch_rejected(self):
+        registry = TelemetryRegistry()
+        registry.histogram("latency_ms")
+        with pytest.raises(ValueError, match="different scheme"):
+            registry.histogram("latency_ms", scheme=BucketScheme(lo=1.0))
+
+    def test_counter_is_monotonic(self):
+        counter = Counter("n")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError, match="monotonic"):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways_and_tracks_high_water(self):
+        gauge = Gauge("g")
+        gauge.set(7.0)
+        gauge.dec(2.0)
+        gauge.inc(1.0)
+        assert gauge.value == 6.0
+        gauge.update_max(3.0)
+        assert gauge.value == 6.0
+        gauge.update_max(9.0)
+        assert gauge.value == 9.0
+
+    def test_histogram_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            LatencyHistogram("h").observe(float("nan"))
+
+    def test_snapshot_is_json_safe(self):
+        registry = TelemetryRegistry()
+        registry.counter("a_total").inc()
+        registry.histogram("b_ms").observe(1.5)
+        json.dumps(registry.snapshot())
+
+
+# ----------------------------------------------------------------------
+# Histogram percentiles vs exact estimators
+# ----------------------------------------------------------------------
+class TestHistogramPercentiles:
+    @pytest.fixture(scope="class")
+    def lognormal_sample(self):
+        rng = np.random.default_rng(17)
+        return rng.lognormal(mean=1.2, sigma=0.9, size=5000)
+
+    def test_within_one_bucket_of_np_percentile(self, lognormal_sample):
+        histogram = LatencyHistogram("latency_ms")
+        for value in lognormal_sample:
+            histogram.observe(value)
+        growth = histogram.scheme.growth
+        for p in (50.0, 90.0, 99.0, 99.9):
+            exact = float(np.percentile(lognormal_sample, p))
+            read = histogram.percentile(p)
+            # Bucket edges sit at or above their order statistic, never
+            # more than one multiplicative width above it.
+            assert exact <= read <= exact * growth * (1.0 + 1e-12), (p, exact, read)
+
+    def test_agrees_with_streaming_percentile_exact_mode(self, lognormal_sample):
+        histogram = LatencyHistogram("latency_ms")
+        estimator = StreamingPercentile(capacity=len(lognormal_sample))
+        for value in lognormal_sample:
+            histogram.observe(value)
+            estimator.add(value)
+        assert estimator.is_exact
+        growth = histogram.scheme.growth
+        for p in (50.0, 99.0):
+            exact = estimator.percentile(p)
+            assert exact <= histogram.percentile(p) <= exact * growth * (1.0 + 1e-12)
+
+    def test_percentile_edge_cases(self):
+        histogram = LatencyHistogram("h")
+        with pytest.raises(ValueError, match="no observations"):
+            histogram.percentile(50.0)
+        histogram.observe(3.0)
+        with pytest.raises(ValueError, match="within"):
+            histogram.percentile(101.0)
+        # p100 clamps to the observed maximum, not a bucket edge.
+        histogram.observe(8.0)
+        assert histogram.percentile(100.0) == 8.0
+        assert histogram.min == 3.0 and histogram.max == 8.0
+
+    def test_overflow_bucket_reads_as_observed_max(self):
+        histogram = LatencyHistogram("h")
+        top = histogram.scheme.boundaries()[-1]
+        histogram.observe(top * 50.0)
+        histogram.observe(1.0)
+        assert histogram.percentile(100.0) == top * 50.0
+        assert histogram.bucket_counts()[-1] == 1
+
+    def test_quantile_summary_keys(self):
+        histogram = LatencyHistogram("h")
+        for value in range(1, 200):
+            histogram.observe(float(value))
+        summary = histogram.quantile_summary()
+        assert set(summary) == {"p50", "p90", "p99", "p999"}
+        assert summary["p50"] <= summary["p90"] <= summary["p99"] <= summary["p999"]
+
+
+# ----------------------------------------------------------------------
+# Exact merging: the property the whole layer is built on
+# ----------------------------------------------------------------------
+class TestHistogramMerge:
+    def test_shard_merge_equals_single_store_histogram(self):
+        """histogram(A ++ B ++ C) == merge of the three shard histograms."""
+        rng = np.random.default_rng(3)
+        stream = rng.lognormal(mean=0.5, sigma=1.1, size=3000)
+        single = LatencyHistogram("serve_ms")
+        shards = [LatencyHistogram("serve_ms") for _ in range(3)]
+        for position, value in enumerate(stream):
+            single.observe(value)
+            shards[position % 3].observe(value)
+        merged = LatencyHistogram("serve_ms")
+        for shard in shards:
+            merged.merge(shard)
+        assert merged.bucket_counts() == single.bucket_counts()
+        assert merged.count == single.count
+        # sum is the one float accumulator: addition order differs, so
+        # it agrees to rounding, not bit-for-bit like the bucket counts.
+        assert merged.sum == pytest.approx(single.sum, rel=1e-12)
+        assert merged.min == single.min and merged.max == single.max
+        for p in (50.0, 90.0, 99.0, 99.9):
+            assert merged.percentile(p) == single.percentile(p)
+
+    def test_merge_does_not_mutate_other(self):
+        a, b = LatencyHistogram("h"), LatencyHistogram("h")
+        a.observe(1.0)
+        b.observe(2.0)
+        before = b.to_dict()
+        a.merge(b)
+        assert b.to_dict() == before
+        assert a.count == 2
+
+    def test_scheme_mismatch_rejected(self):
+        a = LatencyHistogram("h")
+        b = LatencyHistogram("h", scheme=BucketScheme(lo=1.0))
+        with pytest.raises(ValueError, match="different bucket schemes"):
+            a.merge(b)
+
+    def test_dict_roundtrip_is_exact(self):
+        histogram = LatencyHistogram("h")
+        rng = np.random.default_rng(9)
+        for value in rng.lognormal(size=500):
+            histogram.observe(value)
+        restored = LatencyHistogram.from_dict(histogram.to_dict())
+        assert restored.bucket_counts() == histogram.bucket_counts()
+        assert restored.count == histogram.count
+        assert restored.sum == histogram.sum
+        assert restored.min == histogram.min and restored.max == histogram.max
+        json.dumps(histogram.to_dict())  # wire form is JSON-safe
+
+
+# ----------------------------------------------------------------------
+# Deterministic Prometheus rendering
+# ----------------------------------------------------------------------
+def _populated_registry(creation_order: str) -> TelemetryRegistry:
+    registry = TelemetryRegistry()
+
+    def build_counter():
+        for kind in ("knn", "range"):
+            registry.counter("served_total", "Queries served.", kind=kind).inc(11)
+
+    def build_gauge():
+        registry.gauge("in_flight", "Concurrent requests.").set(4)
+
+    def build_histogram():
+        histogram = registry.histogram("latency_ms", "Serve latency.", kind="knn")
+        for value in np.random.default_rng(1).lognormal(size=400):
+            histogram.observe(value)
+
+    builders = {"c": build_counter, "g": build_gauge, "h": build_histogram}
+    for key in creation_order:
+        builders[key]()
+    return registry
+
+
+class TestPrometheusRendering:
+    def test_byte_identical_across_runs_and_creation_order(self):
+        first = _populated_registry("cgh").render_prometheus()
+        second = _populated_registry("hgc").render_prometheus()
+        assert first == second
+        assert isinstance(first, str) and first.endswith("\n")
+
+    def test_exposition_structure(self):
+        text = _populated_registry("cgh").render_prometheus()
+        lines = text.splitlines()
+        assert "# TYPE served_total counter" in lines
+        assert "# TYPE in_flight gauge" in lines
+        assert "# TYPE latency_ms histogram" in lines
+        assert "# HELP served_total Queries served." in lines
+        assert 'served_total{kind="knn"} 11' in lines
+        assert 'served_total{kind="range"} 11' in lines
+        assert "in_flight 4" in lines
+        # The +Inf bucket always carries the full count.
+        assert any(
+            line.startswith("latency_ms_bucket") and 'le="+Inf"' in line
+            and line.endswith(" 400")
+            for line in lines
+        )
+        assert any(line.startswith("latency_ms_count") and line.endswith(" 400") for line in lines)
+
+    def test_bucket_lines_are_sparse_and_cumulative(self):
+        registry = TelemetryRegistry()
+        histogram = registry.histogram("h_ms")
+        histogram.observe(1.0)
+        histogram.observe(1.0)
+        histogram.observe(100.0)
+        lines = registry.render_prometheus().splitlines()
+        buckets = [line for line in lines if line.startswith("h_ms_bucket")]
+        # Two populated edges plus +Inf -- zero buckets are not emitted.
+        assert len(buckets) == 3
+        assert buckets[0].endswith(" 2")
+        assert buckets[1].endswith(" 3")
+        assert 'le="+Inf"' in buckets[2] and buckets[2].endswith(" 3")
+
+    def test_label_escaping(self):
+        registry = TelemetryRegistry()
+        registry.counter("c_total", source='say "hi"\nback\\slash').inc()
+        text = registry.render_prometheus()
+        assert 'source="say \\"hi\\"\\nback\\\\slash"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert TelemetryRegistry().render_prometheus() == ""
+
+
+# ----------------------------------------------------------------------
+# Spans and tracing
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_disabled_span_is_the_shared_noop(self):
+        registry = TelemetryRegistry()
+        assert registry.span("anything", shard=3) is NOOP_SPAN
+        assert make_span(registry, "x", None, {}) is NOOP_SPAN
+        # No instruments materialise from no-op spans.
+        with registry.span("anything"):
+            pass
+        assert registry.instruments() == []
+
+    def test_enabled_span_records_into_span_ms(self):
+        registry = TelemetryRegistry(spans_enabled=True)
+        with registry.span("query.scatter", shard=1):
+            pass
+        with registry.span("query.scatter", shard=1):
+            pass
+        histogram = registry.histogram("span_ms", span="query.scatter", shard=1)
+        assert histogram.count == 2
+
+    def test_trace_recorder_collects_ordered_stages(self):
+        registry = TelemetryRegistry()  # spans disabled: trace still records
+        trace = TraceRecorder()
+        with registry.span("daemon.request", trace=trace, op="knn"):
+            with registry.span("query.scatter", trace=trace, shard=0):
+                pass
+            with registry.span("query.merge", trace=trace):
+                pass
+        stages = trace.as_payload()
+        # Inner spans close first, so they precede the enclosing request.
+        assert [entry["stage"] for entry in stages] == [
+            "query.scatter",
+            "query.merge",
+            "daemon.request",
+        ]
+        assert stages[0]["shard"] == 0
+        assert all(entry["ms"] >= 0.0 for entry in stages)
+        json.dumps(stages)
+
+    def test_global_registry_helpers(self):
+        registry = get_registry()
+        try:
+            set_spans_enabled(True)
+            with span("obs.test.stage", probe=1):
+                pass
+            histogram = registry.histogram("span_ms", span="obs.test.stage", probe=1)
+            assert histogram.count >= 1
+        finally:
+            set_spans_enabled(False)
+        assert span("obs.test.other") is NOOP_SPAN
+
+
+# ----------------------------------------------------------------------
+# The tail-regression analyzer
+# ----------------------------------------------------------------------
+def _report_with_histogram(values) -> dict:
+    """A minimal load-report-shaped document with one telemetry kind."""
+    histogram = LatencyHistogram("load_latency_ms")
+    for value in values:
+        histogram.observe(float(value))
+    return {
+        "query_count": len(values),
+        "telemetry": {
+            "unit": "ms",
+            "kinds": {
+                "knn": {
+                    "count": histogram.count,
+                    "p50_ms": histogram.percentile(50.0),
+                    "p99_ms": histogram.percentile(99.0),
+                    "histogram": histogram.to_dict(),
+                }
+            },
+        },
+    }
+
+
+@pytest.fixture(scope="module")
+def baseline_report():
+    rng = np.random.default_rng(23)
+    return _report_with_histogram(rng.lognormal(mean=1.0, sigma=0.4, size=2000))
+
+
+class TestTailRegressionAnalyzer:
+    def test_baseline_against_itself_is_clean(self, baseline_report):
+        findings, compared = compare_payloads(baseline_report, baseline_report)
+        assert findings == [] and compared == 1
+
+    def test_uniform_machine_speed_rescale_is_clean(self, baseline_report):
+        # 4x slower across the board: amplification and the aligned
+        # bucket shape are both invariant, so the gate must not flap.
+        rng = np.random.default_rng(23)
+        slower = _report_with_histogram(
+            rng.lognormal(mean=1.0, sigma=0.4, size=2000) * 4.0
+        )
+        findings, compared = compare_payloads(baseline_report, slower)
+        assert findings == [] and compared == 1
+
+    def test_injected_tail_shift_fails(self, baseline_report):
+        # 3% of requests stall for ~100x the median: a classic lock
+        # convoy.  Throughput ratios barely move; the tail gate must.
+        rng = np.random.default_rng(29)
+        values = rng.lognormal(mean=1.0, sigma=0.4, size=2000)
+        stalled = values.copy()
+        stalled[: len(stalled) // 33] *= 100.0
+        current = _report_with_histogram(stalled)
+        findings, compared = compare_payloads(baseline_report, current)
+        assert compared == 1
+        assert findings, "a 100x stall mode on 3% of requests must be flagged"
+        assert any("amplification" in finding for finding in findings)
+
+    def test_getting_faster_never_fails(self, baseline_report):
+        # A tighter distribution (tail collapsed toward the median) is an
+        # improvement; the direction-aware gate stays quiet.
+        rng = np.random.default_rng(23)
+        tighter = _report_with_histogram(
+            np.minimum(rng.lognormal(mean=1.0, sigma=0.4, size=2000), 4.0)
+        )
+        findings, _ = compare_payloads(baseline_report, tighter)
+        assert not any("amplification" in finding for finding in findings)
+
+    def test_small_sections_are_skipped_not_judged(self):
+        noisy_base = _report_with_histogram([1.0, 2.0, 3.0])
+        noisy_cur = _report_with_histogram([1.0, 2.0, 300.0])
+        findings, compared = compare_payloads(noisy_base, noisy_cur)
+        assert compared == 1 and findings == []
+
+    def test_no_shared_telemetry_passes_vacuously(self, baseline_report):
+        findings, compared = compare_payloads({"qps": 100.0}, baseline_report)
+        assert findings == [] and compared == 0
+
+    def test_collect_sections_walks_nested_documents(self, baseline_report):
+        document = {
+            "benchmark": "server_load",
+            "shard_scaling": [
+                {"shards": 1, "telemetry": baseline_report["telemetry"]},
+                {"shards": 2, "telemetry": baseline_report["telemetry"]},
+            ],
+            "ingest": {"telemetry": baseline_report["telemetry"]},
+        }
+        sections = collect_telemetry_sections(document)
+        assert set(sections) == {
+            "shard_scaling[0]",
+            "shard_scaling[1]",
+            "ingest",
+        }
+        top = collect_telemetry_sections(baseline_report)
+        assert set(top) == {"<root>"}
+
+    def test_compare_histograms_thresholds(self):
+        rng = np.random.default_rng(5)
+        base = LatencyHistogram("h")
+        for value in rng.lognormal(size=1000):
+            base.observe(value)
+        findings = compare_histograms(
+            base, base, context="t", thresholds=Thresholds(min_count=2000)
+        )
+        assert findings == []  # below min_count: skipped
+
+    def test_cli_exit_codes(self, tmp_path, baseline_report, capsys):
+        baseline_path = tmp_path / "base.json"
+        baseline_path.write_text(json.dumps(baseline_report))
+        assert regression_main([str(baseline_path), str(baseline_path)]) == 0
+        assert "tail gate clean" in capsys.readouterr().out
+
+        shifted = copy.deepcopy(baseline_report)
+        hist = shifted["telemetry"]["kinds"]["knn"]["histogram"]
+        counts = {int(k): v for k, v in hist["counts"].items()}
+        median_idx = max(counts, key=counts.get)
+        moved = counts[median_idx] // 2
+        counts[median_idx] -= moved
+        counts[median_idx + 45] = counts.get(median_idx + 45, 0) + moved
+        hist["counts"] = {str(k): v for k, v in counts.items() if v}
+        hist["max"] = max(hist["max"], 1e4)
+        current_path = tmp_path / "cur.json"
+        current_path.write_text(json.dumps(shifted))
+        assert regression_main([str(baseline_path), str(current_path)]) == 1
+        assert "TAIL REGRESSION" in capsys.readouterr().out
+
+        assert regression_main([str(baseline_path), str(tmp_path / "missing.json")]) == 2

@@ -387,6 +387,178 @@ class TestDaemon:
 
 
 # ----------------------------------------------------------------------
+# Telemetry over the wire: metrics op, error stats, per-request tracing
+# ----------------------------------------------------------------------
+class TestTelemetryWire:
+    def test_metrics_op_renders_prometheus_text(self, universe):
+        coords, queries, _, _ = universe
+        store = ShardedCoordinateStore.from_coordinates(coords, shards=2)
+
+        async def scenario(address):
+            async with await AsyncCoordinateClient.connect(*address) as client:
+                for query in queries[:20]:
+                    await client.request(query_to_request(query, None))
+                return await client.op("metrics")
+
+        with serve_in_thread(store) as handle:
+            response = asyncio.run(scenario(handle.address))
+        assert response["ok"]
+        payload = response["payload"]
+        assert payload["content_type"].startswith("text/plain")
+        text = payload["text"]
+        assert "# TYPE store_serve_latency_ms histogram" in text
+        assert "# TYPE store_served_total counter" in text
+        assert "# TYPE daemon_connections_total counter" in text
+        # The store's serve counters agree with the rendered samples.
+        served = sum(
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("store_served_total{")
+        )
+        assert served == 20
+
+    def test_stats_op_reports_per_op_error_counts(self):
+        store = ShardedCoordinateStore.from_coordinates(
+            synthetic_coordinates(12, seed=4), shards=2
+        )
+
+        async def scenario(address):
+            async with await AsyncCoordinateClient.connect(*address) as client:
+                await client.op("knn", target="ghost")
+                await client.op("knn", target="ghost")
+                await client.op("range", target="ghost", radius_ms=5.0)
+                await client.request({"op": "warp"})
+                await client.op("ping")
+                stats = await client.op("stats")
+                return stats
+
+        with serve_in_thread(store) as handle:
+            stats = asyncio.run(scenario(handle.address))
+        errors = stats["payload"]["errors"]
+        assert errors["by_op"] == {"knn": 2, "range": 1, "invalid": 1}
+        assert errors["total"] == 4
+        json.dumps(errors)
+
+    def test_traced_request_carries_stage_breakdown(self):
+        store = ShardedCoordinateStore.from_coordinates(
+            synthetic_coordinates(24, seed=6), shards=3
+        )
+
+        async def scenario(address):
+            async with await AsyncCoordinateClient.connect(*address) as client:
+                traced = await client.request(
+                    {"op": "knn", "target": next(iter(store.generation().node_order)), "k": 3, "trace": True}
+                )
+                plain = await client.op("knn", target=store.generation().node_order[0], k=3)
+                return traced, plain
+
+        with serve_in_thread(store) as handle:
+            traced, plain = asyncio.run(scenario(handle.address))
+        assert traced["ok"] and "trace" not in plain
+        stages = [entry["stage"] for entry in traced["trace"]]
+        # Per-shard scatter legs, then the merge, then the enclosing
+        # stages in close order.
+        assert stages.count("query.scatter") == 3
+        assert {entry["shard"] for entry in traced["trace"] if entry["stage"] == "query.scatter"} == {0, 1, 2}
+        for stage in ("store.cache", "query.merge", "store.serve", "daemon.admission", "daemon.request"):
+            assert stage in stages, stages
+        assert stages.index("query.merge") < stages.index("daemon.request")
+        assert all(entry["ms"] >= 0.0 for entry in traced["trace"])
+
+    def test_span_histograms_recorded_when_enabled(self):
+        coords = synthetic_coordinates(12, seed=8)
+        store = ShardedCoordinateStore.from_coordinates(coords, shards=2)
+        server = CoordinateServer(store, trace_spans=True)
+
+        async def scenario(address):
+            async with await AsyncCoordinateClient.connect(*address) as client:
+                await client.op("knn", target=next(iter(coords)), k=2)
+
+        with server.run_in_thread() as handle:
+            asyncio.run(scenario(handle.address))
+        text = server.registry.render_prometheus()
+        assert 'span_ms_count{op="knn",span="daemon.request"} 1' in text
+        assert 'span="query.scatter"' in text
+
+
+# ----------------------------------------------------------------------
+# Load-harness telemetry: determinism and schema stability (satellites)
+# ----------------------------------------------------------------------
+class TestLoadTelemetry:
+    def run_deterministic(self, universe, registry):
+        from repro.server.load import run_load as _run_load
+
+        coords, queries, _, _ = universe
+        store = ShardedCoordinateStore.from_coordinates(coords, shards=2)
+        with serve_in_thread(store) as handle:
+            return _run_load(
+                handle.address,
+                queries,
+                mode="closed",
+                concurrency=8,
+                connections=2,
+                registry=registry,
+                deterministic_timing=True,
+            )
+
+    def test_deterministic_timing_is_byte_identical_across_runs(self, universe):
+        from repro.obs.registry import TelemetryRegistry
+
+        first_registry = TelemetryRegistry()
+        second_registry = TelemetryRegistry()
+        first = self.run_deterministic(universe, first_registry)
+        second = self.run_deterministic(universe, second_registry)
+        assert first.telemetry == second.telemetry
+        assert (
+            first_registry.render_prometheus() == second_registry.render_prometheus()
+        )
+        assert "load_latency_ms_bucket" in first_registry.render_prometheus()
+
+    def test_histogram_percentiles_within_one_bucket_of_exact(self, universe):
+        from repro.obs.registry import LatencyHistogram
+
+        coords, queries, _, _ = universe
+        store = ShardedCoordinateStore.from_coordinates(coords, shards=2)
+        with serve_in_thread(store) as handle:
+            report = run_load(
+                handle.address, queries, mode="closed", concurrency=8
+            )
+        for kind, exact in report.kinds.items():
+            assert exact["latency_exact"]
+            entry = report.telemetry["kinds"][kind]
+            histogram = LatencyHistogram.from_dict(entry["histogram"])
+            growth = histogram.scheme.growth
+            assert histogram.count == exact["count"]
+            for label in ("p50_ms", "p99_ms"):
+                # Reservoir percentiles are exact here; the bucket
+                # read-out sits within one multiplicative bucket width.
+                percentile = 50.0 if label == "p50_ms" else 99.0
+                read = histogram.percentile(percentile)
+                assert exact[label] <= read * (1.0 + 1e-9)
+                assert read <= exact[label] * growth * (1.0 + 1e-9)
+
+    def test_report_schema_is_stable_with_additive_telemetry(self, universe):
+        report = self.run_deterministic(universe, None)
+        payload = report.as_dict()
+        # Every pre-telemetry key survives with its original meaning.
+        assert set(payload) == {
+            "mode", "query_count", "ok", "errors", "overloaded", "elapsed_s",
+            "qps", "offered_qps", "kinds", "checksum", "versions", "telemetry",
+        }
+        assert payload["query_count"] == payload["ok"] == 400
+        for kind, summary in payload["kinds"].items():
+            assert set(summary) == {"count", "p50_ms", "p99_ms", "latency_exact"}
+        telemetry = payload["telemetry"]
+        assert telemetry["unit"] == "ms" and telemetry["deterministic_timing"]
+        for kind, entry in telemetry["kinds"].items():
+            assert set(entry) == {
+                "count", "p50_ms", "p99_ms", "p999_ms", "latency_exact", "histogram",
+            }
+            assert entry["count"] == payload["kinds"][kind]["count"]
+        json.dumps(payload)
+
+
+# ----------------------------------------------------------------------
 # Concurrent ingest while serving: no torn reads (satellite)
 # ----------------------------------------------------------------------
 class TestIngestWhileServing:
@@ -555,6 +727,7 @@ class TestServerCli:
 
         ready = tmp_path / "ready.txt"
         out = tmp_path / "load.json"
+        metrics_out = tmp_path / "load-metrics.prom"
         daemon_rc: list = []
 
         def run_daemon():
@@ -578,6 +751,8 @@ class TestServerCli:
                 time.sleep(0.01)
             assert ready.exists(), "daemon never wrote the ready file"
             host, port = ready.read_text().split()
+            metrics_rc = main(["metrics", "--host", host, "--port", port])
+            assert metrics_rc == 0
             rc = main(
                 [
                     "load",
@@ -586,8 +761,10 @@ class TestServerCli:
                     "--count", "300",
                     "--mix", "mixed",
                     "--verify-oracle",
+                    "--deterministic-timing",
                     "--shutdown",
                     "--out", str(out),
+                    "--metrics-out", str(metrics_out),
                 ]
             )
             assert rc == 0
@@ -596,16 +773,35 @@ class TestServerCli:
         assert not thread.is_alive()
         assert daemon_rc == [0]
         captured = capsys.readouterr().out
+        assert "# TYPE store_version gauge" in captured  # metrics command output
         assert "identical: True" in captured
         assert "daemon acknowledged shutdown" in captured
         assert "daemon stopped cleanly" in captured
         report = json.loads(out.read_text())
         assert report["ok"] == 300 and report["errors"] == 0
+        assert report["telemetry"]["kinds"]
+        metrics_text = metrics_out.read_text()
+        assert "# TYPE load_latency_ms histogram" in metrics_text
+        assert 'load_requests_total{outcome="ok"} 300' in metrics_text
 
     def test_load_against_dead_port_is_clean_error(self, capsys):
         from repro.server.cli import main
 
         rc = main(["load", "--port", "1", "--count", "10"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_metrics_against_dead_port_is_clean_error(self, capsys):
+        from repro.server.cli import main
+
+        rc = main(["metrics", "--port", "1"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_metrics_top_level_dispatch(self, capsys):
+        from repro.analysis.cli import main
+
+        rc = main(["metrics", "--port", "1"])
         assert rc == 2
         assert "error:" in capsys.readouterr().err
 

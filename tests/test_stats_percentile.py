@@ -101,3 +101,62 @@ class TestStreamingPercentile:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             StreamingPercentile(capacity=0)
+
+
+class TestStreamingPercentileMerge:
+    def test_exact_merge_identical_to_single_estimator_on_union_stream(self):
+        # Per-worker estimators folded at read time must answer exactly
+        # like one estimator fed the union stream while below capacity.
+        rng = np.random.default_rng(11)
+        streams = [rng.lognormal(mean=2.0, sigma=0.7, size=300) for _ in range(3)]
+        union = StreamingPercentile(capacity=2048)
+        merged = StreamingPercentile(capacity=2048)
+        for stream in streams:
+            union.extend(stream)
+            worker = StreamingPercentile(capacity=1024)
+            worker.extend(stream)
+            merged.merge(worker)
+        assert merged.is_exact and merged.count == union.count == 900
+        for q in (1.0, 50.0, 95.0, 99.0):
+            assert merged.percentile(q) == union.percentile(q)
+
+    def test_merge_leaves_other_untouched(self):
+        a = StreamingPercentile(capacity=100)
+        b = StreamingPercentile(capacity=100)
+        a.extend(range(10))
+        b.extend(range(10, 30))
+        before = (b.count, b.is_exact, list(b.snapshot()))
+        a.merge(b)
+        assert (b.count, b.is_exact, list(b.snapshot())) == before
+        assert a.count == 30
+
+    def test_merging_empty_estimator_is_a_noop(self):
+        a = StreamingPercentile(capacity=10)
+        a.extend(range(5))
+        a.merge(StreamingPercentile(capacity=10))
+        assert a.count == 5 and a.is_exact
+
+    def test_overflowing_merge_goes_sampled_but_keeps_count(self):
+        a = StreamingPercentile(capacity=16, seed=1)
+        b = StreamingPercentile(capacity=16, seed=2)
+        a.extend(range(12))
+        b.extend(range(12, 24))
+        a.merge(b)
+        assert not a.is_exact
+        assert a.count == 24
+        assert len(a.snapshot()) == 16
+
+    def test_sampled_merge_estimates_union_distribution(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(loc=100.0, scale=10.0, size=40_000)
+        halves = np.split(data, 2)
+        merged = StreamingPercentile(capacity=4096, seed=3)
+        for half in halves:
+            worker = StreamingPercentile(capacity=4096, seed=4)
+            worker.extend(half)
+            merged.merge(worker)
+        assert merged.count == 40_000 and not merged.is_exact
+        assert merged.median() == pytest.approx(100.0, abs=2.0)
+        assert merged.percentile(95.0) == pytest.approx(
+            float(np.percentile(data, 95.0)), abs=3.0
+        )

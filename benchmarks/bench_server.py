@@ -120,9 +120,22 @@ def bench_shards(
 
 
 def bench_ingest(
-    nodes: int, *, epochs: int, index_kind: str, shards: int, query_count: int
+    nodes: int,
+    *,
+    epochs: int,
+    index_kind: str,
+    shards: int,
+    query_count: int,
+    corrupt_fraction: float = 0.0,
 ) -> Dict[str, object]:
-    """Stream epochs into a live daemon while a closed loop queries it."""
+    """Stream epochs into a live daemon while a closed loop queries it.
+
+    ``corrupt_fraction`` > 0 zeroes that fraction of coordinate rows
+    (a fixed seed-derived set, the same rows every epoch) before every
+    publish after the first -- a fault-injection mode for exercising the
+    accuracy gate: serving stays error-free, but the store's coordinate
+    health degrades and the artifact's ``health`` section records it.
+    """
     import threading
 
     node_ids, components, heights = synthetic_arrays(nodes)
@@ -130,12 +143,24 @@ def bench_ingest(
     store.publish_arrays(node_ids, components.copy(), heights.copy(), source="e0")
     queries = generate_queries(node_ids, query_count, mix="mixed", seed=13)
     publish_times: List[float] = []
+    corrupt_rows = None
+    if corrupt_fraction > 0.0:
+        rng = np.random.default_rng(99)
+        count = max(1, int(round(nodes * corrupt_fraction)))
+        corrupt_rows = rng.choice(nodes, size=count, replace=False)
 
     def ingest() -> None:
         for epoch in range(1, epochs):
+            # Pure translations: distance-preserving, so the health
+            # tracker's self-referenced relative error stays ~0 on a
+            # clean run -- any degradation the gate sees is injected.
             shifted = components + epoch * 3.0
+            shifted_heights = heights.copy()
+            if corrupt_rows is not None:
+                shifted[corrupt_rows] = 0.0
+                shifted_heights[corrupt_rows] = 0.0
             started = time.perf_counter()
-            store.publish_arrays(node_ids, shifted, heights.copy(), source=f"e{epoch}")
+            store.publish_arrays(node_ids, shifted, shifted_heights, source=f"e{epoch}")
             publish_times.append(time.perf_counter() - started)
 
     server = CoordinateServer(store, admission_limit=8192)
@@ -148,6 +173,7 @@ def bench_ingest(
         "nodes": nodes,
         "shards": shards,
         "epochs": epochs,
+        "corrupt_fraction": corrupt_fraction,
         "mean_publish_s": round(float(np.mean(publish_times)), 6) if publish_times else None,
         "max_publish_s": round(float(np.max(publish_times)), 6) if publish_times else None,
         "queries_during_ingest": report.query_count,
@@ -156,6 +182,13 @@ def bench_ingest(
         "versions_observed": len(report.versions),
         "serving_during_ingest_ok": report.errors == 0,
         "telemetry": report.telemetry,
+        # Coordinate health over the publish stream: a pure function of
+        # the (seeded) epochs, so it is byte-deterministic run to run --
+        # what the accuracy gate diffs against the committed baseline.
+        # The timer-based staleness section is deliberately excluded.
+        "health": store.health(
+            ["generation", "relative_error", "drift", "neighbor_churn"]
+        ),
     }
 
 
@@ -169,7 +202,19 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "--out", type=Path, default=ARTIFACT, help="artifact path (BENCH_server.json)"
     )
+    parser.add_argument(
+        "--corrupt",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="fault injection: zero this fraction of coordinate rows before "
+        "every ingest publish after the first (the accuracy gate must "
+        "catch the degradation; 0 disables)",
+    )
     args = parser.parse_args(argv)
+    if not 0.0 <= args.corrupt < 1.0:
+        print("error: --corrupt must be within [0, 1)", file=sys.stderr)
+        return 2
 
     nodes = SMOKE_NODES if args.smoke else FULL_NODES
     query_count = 2_000 if args.smoke else 8_000
@@ -236,6 +281,7 @@ def main(argv: List[str] | None = None) -> int:
         index_kind=index_kind,
         shards=2,
         query_count=max(query_count // 2, 500),
+        corrupt_fraction=args.corrupt,
     )
     ingest = artifact["ingest"]
     print(
@@ -244,6 +290,15 @@ def main(argv: List[str] | None = None) -> int:
         f"{ingest['qps_during_ingest']} q/s during ingest "
         f"({ingest['versions_observed']} version(s) observed, "
         f"errors {ingest['errors_during_ingest']})"
+    )
+    health = ingest["health"]
+    print(
+        "  ingest health: rel err median "
+        f"{health['relative_error']['median']}, mean "
+        f"{health['relative_error']['mean']}, p95 "
+        f"{health['relative_error']['p95']}; drift mean velocity "
+        f"{health['drift']['mean_velocity']}"
+        + (f"  [corrupt {args.corrupt:.0%}]" if args.corrupt else "")
     )
 
     args.out.write_text(json.dumps(artifact, indent=2) + "\n")

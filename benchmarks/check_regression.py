@@ -25,6 +25,12 @@ carrying ``telemetry`` sections (latency histograms, see
 invariant p99/p50 amplification and median-aligned bucket-shape checks
 that catch tail blow-ups without flapping on absolute machine speed.
 Baselines recorded before telemetry existed pass the tail gate vacuously.
+Artifacts carrying coordinate-``health`` sections additionally pass
+through the *accuracy gate* (``repro.obs.regression.compare_health``):
+median/p95/mean relative error and mean drift velocity must not degrade
+beyond the baseline by more than the direction-aware limit -- the check
+that catches corrupted or mis-published coordinates that still serve
+queries without an error in sight.
 Exit status: 0 = pass, 1 = regression, 2 = usage/baseline error.
 
 Re-baselining: regenerate the smoke artifacts and copy them over the files
@@ -46,7 +52,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.obs.regression import compare_payloads  # noqa: E402
+from repro.obs.regression import compare_health_payloads, compare_payloads  # noqa: E402
 
 DEFAULT_BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
 DEFAULT_TOLERANCE = 0.30
@@ -214,6 +220,19 @@ def check_artifact(
             failures.append(f"{current_path.name}: {finding}")
     else:
         print(f"{'--':>12}  tail gate skipped (no shared telemetry sections)")
+
+    # Accuracy gate over any coordinate-health sections the two artifacts
+    # share; baselines predating health sections pass vacuously.
+    health_findings, health_compared = compare_health_payloads(baseline, current)
+    if health_compared:
+        status = "REGRESSION" if health_findings else "OK"
+        print(
+            f"  {status:>10}  accuracy gate over {health_compared} health section(s)"
+        )
+        for finding in health_findings:
+            failures.append(f"{current_path.name}: {finding}")
+    else:
+        print(f"{'--':>12}  accuracy gate skipped (no shared health sections)")
     return failures
 
 

@@ -12,6 +12,7 @@ Usage::
     python -m repro.analysis.cli query --snapshot snapshot.json knn host-0003
     python -m repro.analysis.cli serve-daemon --snapshot snapshot.json --port 9917
     python -m repro.analysis.cli load --port 9917 --count 5000 --mix mixed
+    python -m repro.analysis.cli health --port 9917 --sections relative_error
 
 Each experiment prints its paper-style report to stdout; ``--output DIR``
 additionally writes one ``<experiment>.txt`` file per experiment so runs
@@ -95,8 +96,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.service.cli import main as service_main
 
         return service_main(argv)
-    if argv and argv[0] in ("serve-daemon", "load", "metrics"):
-        # The network daemon, its load harness and the telemetry fetcher.
+    if argv and argv[0] in ("serve-daemon", "load", "metrics", "health", "watch"):
+        # The network daemon, its load harness, the telemetry fetcher and
+        # the coordinate-health report / live dashboard.
         from repro.server.cli import main as server_main
 
         return server_main(argv)

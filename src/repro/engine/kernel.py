@@ -125,6 +125,7 @@ def run_scenario(spec: ScenarioSpec, *, collect_profile: bool = False) -> Scenar
         )
         if spec.backend == "vectorized":
             from repro.netsim.batch import run_batch_simulation
+            from repro.obs.health import HealthTracker
 
             publish_kwargs: Dict[str, Any] = {}
             if spec.workload.kind == "queries-live":
@@ -134,6 +135,17 @@ def run_scenario(spec: ScenarioSpec, *, collect_profile: bool = False) -> Scenar
                 live_harness = _build_live_harness(spec)
                 live_harness.__enter__()
                 publish_kwargs = live_harness.publish_kwargs()
+            # Streaming coordinate health against the dataset's RTT
+            # oracle: everything it records is a pure function of the
+            # spec's seed and the (deterministic) epoch stream, so the
+            # health_* metrics below stay byte-identical across worker
+            # counts like every other scenario metric.
+            ticks = max(1, int(config.duration_s // config.protocol.sampling_interval_s))
+            health_tracker = HealthTracker(
+                seed=spec.seed, true_rtt=dataset.true_rtt_ms
+            )
+            publish_kwargs["health"] = health_tracker
+            publish_kwargs["health_every_ticks"] = max(1, ticks // 8)
             try:
                 with span("kernel.simulate", backend="vectorized"):
                     sim = run_batch_simulation(
@@ -153,6 +165,8 @@ def run_scenario(spec: ScenarioSpec, *, collect_profile: bool = False) -> Scenar
             counters["samples_completed"] = float(sim.samples_completed)
             counters["ticks"] = float(sim.ticks)
             counters["churn_transitions"] = float(sim.churn_transitions)
+            counters.update(health_tracker.metrics_summary())
+            workload_payload["health"] = health_tracker.summary()
             final_coordinates = sim.application_coordinates()
             if sim.final_application_arrays is not None:
                 components, heights = sim.final_application_arrays

@@ -677,6 +677,8 @@ def run_batch_simulation(
     collect_profile: bool = False,
     publish_store=None,
     publish_every_ticks: Optional[int] = None,
+    health=None,
+    health_every_ticks: Optional[int] = None,
 ) -> BatchSimulationResult:
     """Run the synchronous-round simulation on the chosen backend.
 
@@ -693,6 +695,14 @@ def run_batch_simulation(
     every that many ticks, each a new immutable version.  Each published
     epoch adopts the backend's (detached) application-level arrays --
     one ``(n, d)`` materialisation per epoch, never per-node objects.
+
+    ``health`` is anything exposing ``observe_epoch(node_ids, components,
+    heights, *, version, time_s)`` -- in practice a
+    :class:`~repro.obs.health.HealthTracker` (duck-typed so netsim never
+    imports the obs layer).  It observes every published epoch, and --
+    when ``health_every_ticks`` is set -- every that many ticks even
+    without a store, always from the same detached application-level
+    arrays, at most once per tick.
     """
     if backend not in BACKEND_KINDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKEND_KINDS}")
@@ -742,16 +752,40 @@ def run_batch_simulation(
             raise ValueError("publish_every_ticks requires a publish_store")
         if publish_every_ticks < 1:
             raise ValueError("publish_every_ticks must be >= 1")
+    if health_every_ticks is not None:
+        if health is None:
+            raise ValueError("health_every_ticks requires a health tracker")
+        if health_every_ticks < 1:
+            raise ValueError("health_every_ticks must be >= 1")
 
     samples_attempted = 0
     samples_completed = 0
     sample_seconds = 0.0
     metrics_seconds = 0.0
     publish_seconds = 0.0
+    health_seconds = 0.0
     snapshots_published = 0
+    health_observed_tick = -1
     setup_s = time.perf_counter() - setup_started
 
-    def publish_epoch(label: str) -> None:
+    def observe_health(t: float, tick: int, components=None, heights=None) -> None:
+        nonlocal health_seconds, health_observed_tick
+        if health is None or tick == health_observed_tick:
+            return
+        phase_started = time.perf_counter()
+        if components is None:
+            components, heights = backend_impl.coordinate_arrays(level="application")
+        health.observe_epoch(
+            host_ids,
+            components,
+            heights,
+            version=snapshots_published if snapshots_published else None,
+            time_s=t,
+        )
+        health_observed_tick = tick
+        health_seconds += time.perf_counter() - phase_started
+
+    def publish_epoch(label: str, t: float, tick: int) -> None:
         nonlocal publish_seconds, snapshots_published
         phase_started = time.perf_counter()
         # Application-level arrays are detached per the backend protocol,
@@ -760,6 +794,7 @@ def run_batch_simulation(
         publish_store.publish_arrays(host_ids, components, heights, source=label)
         snapshots_published += 1
         publish_seconds += time.perf_counter() - phase_started
+        observe_health(t, tick, components, heights)
 
     run_started = time.perf_counter()
     for k in range(ticks):
@@ -795,9 +830,13 @@ def run_batch_simulation(
         metrics_seconds += time.perf_counter() - phase_started
 
         if publish_every_ticks is not None and (k + 1) % publish_every_ticks == 0:
-            publish_epoch(f"batch:{backend}:tick{k + 1}")
+            publish_epoch(f"batch:{backend}:tick{k + 1}", t, k + 1)
+        if health_every_ticks is not None and (k + 1) % health_every_ticks == 0:
+            observe_health(t, k + 1)
     if publish_store is not None:
-        publish_epoch(f"batch:{backend}:final")
+        publish_epoch(f"batch:{backend}:final", ticks * interval, ticks)
+    elif health is not None:
+        observe_health(ticks * interval, ticks)
     run_s = time.perf_counter() - run_started
 
     profile: Dict[str, float] = {}
@@ -813,6 +852,8 @@ def run_batch_simulation(
         if publish_store is not None:
             profile["publish_s"] = round(publish_seconds, 6)
             profile["snapshots_published"] = float(snapshots_published)
+        if health is not None:
+            profile["health_s"] = round(health_seconds, 6)
         for phase, seconds in backend_impl.phase_seconds.items():
             profile[f"{phase}_s"] = round(seconds, 6)
 

@@ -2,8 +2,11 @@
 
 See :mod:`repro.obs.registry` for the instrument model,
 :mod:`repro.obs.tracing` for spans and per-request trace recording, and
-:mod:`repro.obs.regression` for the histogram tail-regression analyzer
-that backs the CI gate.
+:mod:`repro.obs.regression` for the histogram tail-regression and
+coordinate-accuracy analyzers that back the CI gates,
+:mod:`repro.obs.health` for streaming per-epoch coordinate-health
+snapshots (relative error, drift, neighbor churn), and
+:mod:`repro.obs.events` for the bounded structured event log.
 
 The module-level helpers below operate on one process-wide default
 registry, used for coarse engine-level spans and counters; serving
@@ -16,6 +19,13 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.obs.events import EVENT_KINDS, EventLog
+from repro.obs.health import (
+    DISPLACEMENT_SCHEME,
+    ERROR_SCHEME,
+    HealthSnapshot,
+    HealthTracker,
+)
 from repro.obs.registry import (
     DEFAULT_SCHEME,
     BucketScheme,
@@ -30,7 +40,13 @@ __all__ = [
     "BucketScheme",
     "Counter",
     "DEFAULT_SCHEME",
+    "DISPLACEMENT_SCHEME",
+    "ERROR_SCHEME",
+    "EVENT_KINDS",
+    "EventLog",
     "Gauge",
+    "HealthSnapshot",
+    "HealthTracker",
     "LatencyHistogram",
     "NOOP_SPAN",
     "TelemetryRegistry",

@@ -1,0 +1,151 @@
+"""A bounded, deterministic structured event log (JSONL).
+
+Telemetry instruments (:mod:`repro.obs.registry`) answer "how much / how
+fast"; this module answers "what happened, in what order".  The serving
+stack emits a small set of discrete lifecycle events -- an epoch was
+published, a generation was swapped in, admission control shed a
+request, a shard raised an error, a health snapshot was taken -- and
+operators read them back as JSON lines, over the wire (the daemon's
+``events`` op) or on disk (``repro load --events-out``).
+
+Design constraints, in order:
+
+* **Deterministic.**  An event is a pure record of its emission: a
+  stream-order sequence number plus caller-supplied fields.  No wall
+  clock is read unless the owner injects one, so a seeded run emits a
+  byte-identical log every time (the determinism tests pin this).
+* **Bounded.**  The log is a ring of ``capacity`` events; old events are
+  dropped, counted, and reported (``dropped``), never silently lost
+  without trace.  Emission is O(1) and never blocks serving.
+* **Structured.**  Every event is one flat JSON object:
+  ``{"seq": N, "kind": "...", ...fields}``.  ``to_jsonl`` renders with
+  sorted keys and compact separators, so equal logs are byte-equal.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["EVENT_KINDS", "EventLog"]
+
+#: The well-known event kinds emitted by the serving stack.  The log
+#: accepts any kind string -- this tuple documents the vocabulary and
+#: anchors the wire/docs contract.
+EVENT_KINDS = (
+    "epoch_published",
+    "generation_swapped",
+    "admission_shed",
+    "shard_error",
+    "health_snapshot",
+)
+
+
+class EventLog:
+    """A thread-safe bounded ring of structured events.
+
+    ``clock`` is optional; when provided, each event carries a ``ts``
+    field read from it at emission.  Leaving it unset (the default)
+    keeps the log a pure function of the emission stream -- the property
+    the byte-determinism tests rely on.
+    """
+
+    __slots__ = ("_events", "_seq", "_dropped", "_capacity", "_clock", "_lock")
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self._seq = 0
+        self._dropped = 0
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, /, **fields: Any) -> Dict[str, Any]:
+        """Append one event; returns the stored record (shared, do not mutate).
+
+        ``kind`` is positional-only so a caller passing a ``kind=...``
+        field hits the reserved-name check instead of a ``TypeError``.
+        """
+        if not kind:
+            raise ValueError("event kind must be a non-empty string")
+        if "seq" in fields or "kind" in fields:
+            raise ValueError("'seq' and 'kind' are reserved event fields")
+        event: Dict[str, Any] = {"kind": kind}
+        if self._clock is not None:
+            event["ts"] = self._clock()
+        event.update(fields)
+        with self._lock:
+            event["seq"] = self._seq
+            self._seq += 1
+            if len(self._events) == self._capacity:
+                self._dropped += 1
+            self._events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Read-out
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def emitted(self) -> int:
+        """Total events ever emitted (including dropped ones)."""
+        with self._lock:
+            return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the capacity bound."""
+        with self._lock:
+            return self._dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def tail(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The most recent ``limit`` events (all retained when None), oldest first."""
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be >= 0")
+        with self._lock:
+            events = list(self._events)
+        if limit is not None:
+            events = events[-limit:] if limit else []
+        return [dict(event) for event in events]
+
+    def to_jsonl(self, limit: Optional[int] = None) -> str:
+        """The retained events as JSON lines (sorted keys; byte-stable)."""
+        lines = [
+            json.dumps(event, sort_keys=True, separators=(",", ":"))
+            for event in self.tail(limit)
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, path: Path, limit: Optional[int] = None) -> None:
+        """Write the retained events to ``path`` as JSON lines."""
+        Path(path).write_text(self.to_jsonl(limit))
+
+    def stats(self) -> Dict[str, int]:
+        """JSON-safe bookkeeping: emitted / retained / dropped / capacity."""
+        with self._lock:
+            return {
+                "emitted": self._seq,
+                "retained": len(self._events),
+                "dropped": self._dropped,
+                "capacity": self._capacity,
+            }

@@ -1,0 +1,585 @@
+"""Streaming coordinate-health: the paper's quality metrics, live.
+
+The offline experiments answer "are the coordinates any good?" after the
+fact: fig05 plots relative embedding error CDFs, fig07 tracks drift
+(coordinates moving consistently to reflect real network change), fig11
+compares application-level against raw coordinates.  This module makes
+the same quantities available *while the system runs*, computed
+incrementally per published epoch directly from the vectorized
+``(n, d)`` arrays -- no per-node objects, no second pass over history.
+
+Per epoch, :class:`HealthTracker` computes:
+
+* **Relative embedding error** (fig05): ``|predicted - actual| /
+  actual`` over a seed-derived sample of node pairs, where the
+  prediction is the coordinate distance (``||xi - xj|| + hi + hj``) and
+  the actual RTT comes from a ``true_rtt`` oracle when one exists (the
+  simulation knows its dataset) or from the first observed epoch's
+  predictions otherwise (self-reference: the serving store can still
+  detect *corruption* of a stream whose geometry should be stable).
+  The headline median/p95 are windowed over the last ``window`` epochs.
+* **Drift** (fig07): centroid velocity (displacement of the population
+  centroid per unit time) plus the per-node displacement distribution
+  between consecutive epochs, recorded into a fixed-bucket histogram so
+  shard-wise computations merge exactly.
+* **Neighbor-set churn**: for a seed-derived sample of nodes, the
+  fraction of each node's k nearest neighbors (in coordinate space)
+  replaced since the previous epoch -- embedding stability as an
+  application would feel it.
+
+Everything is deterministic: the pair/target samples derive from
+``(seed, label)`` via :func:`~repro.stats.sampling.derive_rng`, no wall
+clock is read, and all histograms use fixed bucket schemes, so two
+seeded runs produce byte-identical snapshots, summaries, event logs and
+Prometheus text -- and per-shard displacement histograms merge into
+exactly the single-tracker histogram (both properties are pinned by
+tests).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs.events import EventLog
+from repro.obs.registry import BucketScheme, LatencyHistogram, TelemetryRegistry
+from repro.stats.sampling import derive_rng
+
+__all__ = [
+    "DISPLACEMENT_SCHEME",
+    "ERROR_SCHEME",
+    "HealthSnapshot",
+    "HealthTracker",
+]
+
+#: Relative error is dimensionless and spans machine epsilon (a healthy
+#: self-referenced stream) to O(100) (a badly corrupted embedding).
+ERROR_SCHEME = BucketScheme(lo=1e-6, per_decade=10, decades=8)
+
+#: Per-epoch node displacement in coordinate milliseconds.
+DISPLACEMENT_SCHEME = BucketScheme(lo=1e-3, per_decade=10, decades=7)
+
+#: Guard against division by a zero "actual" RTT.
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class HealthSnapshot:
+    """One epoch's health read-out (JSON-safe via :meth:`to_dict`)."""
+
+    epoch: int
+    version: Optional[int]
+    time_s: Optional[float]
+    nodes: int
+    #: This epoch's relative-error sample percentiles (None before the
+    #: first epoch with a usable pair sample).
+    relative_error_median: Optional[float]
+    relative_error_p95: Optional[float]
+    relative_error_mean: Optional[float]
+    #: Centroid displacement per unit time since the previous epoch.
+    drift_velocity: Optional[float]
+    #: Per-node displacement distribution since the previous epoch.
+    displacement_median: Optional[float]
+    displacement_p95: Optional[float]
+    #: Fraction of sampled nodes' k nearest neighbors replaced.
+    neighbor_churn: Optional[float]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "version": self.version,
+            "time_s": self.time_s,
+            "nodes": self.nodes,
+            "relative_error_median": self.relative_error_median,
+            "relative_error_p95": self.relative_error_p95,
+            "relative_error_mean": self.relative_error_mean,
+            "drift_velocity": self.drift_velocity,
+            "displacement_median": self.displacement_median,
+            "displacement_p95": self.displacement_p95,
+            "neighbor_churn": self.neighbor_churn,
+        }
+
+
+def _as_float(value: Optional[np.floating]) -> Optional[float]:
+    return None if value is None else float(value)
+
+
+class HealthTracker:
+    """Incremental per-epoch coordinate-health computation.
+
+    Feed it every published epoch via :meth:`observe_epoch`; read the
+    latest :class:`HealthSnapshot`, the aggregate :meth:`summary`, or
+    the registered gauges/histograms.  One tracker observes one
+    coordinate stream; it is not thread-safe (publishes are already
+    serialised by their store's ingest lock).
+
+    ``true_rtt(node_a, node_b, time_s) -> float`` supplies ground-truth
+    RTTs when the owner has them (the simulation's dataset).  Without
+    it, the first observed epoch's predicted distances become the
+    reference -- relative error then measures deviation from the
+    initially-published geometry, which is exactly the corruption
+    signal a serving store can compute without an oracle.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        sample_pairs: int = 128,
+        knn_k: int = 8,
+        knn_sample: int = 32,
+        window: int = 64,
+        registry: Optional[TelemetryRegistry] = None,
+        events: Optional[EventLog] = None,
+        true_rtt: Optional[Callable[[str, str, float], float]] = None,
+        label: str = "health",
+        max_snapshots: int = 4096,
+    ) -> None:
+        if sample_pairs < 1:
+            raise ValueError("sample_pairs must be >= 1")
+        if knn_k < 1 or knn_sample < 1:
+            raise ValueError("knn_k and knn_sample must be >= 1")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.seed = seed
+        self.sample_pairs = sample_pairs
+        self.knn_k = knn_k
+        self.knn_sample = knn_sample
+        self.window = window
+        self.label = label
+        self.true_rtt = true_rtt
+        self.events = events
+        self.registry = registry if registry is not None else TelemetryRegistry()
+
+        # Seed-derived samples, materialised on the first observed epoch
+        # (the population defines the sample space).
+        self._pair_ids: Optional[List[Tuple[str, str]]] = None
+        self._knn_target_ids: Optional[List[str]] = None
+        self._reference: Optional[np.ndarray] = None
+
+        # Previous-epoch state for the incremental deltas.
+        self._prev_ids: Optional[Tuple[str, ...]] = None
+        self._prev_components: Optional[np.ndarray] = None
+        self._prev_heights: Optional[np.ndarray] = None
+        self._prev_centroid: Optional[np.ndarray] = None
+        self._prev_time: Optional[float] = None
+        self._prev_knn: Dict[str, frozenset] = {}
+
+        # Aggregates.
+        self._epochs = 0
+        self._last: Optional[HealthSnapshot] = None
+        self._path_ms = 0.0
+        self._drift_dt = 0.0
+        self._churn_sum = 0.0
+        self._churn_epochs = 0
+        self._error_window: deque = deque(maxlen=window)
+        self.snapshots: deque = deque(maxlen=max_snapshots)
+
+        # Instruments (fixed names + schemes: merges and Prometheus
+        # renders stay byte-deterministic).
+        self._g_err_median = self.registry.gauge(
+            "health_relative_error_median",
+            "Windowed median relative embedding error (fig05, live).",
+        )
+        self._g_err_p95 = self.registry.gauge(
+            "health_relative_error_p95",
+            "Windowed p95 relative embedding error (fig05, live).",
+        )
+        self._g_drift = self.registry.gauge(
+            "health_drift_velocity_ms",
+            "Centroid displacement per unit time (fig07, live).",
+        )
+        self._g_churn = self.registry.gauge(
+            "health_neighbor_churn",
+            "Fraction of sampled nodes' k nearest neighbors replaced.",
+        )
+        self._c_epochs = self.registry.counter(
+            "health_epochs_total", "Epochs observed by the health tracker."
+        )
+        self._h_error = self.registry.histogram(
+            "health_relative_error",
+            "Per-pair relative embedding error, all observed epochs.",
+            scheme=ERROR_SCHEME,
+        )
+        self._h_displacement = self.registry.histogram(
+            "health_node_displacement_ms",
+            "Per-node displacement between consecutive epochs.",
+            scheme=DISPLACEMENT_SCHEME,
+        )
+
+    # ------------------------------------------------------------------
+    # Sampling (first epoch)
+    # ------------------------------------------------------------------
+    def _materialise_samples(self, node_ids: Sequence[str]) -> None:
+        n = len(node_ids)
+        pairs: List[Tuple[str, str]] = []
+        if n >= 2:
+            rng = derive_rng(self.seed, f"{self.label}:pairs")
+            count = min(self.sample_pairs, n * (n - 1) // 2)
+            first = rng.integers(0, n, size=count)
+            offset = rng.integers(1, n, size=count)
+            second = (first + offset) % n
+            pairs = [
+                (node_ids[int(a)], node_ids[int(b)])
+                for a, b in zip(first, second)
+            ]
+        self._pair_ids = pairs
+        targets: List[str] = []
+        if n >= 2:
+            rng = derive_rng(self.seed, f"{self.label}:knn")
+            chosen = rng.choice(n, size=min(self.knn_sample, n), replace=False)
+            targets = [node_ids[int(row)] for row in np.sort(chosen)]
+        self._knn_target_ids = targets
+
+    # ------------------------------------------------------------------
+    # The per-epoch observation
+    # ------------------------------------------------------------------
+    def observe_epoch(
+        self,
+        node_ids: Sequence[str],
+        components: np.ndarray,
+        heights: Optional[np.ndarray] = None,
+        *,
+        version: Optional[int] = None,
+        time_s: Optional[float] = None,
+    ) -> HealthSnapshot:
+        """Fold one published epoch into the health stream."""
+        ids = tuple(node_ids)
+        components = np.asarray(components, dtype=np.float64)
+        if components.ndim != 2 or components.shape[0] != len(ids):
+            raise ValueError(
+                f"components must be ({len(ids)}, d); got {components.shape}"
+            )
+        heights = (
+            np.zeros(len(ids))
+            if heights is None
+            else np.asarray(heights, dtype=np.float64)
+        )
+        if heights.shape != (len(ids),):
+            raise ValueError(f"heights must be ({len(ids)},); got {heights.shape}")
+        if self._pair_ids is None:
+            self._materialise_samples(ids)
+        index_of = {node_id: row for row, node_id in enumerate(ids)}
+
+        errors = self._observe_errors(index_of, components, heights, time_s)
+        drift_velocity, disp_median, disp_p95 = self._observe_drift(
+            ids, index_of, components, heights, time_s
+        )
+        churn = self._observe_churn(ids, index_of, components, heights)
+
+        self._epochs += 1
+        self._c_epochs.inc()
+        if errors is not None and errors.size:
+            window_values = np.concatenate(list(self._error_window))
+            self._g_err_median.set(float(np.percentile(window_values, 50.0)))
+            self._g_err_p95.set(float(np.percentile(window_values, 95.0)))
+        if drift_velocity is not None:
+            self._g_drift.set(drift_velocity)
+        if churn is not None:
+            self._g_churn.set(churn)
+
+        snapshot = HealthSnapshot(
+            epoch=self._epochs,
+            version=version,
+            time_s=time_s,
+            nodes=len(ids),
+            relative_error_median=(
+                _as_float(np.percentile(errors, 50.0))
+                if errors is not None and errors.size
+                else None
+            ),
+            relative_error_p95=(
+                _as_float(np.percentile(errors, 95.0))
+                if errors is not None and errors.size
+                else None
+            ),
+            relative_error_mean=(
+                _as_float(np.mean(errors))
+                if errors is not None and errors.size
+                else None
+            ),
+            drift_velocity=drift_velocity,
+            displacement_median=disp_median,
+            displacement_p95=disp_p95,
+            neighbor_churn=churn,
+        )
+        self._last = snapshot
+        self.snapshots.append(snapshot)
+        if self.events is not None:
+            self.events.emit("health_snapshot", **snapshot.to_dict())
+
+        self._prev_ids = ids
+        self._prev_components = components
+        self._prev_heights = heights
+        self._prev_time = time_s
+        return snapshot
+
+    # -- relative error -------------------------------------------------
+    def _observe_errors(
+        self,
+        index_of: Dict[str, int],
+        components: np.ndarray,
+        heights: np.ndarray,
+        time_s: Optional[float],
+    ) -> Optional[np.ndarray]:
+        assert self._pair_ids is not None
+        pairs = [
+            (index_of[a], index_of[b])
+            for a, b in self._pair_ids
+            if a in index_of and b in index_of
+        ]
+        if not pairs:
+            return None
+        rows_a = np.fromiter((a for a, _ in pairs), dtype=np.int64)
+        rows_b = np.fromiter((b for _, b in pairs), dtype=np.int64)
+        delta = components[rows_a] - components[rows_b]
+        predicted = np.sqrt(np.sum(delta * delta, axis=1))
+        predicted = predicted + heights[rows_a] + heights[rows_b]
+        if self.true_rtt is not None:
+            at = 0.0 if time_s is None else float(time_s)
+            ids = list(self._pair_ids)
+            actual = np.fromiter(
+                (
+                    self.true_rtt(a, b, at)
+                    for a, b in ids
+                    if a in index_of and b in index_of
+                ),
+                dtype=np.float64,
+                count=len(pairs),
+            )
+        else:
+            if self._reference is None:
+                # Self-reference mode: this first epoch *is* the truth.
+                self._reference = predicted
+            actual = self._reference
+            if actual.shape != predicted.shape:
+                # Population changed under self-reference; re-anchor.
+                self._reference = predicted
+                actual = predicted
+        errors = np.abs(predicted - actual) / np.maximum(actual, _EPSILON)
+        self._error_window.append(errors)
+        self._h_error.observe_many(errors.tolist())
+        return errors
+
+    # -- drift ----------------------------------------------------------
+    def _observe_drift(
+        self,
+        ids: Tuple[str, ...],
+        index_of: Dict[str, int],
+        components: np.ndarray,
+        heights: np.ndarray,
+        time_s: Optional[float],
+    ) -> Tuple[Optional[float], Optional[float], Optional[float]]:
+        centroid = components.mean(axis=0) if components.shape[0] else None
+        drift_velocity: Optional[float] = None
+        disp_median: Optional[float] = None
+        disp_p95: Optional[float] = None
+        if (
+            centroid is not None
+            and self._prev_centroid is not None
+            and centroid.shape == self._prev_centroid.shape
+        ):
+            dt = 1.0
+            if (
+                time_s is not None
+                and self._prev_time is not None
+                and time_s > self._prev_time
+            ):
+                dt = time_s - self._prev_time
+            step = float(np.linalg.norm(centroid - self._prev_centroid))
+            drift_velocity = step / dt
+            self._path_ms += step
+            self._drift_dt += dt
+        if self._prev_ids is not None and self._prev_components is not None:
+            if self._prev_ids == ids:
+                delta = components - self._prev_components
+                dh = heights - self._prev_heights
+            else:
+                prev_index = {
+                    node_id: row for row, node_id in enumerate(self._prev_ids)
+                }
+                common = [nid for nid in ids if nid in prev_index]
+                if not common:
+                    self._prev_centroid = centroid
+                    return drift_velocity, None, None
+                now_rows = np.fromiter(
+                    (index_of[nid] for nid in common), dtype=np.int64
+                )
+                prev_rows = np.fromiter(
+                    (prev_index[nid] for nid in common), dtype=np.int64
+                )
+                delta = components[now_rows] - self._prev_components[prev_rows]
+                dh = heights[now_rows] - self._prev_heights[prev_rows]
+            displacement = np.sqrt(np.sum(delta * delta, axis=1)) + np.abs(dh)
+            if displacement.size:
+                disp_median = float(np.percentile(displacement, 50.0))
+                disp_p95 = float(np.percentile(displacement, 95.0))
+                self._h_displacement.observe_many(displacement.tolist())
+        self._prev_centroid = centroid
+        return drift_velocity, disp_median, disp_p95
+
+    # -- neighbor churn --------------------------------------------------
+    def _observe_churn(
+        self,
+        ids: Tuple[str, ...],
+        index_of: Dict[str, int],
+        components: np.ndarray,
+        heights: np.ndarray,
+    ) -> Optional[float]:
+        assert self._knn_target_ids is not None
+        if len(ids) < 2 or not self._knn_target_ids:
+            return None
+        k = min(self.knn_k, len(ids) - 1)
+        current: Dict[str, frozenset] = {}
+        for target in self._knn_target_ids:
+            row = index_of.get(target)
+            if row is None:
+                continue
+            delta = components - components[row]
+            distances = np.sqrt(np.sum(delta * delta, axis=1))
+            distances = distances + heights + heights[row]
+            distances[row] = np.inf
+            nearest = np.argpartition(distances, k - 1)[:k]
+            current[target] = frozenset(ids[int(idx)] for idx in nearest)
+        churn: Optional[float] = None
+        if self._prev_knn:
+            shared = [t for t in current if t in self._prev_knn]
+            if shared:
+                replaced = [
+                    1.0 - len(current[t] & self._prev_knn[t]) / max(len(current[t]), 1)
+                    for t in shared
+                ]
+                churn = float(np.mean(replaced))
+                self._churn_sum += churn
+                self._churn_epochs += 1
+        self._prev_knn = current
+        return churn
+
+    # ------------------------------------------------------------------
+    # Read-out
+    # ------------------------------------------------------------------
+    @property
+    def epochs(self) -> int:
+        return self._epochs
+
+    @property
+    def last(self) -> Optional[HealthSnapshot]:
+        return self._last
+
+    @property
+    def error_histogram(self) -> LatencyHistogram:
+        return self._h_error
+
+    @property
+    def displacement_histogram(self) -> LatencyHistogram:
+        return self._h_displacement
+
+    def windowed_error_percentile(self, percentile: float) -> Optional[float]:
+        """Exact percentile over the last ``window`` epochs' error samples."""
+        if not self._error_window:
+            return None
+        values = np.concatenate(list(self._error_window))
+        if not values.size:
+            return None
+        return float(np.percentile(values, percentile))
+
+    def windowed_error_mean(self) -> Optional[float]:
+        if not self._error_window:
+            return None
+        values = np.concatenate(list(self._error_window))
+        if not values.size:
+            return None
+        return float(np.mean(values))
+
+    def mean_drift_velocity(self) -> Optional[float]:
+        """Centroid path length over elapsed drift time (fig07's headline)."""
+        if self._drift_dt <= 0.0:
+            return None
+        return self._path_ms / self._drift_dt
+
+    def summary(self) -> Dict[str, Any]:
+        """The JSON-safe health section embedded in reports and payloads.
+
+        Every value is a pure function of the observed epoch stream (no
+        wall clock), so seeded runs produce byte-identical summaries.
+        """
+        last = self._last
+        return {
+            "epochs": self._epochs,
+            "window": self.window,
+            "nodes": last.nodes if last is not None else 0,
+            "version": last.version if last is not None else None,
+            "mode": "oracle" if self.true_rtt is not None else "self-reference",
+            "relative_error": {
+                "median": self.windowed_error_percentile(50.0),
+                "p95": self.windowed_error_percentile(95.0),
+                "mean": self.windowed_error_mean(),
+                "count": self._h_error.count,
+                "sample_pairs": len(self._pair_ids or ()),
+            },
+            "drift": {
+                "velocity": last.drift_velocity if last is not None else None,
+                "mean_velocity": self.mean_drift_velocity(),
+                "path_ms": self._path_ms,
+                "displacement_median": (
+                    last.displacement_median if last is not None else None
+                ),
+                "displacement_p95": (
+                    last.displacement_p95 if last is not None else None
+                ),
+                "displacement_quantiles": self._h_displacement.quantile_summary(),
+            },
+            "neighbor_churn": {
+                "last": last.neighbor_churn if last is not None else None,
+                "mean": (
+                    self._churn_sum / self._churn_epochs
+                    if self._churn_epochs
+                    else None
+                ),
+                "k": self.knn_k,
+                "sample": len(self._knn_target_ids or ()),
+            },
+        }
+
+    def metrics_summary(self, prefix: str = "health_") -> Dict[str, Optional[float]]:
+        """Flat scalar view for scenario metrics dictionaries."""
+        last = self._last
+        return {
+            f"{prefix}epochs": float(self._epochs),
+            f"{prefix}relative_error_median": self.windowed_error_percentile(50.0),
+            f"{prefix}relative_error_p95": self.windowed_error_percentile(95.0),
+            f"{prefix}drift_velocity": (
+                last.drift_velocity if last is not None else None
+            ),
+            f"{prefix}drift_mean_velocity": self.mean_drift_velocity(),
+            f"{prefix}displacement_p95": (
+                last.displacement_p95 if last is not None else None
+            ),
+            f"{prefix}neighbor_churn": (
+                last.neighbor_churn if last is not None else None
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Shard-wise merging
+    # ------------------------------------------------------------------
+    @staticmethod
+    def merged_displacement(
+        trackers: Sequence["HealthTracker"],
+    ) -> LatencyHistogram:
+        """Fold per-shard displacement histograms into one.
+
+        Per-node displacement depends only on that node's own rows, so
+        trackers fed disjoint node partitions merge into exactly the
+        histogram a single tracker over the union stream records (the
+        fixed bucket scheme makes the merge bucket-wise exact).
+        """
+        merged = LatencyHistogram(
+            "health_node_displacement_ms", scheme=DISPLACEMENT_SCHEME
+        )
+        for tracker in trackers:
+            merged.merge(tracker.displacement_histogram)
+        return merged

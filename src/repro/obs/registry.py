@@ -222,6 +222,30 @@ class LatencyHistogram:
             if value > self._max:
                 self._max = value
 
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a batch of values under one lock acquisition.
+
+        Buckets, count, and min/max land exactly as per-value
+        :meth:`observe` calls would; the running sum uses ``math.fsum``
+        over the batch (at least as accurate as sequential addition).
+        One lock acquisition amortises the array-sized batches the
+        health tracker records per epoch.
+        """
+        values = [float(value) for value in values]
+        if any(math.isnan(value) for value in values):
+            raise ValueError("cannot observe NaN")
+        bucket_index = self.scheme.bucket_index
+        with self._lock:
+            counts = self._counts
+            for value in values:
+                counts[bucket_index(value)] += 1
+                if value < self._min:
+                    self._min = value
+                if value > self._max:
+                    self._max = value
+            self._count += len(values)
+            self._sum += math.fsum(values)
+
     def merge(self, other: "LatencyHistogram") -> None:
         """Fold ``other`` into this histogram (exact; ``other`` untouched)."""
         if other.scheme != self.scheme:
@@ -300,8 +324,16 @@ class LatencyHistogram:
         )
         return min(value, self._max)
 
-    def quantile_summary(self) -> Dict[str, float]:
-        """The tail read-out used in reports: p50 / p90 / p99 / p999."""
+    def quantile_summary(self) -> Dict[str, Optional[float]]:
+        """The tail read-out used in reports: p50 / p90 / p99 / p999.
+
+        A histogram with no observations yields all-``None`` values (JSON
+        ``null``) rather than raising or leaking NaN into report JSON --
+        report assembly runs unconditionally over whatever instruments
+        exist, including ones nothing has recorded into yet.
+        """
+        if self._count == 0:
+            return {"p50": None, "p90": None, "p99": None, "p999": None}
         return {
             "p50": self.percentile(50.0),
             "p90": self.percentile(90.0),
@@ -397,7 +429,14 @@ class TelemetryRegistry:
         self.spans_enabled = spans_enabled
 
     # -- instrument factories (get-or-create) ---------------------------
-    def _get_or_create(self, kind: type, name: str, help: str, labels: Mapping[str, Any]):
+    def _get_or_create(
+        self,
+        kind: type,
+        name: str,
+        help: str,
+        labels: Mapping[str, Any],
+        scheme: BucketScheme = DEFAULT_SCHEME,
+    ):
         key = (name, _label_key(labels))
         with self._lock:
             instrument = self._instruments.get(key)
@@ -405,7 +444,7 @@ class TelemetryRegistry:
                 instrument = (
                     kind(name, key[1])
                     if kind is not LatencyHistogram
-                    else LatencyHistogram(name, key[1])
+                    else LatencyHistogram(name, key[1], scheme)
                 )
                 self._instruments[key] = instrument
                 if help and name not in self._help:
@@ -426,7 +465,7 @@ class TelemetryRegistry:
     def histogram(
         self, name: str, help: str = "", scheme: BucketScheme = DEFAULT_SCHEME, **labels: Any
     ) -> LatencyHistogram:
-        histogram = self._get_or_create(LatencyHistogram, name, help, labels)
+        histogram = self._get_or_create(LatencyHistogram, name, help, labels, scheme)
         if histogram.scheme != scheme:
             raise ValueError(
                 f"histogram {name!r} already registered with a different scheme"

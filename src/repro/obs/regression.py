@@ -26,12 +26,22 @@ Both checks are direction-aware: getting *faster* than baseline never
 fails.  Sections with fewer than ``min_count`` observations are skipped
 rather than judged on noise.
 
+Alongside the tail gate, an **accuracy gate** diffs the ``health``
+sections the same reports embed (see :mod:`repro.obs.health`): the
+coordinate-quality scalars -- windowed median/p95/mean relative
+embedding error and drift velocity -- may not *degrade* versus the
+committed baseline.  The check is direction-aware (a more accurate or
+more stable embedding never fails) and tolerance-floored (an absolute
+``atol`` keeps near-machine-epsilon baselines from tripping on
+platform-level float noise).  Reports without health sections pass
+vacuously, so pre-health baselines stay accepted.
+
 Run standalone::
 
     python -m repro.obs.regression BASELINE.json CURRENT.json
 
-Exit status: 0 clean, 1 tail regression found, 2 usage/input error.
-The same comparison is invoked in-process by
+Exit status: 0 clean, 1 tail/accuracy regression found, 2 usage/input
+error.  The same comparisons are invoked in-process by
 ``benchmarks/check_regression.py`` for ``server_load`` artifacts.
 """
 
@@ -48,8 +58,12 @@ from typing import Any, Dict, List, Mapping, Tuple
 from repro.obs.registry import LatencyHistogram
 
 __all__ = [
+    "AccuracyThresholds",
     "Thresholds",
+    "collect_health_sections",
     "collect_telemetry_sections",
+    "compare_health",
+    "compare_health_payloads",
     "compare_histograms",
     "compare_payloads",
     "compare_telemetry",
@@ -222,6 +236,141 @@ def compare_payloads(
     return findings, len(shared)
 
 
+# ----------------------------------------------------------------------
+# Accuracy gate (coordinate health)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AccuracyThresholds:
+    """Limits for the coordinate-accuracy gate.
+
+    Degradation is judged multiplicatively (``current > baseline x
+    limit``) with an absolute floor: a healthy self-referenced stream
+    has baseline relative error near machine epsilon (~1e-16), where
+    BLAS-level float differences across platforms produce huge *ratios*
+    on meaningless absolute changes.  ``atol`` keeps those runs clean
+    while still catching real corruption, which moves the error by
+    orders of magnitude past any floor.
+    """
+
+    #: Fail when a gated metric exceeds baseline by more than this factor...
+    degradation_limit: float = 1.5
+    #: ...and by more than this absolute amount.
+    atol: float = 1e-6
+
+
+#: The health-section scalars the accuracy gate compares, as
+#: (path-into-section, human label).  Lower is better for all of them.
+_HEALTH_GATED_METRICS: Tuple[Tuple[Tuple[str, ...], str], ...] = (
+    (("relative_error", "median"), "median relative error"),
+    (("relative_error", "p95"), "p95 relative error"),
+    (("relative_error", "mean"), "mean relative error"),
+    (("drift", "mean_velocity"), "mean drift velocity"),
+)
+
+
+def _health_metric(section: Mapping[str, Any], path: Tuple[str, ...]) -> Any:
+    node: Any = section
+    for key in path:
+        if not isinstance(node, Mapping):
+            return None
+        node = node.get(key)
+    return node
+
+
+def compare_health(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    *,
+    context: str = "health",
+    thresholds: AccuracyThresholds = AccuracyThresholds(),
+) -> List[str]:
+    """Findings (empty when clean) for one baseline/current health pair.
+
+    Direction-aware: only *degradation* (current worse than baseline by
+    more than the limit and the absolute floor) fails; improvement and
+    metrics absent on either side are accepted.
+    """
+    findings: List[str] = []
+    for path, label in _HEALTH_GATED_METRICS:
+        base_value = _health_metric(baseline, path)
+        cur_value = _health_metric(current, path)
+        if base_value is None or cur_value is None:
+            continue
+        base_value = float(base_value)
+        cur_value = float(cur_value)
+        if math.isnan(base_value) or math.isnan(cur_value):
+            continue
+        allowed = max(
+            base_value * thresholds.degradation_limit,
+            base_value + thresholds.atol,
+        )
+        if cur_value > allowed:
+            findings.append(
+                f"{context}: {label} degraded to {cur_value:.4g} "
+                f"(baseline {base_value:.4g}, limit "
+                f"x{thresholds.degradation_limit:g} + atol "
+                f"{thresholds.atol:g})"
+            )
+    return findings
+
+
+def collect_health_sections(
+    document: Any, path: str = ""
+) -> Dict[str, Mapping[str, Any]]:
+    """Every ``health`` section in a JSON document, keyed by its path.
+
+    Mirrors :func:`collect_telemetry_sections`: the recursive walk
+    consumes ``repro load`` reports, ``bench_server`` artifacts, and
+    daemon health payloads without shape-specific plumbing.  A mapping
+    counts as a health section when it carries a ``relative_error``
+    mapping (the one field every :meth:`HealthTracker.summary` has).
+    """
+    sections: Dict[str, Mapping[str, Any]] = {}
+    if isinstance(document, Mapping):
+        health = document.get("health")
+        if isinstance(health, Mapping) and isinstance(
+            health.get("relative_error"), Mapping
+        ):
+            sections[path or "<root>"] = health
+        for key, value in document.items():
+            if key == "health":
+                continue
+            child = f"{path}.{key}" if path else str(key)
+            sections.update(collect_health_sections(value, child))
+    elif isinstance(document, list):
+        for index, value in enumerate(document):
+            sections.update(collect_health_sections(value, f"{path}[{index}]"))
+    return sections
+
+
+def compare_health_payloads(
+    baseline: Any,
+    current: Any,
+    *,
+    thresholds: AccuracyThresholds = AccuracyThresholds(),
+) -> Tuple[List[str], int]:
+    """Compare every health section shared by two report documents.
+
+    Returns ``(findings, compared_sections)``; documents with no shared
+    health sections pass vacuously (baselines recorded before health
+    telemetry existed stay accepted).
+    """
+    base_sections = collect_health_sections(baseline)
+    cur_sections = collect_health_sections(current)
+    findings: List[str] = []
+    shared = sorted(set(base_sections) & set(cur_sections))
+    for path in shared:
+        findings.extend(
+            compare_health(
+                base_sections[path],
+                cur_sections[path],
+                context=path,
+                thresholds=thresholds,
+            )
+        )
+    return findings, len(shared)
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.regression",
@@ -252,11 +401,29 @@ def main(argv: List[str] | None = None) -> int:
         default=Thresholds.min_count,
         help="skip histograms with fewer observations (default %(default)s)",
     )
+    parser.add_argument(
+        "--degradation-limit",
+        type=float,
+        default=AccuracyThresholds.degradation_limit,
+        help="max allowed growth factor of gated health metrics vs "
+        "baseline (default %(default)s)",
+    )
+    parser.add_argument(
+        "--accuracy-atol",
+        type=float,
+        default=AccuracyThresholds.atol,
+        help="absolute degradation floor for the accuracy gate "
+        "(default %(default)s)",
+    )
     args = parser.parse_args(argv)
     thresholds = Thresholds(
         tail_ratio_limit=args.tail_ratio_limit,
         shift_limit=args.shift_limit,
         min_count=args.min_count,
+    )
+    accuracy = AccuracyThresholds(
+        degradation_limit=args.degradation_limit,
+        atol=args.accuracy_atol,
     )
     try:
         baseline = json.loads(args.baseline.read_text())
@@ -264,14 +431,30 @@ def main(argv: List[str] | None = None) -> int:
     except (OSError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    findings, compared = compare_payloads(baseline, current, thresholds=thresholds)
-    if findings:
-        print(f"TAIL REGRESSION ({len(findings)} finding(s)):")
-        for finding in findings:
+    tail_findings, compared = compare_payloads(
+        baseline, current, thresholds=thresholds
+    )
+    health_findings, health_compared = compare_health_payloads(
+        baseline, current, thresholds=accuracy
+    )
+    status = 0
+    if tail_findings:
+        print(f"TAIL REGRESSION ({len(tail_findings)} finding(s)):")
+        for finding in tail_findings:
             print(f"  - {finding}")
-        return 1
-    print(f"tail gate clean ({compared} telemetry section(s) compared)")
-    return 0
+        status = 1
+    else:
+        print(f"tail gate clean ({compared} telemetry section(s) compared)")
+    if health_findings:
+        print(f"ACCURACY REGRESSION ({len(health_findings)} finding(s)):")
+        for finding in health_findings:
+            print(f"  - {finding}")
+        status = 1
+    else:
+        print(
+            f"accuracy gate clean ({health_compared} health section(s) compared)"
+        )
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

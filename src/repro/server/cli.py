@@ -22,6 +22,13 @@ Usage::
     repro metrics --port 9917
     repro metrics --port 9917 --out metrics.prom
 
+    # Coordinate-health report (relative error, drift, churn, staleness)
+    repro health --port 9917
+    repro health --port 9917 --sections relative_error,drift --json
+
+    # Live text dashboard: poll stats + health, plot trends
+    repro watch --port 9917 --interval 0.5 --iterations 10
+
 ``serve-daemon`` runs in the foreground until Ctrl-C, a ``shutdown``
 request, or ``--max-seconds``; ``--ready-file`` writes ``host port`` once
 the socket is bound (for scripts and CI).  ``load`` fetches the node
@@ -35,9 +42,14 @@ failing (exit 1) unless the daemon's answers are byte-identical.
 (per-kind latency histograms and outcome counters) as Prometheus text;
 with ``--deterministic-timing`` recorded latencies are a pure hash of the
 query stream, so the file is byte-identical across repeated seeded runs.
-``metrics`` fetches the *server-side* registry over the wire ``metrics``
-op.  ``serve-daemon --trace-spans`` additionally records per-stage span
-histograms (``span_ms``) on the request path.
+``load --health-out FILE`` writes the daemon's coordinate-health section
+of the report as JSON and ``--events-out FILE`` dumps the daemon's
+structured event log as JSONL.  Every artifact flag creates missing
+parent directories and fails with a one-line ``error:`` message and exit
+code 2 when the path is unwritable.  ``metrics`` fetches the
+*server-side* registry over the wire ``metrics`` op.  ``serve-daemon
+--trace-spans`` additionally records per-stage span histograms
+(``span_ms``) on the request path.
 """
 
 from __future__ import annotations
@@ -60,6 +72,19 @@ from repro.service.snapshot import CoordinateSnapshot, SnapshotStore
 from repro.service.workload import QUERY_MIXES, generate_queries, run_workload
 
 __all__ = ["main"]
+
+
+def _write_artifact(path: Path, text: str, label: str) -> None:
+    """Write a CLI output artifact, creating missing parent directories.
+
+    An unwritable path (a file where a directory is needed, a read-only
+    tree) raises ``OSError``, which ``main`` turns into a one-line
+    ``error:`` message and exit code 2 -- no traceback, no partially
+    reported success.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    print(f"{label} written to {path}")
 
 
 # ----------------------------------------------------------------------
@@ -227,11 +252,33 @@ async def _load_async(args: argparse.Namespace) -> int:
                 )
                 exit_code = 1
         if args.out is not None:
-            args.out.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
-            print(f"load report written to {args.out}")
+            _write_artifact(
+                args.out, json.dumps(report.as_dict(), indent=2) + "\n", "load report"
+            )
         if args.metrics_out is not None:
-            args.metrics_out.write_text(registry.render_prometheus())
-            print(f"Prometheus metrics written to {args.metrics_out}")
+            _write_artifact(
+                args.metrics_out, registry.render_prometheus(), "Prometheus metrics"
+            )
+        if args.health_out is not None:
+            _write_artifact(
+                args.health_out,
+                json.dumps(report.health, indent=2, sort_keys=True) + "\n",
+                "health report",
+            )
+        if args.events_out is not None:
+            events = await client.op("events")
+            if not events.get("ok"):
+                print(
+                    f"error: daemon refused event log: {events.get('error')}",
+                    file=sys.stderr,
+                )
+                exit_code = exit_code or 1
+            else:
+                lines = "".join(
+                    json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+                    for event in events["payload"]["events"]
+                )
+                _write_artifact(args.events_out, lines, "event log")
         if args.shutdown:
             response = await client.op("shutdown")
             if response.get("ok"):
@@ -274,8 +321,7 @@ async def _metrics_async(args: argparse.Namespace) -> int:
         return 2
     text = response["payload"]["text"]
     if args.out is not None:
-        args.out.write_text(text)
-        print(f"Prometheus metrics written to {args.out}")
+        _write_artifact(args.out, text, "Prometheus metrics")
     else:
         sys.stdout.write(text)
     return 0
@@ -284,6 +330,188 @@ async def _metrics_async(args: argparse.Namespace) -> int:
 def _cmd_metrics(args: argparse.Namespace) -> int:
     try:
         return asyncio.run(_metrics_async(args))
+    except ConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+# ----------------------------------------------------------------------
+# repro health
+# ----------------------------------------------------------------------
+def _format_number(value: Any) -> str:
+    """Render a health figure deterministically (``%.6g`` for floats)."""
+    if value is None:
+        return "n/a"
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, float):
+        return format(value, ".6g")
+    return str(value)
+
+
+def _format_health_text(payload: Dict[str, Any]) -> str:
+    """A deterministic plain-text rendering of a ``health`` op payload."""
+    num = _format_number
+    lines = []
+    generation = payload.get("generation")
+    if generation is not None:
+        lines.append(
+            f"generation: v{num(generation.get('version'))}, "
+            f"{num(generation.get('nodes'))} node(s), "
+            f"{num(generation.get('epochs'))} epoch(s), "
+            f"mode {num(generation.get('mode'))}, "
+            f"source {num(generation.get('source'))}"
+        )
+    error = payload.get("relative_error")
+    if error is not None:
+        lines.append(
+            f"relative_error: median {num(error.get('median'))}  "
+            f"p95 {num(error.get('p95'))}  mean {num(error.get('mean'))}  "
+            f"(samples {num(error.get('count'))}, "
+            f"pairs {num(error.get('sample_pairs'))})"
+        )
+    drift = payload.get("drift")
+    if drift is not None:
+        lines.append(
+            f"drift: velocity {num(drift.get('velocity'))}  "
+            f"mean {num(drift.get('mean_velocity'))}  "
+            f"path_ms {num(drift.get('path_ms'))}  "
+            f"displacement p50 {num(drift.get('displacement_median'))} "
+            f"/ p95 {num(drift.get('displacement_p95'))}"
+        )
+    churn = payload.get("neighbor_churn")
+    if churn is not None:
+        lines.append(
+            f"neighbor_churn: last {num(churn.get('last'))}  "
+            f"mean {num(churn.get('mean'))}  "
+            f"(k {num(churn.get('k'))}, sample {num(churn.get('sample'))})"
+        )
+    staleness = payload.get("staleness")
+    if staleness is not None:
+        serve_age = staleness.get("publish_to_serve_age_ms") or {}
+        lines.append(
+            f"staleness: generation_age_s {num(staleness.get('generation_age_s'))}  "
+            f"serve_age_ms p50 {num(serve_age.get('p50'))} "
+            f"/ p99 {num(serve_age.get('p99'))}  "
+            f"(serves {num(staleness.get('serves_observed'))})"
+        )
+    if not lines:
+        lines.append("(no health sections)")
+    return "\n".join(lines) + "\n"
+
+
+async def _health_async(args: argparse.Namespace) -> int:
+    request: Dict[str, Any] = {}
+    if args.sections:
+        request["sections"] = [
+            name.strip() for name in args.sections.split(",") if name.strip()
+        ]
+    client = await AsyncCoordinateClient.connect(args.host, args.port)
+    try:
+        response = await client.op("health", **request)
+    finally:
+        await client.close()
+    if not response.get("ok"):
+        print(
+            f"error: daemon refused health: {response.get('error')}", file=sys.stderr
+        )
+        return 2
+    payload = response["payload"]
+    if args.json:
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    else:
+        text = _format_health_text(payload)
+    if args.out is not None:
+        _write_artifact(args.out, text, "health report")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    try:
+        return asyncio.run(_health_async(args))
+    except ConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+# ----------------------------------------------------------------------
+# repro watch
+# ----------------------------------------------------------------------
+async def _watch_async(args: argparse.Namespace) -> int:
+    from repro.analysis.textplot import render_series
+
+    client = await AsyncCoordinateClient.connect(args.host, args.port)
+    served_series = []
+    error_series = []
+    last_health: Dict[str, Any] = {}
+    try:
+        for frame in range(args.iterations):
+            stats_response = await client.op("stats")
+            health_response = await client.op("health")
+            if not stats_response.get("ok") or not health_response.get("ok"):
+                failure = stats_response.get("error") or health_response.get("error")
+                print(f"error: daemon refused watch poll: {failure}", file=sys.stderr)
+                return 2
+            stats = stats_response["payload"]
+            last_health = health_response["payload"]
+            served = sum(
+                int(summary.get("served", 0))
+                for summary in stats.get("kinds", {}).values()
+            )
+            error = last_health.get("relative_error", {}).get("p95")
+            served_series.append((float(frame), float(served)))
+            if error is not None:
+                error_series.append((float(frame), float(error)))
+            drift = last_health.get("drift", {}).get("velocity")
+            churn = last_health.get("neighbor_churn", {}).get("last")
+            print(
+                f"[{frame}] v{stats.get('version')}  nodes {stats.get('nodes')}  "
+                f"served {served}  rel_err_p95 {_format_number(error)}  "
+                f"drift {_format_number(drift)}  churn {_format_number(churn)}",
+                flush=True,
+            )
+            if frame + 1 < args.iterations:
+                await asyncio.sleep(args.interval)
+    finally:
+        await client.close()
+
+    print()
+    print(
+        render_series(
+            served_series,
+            width=60,
+            height=8,
+            title="served queries (cumulative)",
+            x_label="frame",
+            y_label="served",
+        )
+    )
+    if error_series:
+        print(
+            render_series(
+                error_series,
+                width=60,
+                height=8,
+                title="p95 relative error",
+                x_label="frame",
+                y_label="rel err",
+            )
+        )
+    print(_format_health_text(last_health), end="")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    if args.iterations < 1:
+        print("error: --iterations must be at least 1", file=sys.stderr)
+        return 2
+    if args.interval < 0:
+        print("error: --interval must be non-negative", file=sys.stderr)
+        return 2
+    try:
+        return asyncio.run(_watch_async(args))
     except ConnectionError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -401,6 +629,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the load run's telemetry registry as Prometheus text",
     )
     load.add_argument(
+        "--health-out",
+        type=Path,
+        default=None,
+        help="write the daemon's coordinate-health report section as JSON",
+    )
+    load.add_argument(
+        "--events-out",
+        type=Path,
+        default=None,
+        help="write the daemon's structured event log as JSONL",
+    )
+    load.add_argument(
         "--deterministic-timing",
         action="store_true",
         help="record hash-derived synthetic latencies instead of the wall "
@@ -417,6 +657,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=Path, default=None, help="write to a file instead of stdout"
     )
     metrics.set_defaults(handler=_cmd_metrics)
+
+    health = groups.add_parser(
+        "health", help="fetch a daemon's coordinate-health report"
+    )
+    health.add_argument("--host", default="127.0.0.1")
+    health.add_argument("--port", type=int, required=True)
+    health.add_argument(
+        "--sections",
+        default=None,
+        help="comma-separated health sections (default: all); e.g. "
+        "'generation,relative_error,drift,neighbor_churn' excludes the "
+        "timer-based staleness section for deterministic output",
+    )
+    health.add_argument(
+        "--json", action="store_true", help="emit the payload as sorted JSON"
+    )
+    health.add_argument(
+        "--out", type=Path, default=None, help="write to a file instead of stdout"
+    )
+    health.set_defaults(handler=_cmd_health)
+
+    watch = groups.add_parser(
+        "watch", help="poll a daemon and render a live text dashboard"
+    )
+    watch.add_argument("--host", default="127.0.0.1")
+    watch.add_argument("--port", type=int, required=True)
+    watch.add_argument(
+        "--interval", type=float, default=1.0, help="seconds between polls"
+    )
+    watch.add_argument(
+        "--iterations", type=int, default=5, help="number of polls before exiting"
+    )
+    watch.set_defaults(handler=_cmd_watch)
 
     return parser
 

@@ -316,6 +316,13 @@ class CoordinateServer:
         with make_span(self.registry, "daemon.admission", trace, {}):
             admitted = self._admit()
         if not admitted:
+            events = getattr(self.store, "events", None)
+            if events is not None:
+                events.emit(
+                    "admission_shed",
+                    op=str(request.get("op")),
+                    limit=self.admission_limit,
+                )
             return {
                 "id": request_id,
                 "ok": False,
@@ -364,6 +371,47 @@ class CoordinateServer:
                         "text": self.registry.render_prometheus(),
                     },
                 }
+            if op == "health":
+                sections = request.get("sections")
+                if sections is not None and (
+                    not isinstance(sections, (list, tuple))
+                    or not all(isinstance(name, str) for name in sections)
+                ):
+                    return {
+                        "id": request_id,
+                        "ok": False,
+                        "error": "health 'sections' must be a list of section names",
+                    }
+                try:
+                    with make_span(self.registry, "daemon.health", trace, {}):
+                        payload = self.store.health(sections)
+                except ValueError as exc:
+                    return {"id": request_id, "ok": False, "error": str(exc)}
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    "payload": payload,
+                    "version": self.store.version,
+                }
+            if op == "events":
+                limit = request.get("limit")
+                if limit is not None and (
+                    isinstance(limit, bool) or not isinstance(limit, int) or limit < 0
+                ):
+                    return {
+                        "id": request_id,
+                        "ok": False,
+                        "error": "events 'limit' must be a non-negative integer",
+                    }
+                events = self.store.events
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    "payload": {
+                        "events": events.tail(limit),
+                        "stats": events.stats(),
+                    },
+                }
             if op == "nodes":
                 generation = self.store.generation()
                 return {
@@ -401,6 +449,9 @@ class CoordinateServer:
         try:
             payload, version, cached = self.store.serve(query, trace=trace)
         except QueryError as exc:
+            events = getattr(self.store, "events", None)
+            if events is not None:
+                events.emit("shard_error", query_kind=query.kind, error=str(exc))
             return {"id": request_id, "ok": False, "error": str(exc)}
         return {
             "id": request_id,

@@ -76,6 +76,7 @@ class LiveServingHarness:
             index_kind=index_kind,
             history=1_000_000,
             cache_entries=cache_entries,
+            health_seed=seed,
         )
         self.server = CoordinateServer(self.store, admission_limit=4096)
         #: The server-side telemetry registry (store + daemon instruments;
@@ -242,6 +243,13 @@ class LiveServingHarness:
             "query_error_count": float(measured.errors),
             "query_oracle_agreement": agreement,
         }
+        # Store-side coordinate health over the streamed epochs: every
+        # value is a pure function of the (deterministic) publish stream
+        # -- no wall clock -- so it belongs in the scenario metrics, not
+        # the profile.  Self-referenced: relative error here measures
+        # movement away from the first published geometry, i.e. how much
+        # the embedding was still converging while serving.
+        metrics.update(self.store.health_tracker.metrics_summary(prefix="store_health_"))
         if profile is not None:
             profile["live_serve_qps"] = round(
                 live.queries_per_s if live is not None else 0.0, 3
@@ -263,6 +271,7 @@ class LiveServingHarness:
             "index_kind": self.store.index_kind,
             "checksum": measured.checksum,
             "oracle_checksum": oracle.checksum,
+            "store_health": self.store.health_tracker.summary(),
         }
         return metrics, payload
 

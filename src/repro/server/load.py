@@ -133,6 +133,10 @@ class LoadReport:
     offered_qps: Optional[float] = None
     #: Histogram-backed per-kind tail summary (p50/p99/p999 + buckets).
     telemetry: Dict[str, Any] = field(default_factory=dict)
+    #: The daemon's coordinate-health payload fetched after the run
+    #: (relative-error percentiles, drift, staleness); empty when the
+    #: daemon predates the ``health`` op or the fetch was disabled.
+    health: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def queries_per_s(self) -> float:
@@ -160,7 +164,35 @@ class LoadReport:
             "checksum": self.checksum,
             "versions": list(self.versions),
             "telemetry": self.telemetry,
+            "health": self.health,
         }
+
+
+async def _fetch_health(
+    client: AsyncCoordinateClient, deterministic_timing: bool
+) -> Dict[str, Any]:
+    """The daemon's health payload for the report's ``health`` section.
+
+    Under deterministic timing, the wall-clock ``staleness`` section is
+    replaced by a deterministic placeholder (the section is still
+    present -- the report schema does not depend on the timing mode) so
+    seeded runs stay byte-identical end to end.  A daemon that predates
+    the ``health`` op yields an empty section rather than an error.
+    """
+    try:
+        response = await client.op("health")
+    except (ConnectionError, OSError):
+        return {}
+    if not response.get("ok"):
+        return {}
+    health = dict(response.get("payload") or {})
+    if deterministic_timing and "staleness" in health:
+        health["staleness"] = {
+            "deterministic_timing": True,
+            "generation_age_s": None,
+            "publish_to_serve_age_ms": None,
+        }
+    return health
 
 
 async def run_load_async(
@@ -174,6 +206,7 @@ async def run_load_async(
     max_in_flight: int = 1024,
     registry: Optional[TelemetryRegistry] = None,
     deterministic_timing: bool = False,
+    collect_health: bool = True,
 ) -> LoadReport:
     """Drive ``queries`` through a running daemon and summarise."""
     if mode not in LOAD_MODES:
@@ -242,6 +275,11 @@ async def run_load_async(
                     await asyncio.sleep(delay)
                 tasks.append(asyncio.create_task(fire(position)))
             await asyncio.gather(*tasks)
+        health = (
+            await _fetch_health(clients[0], deterministic_timing)
+            if collect_health
+            else {}
+        )
     finally:
         for client in clients:
             await client.close()
@@ -329,6 +367,7 @@ async def run_load_async(
         # closed mode must not masquerade as an offered-load figure.
         offered_qps=float(rate_qps) if mode == "open" and rate_qps else None,
         telemetry=telemetry,
+        health=health,
     )
 
 

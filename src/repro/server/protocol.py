@@ -36,6 +36,11 @@ Operations
 ``stats``     -> serving/ingest/admission/error counters (JSON-safe)
 ``metrics``   -> ``{"content_type": str, "text": str}`` -- the server's
                  telemetry registry rendered in Prometheus text format
+``health``    -> coordinate-health sections (relative error, drift,
+                 neighbor churn, staleness); optional ``sections`` list
+                 restricts the payload, an unknown name is an error
+``events``    -> ``{"events": [...], "stats": {...}}`` -- the structured
+                 event log tail; optional integer ``limit``
 ``nodes``     -> ``{"node_ids": [...], "version": int}``
 ``snapshot``  -> the full snapshot dict (``CoordinateSnapshot.to_dict``)
 ``ping``      -> ``{"pong": true}``
@@ -88,6 +93,8 @@ OPS = (
     "version",
     "stats",
     "metrics",
+    "health",
+    "events",
     "nodes",
     "snapshot",
     "ping",

@@ -52,6 +52,8 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.coordinate import Coordinate, centroid
+from repro.obs.events import EventLog
+from repro.obs.health import HealthTracker
 from repro.obs.registry import Counter, LatencyHistogram, TelemetryRegistry
 from repro.obs.tracing import NOOP_SPAN, TraceRecorder, make_span
 from repro.overlay.knn import CoordinateIndex
@@ -60,7 +62,16 @@ from repro.service.planner import LRUTTLCache, Query, QueryError, QUERY_KINDS
 from repro.service.snapshot import SnapshotStore
 from repro.stats.percentile import StreamingPercentile
 
-__all__ = ["ShardedCoordinateStore", "ShardGeneration", "shard_of"]
+__all__ = ["HEALTH_SECTIONS", "ShardedCoordinateStore", "ShardGeneration", "shard_of"]
+
+#: The sections a store health payload can carry, in canonical order.
+HEALTH_SECTIONS = (
+    "generation",
+    "relative_error",
+    "drift",
+    "neighbor_churn",
+    "staleness",
+)
 
 
 def _span(registry: Optional[TelemetryRegistry], name: str, trace, **labels):
@@ -346,6 +357,7 @@ class ShardedCoordinateStore:
         cache_ttl_s: float = float("inf"),
         timer: Callable[[], float] = time.perf_counter,
         registry: Optional[TelemetryRegistry] = None,
+        health_seed: int = 0,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -399,6 +411,27 @@ class ShardedCoordinateStore:
         self._g_nodes = self.registry.gauge(
             "store_nodes", "Node count of the current generation."
         )
+        #: Structured lifecycle events (epoch published, generation
+        #: swapped, admission shed, ...); the daemon serves the tail over
+        #: the wire and emits its own admission events into the same log.
+        self.events = EventLog()
+        #: Streaming coordinate health over the published epoch stream.
+        #: Self-referenced (no RTT oracle here): relative error measures
+        #: deviation from the first published geometry, i.e. corruption.
+        self.health_tracker = HealthTracker(
+            seed=health_seed, registry=self.registry, events=self.events
+        )
+        self._g_generation_age_s = self.registry.gauge(
+            "store_generation_age_s",
+            "Seconds since the served generation was installed (staleness).",
+        )
+        self._h_serve_age_ms = self.registry.histogram(
+            "store_serve_generation_age_ms",
+            "Publish-to-serve age of the generation answering each query.",
+        )
+        #: Install wall-time per retained generation version (timer units),
+        #: pruned alongside the generations themselves.
+        self._publish_walls: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # Ingest (whole-population epochs and incremental commits)
@@ -424,10 +457,10 @@ class ShardedCoordinateStore:
                 node_ids, components, heights, source=source
             )
             ids, comps, hts = snapshot.arrays()
-            generation = self._build_generation_locked(
-                snapshot, ids, np.asarray(comps), np.asarray(hts)
-            )
-            self._install_locked(generation, started)
+            comps = np.asarray(comps)
+            hts = np.asarray(hts)
+            generation = self._build_generation_locked(snapshot, ids, comps, hts)
+            self._install_locked(generation, started, ids, comps, hts)
             return generation
 
     def publish_coordinates(
@@ -458,7 +491,7 @@ class ShardedCoordinateStore:
                 comps = np.empty((0, 1))
                 hts = np.empty(0)
             generation = self._build_generation_locked(snapshot, order, comps, hts)
-            self._install_locked(generation, started)
+            self._install_locked(generation, started, order, comps, hts)
             return generation
 
     def ingest_collector(self, collector, *, level: str = "application", source: str = "") -> ShardGeneration:
@@ -508,11 +541,25 @@ class ShardedCoordinateStore:
             list(node_ids),
         )
 
-    def _install_locked(self, generation: ShardGeneration, started: float) -> None:
+    def _install_locked(
+        self,
+        generation: ShardGeneration,
+        started: float,
+        node_ids: Sequence[str],
+        components: np.ndarray,
+        heights: np.ndarray,
+    ) -> None:
+        self.events.emit(
+            "epoch_published",
+            version=generation.version,
+            nodes=len(generation),
+            source=generation.source,
+        )
         self._generations[generation.version] = generation
         floor = generation.version - self.history + 1
         for version in [v for v in self._generations if v < floor]:
             self._generations.pop(version, None)
+            self._publish_walls.pop(version, None)
         # The swap: a single reference assignment.  Readers see either the
         # whole old generation or the whole new one, never a mixture.
         self._generation = generation
@@ -525,6 +572,19 @@ class ShardedCoordinateStore:
         self._h_publish_ms.observe(elapsed_s * 1e3)
         self._g_version.set(generation.version)
         self._g_nodes.set(len(generation))
+        self._publish_walls[generation.version] = self._timer()
+        self.events.emit(
+            "generation_swapped",
+            version=generation.version,
+            retained=len(self._generations),
+            shard_sizes=list(generation.shard_sizes),
+        )
+        # Health observes the same frozen arrays the generation serves;
+        # no wall time is passed, so its values stay a pure function of
+        # the publish stream (per-epoch drift/error units).
+        self.health_tracker.observe_epoch(
+            node_ids, components, heights, version=generation.version
+        )
 
     # ------------------------------------------------------------------
     # Serving
@@ -566,6 +626,11 @@ class ShardedCoordinateStore:
         """
         pinned = generation if generation is not None else self._generation
         stats = self._serve_stats[query.kind]
+        installed = self._publish_walls.get(pinned.version)
+        if installed is not None:
+            age_s = self._timer() - installed
+            self._h_serve_age_ms.observe(age_s * 1e3)
+            self._g_generation_age_s.set(age_s)
         key = (pinned.version, query)
         with _span(self.registry, "store.cache", trace, kind=query.kind):
             with self._stats_lock:
@@ -629,6 +694,52 @@ class ShardedCoordinateStore:
             "cache": cache,
             "ingest": ingest,
         }
+
+    def health(self, sections: Optional[Sequence[str]] = None) -> Dict[str, Any]:
+        """The coordinate-health payload served by the ``health`` wire op.
+
+        ``sections`` restricts the payload to the named
+        :data:`HEALTH_SECTIONS` (canonical order is preserved; an unknown
+        name raises ``ValueError``).  Every section except ``staleness``
+        is a pure function of the publish stream -- byte-deterministic
+        for a seeded publisher; ``staleness`` reads the store timer
+        (generation age, publish-to-serve age quantiles), which is why
+        deterministic consumers can ask for the other sections only.
+        """
+        if sections is None:
+            wanted = HEALTH_SECTIONS
+        else:
+            unknown = [name for name in sections if name not in HEALTH_SECTIONS]
+            if unknown:
+                raise ValueError(
+                    f"unknown health section(s) {unknown!r}; "
+                    f"known: {list(HEALTH_SECTIONS)}"
+                )
+            wanted = tuple(name for name in HEALTH_SECTIONS if name in sections)
+        summary = self.health_tracker.summary()
+        generation = self._generation
+        payload: Dict[str, Any] = {}
+        for name in wanted:
+            if name == "generation":
+                payload[name] = {
+                    "version": generation.version,
+                    "nodes": len(generation),
+                    "source": generation.source,
+                    "epochs": summary["epochs"],
+                    "mode": summary["mode"],
+                }
+            elif name == "staleness":
+                installed = self._publish_walls.get(generation.version)
+                payload[name] = {
+                    "generation_age_s": (
+                        self._timer() - installed if installed is not None else None
+                    ),
+                    "publish_to_serve_age_ms": self._h_serve_age_ms.quantile_summary(),
+                    "serves_observed": self._h_serve_age_ms.count,
+                }
+            else:
+                payload[name] = summary[name]
+        return payload
 
     # ------------------------------------------------------------------
     # Construction conveniences

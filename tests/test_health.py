@@ -1,0 +1,496 @@
+"""Tests for coordinate-health observability (:mod:`repro.obs.health`).
+
+The load-bearing guarantees:
+
+* the health tracker is a pure function of the epoch stream: same seeded
+  publishes, byte-identical snapshots, summaries and Prometheus text;
+* corruption shows up where it must -- zeroing a few percent of rows
+  blows up the *mean* and *p95* relative error (the median alone would
+  sleep through it) -- and the accuracy gate fails on exactly that;
+* the structured event log is bounded, ordered and deterministic;
+* the sim integration observes published epochs without perturbing the
+  simulation result.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import NodeConfig
+from repro.latency.planetlab import PlanetLabDataset
+from repro.netsim.batch import run_batch_simulation
+from repro.netsim.runner import SimulationConfig
+from repro.obs.events import EVENT_KINDS, EventLog
+from repro.obs.health import (
+    DISPLACEMENT_SCHEME,
+    ERROR_SCHEME,
+    HealthSnapshot,
+    HealthTracker,
+)
+from repro.obs.registry import TelemetryRegistry
+from repro.obs.regression import (
+    AccuracyThresholds,
+    collect_health_sections,
+    compare_health,
+    compare_health_payloads,
+)
+
+
+def make_epochs(n=60, d=3, epochs=5, seed=7, step=2.0):
+    """A deterministic epoch stream: pure translations of one universe."""
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(-80.0, 80.0, size=(n, d))
+    node_ids = [f"h{i:03d}" for i in range(n)]
+    return node_ids, [base + epoch * step for epoch in range(epochs)]
+
+
+# ----------------------------------------------------------------------
+# The event log
+# ----------------------------------------------------------------------
+class TestEventLog:
+    def test_emit_assigns_stream_order_sequence_numbers(self):
+        log = EventLog()
+        for index in range(5):
+            event = log.emit("epoch_published", version=index)
+        assert event["seq"] == 4
+        tail = log.tail()
+        assert [event["seq"] for event in tail] == list(range(5))
+        assert [event["version"] for event in tail] == list(range(5))
+        assert all(event["kind"] == "epoch_published" for event in tail)
+
+    def test_bounded_ring_drops_oldest_and_counts(self):
+        log = EventLog(capacity=3)
+        for index in range(10):
+            log.emit("health_snapshot", epoch=index)
+        assert log.emitted == 10 and log.dropped == 7
+        tail = log.tail()
+        assert [event["epoch"] for event in tail] == [7, 8, 9]
+        # Sequence numbers keep counting across drops.
+        assert [event["seq"] for event in tail] == [7, 8, 9]
+        assert log.stats() == {
+            "emitted": 10,
+            "retained": 3,
+            "dropped": 7,
+            "capacity": 3,
+        }
+
+    def test_tail_limit_returns_newest_oldest_first(self):
+        log = EventLog()
+        for index in range(6):
+            log.emit("generation_swapped", version=index)
+        assert [event["version"] for event in log.tail(2)] == [4, 5]
+        assert log.tail(0) == []
+
+    def test_reserved_fields_and_empty_kind_rejected(self):
+        log = EventLog()
+        with pytest.raises(ValueError, match="kind"):
+            log.emit("")
+        with pytest.raises(ValueError, match="reserved"):
+            log.emit("shard_error", seq=3)
+        with pytest.raises(ValueError, match="reserved"):
+            log.emit("shard_error", kind="other")
+
+    def test_jsonl_rendering_is_sorted_and_newline_terminated(self, tmp_path):
+        log = EventLog()
+        log.emit("epoch_published", zulu=1, alpha=2)
+        text = log.to_jsonl()
+        assert text.endswith("\n")
+        (line,) = text.splitlines()
+        assert line == json.dumps(
+            json.loads(line), sort_keys=True, separators=(",", ":")
+        )
+        assert list(json.loads(line)) == sorted(json.loads(line))
+        path = tmp_path / "deep" / "events.jsonl"
+        path.parent.mkdir(parents=True)
+        log.write_jsonl(path)
+        assert path.read_text() == text
+
+    def test_no_wall_clock_unless_injected(self):
+        assert "ts" not in EventLog().emit("epoch_published")
+        stamped = EventLog(clock=lambda: 12.5).emit("epoch_published")
+        assert stamped["ts"] == 12.5
+
+    def test_known_kinds_cover_the_emitters(self):
+        assert set(EVENT_KINDS) == {
+            "epoch_published",
+            "generation_swapped",
+            "admission_shed",
+            "shard_error",
+            "health_snapshot",
+        }
+
+
+# ----------------------------------------------------------------------
+# The health tracker
+# ----------------------------------------------------------------------
+class TestHealthTracker:
+    def observe_all(self, tracker, node_ids, epochs, dt=None):
+        snapshot = None
+        for index, components in enumerate(epochs):
+            snapshot = tracker.observe_epoch(
+                node_ids,
+                components,
+                np.zeros(len(node_ids)),
+                version=index + 1,
+                time_s=None if dt is None else index * dt,
+            )
+        return snapshot
+
+    def test_deterministic_across_runs(self):
+        node_ids, epochs = make_epochs()
+
+        def run():
+            registry = TelemetryRegistry()
+            events = EventLog()
+            tracker = HealthTracker(seed=3, registry=registry, events=events)
+            self.observe_all(tracker, node_ids, epochs)
+            snapshots = json.dumps(
+                [snapshot.to_dict() for snapshot in tracker.snapshots],
+                sort_keys=True,
+            )
+            return snapshots, registry.render_prometheus(), events.to_jsonl()
+
+        assert run() == run()
+
+    def test_translation_keeps_error_zero_and_measures_drift(self):
+        node_ids, epochs = make_epochs(d=3, step=2.0)
+        tracker = HealthTracker(seed=1)
+        last = self.observe_all(tracker, node_ids, epochs)
+        assert isinstance(last, HealthSnapshot)
+        # Distance-preserving epochs: self-referenced error is fp noise.
+        assert last.relative_error_p95 < 1e-9
+        assert last.relative_error_median < 1e-9
+        # Centroid moves 2.0 per component per epoch (dt = 1/epoch).
+        assert last.drift_velocity == pytest.approx(2.0 * math.sqrt(3.0))
+        # Every node moves by exactly the same translation.
+        assert last.displacement_median == pytest.approx(2.0 * math.sqrt(3.0))
+        assert last.neighbor_churn == 0.0
+
+    def test_time_scaled_drift_velocity(self):
+        node_ids, epochs = make_epochs(d=2, step=3.0)
+        tracker = HealthTracker(seed=1)
+        # 10 simulated seconds between epochs: velocity is ms per second.
+        last = self.observe_all(tracker, node_ids, epochs, dt=10.0)
+        assert last.drift_velocity == pytest.approx(3.0 * math.sqrt(2.0) / 10.0)
+
+    def test_oracle_mode_measures_true_relative_error(self):
+        n = 40
+        rng = np.random.default_rng(5)
+        base = rng.uniform(-50.0, 50.0, size=(n, 2))
+        node_ids = [f"h{i:03d}" for i in range(n)]
+        index = {node_id: row for row, node_id in enumerate(node_ids)}
+
+        def true_rtt(a, b, time_s):
+            # The truth is exactly half of every predicted distance, so
+            # each pair's relative error is |pred - true| / true = 1.0.
+            return 0.5 * float(
+                np.linalg.norm(base[index[a]] - base[index[b]])
+            )
+
+        tracker = HealthTracker(seed=2, true_rtt=true_rtt)
+        snapshot = tracker.observe_epoch(node_ids, base, np.zeros(n))
+        assert tracker.summary()["mode"] == "oracle"
+        assert snapshot.relative_error_median == pytest.approx(1.0)
+        assert snapshot.relative_error_p95 == pytest.approx(1.0)
+
+    def test_corruption_moves_mean_and_p95_not_median(self):
+        node_ids, epochs = make_epochs(n=200, epochs=4, seed=11)
+        corrupted = [components.copy() for components in epochs]
+        rows = np.random.default_rng(99).choice(200, size=10, replace=False)
+        for components in corrupted[1:]:
+            components[rows] = 0.0
+
+        clean_tracker = HealthTracker(seed=4)
+        clean = self.observe_all(clean_tracker, node_ids, epochs)
+        corrupt_tracker = HealthTracker(seed=4)
+        corrupt = self.observe_all(corrupt_tracker, node_ids, corrupted)
+
+        # 5% of rows touches ~10% of sampled pairs: the median sleeps
+        # through it, the mean and p95 do not -- which is exactly why
+        # the accuracy gate watches all three.
+        assert corrupt.relative_error_median < 1e-9
+        assert corrupt.relative_error_mean > 0.01
+        assert corrupt.relative_error_p95 > 0.01
+        assert clean.relative_error_mean < 1e-9
+
+    def test_churn_detects_neighborhood_reshuffle(self):
+        n = 80
+        rng = np.random.default_rng(13)
+        first = rng.uniform(-60.0, 60.0, size=(n, 3))
+        second = rng.uniform(-60.0, 60.0, size=(n, 3))  # unrelated geometry
+        node_ids = [f"h{i:03d}" for i in range(n)]
+        tracker = HealthTracker(seed=6)
+        tracker.observe_epoch(node_ids, first, np.zeros(n))
+        snapshot = tracker.observe_epoch(node_ids, second, np.zeros(n))
+        assert snapshot.neighbor_churn is not None
+        assert snapshot.neighbor_churn > 0.5
+
+    def test_sharded_displacement_histograms_merge_to_single(self):
+        node_ids, epochs = make_epochs(n=64, epochs=4)
+        single = HealthTracker(seed=8)
+        self.observe_all(single, node_ids, epochs)
+
+        # Partition the node population into 4 disjoint trackers and
+        # fold their displacement histograms back together.
+        parts = [slice(0, 16), slice(16, 32), slice(32, 48), slice(48, 64)]
+        shard_trackers = []
+        for part in parts:
+            tracker = HealthTracker(seed=8)
+            for components in epochs:
+                tracker.observe_epoch(
+                    node_ids[part], components[part], np.zeros(16)
+                )
+            shard_trackers.append(tracker)
+        merged = HealthTracker.merged_displacement(shard_trackers)
+        assert merged.scheme == DISPLACEMENT_SCHEME
+        assert merged.count == single.displacement_histogram.count
+        assert (
+            merged.bucket_counts()
+            == single.displacement_histogram.bucket_counts()
+        )
+        assert merged.sum == pytest.approx(
+            single.displacement_histogram.sum, rel=1e-12
+        )
+
+    def test_metrics_summary_and_instruments(self):
+        node_ids, epochs = make_epochs(epochs=3)
+        registry = TelemetryRegistry()
+        tracker = HealthTracker(seed=9, registry=registry)
+        self.observe_all(tracker, node_ids, epochs)
+        summary = tracker.metrics_summary()
+        assert set(summary) == {
+            "health_epochs",
+            "health_relative_error_median",
+            "health_relative_error_p95",
+            "health_drift_velocity",
+            "health_drift_mean_velocity",
+            "health_displacement_p95",
+            "health_neighbor_churn",
+        }
+        assert summary["health_epochs"] == 3.0
+        text = registry.render_prometheus()
+        assert "health_relative_error_median" in text
+        assert "health_epochs_total 3" in text
+        histogram = tracker.error_histogram
+        assert histogram.scheme == ERROR_SCHEME
+
+    def test_snapshot_event_emission(self):
+        node_ids, epochs = make_epochs(epochs=2)
+        events = EventLog()
+        tracker = HealthTracker(seed=1, events=events)
+        self.observe_all(tracker, node_ids, epochs)
+        kinds = [event["kind"] for event in events.tail()]
+        assert kinds == ["health_snapshot", "health_snapshot"]
+        assert events.tail()[-1]["epoch"] == 2
+
+    def test_validation(self):
+        tracker = HealthTracker(seed=0)
+        with pytest.raises(ValueError, match="components"):
+            tracker.observe_epoch(["a", "b"], np.zeros((3, 2)), np.zeros(3))
+        with pytest.raises(ValueError, match="heights"):
+            tracker.observe_epoch(["a", "b"], np.zeros((2, 2)), np.zeros(3))
+        with pytest.raises(ValueError, match="sample_pairs"):
+            HealthTracker(sample_pairs=0)
+        with pytest.raises(ValueError, match="window"):
+            HealthTracker(window=0)
+
+
+# ----------------------------------------------------------------------
+# The accuracy regression gate
+# ----------------------------------------------------------------------
+def health_section(median=0.0, p95=0.0, mean=0.0, velocity=1.0):
+    return {
+        "relative_error": {"median": median, "p95": p95, "mean": mean},
+        "drift": {"mean_velocity": velocity},
+    }
+
+
+class TestAccuracyGate:
+    def test_identical_payload_passes(self):
+        section = health_section(0.1, 0.3, 0.15)
+        assert compare_health(section, section, context="t") == []
+
+    def test_improvement_never_fails(self):
+        baseline = health_section(0.2, 0.5, 0.3, velocity=4.0)
+        improved = health_section(0.05, 0.1, 0.06, velocity=1.0)
+        assert compare_health(baseline, improved, context="t") == []
+
+    def test_degradation_beyond_limit_fails_per_metric(self):
+        baseline = health_section(0.1, 0.3, 0.15)
+        worse = health_section(0.2, 0.31, 0.15)  # median 2x, p95 within 1.5x
+        findings = compare_health(baseline, worse, context="ctx")
+        assert len(findings) == 1
+        assert "median relative error" in findings[0]
+        assert "ctx" in findings[0]
+
+    def test_atol_floor_for_near_zero_baselines(self):
+        # A 1e-16 self-reference baseline must not fail on 1e-15 noise,
+        # but must fail on genuine degradation.
+        baseline = health_section(1e-16, 1e-16, 1e-16)
+        noise = health_section(9e-16, 9e-16, 9e-16)
+        assert compare_health(baseline, noise, context="t") == []
+        corrupt = health_section(1e-16, 0.1, 0.08)
+        findings = compare_health(baseline, corrupt, context="t")
+        assert len(findings) == 2
+
+    def test_custom_thresholds(self):
+        baseline = health_section(0.1, 0.1, 0.1)
+        worse = health_section(0.13, 0.1, 0.1)
+        strict = AccuracyThresholds(degradation_limit=1.2, atol=1e-9)
+        assert compare_health(baseline, worse, context="t") == []
+        assert len(compare_health(baseline, worse, context="t", thresholds=strict)) == 1
+
+    def test_none_and_nan_metrics_are_skipped(self):
+        baseline = health_section(None, float("nan"), 0.1)
+        current = health_section(5.0, 5.0, 0.1)
+        assert compare_health(baseline, current, context="t") == []
+
+    def test_collect_walks_nested_documents(self):
+        document = {
+            "ingest": {"health": health_section(0.1, 0.2, 0.1)},
+            "legs": [
+                {"health": health_section(0.0, 0.0, 0.0)},
+                {"no_health": True},
+            ],
+            "health": {"not_a_section": True},  # no relative_error mapping
+        }
+        sections = collect_health_sections(document)
+        assert sorted(sections) == ["ingest", "legs[0]"]
+
+    def test_payload_comparison_is_vacuous_without_shared_sections(self):
+        findings, compared = compare_health_payloads({"a": 1}, {"b": 2})
+        assert findings == [] and compared == 0
+
+    def test_payload_comparison_matches_sections_by_path(self):
+        baseline = {"ingest": {"health": health_section(1e-16, 1e-16, 1e-16)}}
+        corrupt = {"ingest": {"health": health_section(1e-16, 0.11, 0.08)}}
+        findings, compared = compare_health_payloads(baseline, corrupt)
+        assert compared == 1
+        assert len(findings) == 2
+        assert all("ingest" in finding for finding in findings)
+
+
+# ----------------------------------------------------------------------
+# Simulation integration
+# ----------------------------------------------------------------------
+class TestBatchSimHealth:
+    def make_config(self, **overrides):
+        parameters = {
+            "nodes": 16,
+            "duration_s": 100.0,
+            "node_config": NodeConfig.preset("mp"),
+            "seed": 3,
+        }
+        parameters.update(overrides)
+        return SimulationConfig(**parameters)
+
+    def test_health_observes_published_epochs_without_perturbing_sim(self):
+        from repro.service.snapshot import SnapshotStore
+
+        config = self.make_config()
+        dataset = PlanetLabDataset.generate(
+            config.nodes, seed=config.seed, parameters=config.dataset
+        )
+        plain = run_batch_simulation(config, backend="vectorized", dataset=dataset)
+
+        store = SnapshotStore(index_kind="dense", history=32)
+        tracker = HealthTracker(seed=config.seed, true_rtt=dataset.true_rtt_ms)
+        observed = run_batch_simulation(
+            config,
+            backend="vectorized",
+            dataset=dataset,
+            publish_store=store,
+            publish_every_ticks=5,
+            health=tracker,
+            collect_profile=True,
+        )
+        # 20 ticks -> 4 interval epochs + the final publish.  The final
+        # publish lands on tick 20, which the interval already observed,
+        # so the tracker deduplicates it (same tick, same arrays).
+        assert observed.snapshots_published == 5
+        assert tracker.epochs == 4
+        assert tracker.summary()["mode"] == "oracle"
+        assert tracker.last.relative_error_median is not None
+        assert "health_s" in observed.profile
+        # Observation is read-only: the simulated coordinates are
+        # byte-identical with and without the tracker attached.
+        for a, b in zip(plain.final_application, observed.final_application):
+            assert a == b
+
+    def test_health_every_ticks_without_store(self):
+        config = self.make_config()
+        tracker = HealthTracker(seed=config.seed)
+        run_batch_simulation(
+            config,
+            backend="vectorized",
+            health=tracker,
+            health_every_ticks=5,
+        )
+        # Every 5th of 20 ticks; the final-tick observation coincides
+        # with the interval one and is deduplicated.
+        assert tracker.epochs == 4
+
+    def test_health_jsonl_is_deterministic_across_runs(self):
+        def run():
+            events = EventLog()
+            tracker = HealthTracker(seed=5, events=events)
+            run_batch_simulation(
+                self.make_config(),
+                backend="vectorized",
+                health=tracker,
+                health_every_ticks=4,
+            )
+            return events.to_jsonl()
+
+        first = run()
+        assert first == run()
+        assert all(
+            json.loads(line)["kind"] == "health_snapshot"
+            for line in first.splitlines()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="health_every_ticks"):
+            run_batch_simulation(
+                self.make_config(), backend="vectorized", health_every_ticks=4
+            )
+        tracker = HealthTracker(seed=1)
+        with pytest.raises(ValueError, match="health_every_ticks"):
+            run_batch_simulation(
+                self.make_config(),
+                backend="vectorized",
+                health=tracker,
+                health_every_ticks=0,
+            )
+
+
+class TestScenarioHealth:
+    def test_vectorized_scenario_carries_health_metrics(self):
+        from repro.engine.kernel import run_scenario
+        from repro.scenarios.spec import ScenarioSpec
+
+        spec = ScenarioSpec.from_dict(
+            {
+                "name": "health-test",
+                "mode": "simulate",
+                "network": {"nodes": 24},
+                "preset": "mp",
+                "duration_s": 120.0,
+                "backend": "vectorized",
+                "seed": 9,
+            }
+        )
+        first = run_scenario(spec)
+        metrics = first.result.metrics
+        assert metrics["health_epochs"] >= 1.0
+        assert metrics["health_relative_error_median"] is not None
+        health = first.result.workload["health"]
+        assert health["relative_error"]["count"] > 0
+        assert health["mode"] == "oracle"
+        # The health section is part of the deterministic result.
+        second = run_scenario(spec)
+        assert first.result.canonical_json() == second.result.canonical_json()

@@ -198,6 +198,38 @@ class TestHistogramPercentiles:
         assert set(summary) == {"p50", "p90", "p99", "p999"}
         assert summary["p50"] <= summary["p90"] <= summary["p99"] <= summary["p999"]
 
+    def test_quantile_summary_of_empty_histogram_is_all_none(self):
+        # Regression: this used to raise ValueError via percentile() on
+        # a zero-count histogram, breaking callers that summarize
+        # instruments which simply have not observed anything yet.
+        summary = LatencyHistogram("empty").quantile_summary()
+        assert summary == {"p50": None, "p90": None, "p99": None, "p999": None}
+
+    def test_observe_many_matches_sequential_observes(self):
+        rng = np.random.default_rng(3)
+        values = rng.lognormal(1.0, 0.8, size=500)
+        one = LatencyHistogram("a")
+        for value in values:
+            one.observe(float(value))
+        many = LatencyHistogram("b")
+        many.observe_many(values)
+        assert many.count == one.count
+        assert many.bucket_counts() == one.bucket_counts()
+        assert many.min == one.min and many.max == one.max
+        # The batched sum uses math.fsum; equal to within an ulp or two.
+        assert many.sum == pytest.approx(one.sum, rel=1e-12)
+        with pytest.raises(ValueError, match="NaN"):
+            many.observe_many([1.0, float("nan")])
+
+    def test_registry_histogram_honors_custom_scheme(self):
+        # Regression: _get_or_create used to build the instrument with
+        # the default scheme and then fail its own mismatch check.
+        registry = TelemetryRegistry()
+        scheme = BucketScheme(lo=1e-6, per_decade=10, decades=8)
+        histogram = registry.histogram("custom", scheme=scheme)
+        assert histogram.scheme == scheme
+        assert registry.histogram("custom", scheme=scheme) is histogram
+
 
 # ----------------------------------------------------------------------
 # Exact merging: the property the whole layer is built on

@@ -544,6 +544,7 @@ class TestLoadTelemetry:
         assert set(payload) == {
             "mode", "query_count", "ok", "errors", "overloaded", "elapsed_s",
             "qps", "offered_qps", "kinds", "checksum", "versions", "telemetry",
+            "health",
         }
         assert payload["query_count"] == payload["ok"] == 400
         for kind, summary in payload["kinds"].items():
@@ -556,6 +557,158 @@ class TestLoadTelemetry:
             }
             assert entry["count"] == payload["kinds"][kind]["count"]
         json.dumps(payload)
+
+    def test_report_health_section_is_deterministic(self, universe):
+        first = self.run_deterministic(universe, None)
+        second = self.run_deterministic(universe, None)
+        assert first.health, "load report carries no health section"
+        assert json.dumps(first.health, sort_keys=True) == json.dumps(
+            second.health, sort_keys=True
+        )
+        # --deterministic-timing stubs the timer-based staleness figures
+        # so the whole section is byte-reproducible.
+        assert first.health["staleness"] == {
+            "deterministic_timing": True,
+            "generation_age_s": None,
+            "publish_to_serve_age_ms": None,
+        }
+        assert first.health["relative_error"]["count"] > 0
+        assert first.health["generation"]["nodes"] == 180
+
+
+# ----------------------------------------------------------------------
+# Coordinate health and the event log over the wire
+# ----------------------------------------------------------------------
+class TestHealthWire:
+    def make_store(self, epochs=3, nodes=40, shards=3):
+        node_ids = [f"h{i:03d}" for i in range(nodes)]
+        rng = np.random.default_rng(11)
+        base = rng.uniform(-80.0, 80.0, size=(nodes, 3))
+        store = ShardedCoordinateStore(
+            shards, index_kind="vptree", history=epochs + 2, health_seed=5
+        )
+        for epoch in range(epochs):
+            store.publish_arrays(
+                node_ids, base + epoch * 2.0, np.zeros(nodes), source=f"e{epoch}"
+            )
+        return store
+
+    def test_health_op_payload_shape(self):
+        store = self.make_store()
+
+        async def scenario(address):
+            async with await AsyncCoordinateClient.connect(*address) as client:
+                full = await client.op("health")
+                partial = await client.op("health", sections=["relative_error"])
+                return full, partial
+
+        with serve_in_thread(store) as handle:
+            full, partial = asyncio.run(scenario(handle.address))
+        assert full["ok"] and full["version"] == 3
+        payload = full["payload"]
+        assert list(payload) == [
+            "generation", "relative_error", "drift", "neighbor_churn", "staleness",
+        ]
+        assert payload["generation"]["version"] == 3
+        assert payload["generation"]["mode"] == "self-reference"
+        assert payload["relative_error"]["count"] > 0
+        # Translated epochs preserve distances: the self-referenced
+        # relative error stays at floating-point noise.
+        assert payload["relative_error"]["p95"] < 1e-9
+        assert payload["drift"]["mean_velocity"] == pytest.approx(
+            2.0 * np.sqrt(3.0)
+        )
+        assert payload["neighbor_churn"]["last"] == 0.0
+        json.dumps(payload)
+        assert list(partial["payload"]) == ["relative_error"]
+
+    def test_health_op_unknown_section_is_error_envelope(self):
+        store = self.make_store(epochs=1)
+
+        async def scenario(address):
+            async with await AsyncCoordinateClient.connect(*address) as client:
+                unknown = await client.request(
+                    {"id": 41, "op": "health", "sections": ["bogus"]}
+                )
+                bad_type = await client.request(
+                    {"id": 42, "op": "health", "sections": "drift"}
+                )
+                return unknown, bad_type
+
+        with serve_in_thread(store) as handle:
+            unknown, bad_type = asyncio.run(scenario(handle.address))
+        # The exact error envelope: id + ok + error, nothing else.
+        assert set(unknown) == {"id", "ok", "error"} and not unknown["ok"]
+        assert "unknown health section" in unknown["error"]
+        assert "bogus" in unknown["error"]
+        assert set(bad_type) == {"id", "ok", "error"} and not bad_type["ok"]
+        assert "list of section names" in bad_type["error"]
+
+    def test_health_op_trace_interplay(self):
+        store = self.make_store(epochs=2)
+
+        async def scenario(address):
+            async with await AsyncCoordinateClient.connect(*address) as client:
+                traced = await client.request({"op": "health", "trace": True})
+                plain = await client.op("health")
+                return traced, plain
+
+        with serve_in_thread(store) as handle:
+            traced, plain = asyncio.run(scenario(handle.address))
+        assert traced["ok"] and "trace" not in plain
+        stages = [entry["stage"] for entry in traced["trace"]]
+        assert "daemon.health" in stages
+        assert "daemon.request" in stages
+        assert traced["payload"]["generation"]["version"] == 2
+
+    def test_events_op_tail_and_validation(self):
+        store = self.make_store(epochs=3)
+
+        async def scenario(address):
+            async with await AsyncCoordinateClient.connect(*address) as client:
+                everything = await client.op("events")
+                tail = await client.op("events", limit=2)
+                invalid = await client.op("events", limit=-1)
+                return everything, tail, invalid
+
+        with serve_in_thread(store) as handle:
+            everything, tail, invalid = asyncio.run(scenario(handle.address))
+        events = everything["payload"]["events"]
+        # 3 epochs x (published, swapped, health_snapshot).
+        assert len(events) == 9
+        assert [event["seq"] for event in events] == list(range(9))
+        kinds = {event["kind"] for event in events}
+        assert kinds == {"epoch_published", "generation_swapped", "health_snapshot"}
+        stats = everything["payload"]["stats"]
+        assert stats["emitted"] == 9 and stats["dropped"] == 0
+        assert [event["seq"] for event in tail["payload"]["events"]] == [7, 8]
+        assert not invalid["ok"]
+        assert "non-negative integer" in invalid["error"]
+
+    def test_sharded_health_equals_single_store_health(self):
+        node_ids = [f"h{i:03d}" for i in range(36)]
+        rng = np.random.default_rng(23)
+        base = rng.uniform(-50.0, 50.0, size=(36, 4))
+        payloads = []
+        for shards in (1, 4):
+            store = ShardedCoordinateStore(
+                shards, index_kind="linear", history=8, health_seed=9
+            )
+            for epoch in range(4):
+                store.publish_arrays(
+                    node_ids,
+                    base * (1.0 + 0.05 * epoch),
+                    np.full(36, 0.5),
+                    source=f"e{epoch}",
+                )
+            payloads.append(
+                store.health(
+                    ["generation", "relative_error", "drift", "neighbor_churn"]
+                )
+            )
+        assert json.dumps(payloads[0], sort_keys=True) == json.dumps(
+            payloads[1], sort_keys=True
+        )
 
 
 # ----------------------------------------------------------------------
@@ -726,8 +879,11 @@ class TestServerCli:
         from repro.server.cli import main
 
         ready = tmp_path / "ready.txt"
-        out = tmp_path / "load.json"
-        metrics_out = tmp_path / "load-metrics.prom"
+        # Nested, not-yet-existing directories: the CLI must create them.
+        out = tmp_path / "artifacts" / "load.json"
+        metrics_out = tmp_path / "artifacts" / "prom" / "load-metrics.prom"
+        health_out = tmp_path / "artifacts" / "health.json"
+        events_out = tmp_path / "artifacts" / "events.jsonl"
         daemon_rc: list = []
 
         def run_daemon():
@@ -747,10 +903,17 @@ class TestServerCli:
         thread.start()
         try:
             deadline = time.time() + 15.0
-            while not ready.exists() and time.time() < deadline:
+            # Wait for the full "host port" line, not just the file: the
+            # ready file briefly exists empty while being written.
+            fields: list = []
+            while time.time() < deadline:
+                if ready.exists():
+                    fields = ready.read_text().split()
+                    if len(fields) == 2:
+                        break
                 time.sleep(0.01)
-            assert ready.exists(), "daemon never wrote the ready file"
-            host, port = ready.read_text().split()
+            assert len(fields) == 2, "daemon never wrote the ready file"
+            host, port = fields
             metrics_rc = main(["metrics", "--host", host, "--port", port])
             assert metrics_rc == 0
             rc = main(
@@ -765,6 +928,8 @@ class TestServerCli:
                     "--shutdown",
                     "--out", str(out),
                     "--metrics-out", str(metrics_out),
+                    "--health-out", str(health_out),
+                    "--events-out", str(events_out),
                 ]
             )
             assert rc == 0
@@ -783,11 +948,103 @@ class TestServerCli:
         metrics_text = metrics_out.read_text()
         assert "# TYPE load_latency_ms histogram" in metrics_text
         assert 'load_requests_total{outcome="ok"} 300' in metrics_text
+        health = json.loads(health_out.read_text())
+        assert health == report["health"]
+        assert health["relative_error"]["count"] > 0
+        events = [
+            json.loads(line) for line in events_out.read_text().splitlines()
+        ]
+        assert events and {"epoch_published", "generation_swapped"} <= {
+            event["kind"] for event in events
+        }
+        assert [event["seq"] for event in events] == sorted(
+            event["seq"] for event in events
+        )
+
+    def test_health_cli_is_deterministic_and_hardens_paths(self, tmp_path, capsys):
+        from repro.server.cli import main
+
+        node_ids = [f"h{i:02d}" for i in range(30)]
+        rng = np.random.default_rng(2)
+        base = rng.uniform(-40.0, 40.0, size=(30, 3))
+        store = ShardedCoordinateStore(
+            2, index_kind="vptree", history=8, health_seed=3
+        )
+        for epoch in range(3):
+            store.publish_arrays(
+                node_ids, base + epoch * 1.5, np.zeros(30), source=f"e{epoch}"
+            )
+        # Deterministic sections only: staleness reads the wall clock.
+        sections = "generation,relative_error,drift,neighbor_churn"
+        with serve_in_thread(store) as handle:
+            host, port = handle.address
+            base_args = ["health", "--host", host, "--port", str(port)]
+            assert main(base_args + ["--sections", sections]) == 0
+            first = capsys.readouterr().out
+            assert main(base_args + ["--sections", sections]) == 0
+            second = capsys.readouterr().out
+            assert first == second
+            assert "generation: v3" in first
+            assert "relative_error: median" in first
+            assert "staleness" not in first
+
+            nested = tmp_path / "deep" / "dir" / "health.json"
+            assert main(base_args + ["--json", "--out", str(nested)]) == 0
+            payload = json.loads(nested.read_text())
+            assert payload["generation"]["version"] == 3
+            capsys.readouterr()
+
+            blocker = tmp_path / "blocker"
+            blocker.write_text("a file, not a directory\n")
+            rc = main(base_args + ["--out", str(blocker / "x.txt")])
+            assert rc == 2
+            err = capsys.readouterr().err
+            assert err.startswith("error:") and err.strip().count("\n") == 0
+
+            assert (
+                main(
+                    [
+                        "watch",
+                        "--host", host,
+                        "--port", str(port),
+                        "--interval", "0.01",
+                        "--iterations", "2",
+                    ]
+                )
+                == 0
+            )
+            watch_out = capsys.readouterr().out
+            assert "served queries (cumulative)" in watch_out
+            assert "relative_error: median" in watch_out
 
     def test_load_against_dead_port_is_clean_error(self, capsys):
         from repro.server.cli import main
 
         rc = main(["load", "--port", "1", "--count", "10"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_health_against_dead_port_is_clean_error(self, capsys):
+        from repro.server.cli import main
+
+        rc = main(["health", "--port", "1"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_watch_validation_and_dead_port(self, capsys):
+        from repro.analysis.cli import main  # exercises top-level dispatch
+
+        rc = main(["watch", "--port", "1", "--iterations", "0"])
+        assert rc == 2
+        assert "--iterations" in capsys.readouterr().err
+        rc = main(["watch", "--port", "1", "--iterations", "1"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_health_top_level_dispatch(self, capsys):
+        from repro.analysis.cli import main
+
+        rc = main(["health", "--port", "1"])
         assert rc == 2
         assert "error:" in capsys.readouterr().err
 

@@ -11,7 +11,7 @@ speedups into ``BENCH_pipeline.json`` at the repo root:
    5,000 nodes.
 2. **Snapshot ingest** -- publishing a whole population into a
    :class:`~repro.service.snapshot.SnapshotStore` through the zero-copy
-   array path (``publish_arrays``) vs the object path (materialise
+   array path (``publish_epoch``) vs the object path (materialise
    per-node ``Coordinate`` objects, then ``from_coordinates``).
 3. **Query serving** -- a 500-query same-version k-NN batch on the
    ``dense`` index: one batched planner flush vs per-query planner

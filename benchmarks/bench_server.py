@@ -85,7 +85,7 @@ def bench_shards(
     index_kind: str,
 ) -> Dict[str, object]:
     store = ShardedCoordinateStore(shards, index_kind=index_kind)
-    store.publish_arrays(node_ids, components.copy(), heights.copy(), source="bench")
+    store.publish_epoch(node_ids, components.copy(), heights.copy(), source="bench")
     server = CoordinateServer(store, admission_limit=8192)
     with server.run_in_thread() as handle:
         # One warm lap over a small prefix pays connection setup and any
@@ -140,7 +140,7 @@ def bench_ingest(
 
     node_ids, components, heights = synthetic_arrays(nodes)
     store = ShardedCoordinateStore(shards, index_kind=index_kind, history=epochs + 2)
-    store.publish_arrays(node_ids, components.copy(), heights.copy(), source="e0")
+    store.publish_epoch(node_ids, components.copy(), heights.copy(), source="e0")
     queries = generate_queries(node_ids, query_count, mix="mixed", seed=13)
     publish_times: List[float] = []
     corrupt_rows = None
@@ -160,7 +160,7 @@ def bench_ingest(
                 shifted[corrupt_rows] = 0.0
                 shifted_heights[corrupt_rows] = 0.0
             started = time.perf_counter()
-            store.publish_arrays(node_ids, shifted, shifted_heights, source=f"e{epoch}")
+            store.publish_epoch(node_ids, shifted, shifted_heights, source=f"e{epoch}")
             publish_times.append(time.perf_counter() - started)
 
     server = CoordinateServer(store, admission_limit=8192)

@@ -15,7 +15,11 @@ hardware:
   per-query dense execution speedup, plus their identity checks;
 * ``server_load`` artifacts: the serving daemon's queries/sec at each
   shard count relative to its own 1-shard leg, plus the cross-shard and
-  linear-oracle identity checks and the ingest-while-serving check.
+  linear-oracle identity checks and the ingest-while-serving check;
+* ``publish_delta`` artifacts: the delta-over-full publish speedup per
+  (index kind, churn fraction) cell -- two publish paths timed moments
+  apart on the same machine -- plus the per-cell delta/full identity
+  checks (coordinates, query payloads including tie order, health).
 
 A metric regresses when it falls more than ``--tolerance`` (default 0.30,
 i.e. 30%) below its committed baseline in ``benchmarks/baselines/``.
@@ -137,11 +141,24 @@ def _extract_server(payload: Dict) -> Metrics:
     return ratios, checks
 
 
+def _extract_publish(payload: Dict) -> Metrics:
+    ratios: Dict[str, float] = {}
+    checks: Dict[str, bool] = {}
+    for cell in payload["cells"]:
+        key = f"{cell['index_kind']}_at_{cell['churn']}_churn"
+        ratios[f"publish_speedup_{key}"] = float(cell["speedup"])
+        checks[f"arrays_identical_{key}"] = bool(cell["arrays_identical"])
+        checks[f"queries_identical_{key}"] = bool(cell["queries_identical"])
+        checks[f"health_identical_{key}"] = bool(cell["health_identical"])
+    return ratios, checks
+
+
 EXTRACTORS = {
     "vectorized_backend": _extract_vectorized,
     "service_query_scaling": _extract_service,
     "pipeline_array_native": _extract_pipeline,
     "server_load": _extract_server,
+    "publish_delta": _extract_publish,
 }
 
 

@@ -55,6 +55,7 @@ from repro.latency.planetlab import PlanetLabDataset
 from repro.metrics.collector import SystemSnapshot
 from repro.netsim.churn import ChurnConfig
 from repro.netsim.runner import SimulationConfig
+from repro.service.publish import EpochDelta, EpochPublisher
 from repro.stats.sampling import derive_rng
 
 __all__ = [
@@ -675,8 +676,9 @@ def run_batch_simulation(
     backend: str = "vectorized",
     dataset: Optional[PlanetLabDataset] = None,
     collect_profile: bool = False,
-    publish_store=None,
+    publish_store: Optional[EpochPublisher] = None,
     publish_every_ticks: Optional[int] = None,
+    publish_mode: str = "delta",
     health=None,
     health_every_ticks: Optional[int] = None,
 ) -> BatchSimulationResult:
@@ -686,15 +688,26 @@ def run_batch_simulation(
     (e.g. scalar-vs-vectorized comparisons); otherwise one is generated
     from ``config.seed`` exactly as the event-driven runner would.
 
-    ``publish_store`` is anything exposing
-    ``publish_arrays(node_ids, components, heights, *, source)`` -- in
-    practice a :class:`~repro.service.snapshot.SnapshotStore` (duck-typed
-    here so netsim never imports the service layer).  The final
-    application-level coordinates are always published when a store is
-    attached; ``publish_every_ticks`` additionally publishes an epoch
-    every that many ticks, each a new immutable version.  Each published
-    epoch adopts the backend's (detached) application-level arrays --
-    one ``(n, d)`` materialisation per epoch, never per-node objects.
+    ``publish_store`` is any :class:`~repro.service.publish.EpochPublisher`
+    -- in practice a :class:`~repro.service.snapshot.SnapshotStore`, a
+    :class:`~repro.server.sharding.ShardedCoordinateStore` or a
+    :class:`~repro.server.live.LiveServingHarness` (the protocol module is
+    dependency-light, so netsim still never imports the serving stack).
+    The final application-level coordinates are always published when a
+    store is attached; ``publish_every_ticks`` additionally publishes an
+    epoch every that many ticks, each a new immutable version.
+
+    ``publish_mode`` selects how those epochs travel: ``"delta"`` (the
+    default) publishes only the changed rows after the first full epoch
+    -- a node counts as changed iff it received samples or its row moved
+    since the previous publish -- via
+    :meth:`~repro.service.publish.EpochPublisher.publish_delta`, which is
+    what makes millisecond epoch rollover possible at low churn;
+    ``"full"`` publishes every epoch whole, exactly the old behaviour.
+    Either way each published epoch adopts the backend's (detached)
+    application-level arrays -- one ``(n, d)`` materialisation per epoch,
+    never per-node objects -- and the resulting store state is
+    byte-identical between the two modes.
 
     ``health`` is anything exposing ``observe_epoch(node_ids, components,
     heights, *, version, time_s)`` -- in practice a
@@ -747,11 +760,27 @@ def run_batch_simulation(
     round_robin = np.zeros(n, dtype=np.int64)
     all_nodes = np.arange(n, dtype=np.int64)
 
+    if publish_mode not in ("full", "delta"):
+        raise ValueError(
+            f"unknown publish_mode {publish_mode!r}; expected 'full' or 'delta'"
+        )
     if publish_every_ticks is not None:
         if publish_store is None:
-            raise ValueError("publish_every_ticks requires a publish_store")
+            raise ValueError(
+                f"publish_every_ticks={publish_every_ticks!r} requires a "
+                "publish_store; pass publish_store= (any EpochPublisher, e.g. "
+                "SnapshotStore, ShardedCoordinateStore or LiveServingHarness) "
+                "together with publish_every_ticks, or drop publish_every_ticks"
+            )
         if publish_every_ticks < 1:
-            raise ValueError("publish_every_ticks must be >= 1")
+            raise ValueError(
+                f"publish_every_ticks must be >= 1, got {publish_every_ticks!r}"
+            )
+    if publish_store is not None and not isinstance(publish_store, EpochPublisher):
+        raise TypeError(
+            f"publish_store must implement the EpochPublisher protocol "
+            f"(publish_epoch + publish_delta); got {type(publish_store).__name__}"
+        )
     if health_every_ticks is not None:
         if health is None:
             raise ValueError("health_every_ticks requires a health tracker")
@@ -766,6 +795,13 @@ def run_batch_simulation(
     health_seconds = 0.0
     snapshots_published = 0
     health_observed_tick = -1
+    #: Delta-publish state: which rows received samples since the last
+    #: publish, and the arrays of the last published epoch (detached per
+    #: the backend protocol, so retaining them is safe).
+    sampled_since_publish = np.zeros(n, dtype=bool)
+    prev_components: Optional[np.ndarray] = None
+    prev_heights: Optional[np.ndarray] = None
+    delta_rows_published = 0
     setup_s = time.perf_counter() - setup_started
 
     def observe_health(t: float, tick: int, components=None, heights=None) -> None:
@@ -787,11 +823,37 @@ def run_batch_simulation(
 
     def publish_epoch(label: str, t: float, tick: int) -> None:
         nonlocal publish_seconds, snapshots_published
+        nonlocal prev_components, prev_heights, delta_rows_published
         phase_started = time.perf_counter()
         # Application-level arrays are detached per the backend protocol,
         # so the store can adopt (and freeze) them without another copy.
         components, heights = backend_impl.coordinate_arrays(level="application")
-        publish_store.publish_arrays(host_ids, components, heights, source=label)
+        if publish_mode == "full" or prev_components is None:
+            # The first epoch is always full: it establishes the
+            # population the deltas are relative to.
+            publish_store.publish_epoch(host_ids, components, heights, source=label)
+        else:
+            # Changed iff sampled since the last publish OR the row moved
+            # (belt and braces: a row can move without sampling, e.g.
+            # post-hoc corrections, and sample without moving).  Unchanged
+            # rows are bit-identical to the base generation's, which is
+            # what keeps delta publishes byte-identical to full rebuilds.
+            changed = sampled_since_publish | (
+                (components != prev_components).any(axis=1)
+                | (heights != prev_heights)
+            )
+            rows = np.nonzero(changed)[0]
+            delta = EpochDelta(
+                [host_ids[row] for row in rows],
+                components[rows],
+                heights[rows],
+                source=label,
+                epoch=tick,
+            )
+            publish_store.publish_delta(delta)
+            delta_rows_published += int(rows.shape[0])
+        prev_components, prev_heights = components, heights
+        sampled_since_publish[:] = False
         snapshots_published += 1
         publish_seconds += time.perf_counter() - phase_started
         observe_health(t, tick, components, heights)
@@ -829,6 +891,9 @@ def run_batch_simulation(
         metrics.record_tick(t, observers, outcome)
         metrics_seconds += time.perf_counter() - phase_started
 
+        if publish_store is not None and observers.shape[0]:
+            sampled_since_publish[observers] = True
+
         if publish_every_ticks is not None and (k + 1) % publish_every_ticks == 0:
             publish_epoch(f"batch:{backend}:tick{k + 1}", t, k + 1)
         if health_every_ticks is not None and (k + 1) % health_every_ticks == 0:
@@ -852,6 +917,8 @@ def run_batch_simulation(
         if publish_store is not None:
             profile["publish_s"] = round(publish_seconds, 6)
             profile["snapshots_published"] = float(snapshots_published)
+            if publish_mode == "delta":
+                profile["delta_rows_published"] = float(delta_rows_published)
         if health is not None:
             profile["health_s"] = round(health_seconds, 6)
         for phase, seconds in backend_impl.phase_seconds.items():

@@ -162,6 +162,7 @@ class HealthTracker:
 
         # Previous-epoch state for the incremental deltas.
         self._prev_ids: Optional[Tuple[str, ...]] = None
+        self._prev_index_of: Optional[Dict[str, int]] = None
         self._prev_components: Optional[np.ndarray] = None
         self._prev_heights: Optional[np.ndarray] = None
         self._prev_centroid: Optional[np.ndarray] = None
@@ -262,7 +263,10 @@ class HealthTracker:
             raise ValueError(f"heights must be ({len(ids)},); got {heights.shape}")
         if self._pair_ids is None:
             self._materialise_samples(ids)
-        index_of = {node_id: row for row, node_id in enumerate(ids)}
+        if self._prev_index_of is not None and ids == self._prev_ids:
+            index_of = self._prev_index_of
+        else:
+            index_of = {node_id: row for row, node_id in enumerate(ids)}
 
         errors = self._observe_errors(index_of, components, heights, time_s)
         drift_velocity, disp_median, disp_p95 = self._observe_drift(
@@ -312,6 +316,7 @@ class HealthTracker:
             self.events.emit("health_snapshot", **snapshot.to_dict())
 
         self._prev_ids = ids
+        self._prev_index_of = index_of
         self._prev_components = components
         self._prev_heights = heights
         self._prev_time = time_s
@@ -361,7 +366,7 @@ class HealthTracker:
                 actual = predicted
         errors = np.abs(predicted - actual) / np.maximum(actual, _EPSILON)
         self._error_window.append(errors)
-        self._h_error.observe_many(errors.tolist())
+        self._h_error.observe_many(errors)
         return errors
 
     # -- drift ----------------------------------------------------------
@@ -417,7 +422,7 @@ class HealthTracker:
             if displacement.size:
                 disp_median = float(np.percentile(displacement, 50.0))
                 disp_p95 = float(np.percentile(displacement, 95.0))
-                self._h_displacement.observe_many(displacement.tolist())
+                self._h_displacement.observe_many(displacement)
         self._prev_centroid = centroid
         return drift_velocity, disp_median, disp_p95
 

@@ -43,6 +43,8 @@ from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 __all__ = [
     "BucketScheme",
     "Counter",
@@ -103,6 +105,15 @@ class BucketScheme:
     def bucket_index(self, value: float) -> int:
         """The bucket holding ``value``: first edge with ``value <= edge``."""
         return bisect_left(self.boundaries(), value)
+
+    def boundaries_array(self) -> "np.ndarray":
+        """The boundaries as a float64 array (cached per scheme instance)."""
+        cached = getattr(self, "_boundaries_array", None)
+        if cached is None:
+            cached = np.asarray(self.boundaries(), dtype=np.float64)
+            cached.setflags(write=False)
+            object.__setattr__(self, "_boundaries_array", cached)
+        return cached
 
     def to_dict(self) -> Dict[str, Any]:
         return {"lo": self.lo, "per_decade": self.per_decade, "decades": self.decades}
@@ -231,20 +242,31 @@ class LatencyHistogram:
         One lock acquisition amortises the array-sized batches the
         health tracker records per epoch.
         """
-        values = [float(value) for value in values]
-        if any(math.isnan(value) for value in values):
+        if isinstance(values, np.ndarray):
+            array = np.asarray(values, dtype=np.float64).ravel()
+        else:
+            array = np.asarray([float(value) for value in values], dtype=np.float64)
+        if array.size == 0:
+            return
+        if np.isnan(array).any():
             raise ValueError("cannot observe NaN")
-        bucket_index = self.scheme.bucket_index
+        # searchsorted(side="left") is exactly bisect_left, so buckets land
+        # precisely where per-value observe() would put them.
+        indices = np.searchsorted(self.scheme.boundaries_array(), array, side="left")
+        increments = np.bincount(indices, minlength=len(self._counts))
+        low = float(array.min())
+        high = float(array.max())
+        batch_sum = math.fsum(array.tolist())
         with self._lock:
             counts = self._counts
-            for value in values:
-                counts[bucket_index(value)] += 1
-                if value < self._min:
-                    self._min = value
-                if value > self._max:
-                    self._max = value
-            self._count += len(values)
-            self._sum += math.fsum(values)
+            for index in np.nonzero(increments)[0]:
+                counts[int(index)] += int(increments[index])
+            if low < self._min:
+                self._min = low
+            if high > self._max:
+                self._max = high
+            self._count += int(array.size)
+            self._sum += batch_sum
 
     def merge(self, other: "LatencyHistogram") -> None:
         """Fold ``other`` into this histogram (exact; ``other`` untouched)."""

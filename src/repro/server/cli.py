@@ -68,6 +68,7 @@ from repro.server.load import LOAD_MODES, run_load_async, synthetic_coordinates
 from repro.server.sharding import ShardedCoordinateStore
 from repro.service.index import INDEX_KINDS
 from repro.service.planner import QueryPlanner
+from repro.service.publish import EpochDelta
 from repro.service.snapshot import CoordinateSnapshot, SnapshotStore
 from repro.service.workload import QUERY_MIXES, generate_queries, run_workload
 
@@ -99,8 +100,11 @@ def _build_store(args: argparse.Namespace) -> ShardedCoordinateStore:
     )
     if args.snapshot is not None:
         snapshot = CoordinateSnapshot.load(args.snapshot)
-        store.publish_coordinates(
-            dict(snapshot.coordinates), source=snapshot.source or str(args.snapshot)
+        store.publish_delta(
+            EpochDelta.from_coordinates(
+                dict(snapshot.coordinates),
+                source=snapshot.source or str(args.snapshot),
+            )
         )
     elif args.scenario is not None:
         from repro.engine.kernel import run_scenario
@@ -115,9 +119,11 @@ def _build_store(args: argparse.Namespace) -> ShardedCoordinateStore:
         run = run_scenario(spec)
         store.ingest_collector(run.collector, source=spec.name)
     else:
-        store.publish_coordinates(
-            synthetic_coordinates(args.synthetic, seed=args.seed),
-            source=f"synthetic-{args.synthetic}",
+        store.publish_delta(
+            EpochDelta.from_coordinates(
+                synthetic_coordinates(args.synthetic, seed=args.seed),
+                source=f"synthetic-{args.synthetic}",
+            )
         )
     return store
 

@@ -16,6 +16,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.server.protocol import (
     HEADER,
+    PROTOCOL_VERSION,
     ProtocolError,
     decode_frame,
     encode_frame,
@@ -25,6 +26,11 @@ from repro.server.protocol import (
 from repro.service.planner import Query
 
 __all__ = ["AsyncCoordinateClient", "request_once"]
+
+
+def _rows(components) -> list:
+    """JSON-safe nested lists for a coordinate-row array or sequence."""
+    return [[float(value) for value in row] for row in components]
 
 
 class AsyncCoordinateClient:
@@ -95,6 +101,46 @@ class AsyncCoordinateClient:
     async def op(self, op: str, **fields: Any) -> Dict[str, Any]:
         """Send one non-query operation (``version``, ``stats``, ...)."""
         return await self.request({"op": op, **fields})
+
+    async def publish_full(
+        self, node_ids, components, heights=None, *, source: str = ""
+    ) -> Dict[str, Any]:
+        """Publish a whole-population epoch over the wire (any version)."""
+        request: Dict[str, Any] = {
+            "op": "publish",
+            "nodes": [str(node_id) for node_id in node_ids],
+            "components": _rows(components),
+            "source": source,
+        }
+        if heights is not None:
+            request["heights"] = [float(height) for height in heights]
+        return await self.request(request)
+
+    async def publish_delta(
+        self,
+        node_ids,
+        components,
+        heights=None,
+        *,
+        removed_ids=(),
+        source: str = "",
+        epoch: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Publish only the changed rows (protocol version 2's delta op)."""
+        request: Dict[str, Any] = {
+            "op": "publish",
+            "version": PROTOCOL_VERSION,
+            "delta": True,
+            "nodes": [str(node_id) for node_id in node_ids],
+            "components": _rows(components),
+            "removed": [str(node_id) for node_id in removed_ids],
+            "source": source,
+        }
+        if heights is not None:
+            request["heights"] = [float(height) for height in heights]
+        if epoch is not None:
+            request["epoch"] = epoch
+        return await self.request(request)
 
     async def close(self) -> None:
         self._closed = True

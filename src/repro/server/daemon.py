@@ -20,8 +20,10 @@ length-prefixed JSON protocol (:mod:`repro.server.protocol`) over TCP:
 * **Zero-downtime ingest** -- the store's publish methods are plain
   thread-safe calls; a simulation thread streams epochs straight into
   the serving store (``run_batch_simulation(publish_store=...)``) while
-  the loop keeps serving.  Rollover is one atomic reference swap, so no
-  request ever observes a half-published generation.
+  the loop keeps serving, and remote writers can use the wire
+  ``publish`` op (full, or incremental deltas from protocol version 2;
+  see :mod:`repro.server.protocol`).  Rollover is one atomic reference
+  swap, so no request ever observes a half-published generation.
 
 The daemon can run inside an existing event loop (:meth:`start` /
 :meth:`wait_stopped`) or own a background loop thread
@@ -41,10 +43,12 @@ from repro.obs.tracing import TraceRecorder, make_span
 from repro.server.protocol import (
     HEADER,
     OPS,
+    PROTOCOL_VERSION,
     ProtocolError,
     decode_frame,
     encode_frame,
     frame_length,
+    request_to_publish,
     request_to_query,
 )
 from repro.server.sharding import ShardedCoordinateStore
@@ -345,6 +349,24 @@ class CoordinateServer:
                 )
             if op == "ping":
                 return {"id": request_id, "ok": True, "payload": {"pong": True}}
+            if op == "hello":
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    "payload": {
+                        "protocol_version": PROTOCOL_VERSION,
+                        "ops": list(OPS),
+                    },
+                }
+            if op == "publish":
+                try:
+                    mode, parsed = request_to_publish(request)
+                except (ProtocolError, QueryError) as exc:
+                    return {"id": request_id, "ok": False, "error": str(exc)}
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(
+                    self._executor, self._serve_publish, request_id, mode, parsed
+                )
             if op == "version":
                 generation = self.store.generation()
                 return {
@@ -441,6 +463,37 @@ class CoordinateServer:
             }
         finally:
             self._release()
+
+    def _serve_publish(self, request_id: Any, mode: str, parsed) -> Dict[str, Any]:
+        """Executed on the thread pool: publish an epoch into the store.
+
+        The store's publish methods are plain thread-safe calls
+        (serialised by its ingest lock), so wire publishes, a streaming
+        simulation thread and in-process callers can all interleave.
+        """
+        try:
+            if mode == "delta":
+                generation = self.store.publish_delta(parsed)
+                changed = parsed.changed_count
+            else:
+                node_ids, components, heights, source = parsed
+                generation = self.store.publish_epoch(
+                    node_ids, components, heights, source=source
+                )
+                changed = len(node_ids)
+        except (ValueError, TypeError) as exc:
+            return {"id": request_id, "ok": False, "error": str(exc)}
+        return {
+            "id": request_id,
+            "ok": True,
+            "payload": {
+                "version": generation.version,
+                "nodes": len(generation),
+                "mode": mode,
+                "changed": changed,
+            },
+            "version": generation.version,
+        }
 
     def _serve_query(
         self, request_id: Any, query, trace: Optional[TraceRecorder] = None

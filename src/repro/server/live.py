@@ -34,6 +34,7 @@ from repro.server.daemon import CoordinateServer, ServerThread
 from repro.server.load import LoadReport, run_load
 from repro.server.sharding import ShardedCoordinateStore
 from repro.service.planner import QueryError, QueryPlanner
+from repro.service.publish import EpochDelta
 from repro.service.snapshot import SnapshotStore
 from repro.service.workload import generate_queries, run_workload
 
@@ -116,11 +117,30 @@ class LiveServingHarness:
             self._server_thread = None
 
     def publish_kwargs(self) -> Dict[str, Any]:
-        """Keyword arguments for ``run_batch_simulation``'s streaming path."""
+        """Keyword arguments for ``run_batch_simulation``'s streaming path.
+
+        The harness hands *itself* over as the ``publish_store``: it
+        implements :class:`~repro.service.publish.EpochPublisher` by
+        delegating to its sharded store, so the simulation can stream
+        full or delta epochs without knowing the serving topology.
+        """
         return {
-            "publish_store": self.store,
+            "publish_store": self,
             "publish_every_ticks": self.publish_every_ticks,
         }
+
+    # ------------------------------------------------------------------
+    # EpochPublisher: the harness is the simulation's publish target
+    # ------------------------------------------------------------------
+    def publish_epoch(
+        self, node_ids, components, heights=None, *, source: str = ""
+    ):
+        """Publish a complete population epoch into the serving store."""
+        return self.store.publish_epoch(node_ids, components, heights, source=source)
+
+    def publish_delta(self, delta: EpochDelta):
+        """Apply an incremental epoch on top of the serving generation."""
+        return self.store.publish_delta(delta)
 
     # ------------------------------------------------------------------
     # Phase 2: the live closed-loop driver (background thread)

@@ -44,12 +44,32 @@ Operations
 ``nodes``     -> ``{"node_ids": [...], "version": int}``
 ``snapshot``  -> the full snapshot dict (``CoordinateSnapshot.to_dict``)
 ``ping``      -> ``{"pong": true}``
+``hello``     -> ``{"protocol_version": int, "ops": [...]}`` -- protocol
+                 negotiation; see *Protocol versions* below
+``publish``   -> ``nodes``, ``components``, optional ``heights``/
+                 ``source`` publish a full epoch; with ``"delta": true``
+                 (protocol version >= 2) only the changed rows travel,
+                 plus optional ``removed``/``epoch`` -> ``{"version",
+                 "nodes", "mode", "changed"}``
 ``shutdown``  -> ``{"stopping": true}`` and the daemon begins shutdown
 ========== ==========================================================
 
 Any request may additionally set ``"trace": true``; the response then
 carries a ``trace`` list of per-stage ``{"stage", ..., "ms"}`` entries
 (admission, cache probe, per-shard scatter, merge) for that one request.
+
+Protocol versions
+-----------------
+
+Requests may carry an integer ``"version"`` field naming the protocol
+revision they speak; a request without one speaks version 1, the
+original versionless protocol, and is answered byte-identically to how
+it always was.  ``hello`` returns the server's
+:data:`PROTOCOL_VERSION` so a client can negotiate up front.  Version 2
+adds the delta form of ``publish`` -- a version-1 (or versionless)
+``publish`` can only be a full epoch, and a ``"delta": true`` request
+that does not declare version >= 2 is rejected, so an old server or a
+mixed fleet never misinterprets a delta as a tiny full population.
 
 The module is deliberately dependency-light (no asyncio imports) so both
 the asyncio daemon and synchronous tools can share it.
@@ -61,16 +81,22 @@ import json
 import struct
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+import numpy as np
+
 from repro.service.planner import Query, QueryError
+from repro.service.publish import EpochDelta
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
     "ProtocolError",
     "encode_frame",
     "decode_frame",
     "frame_length",
     "HEADER",
     "request_to_query",
+    "request_to_publish",
+    "request_version",
     "query_to_request",
     "OPS",
 ]
@@ -82,6 +108,10 @@ HEADER = struct.Struct(">I")
 #: 100k-node snapshot dump, small enough to fail fast on a corrupt or
 #: hostile length prefix.
 MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: The protocol revision this module speaks.  Version 1 is the original
+#: versionless protocol; version 2 adds the delta form of ``publish``.
+PROTOCOL_VERSION = 2
 
 #: Recognised operations.
 OPS = (
@@ -98,6 +128,8 @@ OPS = (
     "nodes",
     "snapshot",
     "ping",
+    "hello",
+    "publish",
     "shutdown",
 )
 
@@ -172,6 +204,107 @@ def request_to_query(request: Mapping[str, Any]) -> Optional[Query]:
             raise QueryError("centroid 'members' must be a list of node ids")
         return Query.centroid(tuple(members))
     return None
+
+
+def request_version(request: Mapping[str, Any]) -> int:
+    """The protocol version a request declares (1 when absent).
+
+    Raises :class:`ProtocolError` for a malformed or unsupported value;
+    a newer-than-ours version is rejected rather than guessed at.
+    """
+    version = request.get("version", 1)
+    if isinstance(version, bool) or not isinstance(version, int):
+        raise ProtocolError("request 'version' must be an integer protocol version")
+    if version < 1:
+        raise ProtocolError(f"protocol version {version} is not valid (minimum 1)")
+    if version > PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {version} is newer than this server's "
+            f"{PROTOCOL_VERSION}; negotiate via the hello op"
+        )
+    return version
+
+
+def request_to_publish(request: Mapping[str, Any]):
+    """Parse a ``publish`` request into its mode and payload.
+
+    Returns ``("full", (node_ids, components, heights, source))`` for a
+    whole-population publish (the only form before protocol version 2)
+    or ``("delta", EpochDelta)`` for the incremental form.  Raises
+    :class:`~repro.service.planner.QueryError` on invalid fields and
+    :class:`ProtocolError` on version violations -- the daemon turns
+    both into error responses.
+    """
+    version = request_version(request)
+    delta = bool(request.get("delta", False))
+    if delta and version < 2:
+        raise ProtocolError(
+            "delta publish requires protocol version 2; "
+            "declare 'version': 2 (negotiate via the hello op)"
+        )
+    node_ids = request.get("nodes", [])
+    if not isinstance(node_ids, (list, tuple)) or not all(
+        isinstance(node_id, str) and node_id for node_id in node_ids
+    ):
+        raise QueryError("publish 'nodes' must be a list of non-empty node ids")
+    node_ids = list(node_ids)
+    rows = request.get("components", [])
+    if not isinstance(rows, (list, tuple)):
+        raise QueryError("publish 'components' must be a list of coordinate rows")
+    try:
+        components = np.asarray(rows, dtype=np.float64)
+    except (TypeError, ValueError):
+        raise QueryError("publish 'components' rows must be numeric") from None
+    if components.size == 0:
+        components = components.reshape(0, 1)
+    if components.ndim != 2 or components.shape[0] != len(node_ids):
+        raise QueryError(
+            "publish 'components' must hold one equal-length numeric row "
+            "per entry of 'nodes'"
+        )
+    heights_field = request.get("heights")
+    if heights_field is None:
+        heights = None
+    else:
+        if not isinstance(heights_field, (list, tuple)):
+            raise QueryError("publish 'heights' must be a list of numbers")
+        try:
+            heights = np.asarray(heights_field, dtype=np.float64)
+        except (TypeError, ValueError):
+            raise QueryError("publish 'heights' must be a list of numbers") from None
+        if heights.shape != (len(node_ids),):
+            raise QueryError("publish 'heights' must match 'nodes' in length")
+    source = request.get("source", "")
+    if not isinstance(source, str):
+        raise QueryError("publish 'source' must be a string")
+    if not delta:
+        for key in ("removed", "epoch"):
+            if request.get(key) is not None:
+                raise QueryError(
+                    f"publish {key!r} is only valid on a delta publish "
+                    "('delta': true, protocol version >= 2)"
+                )
+        return "full", (node_ids, components, heights, source)
+    removed = request.get("removed", [])
+    if not isinstance(removed, (list, tuple)) or not all(
+        isinstance(node_id, str) and node_id for node_id in removed
+    ):
+        raise QueryError("publish 'removed' must be a list of non-empty node ids")
+    epoch = request.get("epoch")
+    if epoch is not None and (isinstance(epoch, bool) or not isinstance(epoch, int)):
+        raise QueryError("publish 'epoch' must be an integer")
+    try:
+        payload = EpochDelta(
+            node_ids,
+            components,
+            heights,
+            removed_ids=tuple(removed),
+            source=source,
+            epoch=epoch,
+        )
+    except ValueError as exc:
+        raise QueryError(f"invalid delta publish: {exc}") from None
+    return "delta", payload
 
 
 def query_to_request(query: Query, request_id: Any) -> Dict[str, Any]:

@@ -47,6 +47,7 @@ import copy
 import hashlib
 import threading
 import time
+import warnings
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -59,6 +60,7 @@ from repro.obs.tracing import NOOP_SPAN, TraceRecorder, make_span
 from repro.overlay.knn import CoordinateIndex
 from repro.service.index import INDEX_KINDS
 from repro.service.planner import LRUTTLCache, Query, QueryError, QUERY_KINDS
+from repro.service.publish import EpochDelta
 from repro.service.snapshot import SnapshotStore
 from repro.stats.percentile import StreamingPercentile
 
@@ -402,9 +404,16 @@ class ShardedCoordinateStore:
         self._g_last_publish_s = self.registry.gauge(
             "store_last_publish_seconds", "Duration of the latest publish."
         )
-        self._h_publish_ms = self.registry.histogram(
-            "store_publish_ms", "Generation build-and-install time."
-        )
+        # One instrument per publish mode: full rebuilds and incremental
+        # delta rollovers live on wildly different latency scales, and a
+        # single histogram would bury the millisecond delta path under
+        # the multi-second full one.
+        self._h_publish_ms = {
+            mode: self.registry.histogram(
+                "store_publish_ms", "Generation build-and-install time.", mode=mode
+            )
+            for mode in ("full", "delta")
+        }
         self._g_version = self.registry.gauge(
             "store_version", "Currently served generation version."
         )
@@ -436,7 +445,7 @@ class ShardedCoordinateStore:
     # ------------------------------------------------------------------
     # Ingest (whole-population epochs and incremental commits)
     # ------------------------------------------------------------------
-    def publish_arrays(
+    def publish_epoch(
         self,
         node_ids: Sequence[str],
         components: np.ndarray,
@@ -446,24 +455,148 @@ class ShardedCoordinateStore:
     ) -> ShardGeneration:
         """Publish one whole-population array epoch as the next generation.
 
-        Signature-compatible with
-        :meth:`repro.service.snapshot.SnapshotStore.publish_arrays`, so a
+        The full half of the :class:`~repro.service.publish.EpochPublisher`
+        protocol, signature-compatible with
+        :meth:`repro.service.snapshot.SnapshotStore.publish_epoch`, so a
         running :func:`~repro.netsim.batch.run_batch_simulation` can
         stream epochs straight into a live server via ``publish_store``.
         """
         with self._ingest_lock:
             started = self._timer()
-            snapshot = self._router.publish_arrays(
+            snapshot = self._router.publish_epoch(
                 node_ids, components, heights, source=source
             )
             ids, comps, hts = snapshot.arrays()
             comps = np.asarray(comps)
             hts = np.asarray(hts)
             generation = self._build_generation_locked(snapshot, ids, comps, hts)
-            self._install_locked(generation, started, ids, comps, hts)
+            self._install_locked(
+                generation, started, ids, comps, hts,
+                mode="full", changed_count=len(ids),
+            )
+            return generation
+
+    def publish_arrays(
+        self,
+        node_ids: Sequence[str],
+        components: np.ndarray,
+        heights: Optional[np.ndarray] = None,
+        *,
+        source: str = "",
+    ) -> ShardGeneration:
+        """Deprecated alias of :meth:`publish_epoch` (same semantics)."""
+        warnings.warn(
+            "ShardedCoordinateStore.publish_arrays() is deprecated; use "
+            "publish_epoch() (the EpochPublisher protocol entry point)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.publish_epoch(node_ids, components, heights, source=source)
+
+    def publish_delta(self, delta: EpochDelta) -> ShardGeneration:
+        """Apply an incremental epoch on top of the serving generation.
+
+        The incremental half of the
+        :class:`~repro.service.publish.EpochPublisher` protocol.  The
+        router applies the delta by copy-on-write of the touched rows
+        (the authority on versions and global insertion order), then the
+        delta is re-partitioned into per-shard sub-deltas so each shard's
+        spatial index derives incrementally from its predecessor instead
+        of rebuilding.  Shards the delta never touches receive an empty
+        sub-delta, which mints their next version while *sharing* the
+        previous snapshot's frozen arrays and index -- zero copy, zero
+        build.  The resulting generation is byte-identical (coordinates,
+        query results including tie order, health snapshots) to
+        publishing the same final population through
+        :meth:`publish_epoch`.
+        """
+        if not isinstance(delta, EpochDelta):
+            raise TypeError(
+                f"publish_delta() needs an EpochDelta, got {type(delta).__name__}"
+            )
+        with self._ingest_lock:
+            started = self._timer()
+            base_generation = self._generation
+            snapshot = self._router.publish_delta(delta)
+            ids, comps, hts = snapshot.arrays()
+            comps = np.asarray(comps)
+            hts = np.asarray(hts)
+            if delta.changed_count and comps.size:
+                dims = comps.shape[1]
+            else:
+                dims = delta.components.shape[1] if delta.components.ndim == 2 else 1
+            changed_rows: List[List[int]] = [[] for _ in range(self.shards)]
+            for position, node_id in enumerate(delta.node_ids):
+                changed_rows[shard_of(node_id, self.shards)].append(position)
+            removed_per_shard: List[List[str]] = [[] for _ in range(self.shards)]
+            for node_id in delta.removed_ids:
+                removed_per_shard[shard_of(node_id, self.shards)].append(node_id)
+            shard_indexes: List[CoordinateIndex] = []
+            shard_sizes: List[int] = []
+            for shard in range(self.shards):
+                rows = changed_rows[shard]
+                # Fancy indexing copies, so the shard sub-delta is
+                # independent of the caller's (possibly reused) arrays.
+                sub = EpochDelta(
+                    [delta.node_ids[row] for row in rows],
+                    delta.components[rows] if rows else np.empty((0, dims)),
+                    delta.heights[rows] if rows else np.empty(0),
+                    removed_ids=tuple(removed_per_shard[shard]),
+                    source=snapshot.source,
+                    epoch=delta.epoch,
+                )
+                store = self._shard_stores[shard]
+                shard_snapshot = store.publish_delta(sub)
+                # Derived incrementally inside publish_delta when the
+                # budget allows; otherwise this compacts via a full build.
+                shard_indexes.append(store.index_for(shard_snapshot))
+                shard_sizes.append(len(shard_snapshot))
+            if delta.removed_ids or any(
+                node_id not in base_generation.global_seq
+                for node_id in delta.node_ids
+            ):
+                node_order = list(ids)
+                global_seq = {
+                    node_id: position for position, node_id in enumerate(node_order)
+                }
+            else:
+                # Population unchanged: the base generation's order maps
+                # are immutable and can be shared outright.
+                node_order = base_generation.node_order
+                global_seq = base_generation.global_seq
+            generation = ShardGeneration(
+                snapshot.version,
+                snapshot.source,
+                snapshot,
+                tuple(shard_indexes),
+                tuple(shard_sizes),
+                global_seq,
+                node_order,
+            )
+            self._install_locked(
+                generation, started, ids, comps, hts,
+                mode="delta", changed_count=delta.changed_count,
+            )
             return generation
 
     def publish_coordinates(
+        self, coordinates: Mapping[str, Coordinate], *, source: str = ""
+    ) -> ShardGeneration:
+        """Deprecated alias of :meth:`_publish_mapping` (same semantics).
+
+        Use :meth:`publish_delta` with
+        :meth:`EpochDelta.from_coordinates` for incremental object
+        batches, or :meth:`publish_epoch` for whole populations.
+        """
+        warnings.warn(
+            "ShardedCoordinateStore.publish_coordinates() is deprecated; use "
+            "publish_delta(EpochDelta.from_coordinates(...)) or publish_epoch()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._publish_mapping(coordinates, source=source)
+
+    def _publish_mapping(
         self, coordinates: Mapping[str, Coordinate], *, source: str = ""
     ) -> ShardGeneration:
         """Commit an object-based update batch as the next generation.
@@ -491,12 +624,15 @@ class ShardedCoordinateStore:
                 comps = np.empty((0, 1))
                 hts = np.empty(0)
             generation = self._build_generation_locked(snapshot, order, comps, hts)
-            self._install_locked(generation, started, order, comps, hts)
+            self._install_locked(
+                generation, started, order, comps, hts,
+                mode="full", changed_count=len(order),
+            )
             return generation
 
     def ingest_collector(self, collector, *, level: str = "application", source: str = "") -> ShardGeneration:
         """Publish every node's latest coordinate from a metrics collector."""
-        return self.publish_coordinates(
+        return self._publish_mapping(
             collector.latest_coordinates(level=level), source=source
         )
 
@@ -523,7 +659,7 @@ class ShardedCoordinateStore:
             store = self._shard_stores[shard]
             # Fancy indexing copies, so the shard arrays are independent of
             # (and writable regardless of) the frozen router snapshot.
-            shard_snapshot = store.publish_arrays(
+            shard_snapshot = store.publish_epoch(
                 [node_ids[row] for row in rows],
                 components[rows] if rows else np.empty((0, dims)),
                 heights[rows] if rows else np.empty(0),
@@ -548,12 +684,19 @@ class ShardedCoordinateStore:
         node_ids: Sequence[str],
         components: np.ndarray,
         heights: np.ndarray,
+        *,
+        mode: str = "full",
+        changed_count: Optional[int] = None,
     ) -> None:
+        if changed_count is None:
+            changed_count = len(generation)
         self.events.emit(
             "epoch_published",
             version=generation.version,
             nodes=len(generation),
             source=generation.source,
+            changed_count=changed_count,
+            mode=mode,
         )
         self._generations[generation.version] = generation
         floor = generation.version - self.history + 1
@@ -569,7 +712,7 @@ class ShardedCoordinateStore:
         self._c_publishes.inc()
         self._c_nodes_ingested.inc(len(generation))
         self._g_last_publish_s.set(elapsed_s)
-        self._h_publish_ms.observe(elapsed_s * 1e3)
+        self._h_publish_ms[mode].observe(elapsed_s * 1e3)
         self._g_version.set(generation.version)
         self._g_nodes.set(len(generation))
         self._publish_walls[generation.version] = self._timer()
@@ -754,7 +897,7 @@ class ShardedCoordinateStore:
         publish methods directly to preserve external version numbering.
         """
         store = cls(shards, index_kind=index_kind, **kwargs)
-        store.publish_coordinates(dict(snapshot.coordinates), source=snapshot.source)
+        store._publish_mapping(dict(snapshot.coordinates), source=snapshot.source)
         return store
 
     @classmethod
@@ -768,5 +911,5 @@ class ShardedCoordinateStore:
         **kwargs,
     ) -> "ShardedCoordinateStore":
         store = cls(shards, index_kind=index_kind, **kwargs)
-        store.publish_coordinates(coordinates, source=source)
+        store._publish_mapping(coordinates, source=source)
         return store

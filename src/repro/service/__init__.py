@@ -17,6 +17,7 @@ enforce.
 """
 
 from repro.service.index import INDEX_KINDS, GridIndex, VPTreeIndex, build_index
+from repro.service.publish import EpochDelta, EpochPublisher
 from repro.service.planner import (
     LRUTTLCache,
     Query,
@@ -36,6 +37,8 @@ from repro.service.workload import (
 
 __all__ = [
     "CoordinateSnapshot",
+    "EpochDelta",
+    "EpochPublisher",
     "GridIndex",
     "INDEX_KINDS",
     "LRUTTLCache",

@@ -52,6 +52,36 @@ INDEX_KINDS = ("linear", "vptree", "grid", "dense")
 #: Entries per vp-tree leaf bucket / target entries per grid cell.
 _LEAF_SIZE = 12
 
+#: Overlay/compaction policy for delta-derived indexes (see
+#: ``delta_applied``).  A derived index absorbs incremental epochs until
+#: the cumulative changed-row footprint exceeds
+#: ``max(_OVERLAY_COMPACT_MIN, _OVERLAY_COMPACT_FRACTION * n)``; past
+#: that, ``delta_applied`` returns ``None`` and the caller compacts by
+#: rebuilding from scratch (the overlay's exact-scan cost would start to
+#: erode the sub-linear query bounds).  Small indexes always compact --
+#: a full rebuild under a few hundred nodes is already microseconds.
+_OVERLAY_COMPACT_MIN = 64
+_OVERLAY_COMPACT_FRACTION = 0.25
+
+
+def _overlay_budget(population: int) -> int:
+    """Max changed-row footprint a derived index may carry before compaction."""
+    return max(_OVERLAY_COMPACT_MIN, int(_OVERLAY_COMPACT_FRACTION * population))
+
+
+def _changed_coordinates(
+    changed_ids: Sequence[str],
+    components: np.ndarray,
+    heights: np.ndarray,
+) -> List[Tuple[str, Coordinate]]:
+    """Materialise a delta's rows as ``(node_id, Coordinate)`` pairs."""
+    components = np.asarray(components, dtype=np.float64)
+    heights = np.asarray(heights, dtype=np.float64)
+    return [
+        (node_id, Coordinate(components[position].tolist(), float(heights[position])))
+        for position, node_id in enumerate(changed_ids)
+    ]
+
 
 def _loosen(bound: float) -> float:
     """Make a pruning lower bound safe against floating-point rounding.
@@ -174,13 +204,28 @@ class VPTreeIndex(_SpatialIndex):
     The vantage of every subtree is its earliest-inserted entry, so the
     structure -- and therefore traversal order and results -- is a pure
     function of the index contents.
+
+    Incremental epochs (:meth:`delta_applied`) never restructure the
+    tree: a derived index shares the immutable tree of its base and
+    carries the changed rows in a small unsorted *overlay* scanned
+    exactly on every query, with the stale tree entries masked by a
+    *tombstone* set.  Results stay byte-identical to a from-scratch
+    rebuild because overlay candidates are scored with the same exact
+    ``Coordinate.distance`` floats and keep their original insertion
+    sequence (relative order is all the tie-break needs).
     """
 
     def __init__(self) -> None:
         super().__init__()
         self._root: Optional[_VPNode] = None
+        #: Node ids whose tree entry is stale (changed or removed).
+        self._tombstones: frozenset = frozenset()
+        #: Changed/added rows, scanned exactly: (seq, node_id, coordinate).
+        self._overlay: Tuple[Tuple[int, str, Coordinate], ...] = ()
 
     def _rebuild(self) -> None:
+        self._tombstones = frozenset()
+        self._overlay = ()
         entries = self._entries()
         if not entries:
             self._root = None
@@ -215,6 +260,64 @@ class VPTreeIndex(_SpatialIndex):
             stack.append((far, node.children, 1))
         self._root = root_holder[0]
 
+    # -- incremental epochs --------------------------------------------
+    def delta_applied(
+        self,
+        changed_ids: Sequence[str],
+        changed_components: np.ndarray,
+        changed_heights: np.ndarray,
+        removed_ids: Sequence[str] = (),
+    ) -> Optional["VPTreeIndex"]:
+        """A new index with the delta applied, or ``None`` to compact.
+
+        The returned index shares this one's tree; this index is not
+        mutated and keeps answering queries for its own generation.
+        """
+        self._ensure_built()
+        if not changed_ids and not removed_ids:
+            return self
+        if self._root is None:
+            return None
+        overlay = {entry[1]: entry for entry in self._overlay}
+        tombstones = set(self._tombstones)
+        coordinates = dict(self._coordinates)
+        seqs = dict(self._seq)
+        next_seq = self._next_seq
+        for node_id, coordinate in _changed_coordinates(
+            changed_ids, changed_components, changed_heights
+        ):
+            seq = seqs.get(node_id)
+            if seq is None:
+                seq = next_seq
+                next_seq += 1
+            # Mask any tree entry for this node; harmless when the node
+            # was never in the tree (overlay entries bypass tombstones).
+            tombstones.add(node_id)
+            overlay[node_id] = (seq, node_id, coordinate)
+            coordinates[node_id] = coordinate
+            seqs[node_id] = seq
+        for node_id in removed_ids:
+            if node_id not in seqs:
+                continue
+            tombstones.add(node_id)
+            overlay.pop(node_id, None)
+            del coordinates[node_id]
+            del seqs[node_id]
+        # ``tombstones`` is exactly the distinct touched-node footprint
+        # (every changed or removed id lands there once); the overlay is a
+        # subset of it, so counting both would double-charge changed rows.
+        if len(tombstones) > _overlay_budget(len(coordinates)):
+            return None
+        clone = VPTreeIndex()
+        clone._coordinates = coordinates
+        clone._seq = seqs
+        clone._next_seq = next_seq
+        clone._root = self._root
+        clone._tombstones = frozenset(tombstones)
+        clone._overlay = tuple(overlay.values())
+        clone._dirty = False
+        return clone
+
     # -- queries -------------------------------------------------------
     def nearest(
         self,
@@ -229,12 +332,18 @@ class VPTreeIndex(_SpatialIndex):
         if self._root is None:
             return []
         excluded = set(exclude)
+        tombstones = self._tombstones
         best = _KBest(k)
 
         def offer(distance: float, seq: int, node_id: str) -> None:
-            if node_id not in excluded:
+            if node_id not in excluded and node_id not in tombstones:
                 best.offer(distance, seq, node_id)
 
+        # Overlay first: its exact distances tighten the pruning
+        # threshold before the tree walk starts.
+        for seq, node_id, coordinate in self._overlay:
+            if node_id not in excluded:
+                best.offer(target.distance(coordinate), seq, node_id)
         stack: List[Tuple[_VPNode, float]] = [(self._root, 0.0)]
         while stack:
             node, bound = stack.pop()
@@ -266,19 +375,26 @@ class VPTreeIndex(_SpatialIndex):
         self._ensure_built()
         if self._root is None:
             return []
+        tombstones = self._tombstones
         hits: List[Tuple[float, int, str]] = []
+        for seq, node_id, coordinate in self._overlay:
+            distance = target.distance(coordinate)
+            if distance <= radius_ms:
+                hits.append((distance, seq, node_id))
         stack: List[_VPNode] = [self._root]
         while stack:
             node = stack.pop()
             if node.bucket is not None:
                 for seq, node_id, coordinate in node.bucket:
+                    if node_id in tombstones:
+                        continue
                     distance = target.distance(coordinate)
                     if distance <= radius_ms:
                         hits.append((distance, seq, node_id))
                 continue
             assert node.coordinate is not None
             d_v = target.distance(node.coordinate)
-            if d_v <= radius_ms:
+            if d_v <= radius_ms and node.node_id not in tombstones:
                 hits.append((d_v, node.seq, node.node_id))
             near, far = node.children
             if near is not None and _loosen(max(0.0, d_v - node.mu)) <= radius_ms:
@@ -296,6 +412,7 @@ class VPTreeIndex(_SpatialIndex):
         self._ensure_built()
         if self._root is None:
             raise ValueError("cannot run min_cost_host on an empty index")
+        tombstones = self._tombstones
         best_cost = float("inf")
         best_seq = -1
         best_host: Optional[str] = None
@@ -305,6 +422,12 @@ class VPTreeIndex(_SpatialIndex):
             if cost < best_cost or (cost == best_cost and seq < best_seq):
                 best_cost, best_seq, best_host = cost, seq, node_id
 
+        for seq, node_id, coordinate in self._overlay:
+            offer(
+                sum(coordinate.distance(endpoint) for endpoint in endpoints),
+                seq,
+                node_id,
+            )
         stack: List[Tuple[_VPNode, float]] = [(self._root, 0.0)]
         while stack:
             node, bound = stack.pop()
@@ -312,6 +435,8 @@ class VPTreeIndex(_SpatialIndex):
                 continue
             if node.bucket is not None:
                 for seq, node_id, coordinate in node.bucket:
+                    if node_id in tombstones:
+                        continue
                     offer(
                         sum(coordinate.distance(endpoint) for endpoint in endpoints),
                         seq,
@@ -320,7 +445,8 @@ class VPTreeIndex(_SpatialIndex):
                 continue
             assert node.coordinate is not None
             per_endpoint = [node.coordinate.distance(endpoint) for endpoint in endpoints]
-            offer(sum(per_endpoint), node.seq, node.node_id)
+            if node.node_id not in tombstones:
+                offer(sum(per_endpoint), node.seq, node.node_id)
             near, far = node.children
             if near is not None:
                 near_bound = _loosen(sum(max(0.0, d - node.mu) for d in per_endpoint))
@@ -332,7 +458,10 @@ class VPTreeIndex(_SpatialIndex):
                 )
                 if far_bound <= best_cost:
                     stack.append((far, far_bound))
-        assert best_host is not None
+        if best_host is None:
+            # Every tree entry tombstoned and no overlay survivors: the
+            # live population is empty, same failure as the oracle's.
+            raise ValueError("cannot run min_cost_host on an empty index")
         return best_host, best_cost
 
 
@@ -359,10 +488,20 @@ class GridIndex(_SpatialIndex):
         self._dims = 0
         self._cells_per_dim = 1
         self._min_height = 0.0
+        #: Per-axis bounds over the occupied cell keys.  The shell search
+        #: clamps its center into this box; the pruning bounds' validity
+        #: needs the box to contain every occupied key, which delta
+        #: derivations maintain by expanding it for out-of-box inserts.
+        self._key_low: Tuple[int, ...] = ()
+        self._key_high: Tuple[int, ...] = ()
+        #: Cumulative rows moved by delta derivations since the last full
+        #: rebuild; past the overlay budget the geometry is refreshed.
+        self._delta_moved = 0
 
     def _rebuild(self) -> None:
         self._cells.clear()
         self._cell_min_height.clear()
+        self._delta_moved = 0
         entries = self._entries()
         if not entries:
             self._dims = 0
@@ -394,6 +533,108 @@ class GridIndex(_SpatialIndex):
             held = self._cell_min_height.get(key)
             if held is None or height < held:
                 self._cell_min_height[key] = float(height)
+        self._key_low = tuple(cell_keys.min(axis=0).tolist())
+        self._key_high = tuple(cell_keys.max(axis=0).tolist())
+
+    # -- incremental epochs --------------------------------------------
+    def delta_applied(
+        self,
+        changed_ids: Sequence[str],
+        changed_components: np.ndarray,
+        changed_heights: np.ndarray,
+        removed_ids: Sequence[str] = (),
+    ) -> Optional["GridIndex"]:
+        """A new index with the delta applied, or ``None`` to compact.
+
+        Cell moves are O(changed): the clone shares every untouched cell
+        bucket with this index (copy-on-write per bucket) and keeps the
+        base geometry.  A stale bounding box only costs pruning
+        efficiency, never correctness -- cell bounds stay exact and the
+        shell search reaches out-of-box cells -- so the geometry is only
+        refreshed when the cumulative churn exceeds the overlay budget.
+        """
+        self._ensure_built()
+        if not changed_ids and not removed_ids:
+            return self
+        if not self._cells:
+            return None
+        moved = self._delta_moved + len(changed_ids) + len(removed_ids)
+        if moved > _overlay_budget(len(self._coordinates)):
+            return None
+        changed = _changed_coordinates(changed_ids, changed_components, changed_heights)
+        if any(coordinate.dimensions != self._dims for _, coordinate in changed):
+            return None
+        clone = GridIndex()
+        clone._coordinates = dict(self._coordinates)
+        clone._seq = dict(self._seq)
+        clone._next_seq = self._next_seq
+        clone._origin = self._origin
+        clone._cell_size = self._cell_size
+        clone._dims = self._dims
+        clone._cells_per_dim = self._cells_per_dim
+        clone._cells = dict(self._cells)
+        clone._cell_min_height = dict(self._cell_min_height)
+        clone._key_low = self._key_low
+        clone._key_high = self._key_high
+        clone._delta_moved = moved
+        clone._dirty = False
+        writable: set = set()
+        touched: set = set()
+
+        def bucket_for(key: Tuple[int, ...]) -> List[Tuple[int, str, Coordinate]]:
+            bucket = clone._cells.get(key)
+            if bucket is None:
+                bucket = []
+                clone._cells[key] = bucket
+                writable.add(key)
+            elif key not in writable:
+                bucket = list(bucket)
+                clone._cells[key] = bucket
+                writable.add(key)
+            return bucket
+
+        def drop_entry(key: Tuple[int, ...], node_id: str) -> None:
+            bucket = bucket_for(key)
+            for position, (_, entry_id, _) in enumerate(bucket):
+                if entry_id == node_id:
+                    del bucket[position]
+                    break
+            touched.add(key)
+
+        for node_id, coordinate in changed:
+            previous = clone._coordinates.get(node_id)
+            if previous is not None:
+                drop_entry(clone._cell_key(previous.components), node_id)
+                seq = clone._seq[node_id]
+            else:
+                seq = clone._next_seq
+                clone._next_seq += 1
+            key = clone._cell_key(coordinate.components)
+            bucket_for(key).append((seq, node_id, coordinate))
+            touched.add(key)
+            clone._key_low = tuple(min(a, b) for a, b in zip(clone._key_low, key))
+            clone._key_high = tuple(max(a, b) for a, b in zip(clone._key_high, key))
+            clone._coordinates[node_id] = coordinate
+            clone._seq[node_id] = seq
+        for node_id in removed_ids:
+            previous = clone._coordinates.pop(node_id, None)
+            if previous is None:
+                continue
+            clone._seq.pop(node_id, None)
+            drop_entry(clone._cell_key(previous.components), node_id)
+        for key in touched:
+            bucket = clone._cells.get(key)
+            if not bucket:
+                clone._cells.pop(key, None)
+                clone._cell_min_height.pop(key, None)
+            else:
+                clone._cell_min_height[key] = min(
+                    coordinate.height for _, _, coordinate in bucket
+                )
+        clone._min_height = (
+            min(clone._cell_min_height.values()) if clone._cell_min_height else 0.0
+        )
+        return clone
 
     def _cell_key(self, components: Sequence[float]) -> Tuple[int, ...]:
         return tuple(
@@ -417,8 +658,10 @@ class GridIndex(_SpatialIndex):
     def _shells(self, target: Coordinate):
         """Yield (shell_rank, cell_keys) rings around the target, nearest first."""
         center = tuple(
-            min(max(index, 0), self._cells_per_dim - 1)
-            for index in self._cell_key(target.components)
+            min(max(index, low), high)
+            for index, low, high in zip(
+                self._cell_key(target.components), self._key_low, self._key_high
+            )
         )
         occupied = set(self._cells)
         remaining = len(occupied)
@@ -539,6 +782,37 @@ class DenseIndex(_SpatialIndex):
         self._array_only = False
         #: Lazily built float32 pruning twins (see the batch kernels).
         self._prune = None
+        # -- incremental-epoch overlay state (see delta_applied) -------
+        # ``_components``/``_heights`` stay the *base* arrays (rows
+        # ``[0, _n_base)`` of ``_ids``); changed/added rows live in the
+        # overlay arrays appended logically after them, stale base rows
+        # are listed in ``_masked_rows``, and dropped ids in ``_removed``.
+        self._n_base = 0
+        self._ov_ids: List[str] = []
+        self._ov_components = np.empty((0, 0), dtype=np.float64)
+        self._ov_heights = np.empty(0, dtype=np.float64)
+        #: Overlay ids that are genuinely new (not overrides), in
+        #: insertion order -- what node_ids() appends after the base.
+        self._ov_added: Tuple[str, ...] = ()
+        self._removed: frozenset = frozenset()
+        self._masked_rows = np.empty(0, dtype=np.int64)
+        #: Lazily built {id: base row} over _ids[:_n_base]; shared with
+        #: derived clones (the base section never changes between them).
+        self._base_rows: Optional[Dict[str, int]] = None
+
+    @property
+    def _overlay_active(self) -> bool:
+        return bool(self._ov_ids) or bool(self._removed)
+
+    def _clear_overlay(self) -> None:
+        self._n_base = len(self._ids)
+        self._ov_ids = []
+        self._ov_components = np.empty((0, 0), dtype=np.float64)
+        self._ov_heights = np.empty(0, dtype=np.float64)
+        self._ov_added = ()
+        self._removed = frozenset()
+        self._masked_rows = np.empty(0, dtype=np.int64)
+        self._base_rows = None
 
     # -- array ingestion (the zero-copy path) --------------------------
     def ingest_arrays(
@@ -578,6 +852,7 @@ class DenseIndex(_SpatialIndex):
         self._next_seq = 0
         self._array_only = True
         self._dirty = False
+        self._clear_overlay()
 
     @classmethod
     def from_arrays(
@@ -590,9 +865,142 @@ class DenseIndex(_SpatialIndex):
         index.ingest_arrays(node_ids, components, heights)
         return index
 
+    # -- incremental epochs --------------------------------------------
+    def _base_row_index(self) -> Dict[str, int]:
+        if self._base_rows is None:
+            self._base_rows = {
+                node_id: row for row, node_id in enumerate(self._ids[: self._n_base])
+            }
+        return self._base_rows
+
+    def delta_applied(
+        self,
+        changed_ids: Sequence[str],
+        changed_components: np.ndarray,
+        changed_heights: np.ndarray,
+        removed_ids: Sequence[str] = (),
+    ) -> Optional["DenseIndex"]:
+        """A new index with the delta applied, or ``None`` to compact.
+
+        The clone shares this index's base arrays (and float32 pruning
+        cache) untouched; the changed rows live in small overlay arrays
+        merged exactly at query time.  Compaction is near-free for the
+        dense kind -- :meth:`ingest_arrays` adopts the new snapshot's
+        arrays without copying -- so the overlay budget mainly protects
+        the batched kernels, which fall back to per-target exact scans
+        while an overlay is active.
+        """
+        self._ensure_built()
+        if not changed_ids and not removed_ids:
+            return self
+        if not self._array_only or self._n_base == 0:
+            return None
+        changed_components = np.asarray(changed_components, dtype=np.float64)
+        changed_heights = np.asarray(changed_heights, dtype=np.float64)
+        if len(changed_ids) and changed_components.shape[1] != self._components.shape[1]:
+            return None
+        base_rows = self._base_row_index()
+        overlay: Dict[str, Tuple[int, np.ndarray, float]] = {}
+        for position, node_id in enumerate(self._ov_ids):
+            overlay[node_id] = (
+                int(self._row_seq[self._n_base + position]),
+                self._ov_components[position],
+                float(self._ov_heights[position]),
+            )
+        removed = set(self._removed)
+        masked = {int(row) for row in self._masked_rows}
+        added = list(self._ov_added)
+        next_seq = int(self._row_seq.max()) + 1 if self._row_seq.size else 0
+        for position, node_id in enumerate(changed_ids):
+            row = changed_components[position].copy()
+            height = float(changed_heights[position])
+            held = overlay.get(node_id)
+            if held is not None:
+                overlay[node_id] = (held[0], row, height)
+                continue
+            base = base_rows.get(node_id)
+            if base is not None and node_id not in removed:
+                masked.add(base)
+                overlay[node_id] = (int(self._row_seq[base]), row, height)
+            else:
+                if node_id in removed:
+                    # Re-add after removal: the base row stays masked and
+                    # the node re-enters as an append, like a rebuild.
+                    removed.discard(node_id)
+                overlay[node_id] = (next_seq, row, height)
+                next_seq += 1
+                added.append(node_id)
+        for node_id in removed_ids:
+            held = overlay.pop(node_id, None)
+            base = base_rows.get(node_id)
+            if held is None and (base is None or node_id in removed):
+                continue
+            if held is not None and node_id in added:
+                added.remove(node_id)
+            if base is not None:
+                masked.add(base)
+                removed.add(node_id)
+        if len(overlay) + len(removed) > _overlay_budget(self._n_base):
+            return None
+        clone = DenseIndex()
+        clone._array_only = True
+        clone._dirty = False
+        clone._components = self._components
+        clone._heights = self._heights
+        clone._prune = self._prune
+        clone._n_base = self._n_base
+        ov_ids = list(overlay)
+        clone._ov_ids = ov_ids
+        dims = self._components.shape[1]
+        if ov_ids:
+            clone._ov_components = np.asarray(
+                [overlay[node_id][1] for node_id in ov_ids], dtype=np.float64
+            )
+            clone._ov_heights = np.asarray(
+                [overlay[node_id][2] for node_id in ov_ids], dtype=np.float64
+            )
+        else:
+            clone._ov_components = np.empty((0, dims), dtype=np.float64)
+            clone._ov_heights = np.empty(0, dtype=np.float64)
+        clone._ov_added = tuple(added)
+        clone._removed = frozenset(removed)
+        clone._masked_rows = np.asarray(sorted(masked), dtype=np.int64)
+        clone._ids = self._ids[: self._n_base] + ov_ids
+        clone._row_seq = np.concatenate(
+            [
+                self._row_seq[: self._n_base],
+                np.asarray([overlay[node_id][0] for node_id in ov_ids], dtype=np.int64),
+            ]
+        )
+        clone._row_of = None
+        clone._base_rows = base_rows
+        return clone
+
     def _hydrate_objects(self) -> None:
         """Materialise the object-based maintenance state from the arrays."""
         if not self._array_only:
+            return
+        if self._overlay_active:
+            # Fold overlay/masked state into the object maps (original
+            # seqs preserved) and mark the flat arrays stale.
+            for node_id in self.node_ids():
+                row = self._row_index[node_id]
+                if row >= self._n_base:
+                    position = row - self._n_base
+                    coordinate = Coordinate(
+                        self._ov_components[position].tolist(),
+                        float(self._ov_heights[position]),
+                    )
+                else:
+                    coordinate = Coordinate(
+                        self._components[row].tolist(), float(self._heights[row])
+                    )
+                self._seq[node_id] = int(self._row_seq[row])
+                self._coordinates[node_id] = coordinate
+            self._next_seq = (max(self._seq.values()) + 1) if self._seq else 0
+            self._clear_overlay()
+            self._array_only = False
+            self._dirty = True
             return
         for row, node_id in enumerate(self._ids):
             self._seq[node_id] = row
@@ -615,6 +1023,7 @@ class DenseIndex(_SpatialIndex):
         entries = self._entries()
         self._ids = [node_id for _, node_id, _ in entries]
         self._prune = None
+        self._clear_overlay()
         if not entries:
             self._components = np.empty((0, 0), dtype=np.float64)
             self._heights = np.empty(0, dtype=np.float64)
@@ -644,19 +1053,27 @@ class DenseIndex(_SpatialIndex):
     # -- accessors (array-backed when object state is absent) ----------
     def __len__(self) -> int:
         if self._array_only:
-            return len(self._ids)
+            # Masked rows are exactly the overridden-or-removed base
+            # rows, so combined length minus them is the live count.
+            return len(self._ids) - int(self._masked_rows.size)
         return len(self._coordinates)
 
     def __contains__(self, node_id: str) -> bool:
         if self._array_only:
-            return node_id in self._row_index
+            return node_id in self._row_index and node_id not in self._removed
         return node_id in self._coordinates
 
     def coordinate_of(self, node_id: str) -> Optional[Coordinate]:
         if self._array_only:
             row = self._row_index.get(node_id)
-            if row is None:
+            if row is None or node_id in self._removed:
                 return None
+            if row >= self._n_base:
+                position = row - self._n_base
+                return Coordinate(
+                    self._ov_components[position].tolist(),
+                    float(self._ov_heights[position]),
+                )
             return Coordinate(
                 self._components[row].tolist(), float(self._heights[row])
             )
@@ -664,7 +1081,19 @@ class DenseIndex(_SpatialIndex):
 
     def node_ids(self) -> List[str]:
         if self._array_only:
-            return list(self._ids)
+            if not self._overlay_active:
+                return list(self._ids)
+            # Overridden ids keep their base position (matching what a
+            # from-scratch rebuild of the snapshot would hold); only
+            # genuinely new ids append at the end.
+            removed = self._removed
+            live = [
+                node_id
+                for node_id in self._ids[: self._n_base]
+                if node_id not in removed
+            ]
+            live.extend(self._ov_added)
+            return live
         return list(self._coordinates)
 
     def nearest_to_node(self, node_id: str, k: int = 1) -> List[Tuple[str, float]]:
@@ -709,6 +1138,38 @@ class DenseIndex(_SpatialIndex):
             acc = acc + delta[:, j] * delta[:, j]
         return np.sqrt(acc)
 
+    def _overlay_euclidean_to(self, target: Coordinate) -> np.ndarray:
+        """Oracle-exact Euclidean distances over the overlay rows."""
+        delta = self._ov_components - np.asarray(target.components, dtype=np.float64)
+        acc = delta[:, 0] * delta[:, 0]
+        for j in range(1, delta.shape[1]):
+            acc = acc + delta[:, j] * delta[:, j]
+        return np.sqrt(acc)
+
+    def _query_distances(self, target: Coordinate) -> np.ndarray:
+        """Predicted RTTs over all combined rows; stale rows forced to +inf."""
+        distances = self._distances_to(target)
+        if not self._overlay_active:
+            return distances
+        if self._masked_rows.size:
+            distances[self._masked_rows] = np.inf
+        if self._ov_ids:
+            overlay = (
+                self._overlay_euclidean_to(target) + target.height
+            ) + self._ov_heights
+            distances = np.concatenate([distances, overlay])
+        return distances
+
+    def _query_costs(self, endpoint: Coordinate) -> np.ndarray:
+        """Predicted RTTs row->endpoint over all combined rows (no masking)."""
+        cost = self._cost_to(endpoint)
+        if self._overlay_active and self._ov_ids:
+            overlay = (
+                self._overlay_euclidean_to(endpoint) + self._ov_heights
+            ) + endpoint.height
+            cost = np.concatenate([cost, overlay])
+        return cost
+
     def _top_k(self, distances: np.ndarray, k: int) -> List[Tuple[str, float]]:
         """Best-k rows by ``(distance, insertion seq)``; +inf rows excluded."""
         n = distances.shape[0]
@@ -738,7 +1199,7 @@ class DenseIndex(_SpatialIndex):
         self._ensure_built()
         if not self._ids:
             return []
-        distances = self._distances_to(target)
+        distances = self._query_distances(target)
         excluded_rows = [
             row
             for row in (self._row_index.get(node_id) for node_id in exclude)
@@ -754,7 +1215,7 @@ class DenseIndex(_SpatialIndex):
         self._ensure_built()
         if not self._ids:
             return []
-        distances = self._distances_to(target)
+        distances = self._query_distances(target)
         hits = np.nonzero(distances <= radius_ms)[0]
         order = np.lexsort((self._row_seq[hits], distances[hits]))
         return [(self._ids[int(row)], float(distances[row])) for row in hits[order]]
@@ -763,11 +1224,13 @@ class DenseIndex(_SpatialIndex):
         if not endpoints:
             raise ValueError("min_cost_host needs at least one endpoint")
         self._ensure_built()
-        if not self._ids:
+        if not self._ids or len(self) == 0:
             raise ValueError("cannot run min_cost_host on an empty index")
-        cost = self._cost_to(endpoints[0])
+        cost = self._query_costs(endpoints[0])
         for endpoint in endpoints[1:]:
-            cost = cost + self._cost_to(endpoint)
+            cost = cost + self._query_costs(endpoint)
+        if self._masked_rows.size:
+            cost[self._masked_rows] = np.inf
         best = cost.min()
         ties = np.nonzero(cost == best)[0]
         row = int(ties[np.argmin(self._row_seq[ties])])
@@ -892,6 +1355,15 @@ class DenseIndex(_SpatialIndex):
         results: List[Optional[List[Tuple[str, float]]]] = [None] * len(target_ids)
         if not self._ids:
             return results
+        if self._overlay_active:
+            # Overlay generations answer per target through the exact
+            # single-query path (contract-identical); the pruned batch
+            # kernel returns after the next compaction.
+            for position, node_id in enumerate(target_ids):
+                coordinate = self.coordinate_of(node_id)
+                if coordinate is not None:
+                    results[position] = self.nearest(coordinate, k, exclude=[node_id])
+            return results
         known = self._resolve_rows(target_ids)
         n = len(self._ids)
         target_count = max(2 * (k + self._PRUNE_PAD), 96)
@@ -970,6 +1442,12 @@ class DenseIndex(_SpatialIndex):
         self._ensure_built()
         results: List[Optional[List[Tuple[str, float]]]] = [None] * len(target_ids)
         if not self._ids:
+            return results
+        if self._overlay_active:
+            for position, node_id in enumerate(target_ids):
+                coordinate = self.coordinate_of(node_id)
+                if coordinate is not None:
+                    results[position] = self.within(coordinate, radius_ms)
             return results
         known = self._resolve_rows(target_ids)
         row_ids = self._row_seq

@@ -24,7 +24,9 @@ Two snapshot representations share one duck-typed read API:
   this is the correctness oracle the array path is checked against.
 * :class:`ArraySnapshot` -- the array-backed form: node ids plus ``(n, d)``
   component and ``(n,)`` height arrays, published whole via
-  :meth:`SnapshotStore.publish_arrays`.  A batch simulation hands its
+  :meth:`SnapshotStore.publish_epoch` or incrementally via
+  :meth:`SnapshotStore.publish_delta` (copy-on-write of the touched rows
+  only; see :mod:`repro.service.publish`).  A batch simulation hands its
   state arrays straight in -- no per-node object materialisation -- and a
   ``dense`` index adopts them without copying.
 
@@ -37,6 +39,7 @@ from __future__ import annotations
 
 import json
 import threading
+import warnings
 from pathlib import Path
 from types import MappingProxyType
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
@@ -46,8 +49,28 @@ import numpy as np
 from repro.core.coordinate import Coordinate
 from repro.overlay.knn import CoordinateIndex
 from repro.service.index import INDEX_KINDS, build_index
+from repro.service.publish import EpochDelta
 
 __all__ = ["ArraySnapshot", "CoordinateSnapshot", "SnapshotStore"]
+
+
+def _snapshot_arrays(snapshot) -> Tuple[List[str], np.ndarray, np.ndarray]:
+    """``(node_ids, components, heights)`` for either snapshot form."""
+    arrays = getattr(snapshot, "arrays", None)
+    if arrays is not None:
+        return arrays()
+    node_ids = snapshot.node_ids()
+    if not node_ids:
+        return node_ids, np.empty((0, 1), dtype=np.float64), np.empty(0, dtype=np.float64)
+    components = np.asarray(
+        [snapshot.coordinates[node_id].components for node_id in node_ids],
+        dtype=np.float64,
+    )
+    heights = np.asarray(
+        [snapshot.coordinates[node_id].height for node_id in node_ids],
+        dtype=np.float64,
+    )
+    return node_ids, components, heights
 
 
 class CoordinateSnapshot:
@@ -392,7 +415,7 @@ class SnapshotStore:
         for version in [v for v in self._indexes if v < floor]:
             self._indexes.pop(version, None)
 
-    def publish_arrays(
+    def publish_epoch(
         self,
         node_ids: Sequence[str],
         components: np.ndarray,
@@ -402,12 +425,14 @@ class SnapshotStore:
     ) -> ArraySnapshot:
         """Publish whole-population arrays as the next immutable version.
 
-        The zero-copy ingest path: the arrays are adopted (and frozen) as
-        an :class:`ArraySnapshot` -- no staging dict, no per-node
-        ``Coordinate`` objects.  Pass copies when the source arrays keep
-        mutating (a still-running simulation); a finished epoch can be
-        handed over as-is.  Raises if object updates are currently staged,
-        so a mixed write pattern can never silently drop them.
+        The full half of the :class:`~repro.service.publish.EpochPublisher`
+        protocol and the zero-copy ingest path: the arrays are adopted
+        (and frozen) as an :class:`ArraySnapshot` -- no staging dict, no
+        per-node ``Coordinate`` objects.  Pass copies when the source
+        arrays keep mutating (a still-running simulation); a finished
+        epoch can be handed over as-is.  Raises if object updates are
+        currently staged, so a mixed write pattern can never silently
+        drop them.
         """
         with self._lock:
             if self._staged:
@@ -425,6 +450,136 @@ class SnapshotStore:
             self._publish_locked(snapshot)
             self._ingested += len(snapshot)
             return snapshot
+
+    def publish_arrays(
+        self,
+        node_ids: Sequence[str],
+        components: np.ndarray,
+        heights: Optional[np.ndarray] = None,
+        *,
+        source: str = "",
+    ) -> ArraySnapshot:
+        """Deprecated alias of :meth:`publish_epoch` (same semantics)."""
+        warnings.warn(
+            "SnapshotStore.publish_arrays() is deprecated; use publish_epoch() "
+            "(the EpochPublisher protocol entry point)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.publish_epoch(node_ids, components, heights, source=source)
+
+    def publish_delta(self, delta: EpochDelta) -> ArraySnapshot:
+        """Apply an incremental epoch on top of the latest version.
+
+        The incremental half of the
+        :class:`~repro.service.publish.EpochPublisher` protocol.  The new
+        :class:`ArraySnapshot` is built by copy-on-write: the base arrays
+        are copied once (a straight memcpy), only the touched rows are
+        rewritten, removed rows are compacted out and genuinely new nodes
+        append after the survivors -- exactly the population a
+        from-scratch publish of the final state would hold, byte for
+        byte.  When the base version's spatial index is memoised, the new
+        version's index is *derived* from it incrementally
+        (``delta_applied``) instead of rebuilt, which is what makes
+        millisecond epoch rollover possible at low churn; past the
+        overlay budget the derivation declines and the next query
+        compacts via an ordinary full build.
+
+        An empty delta still mints a new version (sharing the base
+        arrays), keeping delta-fed and full-fed stores in version
+        lockstep.
+        """
+        if not isinstance(delta, EpochDelta):
+            raise TypeError(
+                f"publish_delta() needs an EpochDelta, got {type(delta).__name__}"
+            )
+        with self._lock:
+            if self._staged:
+                raise ValueError(
+                    "cannot publish a delta while object updates are "
+                    "staged; commit() or discard them first"
+                )
+            base = self._latest
+            prev_index = self._indexes.get(base.version)
+            snapshot = self._apply_delta_locked(base, delta)
+            self._publish_locked(snapshot)
+            self._ingested += delta.changed_count
+            if prev_index is not None:
+                derive = getattr(prev_index, "delta_applied", None)
+                if derive is not None:
+                    derived = derive(
+                        delta.node_ids,
+                        delta.components,
+                        delta.heights,
+                        delta.removed_ids,
+                    )
+                    if derived is not None:
+                        self._indexes[snapshot.version] = derived
+            return snapshot
+
+    def _apply_delta_locked(self, base, delta: EpochDelta) -> ArraySnapshot:
+        """The base snapshot with ``delta`` applied, as a new ArraySnapshot."""
+        source = delta.source or base.source
+        node_ids, components, heights = _snapshot_arrays(base)
+        if not node_ids:
+            # Empty base: the delta's rows are the whole population
+            # (removals of unknown ids are ignored, as everywhere).
+            return ArraySnapshot(
+                base.version + 1,
+                list(delta.node_ids),
+                delta.components,
+                delta.heights,
+                source=source,
+            )
+        changed = delta.node_ids
+        removed = set(delta.removed_ids)
+        if not changed and not removed:
+            # Version lockstep without copying: share the frozen arrays.
+            return ArraySnapshot(
+                base.version + 1, node_ids, components, heights, source=source
+            )
+        if changed and delta.components.shape[1] != components.shape[1]:
+            raise ValueError(
+                f"delta dimensionality {delta.components.shape[1]} does not "
+                f"match snapshot dimensionality {components.shape[1]}"
+            )
+        row_of = {node_id: row for row, node_id in enumerate(node_ids)}
+        work_components = components.copy()
+        work_heights = heights.copy()
+        existing_rows: List[int] = []
+        existing_positions: List[int] = []
+        added_positions: List[int] = []
+        for position, node_id in enumerate(changed):
+            row = row_of.get(node_id)
+            if row is None:
+                added_positions.append(position)
+            else:
+                existing_rows.append(row)
+                existing_positions.append(position)
+        if existing_rows:
+            work_components[existing_rows] = delta.components[existing_positions]
+            work_heights[existing_rows] = delta.heights[existing_positions]
+        if removed:
+            keep = np.asarray(
+                [node_id not in removed for node_id in node_ids], dtype=bool
+            )
+            new_ids = [node_id for node_id in node_ids if node_id not in removed]
+            if len(new_ids) != len(node_ids):
+                work_components = work_components[keep]
+                work_heights = work_heights[keep]
+        else:
+            new_ids = list(node_ids)
+        if added_positions:
+            work_components = np.concatenate(
+                [work_components, delta.components[added_positions]]
+            )
+            work_heights = np.concatenate(
+                [work_heights, delta.heights[added_positions]]
+            )
+            new_ids.extend(changed[position] for position in added_positions)
+        return ArraySnapshot(
+            base.version + 1, new_ids, work_components, work_heights, source=source
+        )
 
     # -- read path ------------------------------------------------------
     def latest(self) -> CoordinateSnapshot:
@@ -495,7 +650,7 @@ class SnapshotStore:
     ) -> "SnapshotStore":
         """A store pre-loaded with one array-backed snapshot (version 1)."""
         store = cls(index_kind=index_kind)
-        store.publish_arrays(node_ids, components, heights, source=source)
+        store.publish_epoch(node_ids, components, heights, source=source)
         return store
 
     @classmethod

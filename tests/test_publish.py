@@ -1,0 +1,479 @@
+"""Incremental epoch publish: the EpochPublisher protocol and delta path.
+
+The load-bearing guarantee under test: a delta-published generation is
+**byte-identical** -- coordinates, query results including tie order,
+health snapshots -- to publishing the same final population from
+scratch.  The sweep drives both a delta-fed store and a full-rebuild
+store through the same epoch sequence and compares everything after
+every epoch, across all index kinds, including the overlay-compaction
+boundary cases (0 changed rows, all rows changed, removals, additions).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.coordinate import Coordinate
+from repro.netsim.batch import run_batch_simulation
+from repro.netsim.runner import NodeConfig, SimulationConfig
+from repro.server.client import AsyncCoordinateClient
+from repro.server.daemon import CoordinateServer
+from repro.server.protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    request_to_publish,
+    request_to_query,
+    request_version,
+)
+from repro.server.sharding import HEALTH_SECTIONS, ShardedCoordinateStore
+from repro.service.index import INDEX_KINDS
+from repro.service.planner import Query
+from repro.service.publish import EpochDelta, EpochPublisher
+from repro.service.snapshot import SnapshotStore
+
+
+# ----------------------------------------------------------------------
+# Deterministic epoch-sequence generator (tie-heavy by construction)
+# ----------------------------------------------------------------------
+def _initial_population(n: int, dims: int, seed: int):
+    rng = np.random.default_rng(seed)
+    node_ids = [f"node{index:05d}" for index in range(n)]
+    # Quantised to a coarse lattice so distance ties are common and the
+    # (distance, insertion-seq) tie-break is genuinely exercised.
+    components = np.round(rng.normal(scale=20.0, size=(n, dims)) / 5.0) * 5.0
+    heights = np.round(rng.uniform(0.0, 4.0, size=n))
+    return node_ids, components, heights
+
+
+def _epoch_deltas(node_ids, components, heights, *, epochs, churn, removals, seed):
+    """Yield (delta, final_ids, final_components, final_heights) per epoch.
+
+    The finals are what a from-scratch publish after this delta must
+    hold -- the oracle the delta-fed store is compared against.
+    """
+    rng = np.random.default_rng(seed + 1)
+    ids = list(node_ids)
+    comps = components.copy()
+    hts = heights.copy()
+    fresh = 0
+    for epoch in range(epochs):
+        n = len(ids)
+        changed_count = int(round(n * churn))
+        if churn > 0.0 and changed_count == 0:
+            changed_count = 1
+        rows = (
+            np.sort(rng.choice(n, size=changed_count, replace=False))
+            if changed_count
+            else np.empty(0, dtype=np.int64)
+        )
+        new_comps = np.round(rng.normal(scale=20.0, size=(changed_count, comps.shape[1])) / 5.0) * 5.0
+        new_hts = np.round(rng.uniform(0.0, 4.0, size=changed_count))
+        changed_ids = [ids[row] for row in rows]
+        removed_ids = []
+        if removals and epoch % 2 == 1 and n > changed_count + 2:
+            victims = [i for i in range(n) if i not in set(rows.tolist())][:2]
+            removed_ids = [ids[i] for i in victims]
+        added_ids = []
+        if removals and epoch % 2 == 0 and epoch > 0:
+            added_ids = [f"late{seed}-{fresh}", f"late{seed}-{fresh + 1}"]
+            fresh += 2
+        all_changed = changed_ids + added_ids
+        add_comps = np.round(rng.normal(scale=20.0, size=(len(added_ids), comps.shape[1])) / 5.0) * 5.0
+        add_hts = np.round(rng.uniform(0.0, 4.0, size=len(added_ids)))
+        delta = EpochDelta(
+            all_changed,
+            np.concatenate([new_comps, add_comps]) if all_changed else np.empty((0, comps.shape[1])),
+            np.concatenate([new_hts, add_hts]) if all_changed else np.empty(0),
+            removed_ids=tuple(removed_ids),
+            source=f"epoch{epoch + 1}",
+            epoch=epoch + 1,
+        )
+        # Apply to the reference population exactly as documented:
+        # update in place, compact removals, append additions.
+        if changed_count:
+            comps[rows] = new_comps
+            hts[rows] = new_hts
+        if removed_ids:
+            keep = [i for i, node_id in enumerate(ids) if node_id not in set(removed_ids)]
+            ids = [ids[i] for i in keep]
+            comps = comps[keep]
+            hts = hts[keep]
+        if added_ids:
+            ids = ids + added_ids
+            comps = np.concatenate([comps, add_comps])
+            hts = np.concatenate([hts, add_hts])
+        yield delta, list(ids), comps.copy(), hts.copy()
+
+
+def _assert_index_identical(derived, rebuilt, node_ids, dims, rng):
+    """Query both indexes identically; results must match bit for bit."""
+    probes = [
+        Coordinate((np.round(rng.normal(scale=20.0, size=dims) / 5.0) * 5.0).tolist(), float(np.round(rng.uniform(0.0, 4.0))))
+        for _ in range(4)
+    ]
+    member_targets = [node_ids[0], node_ids[len(node_ids) // 2], node_ids[-1]]
+    for target_id in member_targets:
+        a = derived.coordinate_of(target_id)
+        b = rebuilt.coordinate_of(target_id)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.components == b.components and a.height == b.height
+            probes.append(a)
+    for probe in probes:
+        assert derived.nearest(probe, k=5) == rebuilt.nearest(probe, k=5)
+        assert derived.within(probe, 25.0) == rebuilt.within(probe, 25.0)
+    if len(probes) >= 2:
+        assert derived.min_cost_host(probes[:2]) == rebuilt.min_cost_host(probes[:2])
+    assert len(derived) == len(rebuilt)
+    assert sorted(derived.node_ids()) == sorted(rebuilt.node_ids())
+
+
+class TestDeltaEquivalenceSweep:
+    """Delta-published stores are byte-identical to full rebuilds."""
+
+    @pytest.mark.parametrize("index_kind", INDEX_KINDS)
+    @pytest.mark.parametrize(
+        "n,dims,churn,removals",
+        [
+            (40, 2, 0.0, False),    # empty deltas: version lockstep only
+            (40, 2, 1.0, False),    # all rows changed: always compacts
+            (40, 3, 0.2, True),     # small population: over budget, compacts
+            (300, 2, 0.05, False),  # overlay survives (budget = 75)
+            (300, 2, 0.05, True),   # overlay + removals + additions
+            (300, 4, 0.3, False),   # crosses the compaction boundary mid-run
+        ],
+    )
+    def test_snapshot_store_equivalence(self, index_kind, n, dims, churn, removals):
+        node_ids, components, heights = _initial_population(n, dims, seed=7)
+        delta_store = SnapshotStore(index_kind=index_kind, history=64)
+        full_store = SnapshotStore(index_kind=index_kind, history=64)
+        delta_store.publish_epoch(node_ids, components.copy(), heights.copy(), source="epoch0")
+        full_store.publish_epoch(node_ids, components.copy(), heights.copy(), source="epoch0")
+        # Build the base index first so every delta has something to
+        # derive from (matches the serving pattern: publish, then query).
+        delta_store.index_for()
+        rng = np.random.default_rng(1234)
+        for delta, final_ids, final_comps, final_hts in _epoch_deltas(
+            node_ids, components, heights, epochs=5, churn=churn, removals=removals, seed=7
+        ):
+            delta_snapshot = delta_store.publish_delta(delta)
+            full_snapshot = full_store.publish_epoch(
+                final_ids, final_comps, final_hts, source=delta.source
+            )
+            assert delta_snapshot.version == full_snapshot.version
+            assert delta_snapshot.source == full_snapshot.source
+            d_ids, d_comps, d_hts = delta_snapshot.arrays()
+            f_ids, f_comps, f_hts = full_snapshot.arrays()
+            assert d_ids == f_ids == final_ids
+            assert d_comps.tobytes() == f_comps.tobytes()
+            assert d_hts.tobytes() == f_hts.tobytes()
+            derived = delta_store.index_for(delta_snapshot)
+            rebuilt = full_store.index_for(full_snapshot)
+            _assert_index_identical(derived, rebuilt, d_ids, dims, rng)
+
+    @pytest.mark.parametrize("index_kind", ["vptree", "grid", "dense"])
+    def test_sharded_store_equivalence_with_health(self, index_kind):
+        n, dims = 120, 2
+        node_ids, components, heights = _initial_population(n, dims, seed=3)
+        delta_store = ShardedCoordinateStore(3, index_kind=index_kind, history=64)
+        full_store = ShardedCoordinateStore(3, index_kind=index_kind, history=64)
+        delta_store.publish_epoch(node_ids, components.copy(), heights.copy(), source="epoch0")
+        full_store.publish_epoch(node_ids, components.copy(), heights.copy(), source="epoch0")
+        for delta, final_ids, final_comps, final_hts in _epoch_deltas(
+            node_ids, components, heights, epochs=4, churn=0.1, removals=True, seed=3
+        ):
+            delta_generation = delta_store.publish_delta(delta)
+            full_generation = full_store.publish_epoch(
+                final_ids, final_comps, final_hts, source=delta.source
+            )
+            assert delta_generation.version == full_generation.version
+            assert delta_generation.node_order == full_generation.node_order
+            d_ids, d_comps, d_hts = delta_generation.snapshot.arrays()
+            f_ids, f_comps, f_hts = full_generation.snapshot.arrays()
+            assert d_ids == f_ids
+            assert np.asarray(d_comps).tobytes() == np.asarray(f_comps).tobytes()
+            assert np.asarray(d_hts).tobytes() == np.asarray(f_hts).tobytes()
+            for query in (
+                Query.knn(d_ids[0], k=7),
+                Query.range(d_ids[-1], 30.0),
+                Query.nearest(d_ids[len(d_ids) // 2]),
+                Query.pairwise(d_ids[0], d_ids[1]),
+                Query.centroid((d_ids[0], d_ids[2], d_ids[4])),
+            ):
+                d_payload, d_version, _ = delta_store.serve(query)
+                f_payload, f_version, _ = full_store.serve(query)
+                assert d_payload == f_payload
+                assert d_version == f_version
+        deterministic = tuple(s for s in HEALTH_SECTIONS if s != "staleness")
+        assert delta_store.health(deterministic) == full_store.health(deterministic)
+
+    def test_empty_base_delta_bootstraps_population(self):
+        store = SnapshotStore(index_kind="dense")
+        delta = EpochDelta(
+            ["a", "b"], np.asarray([[1.0, 2.0], [3.0, 4.0]]), np.asarray([0.5, 0.0])
+        )
+        snapshot = store.publish_delta(delta)
+        assert snapshot.version == 1
+        assert snapshot.node_ids() == ["a", "b"]
+
+    def test_epoch_published_event_carries_changed_count_and_mode(self):
+        store = ShardedCoordinateStore(2, index_kind="dense")
+        node_ids, components, heights = _initial_population(30, 2, seed=9)
+        store.publish_epoch(node_ids, components, heights, source="e0")
+        store.publish_delta(
+            EpochDelta(
+                node_ids[:3],
+                components[:3] + 1.0,
+                heights[:3],
+                removed_ids=(node_ids[-1],),
+                source="e1",
+            )
+        )
+        published = [
+            event for event in store.events.tail() if event["kind"] == "epoch_published"
+        ]
+        assert published[0]["mode"] == "full"
+        assert published[0]["changed_count"] == 30
+        assert published[1]["mode"] == "delta"
+        assert published[1]["changed_count"] == 4
+        assert published[1]["nodes"] == 29
+
+
+class TestEpochDeltaValidation:
+    def test_rejects_overlapping_changed_and_removed(self):
+        with pytest.raises(ValueError, match="both changed and removed"):
+            EpochDelta(["a"], np.asarray([[1.0]]), removed_ids=("a",))
+
+    def test_rejects_mismatched_rows(self):
+        with pytest.raises(ValueError, match="must match"):
+            EpochDelta(["a", "b"], np.asarray([[1.0]]))
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError, match="unique"):
+            EpochDelta(["a", "a"], np.asarray([[1.0], [2.0]]))
+
+    def test_from_coordinates_round_trip(self):
+        delta = EpochDelta.from_coordinates(
+            {"x": Coordinate([1.0, 2.0], 0.5)}, removed_ids=("y",), source="s", epoch=4
+        )
+        assert delta.node_ids == ["x"]
+        assert delta.components.tolist() == [[1.0, 2.0]]
+        assert delta.heights.tolist() == [0.5]
+        assert delta.removed_ids == ("y",)
+        assert delta.changed_count == 2
+
+    def test_dimensionality_mismatch_is_actionable(self):
+        store = SnapshotStore(index_kind="linear")
+        store.publish_epoch(["a"], np.asarray([[1.0, 2.0]]), np.asarray([0.0]))
+        with pytest.raises(ValueError, match="dimensionality"):
+            store.publish_delta(EpochDelta(["a"], np.asarray([[1.0, 2.0, 3.0]])))
+
+    def test_publish_delta_rejects_non_delta(self):
+        for store in (SnapshotStore(), ShardedCoordinateStore(2)):
+            with pytest.raises(TypeError, match="EpochDelta"):
+                store.publish_delta({"node_ids": []})
+
+
+class TestPublisherProtocol:
+    def test_all_three_publishers_satisfy_the_protocol(self):
+        assert isinstance(SnapshotStore(), EpochPublisher)
+        assert isinstance(ShardedCoordinateStore(2), EpochPublisher)
+        from repro.server.live import LiveServingHarness
+
+        assert hasattr(LiveServingHarness, "publish_epoch")
+        assert hasattr(LiveServingHarness, "publish_delta")
+
+    def test_deprecated_shims_warn_and_delegate(self):
+        ids = ["a", "b"]
+        comps = np.asarray([[0.0, 0.0], [3.0, 4.0]])
+        hts = np.asarray([0.0, 1.0])
+        store = SnapshotStore(index_kind="dense")
+        with pytest.deprecated_call():
+            snapshot = store.publish_arrays(ids, comps.copy(), hts.copy(), source="s")
+        assert snapshot.version == 1 and snapshot.node_ids() == ids
+        sharded = ShardedCoordinateStore(2, index_kind="dense")
+        with pytest.deprecated_call():
+            generation = sharded.publish_arrays(ids, comps.copy(), hts.copy(), source="s")
+        assert generation.version == 1
+        with pytest.deprecated_call():
+            generation = sharded.publish_coordinates({"c": Coordinate([1.0, 1.0])})
+        assert generation.version == 2 and "c" in generation.global_seq
+
+    def test_batch_simulation_rejects_non_publisher(self):
+        config = SimulationConfig(
+            nodes=8, duration_s=20.0, node_config=NodeConfig.preset("mp"), seed=1
+        )
+        with pytest.raises(TypeError, match="EpochPublisher"):
+            run_batch_simulation(config, publish_store=object())
+
+    def test_publish_every_ticks_error_names_both_parameters(self):
+        config = SimulationConfig(
+            nodes=8, duration_s=20.0, node_config=NodeConfig.preset("mp"), seed=1
+        )
+        with pytest.raises(ValueError) as excinfo:
+            run_batch_simulation(config, publish_every_ticks=5)
+        message = str(excinfo.value)
+        assert "publish_every_ticks" in message and "publish_store" in message
+        with pytest.raises(ValueError, match=">= 1"):
+            run_batch_simulation(
+                config, publish_store=SnapshotStore(), publish_every_ticks=0
+            )
+        with pytest.raises(ValueError, match="publish_mode"):
+            run_batch_simulation(
+                config, publish_store=SnapshotStore(), publish_mode="bogus"
+            )
+
+    def test_batch_delta_mode_matches_full_mode_byte_identically(self):
+        config = SimulationConfig(
+            nodes=16, duration_s=100.0, node_config=NodeConfig.preset("mp"), seed=3
+        )
+        delta_store = SnapshotStore(index_kind="dense", history=32)
+        full_store = SnapshotStore(index_kind="dense", history=32)
+        delta_sim = run_batch_simulation(
+            config,
+            publish_store=delta_store,
+            publish_every_ticks=5,
+            publish_mode="delta",
+            collect_profile=True,
+        )
+        full_sim = run_batch_simulation(
+            config,
+            publish_store=full_store,
+            publish_every_ticks=5,
+            publish_mode="full",
+            collect_profile=True,
+        )
+        assert delta_sim.snapshots_published == full_sim.snapshots_published
+        assert delta_store.version == full_store.version
+        for version in range(1, delta_store.version + 1):
+            d_ids, d_comps, d_hts = delta_store.at(version).arrays()
+            f_ids, f_comps, f_hts = full_store.at(version).arrays()
+            assert d_ids == f_ids
+            assert d_comps.tobytes() == f_comps.tobytes()
+            assert d_hts.tobytes() == f_hts.tobytes()
+        # Delta epochs after the first carry only the churned rows.
+        assert "delta_rows_published" in delta_sim.profile
+        total = delta_sim.profile["delta_rows_published"]
+        assert total <= config.nodes * (delta_sim.snapshots_published - 1)
+
+
+class TestWireProtocolVersioning:
+    def test_request_version_parsing(self):
+        assert request_version({}) == 1
+        assert request_version({"version": 2}) == 2
+        with pytest.raises(ProtocolError, match="integer"):
+            request_version({"version": "2"})
+        with pytest.raises(ProtocolError, match="newer"):
+            request_version({"version": PROTOCOL_VERSION + 1})
+        with pytest.raises(ProtocolError, match="not valid"):
+            request_version({"version": 0})
+
+    def test_delta_publish_requires_version_2(self):
+        request = {
+            "op": "publish",
+            "delta": True,
+            "nodes": ["a"],
+            "components": [[1.0]],
+        }
+        with pytest.raises(ProtocolError, match="version 2"):
+            request_to_publish(request)
+        mode, delta = request_to_publish({**request, "version": 2})
+        assert mode == "delta" and isinstance(delta, EpochDelta)
+
+    def test_versionless_full_publish_parses(self):
+        mode, parsed = request_to_publish(
+            {"op": "publish", "nodes": ["a"], "components": [[1.0, 2.0]], "source": "s"}
+        )
+        assert mode == "full"
+        node_ids, components, heights, source = parsed
+        assert node_ids == ["a"] and heights is None and source == "s"
+        assert components.tolist() == [[1.0, 2.0]]
+
+    def test_full_publish_rejects_delta_only_fields(self):
+        from repro.service.planner import QueryError
+
+        with pytest.raises(QueryError, match="delta"):
+            request_to_publish(
+                {"op": "publish", "nodes": ["a"], "components": [[1.0]], "removed": ["b"]}
+            )
+
+    def test_publish_ops_are_not_queries(self):
+        assert request_to_query({"op": "publish"}) is None
+        assert request_to_query({"op": "hello"}) is None
+        assert "publish" in OPS and "hello" in OPS
+
+    def test_wire_publish_both_ways_is_byte_identical(self):
+        n, dims = 40, 2
+        node_ids, components, heights = _initial_population(n, dims, seed=11)
+        served = ShardedCoordinateStore(2, index_kind="vptree", history=64)
+        oracle = ShardedCoordinateStore(2, index_kind="vptree", history=64)
+        server = CoordinateServer(served, admission_limit=256)
+
+        changed = node_ids[:4]
+        changed_comps = components[:4] + 5.0
+        changed_hts = heights[:4]
+
+        async def scenario(address):
+            client = await AsyncCoordinateClient.connect(*address)
+            try:
+                hello = await client.op("hello")
+                # Old client: versionless full publish must keep working.
+                legacy = await client.publish_full(
+                    node_ids, components, heights, source="e0"
+                )
+                # New client: negotiate and publish the delta form.
+                delta = await client.publish_delta(
+                    changed,
+                    changed_comps,
+                    changed_hts,
+                    removed_ids=(node_ids[-1],),
+                    source="e1",
+                    epoch=1,
+                )
+                # A delta without the negotiated version must be refused.
+                refused = await client.request(
+                    {
+                        "op": "publish",
+                        "delta": True,
+                        "nodes": list(changed),
+                        "components": [[float(v) for v in row] for row in changed_comps],
+                    }
+                )
+                probe = await client.query(Query.knn(node_ids[0], k=5))
+                return hello, legacy, delta, refused, probe
+            finally:
+                await client.close()
+
+        with server.run_in_thread() as handle:
+            hello, legacy, delta, refused, probe = asyncio.run(
+                scenario(handle.address)
+            )
+
+        assert hello["ok"] and hello["payload"]["protocol_version"] == PROTOCOL_VERSION
+        assert "publish" in hello["payload"]["ops"]
+        assert legacy["ok"] and legacy["payload"]["mode"] == "full"
+        assert legacy["payload"]["version"] == 1
+        assert delta["ok"] and delta["payload"]["mode"] == "delta"
+        assert delta["payload"]["version"] == 2
+        assert delta["payload"]["changed"] == 5
+        assert delta["payload"]["nodes"] == n - 1
+        assert not refused["ok"] and "version 2" in refused["error"]
+
+        # Oracle: the same epochs published in-process, full-rebuild only.
+        oracle.publish_epoch(node_ids, components.copy(), heights.copy(), source="e0")
+        final_ids = [nid for nid in node_ids if nid != node_ids[-1]]
+        keep = [i for i, nid in enumerate(node_ids) if nid != node_ids[-1]]
+        final_comps = components[keep].copy()
+        final_hts = heights[keep].copy()
+        for position, nid in enumerate(changed):
+            row = final_ids.index(nid)
+            final_comps[row] = changed_comps[position]
+            final_hts[row] = changed_hts[position]
+        oracle.publish_epoch(final_ids, final_comps, final_hts, source="e1")
+        expected, version, _ = oracle.serve(Query.knn(node_ids[0], k=5))
+        assert probe["ok"] and probe["payload"] == expected
+        assert probe["version"] == version == 2

@@ -19,7 +19,11 @@ hardware:
 * ``publish_delta`` artifacts: the delta-over-full publish speedup per
   (index kind, churn fraction) cell -- two publish paths timed moments
   apart on the same machine -- plus the per-cell delta/full identity
-  checks (coordinates, query payloads including tie order, health).
+  checks (coordinates, query payloads including tie order, health);
+* ``chaos_recovery`` artifacts: post-fault over pre-fault qps per
+  injected fault kind (the committed baselines hold this ratio at a
+  deliberately conservative value; see benchmarks/README.md), plus the
+  per-kind recovery-SLO, torn-read and bounded-error-window checks.
 
 A metric regresses when it falls more than ``--tolerance`` (default 0.30,
 i.e. 30%) below its committed baseline in ``benchmarks/baselines/``.
@@ -153,12 +157,30 @@ def _extract_publish(payload: Dict) -> Metrics:
     return ratios, checks
 
 
+def _extract_chaos(payload: Dict) -> Metrics:
+    ratios: Dict[str, float] = {}
+    checks: Dict[str, bool] = {}
+    for cell in payload["cells"]:
+        kind = cell["kind"]
+        # Post-fault over pre-fault qps on the same daemon moments apart:
+        # recovering from a fault must not leave serving persistently
+        # damaged.  The committed baselines hold this ratio at a
+        # deliberately conservative value (see benchmarks/README.md), so
+        # the gate trips on structural damage, not scheduler noise.
+        ratios[f"qps_recovery_ratio_{kind}"] = float(cell["qps_recovery_ratio"])
+        checks[f"slo_passed_{kind}"] = bool(cell["slo_passed"])
+        checks[f"no_torn_reads_{kind}"] = bool(cell["no_torn_reads"])
+        checks[f"bounded_errors_{kind}"] = bool(cell["bounded_errors"])
+    return ratios, checks
+
+
 EXTRACTORS = {
     "vectorized_backend": _extract_vectorized,
     "service_query_scaling": _extract_service,
     "pipeline_array_native": _extract_pipeline,
     "server_load": _extract_server,
     "publish_delta": _extract_publish,
+    "chaos_recovery": _extract_chaos,
 }
 
 

@@ -1,0 +1,39 @@
+"""Deterministic fault injection and recovery-SLO gates for the daemon.
+
+The chaos pack has four parts:
+
+* :mod:`repro.chaos.schedule` -- seed-stamped :class:`FaultSchedule`
+  parsing (``kind@at+duration[:key=value...]``); faults fire on request
+  and publish *counts*, never the wall clock.
+* :mod:`repro.chaos.injector` -- the :class:`ChaosInjector` that the
+  daemon and store consult to fire/clear faults deterministically.
+* :mod:`repro.chaos.slo` -- recovery-SLO evaluation (bounded error
+  window, no torn reads, p99 re-convergence, generation recovery) plus
+  the ``python -m repro.chaos.slo`` re-evaluation gate.
+* :mod:`repro.chaos.oracle` -- healthy-subset byte-checking of degraded
+  partial responses against an in-process mirror store.
+"""
+
+from repro.chaos.injector import ChaosInjector, ServeDecision
+from repro.chaos.oracle import verify_chaos_responses
+from repro.chaos.schedule import (
+    FAULT_KINDS,
+    PUBLISH_FAULT_KINDS,
+    SERVE_FAULT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+)
+from repro.chaos.slo import SLOThresholds, evaluate
+
+__all__ = [
+    "FAULT_KINDS",
+    "PUBLISH_FAULT_KINDS",
+    "SERVE_FAULT_KINDS",
+    "ChaosInjector",
+    "FaultEvent",
+    "FaultSchedule",
+    "SLOThresholds",
+    "ServeDecision",
+    "evaluate",
+    "verify_chaos_responses",
+]

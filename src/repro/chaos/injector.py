@@ -1,0 +1,246 @@
+"""Count-driven fault injector wired between daemon, store, and schedule.
+
+The :class:`ChaosInjector` owns the mutable fault state for one
+:class:`~repro.chaos.schedule.FaultSchedule`.  The daemon calls
+:meth:`on_query` once per admitted-or-sheddable query request and the
+store calls :meth:`on_publish` at the top of every publish; both advance
+the corresponding deterministic counter and fire/clear any fault whose
+window that counter has entered or left.  No wall clock is consulted, so
+two runs with the same schedule and workload produce identical fault
+timing and an identical :meth:`report`.
+
+Locking: the injector has its own lock and may call into the store's
+shard kill/restart (which takes the store's ingest lock) while holding
+it.  The reverse order never occurs because the store consults the
+injector *before* acquiring the ingest lock (see
+``ShardedCoordinateStore._chaos_publish_gate``), keeping the lock graph
+acyclic.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.chaos.schedule import FaultEvent, FaultSchedule
+
+__all__ = ["ChaosInjector", "ServeDecision"]
+
+
+@dataclass(frozen=True)
+class ServeDecision:
+    """What the daemon must do to its admission gauge for this request."""
+
+    admission_acquire: int = 0
+    admission_release: int = 0
+
+
+class _FaultState:
+    """Lifecycle bookkeeping for one scheduled fault."""
+
+    __slots__ = ("event", "fired", "fired_at", "cleared", "cleared_at", "forced")
+
+    def __init__(self, event: FaultEvent) -> None:
+        self.event = event
+        self.fired = False
+        self.fired_at: Optional[int] = None
+        self.cleared = False
+        self.cleared_at: Optional[int] = None
+        self.forced = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        record = self.event.as_dict()
+        record["fired"] = self.fired
+        record["fired_at"] = self.fired_at
+        record["cleared"] = self.cleared
+        record["cleared_at"] = self.cleared_at
+        record["forced_clear"] = self.forced
+        return record
+
+
+class ChaosInjector:
+    """Fires and clears the schedule's faults against one sharded store."""
+
+    def __init__(self, schedule: FaultSchedule, store) -> None:
+        for event in schedule.events:
+            if event.shard is not None and event.shard >= store.shards:
+                raise ValueError(
+                    f"fault {event.kind}@{event.at}: shard {event.shard} out of "
+                    f"range for a {store.shards}-shard store"
+                )
+        self.schedule = schedule
+        self._store = store
+        self._lock = threading.Lock()
+        self._serve_states = [_FaultState(e) for e in schedule.serve_events()]
+        self._publish_states = [_FaultState(e) for e in schedule.publish_events()]
+        self._requests = 0
+        self._publishes = 0
+        self._degraded = 0
+        self._dropped = 0
+        self._stalled = 0
+        self._admission_injected = 0
+        self._slow_delay_ms = 0.0
+
+    # ------------------------------------------------------------------
+    # serving path
+    # ------------------------------------------------------------------
+
+    def on_query(self, op: str) -> ServeDecision:
+        """Advance the request counter; fire/clear any serve-window faults.
+
+        Called by the daemon for every query-op request *before* admission
+        so that shed requests still advance the schedule (otherwise an
+        admission burst could never clear itself).
+        """
+        acquire = 0
+        release = 0
+        with self._lock:
+            count = self._requests
+            self._requests += 1
+            # Clears before fires: a fault whose window ended exactly as
+            # another begins must release its resources first.
+            for state in self._serve_states:
+                if state.fired and not state.cleared and count >= state.event.clear_at:
+                    release += self._clear_locked(state, count)
+            for state in self._serve_states:
+                if (
+                    not state.fired
+                    and state.event.at <= count < state.event.clear_at
+                ):
+                    acquire += self._fire_locked(state, count)
+        return ServeDecision(admission_acquire=acquire, admission_release=release)
+
+    def serve_delay_ms(self) -> float:
+        """Current injected per-query service delay (gray failure)."""
+        return self._slow_delay_ms
+
+    def note_degraded(self) -> None:
+        """Record one partial (degraded) response served."""
+        with self._lock:
+            self._degraded += 1
+
+    # ------------------------------------------------------------------
+    # publish path
+    # ------------------------------------------------------------------
+
+    def on_publish(self) -> Tuple[str, float]:
+        """Advance the publish counter; return ``(action, delay_ms)``.
+
+        ``action`` is ``"drop"`` (publish must vanish), ``"stall"``
+        (sleep ``delay_ms`` before installing), or ``"ok"``.  Drop takes
+        precedence when both windows are open.
+        """
+        with self._lock:
+            count = self._publishes
+            self._publishes += 1
+            for state in self._publish_states:
+                if state.fired and not state.cleared and count >= state.event.clear_at:
+                    self._clear_locked(state, count)
+            action = "ok"
+            delay_ms = 0.0
+            for state in self._publish_states:
+                if state.event.at <= count < state.event.clear_at:
+                    if not state.fired:
+                        self._fire_locked(state, count)
+                    if state.event.kind == "publish-drop":
+                        action = "drop"
+                    elif state.event.kind == "publish-stall" and action != "drop":
+                        action = "stall"
+                        delay_ms = float(state.event.delay_ms or 0.0)
+            if action == "drop":
+                self._dropped += 1
+                delay_ms = 0.0
+            elif action == "stall":
+                self._stalled += 1
+            return action, delay_ms
+
+    # ------------------------------------------------------------------
+    # lifecycle internals (lock held)
+    # ------------------------------------------------------------------
+
+    def _fire_locked(self, state: _FaultState, count: int) -> int:
+        """Apply one fault's effect; returns admission slots to acquire."""
+        event = state.event
+        state.fired = True
+        state.fired_at = count
+        acquire = 0
+        if event.kind == "shard-kill":
+            self._store.kill_shard(event.shard)
+        elif event.kind == "shard-slow":
+            self._slow_delay_ms += float(event.delay_ms or 0.0)
+        elif event.kind == "admission-burst":
+            acquire = int(event.amount or 0)
+            self._admission_injected += acquire
+        self._emit("fault_injected", event, at_count=count)
+        return acquire
+
+    def _clear_locked(self, state: _FaultState, count: Optional[int]) -> int:
+        """Undo one fault's effect; returns admission slots to release."""
+        event = state.event
+        state.cleared = True
+        state.cleared_at = count
+        release = 0
+        if event.kind == "shard-kill":
+            self._store.restart_shard(event.shard)
+        elif event.kind == "shard-slow":
+            self._slow_delay_ms = max(
+                0.0, self._slow_delay_ms - float(event.delay_ms or 0.0)
+            )
+        elif event.kind == "admission-burst":
+            release = int(event.amount or 0)
+        self._emit("fault_cleared", event, at_count=count, forced=state.forced)
+        return release
+
+    def _emit(self, kind: str, event: FaultEvent, **extra: Any) -> None:
+        events = getattr(self._store, "events", None)
+        if events is None:
+            return
+        fields: Dict[str, Any] = {"fault": event.kind, "scheduled_at": event.at}
+        if event.shard is not None:
+            fields["shard"] = event.shard
+        if event.delay_ms is not None:
+            fields["delay_ms"] = event.delay_ms
+        if event.amount is not None:
+            fields["amount"] = event.amount
+        fields.update(extra)
+        events.emit(kind, **fields)
+
+    # ------------------------------------------------------------------
+    # teardown and reporting
+    # ------------------------------------------------------------------
+
+    def finish_serve_faults(self) -> int:
+        """Force-clear every still-active serve fault (end of chaos run).
+
+        Restores killed shards, removes injected delay, and returns the
+        total admission slots the caller must release from the daemon.
+        Publish-window faults are left alone: they are harmless once no
+        more publishes arrive, and clearing them would perturb the
+        deterministic publish counter.
+        """
+        release = 0
+        with self._lock:
+            for state in self._serve_states:
+                if state.fired and not state.cleared:
+                    state.forced = True
+                    release += self._clear_locked(state, None)
+        return release
+
+    def report(self) -> Dict[str, Any]:
+        """Deterministic summary of what fired, cleared, and was counted."""
+        with self._lock:
+            return {
+                "seed": self.schedule.seed,
+                "spec": self.schedule.spec,
+                "requests_seen": self._requests,
+                "publishes_seen": self._publishes,
+                "faults": [
+                    state.as_dict()
+                    for state in (*self._serve_states, *self._publish_states)
+                ],
+                "degraded_responses": self._degraded,
+                "dropped_publishes": self._dropped,
+                "stalled_publishes": self._stalled,
+                "admission_injected": self._admission_injected,
+            }

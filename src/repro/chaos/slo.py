@@ -1,0 +1,261 @@
+"""Recovery-SLO assertions for chaos runs.
+
+:func:`evaluate` turns the raw observations of one chaos run -- which
+request positions errored, which latencies were measured, whether the
+torn-read audit found anything, whether generations kept advancing --
+into a pass/fail verdict per named check plus an overall ``passed``:
+
+``bounded_error_window``
+    Counted errors must not exceed ``max_error_window`` and every error
+    position must fall inside a fault window extended by the recovery
+    window.  With no fault windows at all the run must be error-free.
+``no_torn_reads``
+    The kill/restart torn-read audit (responses byte-compared against
+    the generation they claim to come from) found zero mismatches.
+``p99_recovery``
+    For each serving-fault window, the p99 of ok-request latencies in
+    the ``recovery_window_requests`` after the fault clears must be at
+    most ``p99_amplification`` times the pre-fault p99.  Vacuous when a
+    side has too few samples to rank a p99 (< 20), or when no latencies
+    were recorded (deterministic scenario runs evaluate everything else
+    and leave timing to the benchmark/CLI channel).
+``generation_recovered``
+    After publish-stall/drop faults, the store's generation version must
+    have advanced past the version pinned when the fault fired (age
+    re-converges).  ``None`` marks the check not applicable.
+
+``python -m repro.chaos.slo report.json`` re-evaluates a CLI chaos
+artifact from its recorded ``slo_inputs``, optionally overriding the
+thresholds -- CI uses an absurd ``--p99-amplification`` to prove the
+gate can fail.  Exit: 0 pass, 1 fail, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["SLOThresholds", "evaluate"]
+
+#: Minimum per-side ok samples for a meaningful p99 comparison.
+_MIN_P99_SAMPLES = 20
+
+
+@dataclass(frozen=True)
+class SLOThresholds:
+    """Bounds a chaos run must satisfy to count as recovered."""
+
+    p99_amplification: float = 1.5
+    max_error_window: int = 64
+    recovery_window_requests: int = 200
+    require_no_torn_reads: bool = True
+
+    def __post_init__(self) -> None:
+        if self.p99_amplification <= 0.0:
+            raise ValueError("p99_amplification must be > 0")
+        if self.max_error_window < 0:
+            raise ValueError("max_error_window must be >= 0")
+        if self.recovery_window_requests < 1:
+            raise ValueError("recovery_window_requests must be >= 1")
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "p99_amplification": self.p99_amplification,
+            "max_error_window": self.max_error_window,
+            "recovery_window_requests": self.recovery_window_requests,
+            "require_no_torn_reads": self.require_no_torn_reads,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SLOThresholds":
+        known = {
+            "p99_amplification",
+            "max_error_window",
+            "recovery_window_requests",
+            "require_no_torn_reads",
+        }
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty sequence."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _check(passed: bool, detail: str) -> Dict[str, Any]:
+    return {"passed": bool(passed), "detail": detail}
+
+
+def evaluate(
+    *,
+    thresholds: SLOThresholds,
+    fault_windows: Sequence[Tuple[int, int]],
+    error_positions: Sequence[int],
+    total_requests: int,
+    latencies_ms: Optional[Sequence[Optional[float]]] = None,
+    torn_reads: Optional[int] = None,
+    generation_recovered: Optional[bool] = None,
+) -> Dict[str, Any]:
+    """Evaluate one chaos run's recovery SLOs.
+
+    ``fault_windows`` are ``(start, end)`` request-count intervals of the
+    serving faults (end exclusive).  ``error_positions`` are the 0-based
+    request positions that failed (client- or server-side), counted --
+    never silently dropped.  ``latencies_ms`` is position-indexed with
+    ``None`` for failed requests; pass ``None`` entirely to skip timing
+    (the deterministic scenario channel).  ``torn_reads`` is the audit's
+    mismatch count or ``None`` if the audit did not run.
+    """
+    checks: Dict[str, Dict[str, Any]] = {}
+    recovery = thresholds.recovery_window_requests
+
+    # -- bounded, counted error window ---------------------------------
+    errors = sorted(int(p) for p in error_positions)
+    if not fault_windows:
+        checks["bounded_error_window"] = _check(
+            not errors, f"{len(errors)} error(s) with no fault scheduled"
+        )
+    else:
+        allowed = [(start, end + recovery) for start, end in fault_windows]
+        strays = [
+            p for p in errors if not any(lo <= p < hi for lo, hi in allowed)
+        ]
+        count_ok = len(errors) <= thresholds.max_error_window
+        checks["bounded_error_window"] = _check(
+            count_ok and not strays,
+            f"{len(errors)} error(s) (max {thresholds.max_error_window}), "
+            f"{len(strays)} outside fault+recovery windows",
+        )
+
+    # -- torn reads ----------------------------------------------------
+    if torn_reads is None:
+        checks["no_torn_reads"] = _check(True, "not audited")
+    else:
+        passed = torn_reads == 0 or not thresholds.require_no_torn_reads
+        checks["no_torn_reads"] = _check(passed, f"{torn_reads} torn read(s)")
+
+    # -- p99 recovery per serving-fault window -------------------------
+    if latencies_ms is None:
+        checks["p99_recovery"] = _check(True, "not evaluated (no latencies)")
+    elif not fault_windows:
+        checks["p99_recovery"] = _check(True, "no fault windows")
+    else:
+        details: List[str] = []
+        passed = True
+        for start, end in fault_windows:
+            pre = [
+                latencies_ms[p]
+                for p in range(0, min(start, len(latencies_ms)))
+                if latencies_ms[p] is not None
+            ]
+            post = [
+                latencies_ms[p]
+                for p in range(end, min(end + recovery, total_requests, len(latencies_ms)))
+                if latencies_ms[p] is not None
+            ]
+            if len(pre) < _MIN_P99_SAMPLES or len(post) < _MIN_P99_SAMPLES:
+                details.append(
+                    f"window [{start},{end}): vacuous "
+                    f"({len(pre)} pre / {len(post)} post samples)"
+                )
+                continue
+            pre_p99 = _percentile(pre, 0.99)
+            post_p99 = _percentile(post, 0.99)
+            bound = thresholds.p99_amplification * pre_p99
+            ok = post_p99 <= bound
+            passed = passed and ok
+            details.append(
+                f"window [{start},{end}): post p99 {post_p99:.3f}ms vs "
+                f"bound {bound:.3f}ms (pre p99 {pre_p99:.3f}ms x "
+                f"{thresholds.p99_amplification})"
+            )
+        checks["p99_recovery"] = _check(passed, "; ".join(details))
+
+    # -- generation age re-converges -----------------------------------
+    if generation_recovered is None:
+        checks["generation_recovered"] = _check(True, "not applicable")
+    else:
+        checks["generation_recovered"] = _check(
+            generation_recovered,
+            "generation advanced past the fault"
+            if generation_recovered
+            else "generation did not advance after publish fault",
+        )
+
+    return {
+        "passed": all(entry["passed"] for entry in checks.values()),
+        "thresholds": thresholds.as_dict(),
+        "checks": checks,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos.slo",
+        description="Re-evaluate a chaos report artifact's recovery SLOs.",
+    )
+    parser.add_argument("artifact", type=Path, help="chaos report JSON (--chaos-out)")
+    parser.add_argument("--p99-amplification", type=float, default=None)
+    parser.add_argument("--max-error-window", type=int, default=None)
+    parser.add_argument("--recovery-window", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    try:
+        payload = json.loads(args.artifact.read_text())
+    except FileNotFoundError:
+        print(f"error: artifact {args.artifact} not found", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: artifact {args.artifact} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    inputs = payload.get("slo_inputs")
+    if not isinstance(inputs, dict):
+        print(
+            f"error: artifact {args.artifact} has no slo_inputs section "
+            "(was it written by repro load --chaos?)",
+            file=sys.stderr,
+        )
+        return 2
+
+    base = SLOThresholds.from_dict(payload.get("slo", {}).get("thresholds", {}))
+    overrides = {}
+    if args.p99_amplification is not None:
+        overrides["p99_amplification"] = args.p99_amplification
+    if args.max_error_window is not None:
+        overrides["max_error_window"] = args.max_error_window
+    if args.recovery_window is not None:
+        overrides["recovery_window_requests"] = args.recovery_window
+    try:
+        thresholds = SLOThresholds.from_dict({**base.as_dict(), **overrides})
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    result = evaluate(
+        thresholds=thresholds,
+        fault_windows=[tuple(w) for w in inputs.get("fault_windows", [])],
+        error_positions=inputs.get("error_positions", []),
+        total_requests=int(inputs.get("total_requests", 0)),
+        latencies_ms=inputs.get("latencies_ms"),
+        torn_reads=inputs.get("torn_reads"),
+        generation_recovered=inputs.get("generation_recovered"),
+    )
+    for name, entry in result["checks"].items():
+        status = "PASS" if entry["passed"] else "FAIL"
+        print(f"  {status}  {name}: {entry['detail']}")
+    if result["passed"]:
+        print("chaos SLO gate passed")
+        return 0
+    print("chaos SLO gate FAILED", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

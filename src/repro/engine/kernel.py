@@ -360,6 +360,7 @@ def _build_live_harness(spec: ScenarioSpec):
         cache_entries=int(workload.param("cache_entries")),
         seed=spec.seed,
         source=spec.name,
+        chaos_spec=str(workload.param("chaos")),
     )
 
 

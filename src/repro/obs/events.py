@@ -41,6 +41,13 @@ EVENT_KINDS = (
     "admission_shed",
     "shard_error",
     "health_snapshot",
+    # Chaos (deterministic fault injection) lifecycle:
+    "fault_injected",
+    "fault_cleared",
+    "shard_killed",
+    "shard_restarted",
+    "publish_dropped",
+    "publish_stalled",
 )
 
 

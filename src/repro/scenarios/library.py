@@ -340,6 +340,108 @@ def _queries_live_mixed() -> ScenarioSpec:
     )
 
 
+def _chaos_live_spec(name: str, description: str, chaos: str) -> ScenarioSpec:
+    """A small queries-live universe with a deterministic fault schedule.
+
+    All four chaos scenarios share one shape: 64 nodes on 2 shards, a
+    single-worker live stream of 160 queries (faults fire on request
+    counts, so ``concurrency=1`` keeps the shed/degrade pattern -- and
+    with it every chaos metric -- byte-identical across runs), and a
+    measured leg against the healthy store after the faults clear.
+    """
+    return ScenarioSpec(
+        name=name,
+        description=description,
+        mode="simulate",
+        network=NetworkSpec(nodes=64),
+        preset="mp",
+        duration_s=600.0,
+        backend="vectorized",
+        workload=WorkloadSpec(
+            kind="queries-live",
+            params={
+                "count": 256,
+                "live_count": 160,
+                "mix": "mixed",
+                "k": 3,
+                "index": "vptree",
+                "shards": 2,
+                "publish_every_ticks": 8,
+                "concurrency": 1,
+                "chaos": chaos,
+            },
+        ),
+        seed=0,
+    )
+
+
+@scenario("chaos-shard-kill")
+def _chaos_shard_kill() -> ScenarioSpec:
+    """Kill a shard mid-stream, serve degraded, restart, re-converge.
+
+    Requests 40..99 of the live stream see shard 1 down: scatter queries
+    are answered from the healthy subset and flagged ``partial`` with the
+    missing-shard list; the torn-read audit checks them against the same
+    healthy subset.  At request 100 the shard restarts (store rebuild
+    from the last generation) and the stream must return to full
+    answers with no torn reads.
+    """
+    return _chaos_live_spec(
+        "chaos-shard-kill",
+        "Shard kill + restart under live load; degraded partial serving",
+        "shard-kill@40+60:shard=1",
+    )
+
+
+@scenario("chaos-gray-slow")
+def _chaos_gray_slow() -> ScenarioSpec:
+    """Gray failure: one shard answers, but slowly, for a request window.
+
+    Requests 40..99 pay a 2 ms injected service delay on shard 0 --
+    responses stay correct and complete (no degradation), so the audit
+    and oracle agreement must be unaffected; only wall-clock latency
+    moves, and that rides in the profile channel.
+    """
+    return _chaos_live_spec(
+        "chaos-gray-slow",
+        "Slow-shard gray failure: injected delay, answers stay exact",
+        "shard-slow@40+60:shard=0:delay_ms=2",
+    )
+
+
+@scenario("chaos-publish-stall")
+def _chaos_publish_stall() -> ScenarioSpec:
+    """Publish-path faults: one epoch stalled, one dropped entirely.
+
+    The second publish is delayed by 10 ms (generation age grows, then
+    recovers) and the fourth vanishes before reaching the store.  Serving
+    must never observe a torn generation: every response still matches a
+    re-serve against the generation of its claimed version.
+    """
+    return _chaos_live_spec(
+        "chaos-publish-stall",
+        "Stalled and dropped epoch publishes under live serving",
+        "publish-stall@2+1:delay_ms=10,publish-drop@4+1",
+    )
+
+
+@scenario("chaos-admission-burst")
+def _chaos_admission_burst() -> ScenarioSpec:
+    """Synthetic admission spike: the daemon sheds, then recovers.
+
+    Requests 30..69 run with the admission gate saturated by injected
+    load (the harness admission limit), so live queries in the window are
+    shed with the overloaded error.  The SLO gate bounds the counted
+    error window to the fault window and requires clean serving after
+    the burst releases.
+    """
+    return _chaos_live_spec(
+        "chaos-admission-burst",
+        "Admission-control burst: bounded shed window, clean recovery",
+        "admission-burst@30+40:amount=4096",
+    )
+
+
 @scenario("vectorized-strict-small")
 def _vectorized_strict_small() -> ScenarioSpec:
     """Pinned strict-equivalence guard: vectorized must match the oracle.

@@ -104,6 +104,10 @@ WORKLOAD_KINDS: Dict[str, Dict[str, Any]] = {
         "publish_every_ticks": 8,
         "concurrency": 4,
         "cache_entries": 1024,
+        # Optional deterministic fault schedule injected into the live
+        # daemon: comma-separated ``kind@at+duration[:key=value...]``
+        # (see repro.chaos.schedule); empty string disables chaos.
+        "chaos": "",
     },
 }
 
@@ -252,6 +256,19 @@ class WorkloadSpec:
                 "workload.publish_every_ticks must be a positive integer, "
                 f"got {cadence!r}",
             )
+            chaos = self.params.get("chaos", known["chaos"])
+            if not isinstance(chaos, str):
+                errors.append(
+                    f"workload.chaos must be a schedule string, got {chaos!r}"
+                )
+            elif chaos:
+                # Lazy for the same reason as the index/mix checks above.
+                from repro.chaos.schedule import FaultSchedule
+
+                try:
+                    FaultSchedule.parse(chaos)
+                except ValueError as exc:
+                    errors.append(f"workload.chaos: {exc}")
         return errors
 
     def param(self, name: str) -> Any:

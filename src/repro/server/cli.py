@@ -50,6 +50,15 @@ code 2 when the path is unwritable.  ``metrics`` fetches the
 *server-side* registry over the wire ``metrics`` op.  ``serve-daemon
 --trace-spans`` additionally records per-stage span histograms
 (``span_ms``) on the request path.
+
+``load --chaos SPEC`` installs a deterministic fault schedule on the
+daemon for the duration of the run (``kind@at+duration[:key=value...]``,
+comma-separated) and evaluates recovery SLOs afterwards: bounded counted
+error window, no torn reads, and p99 re-convergence.  ``--chaos-out``
+writes the full chaos report (fault lifecycle, SLO inputs and verdicts)
+as JSON, re-checkable offline with ``python -m repro.chaos.slo``;
+``--request-timeout`` bounds each request and counts timeouts as typed
+errors instead of hanging the run.
 """
 
 from __future__ import annotations
@@ -61,6 +70,8 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence
 
+from repro.chaos.schedule import FaultSchedule
+from repro.chaos.slo import SLOThresholds, evaluate as evaluate_slo
 from repro.obs.registry import TelemetryRegistry
 from repro.server.client import AsyncCoordinateClient
 from repro.server.daemon import CoordinateServer
@@ -191,9 +202,10 @@ def _print_load_report(report) -> None:
             )
 
 
-async def _load_async(args: argparse.Namespace) -> int:
+async def _load_async(args: argparse.Namespace, schedule=None) -> int:
     address = (args.host, args.port)
     client = await AsyncCoordinateClient.connect(*address)
+    chaos_installed = False
     try:
         listing = await client.op("nodes")
         if not listing.get("ok"):
@@ -215,6 +227,24 @@ async def _load_async(args: argparse.Namespace) -> int:
 
             snapshot_payload = dump["payload"]
 
+        shards_serving: Optional[int] = None
+        if schedule is not None:
+            stats = await client.op("stats")
+            if stats.get("ok"):
+                shards_serving = int(stats["payload"]["shards"]["count"])
+            install = await client.chaos(spec=schedule.spec, seed=schedule.seed)
+            if not install.get("ok"):
+                print(
+                    f"error: daemon refused chaos schedule: {install.get('error')}",
+                    file=sys.stderr,
+                )
+                return 2
+            chaos_installed = True
+            print(
+                f"chaos schedule installed: {len(schedule.events)} fault(s), "
+                f"seed {schedule.seed}"
+            )
+
         queries = generate_queries(
             node_ids,
             args.count,
@@ -233,29 +263,131 @@ async def _load_async(args: argparse.Namespace) -> int:
             rate_qps=args.rate,
             registry=registry,
             deterministic_timing=args.deterministic_timing,
+            request_timeout=args.request_timeout,
         )
         _print_load_report(report)
+        if report.error_kinds:
+            print(
+                "errors by kind: "
+                + ", ".join(
+                    f"{kind}={count}"
+                    for kind, count in sorted(report.error_kinds.items())
+                )
+            )
+        if report.degraded:
+            print(f"{report.degraded} response(s) served degraded (partial)")
+
+        chaos_report: Optional[Dict[str, Any]] = None
+        if chaos_installed:
+            fetched = await client.chaos(report=True)
+            if fetched.get("ok"):
+                chaos_report = fetched["payload"].get("report")
+            cleared = await client.chaos(clear=True)
+            chaos_installed = False
+            if not cleared.get("ok"):  # pragma: no cover - clear never refuses
+                print(
+                    f"error: daemon refused chaos clear: {cleared.get('error')}",
+                    file=sys.stderr,
+                )
 
         exit_code = 0
-        if report.errors:
+        torn_read_count: Optional[int] = None
+        if report.errors and schedule is None:
+            # Under a chaos schedule errors are expected inside the fault
+            # windows; the SLO gate below bounds them instead.
             print(f"error: {report.errors} request(s) failed", file=sys.stderr)
             exit_code = 1
         if args.verify_oracle and snapshot_payload is not None:
-            oracle_store = SnapshotStore.from_snapshot(
-                CoordinateSnapshot.from_dict(snapshot_payload), index_kind="linear"
-            )
-            oracle = run_workload(
-                QueryPlanner(oracle_store, clock=lambda: 0.0, timer=lambda: 0.0),
-                queries,
-                timer=lambda: 0.0,
-            )
-            identical = oracle.checksum == report.checksum
-            print(f"linear oracle checksum {oracle.checksum[:12]}; identical: {identical}")
-            if not identical:
-                print(
-                    "error: daemon results diverged from the single-store linear oracle",
-                    file=sys.stderr,
+            snapshot = CoordinateSnapshot.from_dict(snapshot_payload)
+            if schedule is not None:
+                # Partial responses cannot match the full-stream checksum;
+                # check each response against the (healthy-subset) oracle.
+                from repro.chaos.oracle import verify_chaos_responses
+
+                verdict = verify_chaos_responses(
+                    snapshot,
+                    queries,
+                    report.responses,
+                    shards=shards_serving or 2,
                 )
+                identical = not verdict["mismatches"]
+                torn_read_count = len(verdict["mismatches"])
+                print(
+                    f"chaos oracle: {verdict['matches']}/{verdict['checked']} "
+                    f"responses identical ({verdict['partial_checked']} degraded)"
+                )
+                if not identical:
+                    print(
+                        "error: daemon results diverged from the healthy-subset "
+                        f"oracle at positions {verdict['mismatches'][:10]}",
+                        file=sys.stderr,
+                    )
+                    exit_code = 1
+            else:
+                oracle_store = SnapshotStore.from_snapshot(
+                    snapshot, index_kind="linear"
+                )
+                oracle = run_workload(
+                    QueryPlanner(oracle_store, clock=lambda: 0.0, timer=lambda: 0.0),
+                    queries,
+                    timer=lambda: 0.0,
+                )
+                identical = oracle.checksum == report.checksum
+                print(
+                    f"linear oracle checksum {oracle.checksum[:12]}; "
+                    f"identical: {identical}"
+                )
+                if not identical:
+                    print(
+                        "error: daemon results diverged from the single-store "
+                        "linear oracle",
+                        file=sys.stderr,
+                    )
+                    exit_code = 1
+
+        if schedule is not None:
+            slo_inputs = {
+                "fault_windows": [
+                    [event.at, event.clear_at] for event in schedule.serve_events()
+                ],
+                "error_positions": [
+                    position
+                    for position, response in enumerate(report.responses)
+                    if not response.get("ok")
+                ],
+                "total_requests": report.query_count,
+                "latencies_ms": list(report.latencies_ms),
+                "torn_reads": torn_read_count,
+                "generation_recovered": None,
+            }
+            thresholds = SLOThresholds()
+            slo = evaluate_slo(
+                thresholds=thresholds,
+                fault_windows=[tuple(w) for w in slo_inputs["fault_windows"]],
+                error_positions=slo_inputs["error_positions"],
+                total_requests=slo_inputs["total_requests"],
+                latencies_ms=slo_inputs["latencies_ms"],
+                torn_reads=slo_inputs["torn_reads"],
+                generation_recovered=slo_inputs["generation_recovered"],
+            )
+            for name, entry in slo["checks"].items():
+                status = "PASS" if entry["passed"] else "FAIL"
+                print(f"  SLO {status}  {name}: {entry['detail']}")
+            if args.chaos_out is not None:
+                artifact = {
+                    "chaos": chaos_report,
+                    "slo_inputs": slo_inputs,
+                    "slo": slo,
+                    "error_kinds": dict(report.error_kinds),
+                    "degraded": report.degraded,
+                }
+                _write_artifact(
+                    args.chaos_out,
+                    json.dumps(artifact, indent=2, sort_keys=True) + "\n",
+                    "chaos report",
+                )
+            if not slo["passed"]:
+                print("error: chaos recovery SLOs failed", file=sys.stderr)
                 exit_code = 1
         if args.out is not None:
             _write_artifact(
@@ -297,6 +429,11 @@ async def _load_async(args: argparse.Namespace) -> int:
                 exit_code = exit_code or 1
         return exit_code
     finally:
+        if chaos_installed:
+            try:
+                await client.chaos(clear=True)
+            except (ConnectionError, OSError):  # pragma: no cover - best effort
+                pass
         await client.close()
 
 
@@ -304,8 +441,36 @@ def _cmd_load(args: argparse.Namespace) -> int:
     if args.mode == "open" and args.rate is None:
         print("error: --mode open requires --rate", file=sys.stderr)
         return 2
+    if args.rate is not None and args.rate <= 0:
+        print(f"error: --rate must be positive, got {args.rate}", file=sys.stderr)
+        return 2
+    if args.concurrency < 1:
+        print(
+            f"error: --concurrency must be at least 1, got {args.concurrency}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.connections < 1:
+        print(
+            f"error: --connections must be at least 1, got {args.connections}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.request_timeout is not None and args.request_timeout <= 0:
+        print(
+            f"error: --request-timeout must be positive, got {args.request_timeout}",
+            file=sys.stderr,
+        )
+        return 2
+    schedule = None
+    if args.chaos is not None:
+        try:
+            schedule = FaultSchedule.parse(args.chaos, seed=args.seed)
+        except ValueError as exc:
+            print(f"error: --chaos {exc}", file=sys.stderr)
+            return 2
     try:
-        return asyncio.run(_load_async(args))
+        return asyncio.run(_load_async(args, schedule))
     except ConnectionError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -651,6 +816,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record hash-derived synthetic latencies instead of the wall "
         "clock, making histograms and --metrics-out byte-reproducible",
+    )
+    load.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        help="per-request timeout in seconds (timeouts count as errors)",
+    )
+    load.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="install a deterministic fault schedule on the daemon for the "
+        "run: comma-separated kind@at+duration[:key=value...] (kinds: "
+        "shard-kill, shard-slow, publish-stall, publish-drop, "
+        "admission-burst); recovery SLOs are evaluated after the run",
+    )
+    load.add_argument(
+        "--chaos-out",
+        type=Path,
+        default=None,
+        help="write the chaos report (fault lifecycle, SLO inputs and "
+        "verdicts) as JSON; re-gate later with python -m repro.chaos.slo",
     )
     load.set_defaults(handler=_cmd_load)
 

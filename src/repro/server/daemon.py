@@ -38,18 +38,22 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional, Tuple
 
+from repro.chaos.injector import ChaosInjector
+from repro.chaos.schedule import FaultSchedule
 from repro.obs.registry import TelemetryRegistry
 from repro.obs.tracing import TraceRecorder, make_span
 from repro.server.protocol import (
     HEADER,
     OPS,
     PROTOCOL_VERSION,
+    QUERY_OPS,
     ProtocolError,
     decode_frame,
     encode_frame,
     frame_length,
     request_to_publish,
     request_to_query,
+    request_version,
 )
 from repro.server.sharding import ShardedCoordinateStore
 from repro.service.planner import QueryError
@@ -317,6 +321,23 @@ class CoordinateServer:
         request_id: Any,
         trace: Optional[TraceRecorder] = None,
     ) -> Dict[str, Any]:
+        op = request.get("op")
+        # Chaos is control plane: it bypasses admission entirely so an
+        # active admission-burst fault can always be reported and
+        # cleared over the wire (it would otherwise shed the very
+        # request that ends it).
+        if op == "chaos":
+            return self._serve_chaos(request, request_id)
+        chaos = getattr(self.store, "chaos", None)
+        if chaos is not None and op in QUERY_OPS:
+            # Advance the deterministic fault schedule *before* the
+            # admission decision: requests shed by an injected burst
+            # must still tick the counter or the burst never clears.
+            decision = chaos.on_query(op)
+            if decision.admission_acquire:
+                self.inject_admission_load(decision.admission_acquire)
+            if decision.admission_release:
+                self.release_admission_load(decision.admission_release)
         with make_span(self.registry, "daemon.admission", trace, {}):
             admitted = self._admit()
         if not admitted:
@@ -337,7 +358,6 @@ class CoordinateServer:
                 "overloaded": True,
             }
         try:
-            op = request.get("op")
             try:
                 query = request_to_query(request)
             except (ProtocolError, QueryError) as exc:
@@ -464,6 +484,103 @@ class CoordinateServer:
         finally:
             self._release()
 
+    def _serve_chaos(self, request: Dict[str, Any], request_id: Any) -> Dict[str, Any]:
+        """The chaos control plane: install / report / clear a schedule.
+
+        Gated on protocol version 3 exactly like delta publish is gated
+        on version 2, so fault injection cannot be triggered by accident
+        from an old client.
+        """
+        try:
+            version = request_version(request)
+        except ProtocolError as exc:
+            return {"id": request_id, "ok": False, "error": str(exc)}
+        if version < 3:
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": (
+                    "chaos op requires protocol version 3; "
+                    "declare 'version': 3 (negotiate via the hello op)"
+                ),
+            }
+        injector = getattr(self.store, "chaos", None)
+        if request.get("report"):
+            return {
+                "id": request_id,
+                "ok": True,
+                "payload": {
+                    "installed": injector is not None,
+                    "report": injector.report() if injector is not None else None,
+                },
+            }
+        if request.get("clear"):
+            released = 0
+            if injector is not None:
+                released = injector.finish_serve_faults()
+                if released:
+                    self.release_admission_load(released)
+                self.store.chaos = None
+            return {
+                "id": request_id,
+                "ok": True,
+                "payload": {
+                    "cleared": injector is not None,
+                    "released": released,
+                },
+            }
+        spec = request.get("spec")
+        if not isinstance(spec, str) or not spec:
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": (
+                    "chaos request needs a non-empty 'spec' string "
+                    "(or 'report'/'clear': true)"
+                ),
+            }
+        seed = request.get("seed", 0)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            return {"id": request_id, "ok": False, "error": "chaos 'seed' must be an integer"}
+        if injector is not None:
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": "a chaos schedule is already installed; clear it first",
+            }
+        try:
+            schedule = FaultSchedule.parse(spec, seed=seed)
+            installed = ChaosInjector(schedule, self.store)
+        except ValueError as exc:
+            return {"id": request_id, "ok": False, "error": str(exc)}
+        self.store.chaos = installed
+        return {
+            "id": request_id,
+            "ok": True,
+            "payload": {"installed": True, "faults": len(schedule.events)},
+        }
+
+    def inject_admission_load(self, amount: int) -> None:
+        """Occupy ``amount`` admission slots (the admission-burst fault)."""
+        if amount <= 0:
+            return
+        with self._stats_lock:
+            self._in_flight += amount
+            if self._in_flight > self._max_in_flight_seen:
+                self._max_in_flight_seen = self._in_flight
+            in_flight = self._in_flight
+        self._g_in_flight.set(in_flight)
+        self._g_in_flight_max.update_max(in_flight)
+
+    def release_admission_load(self, amount: int) -> None:
+        """Release slots taken by :meth:`inject_admission_load`."""
+        if amount <= 0:
+            return
+        with self._stats_lock:
+            self._in_flight = max(0, self._in_flight - amount)
+            in_flight = self._in_flight
+        self._g_in_flight.set(in_flight)
+
     def _serve_publish(self, request_id: Any, mode: str, parsed) -> Dict[str, Any]:
         """Executed on the thread pool: publish an epoch into the store.
 
@@ -500,19 +617,25 @@ class CoordinateServer:
     ) -> Dict[str, Any]:
         """Executed on the thread pool: pin a generation, serve, respond."""
         try:
-            payload, version, cached = self.store.serve(query, trace=trace)
+            result = self.store.serve(query, trace=trace)
         except QueryError as exc:
             events = getattr(self.store, "events", None)
             if events is not None:
                 events.emit("shard_error", query_kind=query.kind, error=str(exc))
             return {"id": request_id, "ok": False, "error": str(exc)}
-        return {
+        response = {
             "id": request_id,
             "ok": True,
-            "payload": payload,
-            "version": version,
-            "cached": cached,
+            "payload": result.payload,
+            "version": result.version,
+            "cached": result.cached,
         }
+        if getattr(result, "partial", False):
+            # Degraded contract: still ok, but the client is told exactly
+            # which shards' candidates are missing from the answer.
+            response["partial"] = True
+            response["missing_shards"] = sorted(result.missing_shards)
+        return response
 
     # ------------------------------------------------------------------
     # Observability

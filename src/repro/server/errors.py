@@ -1,0 +1,39 @@
+"""Typed client-side transport errors for the coordinate daemon.
+
+The async client used to collapse every failure into a bare
+``ConnectionError("connection lost: ...")`` string, leaving callers to
+parse messages to tell a dead socket from a slow daemon.  These classes
+make the failure mode part of the type:
+
+* :class:`TransportError` -- the connection failed (reset, EOF, protocol
+  corruption, or a request issued on a closed client).  Subclasses
+  ``ConnectionError`` so every existing ``except ConnectionError`` site
+  keeps working unchanged.
+* :class:`RequestTimeout` -- one request exceeded its per-request
+  timeout; the connection itself is still healthy and the late response,
+  if it ever arrives, is discarded by correlation id.
+* :class:`ServerOverloaded` -- the daemon answered, but shed the request
+  via admission control; raised by the retry helper once its backoff
+  budget is exhausted (a single ``request()`` returns the overloaded
+  envelope rather than raising, preserving the wire contract).
+
+Every instance raised by the client preserves the underlying cause via
+``raise ... from`` / ``__cause__``, so tracebacks still show the socket-
+level exception that started it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RequestTimeout", "ServerOverloaded", "TransportError"]
+
+
+class TransportError(ConnectionError):
+    """The connection to the daemon failed mid-request."""
+
+
+class RequestTimeout(TransportError):
+    """No response arrived within the per-request timeout."""
+
+
+class ServerOverloaded(TransportError):
+    """The daemon shed the request (admission control) past all retries."""

@@ -30,6 +30,9 @@ from __future__ import annotations
 import threading
 from typing import Any, Dict, Optional, Tuple
 
+from repro.chaos.injector import ChaosInjector
+from repro.chaos.schedule import FaultSchedule
+from repro.chaos.slo import SLOThresholds, evaluate as evaluate_slo
 from repro.server.daemon import CoordinateServer, ServerThread
 from repro.server.load import LoadReport, run_load
 from repro.server.sharding import ShardedCoordinateStore
@@ -59,6 +62,7 @@ class LiveServingHarness:
         cache_entries: int,
         seed: int,
         source: str = "queries-live",
+        chaos_spec: str = "",
     ) -> None:
         self.publish_every_ticks = publish_every_ticks
         self.live_count = live_count
@@ -80,6 +84,14 @@ class LiveServingHarness:
             health_seed=seed,
         )
         self.server = CoordinateServer(self.store, admission_limit=4096)
+        #: Optional deterministic fault schedule: faults fire on request
+        #: and publish *counts*, so the chaos metrics below stay
+        #: byte-identical across runs and worker counts.
+        self.chaos: Optional[ChaosInjector] = None
+        if chaos_spec:
+            schedule = FaultSchedule.parse(chaos_spec, seed=seed)
+            self.chaos = ChaosInjector(schedule, self.store)
+            self.store.chaos = self.chaos
         #: The server-side telemetry registry (store + daemon instruments;
         #: the daemon adopts the store's).  Client-side load telemetry
         #: lives in each leg's LoadReport instead, so daemon-observed and
@@ -95,6 +107,7 @@ class LiveServingHarness:
         self._closing = threading.Event()
         self._live_consistent = 0
         self._live_audited = 0
+        self._live_degraded = 0
 
     # ------------------------------------------------------------------
     # Lifecycle around the simulation
@@ -175,13 +188,18 @@ class LiveServingHarness:
             self._driver_report = report
             # Torn-read audit: every response must match a re-serve of
             # its query against the generation of its claimed version.
+            # Degraded (partial) responses are audited on the healthy
+            # subset they declared via ``missing_shards``.
             for query, response in zip(queries, report.responses):
                 if not response.get("ok"):
                     continue
                 self._live_audited += 1
+                missing = frozenset(response.get("missing_shards") or ())
+                if response.get("partial"):
+                    self._live_degraded += 1
                 generation = self.store.at(int(response["version"]))
                 try:
-                    expected = generation.answer(query)
+                    expected = generation.answer(query, exclude_shards=missing)
                 except QueryError:
                     continue  # counted as inconsistent
                 if expected == response.get("payload"):
@@ -211,6 +229,14 @@ class LiveServingHarness:
             raise RuntimeError(
                 f"live load driver failed: {self._driver_error}"
             ) from self._driver_error
+
+        if self.chaos is not None:
+            # Force-clear any serve fault still open at the end of the
+            # live stream so the measured leg runs against a healthy
+            # store (and return any injected admission slots).
+            released = self.chaos.finish_serve_faults()
+            if released:
+                self.server.release_admission_load(released)
 
         generation = self.store.generation()
         if len(generation) < 2:
@@ -270,6 +296,54 @@ class LiveServingHarness:
         # movement away from the first published geometry, i.e. how much
         # the embedding was still converging while serving.
         metrics.update(self.store.health_tracker.metrics_summary(prefix="store_health_"))
+        chaos_report: Optional[Dict[str, Any]] = None
+        if self.chaos is not None:
+            # Chaos metrics are pure functions of the (count-driven)
+            # fault schedule and the fixed live query stream, so they are
+            # deterministic and belong in the scenario metrics.  Wall-
+            # clock latencies stay out: the SLO evaluation here runs with
+            # latencies_ms=None, making p99 recovery vacuous by design.
+            chaos_report = self.chaos.report()
+            live_responses = live.responses if live is not None else ()
+            error_positions = [
+                position
+                for position, response in enumerate(live_responses)
+                if not response.get("ok")
+            ]
+            torn_reads = self._live_audited - self._live_consistent
+            slo = evaluate_slo(
+                thresholds=SLOThresholds(),
+                fault_windows=[
+                    (event.at, event.clear_at)
+                    for event in self.chaos.schedule.serve_events()
+                ],
+                error_positions=error_positions,
+                total_requests=live_issued,
+                latencies_ms=None,
+                torn_reads=torn_reads,
+                generation_recovered=not self.store.down_shards,
+            )
+            faults = chaos_report["faults"]
+            metrics.update(
+                {
+                    "chaos_faults_fired": float(
+                        sum(1 for fault in faults if fault["fired"])
+                    ),
+                    "chaos_faults_cleared": float(
+                        sum(1 for fault in faults if fault["cleared"])
+                    ),
+                    "chaos_degraded_responses": float(self._live_degraded),
+                    "chaos_dropped_publishes": float(
+                        chaos_report["dropped_publishes"]
+                    ),
+                    "chaos_stalled_publishes": float(
+                        chaos_report["stalled_publishes"]
+                    ),
+                    "chaos_error_count": float(len(error_positions)),
+                    "chaos_torn_reads": float(torn_reads),
+                    "chaos_slo_passed": float(slo["passed"]),
+                }
+            )
         if profile is not None:
             profile["live_serve_qps"] = round(
                 live.queries_per_s if live is not None else 0.0, 3
@@ -293,6 +367,8 @@ class LiveServingHarness:
             "oracle_checksum": oracle.checksum,
             "store_health": self.store.health_tracker.summary(),
         }
+        if chaos_report is not None:
+            payload["chaos"] = chaos_report
         return metrics, payload
 
     # ------------------------------------------------------------------

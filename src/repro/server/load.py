@@ -50,6 +50,7 @@ import numpy as np
 from repro.core.coordinate import Coordinate
 from repro.obs.registry import TelemetryRegistry
 from repro.server.client import AsyncCoordinateClient
+from repro.server.errors import RequestTimeout
 from repro.server.protocol import query_to_request
 from repro.service.planner import Query
 from repro.service.workload import payload_checksum
@@ -137,6 +138,17 @@ class LoadReport:
     #: (relative-error percentiles, drift, staleness); empty when the
     #: daemon predates the ``health`` op or the fetch was disabled.
     health: Dict[str, Any] = field(default_factory=dict)
+    #: Every error counted by kind -- ``timeout``/``transport`` raised
+    #: client-side, ``overloaded`` shed by admission, ``server`` error
+    #: envelopes, ``health_fetch`` for a failed post-run health fetch.
+    #: Nothing is ever silently dropped; the kinds sum to ``errors``
+    #: (plus ``health_fetch``, which is not a query failure).
+    error_kinds: Dict[str, int] = field(default_factory=dict)
+    #: Ok responses that were served degraded (``"partial": true``).
+    degraded: int = 0
+    #: Per-position latency in ms (None where the request failed).  Kept
+    #: off ``as_dict()``: it is raw SLO-evaluation input, not summary.
+    latencies_ms: Tuple[Optional[float], ...] = ()
 
     @property
     def queries_per_s(self) -> float:
@@ -165,26 +177,29 @@ class LoadReport:
             "versions": list(self.versions),
             "telemetry": self.telemetry,
             "health": self.health,
+            "error_kinds": dict(self.error_kinds),
+            "degraded": self.degraded,
         }
 
 
 async def _fetch_health(
     client: AsyncCoordinateClient, deterministic_timing: bool
-) -> Dict[str, Any]:
-    """The daemon's health payload for the report's ``health`` section.
+) -> Tuple[Dict[str, Any], Optional[str]]:
+    """``(health payload, error or None)`` for the report's ``health`` section.
 
     Under deterministic timing, the wall-clock ``staleness`` section is
     replaced by a deterministic placeholder (the section is still
     present -- the report schema does not depend on the timing mode) so
-    seeded runs stay byte-identical end to end.  A daemon that predates
-    the ``health`` op yields an empty section rather than an error.
+    seeded runs stay byte-identical end to end.  A failed fetch returns
+    an empty section *and* the error string, which the caller counts as
+    ``error_kinds["health_fetch"]`` -- never silently swallowed.
     """
     try:
         response = await client.op("health")
-    except (ConnectionError, OSError):
-        return {}
+    except (ConnectionError, OSError) as exc:
+        return {}, f"{type(exc).__name__}: {exc}"
     if not response.get("ok"):
-        return {}
+        return {}, str(response.get("error") or "health op failed")
     health = dict(response.get("payload") or {})
     if deterministic_timing and "staleness" in health:
         health["staleness"] = {
@@ -192,7 +207,7 @@ async def _fetch_health(
             "generation_age_s": None,
             "publish_to_serve_age_ms": None,
         }
-    return health
+    return health, None
 
 
 async def run_load_async(
@@ -207,8 +222,17 @@ async def run_load_async(
     registry: Optional[TelemetryRegistry] = None,
     deterministic_timing: bool = False,
     collect_health: bool = True,
+    request_timeout: Optional[float] = None,
 ) -> LoadReport:
-    """Drive ``queries`` through a running daemon and summarise."""
+    """Drive ``queries`` through a running daemon and summarise.
+
+    ``request_timeout`` (seconds) bounds each request individually; an
+    expiry is recorded as an ``error_kinds["timeout"]`` failure at that
+    stream position and the run continues.  Transport failures likewise
+    count under ``error_kinds["transport"]`` instead of aborting the
+    whole run -- the chaos harness depends on the load loop surviving a
+    daemon that is deliberately misbehaving.
+    """
     if mode not in LOAD_MODES:
         raise ValueError(f"unknown load mode {mode!r}; known: {list(LOAD_MODES)}")
     if concurrency < 1:
@@ -217,6 +241,8 @@ async def run_load_async(
         raise ValueError("connections must be >= 1")
     if mode == "open" and (rate_qps is None or rate_qps <= 0.0):
         raise ValueError("open mode needs a positive rate_qps")
+    if request_timeout is not None and request_timeout <= 0.0:
+        raise ValueError("request_timeout must be positive")
     if registry is None:
         registry = TelemetryRegistry()
 
@@ -231,7 +257,27 @@ async def run_load_async(
     requests = [query_to_request(query, None) for query in queries]
 
     async def issue(position: int, client: AsyncCoordinateClient, sent_at: float) -> None:
-        response = await client.request(requests[position])
+        # Client-side failures are *counted at their stream position*,
+        # never allowed to propagate and abort the gather (which used to
+        # silently lose every other in-flight result with them).
+        try:
+            response = await client.request(
+                requests[position], timeout=request_timeout
+            )
+        except RequestTimeout as exc:
+            responses[position] = {
+                "ok": False,
+                "error": str(exc),
+                "client_error": "timeout",
+            }
+            return
+        except (ConnectionError, OSError) as exc:
+            responses[position] = {
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "client_error": "transport",
+            }
+            return
         measured[position] = (
             deterministic_latency_ms(position, queries[position].kind)
             if deterministic_timing
@@ -275,10 +321,10 @@ async def run_load_async(
                     await asyncio.sleep(delay)
                 tasks.append(asyncio.create_task(fire(position)))
             await asyncio.gather(*tasks)
-        health = (
+        health, health_error = (
             await _fetch_health(clients[0], deterministic_timing)
             if collect_health
-            else {}
+            else ({}, None)
         )
     finally:
         for client in clients:
@@ -290,6 +336,32 @@ async def run_load_async(
         1 for response in responses if response and response.get("overloaded")
     )
     errors = len(responses) - ok
+    degraded = sum(
+        1 for response in responses if response and response.get("partial")
+    )
+
+    # Count every failure by kind; the per-kind breakdown is what lets a
+    # chaos run distinguish an injected fault's expected errors from a
+    # genuine regression.
+    error_kinds: Dict[str, int] = {}
+    for response in responses:
+        if response is None:
+            kind = "transport"  # never returned: connection died mid-run
+        elif response.get("ok"):
+            continue
+        elif response.get("client_error"):
+            kind = str(response["client_error"])
+        elif response.get("overloaded"):
+            kind = "overloaded"
+        else:
+            kind = "server"
+        error_kinds[kind] = error_kinds.get(kind, 0) + 1
+    if health_error is not None:
+        error_kinds["health_fetch"] = error_kinds.get("health_fetch", 0) + 1
+    for kind in sorted(error_kinds):
+        registry.counter(
+            "load_errors_total", "Load-run failures by kind.", kind=kind
+        ).inc(error_kinds[kind])
 
     # Fold latencies in stream order: exact reservoir + registry histogram
     # receive the identical value sequence, so the histogram-derived tails
@@ -368,6 +440,9 @@ async def run_load_async(
         offered_qps=float(rate_qps) if mode == "open" and rate_qps else None,
         telemetry=telemetry,
         health=health,
+        error_kinds=error_kinds,
+        degraded=degraded,
+        latencies_ms=tuple(measured),
     )
 
 

@@ -51,8 +51,21 @@ Operations
                  (protocol version >= 2) only the changed rows travel,
                  plus optional ``removed``/``epoch`` -> ``{"version",
                  "nodes", "mode", "changed"}``
+``chaos``     -> fault-injection control plane (protocol version >= 3):
+                 ``spec``/``seed`` install a deterministic
+                 :class:`~repro.chaos.schedule.FaultSchedule`,
+                 ``"report": true`` fetches the chaos report,
+                 ``"clear": true`` force-clears active faults.  Handled
+                 *before* admission so an active admission burst can
+                 always be cleared
 ``shutdown``  -> ``{"stopping": true}`` and the daemon begins shutdown
 ========== ==========================================================
+
+While a shard is killed by fault injection, scatter-query responses are
+*degraded*: still ``"ok": true`` but with ``"partial": true`` and a
+``"missing_shards"`` list naming the shards whose candidates are absent.
+The payload is byte-identical to the full scatter minus those shards
+(checked by :func:`repro.chaos.oracle.verify_chaos_responses`).
 
 Any request may additionally set ``"trace": true``; the response then
 carries a ``trace`` list of per-stage ``{"stage", ..., "ms"}`` entries
@@ -70,6 +83,9 @@ adds the delta form of ``publish`` -- a version-1 (or versionless)
 ``publish`` can only be a full epoch, and a ``"delta": true`` request
 that does not declare version >= 2 is rejected, so an old server or a
 mixed fleet never misinterprets a delta as a tiny full population.
+Version 3 adds the ``chaos`` op; a ``chaos`` request that does not
+declare version >= 3 is rejected the same way, so fault injection can
+never be triggered by accident from an old client.
 
 The module is deliberately dependency-light (no asyncio imports) so both
 the asyncio daemon and synchronous tools can share it.
@@ -99,6 +115,7 @@ __all__ = [
     "request_version",
     "query_to_request",
     "OPS",
+    "QUERY_OPS",
 ]
 
 #: Frame header: 4-byte big-endian unsigned payload length.
@@ -110,8 +127,9 @@ HEADER = struct.Struct(">I")
 MAX_FRAME_BYTES = 256 * 1024 * 1024
 
 #: The protocol revision this module speaks.  Version 1 is the original
-#: versionless protocol; version 2 adds the delta form of ``publish``.
-PROTOCOL_VERSION = 2
+#: versionless protocol; version 2 adds the delta form of ``publish``;
+#: version 3 adds the ``chaos`` fault-injection op.
+PROTOCOL_VERSION = 3
 
 #: Recognised operations.
 OPS = (
@@ -130,8 +148,13 @@ OPS = (
     "ping",
     "hello",
     "publish",
+    "chaos",
     "shutdown",
 )
+
+#: The subset of :data:`OPS` that are store queries -- the requests that
+#: advance a chaos schedule's deterministic request counter.
+QUERY_OPS = ("knn", "nearest", "range", "distance", "centroid")
 
 
 class ProtocolError(ValueError):

@@ -64,7 +64,13 @@ from repro.service.publish import EpochDelta
 from repro.service.snapshot import SnapshotStore
 from repro.stats.percentile import StreamingPercentile
 
-__all__ = ["HEALTH_SECTIONS", "ShardedCoordinateStore", "ShardGeneration", "shard_of"]
+__all__ = [
+    "HEALTH_SECTIONS",
+    "ServeResult",
+    "ShardedCoordinateStore",
+    "ShardGeneration",
+    "shard_of",
+]
 
 #: The sections a store health payload can carry, in canonical order.
 HEALTH_SECTIONS = (
@@ -81,6 +87,65 @@ def _span(registry: Optional[TelemetryRegistry], name: str, trace, **labels):
     if registry is None:
         return NOOP_SPAN
     return make_span(registry, name, trace, labels)
+
+
+class _DeadShardIndex:
+    """Placeholder index for a shard that is down.
+
+    Installed in generations built while a shard is killed; any scatter
+    that reaches it (i.e. that did not exclude the dead shard) raises a
+    counted :class:`QueryError` rather than silently serving nothing.
+    """
+
+    __slots__ = ("shard",)
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+
+    def __len__(self) -> int:
+        return 0
+
+    def nearest(self, *args, **kwargs):
+        raise QueryError(f"shard {self.shard} is down")
+
+    def within(self, *args, **kwargs):
+        raise QueryError(f"shard {self.shard} is down")
+
+
+class ServeResult:
+    """:meth:`ShardedCoordinateStore.serve`'s return value.
+
+    Unpacks as the historical ``(payload, version, cached)`` 3-tuple so
+    every existing caller keeps working, while the degraded-response
+    attributes (``partial``, ``missing_shards``) ride along for callers
+    that understand them (the daemon's wire envelope).
+    """
+
+    __slots__ = ("payload", "version", "cached", "partial", "missing_shards")
+
+    def __init__(
+        self,
+        payload: Any,
+        version: int,
+        cached: bool,
+        *,
+        partial: bool = False,
+        missing_shards: Tuple[int, ...] = (),
+    ) -> None:
+        self.payload = payload
+        self.version = version
+        self.cached = cached
+        self.partial = partial
+        self.missing_shards = missing_shards
+
+    def __iter__(self):
+        return iter((self.payload, self.version, self.cached))
+
+    def __len__(self) -> int:
+        return 3
+
+    def __getitem__(self, item):
+        return (self.payload, self.version, self.cached)[item]
 
 
 def shard_of(node_id: str, shards: int) -> int:
@@ -157,10 +222,13 @@ class ShardGeneration:
         *,
         registry: Optional[TelemetryRegistry] = None,
         trace: Optional[TraceRecorder] = None,
+        exclude_shards: Sequence[int] = (),
     ) -> Dict[str, Any]:
         coordinate = self._coordinate_of(target)
         partials = []
         for shard, index in enumerate(self.shard_indexes):
+            if shard in exclude_shards:
+                continue
             with _span(registry, "query.scatter", trace, shard=shard):
                 partials.append(index.nearest(coordinate, k, exclude=[target]))
         with _span(registry, "query.merge", trace):
@@ -180,10 +248,13 @@ class ShardGeneration:
         *,
         registry: Optional[TelemetryRegistry] = None,
         trace: Optional[TraceRecorder] = None,
+        exclude_shards: Sequence[int] = (),
     ) -> Dict[str, Any]:
         coordinate = self._coordinate_of(target)
         partials = []
         for shard, index in enumerate(self.shard_indexes):
+            if shard in exclude_shards:
+                continue
             with _span(registry, "query.scatter", trace, shard=shard):
                 partials.append(index.within(coordinate, radius_ms))
         with _span(registry, "query.merge", trace):
@@ -212,6 +283,7 @@ class ShardGeneration:
         *,
         registry: Optional[TelemetryRegistry] = None,
         trace: Optional[TraceRecorder] = None,
+        exclude_shards: Sequence[int] = (),
     ) -> Dict[str, Any]:
         chosen = members or tuple(self.node_order)
         coordinates = [self._coordinate_of(node_id) for node_id in chosen]
@@ -220,6 +292,8 @@ class ShardGeneration:
         point = centroid(coordinates)
         partials = []
         for shard, index in enumerate(self.shard_indexes):
+            if shard in exclude_shards:
+                continue
             with _span(registry, "query.scatter", trace, shard=shard):
                 partials.append(index.nearest(point, 1))
         with _span(registry, "query.merge", trace):
@@ -237,23 +311,41 @@ class ShardGeneration:
         *,
         registry: Optional[TelemetryRegistry] = None,
         trace: Optional[TraceRecorder] = None,
+        exclude_shards: Sequence[int] = (),
     ) -> Any:
-        """The oracle-identical payload for one service-layer query."""
+        """The oracle-identical payload for one service-layer query.
+
+        ``exclude_shards`` restricts the scatter to the healthy subset --
+        the degraded-response path while a shard is down.  A partial
+        answer is exactly the full merge minus the excluded shards'
+        candidates (pairwise distance reads the snapshot directly and is
+        never affected).
+        """
         if query.kind in ("knn", "nearest"):
             return self.knn(
                 query.target,
                 query.k if query.kind == "knn" else 1,
                 registry=registry,
                 trace=trace,
+                exclude_shards=exclude_shards,
             )
         if query.kind == "range":
             return self.range(
-                query.target, query.radius_ms, registry=registry, trace=trace
+                query.target,
+                query.radius_ms,
+                registry=registry,
+                trace=trace,
+                exclude_shards=exclude_shards,
             )
         if query.kind == "pairwise":
             return self.distance(*query.pair)
         if query.kind == "centroid":
-            return self.centroid(query.members, registry=registry, trace=trace)
+            return self.centroid(
+                query.members,
+                registry=registry,
+                trace=trace,
+                exclude_shards=exclude_shards,
+            )
         raise QueryError(f"unknown query kind {query.kind!r}")  # pragma: no cover
 
 
@@ -441,6 +533,17 @@ class ShardedCoordinateStore:
         #: Install wall-time per retained generation version (timer units),
         #: pruned alongside the generations themselves.
         self._publish_walls: Dict[int, float] = {}
+        #: Shards currently killed by fault injection.  Serving excludes
+        #: them from the scatter (degraded partial responses); publishes
+        #: skip their shard stores and install a dead-index placeholder.
+        #: Written only under the ingest lock; read as one volatile
+        #: reference by serving threads.
+        self._down_shards: frozenset = frozenset()
+        #: A :class:`repro.chaos.injector.ChaosInjector` when a fault
+        #: schedule is active; the store consults it at publish entry
+        #: (never under the ingest lock -- see the injector's lock-order
+        #: note) and for the injected gray-failure delay while serving.
+        self.chaos = None
 
     # ------------------------------------------------------------------
     # Ingest (whole-population epochs and incremental commits)
@@ -461,6 +564,8 @@ class ShardedCoordinateStore:
         running :func:`~repro.netsim.batch.run_batch_simulation` can
         stream epochs straight into a live server via ``publish_store``.
         """
+        if self._chaos_publish_gate():
+            return self._generation
         with self._ingest_lock:
             started = self._timer()
             snapshot = self._router.publish_epoch(
@@ -514,6 +619,8 @@ class ShardedCoordinateStore:
             raise TypeError(
                 f"publish_delta() needs an EpochDelta, got {type(delta).__name__}"
             )
+        if self._chaos_publish_gate():
+            return self._generation
         with self._ingest_lock:
             started = self._timer()
             base_generation = self._generation
@@ -534,6 +641,12 @@ class ShardedCoordinateStore:
             shard_indexes: List[CoordinateIndex] = []
             shard_sizes: List[int] = []
             for shard in range(self.shards):
+                if shard in self._down_shards:
+                    # The shard store missed this delta; restart_shard
+                    # repairs it from the router snapshot later.
+                    shard_indexes.append(_DeadShardIndex(shard))
+                    shard_sizes.append(0)
+                    continue
                 rows = changed_rows[shard]
                 # Fancy indexing copies, so the shard sub-delta is
                 # independent of the caller's (possibly reused) arrays.
@@ -604,6 +717,8 @@ class ShardedCoordinateStore:
         Incremental semantics are exactly the single store's: existing
         nodes update in place, new nodes append in iteration order.
         """
+        if self._chaos_publish_gate():
+            return self._generation
         with self._ingest_lock:
             started = self._timer()
             self._router.apply_many(coordinates)
@@ -655,6 +770,10 @@ class ShardedCoordinateStore:
         shard_indexes: List[CoordinateIndex] = []
         shard_sizes: List[int] = []
         for shard in range(self.shards):
+            if shard in self._down_shards:
+                shard_indexes.append(_DeadShardIndex(shard))
+                shard_sizes.append(0)
+                continue
             rows = [row for row, owner in enumerate(assignments) if owner == shard]
             store = self._shard_stores[shard]
             # Fancy indexing copies, so the shard arrays are independent of
@@ -730,6 +849,117 @@ class ShardedCoordinateStore:
         )
 
     # ------------------------------------------------------------------
+    # Fault injection (chaos)
+    # ------------------------------------------------------------------
+    def _chaos_publish_gate(self) -> bool:
+        """Consult the injector before a publish; True means drop it.
+
+        Called at publish entry, *before* the ingest lock, so the lock
+        order is always injector-then-ingest and never cycles (the
+        injector calls :meth:`kill_shard`/:meth:`restart_shard`, which
+        take the ingest lock, while holding its own lock).
+        """
+        chaos = self.chaos
+        if chaos is None:
+            return False
+        action, delay_ms = chaos.on_publish()
+        if action == "drop":
+            self.events.emit("publish_dropped", version=self._generation.version)
+            return True
+        if action == "stall":
+            self.events.emit(
+                "publish_stalled",
+                version=self._generation.version,
+                delay_ms=delay_ms,
+            )
+            time.sleep(delay_ms / 1e3)
+        return False
+
+    def kill_shard(self, shard: int) -> None:
+        """Drop one shard from the scatter set (fault injection).
+
+        Queries keep being served from the healthy subset as degraded
+        partial responses; publishes while down skip the shard's store
+        and install a dead-index placeholder.  Idempotent.
+        """
+        if not 0 <= shard < self.shards:
+            raise ValueError(f"shard {shard} out of range for {self.shards} shards")
+        with self._ingest_lock:
+            if shard in self._down_shards:
+                return
+            self._down_shards = self._down_shards | {shard}
+            self.events.emit(
+                "shard_killed", shard=shard, version=self._generation.version
+            )
+
+    def restart_shard(self, shard: int) -> None:
+        """Re-admit a killed shard, rebuilding it from the last generation.
+
+        The shard's rows are recovered from the serving generation's
+        router snapshot (the authority the shard store may have missed
+        publishes of while down), republished into the shard's own
+        :class:`SnapshotStore`, and the freshly built index is installed
+        into the serving generation by an atomic swap -- the same
+        no-torn-reads argument as a publish.  Idempotent.
+        """
+        if not 0 <= shard < self.shards:
+            raise ValueError(f"shard {shard} out of range for {self.shards} shards")
+        with self._ingest_lock:
+            if shard not in self._down_shards:
+                return
+            generation = self._generation
+            snapshot = generation.snapshot
+            rows = [
+                node_id
+                for node_id in generation.node_order
+                if shard_of(node_id, self.shards) == shard
+            ]
+            if rows:
+                comps = np.asarray(
+                    [snapshot.coordinate_of(node_id).components for node_id in rows],
+                    dtype=np.float64,
+                )
+                hts = np.asarray(
+                    [snapshot.coordinate_of(node_id).height for node_id in rows],
+                    dtype=np.float64,
+                )
+            else:
+                comps = np.empty((0, 1))
+                hts = np.empty(0)
+            store = self._shard_stores[shard]
+            shard_snapshot = store.publish_epoch(
+                rows, comps, hts, source=generation.source
+            )
+            index = store.index_for(shard_snapshot)
+            shard_indexes = list(generation.shard_indexes)
+            shard_sizes = list(generation.shard_sizes)
+            shard_indexes[shard] = index
+            shard_sizes[shard] = len(rows)
+            rebuilt = ShardGeneration(
+                generation.version,
+                generation.source,
+                snapshot,
+                tuple(shard_indexes),
+                tuple(shard_sizes),
+                generation.global_seq,
+                generation.node_order,
+            )
+            self._generations[generation.version] = rebuilt
+            self._generation = rebuilt
+            self._down_shards = self._down_shards - {shard}
+            self.events.emit(
+                "shard_restarted",
+                shard=shard,
+                version=generation.version,
+                nodes=len(rows),
+            )
+
+    @property
+    def down_shards(self) -> frozenset:
+        """The shards currently excluded from the scatter set."""
+        return self._down_shards
+
+    # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
     def generation(self) -> ShardGeneration:
@@ -755,13 +985,22 @@ class ShardedCoordinateStore:
         *,
         generation: Optional[ShardGeneration] = None,
         trace: Optional[TraceRecorder] = None,
-    ) -> Tuple[Any, int, bool]:
-        """Answer one query: ``(payload, snapshot_version, cached)``.
+    ) -> ServeResult:
+        """Answer one query: a :class:`ServeResult` (unpacks as the
+        historical ``(payload, snapshot_version, cached)`` 3-tuple).
 
         The whole answer is computed from one pinned generation.  Results
         are cached keyed on ``(version, query)`` -- an answer can never
         leak across generations -- and failures raise
         :class:`~repro.service.planner.QueryError` after being counted.
+
+        While shards are down (fault injection) scatter queries are
+        served *degraded* from the healthy subset: ``result.partial`` is
+        true and ``result.missing_shards`` names the excluded shards.
+        Degraded answers bypass the cache in both directions -- a partial
+        payload must never be replayed once the shard is back, and a
+        cached full payload must not masquerade as the degraded answer
+        the oracle audit expects.
 
         Passing a :class:`TraceRecorder` collects per-stage durations
         (cache probe, per-shard scatter, merge) for this one request even
@@ -774,22 +1013,49 @@ class ShardedCoordinateStore:
             age_s = self._timer() - installed
             self._h_serve_age_ms.observe(age_s * 1e3)
             self._g_generation_age_s.set(age_s)
+        chaos = self.chaos
+        if chaos is not None:
+            delay_ms = chaos.serve_delay_ms()
+            if delay_ms > 0.0 and query.kind != "pairwise":
+                # Injected gray failure: the slow shard's extra service
+                # time, charged to every scatter query.
+                time.sleep(delay_ms / 1e3)
+        down = self._down_shards
+        degraded = bool(down) and query.kind != "pairwise"
         key = (pinned.version, query)
-        with _span(self.registry, "store.cache", trace, kind=query.kind):
-            with self._stats_lock:
-                found, payload = self.cache.get(key)
-        if found:
-            stats.served.inc()
-            stats.cache_hits.inc()
-            return copy.deepcopy(payload), pinned.version, True
+        if not degraded:
+            with _span(self.registry, "store.cache", trace, kind=query.kind):
+                with self._stats_lock:
+                    found, payload = self.cache.get(key)
+            if found:
+                stats.served.inc()
+                stats.cache_hits.inc()
+                return ServeResult(copy.deepcopy(payload), pinned.version, True)
         started = self._timer()
         try:
             with _span(self.registry, "store.serve", trace, kind=query.kind):
-                payload = pinned.answer(query, registry=self.registry, trace=trace)
+                payload = pinned.answer(
+                    query,
+                    registry=self.registry,
+                    trace=trace,
+                    exclude_shards=down if degraded else (),
+                )
         except QueryError:
             stats.errors.inc()
             raise
         elapsed_us = (self._timer() - started) * 1e6
+        if degraded:
+            if chaos is not None:
+                chaos.note_degraded()
+            stats.served.inc()
+            stats.record_latency(elapsed_us)
+            return ServeResult(
+                payload,
+                pinned.version,
+                False,
+                partial=True,
+                missing_shards=tuple(sorted(down)),
+            )
         # Copied outside the lock: a large range payload's deep copy must
         # not serialise every other executor thread's bookkeeping.
         cached_copy = copy.deepcopy(payload)
@@ -797,7 +1063,7 @@ class ShardedCoordinateStore:
             self.cache.put(key, cached_copy)
         stats.served.inc()
         stats.record_latency(elapsed_us)
-        return payload, pinned.version, False
+        return ServeResult(payload, pinned.version, False)
 
     # ------------------------------------------------------------------
     # Observability
@@ -832,6 +1098,7 @@ class ShardedCoordinateStore:
                 "count": self.shards,
                 "index_kind": self.index_kind,
                 "sizes": list(generation.shard_sizes),
+                "down": sorted(self._down_shards),
             },
             "kinds": kinds,
             "cache": cache,

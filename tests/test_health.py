@@ -121,6 +121,12 @@ class TestEventLog:
             "admission_shed",
             "shard_error",
             "health_snapshot",
+            "fault_injected",
+            "fault_cleared",
+            "shard_killed",
+            "shard_restarted",
+            "publish_dropped",
+            "publish_stalled",
         }
 
 

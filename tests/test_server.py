@@ -544,9 +544,10 @@ class TestLoadTelemetry:
         assert set(payload) == {
             "mode", "query_count", "ok", "errors", "overloaded", "elapsed_s",
             "qps", "offered_qps", "kinds", "checksum", "versions", "telemetry",
-            "health",
+            "health", "error_kinds", "degraded",
         }
         assert payload["query_count"] == payload["ok"] == 400
+        assert payload["error_kinds"] == {} and payload["degraded"] == 0
         for kind, summary in payload["kinds"].items():
             assert set(summary) == {"count", "p50_ms", "p99_ms", "latency_exact"}
         telemetry = payload["telemetry"]

@@ -494,6 +494,7 @@ class TestRegressionGate:
         baseline_dir = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
         names = sorted(p.name for p in baseline_dir.glob("BENCH_*.json"))
         assert names == [
+            "BENCH_chaos_smoke.json",
             "BENCH_pipeline_smoke.json",
             "BENCH_publish_smoke.json",
             "BENCH_server_smoke.json",

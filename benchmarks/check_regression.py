@@ -23,7 +23,12 @@ hardware:
 * ``chaos_recovery`` artifacts: post-fault over pre-fault qps per
   injected fault kind (the committed baselines hold this ratio at a
   deliberately conservative value; see benchmarks/README.md), plus the
-  per-kind recovery-SLO, torn-read and bounded-error-window checks.
+  per-kind recovery-SLO, torn-read and bounded-error-window checks;
+* ``gateway_http`` artifacts: the HTTP gateway's queries/sec over the
+  TCP daemon's for the same stream per query mix (held deliberately
+  conservative in the committed baselines), plus the per-mix
+  gateway/TCP byte-identity checks and the per-tenant linear-oracle and
+  zero-error checks from the concurrent multi-tenant leg.
 
 A metric regresses when it falls more than ``--tolerance`` (default 0.30,
 i.e. 30%) below its committed baseline in ``benchmarks/baselines/``.
@@ -174,6 +179,25 @@ def _extract_chaos(payload: Dict) -> Metrics:
     return ratios, checks
 
 
+def _extract_gateway(payload: Dict) -> Metrics:
+    ratios: Dict[str, float] = {}
+    checks: Dict[str, bool] = {}
+    for cell in payload["overhead"]:
+        mix = cell["mix"]
+        # Gateway qps over daemon qps for the same stream on the same
+        # machine moments apart; the committed baselines hold this at a
+        # deliberately conservative value (see benchmarks/README.md).
+        ratios[f"http_over_tcp_qps_{mix}"] = float(cell["http_over_tcp_qps"])
+        # The tentpole property, gated outright: gateway response bodies
+        # are byte-identical to the TCP daemon's frame bodies.
+        checks[f"bodies_identical_{mix}"] = bool(cell["bodies_identical"])
+    for entry in payload["multi_tenant"]["per_tenant"]:
+        tenant = entry["tenant"]
+        checks[f"oracle_identical_{tenant}"] = bool(entry["checksum_identical"])
+        checks[f"no_errors_{tenant}"] = entry["errors"] == 0
+    return ratios, checks
+
+
 EXTRACTORS = {
     "vectorized_backend": _extract_vectorized,
     "service_query_scaling": _extract_service,
@@ -181,6 +205,7 @@ EXTRACTORS = {
     "server_load": _extract_server,
     "publish_delta": _extract_publish,
     "chaos_recovery": _extract_chaos,
+    "gateway_http": _extract_gateway,
 }
 
 

@@ -13,6 +13,7 @@ Usage::
     python -m repro.analysis.cli serve-daemon --snapshot snapshot.json --port 9917
     python -m repro.analysis.cli load --port 9917 --count 5000 --mix mixed
     python -m repro.analysis.cli health --port 9917 --sections relative_error
+    python -m repro.analysis.cli gateway --config gateway.json --port 8080
 
 Each experiment prints its paper-style report to stdout; ``--output DIR``
 additionally writes one ``<experiment>.txt`` file per experiment so runs
@@ -102,6 +103,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.server.cli import main as server_main
 
         return server_main(argv)
+    if argv and argv[0] == "gateway":
+        # The multi-tenant HTTP gateway has its own parser; everything
+        # after the group name belongs to it.
+        from repro.gateway.cli import main as gateway_main
+
+        return gateway_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",

@@ -1,0 +1,110 @@
+"""The ``repro gateway`` command: serve tenants over HTTP.
+
+Usage::
+
+    # Boot every tenant in gateway.json; 0 picks an ephemeral port
+    repro gateway --config gateway.json --port 8080
+
+    # Scripted runs (CI): announce readiness, stop on a deadline
+    repro gateway --config gateway.json --ready-file ready.txt --max-seconds 300
+
+``--ready-file`` writes ``host port`` once the socket is bound, the same
+contract as ``repro serve-daemon``.  A malformed config is a one-line
+``error: ...`` with exit code 2.  The process runs until Ctrl-C or
+``--max-seconds``; tenants cannot stop it over the wire (the ``shutdown``
+op is rejected by the gateway).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.gateway.app import GatewayServer
+from repro.gateway.config import GatewayConfigError, load_gateway_config
+
+__all__ = ["main"]
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    try:
+        config = load_gateway_config(args.config)
+    except GatewayConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = GatewayServer(config, host=args.host, port=args.port)
+
+    async def serve() -> None:
+        host, port = await server.start()
+        tenants = ", ".join(
+            f"{tenant.name} ({len(tenant.store.generation())} nodes, "
+            f"{tenant.store.shards} shard(s))"
+            for tenant in server.tenants.tenants.values()
+        )
+        print(f"gateway serving {len(config.tenants)} tenant(s) on {host}:{port}")
+        print(f"tenants: {tenants}", flush=True)
+        if args.ready_file is not None:
+            args.ready_file.write_text(f"{host} {port}\n")
+        if args.max_seconds is not None:
+            asyncio.get_running_loop().call_later(args.max_seconds, server.stop)
+        await server.wait_stopped()
+        print("gateway stopped cleanly", flush=True)
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        server.stop()
+        print("interrupted; gateway stopped cleanly", flush=True)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro gateway",
+        description="Serve per-tenant coordinate spaces over HTTP.",
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        required=True,
+        help="gateway JSON config (tenants, API keys, quotas, data sources)",
+    )
+    parser.add_argument(
+        "--host", default=None, help="bind host (default: config, then 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port (default: config, then 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--ready-file",
+        type=Path,
+        default=None,
+        help="write 'host port' here once the socket is bound",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="stop automatically after this long (scripted runs)",
+    )
+    parser.set_defaults(handler=_cmd_gateway)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

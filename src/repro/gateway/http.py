@@ -1,0 +1,197 @@
+"""A minimal, strict HTTP/1.1 layer for the gateway (stdlib only).
+
+Hand-rolled in the same spirit as the TCP wire protocol
+(:mod:`repro.server.protocol`): a tiny, fully specified subset with hard
+bounds and loud failures rather than a permissive general-purpose
+parser.  Supported: request line + headers + optional ``Content-Length``
+body, keep-alive (HTTP/1.1 default, ``Connection: close`` honored).
+Deliberately rejected: ``Transfer-Encoding`` (no chunked uploads),
+request lines or header blocks past the size bounds, bodies past the
+frame limit -- each with a one-line 4xx so a misbehaving client learns
+why.
+
+Responses are rendered with a fixed, deterministic header set (no Date
+header -- byte-identical responses for byte-identical requests is a
+design property of this codebase, and tests pin it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import unquote
+
+from repro.server.protocol import MAX_FRAME_BYTES
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "read_request",
+    "render_response",
+]
+
+#: Bounds, hit with a 4xx instead of unbounded buffering.
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = MAX_FRAME_BYTES
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+}
+
+
+class HttpError(Exception):
+    """A malformed or unsupported request; carries the response status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass(slots=True)
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    #: The decoded path, without the query string.
+    path: str
+    #: Raw query string ("" when absent).
+    query: str
+    #: Header names lowercased; later duplicates overwrite earlier ones.
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def query_params(self) -> Dict[str, str]:
+        """Decoded ``key=value`` pairs (flat; later keys overwrite)."""
+        params: Dict[str, str] = {}
+        for part in self.query.split("&"):
+            if not part:
+                continue
+            key, _, value = part.partition("=")
+            params[unquote(key)] = unquote(value)
+        return params
+
+
+async def _read_line(reader: asyncio.StreamReader, limit: int, what: str) -> bytes:
+    """One CRLF-terminated line within ``limit`` bytes (sans terminator)."""
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise EOFError from exc
+        raise HttpError(400, f"truncated {what}") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(
+            431 if what == "header" else 400, f"{what} exceeds {limit} bytes"
+        ) from exc
+    if len(line) > limit + 2:
+        raise HttpError(431 if what == "header" else 400, f"{what} exceeds {limit} bytes")
+    return line[:-2]
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
+    """Parse one request; ``None`` on clean EOF between requests.
+
+    Raises :exc:`HttpError` on anything malformed; the caller answers
+    with the carried status and closes the connection (a parse failure
+    poisons the stream, exactly like a corrupt length prefix on the TCP
+    path).
+    """
+    try:
+        line = await _read_line(reader, MAX_REQUEST_LINE, "request line")
+    except EOFError:
+        return None
+    try:
+        text = line.decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise HttpError(400, "request line is not ASCII") from exc
+    parts = text.split(" ")
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line {text!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported protocol version {version!r}")
+    if not method.isalpha() or method != method.upper():
+        raise HttpError(400, f"malformed method {method!r}")
+    if not target.startswith("/"):
+        raise HttpError(400, f"unsupported request target {target!r}")
+    raw_path, _, query = target.partition("?")
+
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        line = await _read_line(reader, MAX_HEADER_BYTES, "header")
+        if not line:
+            break
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise HttpError(431, f"header block exceeds {MAX_HEADER_BYTES} bytes")
+        name, sep, value = line.partition(b":")
+        if not sep or not name:
+            raise HttpError(400, f"malformed header line {line!r}")
+        try:
+            headers[name.decode("ascii").strip().lower()] = (
+                value.decode("ascii").strip()
+            )
+        except UnicodeDecodeError as exc:
+            raise HttpError(400, "header is not ASCII") from exc
+
+    if "transfer-encoding" in headers:
+        raise HttpError(501, "Transfer-Encoding is not supported; send Content-Length")
+    body = b""
+    if "content-length" in headers:
+        raw_length = headers["content-length"]
+        if not raw_length.isdigit():
+            raise HttpError(400, f"malformed Content-Length {raw_length!r}")
+        length = int(raw_length)
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body of {length} bytes exceeds {MAX_BODY_BYTES}")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "truncated request body") from exc
+
+    version_keep_alive = version == "HTTP/1.1"
+    if not version_keep_alive and headers.get("connection", "").lower() != "keep-alive":
+        headers.setdefault("connection", "close")
+    return HttpRequest(
+        method=method, path=unquote(raw_path), query=query, headers=headers, body=body
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    extra_headers: Tuple[Tuple[str, str], ...] = (),
+    keep_alive: bool = True,
+) -> bytes:
+    """One full HTTP/1.1 response, headers in a fixed deterministic order."""
+    reason = _REASONS.get(status, "Unknown")
+    lines: List[str] = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+    ]
+    for name, value in extra_headers:
+        lines.append(f"{name}: {value}")
+    lines.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body

@@ -1,0 +1,77 @@
+"""Deterministic, count-driven token buckets for per-tenant quotas.
+
+A classical token bucket refills on the wall clock, which makes quota
+behaviour racy in tests and irreproducible in replays.  This one refills
+on the *request count* instead, the same discipline the chaos fault
+schedules use: after every ``refill_every`` observed requests --
+granted or shed, it is the arrival stream that drives time --
+``refill_amount`` tokens return, capped at ``capacity``.  Whether the
+N-th request of a stream is shed is therefore a pure function of the
+stream itself.
+
+A shed request learns its *deficit*: how many requests' worth of refill
+must be observed before a token is available again.  The gateway converts
+that into a ``Retry-After`` hint via the tenant's configured
+``ms_per_request``, so the hint is deterministic too.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Tuple
+
+from repro.gateway.config import TenantQuota
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """A count-driven token bucket (thread-safe, deterministic).
+
+    The bucket starts full.  Every call to :meth:`try_acquire` is one
+    observed request: it first applies any refills the arrival count has
+    earned, then takes a token if one is available.
+    """
+
+    def __init__(self, quota: TenantQuota) -> None:
+        self.quota = quota
+        self._lock = threading.Lock()
+        self._tokens = quota.capacity
+        #: Requests observed since the last refill tick.
+        self._since_refill = 0
+
+    def try_acquire(self) -> Tuple[bool, int]:
+        """Observe one request; return ``(granted, deficit)``.
+
+        ``deficit`` is 0 when granted; when shed it is the number of
+        *further* requests that must be observed before a token exists --
+        the deterministic analogue of "seconds until capacity returns".
+        """
+        quota = self.quota
+        with self._lock:
+            self._since_refill += 1
+            if self._since_refill >= quota.refill_every:
+                earned = self._since_refill // quota.refill_every
+                self._since_refill -= earned * quota.refill_every
+                self._tokens = min(quota.capacity, self._tokens + earned * quota.refill_amount)
+            if self._tokens > 0:
+                self._tokens -= 1
+                return True, 0
+            # Requests-until-next-refill, observed-count included: the
+            # very next refill tick mints refill_amount >= 1 tokens.
+            return False, quota.refill_every - self._since_refill
+
+    def retry_after_ms(self, deficit: int) -> float:
+        """The ``Retry-After`` hint for a shed request's deficit."""
+        return float(deficit) * self.quota.ms_per_request
+
+    @staticmethod
+    def retry_after_seconds(retry_after_ms: float) -> int:
+        """The integer-seconds ``Retry-After`` header value (>= 1)."""
+        return max(1, math.ceil(retry_after_ms / 1000.0))
+
+    @property
+    def tokens(self) -> int:
+        with self._lock:
+            return self._tokens

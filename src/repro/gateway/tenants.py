@@ -1,0 +1,128 @@
+"""Per-tenant runtime state and constant-time API-key authentication.
+
+Each tenant is a fully isolated serving stack: its own
+:class:`~repro.server.sharding.ShardedCoordinateStore` (which owns its
+own telemetry registry, event log, health tracker and result cache), its
+own :class:`~repro.server.daemon.RequestEngine` with an independent
+admission limit, and its own deterministic token bucket.  Nothing is
+shared between tenants except the process and the event loop -- tenant
+A's publishes, cache entries, health snapshots, chaos schedules and
+metrics are invisible to tenant B by construction, and the isolation
+tests pin it.
+
+Authentication compares the presented key against *every* tenant's key
+with :func:`hmac.compare_digest` and no early exit, so the comparison
+cost is independent of whether (and where) the key matches -- a timing
+probe learns nothing about key prefixes or tenant ordering.
+"""
+
+from __future__ import annotations
+
+import hmac
+from typing import Dict, Optional
+
+from repro.gateway.config import GatewayConfig, TenantSpec
+from repro.gateway.ratelimit import TokenBucket
+from repro.server.daemon import RequestEngine
+from repro.server.load import synthetic_coordinates
+from repro.server.sharding import ShardedCoordinateStore
+from repro.service.publish import EpochDelta
+
+__all__ = ["Tenant", "TenantRegistry", "build_store"]
+
+
+def build_store(spec: TenantSpec) -> ShardedCoordinateStore:
+    """One tenant's store, populated from its configured data source."""
+    store = ShardedCoordinateStore(
+        spec.shards,
+        index_kind=spec.index,
+        history=spec.history,
+        cache_entries=spec.cache_entries,
+    )
+    if spec.data is None:
+        return store  # empty generation; populated via the publish route
+    source, value = spec.data
+    if source == "synthetic":
+        n, seed = value
+        store.publish_delta(
+            EpochDelta.from_coordinates(
+                synthetic_coordinates(n, seed=seed), source=f"synthetic-{n}"
+            )
+        )
+    elif source == "snapshot":
+        from repro.service.snapshot import CoordinateSnapshot
+
+        snapshot = CoordinateSnapshot.load(value)
+        store.publish_delta(
+            EpochDelta.from_coordinates(
+                dict(snapshot.coordinates), source=snapshot.source or str(value)
+            )
+        )
+    else:
+        from repro.engine.kernel import run_scenario
+        from repro.scenarios.registry import get_scenario
+
+        scenario = get_scenario(value)
+        run = run_scenario(scenario)
+        store.ingest_collector(run.collector, source=scenario.name)
+    return store
+
+
+class Tenant:
+    """One tenant's isolated serving stack."""
+
+    def __init__(self, spec: TenantSpec) -> None:
+        self.spec = spec
+        self.name = spec.name
+        self.store = build_store(spec)
+        #: The store's registry doubles as the tenant registry: store,
+        #: engine and gateway route instruments for this tenant all land
+        #: in it, and ``GET /v1/{tenant}/metrics`` renders exactly it.
+        self.registry = self.store.registry
+        self.engine = RequestEngine(
+            self.store,
+            admission_limit=spec.admission_limit,
+            thread_name_prefix=f"gw-{spec.name}",
+        )
+        self.bucket = TokenBucket(spec.quota) if spec.quota is not None else None
+
+    def shutdown(self) -> None:
+        self.engine.shutdown(wait=True)
+
+
+class TenantRegistry:
+    """All tenants of one gateway process, keyed by name and by API key."""
+
+    def __init__(self, config: GatewayConfig) -> None:
+        self.config = config
+        self.tenants: Dict[str, Tenant] = {
+            spec.name: Tenant(spec) for spec in config.tenants
+        }
+        #: (api_key, tenant) pairs in config order; authentication scans
+        #: all of them unconditionally (see :meth:`authenticate`).
+        self._keys = [
+            (spec.api_key.encode(), self.tenants[spec.name])
+            for spec in config.tenants
+        ]
+
+    def get(self, name: str) -> Optional[Tenant]:
+        return self.tenants.get(name)
+
+    def authenticate(self, presented: str) -> Optional[Tenant]:
+        """The tenant owning ``presented``, via constant-time comparison.
+
+        Every configured key is compared (no early exit), each with
+        :func:`hmac.compare_digest`, so timing does not depend on which
+        key -- if any -- matched.  Keys are unique by config validation,
+        so at most one comparison succeeds.
+        """
+        encoded = presented.encode()
+        matched: Optional[Tenant] = None
+        for key, tenant in self._keys:
+            if hmac.compare_digest(key, encoded):
+                matched = tenant
+        return matched
+
+    def shutdown(self) -> None:
+        for tenant in self.tenants.values():
+            tenant.shutdown()

@@ -51,6 +51,13 @@ code 2 when the path is unwritable.  ``metrics`` fetches the
 --trace-spans`` additionally records per-stage span histograms
 (``span_ms``) on the request path.
 
+``load --gateway http://HOST:PORT --tenant NAME --api-key KEY`` drives a
+multi-tenant HTTP gateway (:mod:`repro.gateway`) instead of a TCP
+daemon: the same deterministic query stream, oracle verification and
+chaos injection run against the named tenant's coordinate space through
+:class:`repro.gateway.client.GatewayClient`.  ``--shutdown`` is refused
+in gateway mode -- tenants cannot stop the shared process.
+
 ``load --chaos SPEC`` installs a deterministic fault schedule on the
 daemon for the duration of the run (``kind@at+duration[:key=value...]``,
 comma-separated) and evaluates recovery SLOs afterwards: bounded counted
@@ -203,8 +210,20 @@ def _print_load_report(report) -> None:
 
 
 async def _load_async(args: argparse.Namespace, schedule=None) -> int:
-    address = (args.host, args.port)
-    client = await AsyncCoordinateClient.connect(*address)
+    address = (args.host, args.port or 0)
+    connect = None
+    if args.gateway is not None:
+        from repro.gateway.client import GatewayClient
+
+        async def connect():
+            return await GatewayClient.connect(
+                args.gateway, args.tenant, args.api_key
+            )
+
+    if connect is not None:
+        client = await connect()
+    else:
+        client = await AsyncCoordinateClient.connect(*address)
     chaos_installed = False
     try:
         listing = await client.op("nodes")
@@ -264,6 +283,7 @@ async def _load_async(args: argparse.Namespace, schedule=None) -> int:
             registry=registry,
             deterministic_timing=args.deterministic_timing,
             request_timeout=args.request_timeout,
+            connect=connect,
         )
         _print_load_report(report)
         if report.error_kinds:
@@ -438,6 +458,32 @@ async def _load_async(args: argparse.Namespace, schedule=None) -> int:
 
 
 def _cmd_load(args: argparse.Namespace) -> int:
+    if args.gateway is not None:
+        if args.tenant is None or args.api_key is None:
+            print(
+                "error: --gateway requires --tenant and --api-key", file=sys.stderr
+            )
+            return 2
+        if args.port is not None:
+            print("error: --gateway and --port are mutually exclusive", file=sys.stderr)
+            return 2
+        if args.shutdown:
+            print(
+                "error: --shutdown is not available through the gateway "
+                "(tenants cannot stop the shared process)",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        if args.port is None:
+            print("error: --port is required (or use --gateway URL)", file=sys.stderr)
+            return 2
+        if args.tenant is not None or args.api_key is not None:
+            print(
+                "error: --tenant/--api-key only apply with --gateway",
+                file=sys.stderr,
+            )
+            return 2
     if args.mode == "open" and args.rate is None:
         print("error: --mode open requires --rate", file=sys.stderr)
         return 2
@@ -759,7 +805,22 @@ def build_parser() -> argparse.ArgumentParser:
         "load", help="replay a deterministic workload against a running daemon"
     )
     load.add_argument("--host", default="127.0.0.1")
-    load.add_argument("--port", type=int, required=True)
+    load.add_argument(
+        "--port", type=int, default=None, help="daemon TCP port (TCP mode)"
+    )
+    load.add_argument(
+        "--gateway",
+        default=None,
+        metavar="URL",
+        help="drive an HTTP gateway instead of a TCP daemon "
+        "(http://host:port; requires --tenant and --api-key)",
+    )
+    load.add_argument(
+        "--tenant", default=None, help="tenant name for --gateway mode"
+    )
+    load.add_argument(
+        "--api-key", default=None, help="tenant API key for --gateway mode"
+    )
     load.add_argument("--count", type=int, default=1000, help="number of queries")
     load.add_argument(
         "--mix", choices=sorted(QUERY_MIXES), default="mixed", help="query mix"

@@ -22,7 +22,12 @@ every other caller simply awaits that teardown.
 retry schedule -- capped exponential growth with seeded equal-jitter --
 and :meth:`request_with_retry` applies it to timeouts and overloaded
 responses, raising :class:`~repro.server.errors.ServerOverloaded` once
-the budget is exhausted.
+the budget is exhausted.  An overloaded response may carry a
+server-supplied ``retry_after_ms`` hint; when it does, the next delay is
+:func:`retry_after_delay_ms` -- at least the hinted interval, plus the
+same seeded jitter discipline -- instead of the exponential schedule, so
+the server's own estimate of when capacity returns wins over the
+client's blind guess while retries stay byte-deterministic per seed.
 """
 
 from __future__ import annotations
@@ -48,6 +53,7 @@ __all__ = [
     "AsyncCoordinateClient",
     "backoff_delay_ms",
     "request_once",
+    "retry_after_delay_ms",
 ]
 
 
@@ -81,6 +87,27 @@ def backoff_delay_ms(
     ).digest()
     fraction = int.from_bytes(digest, "big") / 2.0**64
     return bound * (0.5 + 0.5 * fraction)
+
+
+def retry_after_delay_ms(hint_ms: float, attempt: int, *, seed: int = 0) -> float:
+    """Retry delay honoring a server ``retry_after_ms`` hint.
+
+    ``Retry-After`` semantics are "wait at least this long", so the delay
+    is the hint plus up to 50% seeded jitter *above* it (never below --
+    jittering under the hint would land the retry back inside the window
+    the server said was saturated).  The jitter fraction is a pure
+    blake2b hash of ``(seed, attempt)``, matching
+    :func:`backoff_delay_ms`'s determinism discipline.
+    """
+    if hint_ms < 0.0:
+        raise ValueError("hint_ms must be >= 0")
+    if attempt < 0:
+        raise ValueError("attempt must be >= 0")
+    digest = hashlib.blake2b(
+        f"retry-after:{seed}:{attempt}".encode(), digest_size=8
+    ).digest()
+    fraction = int.from_bytes(digest, "big") / 2.0**64
+    return hint_ms * (1.0 + 0.5 * fraction)
 
 
 class AsyncCoordinateClient:
@@ -187,8 +214,12 @@ class AsyncCoordinateClient:
 
         Retries the transient failure modes -- :class:`RequestTimeout`
         and overloaded (admission-shed) responses -- up to ``retries``
-        times, sleeping :func:`backoff_delay_ms` between attempts.  Once
-        the budget is exhausted the last timeout re-raises, or a
+        times, sleeping :func:`backoff_delay_ms` between attempts.  When
+        an overloaded response carries a ``retry_after_ms`` hint, the
+        next sleep is :func:`retry_after_delay_ms` over that hint instead
+        (still seeded-jitter deterministic); a malformed hint is ignored
+        and the exponential schedule applies.  Once the budget is
+        exhausted the last timeout re-raises, or a
         :class:`ServerOverloaded` is raised for a still-shedding daemon.
         A :class:`TransportError` is never retried: this client owns a
         single connection, so a lost connection cannot heal here.
@@ -196,12 +227,17 @@ class AsyncCoordinateClient:
         if retries < 0:
             raise ValueError("retries must be >= 0")
         last: Optional[BaseException] = None
+        hint_ms: Optional[float] = None
         for attempt in range(retries + 1):
             if attempt:
-                delay_ms = backoff_delay_ms(
-                    attempt - 1, base_ms=base_ms, cap_ms=cap_ms, seed=seed
-                )
+                if hint_ms is not None:
+                    delay_ms = retry_after_delay_ms(hint_ms, attempt - 1, seed=seed)
+                else:
+                    delay_ms = backoff_delay_ms(
+                        attempt - 1, base_ms=base_ms, cap_ms=cap_ms, seed=seed
+                    )
                 await sleep(delay_ms / 1e3)
+            hint_ms = None
             try:
                 response = await self.request(request, timeout=timeout)
             except RequestTimeout as exc:
@@ -212,6 +248,13 @@ class AsyncCoordinateClient:
                     response.get("error") or "server overloaded"
                 )
                 last = overloaded
+                hint = response.get("retry_after_ms")
+                if (
+                    not isinstance(hint, bool)
+                    and isinstance(hint, (int, float))
+                    and hint >= 0
+                ):
+                    hint_ms = float(hint)
                 continue
             return response
         assert last is not None

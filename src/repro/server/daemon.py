@@ -1,5 +1,18 @@
 """The asyncio coordinate-serving daemon.
 
+The serving logic is split in two layers:
+
+* :class:`RequestEngine` -- the transport-agnostic half: bounded
+  admission, thread-pool query execution, the chaos control plane and
+  every wire operation's handler.  ``await engine.process(request)``
+  turns one protocol request object into one response object, no socket
+  involved.  The multi-tenant HTTP gateway (:mod:`repro.gateway`) runs
+  one engine per tenant, which is what makes its responses byte-identical
+  to the TCP daemon's: they are produced by the very same code.
+* :class:`CoordinateServer` -- the TCP shell: it owns the listening
+  socket, per-connection pipelining and backpressure, and delegates all
+  request processing to its engine.
+
 :class:`CoordinateServer` wraps a
 :class:`~repro.server.sharding.ShardedCoordinateStore` with the
 length-prefixed JSON protocol (:mod:`repro.server.protocol`) over TCP:
@@ -14,6 +27,10 @@ length-prefixed JSON protocol (:mod:`repro.server.protocol`) over TCP:
 * **Bounded admission** -- a global in-flight limit sheds load
   explicitly: past it, requests are answered immediately with an
   ``overloaded`` error (and counted) rather than queued into memory.
+  With ``retry_after_ms`` configured, the overloaded error carries that
+  value as a retry-after hint which
+  :meth:`~repro.server.client.AsyncCoordinateClient.request_with_retry`
+  honors in place of its exponential backoff schedule.
 * **Non-blocking serving** -- query execution runs on a small thread
   pool, so a long scatter-gather at 50k nodes never stalls the event
   loop's frame reading, and NumPy-backed shard kernels can overlap.
@@ -36,7 +53,7 @@ from __future__ import annotations
 import asyncio
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.chaos.injector import ChaosInjector
 from repro.chaos.schedule import FaultSchedule
@@ -58,45 +75,51 @@ from repro.server.protocol import (
 from repro.server.sharding import ShardedCoordinateStore
 from repro.service.planner import QueryError
 
-__all__ = ["CoordinateServer", "ServerThread"]
+__all__ = ["CoordinateServer", "RequestEngine", "ServerThread"]
 
 
-class CoordinateServer:
-    """Serve a sharded coordinate store over the wire protocol."""
+class RequestEngine:
+    """Transport-agnostic request processing for one sharded store.
+
+    Everything between "a protocol request object arrived" and "here is
+    its response object" lives here: the atomic admission decision, the
+    deterministic chaos schedule hooks, thread-pool query execution, and
+    the per-op handlers.  The TCP daemon and the HTTP gateway are both
+    thin shells over :meth:`process`, so their answers for the same
+    store state are byte-identical by construction.
+    """
 
     def __init__(
         self,
         store: ShardedCoordinateStore,
         *,
-        host: str = "127.0.0.1",
-        port: int = 0,
-        max_in_flight_per_connection: int = 32,
         admission_limit: int = 1024,
         executor_workers: Optional[int] = None,
         registry: Optional[TelemetryRegistry] = None,
-        trace_spans: bool = False,
+        retry_after_ms: Optional[float] = None,
+        admission_stats_extra: Optional[Callable[[], Dict[str, Any]]] = None,
+        thread_name_prefix: str = "coordserve",
     ) -> None:
-        if max_in_flight_per_connection < 1:
-            raise ValueError("max_in_flight_per_connection must be >= 1")
         if admission_limit < 1:
             raise ValueError("admission_limit must be >= 1")
+        if retry_after_ms is not None and retry_after_ms <= 0.0:
+            raise ValueError("retry_after_ms must be positive")
         self.store = store
-        self.host = host
-        self.port = port
-        self.max_in_flight_per_connection = max_in_flight_per_connection
         self.admission_limit = admission_limit
-        #: The daemon adopts the store's registry by default, so one
-        #: ``metrics`` op renders store + daemon instruments together.
+        #: Optional hint attached to overloaded errors; clients honoring
+        #: it back off for the server-chosen interval instead of their
+        #: own exponential schedule.
+        self.retry_after_ms = retry_after_ms
+        #: The engine adopts the store's registry by default, so one
+        #: ``metrics`` op renders store + engine instruments together.
         self.registry = registry if registry is not None else store.registry
-        if trace_spans:
-            self.registry.enable_spans(True)
+        #: Extra fields the transport merges into the ``stats`` op's
+        #: admission section (the TCP daemon adds connection counters).
+        self._admission_stats_extra = admission_stats_extra
         self._executor = ThreadPoolExecutor(
             max_workers=executor_workers or max(2, store.shards),
-            thread_name_prefix="coordserve",
+            thread_name_prefix=thread_name_prefix,
         )
-        self._server: Optional[asyncio.base_events.Server] = None
-        self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._stop_event: Optional[asyncio.Event] = None
         #: The admission decision stays an atomic check-and-increment
         #: under this lock; the registry instruments mirror the counts.
         self._stats_lock = threading.Lock()
@@ -108,18 +131,16 @@ class CoordinateServer:
         self._c_rejected = self.registry.counter(
             "daemon_rejected_overload_total", "Requests shed by admission control."
         )
-        self._c_connections = self.registry.counter(
-            "daemon_connections_total", "Client connections accepted."
-        )
-        self._g_connections_open = self.registry.gauge(
-            "daemon_connections_open", "Currently open client connections."
-        )
         self._g_in_flight = self.registry.gauge(
             "daemon_in_flight", "Requests currently admitted and executing."
         )
         self._g_in_flight_max = self.registry.gauge(
             "daemon_in_flight_max", "High-water mark of admitted requests."
         )
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Shut the executor down (idempotent)."""
+        self._executor.shutdown(wait=wait)
 
     def _count_error(self, op: Any) -> None:
         """Per-op error accounting (satellite: the stats op reports these)."""
@@ -143,124 +164,7 @@ class CoordinateServer:
         return {"by_op": by_op, "total": sum(by_op.values())}
 
     # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
-    @property
-    def address(self) -> Tuple[str, int]:
-        """The bound (host, port); valid once started."""
-        if self._server is None:
-            raise RuntimeError("server is not started")
-        sock = self._server.sockets[0]
-        name = sock.getsockname()
-        return name[0], name[1]
-
-    async def start(self) -> Tuple[str, int]:
-        self._loop = asyncio.get_running_loop()
-        self._stop_event = asyncio.Event()
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
-        )
-        return self.address
-
-    def stop(self) -> None:
-        """Request shutdown (safe from any thread; idempotent)."""
-        loop, event = self._loop, self._stop_event
-        if loop is None or event is None:
-            return
-        try:
-            loop.call_soon_threadsafe(event.set)
-        except RuntimeError:
-            pass  # the loop already stopped (e.g. a wire 'shutdown' op)
-
-    async def wait_stopped(self) -> None:
-        """Block until :meth:`stop` (or a ``shutdown`` op), then shut down."""
-        assert self._stop_event is not None and self._server is not None
-        await self._stop_event.wait()
-        self._server.close()
-        await self._server.wait_closed()
-        self._executor.shutdown(wait=True)
-
-    def run_in_thread(self) -> "ServerThread":
-        """Run the daemon on its own background event-loop thread."""
-        return ServerThread(self)
-
-    # ------------------------------------------------------------------
-    # Connection handling
-    # ------------------------------------------------------------------
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        self._c_connections.inc()
-        self._g_connections_open.inc()
-        window = asyncio.Semaphore(self.max_in_flight_per_connection)
-        responses: "asyncio.Queue[Optional[asyncio.Task]]" = asyncio.Queue()
-        writer_task = asyncio.create_task(
-            self._write_responses(responses, writer, window)
-        )
-        shutdown_requested = False
-        try:
-            while True:
-                try:
-                    header = await reader.readexactly(HEADER.size)
-                except (asyncio.IncompleteReadError, ConnectionResetError):
-                    break
-                length = frame_length(header)
-                body = await reader.readexactly(length)
-                request = decode_frame(body)
-                # Backpressure: once this connection's window is full we
-                # stop reading its socket until a response drains.
-                await window.acquire()
-                task = asyncio.create_task(self._process(request))
-                await responses.put(task)
-                if request.get("op") == "shutdown":
-                    shutdown_requested = True
-                    break
-        except ProtocolError as exc:
-            # A corrupt frame poisons the stream; report once and drop.
-            self._count_error(None)
-            await window.acquire()
-            failed: asyncio.Future = asyncio.get_running_loop().create_future()
-            failed.set_result({"id": None, "ok": False, "error": str(exc)})
-            await responses.put(failed)
-        except (ConnectionResetError, BrokenPipeError):
-            pass
-        finally:
-            await responses.put(None)
-            await writer_task
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
-            self._g_connections_open.dec()
-            if shutdown_requested:
-                self.stop()
-
-    async def _write_responses(
-        self,
-        responses: "asyncio.Queue[Optional[asyncio.Task]]",
-        writer: asyncio.StreamWriter,
-        window: asyncio.Semaphore,
-    ) -> None:
-        """Drain completed responses to the socket, strictly in order."""
-        while True:
-            pending = await responses.get()
-            if pending is None:
-                return
-            try:
-                response = await pending
-            except Exception as exc:  # defensive: a handler bug, not a client error
-                response = {"id": None, "ok": False, "error": f"internal error: {exc}"}
-            try:
-                writer.write(encode_frame(response))
-                await writer.drain()
-            except (ConnectionResetError, BrokenPipeError):
-                return
-            finally:
-                window.release()
-
-    # ------------------------------------------------------------------
-    # Request processing
+    # Admission
     # ------------------------------------------------------------------
     def _admit(self) -> bool:
         with self._stats_lock:
@@ -286,7 +190,46 @@ class CoordinateServer:
             in_flight = self._in_flight
         self._g_in_flight.set(in_flight)
 
-    async def _process(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def inject_admission_load(self, amount: int) -> None:
+        """Occupy ``amount`` admission slots (the admission-burst fault)."""
+        if amount <= 0:
+            return
+        with self._stats_lock:
+            self._in_flight += amount
+            if self._in_flight > self._max_in_flight_seen:
+                self._max_in_flight_seen = self._in_flight
+            in_flight = self._in_flight
+        self._g_in_flight.set(in_flight)
+        self._g_in_flight_max.update_max(in_flight)
+
+    def release_admission_load(self, amount: int) -> None:
+        """Release slots taken by :meth:`inject_admission_load`."""
+        if amount <= 0:
+            return
+        with self._stats_lock:
+            self._in_flight = max(0, self._in_flight - amount)
+            in_flight = self._in_flight
+        self._g_in_flight.set(in_flight)
+
+    def admission_stats(self) -> Dict[str, Any]:
+        with self._stats_lock:
+            in_flight = self._in_flight
+            max_in_flight = self._max_in_flight_seen
+        stats = {
+            "limit": self.admission_limit,
+            "in_flight": in_flight,
+            "max_in_flight": max_in_flight,
+            "admitted": self._c_admitted.value,
+            "rejected_overload": self._c_rejected.value,
+        }
+        if self._admission_stats_extra is not None:
+            stats.update(self._admission_stats_extra())
+        return stats
+
+    # ------------------------------------------------------------------
+    # Request processing
+    # ------------------------------------------------------------------
+    async def process(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Dispatch one request; never raises (the response carries errors).
 
         The catch-all matters for correlation: an id-matching client only
@@ -348,7 +291,7 @@ class CoordinateServer:
                     op=str(request.get("op")),
                     limit=self.admission_limit,
                 )
-            return {
+            response = {
                 "id": request_id,
                 "ok": False,
                 "error": (
@@ -357,6 +300,9 @@ class CoordinateServer:
                 ),
                 "overloaded": True,
             }
+            if self.retry_after_ms is not None:
+                response["retry_after_ms"] = self.retry_after_ms
+            return response
         try:
             try:
                 query = request_to_query(request)
@@ -560,27 +506,6 @@ class CoordinateServer:
             "payload": {"installed": True, "faults": len(schedule.events)},
         }
 
-    def inject_admission_load(self, amount: int) -> None:
-        """Occupy ``amount`` admission slots (the admission-burst fault)."""
-        if amount <= 0:
-            return
-        with self._stats_lock:
-            self._in_flight += amount
-            if self._in_flight > self._max_in_flight_seen:
-                self._max_in_flight_seen = self._in_flight
-            in_flight = self._in_flight
-        self._g_in_flight.set(in_flight)
-        self._g_in_flight_max.update_max(in_flight)
-
-    def release_admission_load(self, amount: int) -> None:
-        """Release slots taken by :meth:`inject_admission_load`."""
-        if amount <= 0:
-            return
-        with self._stats_lock:
-            self._in_flight = max(0, self._in_flight - amount)
-            in_flight = self._in_flight
-        self._g_in_flight.set(in_flight)
-
     def _serve_publish(self, request_id: Any, mode: str, parsed) -> Dict[str, Any]:
         """Executed on the thread pool: publish an epoch into the store.
 
@@ -637,23 +562,199 @@ class CoordinateServer:
             response["missing_shards"] = sorted(result.missing_shards)
         return response
 
-    # ------------------------------------------------------------------
-    # Observability
-    # ------------------------------------------------------------------
+
+class CoordinateServer:
+    """Serve a sharded coordinate store over the wire protocol (TCP)."""
+
+    def __init__(
+        self,
+        store: ShardedCoordinateStore,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_in_flight_per_connection: int = 32,
+        admission_limit: int = 1024,
+        executor_workers: Optional[int] = None,
+        registry: Optional[TelemetryRegistry] = None,
+        trace_spans: bool = False,
+        retry_after_ms: Optional[float] = None,
+    ) -> None:
+        if max_in_flight_per_connection < 1:
+            raise ValueError("max_in_flight_per_connection must be >= 1")
+        self.store = store
+        self.host = host
+        self.port = port
+        self.max_in_flight_per_connection = max_in_flight_per_connection
+        #: The daemon adopts the store's registry by default, so one
+        #: ``metrics`` op renders store + daemon instruments together.
+        self.registry = registry if registry is not None else store.registry
+        if trace_spans:
+            self.registry.enable_spans(True)
+        self.engine = RequestEngine(
+            store,
+            admission_limit=admission_limit,
+            executor_workers=executor_workers,
+            registry=self.registry,
+            retry_after_ms=retry_after_ms,
+            admission_stats_extra=self._connection_stats,
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._c_connections = self.registry.counter(
+            "daemon_connections_total", "Client connections accepted."
+        )
+        self._g_connections_open = self.registry.gauge(
+            "daemon_connections_open", "Currently open client connections."
+        )
+
+    # -- engine delegation (the historical daemon API keeps working) ----
+    @property
+    def admission_limit(self) -> int:
+        return self.engine.admission_limit
+
+    def _admit(self) -> bool:
+        return self.engine._admit()
+
+    def _release(self) -> None:
+        self.engine._release()
+
+    def inject_admission_load(self, amount: int) -> None:
+        self.engine.inject_admission_load(amount)
+
+    def release_admission_load(self, amount: int) -> None:
+        self.engine.release_admission_load(amount)
+
+    def error_stats(self) -> Dict[str, Any]:
+        return self.engine.error_stats()
+
     def admission_stats(self) -> Dict[str, Any]:
-        with self._stats_lock:
-            in_flight = self._in_flight
-            max_in_flight = self._max_in_flight_seen
+        return self.engine.admission_stats()
+
+    def _connection_stats(self) -> Dict[str, Any]:
+        """The TCP-transport fields of the admission stats section."""
         return {
-            "limit": self.admission_limit,
             "per_connection_window": self.max_in_flight_per_connection,
-            "in_flight": in_flight,
-            "max_in_flight": max_in_flight,
-            "admitted": self._c_admitted.value,
-            "rejected_overload": self._c_rejected.value,
             "connections_total": self._c_connections.value,
             "connections_open": int(self._g_connections_open.value),
         }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port); valid once started."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        name = sock.getsockname()
+        return name[0], name[1]
+
+    async def start(self) -> Tuple[str, int]:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        return self.address
+
+    def stop(self) -> None:
+        """Request shutdown (safe from any thread; idempotent)."""
+        loop, event = self._loop, self._stop_event
+        if loop is None or event is None:
+            return
+        try:
+            loop.call_soon_threadsafe(event.set)
+        except RuntimeError:
+            pass  # the loop already stopped (e.g. a wire 'shutdown' op)
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`stop` (or a ``shutdown`` op), then shut down."""
+        assert self._stop_event is not None and self._server is not None
+        await self._stop_event.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        self.engine.shutdown(wait=True)
+
+    def run_in_thread(self) -> "ServerThread":
+        """Run the daemon on its own background event-loop thread."""
+        return ServerThread(self)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._c_connections.inc()
+        self._g_connections_open.inc()
+        window = asyncio.Semaphore(self.max_in_flight_per_connection)
+        responses: "asyncio.Queue[Optional[asyncio.Task]]" = asyncio.Queue()
+        writer_task = asyncio.create_task(
+            self._write_responses(responses, writer, window)
+        )
+        shutdown_requested = False
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(HEADER.size)
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break
+                length = frame_length(header)
+                body = await reader.readexactly(length)
+                request = decode_frame(body)
+                # Backpressure: once this connection's window is full we
+                # stop reading its socket until a response drains.
+                await window.acquire()
+                task = asyncio.create_task(self.engine.process(request))
+                await responses.put(task)
+                if request.get("op") == "shutdown":
+                    shutdown_requested = True
+                    break
+        except ProtocolError as exc:
+            # A corrupt frame poisons the stream; report once and drop.
+            self.engine._count_error(None)
+            await window.acquire()
+            failed: asyncio.Future = asyncio.get_running_loop().create_future()
+            failed.set_result({"id": None, "ok": False, "error": str(exc)})
+            await responses.put(failed)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            await responses.put(None)
+            await writer_task
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._g_connections_open.dec()
+            if shutdown_requested:
+                self.stop()
+
+    async def _write_responses(
+        self,
+        responses: "asyncio.Queue[Optional[asyncio.Task]]",
+        writer: asyncio.StreamWriter,
+        window: asyncio.Semaphore,
+    ) -> None:
+        """Drain completed responses to the socket, strictly in order."""
+        while True:
+            pending = await responses.get()
+            if pending is None:
+                return
+            try:
+                response = await pending
+            except Exception as exc:  # defensive: a handler bug, not a client error
+                response = {"id": None, "ok": False, "error": f"internal error: {exc}"}
+            try:
+                writer.write(encode_frame(response))
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                return
+            finally:
+                window.release()
 
 
 class ServerThread:
@@ -663,9 +764,13 @@ class ServerThread:
     :meth:`stop`, then tears everything down.  The serving *store* stays
     directly usable from any other thread -- publishing epochs does not
     go through the loop at all.
+
+    Duck-typed over ``server``: anything exposing ``start()`` /
+    ``wait_stopped()`` / ``stop()`` with the daemon's semantics works,
+    which is how the HTTP gateway reuses this thread harness.
     """
 
-    def __init__(self, server: CoordinateServer) -> None:
+    def __init__(self, server) -> None:
         self.server = server
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()

@@ -223,6 +223,7 @@ async def run_load_async(
     deterministic_timing: bool = False,
     collect_health: bool = True,
     request_timeout: Optional[float] = None,
+    connect=None,
 ) -> LoadReport:
     """Drive ``queries`` through a running daemon and summarise.
 
@@ -232,6 +233,14 @@ async def run_load_async(
     count under ``error_kinds["transport"]`` instead of aborting the
     whole run -- the chaos harness depends on the load loop surviving a
     daemon that is deliberately misbehaving.
+
+    ``connect`` swaps the transport: an async factory called once per
+    connection that returns any client with the
+    :class:`AsyncCoordinateClient` request surface (``request``, ``op``,
+    ``close``).  The default connects over TCP to ``address``; the HTTP
+    gateway passes a :class:`repro.gateway.client.GatewayClient` factory,
+    which is how one load harness (and its oracle verification) drives
+    both transports.
     """
     if mode not in LOAD_MODES:
         raise ValueError(f"unknown load mode {mode!r}; known: {list(LOAD_MODES)}")
@@ -246,9 +255,11 @@ async def run_load_async(
     if registry is None:
         registry = TelemetryRegistry()
 
-    clients = [
-        await AsyncCoordinateClient.connect(*address) for _ in range(connections)
-    ]
+    if connect is None:
+        async def connect() -> AsyncCoordinateClient:
+            return await AsyncCoordinateClient.connect(*address)
+
+    clients = [await connect() for _ in range(connections)]
     responses: List[Optional[Dict[str, Any]]] = [None] * len(queries)
     #: Raw per-query latency in ms, indexed by stream position; folded
     #: into estimators/histograms in stream order after the run so the

@@ -10,7 +10,7 @@ Request::
 Response::
 
     {"id": 7, "ok": true, "payload": {...}, "version": 42, "cached": false}
-    {"id": 7, "ok": false, "error": "unknown node 'nodeXXX'"}
+    {"id": 7, "ok": false, "error": "unknown node 'node000099'"}
 
 ``id`` is an opaque client-chosen correlation value echoed back verbatim;
 the daemon answers each connection's requests in arrival order, so clients
@@ -87,8 +87,32 @@ Version 3 adds the ``chaos`` op; a ``chaos`` request that does not
 declare version >= 3 is rejected the same way, so fault injection can
 never be triggered by accident from an old client.
 
+The full hello-negotiation matrix -- what a client that declared each
+version may send, and what the server answers when a request overreaches
+the declared revision:
+
+=================  =========  =========  =========
+capability         v1 (none)  v2         v3
+=================  =========  =========  =========
+queries + admin    yes        yes        yes
+full ``publish``   yes        yes        yes
+delta ``publish``  rejected   yes        yes
+``chaos`` op       rejected   rejected   yes
+=================  =========  =========  =========
+
+"rejected" is an ordinary ``ok: false`` error response naming the
+required version (never a dropped connection), so a mixed-version fleet
+degrades loudly instead of misbehaving: the client learns the server's
+ceiling from ``hello`` and the server refuses anything above the
+client's declared floor.
+
 The module is deliberately dependency-light (no asyncio imports) so both
 the asyncio daemon and synchronous tools can share it.
+
+The HTTP gateway (:mod:`repro.gateway`) reuses this module's request and
+response *objects* verbatim over HTTP/JSON; :func:`encode_body` is the
+shared serializer that makes a gateway response body byte-identical to
+the body of the equivalent TCP frame.
 """
 
 from __future__ import annotations
@@ -106,6 +130,7 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "encode_body",
     "encode_frame",
     "decode_frame",
     "frame_length",
@@ -161,13 +186,24 @@ class ProtocolError(ValueError):
     """A malformed frame or request (the connection should be dropped)."""
 
 
-def encode_frame(payload: Mapping[str, Any]) -> bytes:
-    """One wire frame: header + compact JSON body."""
+def encode_body(payload: Mapping[str, Any]) -> bytes:
+    """The canonical compact-JSON serialization of one request/response.
+
+    This is exactly the body of a wire frame without its length prefix.
+    The HTTP gateway sends these bytes as its response bodies, which is
+    what makes them byte-identical to the TCP path.
+    """
     body = json.dumps(payload, separators=(",", ":"), allow_nan=False).encode()
     if len(body) > MAX_FRAME_BYTES:
         raise ProtocolError(
             f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
         )
+    return body
+
+
+def encode_frame(payload: Mapping[str, Any]) -> bytes:
+    """One wire frame: header + compact JSON body."""
+    body = encode_body(payload)
     return HEADER.pack(len(body)) + body
 
 

@@ -35,7 +35,11 @@ from repro.chaos import (
     evaluate,
     verify_chaos_responses,
 )
-from repro.server.client import AsyncCoordinateClient, backoff_delay_ms
+from repro.server.client import (
+    AsyncCoordinateClient,
+    backoff_delay_ms,
+    retry_after_delay_ms,
+)
 from repro.server.daemon import CoordinateServer
 from repro.server.errors import RequestTimeout, ServerOverloaded, TransportError
 from repro.server.load import run_load, synthetic_arrays, synthetic_coordinates
@@ -175,6 +179,110 @@ class TestBackoff:
             backoff_delay_ms(attempt, seed=5) / 1e3 for attempt in range(2)
         ]
         assert recovered["ok"]
+
+    def test_retry_after_delay_is_deterministic_and_never_below_the_hint(self):
+        first = [retry_after_delay_ms(40.0, attempt, seed=2) for attempt in range(8)]
+        again = [retry_after_delay_ms(40.0, attempt, seed=2) for attempt in range(8)]
+        assert first == again
+        # "Wait at least this long": jitter lands at or above the hint,
+        # never under it, and stays within the 50% equal-jitter band.
+        assert all(40.0 <= delay < 60.0 for delay in first)
+        assert first != [retry_after_delay_ms(40.0, a, seed=3) for a in range(8)]
+        with pytest.raises(ValueError, match="hint_ms"):
+            retry_after_delay_ms(-1.0, 0)
+        with pytest.raises(ValueError, match="attempt"):
+            retry_after_delay_ms(1.0, -1)
+
+    def test_retry_honors_the_server_retry_after_hint(self):
+        store = make_store(8, shards=1)
+        target = probe_query(8).target
+        server = CoordinateServer(store, admission_limit=4, retry_after_ms=25.0)
+
+        async def scenario(address):
+            async with await AsyncCoordinateClient.connect(*address) as client:
+                server.inject_admission_load(4)
+                delays = []
+
+                async def fake_sleep(seconds):
+                    delays.append(seconds)
+
+                with pytest.raises(ServerOverloaded):
+                    await client.request_with_retry(
+                        {"op": "nearest", "target": target},
+                        retries=2,
+                        seed=5,
+                        sleep=fake_sleep,
+                    )
+                server.release_admission_load(4)
+                return delays
+
+        with server.run_in_thread() as handle:
+            delays = asyncio.run(scenario(handle.address))
+        # Every shed response carried the 25ms hint, so every sleep used
+        # the hint schedule instead of the exponential one -- and never
+        # retried before the server said capacity might return.
+        assert delays == [
+            retry_after_delay_ms(25.0, attempt, seed=5) / 1e3 for attempt in range(2)
+        ]
+        assert all(delay >= 0.025 for delay in delays)
+
+    def test_malformed_hint_falls_back_to_exponential_backoff(self):
+        class CannedClient:
+            """Replays canned responses through the real retry loop."""
+
+            request_with_retry = AsyncCoordinateClient.request_with_retry
+
+            def __init__(self, responses):
+                self._responses = iter(responses)
+
+            async def request(self, request, *, timeout=None):
+                return next(self._responses)
+
+        async def drive(responses, retries):
+            delays = []
+
+            async def fake_sleep(seconds):
+                delays.append(seconds)
+
+            client = CannedClient(responses)
+            response = await client.request_with_retry(
+                {"op": "ping"}, retries=retries, seed=7, sleep=fake_sleep
+            )
+            return delays, response
+
+        # Malformed hints (a string, a bool, a negative) are ignored.
+        delays, response = asyncio.run(
+            drive(
+                [
+                    {"overloaded": True, "error": "x", "retry_after_ms": "soon"},
+                    {"overloaded": True, "error": "x", "retry_after_ms": True},
+                    {"overloaded": True, "error": "x", "retry_after_ms": -5},
+                    {"ok": True},
+                ],
+                retries=3,
+            )
+        )
+        assert response == {"ok": True}
+        assert delays == [
+            backoff_delay_ms(attempt, seed=7) / 1e3 for attempt in range(3)
+        ]
+        # A well-formed hint switches that retry to the hint schedule,
+        # and a hintless shed right after falls back to exponential.
+        delays, response = asyncio.run(
+            drive(
+                [
+                    {"overloaded": True, "error": "x", "retry_after_ms": 80},
+                    {"overloaded": True, "error": "x"},
+                    {"ok": True},
+                ],
+                retries=2,
+            )
+        )
+        assert response == {"ok": True}
+        assert delays == [
+            retry_after_delay_ms(80.0, 0, seed=7) / 1e3,
+            backoff_delay_ms(1, seed=7) / 1e3,
+        ]
 
 
 # ----------------------------------------------------------------------

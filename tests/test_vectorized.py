@@ -495,6 +495,7 @@ class TestRegressionGate:
         names = sorted(p.name for p in baseline_dir.glob("BENCH_*.json"))
         assert names == [
             "BENCH_chaos_smoke.json",
+            "BENCH_gateway_smoke.json",
             "BENCH_pipeline_smoke.json",
             "BENCH_publish_smoke.json",
             "BENCH_server_smoke.json",
